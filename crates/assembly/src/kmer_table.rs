@@ -1,0 +1,352 @@
+//! Open-addressing k-mer hash table.
+//!
+//! This is the data structure behind both assembly kernels: **kmer-cnt**
+//! uses it as a counter (Flye's k-mer table) and **dbg** as a
+//! k-mer-to-node map (Platypus' graph membership table). The paper
+//! identifies its access pattern — one 1–2 byte counter update per
+//! 64-byte cache line fetched from a multi-gigabyte table — as the
+//! suite's worst memory offender (484 BPKI, 86.6% memory-bound), and
+//! suggests robin-hood hashing as a mitigation; both probing disciplines
+//! are implemented so the ablation bench can compare them.
+//!
+//! Keys must be strictly below [`EMPTY_KEY`]; packed k-mers with
+//! `k <= 31` always are.
+
+use gb_uarch::probe::{addr_of, NullProbe, Probe};
+
+/// Sentinel marking an empty slot.
+pub const EMPTY_KEY: u64 = u64::MAX;
+
+/// Probing discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Probing {
+    /// Plain linear probing (what the extracted tools use).
+    #[default]
+    Linear,
+    /// Robin-hood: displace richer entries to bound probe-sequence
+    /// variance (the paper's suggested optimization).
+    RobinHood,
+}
+
+/// An open-addressing hash table from packed k-mers to `u32` values.
+///
+/// # Examples
+///
+/// ```
+/// use gb_assembly::kmer_table::{KmerTable, Probing};
+/// let mut t = KmerTable::with_capacity(100, Probing::Linear);
+/// t.insert_or_add(0xAC61, 1);
+/// t.insert_or_add(0xAC61, 2);
+/// assert_eq!(t.get(0xAC61), Some(3));
+/// assert_eq!(t.get(0xBEEF), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KmerTable {
+    keys: Vec<u64>,
+    values: Vec<u32>,
+    len: usize,
+    probing: Probing,
+}
+
+impl KmerTable {
+    /// Creates a table sized for at least `capacity` entries at a 0.7
+    /// load factor.
+    pub fn with_capacity(capacity: usize, probing: Probing) -> KmerTable {
+        let slots = (capacity.max(8) * 10 / 7).next_power_of_two();
+        KmerTable { keys: vec![EMPTY_KEY; slots], values: vec![0; slots], len: 0, probing }
+    }
+
+    /// Number of distinct keys stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of slots (table capacity).
+    pub fn num_slots(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Current load factor.
+    pub fn load_factor(&self) -> f64 {
+        self.len as f64 / self.keys.len() as f64
+    }
+
+    /// Heap footprint in bytes (the kernel's working set).
+    pub fn heap_bytes(&self) -> usize {
+        self.keys.len() * 8 + self.values.len() * 4
+    }
+
+    #[inline]
+    fn hash(&self, key: u64) -> usize {
+        // splitmix64 finalizer: good avalanche for packed k-mers.
+        let mut x = key;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+        (x ^ (x >> 31)) as usize & (self.keys.len() - 1)
+    }
+
+    #[inline]
+    fn displacement(&self, key: u64, slot: usize) -> usize {
+        let home = self.hash(key);
+        slot.wrapping_sub(home) & (self.keys.len() - 1)
+    }
+
+    /// The slot a lookup of `key` would first touch — exposed so callers
+    /// can model software prefetching (see the kmer-cnt ablation).
+    #[inline]
+    pub fn home_slot_addr(&self, key: u64) -> u64 {
+        addr_of(&self.keys[self.hash(key)])
+    }
+
+    /// Adds `delta` to `key`'s value (inserting it at 0 first), returning
+    /// the new value. Resizes at 0.7 load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == EMPTY_KEY`.
+    pub fn insert_or_add(&mut self, key: u64, delta: u32) -> u32 {
+        self.insert_or_add_probed(key, delta, &mut NullProbe)
+    }
+
+    /// [`KmerTable::insert_or_add`] with instrumentation: one load per
+    /// probed slot (8-byte key), one store for the 4-byte value update —
+    /// exactly the traffic pattern the paper characterizes.
+    pub fn insert_or_add_probed<P: Probe>(&mut self, key: u64, delta: u32, probe: &mut P) -> u32 {
+        assert_ne!(key, EMPTY_KEY, "key collides with the empty sentinel");
+        if (self.len + 1) as f64 > 0.7 * self.keys.len() as f64 {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        let mut slot = self.hash(key);
+        let mut cur_key = key;
+        let mut cur_val = 0u32; // value carried while displacing (robin hood)
+        let mut result: Option<u32> = None;
+        loop {
+            probe.load(addr_of(&self.keys[slot]), 8);
+            probe.int_ops(3);
+            let k = self.keys[slot];
+            if k == EMPTY_KEY {
+                self.keys[slot] = cur_key;
+                let v = if cur_key == key { cur_val + delta } else { cur_val };
+                self.values[slot] = v;
+                probe.store(addr_of(&self.values[slot]), 4);
+                probe.store(addr_of(&self.keys[slot]), 8);
+                self.len += 1;
+                return result.unwrap_or(v);
+            }
+            if k == cur_key {
+                debug_assert_eq!(cur_key, key, "displaced key can never match a resident key");
+                self.values[slot] += delta;
+                probe.store(addr_of(&self.values[slot]), 4);
+                return self.values[slot];
+            }
+            if self.probing == Probing::RobinHood {
+                let resident_disp = self.displacement(k, slot);
+                let probing_disp = self.displacement(cur_key, slot);
+                probe.int_ops(4);
+                if probing_disp > resident_disp {
+                    // Rob the rich: swap the carried entry in.
+                    let v = if cur_key == key {
+                        result = Some(cur_val + delta);
+                        cur_val + delta
+                    } else {
+                        cur_val
+                    };
+                    std::mem::swap(&mut self.keys[slot], &mut cur_key);
+                    let old_v = self.values[slot];
+                    self.values[slot] = v;
+                    cur_val = old_v;
+                    probe.store(addr_of(&self.values[slot]), 12);
+                }
+            }
+            slot = (slot + 1) & mask;
+            probe.branch(true);
+        }
+    }
+
+    /// Looks up `key`'s value.
+    pub fn get(&self, key: u64) -> Option<u32> {
+        self.get_probed(key, &mut NullProbe)
+    }
+
+    /// [`KmerTable::get`] with instrumentation.
+    pub fn get_probed<P: Probe>(&self, key: u64, probe: &mut P) -> Option<u32> {
+        let mask = self.keys.len() - 1;
+        let mut slot = self.hash(key);
+        let mut dist = 0usize;
+        loop {
+            probe.load(addr_of(&self.keys[slot]), 8);
+            probe.int_ops(2);
+            let k = self.keys[slot];
+            if k == key {
+                probe.load(addr_of(&self.values[slot]), 4);
+                return Some(self.values[slot]);
+            }
+            if k == EMPTY_KEY {
+                return None;
+            }
+            if self.probing == Probing::RobinHood && self.displacement(k, slot) < dist {
+                // A resident poorer than our probe distance means the key
+                // cannot be further along.
+                return None;
+            }
+            slot = (slot + 1) & mask;
+            dist += 1;
+            probe.branch(true);
+            if dist > self.keys.len() {
+                return None; // table saturated (cannot happen below 0.7 load)
+            }
+        }
+    }
+
+    /// Sets `key` to `value` exactly (used by the dbg node map).
+    pub fn set(&mut self, key: u64, value: u32) {
+        // Remove-then-add semantics are unnecessary: insert_or_add with
+        // delta 0 locates/creates the slot, then we overwrite.
+        self.insert_or_add(key, 0);
+        let mask = self.keys.len() - 1;
+        let mut slot = self.hash(key);
+        loop {
+            if self.keys[slot] == key {
+                self.values[slot] = value;
+                return;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Iterates over `(key, value)` pairs in table order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.keys
+            .iter()
+            .zip(&self.values)
+            .filter(|(&k, _)| k != EMPTY_KEY)
+            .map(|(&k, &v)| (k, v))
+    }
+
+    /// Maximum probe distance across all residents (robin hood keeps this
+    /// small; the ablation bench reports it).
+    pub fn max_displacement(&self) -> usize {
+        (0..self.keys.len())
+            .filter(|&s| self.keys[s] != EMPTY_KEY)
+            .map(|s| self.displacement(self.keys[s], s))
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn grow(&mut self) {
+        let entries: Vec<(u64, u32)> = self.iter().collect();
+        let new_slots = self.keys.len() * 2;
+        self.keys = vec![EMPTY_KEY; new_slots];
+        self.values = vec![0; new_slots];
+        self.len = 0;
+        for (k, v) in entries {
+            self.insert_or_add(k, 0);
+            self.set(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(probing: Probing, n: u64) -> KmerTable {
+        let mut t = KmerTable::with_capacity(16, probing);
+        for i in 0..n {
+            t.insert_or_add(i * 3 + 1, (i % 7) as u32 + 1);
+        }
+        t
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        for probing in [Probing::Linear, Probing::RobinHood] {
+            let mut t = KmerTable::with_capacity(10, probing);
+            assert_eq!(t.insert_or_add(42, 1), 1);
+            assert_eq!(t.insert_or_add(42, 5), 6);
+            assert_eq!(t.get(42), Some(6));
+            assert_eq!(t.len(), 1);
+        }
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        for probing in [Probing::Linear, Probing::RobinHood] {
+            let t = filled(probing, 5000);
+            assert_eq!(t.len(), 5000);
+            assert!(t.load_factor() <= 0.7);
+            for i in 0..5000u64 {
+                assert_eq!(t.get(i * 3 + 1), Some((i % 7) as u32 + 1), "key {i}");
+            }
+            assert_eq!(t.get(2), None);
+        }
+    }
+
+    #[test]
+    fn matches_btreemap_reference() {
+        use std::collections::BTreeMap;
+        let mut x = 7u64;
+        for probing in [Probing::Linear, Probing::RobinHood] {
+            let mut t = KmerTable::with_capacity(8, probing);
+            let mut m: BTreeMap<u64, u32> = BTreeMap::new();
+            for _ in 0..20_000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let key = (x >> 40) % 3000; // heavy collisions
+                let delta = (x % 5) as u32 + 1;
+                t.insert_or_add(key, delta);
+                *m.entry(key).or_insert(0) += delta;
+            }
+            assert_eq!(t.len(), m.len());
+            for (&k, &v) in &m {
+                assert_eq!(t.get(k), Some(v), "{probing:?} key {k}");
+            }
+            let collected: BTreeMap<u64, u32> = t.iter().collect();
+            assert_eq!(collected, m);
+        }
+    }
+
+    #[test]
+    fn robin_hood_bounds_displacement() {
+        let lin = filled(Probing::Linear, 40_000);
+        let rh = filled(Probing::RobinHood, 40_000);
+        assert!(
+            rh.max_displacement() <= lin.max_displacement(),
+            "robin hood {} vs linear {}",
+            rh.max_displacement(),
+            lin.max_displacement()
+        );
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut t = KmerTable::with_capacity(10, Probing::Linear);
+        t.insert_or_add(9, 4);
+        t.set(9, 100);
+        assert_eq!(t.get(9), Some(100));
+        t.set(11, 7); // set on a fresh key inserts it
+        assert_eq!(t.get(11), Some(7));
+    }
+
+    #[test]
+    fn probe_sees_one_load_per_slot() {
+        use gb_uarch::mix::MixProbe;
+        let mut t = KmerTable::with_capacity(100, Probing::Linear);
+        let mut probe = MixProbe::new();
+        t.insert_or_add_probed(1234, 1, &mut probe);
+        assert!(probe.mix().loads >= 1);
+        assert!(probe.mix().stores >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel")]
+    fn empty_key_rejected() {
+        let mut t = KmerTable::with_capacity(8, Probing::Linear);
+        t.insert_or_add(EMPTY_KEY, 1);
+    }
+}

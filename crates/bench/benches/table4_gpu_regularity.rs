@@ -1,0 +1,27 @@
+//! Tables IV & V harness: the SIMT models of abea and nn-base.
+//!
+//! Prints the nvprof-style metric tables once, then benchmarks the model
+//! evaluation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gb_suite::dataset::DatasetSize;
+use gb_suite::kernels::{abea_gpu_report, nnbase_gpu_report};
+
+fn bench_gpu_models(c: &mut Criterion) {
+    let abea = abea_gpu_report(DatasetSize::Tiny);
+    let nn = nnbase_gpu_report(DatasetSize::Tiny);
+    eprintln!("table4/5 abea:    {abea:?}");
+    eprintln!("table4/5 nn-base: {nn:?}");
+    let mut group = c.benchmark_group("gpu_models");
+    group.sample_size(10);
+    group.bench_function("abea_simt", |b| {
+        b.iter(|| std::hint::black_box(abea_gpu_report(DatasetSize::Tiny).instructions))
+    });
+    group.bench_function("nn_base_simt", |b| {
+        b.iter(|| std::hint::black_box(nnbase_gpu_report(DatasetSize::Tiny).instructions))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gpu_models);
+criterion_main!(benches);

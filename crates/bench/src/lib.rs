@@ -1,0 +1,1 @@
+//! GenomicsBench-rs Criterion bench crate: see the `benches/` targets.

@@ -1,0 +1,185 @@
+//! The DNA alphabet and its 2-bit encoding.
+//!
+//! Throughout the suite, DNA bases are stored as 2-bit *codes* (`0..=3` for
+//! `A, C, G, T`) rather than ASCII. All kernels (FM-index, Smith-Waterman,
+//! chaining, …) operate on codes; conversion to and from ASCII happens only
+//! at the I/O boundary, mirroring how BWA-MEM2 and minimap2 handle sequence
+//! data internally.
+
+/// A single DNA nucleotide.
+///
+/// The discriminants are the canonical 2-bit codes used across the suite
+/// (`A=0, C=1, G=2, T=3`), which is also the lexicographic order required by
+/// the FM-index.
+///
+/// # Examples
+///
+/// ```
+/// use gb_core::alphabet::Base;
+/// assert_eq!(Base::from_ascii(b'g'), Some(Base::G));
+/// assert_eq!(Base::G.complement(), Base::C);
+/// assert_eq!(Base::G.to_ascii(), b'G');
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Base {
+    /// Adenine (code 0).
+    A = 0,
+    /// Cytosine (code 1).
+    C = 1,
+    /// Guanine (code 2).
+    G = 2,
+    /// Thymine (code 3).
+    T = 3,
+}
+
+/// Number of symbols in the DNA alphabet.
+pub const ALPHABET_SIZE: usize = 4;
+
+/// All four bases in code order.
+pub const BASES: [Base; 4] = [Base::A, Base::C, Base::G, Base::T];
+
+impl Base {
+    /// Decodes an ASCII byte (case-insensitive) into a base.
+    ///
+    /// Returns `None` for ambiguity codes (`N`, `R`, …) and any other byte.
+    #[inline]
+    pub fn from_ascii(b: u8) -> Option<Base> {
+        match b {
+            b'A' | b'a' => Some(Base::A),
+            b'C' | b'c' => Some(Base::C),
+            b'G' | b'g' => Some(Base::G),
+            b'T' | b't' => Some(Base::T),
+            _ => None,
+        }
+    }
+
+    /// Decodes a 2-bit code into a base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code > 3`.
+    #[inline]
+    pub fn from_code(code: u8) -> Base {
+        match code {
+            0 => Base::A,
+            1 => Base::C,
+            2 => Base::G,
+            3 => Base::T,
+            _ => panic!("invalid 2-bit base code: {code}"),
+        }
+    }
+
+    /// The 2-bit code of this base.
+    #[inline]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// The uppercase ASCII representation.
+    #[inline]
+    pub fn to_ascii(self) -> u8 {
+        match self {
+            Base::A => b'A',
+            Base::C => b'C',
+            Base::G => b'G',
+            Base::T => b'T',
+        }
+    }
+
+    /// The Watson–Crick complement (`A<->T`, `C<->G`).
+    #[inline]
+    pub fn complement(self) -> Base {
+        // With the 2-bit encoding the complement is `3 - code`.
+        Base::from_code(3 - self.code())
+    }
+}
+
+impl std::fmt::Display for Base {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_ascii() as char)
+    }
+}
+
+/// Complements a 2-bit code without going through [`Base`].
+///
+/// # Examples
+///
+/// ```
+/// use gb_core::alphabet::complement_code;
+/// assert_eq!(complement_code(0), 3); // A -> T
+/// ```
+#[inline]
+pub fn complement_code(code: u8) -> u8 {
+    debug_assert!(code < 4);
+    3 - code
+}
+
+/// Encodes an ASCII nucleotide into its 2-bit code, mapping ambiguity codes
+/// (and anything else) to `None`.
+#[inline]
+pub fn encode_ascii(b: u8) -> Option<u8> {
+    Base::from_ascii(b).map(Base::code)
+}
+
+/// Decodes a 2-bit code into its uppercase ASCII nucleotide.
+///
+/// # Panics
+///
+/// Panics if `code > 3`.
+#[inline]
+pub fn decode_code(code: u8) -> u8 {
+    Base::from_code(code).to_ascii()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_round_trip() {
+        for &b in &BASES {
+            assert_eq!(Base::from_ascii(b.to_ascii()), Some(b));
+            assert_eq!(Base::from_ascii(b.to_ascii().to_ascii_lowercase()), Some(b));
+        }
+    }
+
+    #[test]
+    fn code_round_trip() {
+        for c in 0..4u8 {
+            assert_eq!(Base::from_code(c).code(), c);
+        }
+    }
+
+    #[test]
+    fn ambiguity_rejected() {
+        for b in [b'N', b'n', b'R', b'-', b'X', 0u8] {
+            assert_eq!(Base::from_ascii(b), None);
+        }
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for &b in &BASES {
+            assert_eq!(b.complement().complement(), b);
+        }
+        assert_eq!(Base::A.complement(), Base::T);
+        assert_eq!(Base::C.complement(), Base::G);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid 2-bit base code")]
+    fn from_code_panics_on_invalid() {
+        let _ = Base::from_code(4);
+    }
+
+    #[test]
+    fn display_prints_letter() {
+        assert_eq!(Base::T.to_string(), "T");
+    }
+
+    #[test]
+    fn base_order_is_lexicographic() {
+        assert!(Base::A < Base::C && Base::C < Base::G && Base::G < Base::T);
+    }
+}

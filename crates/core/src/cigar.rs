@@ -1,0 +1,305 @@
+//! CIGAR strings describing read-to-reference alignments.
+//!
+//! The pileup kernel (Medaka-style pre-processing) spends its time walking
+//! CIGAR operations of alignment records, so this module is a first-class
+//! substrate of the suite.
+
+use crate::error::Error;
+
+/// One CIGAR operation kind, following the SAM specification subset the
+/// suite needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CigarOp {
+    /// Alignment match or mismatch (`M`): consumes both query and reference.
+    Match,
+    /// Insertion to the reference (`I`): consumes query only.
+    Ins,
+    /// Deletion from the reference (`D`): consumes reference only.
+    Del,
+    /// Soft clip (`S`): consumes query only, bases present in the record.
+    SoftClip,
+}
+
+impl CigarOp {
+    /// The SAM character for this operation.
+    pub fn to_char(self) -> char {
+        match self {
+            CigarOp::Match => 'M',
+            CigarOp::Ins => 'I',
+            CigarOp::Del => 'D',
+            CigarOp::SoftClip => 'S',
+        }
+    }
+
+    /// Parses a SAM operation character.
+    pub fn from_char(c: char) -> Option<CigarOp> {
+        match c {
+            'M' => Some(CigarOp::Match),
+            'I' => Some(CigarOp::Ins),
+            'D' => Some(CigarOp::Del),
+            'S' => Some(CigarOp::SoftClip),
+            _ => None,
+        }
+    }
+
+    /// Whether the operation advances through the query (read) sequence.
+    pub fn consumes_query(self) -> bool {
+        matches!(self, CigarOp::Match | CigarOp::Ins | CigarOp::SoftClip)
+    }
+
+    /// Whether the operation advances through the reference sequence.
+    pub fn consumes_ref(self) -> bool {
+        matches!(self, CigarOp::Match | CigarOp::Del)
+    }
+}
+
+/// A full CIGAR: a run-length-encoded list of operations.
+///
+/// # Examples
+///
+/// ```
+/// use gb_core::cigar::{Cigar, CigarOp};
+/// let c: Cigar = "3M1I2M2D4M".parse()?;
+/// assert_eq!(c.query_len(), 10);
+/// assert_eq!(c.ref_len(), 11);
+/// assert_eq!(c.to_string(), "3M1I2M2D4M");
+/// # Ok::<(), gb_core::error::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Cigar {
+    ops: Vec<(u32, CigarOp)>,
+}
+
+impl Cigar {
+    /// Creates an empty CIGAR.
+    pub fn new() -> Cigar {
+        Cigar { ops: Vec::new() }
+    }
+
+    /// Creates a CIGAR from `(length, op)` runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidCigar`] if any run has length zero.
+    pub fn from_ops(ops: Vec<(u32, CigarOp)>) -> Result<Cigar, Error> {
+        if ops.iter().any(|&(n, _)| n == 0) {
+            return Err(Error::InvalidCigar { reason: "zero-length run".into() });
+        }
+        Ok(Cigar { ops })
+    }
+
+    /// Appends a run, merging with the previous run when the op matches.
+    pub fn push(&mut self, len: u32, op: CigarOp) {
+        if len == 0 {
+            return;
+        }
+        if let Some(last) = self.ops.last_mut() {
+            if last.1 == op {
+                last.0 += len;
+                return;
+            }
+        }
+        self.ops.push((len, op));
+    }
+
+    /// The `(length, op)` runs.
+    pub fn ops(&self) -> &[(u32, CigarOp)] {
+        &self.ops
+    }
+
+    /// Whether there are no runs.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of query (read) bases the alignment consumes, including soft
+    /// clips.
+    pub fn query_len(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|(_, op)| op.consumes_query())
+            .map(|&(n, _)| n as usize)
+            .sum()
+    }
+
+    /// Number of reference bases the alignment spans.
+    pub fn ref_len(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|(_, op)| op.consumes_ref())
+            .map(|&(n, _)| n as usize)
+            .sum()
+    }
+
+    /// Iterates over `(query_offset, ref_offset, op)` one base at a time.
+    ///
+    /// For deletions the query offset is the offset of the next query base;
+    /// for insertions the reference offset is the offset of the next
+    /// reference base. Soft clips advance the query offset but are not
+    /// yielded, matching how pileup counting skips clipped bases.
+    pub fn walk(&self) -> Walk<'_> {
+        Walk { runs: &self.ops, run: 0, within: 0, q: 0, r: 0 }
+    }
+}
+
+/// Per-base iterator over an alignment; see [`Cigar::walk`].
+#[derive(Debug, Clone)]
+pub struct Walk<'a> {
+    runs: &'a [(u32, CigarOp)],
+    run: usize,
+    within: u32,
+    q: usize,
+    r: usize,
+}
+
+/// One step of a CIGAR walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkStep {
+    /// Query offset of this step (see [`Cigar::walk`] for edge cases).
+    pub query_off: usize,
+    /// Reference offset of this step.
+    pub ref_off: usize,
+    /// The operation this base belongs to.
+    pub op: CigarOp,
+}
+
+impl<'a> Iterator for Walk<'a> {
+    type Item = WalkStep;
+
+    fn next(&mut self) -> Option<WalkStep> {
+        loop {
+            let &(len, op) = self.runs.get(self.run)?;
+            if self.within == len {
+                self.run += 1;
+                self.within = 0;
+                continue;
+            }
+            self.within += 1;
+            let step = WalkStep { query_off: self.q, ref_off: self.r, op };
+            if op.consumes_query() {
+                self.q += 1;
+            }
+            if op.consumes_ref() {
+                self.r += 1;
+            }
+            if op == CigarOp::SoftClip {
+                continue; // advance but do not yield
+            }
+            return Some(step);
+        }
+    }
+}
+
+impl std::str::FromStr for Cigar {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Cigar, Error> {
+        let mut ops = Vec::new();
+        let mut num = 0u32;
+        let mut have_num = false;
+        for c in s.chars() {
+            if let Some(d) = c.to_digit(10) {
+                num = num
+                    .checked_mul(10)
+                    .and_then(|n| n.checked_add(d))
+                    .ok_or_else(|| Error::InvalidCigar { reason: "run length overflow".into() })?;
+                have_num = true;
+            } else if let Some(op) = CigarOp::from_char(c) {
+                if !have_num || num == 0 {
+                    return Err(Error::InvalidCigar {
+                        reason: format!("operation '{c}' without positive length"),
+                    });
+                }
+                ops.push((num, op));
+                num = 0;
+                have_num = false;
+            } else {
+                return Err(Error::InvalidCigar { reason: format!("unexpected character '{c}'") });
+            }
+        }
+        if have_num {
+            return Err(Error::InvalidCigar { reason: "trailing length without operation".into() });
+        }
+        Cigar::from_ops(ops)
+    }
+}
+
+impl std::fmt::Display for Cigar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.ops.is_empty() {
+            return write!(f, "*");
+        }
+        for &(n, op) in &self.ops {
+            write!(f, "{n}{}", op.to_char())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["5M", "3M1I2M2D4M", "2S8M1S"] {
+            let c: Cigar = s.parse().unwrap();
+            assert_eq!(c.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("M".parse::<Cigar>().is_err());
+        assert!("0M".parse::<Cigar>().is_err());
+        assert!("3".parse::<Cigar>().is_err());
+        assert!("3X".parse::<Cigar>().is_err());
+        assert!("99999999999M".parse::<Cigar>().is_err());
+    }
+
+    #[test]
+    fn lengths() {
+        let c: Cigar = "2S3M1I2M2D4M".parse().unwrap();
+        assert_eq!(c.query_len(), 2 + 3 + 1 + 2 + 4);
+        assert_eq!(c.ref_len(), 3 + 2 + 2 + 4);
+    }
+
+    #[test]
+    fn push_merges_runs() {
+        let mut c = Cigar::new();
+        c.push(2, CigarOp::Match);
+        c.push(3, CigarOp::Match);
+        c.push(0, CigarOp::Del);
+        c.push(1, CigarOp::Ins);
+        assert_eq!(c.to_string(), "5M1I");
+    }
+
+    #[test]
+    fn walk_tracks_offsets() {
+        let c: Cigar = "1S2M1I1D1M".parse().unwrap();
+        let steps: Vec<WalkStep> = c.walk().collect();
+        // Soft clip consumes query offset 0 silently.
+        assert_eq!(
+            steps,
+            vec![
+                WalkStep { query_off: 1, ref_off: 0, op: CigarOp::Match },
+                WalkStep { query_off: 2, ref_off: 1, op: CigarOp::Match },
+                WalkStep { query_off: 3, ref_off: 2, op: CigarOp::Ins },
+                WalkStep { query_off: 4, ref_off: 2, op: CigarOp::Del },
+                WalkStep { query_off: 4, ref_off: 3, op: CigarOp::Match },
+            ]
+        );
+    }
+
+    #[test]
+    fn walk_counts_match_lengths() {
+        let c: Cigar = "3M1I2M2D4M".parse().unwrap();
+        let n_match = c.walk().filter(|s| s.op == CigarOp::Match).count();
+        assert_eq!(n_match, 9);
+    }
+
+    #[test]
+    fn empty_cigar_displays_star() {
+        assert_eq!(Cigar::new().to_string(), "*");
+    }
+}

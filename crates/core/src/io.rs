@@ -1,0 +1,177 @@
+//! FASTA/FASTQ text I/O.
+//!
+//! The paper notes that "file I/O-related driver code was added for
+//! reading inputs and writing results" when the kernels were extracted;
+//! this module is that driver layer: plain-text FASTA and FASTQ
+//! serialization for sequences and reads, usable with any
+//! `std::io::Read`/`Write` (pass `&mut` references for buffered files).
+
+use crate::error::Error;
+use crate::quality::decode_quality_string;
+use crate::record::ReadRecord;
+use crate::seq::DnaSeq;
+use std::io::{BufRead, Write};
+
+/// Writes records as FASTA (60-column wrapped).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_fasta<W: Write>(
+    mut w: W,
+    records: &[(String, DnaSeq)],
+) -> std::io::Result<()> {
+    for (name, seq) in records {
+        writeln!(w, ">{name}")?;
+        let ascii = seq.to_ascii();
+        for chunk in ascii.chunks(60) {
+            w.write_all(chunk)?;
+            writeln!(w)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a FASTA stream into `(name, sequence)` records.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidRecord`] for structural problems and
+/// [`Error::InvalidBase`] for non-ACGT sequence bytes; I/O errors are
+/// converted to [`Error::InvalidRecord`].
+pub fn read_fasta<R: BufRead>(r: R) -> Result<Vec<(String, DnaSeq)>, Error> {
+    let mut out: Vec<(String, DnaSeq)> = Vec::new();
+    let mut current: Option<(String, Vec<u8>)> = None;
+    for line in r.lines() {
+        let line = line.map_err(|e| Error::InvalidRecord { reason: e.to_string() })?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('>') {
+            if let Some((n, bytes)) = current.take() {
+                out.push((n, DnaSeq::from_ascii(&bytes)?));
+            }
+            current = Some((name.trim().to_string(), Vec::new()));
+        } else {
+            match &mut current {
+                Some((_, bytes)) => bytes.extend_from_slice(line.as_bytes()),
+                None => {
+                    return Err(Error::InvalidRecord {
+                        reason: "sequence data before any '>' header".into(),
+                    })
+                }
+            }
+        }
+    }
+    if let Some((n, bytes)) = current {
+        out.push((n, DnaSeq::from_ascii(&bytes)?));
+    }
+    Ok(out)
+}
+
+/// Writes reads as FASTQ.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_fastq<W: Write>(mut w: W, reads: &[ReadRecord]) -> std::io::Result<()> {
+    for r in reads {
+        w.write_all(r.to_fastq().as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a FASTQ stream.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidRecord`] for malformed blocks (missing lines,
+/// bad headers, length mismatches) and propagates sequence errors.
+pub fn read_fastq<R: BufRead>(r: R) -> Result<Vec<ReadRecord>, Error> {
+    let mut lines = r.lines();
+    let mut out = Vec::new();
+    while let Some(header) = lines.next() {
+        let header = header.map_err(|e| Error::InvalidRecord { reason: e.to_string() })?;
+        if header.trim().is_empty() {
+            continue;
+        }
+        let name = header
+            .strip_prefix('@')
+            .ok_or_else(|| Error::InvalidRecord { reason: format!("bad header '{header}'") })?
+            .to_string();
+        let mut take = || -> Result<String, Error> {
+            lines
+                .next()
+                .ok_or_else(|| Error::InvalidRecord { reason: "truncated FASTQ block".into() })?
+                .map_err(|e| Error::InvalidRecord { reason: e.to_string() })
+        };
+        let seq_line = take()?;
+        let plus = take()?;
+        if !plus.starts_with('+') {
+            return Err(Error::InvalidRecord { reason: "missing '+' separator".into() });
+        }
+        let qual_line = take()?;
+        let seq: DnaSeq = seq_line.trim_end().parse()?;
+        let quals = decode_quality_string(qual_line.trim_end().as_bytes());
+        out.push(ReadRecord::new(name, seq, quals)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::Phred;
+
+    fn seq(s: &str) -> DnaSeq {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn fasta_round_trip_with_wrapping() {
+        let long: DnaSeq = DnaSeq::from_codes_unchecked((0..150).map(|i| (i % 4) as u8).collect());
+        let records = vec![("chr1".to_string(), seq("ACGT")), ("chr2 extra".to_string(), long)];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &records).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.lines().all(|l| l.len() <= 60));
+        let back = read_fasta(buf.as_slice()).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn fasta_rejects_headerless_data() {
+        assert!(read_fasta("ACGT\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn fasta_rejects_bad_bases() {
+        assert!(read_fasta(">x\nACGN\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn fastq_round_trip() {
+        let reads = vec![
+            ReadRecord::with_uniform_quality("r1", seq("ACGTAC"), Phred::new(33)),
+            ReadRecord::with_uniform_quality("r2", seq("TTGG"), Phred::new(12)),
+        ];
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &reads).unwrap();
+        let back = read_fastq(buf.as_slice()).unwrap();
+        assert_eq!(back, reads);
+    }
+
+    #[test]
+    fn fastq_detects_truncation() {
+        assert!(read_fastq("@r1\nACGT\n+\n".as_bytes()).is_err());
+        assert!(read_fastq("@r1\nACGT\nIIII\n".as_bytes()).is_err());
+        assert!(read_fastq("r1\nACGT\n+\nIIII\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_streams() {
+        assert!(read_fasta("".as_bytes()).unwrap().is_empty());
+        assert!(read_fastq("".as_bytes()).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! 2-bit packed DNA storage.
+//!
+//! The FM-index stores multi-gigabase references; a byte per base would
+//! quadruple its footprint. [`PackedSeq`] packs four bases per byte exactly
+//! like BWA-MEM2's `.pac` file.
+
+use crate::seq::DnaSeq;
+
+/// A DNA sequence packed four bases per byte (2 bits per base).
+///
+/// Base `i` occupies bits `2*(i % 4) .. 2*(i % 4) + 2` of byte `i / 4`,
+/// little-endian within the byte.
+///
+/// # Examples
+///
+/// ```
+/// use gb_core::{packed::PackedSeq, seq::DnaSeq};
+/// let s: DnaSeq = "ACGTAC".parse()?;
+/// let p = PackedSeq::from_seq(&s);
+/// assert_eq!(p.len(), 6);
+/// assert_eq!(p.get(2), 2); // G
+/// assert_eq!(p.unpack(), s);
+/// # Ok::<(), gb_core::error::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct PackedSeq {
+    bytes: Vec<u8>,
+    len: usize,
+}
+
+impl PackedSeq {
+    /// Creates an empty packed sequence.
+    pub fn new() -> PackedSeq {
+        PackedSeq { bytes: Vec::new(), len: 0 }
+    }
+
+    /// Packs a [`DnaSeq`].
+    pub fn from_seq(seq: &DnaSeq) -> PackedSeq {
+        Self::from_codes(seq.as_codes())
+    }
+
+    /// Packs a slice of 2-bit codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if any code is `> 3`.
+    pub fn from_codes(codes: &[u8]) -> PackedSeq {
+        let mut p = PackedSeq { bytes: vec![0u8; codes.len().div_ceil(4)], len: codes.len() };
+        for (i, &c) in codes.iter().enumerate() {
+            debug_assert!(c < 4);
+            p.bytes[i / 4] |= c << (2 * (i % 4));
+        }
+        p
+    }
+
+    /// The number of bases stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bases are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The heap footprint in bytes (what the paper's ~10 GB FM-index
+    /// working-set figure is about).
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The 2-bit code of base `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u8 {
+        assert!(i < self.len, "index {i} out of bounds for length {}", self.len);
+        (self.bytes[i / 4] >> (2 * (i % 4))) & 3
+    }
+
+    /// Appends one base code.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `code > 3`.
+    pub fn push(&mut self, code: u8) {
+        debug_assert!(code < 4);
+        if self.len.is_multiple_of(4) {
+            self.bytes.push(0);
+        }
+        let i = self.len;
+        self.bytes[i / 4] |= code << (2 * (i % 4));
+        self.len += 1;
+    }
+
+    /// Unpacks back into a byte-per-base [`DnaSeq`].
+    pub fn unpack(&self) -> DnaSeq {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// The raw packed bytes (for address-level memory-access modelling).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl FromIterator<u8> for PackedSeq {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> PackedSeq {
+        let mut p = PackedSeq::new();
+        for c in iter {
+            p.push(c);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for n in 0..20 {
+            let codes: Vec<u8> = (0..n).map(|i| (i % 4) as u8).collect();
+            let s = DnaSeq::from_codes(codes).unwrap();
+            assert_eq!(PackedSeq::from_seq(&s).unpack(), s, "n={n}");
+        }
+    }
+
+    #[test]
+    fn push_matches_bulk() {
+        let s: DnaSeq = "ACGTTGCAAC".parse().unwrap();
+        let bulk = PackedSeq::from_seq(&s);
+        let mut inc = PackedSeq::new();
+        for &c in s.as_codes() {
+            inc.push(c);
+        }
+        assert_eq!(inc, bulk);
+    }
+
+    #[test]
+    fn byte_len_is_quarter() {
+        let s = DnaSeq::from_codes(vec![0; 9]).unwrap();
+        assert_eq!(PackedSeq::from_seq(&s).byte_len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        PackedSeq::new().get(0);
+    }
+}

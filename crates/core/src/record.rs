@@ -1,0 +1,222 @@
+//! Read and alignment records.
+//!
+//! These are the suite's equivalents of FASTQ entries and SAM/BAM alignment
+//! lines: the unit of work handed to fmi/bsw (reads) and to dbg/phmm/pileup
+//! (aligned reads grouped by reference region).
+
+use crate::cigar::Cigar;
+use crate::error::Error;
+use crate::quality::{decode_quality_string, encode_quality_string, Phred};
+use crate::seq::DnaSeq;
+
+/// A sequenced read: name, bases, and per-base qualities.
+///
+/// # Examples
+///
+/// ```
+/// use gb_core::record::ReadRecord;
+/// use gb_core::quality::Phred;
+/// let r = ReadRecord::with_uniform_quality("r1", "ACGT".parse()?, Phred::new(30));
+/// assert_eq!(r.len(), 4);
+/// # Ok::<(), gb_core::error::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ReadRecord {
+    /// Read name / identifier.
+    pub name: String,
+    /// The basecalled sequence.
+    pub seq: DnaSeq,
+    /// Per-base quality scores; always the same length as `seq`.
+    quals: Vec<Phred>,
+}
+
+impl ReadRecord {
+    /// Creates a read, validating that qualities match the sequence length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] when `quals.len() != seq.len()`.
+    pub fn new(name: impl Into<String>, seq: DnaSeq, quals: Vec<Phred>) -> Result<ReadRecord, Error> {
+        if quals.len() != seq.len() {
+            return Err(Error::LengthMismatch { expected: seq.len(), actual: quals.len() });
+        }
+        Ok(ReadRecord { name: name.into(), seq, quals })
+    }
+
+    /// Creates a read with the same quality on every base.
+    pub fn with_uniform_quality(name: impl Into<String>, seq: DnaSeq, q: Phred) -> ReadRecord {
+        let quals = vec![q; seq.len()];
+        ReadRecord { name: name.into(), seq, quals }
+    }
+
+    /// Number of bases.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Whether the read has no bases.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// The per-base quality scores.
+    pub fn quals(&self) -> &[Phred] {
+        &self.quals
+    }
+
+    /// Serializes as a 4-line FASTQ block.
+    pub fn to_fastq(&self) -> String {
+        format!(
+            "@{}\n{}\n+\n{}\n",
+            self.name,
+            self.seq,
+            String::from_utf8(encode_quality_string(&self.quals)).expect("phred ascii is utf8"),
+        )
+    }
+
+    /// Parses one 4-line FASTQ block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRecord`] for malformed blocks, or the
+    /// underlying sequence/quality errors.
+    pub fn from_fastq(block: &str) -> Result<ReadRecord, Error> {
+        let mut lines = block.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| Error::InvalidRecord { reason: "missing header line".into() })?;
+        let name = header
+            .strip_prefix('@')
+            .ok_or_else(|| Error::InvalidRecord { reason: "header must start with '@'".into() })?;
+        let seq_line =
+            lines.next().ok_or_else(|| Error::InvalidRecord { reason: "missing sequence".into() })?;
+        let plus =
+            lines.next().ok_or_else(|| Error::InvalidRecord { reason: "missing '+' line".into() })?;
+        if !plus.starts_with('+') {
+            return Err(Error::InvalidRecord { reason: "third line must start with '+'".into() });
+        }
+        let qual_line =
+            lines.next().ok_or_else(|| Error::InvalidRecord { reason: "missing qualities".into() })?;
+        let seq: DnaSeq = seq_line.parse()?;
+        let quals = decode_quality_string(qual_line.as_bytes());
+        ReadRecord::new(name, seq, quals)
+    }
+}
+
+/// Strand of an alignment relative to the reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Strand {
+    /// Read aligns to the reference as given.
+    #[default]
+    Forward,
+    /// Read aligns as its reverse complement.
+    Reverse,
+}
+
+impl Strand {
+    /// `'+'` or `'-'`.
+    pub fn to_char(self) -> char {
+        match self {
+            Strand::Forward => '+',
+            Strand::Reverse => '-',
+        }
+    }
+}
+
+/// A read aligned to a reference: the suite's SAM-record analogue.
+///
+/// The stored `read` sequence is already reverse-complemented for
+/// reverse-strand alignments (as in BAM), so CIGAR walking never needs to
+/// know the strand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlignmentRecord {
+    /// The aligned read (strand-corrected).
+    pub read: ReadRecord,
+    /// Index of the reference contig this read aligned to.
+    pub ref_id: usize,
+    /// 0-based leftmost reference position of the alignment.
+    pub pos: usize,
+    /// The alignment's CIGAR.
+    pub cigar: Cigar,
+    /// Mapping quality (Phred-scaled confidence in `pos`).
+    pub mapq: u8,
+    /// Original strand of the read.
+    pub strand: Strand,
+}
+
+impl AlignmentRecord {
+    /// Creates an alignment record, validating that the CIGAR consumes
+    /// exactly the read's bases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] when the CIGAR query length does
+    /// not equal the read length.
+    pub fn new(
+        read: ReadRecord,
+        ref_id: usize,
+        pos: usize,
+        cigar: Cigar,
+        mapq: u8,
+        strand: Strand,
+    ) -> Result<AlignmentRecord, Error> {
+        if cigar.query_len() != read.len() {
+            return Err(Error::LengthMismatch { expected: read.len(), actual: cigar.query_len() });
+        }
+        Ok(AlignmentRecord { read, ref_id, pos, cigar, mapq, strand })
+    }
+
+    /// Exclusive reference end position of the alignment.
+    pub fn end(&self) -> usize {
+        self.pos + self.cigar.ref_len()
+    }
+
+    /// Whether this alignment overlaps reference interval `[start, end)`.
+    pub fn overlaps(&self, start: usize, end: usize) -> bool {
+        self.pos < end && self.end() > start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(seq: &str) -> ReadRecord {
+        ReadRecord::with_uniform_quality("r", seq.parse().unwrap(), Phred::new(30))
+    }
+
+    #[test]
+    fn fastq_round_trip() {
+        let r = read("ACGTAC");
+        let parsed = ReadRecord::from_fastq(&r.to_fastq()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn fastq_rejects_malformed() {
+        assert!(ReadRecord::from_fastq("r1\nACGT\n+\nIIII\n").is_err());
+        assert!(ReadRecord::from_fastq("@r1\nACGT\nIIII\n").is_err());
+        assert!(ReadRecord::from_fastq("@r1\nACGT\n+\nIII\n").is_err());
+    }
+
+    #[test]
+    fn alignment_validates_cigar_length() {
+        let r = read("ACGTA");
+        let cig: Cigar = "3M1D2M".parse().unwrap();
+        assert!(AlignmentRecord::new(r.clone(), 0, 10, cig, 60, Strand::Forward).is_ok());
+        let bad: Cigar = "3M".parse().unwrap();
+        assert!(AlignmentRecord::new(r, 0, 10, bad, 60, Strand::Forward).is_err());
+    }
+
+    #[test]
+    fn end_and_overlap() {
+        let r = read("ACGTA");
+        let cig: Cigar = "3M1D2M".parse().unwrap();
+        let a = AlignmentRecord::new(r, 0, 10, cig, 60, Strand::Forward).unwrap();
+        assert_eq!(a.end(), 16);
+        assert!(a.overlaps(15, 20));
+        assert!(a.overlaps(0, 11));
+        assert!(!a.overlaps(16, 20));
+        assert!(!a.overlaps(0, 10));
+    }
+}

@@ -1,0 +1,134 @@
+//! Genome regions: the unit of task-level parallelism for the
+//! variant-calling kernels (dbg, phmm, pileup, nn-variant).
+
+use crate::record::AlignmentRecord;
+use crate::seq::DnaSeq;
+
+/// A half-open interval `[start, end)` on a reference contig.
+///
+/// # Examples
+///
+/// ```
+/// use gb_core::region::Region;
+/// let r = Region::new(0, 100, 250);
+/// assert_eq!(r.len(), 150);
+/// assert!(r.contains(100) && !r.contains(250));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Region {
+    /// Index of the reference contig.
+    pub ref_id: usize,
+    /// 0-based inclusive start.
+    pub start: usize,
+    /// 0-based exclusive end.
+    pub end: usize,
+}
+
+impl Region {
+    /// Creates a region; `end` is clamped to be at least `start`.
+    pub fn new(ref_id: usize, start: usize, end: usize) -> Region {
+        Region { ref_id, start, end: end.max(start) }
+    }
+
+    /// Length in bases.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the region spans zero bases.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether reference position `pos` lies inside the region.
+    pub fn contains(&self, pos: usize) -> bool {
+        pos >= self.start && pos < self.end
+    }
+
+    /// Whether this region overlaps `other` (same contig required).
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.ref_id == other.ref_id && self.start < other.end && other.start < self.end
+    }
+
+    /// Splits `[0, total_len)` into consecutive windows of `window` bases
+    /// (the last window may be shorter), as the pileup kernel does with its
+    /// 100-kb regions.
+    pub fn tile(ref_id: usize, total_len: usize, window: usize) -> Vec<Region> {
+        assert!(window > 0, "window must be positive");
+        let mut out = Vec::with_capacity(total_len.div_ceil(window));
+        let mut s = 0;
+        while s < total_len {
+            out.push(Region::new(ref_id, s, (s + window).min(total_len)));
+            s += window;
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ref{}:{}-{}", self.ref_id, self.start, self.end)
+    }
+}
+
+/// A region together with its reference sequence and the reads aligned to
+/// it — the input task for re-assembly (dbg) and likelihood (phmm) kernels.
+#[derive(Debug, Clone)]
+pub struct RegionTask {
+    /// The region of the reference this task covers.
+    pub region: Region,
+    /// Reference bases for `region` (length `region.len()`).
+    pub ref_seq: DnaSeq,
+    /// Alignments overlapping the region.
+    pub reads: Vec<AlignmentRecord>,
+}
+
+impl RegionTask {
+    /// Total read bases in the task — the paper's per-task "work" proxy for
+    /// the Fig. 4 imbalance study.
+    pub fn read_bases(&self) -> usize {
+        self.reads.iter().map(|r| r.read.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_covers_exactly() {
+        let tiles = Region::tile(0, 250, 100);
+        assert_eq!(tiles.len(), 3);
+        assert_eq!(tiles[0], Region::new(0, 0, 100));
+        assert_eq!(tiles[2], Region::new(0, 200, 250));
+        let total: usize = tiles.iter().map(Region::len).sum();
+        assert_eq!(total, 250);
+    }
+
+    #[test]
+    fn tile_empty_genome() {
+        assert!(Region::tile(0, 0, 100).is_empty());
+    }
+
+    #[test]
+    fn overlap_requires_same_contig() {
+        let a = Region::new(0, 0, 10);
+        let b = Region::new(1, 5, 15);
+        let c = Region::new(0, 9, 15);
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&c));
+        assert!(!a.overlaps(&Region::new(0, 10, 20)));
+    }
+
+    #[test]
+    fn end_clamped() {
+        let r = Region::new(0, 10, 5);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Region::new(2, 5, 9).to_string(), "ref2:5-9");
+    }
+}

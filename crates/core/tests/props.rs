@@ -1,0 +1,113 @@
+//! Property-based tests for gb-core invariants.
+
+use gb_core::cigar::Cigar;
+use gb_core::quality::Phred;
+use gb_core::seq::{canonical_kmer, pack_kmer, revcomp_kmer, unpack_kmer, DnaSeq};
+use proptest::prelude::*;
+
+fn codes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..4, 0..max_len)
+}
+
+proptest! {
+    #[test]
+    fn seq_ascii_round_trip(c in codes(200)) {
+        let s = DnaSeq::from_codes(c.clone()).unwrap();
+        let back = DnaSeq::from_ascii(&s.to_ascii()).unwrap();
+        prop_assert_eq!(back.as_codes(), &c[..]);
+    }
+
+    #[test]
+    fn revcomp_is_involution(c in codes(200)) {
+        let s = DnaSeq::from_codes(c).unwrap();
+        prop_assert_eq!(s.reverse_complement().reverse_complement(), s);
+    }
+
+    #[test]
+    fn revcomp_preserves_base_pairing(c in codes(100)) {
+        let s = DnaSeq::from_codes(c).unwrap();
+        let rc = s.reverse_complement();
+        for i in 0..s.len() {
+            prop_assert_eq!(s.code_at(i) + rc.code_at(s.len() - 1 - i), 3);
+        }
+    }
+
+    #[test]
+    fn kmer_pack_unpack_round_trip(c in codes(33).prop_filter("nonempty", |c| !c.is_empty())) {
+        let k = c.len().min(32);
+        let c = &c[..k];
+        prop_assert_eq!(unpack_kmer(pack_kmer(c), k), c.to_vec());
+    }
+
+    #[test]
+    fn rolling_kmers_match_packing(c in codes(120), k in 1usize..16) {
+        let s = DnaSeq::from_codes(c).unwrap();
+        for (pos, km) in s.kmers(k) {
+            prop_assert_eq!(km, pack_kmer(&s.as_codes()[pos..pos + k]));
+        }
+    }
+
+    #[test]
+    fn canonical_kmer_is_strand_invariant(c in codes(32).prop_filter("nonempty", |c| !c.is_empty())) {
+        let k = c.len();
+        let km = pack_kmer(&c);
+        prop_assert_eq!(canonical_kmer(km, k), canonical_kmer(revcomp_kmer(km, k), k));
+    }
+
+    #[test]
+    fn phred_round_trip(q in 0u8..=93) {
+        let p = Phred::new(q);
+        prop_assert_eq!(Phred::from_ascii(p.to_ascii()), p);
+        prop_assert!(p.error_prob() > 0.0 && p.error_prob() <= 1.0);
+    }
+
+    #[test]
+    fn cigar_display_parse_round_trip(ops in proptest::collection::vec((1u32..50, 0usize..4), 1..20)) {
+        use gb_core::cigar::CigarOp;
+        let kinds = [CigarOp::Match, CigarOp::Ins, CigarOp::Del, CigarOp::SoftClip];
+        let mut c = Cigar::new();
+        for (n, k) in ops {
+            c.push(n, kinds[k]);
+        }
+        let parsed: Cigar = c.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn cigar_walk_consumes_exact_lengths(ops in proptest::collection::vec((1u32..20, 0usize..4), 1..15)) {
+        use gb_core::cigar::CigarOp;
+        let kinds = [CigarOp::Match, CigarOp::Ins, CigarOp::Del, CigarOp::SoftClip];
+        let mut c = Cigar::new();
+        for (n, k) in ops {
+            c.push(n, kinds[k]);
+        }
+        let mut q_seen = 0usize;
+        let mut r_seen = 0usize;
+        for step in c.walk() {
+            prop_assert!(step.query_off <= c.query_len());
+            prop_assert!(step.ref_off <= c.ref_len());
+            if step.op.consumes_query() {
+                q_seen += 1;
+            }
+            if step.op.consumes_ref() {
+                r_seen += 1;
+            }
+        }
+        // Soft clips are skipped by the walk but consume query length.
+        let clip: usize = c
+            .ops()
+            .iter()
+            .filter(|(_, op)| *op == CigarOp::SoftClip)
+            .map(|&(n, _)| n as usize)
+            .sum();
+        prop_assert_eq!(q_seen + clip, c.query_len());
+        prop_assert_eq!(r_seen, c.ref_len());
+    }
+
+    #[test]
+    fn packed_seq_round_trip(c in codes(300)) {
+        let s = DnaSeq::from_codes(c).unwrap();
+        let p = gb_core::packed::PackedSeq::from_seq(&s);
+        prop_assert_eq!(p.unpack(), s);
+    }
+}

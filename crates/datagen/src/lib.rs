@@ -1,0 +1,45 @@
+//! # gb-datagen
+//!
+//! Synthetic dataset generators for GenomicsBench-rs.
+//!
+//! The original suite ships real datasets (human short reads, Platinum
+//! Genomes alignments, PacBio *C. elegans* reads, ONT FAST5 signals,
+//! 1000 Genomes genotypes). None of those are available here, so each is
+//! replaced by a seeded, deterministic simulator that preserves the
+//! *workload shape* the kernels care about — sizes, error structure,
+//! coverage, task imbalance and index multiplicity. The substitutions are
+//! itemized in the repository's `DESIGN.md`.
+//!
+//! Modules:
+//!
+//! - [`genome`] — reference genomes with repeat structure,
+//! - [`reads`] — Illumina-like and ONT-like read simulation with ground
+//!   truth,
+//! - [`variants`] — diploid sample construction (SNV/indel truth sets),
+//! - [`regions`] — bucketing alignments into region tasks (dbg/phmm
+//!   inputs),
+//! - [`anchors`] — minimizer matching and synthetic chaining tasks,
+//! - [`signal`] — nanopore pore model and raw-signal/event simulation,
+//! - [`genotypes`] — population genotype matrices for the GRM kernel.
+//!
+//! # Examples
+//!
+//! ```
+//! use gb_datagen::genome::{Genome, GenomeConfig};
+//! use gb_datagen::reads::{simulate_reads, ReadSimConfig};
+//!
+//! let genome = Genome::generate(&GenomeConfig { length: 50_000, ..Default::default() }, 42);
+//! let reads = simulate_reads(&genome, &ReadSimConfig::short(1000), 43);
+//! assert_eq!(reads.len(), 1000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anchors;
+pub mod genome;
+pub mod genotypes;
+pub mod reads;
+pub mod regions;
+pub mod signal;
+pub mod variants;

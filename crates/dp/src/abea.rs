@@ -1,0 +1,433 @@
+//! Adaptive Banded Event Alignment — the **abea** kernel.
+//!
+//! The most time-consuming stage of Nanopolish/f5c methylation calling:
+//! aligning a nanopore read's segmented *events* to the k-mers of a
+//! reference sequence. Because the pore over-samples k-mers (up to 2x
+//! events per k-mer) the optimal path wanders far off the main diagonal,
+//! so a *static* band fails; the Suzuki–Kasahara adaptive band instead
+//! shifts a fixed-width band right or down each anti-diagonal based on
+//! which band edge currently scores better. Scoring is 32-bit
+//! floating-point log-likelihood under the pore model's per-k-mer
+//! Gaussian — the reason this kernel is the FP-heavy GPU candidate of the
+//! suite (paper Tables IV–V).
+
+use gb_datagen::signal::{Event, PoreModel, PORE_K};
+use gb_core::seq::DnaSeq;
+use gb_uarch::probe::{addr_of, NullProbe, Probe};
+
+/// Parameters of the event-alignment HMM and band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbeaParams {
+    /// Band width in cells (f5c default 100).
+    pub bandwidth: usize,
+    /// Probability of skipping a reference k-mer without an event.
+    pub p_skip: f64,
+    /// Probability that the next event stays on the same k-mer
+    /// (over-segmentation); `None` derives it from the event/k-mer ratio
+    /// as Nanopolish does.
+    pub p_stay: Option<f64>,
+}
+
+impl Default for AbeaParams {
+    fn default() -> AbeaParams {
+        AbeaParams { bandwidth: 100, p_skip: 1e-10, p_stay: None }
+    }
+}
+
+/// One aligned (event, k-mer) pair of the traceback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventAlignment {
+    /// Event index in the read's event stream.
+    pub event_idx: usize,
+    /// K-mer index on the reference.
+    pub kmer_idx: usize,
+}
+
+/// Result of one adaptive banded event alignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbeaResult {
+    /// Log-likelihood score of the best path to the terminal cell.
+    pub score: f32,
+    /// Event-to-k-mer alignment, in increasing event order.
+    pub alignment: Vec<EventAlignment>,
+    /// Band cells computed.
+    pub cells: u64,
+    /// How many band placements moved right (vs down) — diagnostics for
+    /// the adaptivity.
+    pub moves_right: u64,
+}
+
+const NEG_INF: f32 = f32::NEG_INFINITY;
+
+/// Move codes stored in the traceback.
+const FROM_D: u8 = 1;
+const FROM_U: u8 = 2;
+const FROM_L: u8 = 3;
+
+/// Aligns `events` to the k-mers of `reference` under `model`.
+///
+/// Returns `None` when the inputs are too small to align (fewer than one
+/// event or one k-mer).
+///
+/// # Examples
+///
+/// ```
+/// use gb_core::seq::DnaSeq;
+/// use gb_datagen::signal::{simulate_signal, PoreModel, SignalSimConfig};
+/// use gb_dp::abea::{align_events, AbeaParams};
+/// let seq: DnaSeq = "ACGTTGCAACGGATCCAGTTACGTACCGGTTA".parse()?;
+/// let model = PoreModel::r9_like();
+/// let sig = simulate_signal(&seq, &model, &SignalSimConfig::default(), 7);
+/// let r = align_events(&sig.events, &seq, &model, &AbeaParams::default()).unwrap();
+/// assert!(!r.alignment.is_empty());
+/// # Ok::<(), gb_core::error::Error>(())
+/// ```
+pub fn align_events(
+    events: &[Event],
+    reference: &DnaSeq,
+    model: &PoreModel,
+    params: &AbeaParams,
+) -> Option<AbeaResult> {
+    align_events_probed(events, reference, model, params, &mut NullProbe)
+}
+
+/// [`align_events`] with instrumentation.
+pub fn align_events_probed<P: Probe>(
+    events: &[Event],
+    reference: &DnaSeq,
+    model: &PoreModel,
+    params: &AbeaParams,
+    probe: &mut P,
+) -> Option<AbeaResult> {
+    let kmers: Vec<u64> = reference.kmers(PORE_K).map(|(_, k)| k).collect();
+    let n_events = events.len();
+    let n_kmers = kmers.len();
+    if n_events == 0 || n_kmers == 0 || params.bandwidth < 2 {
+        return None;
+    }
+    let w = params.bandwidth;
+    let half = w / 2;
+    let (lp_step, lp_stay, lp_skip) = transition_logs(n_events, n_kmers, params);
+
+    // Band storage: score + move per cell, lower-left anchor per band.
+    let n_bands = n_events + n_kmers + 2;
+    let mut bands = vec![NEG_INF; n_bands * w];
+    let mut trace = vec![0u8; n_bands * w];
+    // (event_idx, kmer_idx) of offset 0; cell o = (ll_e - o, ll_k + o).
+    let mut ll: Vec<(i64, i64)> = Vec::with_capacity(n_bands);
+
+    // Band 0 holds the virtual start cell (-1, -1) at the band middle.
+    ll.push((-1 + half as i64, -1 - half as i64));
+    bands[half] = 0.0;
+
+    let offset_of = |band: usize, e: i64, k: i64, ll: &[(i64, i64)]| -> Option<usize> {
+        let (le, lk) = ll[band];
+        let o = k - lk;
+        if o >= 0 && (o as usize) < w && le - o == e {
+            Some(o as usize)
+        } else {
+            None
+        }
+    };
+    let get = |band: usize, e: i64, k: i64, bands: &[f32], ll: &[(i64, i64)]| -> f32 {
+        match offset_of(band, e, k, ll) {
+            Some(o) => bands[band * w + o],
+            None => NEG_INF,
+        }
+    };
+
+    let mut cells = 0u64;
+    let mut moves_right = 0u64;
+    for b in 1..n_bands {
+        // Adaptive placement: compare the previous band's edge scores.
+        let prev = b - 1;
+        let lo_edge = bands[prev * w];
+        let hi_edge = bands[prev * w + w - 1];
+        probe.load(addr_of(&bands[prev * w]), 4);
+        probe.load(addr_of(&bands[prev * w + w - 1]), 4);
+        let right = if lo_edge == NEG_INF && hi_edge == NEG_INF {
+            b % 2 == 1
+        } else {
+            // Offset 0 is the *bottom-left* (highest event, lowest k-mer);
+            // if its score lags the top-right edge, the optimum is drifting
+            // toward higher k-mers: move right.
+            lo_edge < hi_edge
+        };
+        probe.branch(right);
+        let (ple, plk) = ll[prev];
+        ll.push(if right { (ple, plk + 1) } else { (ple + 1, plk) });
+        if right {
+            moves_right += 1;
+        }
+
+        let (le, lk) = ll[b];
+        for o in 0..w {
+            let e = le - o as i64;
+            let k = lk + o as i64;
+            if e < 0 || k < 0 || e >= n_events as i64 || k >= n_kmers as i64 {
+                continue;
+            }
+            cells += 1;
+            let diag = get(b - 2, e - 1, k - 1, &bands, &ll);
+            let up = get(b - 1, e - 1, k, &bands, &ll);
+            let left = get(b - 1, e, k - 1, &bands, &ll);
+            probe.load(addr_of(&bands[(b - 2) * w]), 4);
+            probe.load(addr_of(&bands[(b - 1) * w]), 4);
+            // Virtual start feeds the first real cell diagonally.
+            let diag = if e == 0 && k == 0 { diag.max(get(b - 2, -1, -1, &bands, &ll)) } else { diag };
+            let lp_emit = emission_logprob(&events[e as usize], kmers[k as usize], model, probe);
+            let s_d = diag + lp_step + lp_emit;
+            let s_u = up + lp_stay + lp_emit;
+            let s_l = left + lp_skip;
+            probe.fp_ops(5);
+            let (best, mv) = if s_d >= s_u && s_d >= s_l {
+                (s_d, FROM_D)
+            } else if s_u >= s_l {
+                (s_u, FROM_U)
+            } else {
+                (s_l, FROM_L)
+            };
+            probe.branch(mv == FROM_D);
+            bands[b * w + o] = best;
+            trace[b * w + o] = mv;
+            probe.store(addr_of(&bands[b * w + o]), 5);
+        }
+    }
+
+    // Locate the terminal cell (last event, last k-mer).
+    let (te, tk) = (n_events as i64 - 1, n_kmers as i64 - 1);
+    let (term_band, term_off) = (0..n_bands)
+        .rev()
+        .find_map(|b| offset_of(b, te, tk, &ll).map(|o| (b, o)))?;
+    let score = bands[term_band * w + term_off];
+    if score == NEG_INF {
+        return None; // band drifted away from the terminal cell
+    }
+
+    // Traceback.
+    let mut alignment = Vec::new();
+    let (mut b, mut e, mut k) = (term_band, te, tk);
+    while e >= 0 && k >= 0 {
+        let o = offset_of(b, e, k, &ll)?;
+        let mv = trace[b * w + o];
+        match mv {
+            FROM_D => {
+                alignment.push(EventAlignment { event_idx: e as usize, kmer_idx: k as usize });
+                e -= 1;
+                k -= 1;
+                b = b.checked_sub(2)?;
+            }
+            FROM_U => {
+                alignment.push(EventAlignment { event_idx: e as usize, kmer_idx: k as usize });
+                e -= 1;
+                b -= 1;
+            }
+            FROM_L => {
+                k -= 1;
+                b -= 1;
+            }
+            _ => break, // reached the start cell
+        }
+        if e < 0 || k < 0 {
+            break;
+        }
+    }
+    alignment.reverse();
+    Some(AbeaResult { score, alignment, cells, moves_right })
+}
+
+/// Full-matrix reference implementation with identical scoring (testing
+/// and the static-vs-adaptive band ablation).
+pub fn align_events_full(
+    events: &[Event],
+    reference: &DnaSeq,
+    model: &PoreModel,
+    params: &AbeaParams,
+) -> Option<AbeaResult> {
+    let kmers: Vec<u64> = reference.kmers(PORE_K).map(|(_, k)| k).collect();
+    let (ne, nk) = (events.len(), kmers.len());
+    if ne == 0 || nk == 0 {
+        return None;
+    }
+    let (lp_step, lp_stay, lp_skip) = transition_logs(ne, nk, params);
+    let mut v = vec![NEG_INF; ne * nk];
+    let mut tr = vec![0u8; ne * nk];
+    let mut probe = NullProbe;
+    for e in 0..ne {
+        for k in 0..nk {
+            let lp_emit = emission_logprob(&events[e], kmers[k], model, &mut probe);
+            let diag = if e == 0 && k == 0 {
+                0.0
+            } else if e > 0 && k > 0 {
+                v[(e - 1) * nk + (k - 1)]
+            } else {
+                NEG_INF
+            };
+            let up = if e > 0 { v[(e - 1) * nk + k] } else { NEG_INF };
+            let left = if k > 0 { v[e * nk + (k - 1)] } else { NEG_INF };
+            let s_d = diag + lp_step + lp_emit;
+            let s_u = up + lp_stay + lp_emit;
+            let s_l = left + lp_skip;
+            let (best, mv) = if s_d >= s_u && s_d >= s_l {
+                (s_d, FROM_D)
+            } else if s_u >= s_l {
+                (s_u, FROM_U)
+            } else {
+                (s_l, FROM_L)
+            };
+            v[e * nk + k] = best;
+            tr[e * nk + k] = mv;
+        }
+    }
+    let score = v[ne * nk - 1];
+    let mut alignment = Vec::new();
+    let (mut e, mut k) = (ne as i64 - 1, nk as i64 - 1);
+    while e >= 0 && k >= 0 {
+        match tr[e as usize * nk + k as usize] {
+            FROM_D => {
+                alignment.push(EventAlignment { event_idx: e as usize, kmer_idx: k as usize });
+                e -= 1;
+                k -= 1;
+            }
+            FROM_U => {
+                alignment.push(EventAlignment { event_idx: e as usize, kmer_idx: k as usize });
+                e -= 1;
+            }
+            FROM_L => k -= 1,
+            _ => break,
+        }
+    }
+    alignment.reverse();
+    Some(AbeaResult { score, alignment, cells: (ne * nk) as u64, moves_right: 0 })
+}
+
+fn transition_logs(n_events: usize, n_kmers: usize, params: &AbeaParams) -> (f32, f32, f32) {
+    let events_per_kmer = n_events as f64 / n_kmers as f64;
+    let p_stay = params.p_stay.unwrap_or(1.0 - 1.0 / (events_per_kmer + 1.0)).clamp(1e-6, 0.999);
+    let p_skip = params.p_skip.clamp(1e-12, 0.5);
+    let p_step = (1.0 - p_stay - p_skip).max(1e-6);
+    (p_step.ln() as f32, p_stay.ln() as f32, p_skip.ln() as f32)
+}
+
+/// `ln N(event.mean | model[kmer])` — the FP-heavy inner computation.
+#[inline]
+fn emission_logprob<P: Probe>(event: &Event, kmer: u64, model: &PoreModel, probe: &mut P) -> f32 {
+    let m = model.get(kmer);
+    probe.load(addr_of(&m), 8);
+    let z = (event.mean - m.level_mean) / m.level_stdv;
+    const LN_SQRT_2PI: f32 = 0.918_938_5;
+    probe.fp_ops(7);
+    -m.level_stdv.ln() - LN_SQRT_2PI - 0.5 * z * z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_datagen::signal::{simulate_signal, SignalSimConfig};
+
+    fn refseq(n: usize) -> DnaSeq {
+        DnaSeq::from_codes_unchecked((0..n).map(|i| ((i * 7 + i / 5 + i % 3) % 4) as u8).collect())
+    }
+
+    fn clean_signal(seq: &DnaSeq, seed: u64) -> Vec<Event> {
+        let cfg = SignalSimConfig { split_prob: 0.0, skip_prob: 0.0, ..Default::default() };
+        simulate_signal(seq, &PoreModel::r9_like(), &cfg, seed).events
+    }
+
+    #[test]
+    fn clean_signal_aligns_diagonally() {
+        let seq = refseq(80);
+        let events = clean_signal(&seq, 1);
+        let model = PoreModel::r9_like();
+        let r = align_events(&events, &seq, &model, &AbeaParams::default()).unwrap();
+        let n_kmers = seq.len() - PORE_K + 1;
+        assert_eq!(r.alignment.len(), events.len());
+        // One event per k-mer: alignment should be (i, i).
+        let diagonal = r.alignment.iter().filter(|a| a.event_idx == a.kmer_idx).count();
+        assert!(diagonal * 10 >= r.alignment.len() * 9, "only {diagonal} diagonal pairs");
+        assert_eq!(r.alignment.last().unwrap().kmer_idx, n_kmers - 1);
+    }
+
+    #[test]
+    fn banded_matches_full_dp_when_band_covers() {
+        let seq = refseq(40);
+        let cfg = SignalSimConfig::default();
+        let events = simulate_signal(&seq, &PoreModel::r9_like(), &cfg, 3).events;
+        let model = PoreModel::r9_like();
+        let p = AbeaParams { bandwidth: 200, ..Default::default() };
+        let banded = align_events(&events, &seq, &model, &p).unwrap();
+        let full = align_events_full(&events, &seq, &model, &p).unwrap();
+        assert!(
+            (banded.score - full.score).abs() < 1e-3 * full.score.abs().max(1.0),
+            "banded {} vs full {}",
+            banded.score,
+            full.score
+        );
+    }
+
+    #[test]
+    fn oversegmented_signal_still_reaches_terminal() {
+        let seq = refseq(150);
+        let cfg = SignalSimConfig { split_prob: 0.5, skip_prob: 0.05, ..Default::default() };
+        let events = simulate_signal(&seq, &PoreModel::r9_like(), &cfg, 5).events;
+        let model = PoreModel::r9_like();
+        let r = align_events(&events, &seq, &model, &AbeaParams::default()).unwrap();
+        assert!(r.score.is_finite());
+        // Every k-mer that was not skipped should appear.
+        let n_kmers = seq.len() - PORE_K + 1;
+        let covered: std::collections::HashSet<usize> =
+            r.alignment.iter().map(|a| a.kmer_idx).collect();
+        assert!(covered.len() as f64 > 0.85 * n_kmers as f64);
+        // Split k-mers get multiple events: alignment longer than k-mers.
+        assert!(r.alignment.len() > n_kmers);
+    }
+
+    #[test]
+    fn alignment_is_monotonic() {
+        let seq = refseq(120);
+        let events =
+            simulate_signal(&seq, &PoreModel::r9_like(), &SignalSimConfig::default(), 9).events;
+        let model = PoreModel::r9_like();
+        let r = align_events(&events, &seq, &model, &AbeaParams::default()).unwrap();
+        for w in r.alignment.windows(2) {
+            assert!(w[1].event_idx >= w[0].event_idx);
+            assert!(w[1].kmer_idx >= w[0].kmer_idx);
+            assert!(w[1].event_idx > w[0].event_idx || w[1].kmer_idx > w[0].kmer_idx);
+        }
+    }
+
+    #[test]
+    fn band_cells_far_below_full_matrix() {
+        let seq = refseq(1200);
+        let events =
+            simulate_signal(&seq, &PoreModel::r9_like(), &SignalSimConfig::default(), 11).events;
+        let model = PoreModel::r9_like();
+        let r = align_events(&events, &seq, &model, &AbeaParams::default()).unwrap();
+        let full_cells = (events.len() * (seq.len() - PORE_K + 1)) as u64;
+        assert!(r.cells * 4 < full_cells, "banded {} vs full {full_cells}", r.cells);
+    }
+
+    #[test]
+    fn adaptive_band_moves_both_ways() {
+        let seq = refseq(200);
+        let cfg = SignalSimConfig { split_prob: 0.6, skip_prob: 0.0, ..Default::default() };
+        let events = simulate_signal(&seq, &PoreModel::r9_like(), &cfg, 13).events;
+        let model = PoreModel::r9_like();
+        let r = align_events(&events, &seq, &model, &AbeaParams::default()).unwrap();
+        // With ~1.6 events per k-mer the band must move down more often
+        // than right.
+        let total = events.len() as u64 + (seq.len() - PORE_K + 1) as u64;
+        assert!(r.moves_right < total * 2 / 3, "right {} of {total}", r.moves_right);
+        assert!(r.moves_right > total / 5);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        let seq = refseq(40);
+        let model = PoreModel::r9_like();
+        assert!(align_events(&[], &seq, &model, &AbeaParams::default()).is_none());
+        let short: DnaSeq = "ACG".parse().unwrap();
+        let ev = clean_signal(&seq, 1);
+        assert!(align_events(&ev, &short, &model, &AbeaParams::default()).is_none());
+    }
+}

@@ -1,0 +1,36 @@
+//! # gb-dp
+//!
+//! The dynamic-programming kernels of GenomicsBench-rs:
+//!
+//! - [`bsw`] — banded Smith-Waterman with affine gaps and inter-sequence
+//!   batching (BWA-MEM2 seed extension),
+//! - [`phmm`] — GATK-style pair-HMM forward likelihood (f32 with f64
+//!   rescue),
+//! - [`chain`] — minimap2 anchor chaining (1-D DP with bounded
+//!   predecessor scan),
+//! - [`abea`] — Nanopolish/f5c adaptive banded event alignment.
+//!
+//! All kernels are generic over a [`gb_uarch::probe::Probe`] so one code
+//! path serves both timed benchmarking and microarchitectural
+//! characterization.
+//!
+//! # Examples
+//!
+//! ```
+//! use gb_core::seq::DnaSeq;
+//! use gb_dp::bsw::{banded_sw, SwParams};
+//! let q: DnaSeq = "ACGTACGGT".parse()?;
+//! let t: DnaSeq = "TTACGTACGGTAA".parse()?;
+//! assert_eq!(banded_sw(&q, &t, &SwParams::default()).score, 9);
+//! # Ok::<(), gb_core::error::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abea;
+pub mod bsw;
+pub mod bsw_batch;
+pub mod chain;
+pub mod phmm;
+pub mod traceback;

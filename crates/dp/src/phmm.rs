@@ -1,0 +1,469 @@
+//! Pair Hidden Markov Model forward likelihood — the **phmm** kernel.
+//!
+//! This is GATK HaplotypeCaller's `calcLikelihoodScore`: the probability
+//! that a read was sequenced from a candidate haplotype, computed with the
+//! forward algorithm over a 3-state (match / insertion / deletion) HMM.
+//! Emission priors come from the read's per-base quality scores, which is
+//! why this is the suite's only floating-point-dominated CPU kernel
+//! (paper Fig. 5). Like GATK, the kernel runs in `f32` and falls back to
+//! `f64` only when the result underflows.
+
+use gb_core::quality::Phred;
+use gb_core::record::ReadRecord;
+use gb_core::seq::DnaSeq;
+use gb_uarch::probe::{addr_of, NullProbe, Probe};
+
+/// HMM transition parameters, derived from gap penalties the way GATK
+/// does (quality-scaled).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HmmParams {
+    /// Phred-scaled gap-open quality (GATK default 45).
+    pub gap_open_qual: u8,
+    /// Phred-scaled gap-continuation quality (GATK default 10).
+    pub gap_cont_qual: u8,
+}
+
+impl Default for HmmParams {
+    fn default() -> HmmParams {
+        HmmParams { gap_open_qual: 45, gap_cont_qual: 10 }
+    }
+}
+
+/// Precomputed transition probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Transitions {
+    mm: f64,
+    gm: f64, // gap -> match
+    mx: f64, // match -> insertion
+    xx: f64, // insertion -> insertion
+    my: f64, // match -> deletion
+    yy: f64, // deletion -> deletion
+}
+
+impl Transitions {
+    fn from_params(p: &HmmParams) -> Transitions {
+        let eps = Phred::new(p.gap_open_qual).error_prob();
+        let cont = Phred::new(p.gap_cont_qual).error_prob();
+        Transitions {
+            mm: 1.0 - 2.0 * eps,
+            gm: 1.0 - cont,
+            mx: eps,
+            xx: cont,
+            my: eps,
+            yy: cont,
+        }
+    }
+}
+
+/// Result of one read-haplotype likelihood evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhmmResult {
+    /// log10 of the likelihood P(read | haplotype).
+    pub log10_likelihood: f64,
+    /// DP cells computed.
+    pub cells: u64,
+    /// Whether the f32 pass underflowed and the f64 rescue ran.
+    pub rescued: bool,
+}
+
+/// Computes `log10 P(read | haplotype)` with the forward algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use gb_core::{quality::Phred, record::ReadRecord, seq::DnaSeq};
+/// use gb_dp::phmm::{forward_likelihood, HmmParams};
+/// let hap: DnaSeq = "ACGTACGTAC".parse()?;
+/// let read = ReadRecord::with_uniform_quality("r", hap.slice(2, 8), Phred::new(30));
+/// let r = forward_likelihood(&read, &hap, &HmmParams::default());
+/// assert!(r.log10_likelihood < 0.0 && r.log10_likelihood > -10.0);
+/// # Ok::<(), gb_core::error::Error>(())
+/// ```
+pub fn forward_likelihood(read: &ReadRecord, haplotype: &DnaSeq, params: &HmmParams) -> PhmmResult {
+    forward_likelihood_probed(read, haplotype, params, &mut NullProbe)
+}
+
+/// [`forward_likelihood`] with instrumentation (loads/stores of the three
+/// DP rows and the FP operations per cell).
+pub fn forward_likelihood_probed<P: Probe>(
+    read: &ReadRecord,
+    haplotype: &DnaSeq,
+    params: &HmmParams,
+    probe: &mut P,
+) -> PhmmResult {
+    // f32 first; rescue in f64 when the result is denormal-small, exactly
+    // GATK's strategy.
+    let (lik32, cells) = forward_generic::<f32, P>(read, haplotype, params, probe);
+    if lik32 > 1e-28_f32 && lik32.is_finite() {
+        return PhmmResult { log10_likelihood: f64::from(lik32).log10(), cells, rescued: false };
+    }
+    let (lik64, cells64) = forward_generic::<f64, P>(read, haplotype, params, probe);
+    PhmmResult {
+        log10_likelihood: lik64.log10(),
+        cells: cells + cells64,
+        rescued: true,
+    }
+}
+
+/// Float abstraction so the f32 pass and the f64 rescue share one kernel.
+pub trait HmmFloat: Copy + PartialOrd + std::ops::Add<Output = Self> + std::ops::Mul<Output = Self> {
+    /// Converts from `f64`.
+    fn from_f64(v: f64) -> Self;
+    /// Converts to `f64`.
+    fn to_f64(self) -> f64;
+    /// Additive zero.
+    fn zero() -> Self;
+}
+
+impl HmmFloat for f32 {
+    fn from_f64(v: f64) -> f32 {
+        v as f32
+    }
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+    fn zero() -> f32 {
+        0.0
+    }
+}
+
+impl HmmFloat for f64 {
+    fn from_f64(v: f64) -> f64 {
+        v
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn zero() -> f64 {
+        0.0
+    }
+}
+
+fn forward_generic<F: HmmFloat, P: Probe>(
+    read: &ReadRecord,
+    haplotype: &DnaSeq,
+    params: &HmmParams,
+    probe: &mut P,
+) -> (F, u64) {
+    let r = read.seq.as_codes();
+    let h = haplotype.as_codes();
+    let quals = read.quals();
+    let (m, n) = (r.len(), h.len());
+    if m == 0 || n == 0 {
+        return (F::zero(), 0);
+    }
+    let t = Transitions::from_params(params);
+    let tmm = F::from_f64(t.mm);
+    let tgm = F::from_f64(t.gm);
+    let tmx = F::from_f64(t.mx);
+    let txx = F::from_f64(t.xx);
+    let tmy = F::from_f64(t.my);
+    let tyy = F::from_f64(t.yy);
+
+    // Row i-1 and i of the three state matrices.
+    let mut m_prev = vec![F::zero(); n + 1];
+    let mut i_prev = vec![F::zero(); n + 1];
+    let mut d_prev = vec![F::zero(); n + 1];
+    let mut m_cur = vec![F::zero(); n + 1];
+    let mut i_cur = vec![F::zero(); n + 1];
+    let mut d_cur = vec![F::zero(); n + 1];
+
+    // Free start anywhere on the haplotype: D row 0 = 1/n (GATK's
+    // initialization).
+    let init = F::from_f64(1.0 / n as f64);
+    for d in d_prev.iter_mut() {
+        *d = init;
+    }
+
+    let mut cells = 0u64;
+    for i in 1..=m {
+        let err = quals[i - 1].error_prob();
+        let p_match = F::from_f64(1.0 - err);
+        let p_miss = F::from_f64(err / 3.0);
+        m_cur[0] = F::zero();
+        i_cur[0] = F::zero();
+        d_cur[0] = F::zero();
+        for j in 1..=n {
+            cells += 1;
+            probe.load(addr_of(&m_prev[j - 1]), 4);
+            probe.load(addr_of(&i_prev[j - 1]), 4);
+            probe.load(addr_of(&d_prev[j - 1]), 4);
+            let prior = if r[i - 1] == h[j - 1] { p_match } else { p_miss };
+            let mv = prior * (tmm * m_prev[j - 1] + tgm * (i_prev[j - 1] + d_prev[j - 1]));
+            let iv = tmx * m_prev[j] + txx * i_prev[j];
+            let dv = tmy * m_cur[j - 1] + tyy * d_cur[j - 1];
+            m_cur[j] = mv;
+            i_cur[j] = iv;
+            d_cur[j] = dv;
+            probe.store(addr_of(&m_cur[j]), 4);
+            probe.fp_ops(12);
+            probe.branch(false);
+        }
+        std::mem::swap(&mut m_prev, &mut m_cur);
+        std::mem::swap(&mut i_prev, &mut i_cur);
+        std::mem::swap(&mut d_prev, &mut d_cur);
+    }
+    // Likelihood: read fully consumed, ending anywhere on the haplotype.
+    let mut sum = F::zero();
+    for j in 1..=n {
+        sum = sum + m_prev[j] + i_prev[j];
+    }
+    probe.fp_ops(2 * n as u64);
+    (sum, cells)
+}
+
+/// Anti-diagonal (wavefront) evaluation of the same forward recurrence —
+/// the intra-task parallelism of the paper's Fig. 2d: every cell on a
+/// wavefront depends only on the two previous wavefronts, so all of them
+/// can be computed in parallel SIMD lanes.
+///
+/// Numerically identical ordering differences aside, this must agree with
+/// [`forward_likelihood`]; the GPU-style port would assign one lane per
+/// wavefront cell.
+pub fn forward_likelihood_wavefront(
+    read: &ReadRecord,
+    haplotype: &DnaSeq,
+    params: &HmmParams,
+) -> PhmmResult {
+    let r = read.seq.as_codes();
+    let h = haplotype.as_codes();
+    let quals = read.quals();
+    let (m, n) = (r.len(), h.len());
+    if m == 0 || n == 0 {
+        return PhmmResult { log10_likelihood: f64::NEG_INFINITY, cells: 0, rescued: false };
+    }
+    let t = Transitions::from_params(params);
+
+    // Three full matrices indexed [i][j] (clarity over memory here; the
+    // production path is the two-row row-wise kernel).
+    let w = n + 1;
+    let mut mm = vec![0.0f64; (m + 1) * w];
+    let mut ii = vec![0.0f64; (m + 1) * w];
+    let mut dd = vec![0.0f64; (m + 1) * w];
+    for d in dd.iter_mut().take(n + 1) {
+        *d = 1.0 / n as f64;
+    }
+    let mut cells = 0u64;
+    // Wavefront d covers cells with i + j == d.
+    for d in 2..=(m + n) {
+        let ilo = 1.max(d.saturating_sub(n));
+        let ihi = m.min(d - 1);
+        for i in ilo..=ihi {
+            let j = d - i;
+            debug_assert!(j >= 1 && j <= n);
+            cells += 1;
+            let err = quals[i - 1].error_prob();
+            let prior = if r[i - 1] == h[j - 1] { 1.0 - err } else { err / 3.0 };
+            let up_left = (i - 1) * w + (j - 1);
+            let up = (i - 1) * w + j;
+            let left = i * w + (j - 1);
+            mm[i * w + j] = prior * (t.mm * mm[up_left] + t.gm * (ii[up_left] + dd[up_left]));
+            ii[i * w + j] = t.mx * mm[up] + t.xx * ii[up];
+            dd[i * w + j] = t.my * mm[left] + t.yy * dd[left];
+        }
+    }
+    let mut sum = 0.0f64;
+    for j in 1..=n {
+        sum += mm[m * w + j] + ii[m * w + j];
+    }
+    PhmmResult { log10_likelihood: sum.log10(), cells, rescued: false }
+}
+
+/// Brute-force enumeration reference for tiny inputs: sums the
+/// probability of every alignment path (exponential; testing only).
+pub fn naive_likelihood(read: &ReadRecord, haplotype: &DnaSeq, params: &HmmParams) -> f64 {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        M,
+        I,
+        D,
+        /// The 1/n free-start pseudo-state: behaves like a gap for the
+        /// first match but cannot emit insertions or deletions (the DP's
+        /// D-row-0 initialization feeds only the M recurrence).
+        Start,
+    }
+    let t = Transitions::from_params(params);
+    let r = read.seq.as_codes();
+    let h = haplotype.as_codes();
+    let quals = read.quals();
+    let n = h.len();
+    // Recursive path sum from (i bases of read consumed, j of haplotype,
+    // previous state).
+    fn go(
+        i: usize,
+        j: usize,
+        state: State,
+        r: &[u8],
+        h: &[u8],
+        quals: &[Phred],
+        t: &Transitions,
+    ) -> f64 {
+        if i == r.len() {
+            // Read consumed; path ends (M or I end states count).
+            return if state == State::D { 0.0 } else { 1.0 };
+        }
+        let mut total = 0.0;
+        // Match: consume one of each.
+        if j < h.len() {
+            let trans = match state {
+                State::M => t.mm,
+                _ => t.gm,
+            };
+            let err = quals[i].error_prob();
+            let prior = if r[i] == h[j] { 1.0 - err } else { err / 3.0 };
+            total += trans * prior * go(i + 1, j + 1, State::M, r, h, quals, t);
+        }
+        // Insertion: consume read base only.
+        {
+            let trans = match state {
+                State::M => t.mx,
+                State::I => t.xx,
+                State::D | State::Start => 0.0,
+            };
+            if trans > 0.0 {
+                total += trans * go(i + 1, j, State::I, r, h, quals, t);
+            }
+        }
+        // Deletion: consume haplotype base only.
+        if j < h.len() {
+            let trans = match state {
+                State::M => t.my,
+                State::D => t.yy,
+                State::I | State::Start => 0.0,
+            };
+            if trans > 0.0 {
+                total += trans * go(i, j + 1, State::D, r, h, quals, t);
+            }
+        }
+        total
+    }
+    // Free start at any haplotype offset with weight 1/n; the first move
+    // must be a match entered with the gap->match transition, matching the
+    // DP's D-row initialization.
+    let mut sum = 0.0;
+    for start in 0..n {
+        sum += go(0, start, State::Start, r, h, quals, &t) / n as f64;
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(seq: &str, q: u8) -> ReadRecord {
+        ReadRecord::with_uniform_quality("r", seq.parse().unwrap(), Phred::new(q))
+    }
+
+    #[test]
+    fn matches_brute_force_on_tiny_inputs() {
+        let cases = [
+            ("ACG", "ACG"),
+            ("ACG", "ACGT"),
+            ("AC", "GTACGT"),
+            ("ACGT", "AGGT"),
+            ("TTT", "ACG"),
+        ];
+        for (rs, hs) in cases {
+            let rd = read(rs, 25);
+            let hap: DnaSeq = hs.parse().unwrap();
+            let got = forward_likelihood(&rd, &hap, &HmmParams::default());
+            let want = naive_likelihood(&rd, &hap, &HmmParams::default()).log10();
+            assert!(
+                (got.log10_likelihood - want).abs() < 1e-4,
+                "{rs} vs {hs}: got {} want {want}",
+                got.log10_likelihood
+            );
+        }
+    }
+
+    #[test]
+    fn perfect_read_beats_mismatched_read() {
+        let hap: DnaSeq = "ACGTACGGTTACGTAGGCAT".parse().unwrap();
+        let good = read("ACGGTTACGT", 30);
+        let bad = read("ACGGTTGGGT", 30);
+        let p = HmmParams::default();
+        let lg = forward_likelihood(&good, &hap, &p).log10_likelihood;
+        let lb = forward_likelihood(&bad, &hap, &p).log10_likelihood;
+        assert!(lg > lb + 2.0, "good {lg} vs bad {lb}");
+    }
+
+    #[test]
+    fn lower_quality_softens_mismatch_penalty() {
+        let hap: DnaSeq = "ACGTACGGTTACGTAGGCAT".parse().unwrap();
+        let p = HmmParams::default();
+        let hi = forward_likelihood(&read("ACGGTTGCGT", 40), &hap, &p).log10_likelihood;
+        let lo = forward_likelihood(&read("ACGGTTGCGT", 10), &hap, &p).log10_likelihood;
+        assert!(lo > hi, "q10 {lo} should beat q40 {hi} for a mismatched read");
+    }
+
+    #[test]
+    fn long_read_underflows_f32_and_rescues() {
+        // A read with ~40 guaranteed high-quality mismatches: the forward
+        // value lands around 1e-200 — below f32 range, within f64 range.
+        let hap_codes = vec![0u8; 200]; // poly-A haplotype
+        let read_codes: Vec<u8> = (0..80).map(|i| if i % 2 == 0 { 0 } else { 1 }).collect();
+        let hap = DnaSeq::from_codes_unchecked(hap_codes);
+        let rd = ReadRecord::with_uniform_quality(
+            "r",
+            DnaSeq::from_codes_unchecked(read_codes),
+            Phred::new(40),
+        );
+        let r = forward_likelihood(&rd, &hap, &HmmParams::default());
+        assert!(r.rescued, "expected f64 rescue");
+        assert!(r.log10_likelihood.is_finite());
+        assert!(r.log10_likelihood < -50.0);
+    }
+
+    #[test]
+    fn cells_equal_read_times_hap() {
+        let hap: DnaSeq = "ACGTACGGTT".parse().unwrap();
+        let rd = read("ACGTA", 30);
+        let r = forward_likelihood(&rd, &hap, &HmmParams::default());
+        assert_eq!(r.cells, 50);
+    }
+
+    #[test]
+    fn likelihood_is_a_probability() {
+        let hap: DnaSeq = "ACGTACGGTTACGT".parse().unwrap();
+        let rd = read("ACGGTT", 30);
+        let r = forward_likelihood(&rd, &hap, &HmmParams::default());
+        assert!(r.log10_likelihood <= 0.0);
+    }
+
+    #[test]
+    fn probe_sees_fp_dominated_mix() {
+        use gb_uarch::mix::MixProbe;
+        let hap: DnaSeq = "ACGTACGGTTACGTAGGCAT".parse().unwrap();
+        let rd = read("ACGGTTACGT", 30);
+        let mut probe = MixProbe::new();
+        let _ = forward_likelihood_probed(&rd, &hap, &HmmParams::default(), &mut probe);
+        let mix = probe.mix();
+        assert!(mix.fp_ops > mix.int_ops, "phmm must be FP-dominated: {mix:?}");
+    }
+
+    #[test]
+    fn wavefront_matches_rowwise() {
+        let hap: DnaSeq = "ACGTACGGTTACGTAGGCATTACGGA".parse().unwrap();
+        for r in ["ACGGTTACGT", "ACGGTTGCGA", "TTTT", "ACGTACGGTTACGTAGGCATTACGGA"] {
+            let rd = read(r, 28);
+            let row = forward_likelihood(&rd, &hap, &HmmParams::default());
+            let wave = forward_likelihood_wavefront(&rd, &hap, &HmmParams::default());
+            assert!(
+                (row.log10_likelihood - wave.log10_likelihood).abs() < 1e-4,
+                "{r}: row {} vs wave {}",
+                row.log10_likelihood,
+                wave.log10_likelihood
+            );
+            assert_eq!(row.cells, wave.cells);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_zero_cells() {
+        let hap: DnaSeq = "ACGT".parse().unwrap();
+        let rd = ReadRecord::with_uniform_quality("r", DnaSeq::new(), Phred::new(30));
+        let r = forward_likelihood(&rd, &hap, &HmmParams::default());
+        assert_eq!(r.cells, 0);
+    }
+}

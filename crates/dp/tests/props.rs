@@ -1,0 +1,131 @@
+//! Property-based tests for the DP kernels.
+
+use gb_core::quality::Phred;
+use gb_core::record::ReadRecord;
+use gb_core::seq::DnaSeq;
+use gb_datagen::anchors::{Anchor, AnchorSet};
+use gb_dp::bsw::{banded_sw, full_sw, SwParams};
+use gb_dp::chain::{chain_anchors, ChainParams};
+use gb_dp::phmm::{forward_likelihood, HmmParams};
+use proptest::prelude::*;
+
+fn codes(min: usize, max: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..4, min..max)
+}
+
+fn no_band() -> SwParams {
+    SwParams { band: None, zdrop: None, ..SwParams::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sw_score_bounds(q in codes(1, 80), t in codes(1, 80)) {
+        let qs = DnaSeq::from_codes(q).unwrap();
+        let ts = DnaSeq::from_codes(t).unwrap();
+        let r = full_sw(&qs, &ts, &no_band());
+        // Local alignment: 0 <= score <= min(m, n) * match.
+        prop_assert!(r.score >= 0);
+        prop_assert!(r.score <= qs.len().min(ts.len()) as i32);
+        prop_assert_eq!(r.cells, (qs.len() * ts.len()) as u64);
+    }
+
+    #[test]
+    fn sw_is_symmetric(q in codes(1, 60), t in codes(1, 60)) {
+        let qs = DnaSeq::from_codes(q).unwrap();
+        let ts = DnaSeq::from_codes(t).unwrap();
+        let a = full_sw(&qs, &ts, &no_band());
+        let b = full_sw(&ts, &qs, &no_band());
+        prop_assert_eq!(a.score, b.score);
+    }
+
+    #[test]
+    fn huge_band_equals_full(q in codes(1, 60), t in codes(1, 60)) {
+        let qs = DnaSeq::from_codes(q).unwrap();
+        let ts = DnaSeq::from_codes(t).unwrap();
+        let banded =
+            banded_sw(&qs, &ts, &SwParams { band: Some(10_000), zdrop: None, ..no_band() });
+        prop_assert_eq!(banded.score, full_sw(&qs, &ts, &no_band()).score);
+    }
+
+    #[test]
+    fn narrow_band_never_beats_full(q in codes(5, 60), t in codes(5, 60), band in 1usize..10) {
+        let qs = DnaSeq::from_codes(q).unwrap();
+        let ts = DnaSeq::from_codes(t).unwrap();
+        let banded = banded_sw(&qs, &ts, &SwParams { band: Some(band), zdrop: None, ..no_band() });
+        prop_assert!(banded.score <= full_sw(&qs, &ts, &no_band()).score);
+    }
+
+    #[test]
+    fn self_alignment_is_perfect(q in codes(1, 100)) {
+        let qs = DnaSeq::from_codes(q).unwrap();
+        let r = full_sw(&qs, &qs, &no_band());
+        prop_assert_eq!(r.score, qs.len() as i32);
+    }
+
+    #[test]
+    fn phmm_is_a_log_probability(r in codes(1, 12), h in codes(1, 16), q in 5u8..40) {
+        let read = ReadRecord::with_uniform_quality(
+            "r",
+            DnaSeq::from_codes(r).unwrap(),
+            Phred::new(q),
+        );
+        let hap = DnaSeq::from_codes(h).unwrap();
+        let res = forward_likelihood(&read, &hap, &HmmParams::default());
+        prop_assert!(res.log10_likelihood <= 1e-9, "likelihood above 1");
+        prop_assert!(res.log10_likelihood.is_finite());
+    }
+
+    #[test]
+    fn phmm_perfect_read_beats_mutated(h in codes(20, 60), pos in 0usize..20) {
+        let hap = DnaSeq::from_codes(h).unwrap();
+        let good = hap.slice(2, hap.len() - 2);
+        let mut bad_codes = good.clone().into_codes();
+        let p = pos % bad_codes.len();
+        bad_codes[p] = (bad_codes[p] + 2) % 4;
+        let params = HmmParams::default();
+        let lg = forward_likelihood(
+            &ReadRecord::with_uniform_quality("g", good, Phred::new(30)),
+            &hap,
+            &params,
+        );
+        let lb = forward_likelihood(
+            &ReadRecord::with_uniform_quality("b", DnaSeq::from_codes_unchecked(bad_codes), Phred::new(30)),
+            &hap,
+            &params,
+        );
+        prop_assert!(lg.log10_likelihood >= lb.log10_likelihood - 1e-9);
+    }
+
+    #[test]
+    fn chain_score_bounded_by_total_anchor_alpha(
+        raw in proptest::collection::vec((0u32..5000, 0u32..5000), 1..80),
+    ) {
+        let anchors: Vec<Anchor> = raw
+            .into_iter()
+            .map(|(t, q)| Anchor { target_pos: t, query_pos: q, length: 15 })
+            .collect();
+        let set = AnchorSet::new(anchors);
+        let n = set.len() as i32;
+        let r = chain_anchors(&set, &ChainParams { min_chain_score: 0, ..Default::default() });
+        for c in &r.chains {
+            // Each anchor contributes at most its seed length.
+            prop_assert!(c.score <= n * 15, "score {} anchors {n}", c.score);
+            prop_assert!(c.score > 0 || c.len() == 1);
+            // Chained anchors are strictly increasing on both axes.
+            for w in c.anchors.windows(2) {
+                let a = set.anchors[w[0]];
+                let b = set.anchors[w[1]];
+                prop_assert!(b.target_pos > a.target_pos);
+                prop_assert!(b.query_pos > a.query_pos);
+            }
+        }
+        // Anchors are never claimed twice.
+        let mut used: Vec<usize> = r.chains.iter().flat_map(|c| c.anchors.clone()).collect();
+        let before = used.len();
+        used.sort_unstable();
+        used.dedup();
+        prop_assert_eq!(before, used.len());
+    }
+}

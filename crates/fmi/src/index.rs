@@ -1,0 +1,516 @@
+//! The FM-index: BWT + sampled occurrence table + sampled suffix array.
+//!
+//! Layout follows BWA-MEM2's cache-conscious design: the BWT is 2-bit
+//! packed into 64-bit words, occurrence counts are checkpointed every 64
+//! bases (one checkpoint = 16 bytes of counts + 16 bytes of packed BWT —
+//! a half cache line per lookup), and the suffix array is sampled every 32
+//! rows for locating hits. The `*_probed` variants report each table
+//! access to a [`Probe`], which is how the suite observes the kernel's
+//! famously irregular Occ-table access stream (paper Figs. 6, 8, 9).
+
+use crate::sais::suffix_array;
+use gb_core::seq::DnaSeq;
+use gb_uarch::probe::{addr_of, Probe};
+
+/// Default checkpoint stride of the occurrence table, in BWT positions.
+pub const OCC_STRIDE: usize = 64;
+/// Default suffix-array sampling stride, in BWT rows.
+pub const SA_STRIDE: usize = 32;
+
+/// Sampling configuration of an [`FmIndex`] — the space/time trade the
+/// `ablation_fmi_occ` bench sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FmConfig {
+    /// Occurrence-table checkpoint stride (positions per checkpoint).
+    /// Smaller = fewer packed words scanned per lookup, bigger table.
+    pub occ_stride: usize,
+    /// Suffix-array sample stride (rows per sample). Smaller = fewer LF
+    /// steps per locate, bigger table.
+    pub sa_stride: usize,
+}
+
+impl Default for FmConfig {
+    fn default() -> FmConfig {
+        FmConfig { occ_stride: OCC_STRIDE, sa_stride: SA_STRIDE }
+    }
+}
+
+/// A half-open interval `[lo, hi)` of suffix-array rows: the set of
+/// suffixes prefixed by the current search pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SaRange {
+    /// First matching row.
+    pub lo: u32,
+    /// One past the last matching row.
+    pub hi: u32,
+}
+
+impl SaRange {
+    /// Number of matches in the range.
+    pub fn len(&self) -> u32 {
+        self.hi.saturating_sub(self.lo)
+    }
+
+    /// Whether the range holds no matches.
+    pub fn is_empty(&self) -> bool {
+        self.hi <= self.lo
+    }
+}
+
+/// An FM-index over a DNA text.
+///
+/// # Examples
+///
+/// ```
+/// use gb_core::seq::DnaSeq;
+/// use gb_fmi::index::FmIndex;
+/// let text: DnaSeq = "ACGTACGTGGTACA".parse()?;
+/// let idx = FmIndex::build(&text);
+/// let hits = idx.locate_all(&"ACGT".parse()?);
+/// assert_eq!(hits, vec![0, 4]);
+/// # Ok::<(), gb_core::error::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FmIndex {
+    /// Rows in the BWT matrix = text length + 1 (sentinel).
+    n: usize,
+    /// 2-bit packed BWT; the sentinel row is packed as code 0 and fixed up
+    /// via `primary`.
+    bwt: Vec<u64>,
+    /// Row holding the sentinel.
+    primary: usize,
+    /// Exclusive prefix counts of each base at every `OCC_STRIDE` rows.
+    checkpoints: Vec<[u32; 4]>,
+    /// `C[c]`: number of characters in the text (plus sentinel)
+    /// lexicographically smaller than base `c`.
+    c_table: [u32; 4],
+    /// `SA[row]` for every `sa_stride`-th row.
+    sa_samples: Vec<u32>,
+    occ_stride: usize,
+    sa_stride: usize,
+}
+
+impl FmIndex {
+    /// Builds the index from `text` via SA-IS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `text` is empty or longer than `u32::MAX - 1` bases.
+    pub fn build(text: &DnaSeq) -> FmIndex {
+        FmIndex::build_with(text, &FmConfig::default())
+    }
+
+    /// Builds the index with explicit sampling strides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `text` is empty, too long for `u32` offsets, or a stride
+    /// is zero.
+    pub fn build_with(text: &DnaSeq, config: &FmConfig) -> FmIndex {
+        assert!(!text.is_empty(), "cannot index an empty text");
+        assert!(text.len() < u32::MAX as usize - 1, "text too long for u32 suffix array");
+        assert!(config.occ_stride > 0 && config.sa_stride > 0, "strides must be positive");
+        assert!(
+            config.occ_stride.is_multiple_of(32),
+            "occ_stride must be a multiple of the 32-base packed word"
+        );
+        let occ_stride = config.occ_stride;
+        let sa_stride = config.sa_stride;
+        let sa = suffix_array(text.as_codes());
+        let n = sa.len();
+
+        let mut bwt = vec![0u64; n.div_ceil(32)];
+        let mut primary = 0usize;
+        let mut counts = [0u32; 4];
+        let mut checkpoints = Vec::with_capacity(n.div_ceil(occ_stride) + 1);
+        let mut sa_samples = Vec::with_capacity(n.div_ceil(sa_stride));
+        for (row, &p) in sa.iter().enumerate() {
+            if row % occ_stride == 0 {
+                checkpoints.push(counts);
+            }
+            if row % sa_stride == 0 {
+                sa_samples.push(p);
+            }
+            let code = if p == 0 {
+                primary = row;
+                0 // sentinel packed as 'A'; occ() compensates
+            } else {
+                let c = text.code_at(p as usize - 1);
+                counts[c as usize] += 1;
+                c
+            };
+            bwt[row / 32] |= u64::from(code) << (2 * (row % 32));
+        }
+        // Final checkpoint so occ(x, n) never reads past the end.
+        checkpoints.push(counts);
+
+        let mut c_table = [0u32; 4];
+        let mut acc = 1u32; // sentinel is smaller than everything
+        for c in 0..4 {
+            c_table[c] = acc;
+            acc += counts[c];
+        }
+        FmIndex { n, bwt, primary, checkpoints, c_table, sa_samples, occ_stride, sa_stride }
+    }
+
+    /// Rows in the BWT (text length + 1).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false: the index covers at least the sentinel.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The row holding the sentinel.
+    pub fn primary(&self) -> usize {
+        self.primary
+    }
+
+    /// `C[c]` — see the field documentation.
+    #[inline]
+    pub fn c_of(&self, c: u8) -> u32 {
+        self.c_table[c as usize]
+    }
+
+    /// Approximate heap footprint in bytes (the fmi working set).
+    pub fn heap_bytes(&self) -> usize {
+        self.bwt.len() * 8 + self.checkpoints.len() * 16 + self.sa_samples.len() * 4
+    }
+
+    /// The full range covering every suffix.
+    pub fn full_range(&self) -> SaRange {
+        SaRange { lo: 0, hi: self.n as u32 }
+    }
+
+    /// Number of occurrences of base `c` in `bwt[0..i)`.
+    #[inline]
+    pub fn occ(&self, c: u8, i: u32) -> u32 {
+        self.occ_probed(c, i, &mut gb_uarch::probe::NullProbe)
+    }
+
+    /// [`FmIndex::occ`] reporting its two memory touches (checkpoint +
+    /// packed BWT words) to `probe`.
+    #[inline]
+    pub fn occ_probed<P: Probe>(&self, c: u8, i: u32, probe: &mut P) -> u32 {
+        debug_assert!(c < 4 && (i as usize) <= self.n);
+        let i = i as usize;
+        let cp = i / self.occ_stride;
+        probe.load(addr_of(&self.checkpoints[cp]), 16);
+        let mut count = self.checkpoints[cp][c as usize];
+        // Count `c` in the packed words after the checkpoint.
+        let mut pos = cp * self.occ_stride;
+        if pos < i {
+            probe.load(addr_of(&self.bwt[pos / 32]), 16);
+        }
+        while pos < i {
+            let word = self.bwt[pos / 32];
+            let upto = (i - pos).min(32) as u32;
+            count += count_base_in_word(word, c, upto);
+            probe.int_ops(6);
+            pos += 32;
+        }
+        // The sentinel is packed as 'A' in the BWT words (checkpoints
+        // already exclude it): remove it from A counts when it lies in the
+        // in-block region we just scanned.
+        if c == 0 && self.primary >= cp * self.occ_stride && self.primary < i {
+            count -= 1;
+        }
+        probe.int_ops(2);
+        count
+    }
+
+    /// Occurrence counts of all four bases in `bwt[0..i)` plus whether the
+    /// sentinel lies in `bwt[0..i)` — the bidirectional-extension
+    /// primitive.
+    #[inline]
+    pub fn occ_all_probed<P: Probe>(&self, i: u32, probe: &mut P) -> ([u32; 4], bool) {
+        debug_assert!((i as usize) <= self.n);
+        let i = i as usize;
+        let cp = i / self.occ_stride;
+        probe.load(addr_of(&self.checkpoints[cp]), 16);
+        let mut counts = self.checkpoints[cp];
+        let mut pos = cp * self.occ_stride;
+        if pos < i {
+            probe.load(addr_of(&self.bwt[pos / 32]), 16);
+        }
+        while pos < i {
+            let word = self.bwt[pos / 32];
+            let upto = (i - pos).min(32) as u32;
+            for c in 0..4u8 {
+                counts[c as usize] += count_base_in_word(word, c, upto);
+            }
+            probe.int_ops(20);
+            pos += 32;
+        }
+        let dollar = self.primary < i;
+        if self.primary >= cp * self.occ_stride && self.primary < i {
+            counts[0] -= 1; // sentinel packed as 'A' in the scanned block
+        }
+        probe.int_ops(2);
+        (counts, dollar)
+    }
+
+    /// The BWT character at `row`, or `None` at the sentinel row.
+    #[inline]
+    pub fn bwt_at(&self, row: u32) -> Option<u8> {
+        let row = row as usize;
+        debug_assert!(row < self.n);
+        if row == self.primary {
+            return None;
+        }
+        Some(((self.bwt[row / 32] >> (2 * (row % 32))) & 3) as u8)
+    }
+
+    /// One backward-search step: narrows `range` to suffixes prefixed by
+    /// `c` followed by the current pattern.
+    #[inline]
+    pub fn backward_ext(&self, range: SaRange, c: u8) -> SaRange {
+        self.backward_ext_probed(range, c, &mut gb_uarch::probe::NullProbe)
+    }
+
+    /// [`FmIndex::backward_ext`] with instrumentation.
+    #[inline]
+    pub fn backward_ext_probed<P: Probe>(&self, range: SaRange, c: u8, probe: &mut P) -> SaRange {
+        let lo = self.c_of(c) + self.occ_probed(c, range.lo, probe);
+        let hi = self.c_of(c) + self.occ_probed(c, range.hi, probe);
+        probe.int_ops(2);
+        SaRange { lo, hi }
+    }
+
+    /// Backward search of the whole `pattern`; empty range when absent.
+    pub fn search(&self, pattern: &DnaSeq) -> SaRange {
+        self.search_probed(pattern, &mut gb_uarch::probe::NullProbe)
+    }
+
+    /// [`FmIndex::search`] with instrumentation.
+    pub fn search_probed<P: Probe>(&self, pattern: &DnaSeq, probe: &mut P) -> SaRange {
+        let mut range = self.full_range();
+        for &c in pattern.as_codes().iter().rev() {
+            probe.branch(true);
+            range = self.backward_ext_probed(range, c, probe);
+            if range.is_empty() {
+                break;
+            }
+        }
+        range
+    }
+
+    /// Text position of suffix-array row `row`, via LF-stepping to the
+    /// nearest sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.len()`.
+    pub fn locate(&self, row: u32) -> u32 {
+        assert!((row as usize) < self.n);
+        let mut row = row;
+        let mut steps = 0u32;
+        loop {
+            if (row as usize).is_multiple_of(self.sa_stride) {
+                return self.sa_samples[row as usize / self.sa_stride] + steps;
+            }
+            match self.bwt_at(row) {
+                None => return steps, // SA[primary] = 0
+                Some(c) => {
+                    row = self.c_of(c) + self.occ(c, row);
+                    steps += 1;
+                }
+            }
+        }
+    }
+
+    /// Sorted text positions of every occurrence of `pattern`.
+    pub fn locate_all(&self, pattern: &DnaSeq) -> Vec<u32> {
+        let range = self.search(pattern);
+        let mut hits: Vec<u32> = (range.lo..range.hi).map(|r| self.locate(r)).collect();
+        hits.sort_unstable();
+        hits
+    }
+}
+
+/// Counts occurrences of base `c` among the first `upto` 2-bit slots of
+/// `word`.
+#[inline]
+fn count_base_in_word(word: u64, c: u8, upto: u32) -> u32 {
+    debug_assert!(c < 4 && upto <= 32);
+    if upto == 0 {
+        return 0;
+    }
+    let pat = u64::from(c) * 0x5555_5555_5555_5555;
+    let x = word ^ pat; // matching slots become 00
+    let matched = !(x | (x >> 1)) & 0x5555_5555_5555_5555;
+    let mask = if upto == 32 { u64::MAX } else { (1u64 << (2 * upto)) - 1 };
+    (matched & mask).count_ones()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> DnaSeq {
+        s.parse().unwrap()
+    }
+
+    fn naive_occurrences(text: &DnaSeq, pat: &DnaSeq) -> Vec<u32> {
+        let t = text.as_codes();
+        let p = pat.as_codes();
+        if p.is_empty() || p.len() > t.len() {
+            return Vec::new();
+        }
+        (0..=t.len() - p.len())
+            .filter(|&i| &t[i..i + p.len()] == p)
+            .map(|i| i as u32)
+            .collect()
+    }
+
+    #[test]
+    fn count_base_in_word_exhaustive_small() {
+        // Word = bases [A, C, G, T, A, C, ...] repeating.
+        let mut word = 0u64;
+        for i in 0..32 {
+            word |= ((i % 4) as u64) << (2 * i);
+        }
+        for c in 0..4u8 {
+            for upto in 0..=32u32 {
+                let expect = (0..upto).filter(|&i| (i % 4) as u8 == c).count() as u32;
+                assert_eq!(count_base_in_word(word, c, upto), expect, "c={c} upto={upto}");
+            }
+        }
+    }
+
+    #[test]
+    fn occ_matches_direct_bwt_scan() {
+        let text = seq("ACGTACGGTACGTTACGACGTACGATCG");
+        let idx = FmIndex::build(&text);
+        // Reconstruct the BWT characters directly.
+        let chars: Vec<Option<u8>> = (0..idx.len() as u32).map(|r| idx.bwt_at(r)).collect();
+        for c in 0..4u8 {
+            let mut running = 0u32;
+            for i in 0..=idx.len() as u32 {
+                assert_eq!(idx.occ(c, i), running, "c={c} i={i}");
+                if (i as usize) < idx.len() && chars[i as usize] == Some(c) {
+                    running += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn occ_all_agrees_with_occ() {
+        let text = seq("GGGACGTACGTTTTACACAGT");
+        let idx = FmIndex::build(&text);
+        for i in 0..=idx.len() as u32 {
+            let (all, dollar) = idx.occ_all_probed(i, &mut gb_uarch::probe::NullProbe);
+            for c in 0..4u8 {
+                assert_eq!(all[c as usize], idx.occ(c, i));
+            }
+            assert_eq!(dollar, idx.primary() < i as usize);
+        }
+    }
+
+    #[test]
+    fn search_finds_all_occurrences() {
+        let text = seq("ACGTACGTGGTACAACGT");
+        let idx = FmIndex::build(&text);
+        for pat in ["A", "AC", "ACGT", "GGT", "TTT", "ACGTACGTGGTACAACGT", "CA"] {
+            let pat = seq(pat);
+            assert_eq!(idx.locate_all(&pat), naive_occurrences(&text, &pat), "pattern {pat}");
+        }
+    }
+
+    #[test]
+    fn search_larger_pseudorandom_text() {
+        let codes: Vec<u8> = (0..3000usize).map(|i| ((i * 131 + i / 5 + i * i % 97) % 4) as u8).collect();
+        let text = DnaSeq::from_codes_unchecked(codes);
+        let idx = FmIndex::build(&text);
+        for start in [0usize, 7, 100, 999, 2500] {
+            for len in [1usize, 5, 12, 31] {
+                let pat = text.slice(start, start + len);
+                let hits = idx.locate_all(&pat);
+                assert_eq!(hits, naive_occurrences(&text, &pat), "start={start} len={len}");
+                assert!(hits.contains(&(start as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn absent_pattern_is_empty() {
+        let text = seq("AAAAAAAA");
+        let idx = FmIndex::build(&text);
+        assert!(idx.search(&seq("C")).is_empty());
+        assert!(idx.locate_all(&seq("ACA")).is_empty());
+    }
+
+    #[test]
+    fn locate_every_row() {
+        let text = seq("ACGGTTACAGTACGGATTACA");
+        let idx = FmIndex::build(&text);
+        let sa = crate::sais::suffix_array(text.as_codes());
+        for row in 0..idx.len() as u32 {
+            assert_eq!(idx.locate(row), sa[row as usize], "row {row}");
+        }
+    }
+
+    #[test]
+    fn probe_sees_occ_traffic() {
+        use gb_uarch::mix::MixProbe;
+        let text = seq("ACGTACGTGGTACAACGTACGGTTAACC");
+        let idx = FmIndex::build(&text);
+        let mut probe = MixProbe::new();
+        let _ = idx.search_probed(&seq("ACGT"), &mut probe);
+        // Each backward step does 2 occ lookups, each >= 1 checkpoint load.
+        assert!(probe.mix().loads >= 8, "loads = {}", probe.mix().loads);
+        assert!(probe.mix().int_ops > 0);
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        let text = seq("ACGT");
+        let idx = FmIndex::build(&text);
+        let r = idx.search(&DnaSeq::new());
+        assert_eq!(r.len(), idx.len() as u32);
+    }
+
+    #[test]
+    fn all_strides_agree_with_default() {
+        use super::FmConfig;
+        let codes: Vec<u8> = (0..2000usize).map(|i| ((i * 61 + i / 7) % 4) as u8).collect();
+        let text = DnaSeq::from_codes_unchecked(codes);
+        let base = FmIndex::build(&text);
+        for occ_stride in [32usize, 64, 128, 256] {
+            for sa_stride in [4usize, 32, 128] {
+                let idx = FmIndex::build_with(&text, &FmConfig { occ_stride, sa_stride });
+                for pat_start in [0usize, 100, 555] {
+                    let pat = text.slice(pat_start, pat_start + 12);
+                    assert_eq!(
+                        idx.locate_all(&pat),
+                        base.locate_all(&pat),
+                        "occ {occ_stride} sa {sa_stride}"
+                    );
+                }
+            }
+        }
+        // Denser sampling costs more memory.
+        let dense = FmIndex::build_with(&text, &FmConfig { occ_stride: 32, sa_stride: 4 });
+        let sparse = FmIndex::build_with(&text, &FmConfig { occ_stride: 256, sa_stride: 128 });
+        assert!(dense.heap_bytes() > sparse.heap_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the 32-base")]
+    fn unaligned_occ_stride_panics() {
+        use super::FmConfig;
+        let text: DnaSeq = "ACGTACGT".parse().unwrap();
+        let _ = FmIndex::build_with(&text, &FmConfig { occ_stride: 48, sa_stride: 32 });
+    }
+
+    #[test]
+    fn heap_bytes_scales_with_text() {
+        let small = FmIndex::build(&seq("ACGTACGT"));
+        let codes: Vec<u8> = (0..10_000).map(|i| (i % 4) as u8).collect();
+        let big = FmIndex::build(&DnaSeq::from_codes_unchecked(codes));
+        assert!(big.heap_bytes() > small.heap_bytes() * 100);
+    }
+}

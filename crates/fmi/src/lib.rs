@@ -1,0 +1,37 @@
+//! # gb-fmi
+//!
+//! FM-index substrate and the **fmi** kernel (super-maximal exact match
+//! search) of GenomicsBench-rs.
+//!
+//! Built from scratch: linear-time SA-IS suffix-array construction
+//! ([`sais`]), a cache-conscious FM-index with checkpointed occurrence
+//! table and sampled suffix array ([`index`]), a bidirectional 2BWT index
+//! ([`bidir`]), BWA-MEM's SMEM algorithm ([`smem`]), and bounded-mismatch
+//! backtracking search ([`inexact`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use gb_core::seq::DnaSeq;
+//! use gb_fmi::{bidir::BiIndex, smem::{collect_smems, SmemConfig}};
+//!
+//! let reference: DnaSeq = "ACGGATTACAGGTTACGGATCCAGTAACGTA".parse()?;
+//! let bi = BiIndex::build(&reference);
+//! let read = reference.slice(5, 25);
+//! let smems = collect_smems(&bi, &read, &SmemConfig { min_seed_len: 10, min_intv: 1 });
+//! assert!(!smems.is_empty());
+//! # Ok::<(), gb_core::error::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bidir;
+pub mod index;
+pub mod inexact;
+pub mod sais;
+pub mod smem;
+
+pub use bidir::{BiIndex, BiInterval};
+pub use index::{FmIndex, SaRange};
+pub use smem::{collect_smems, Smem, SmemConfig};

@@ -1,0 +1,315 @@
+//! Super-maximal exact match (SMEM) search — the **fmi** kernel.
+//!
+//! This is the computation GenomicsBench extracts from BWA-MEM2's seeding
+//! stage: for each read, find every exact match to the reference that
+//! cannot be extended in either direction and is not contained in a longer
+//! match covering the same read position. The algorithm is Li's
+//! bidirectional procedure (Bioinformatics 2012, used verbatim in
+//! BWA-MEM/BWA-MEM2): forward-extend from a pivot recording every interval
+//! shrink, then backward-extend the recorded chain, emitting the longest
+//! surviving match each time extension fails.
+
+use crate::bidir::{BiIndex, BiInterval};
+use gb_core::seq::DnaSeq;
+use gb_uarch::probe::{NullProbe, Probe};
+
+/// One super-maximal exact match of a read against the index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Smem {
+    /// Start offset in the read (inclusive).
+    pub start: usize,
+    /// End offset in the read (exclusive).
+    pub end: usize,
+    /// The match's bi-interval (`interval.s` = occurrence count).
+    pub interval: BiInterval,
+}
+
+impl Smem {
+    /// Match length in bases.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the match is degenerate (never produced by the search).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Tuning parameters for SMEM collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmemConfig {
+    /// Discard matches shorter than this (BWA-MEM's `-k`, default 19).
+    pub min_seed_len: usize,
+    /// Stop extending when the interval size would drop below this
+    /// (BWA-MEM's `min_intv`, default 1).
+    pub min_intv: u32,
+}
+
+impl Default for SmemConfig {
+    fn default() -> SmemConfig {
+        SmemConfig { min_seed_len: 19, min_intv: 1 }
+    }
+}
+
+/// Collects all SMEMs of `read`, sorted by start position.
+///
+/// # Examples
+///
+/// ```
+/// use gb_core::seq::DnaSeq;
+/// use gb_fmi::{bidir::BiIndex, smem::{collect_smems, SmemConfig}};
+/// let text: DnaSeq = "ACGTACGGTTACGTAGGCATTACGGATCCAGT".parse()?;
+/// let bi = BiIndex::build(&text);
+/// let read = text.slice(4, 24);
+/// let cfg = SmemConfig { min_seed_len: 5, min_intv: 1 };
+/// let smems = collect_smems(&bi, &read, &cfg);
+/// // The read is an exact substring: one SMEM covering all of it.
+/// assert_eq!(smems.len(), 1);
+/// assert_eq!((smems[0].start, smems[0].end), (0, read.len()));
+/// # Ok::<(), gb_core::error::Error>(())
+/// ```
+pub fn collect_smems(bi: &BiIndex, read: &DnaSeq, config: &SmemConfig) -> Vec<Smem> {
+    collect_smems_probed(bi, read, config, &mut NullProbe)
+}
+
+/// [`collect_smems`] with instrumentation.
+pub fn collect_smems_probed<P: Probe>(
+    bi: &BiIndex,
+    read: &DnaSeq,
+    config: &SmemConfig,
+    probe: &mut P,
+) -> Vec<Smem> {
+    let mut out = Vec::new();
+    let mut x = 0usize;
+    while x < read.len() {
+        let next = smems_at_pivot(bi, read, x, config, &mut out, probe);
+        x = next.max(x + 1);
+    }
+    out.retain(|m| m.len() >= config.min_seed_len);
+    out.sort_by_key(|m| (m.start, m.end));
+    out.dedup();
+    out
+}
+
+/// An interval paired with the read end position it matches up to.
+#[derive(Debug, Clone, Copy)]
+struct IntvEnd {
+    iv: BiInterval,
+    end: usize,
+}
+
+/// Li's SMEM procedure at pivot `x`; appends matches covering `x` to
+/// `out` and returns the next pivot (end of the longest forward
+/// extension).
+fn smems_at_pivot<P: Probe>(
+    bi: &BiIndex,
+    read: &DnaSeq,
+    x: usize,
+    config: &SmemConfig,
+    out: &mut Vec<Smem>,
+    probe: &mut P,
+) -> usize {
+    let len = read.len();
+    let min_intv = config.min_intv.max(1);
+
+    // Forward extension: record the interval every time it shrinks.
+    let mut curr: Vec<IntvEnd> = Vec::new();
+    let mut ik = IntvEnd { iv: bi.init(read.code_at(x)), end: x + 1 };
+    let mut i = x + 1;
+    while i < len {
+        probe.branch(true);
+        let ok = bi.forward_ext_probed(ik.iv, read.code_at(i), probe);
+        if ok.s != ik.iv.s {
+            curr.push(ik);
+            if ok.s < min_intv {
+                break;
+            }
+        }
+        ik = IntvEnd { iv: ok, end: i + 1 };
+        i += 1;
+    }
+    if i == len {
+        curr.push(ik);
+    }
+    // Longest-first order for the backward phase.
+    curr.reverse();
+    let next_pivot = curr.first().map_or(x + 1, |p| p.end);
+    let mut prev = curr;
+
+    // Backward extension: peel one base off the left each iteration.
+    let mut emitted_start = usize::MAX;
+    let mut i = x as isize - 1;
+    loop {
+        let c: Option<u8> = if i >= 0 { Some(read.code_at(i as usize)) } else { None };
+        let mut curr: Vec<IntvEnd> = Vec::new();
+        for p in &prev {
+            probe.branch(true);
+            let ok = c.map(|c| bi.backward_ext_probed(p.iv, c, probe));
+            match ok {
+                Some(ok) if ok.s >= min_intv => {
+                    // Keep only the first interval of each distinct size:
+                    // later (shorter) ones are contained in it.
+                    if curr.last().map(|l| l.iv.s) != Some(ok.s) {
+                        curr.push(IntvEnd { iv: ok, end: p.end });
+                    }
+                }
+                _ => {
+                    // Extension failed: p is left-maximal at i+1. Emit it
+                    // if no longer match survived this round and it is
+                    // not contained in a previously emitted match.
+                    let start = (i + 1) as usize;
+                    if curr.is_empty() && start < emitted_start {
+                        out.push(Smem { start, end: p.end, interval: p.iv });
+                        emitted_start = start;
+                    }
+                }
+            }
+        }
+        if curr.is_empty() {
+            break;
+        }
+        prev = curr;
+        i -= 1;
+    }
+    next_pivot
+}
+
+/// Brute-force SMEM computation for testing: maximal matches per start
+/// position with containment filtering.
+pub fn naive_smems(text: &DnaSeq, read: &DnaSeq, min_len: usize) -> Vec<(usize, usize)> {
+    let t = text.as_codes();
+    let occurs = |p: &[u8]| -> bool {
+        !p.is_empty() && p.len() <= t.len() && (0..=t.len() - p.len()).any(|i| &t[i..i + p.len()] == p)
+    };
+    let r = read.as_codes();
+    let n = r.len();
+    // Longest match starting at each i.
+    let mut best: Vec<(usize, usize)> = Vec::new();
+    for i in 0..n {
+        let mut j = i;
+        while j < n && occurs(&r[i..j + 1]) {
+            j += 1;
+        }
+        if j > i {
+            best.push((i, j));
+        }
+    }
+    // Remove contained intervals.
+    let mut out: Vec<(usize, usize)> = Vec::new();
+    for &(s, e) in &best {
+        if !best.iter().any(|&(s2, e2)| (s2, e2) != (s, e) && s2 <= s && e <= e2) {
+            out.push((s, e));
+        }
+    }
+    out.retain(|&(s, e)| e - s >= min_len);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> DnaSeq {
+        s.parse().unwrap()
+    }
+
+    fn run(text: &DnaSeq, read: &DnaSeq, min_len: usize) {
+        let bi = BiIndex::build(text);
+        let cfg = SmemConfig { min_seed_len: min_len, min_intv: 1 };
+        let got: Vec<(usize, usize)> =
+            collect_smems(&bi, read, &cfg).iter().map(|m| (m.start, m.end)).collect();
+        let want = naive_smems(text, read, min_len);
+        assert_eq!(got, want, "text={text} read={read}");
+    }
+
+    #[test]
+    fn exact_substring_is_single_smem() {
+        let text = seq("ACGTACGGTTACGTAGGCATT");
+        let read = text.slice(3, 15);
+        run(&text, &read, 1);
+    }
+
+    #[test]
+    fn mismatch_splits_matches() {
+        let text = seq("ACGTACGTACGTACGTACGT");
+        // Read with a foreign block in the middle.
+        let read = seq("ACGTACCCCCGTACGT");
+        run(&text, &read, 1);
+    }
+
+    #[test]
+    fn pseudorandom_reads_match_naive() {
+        let codes: Vec<u8> = (0..600usize).map(|i| ((i * 53 + i / 7 + (i * i) % 13) % 4) as u8).collect();
+        let text = DnaSeq::from_codes_unchecked(codes);
+        for (start, mutate) in [(10usize, 3usize), (100, 7), (300, 5), (450, 11)] {
+            let mut r = text.slice(start, start + 60).into_codes();
+            // Sprinkle substitutions to create multiple SMEMs.
+            let mut k = 1;
+            while k < r.len() {
+                r[k] = (r[k] + 1) % 4;
+                k += mutate;
+            }
+            let read = DnaSeq::from_codes_unchecked(r);
+            run(&text, &read, 1);
+            run(&text, &read, 10);
+        }
+    }
+
+    #[test]
+    fn smems_cover_every_read_position() {
+        let codes: Vec<u8> = (0..400usize).map(|i| ((i * 29 + i / 3) % 4) as u8).collect();
+        let text = DnaSeq::from_codes_unchecked(codes);
+        let bi = BiIndex::build(&text);
+        let read = text.slice(50, 150);
+        let cfg = SmemConfig { min_seed_len: 1, min_intv: 1 };
+        let smems = collect_smems(&bi, &read, &cfg);
+        // Every base of the read occurs in the text (alphabet present), so
+        // every position must be covered by some SMEM.
+        for pos in 0..read.len() {
+            assert!(
+                smems.iter().any(|m| m.start <= pos && pos < m.end),
+                "position {pos} uncovered by {smems:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn interval_counts_are_occurrence_counts() {
+        let text = seq("ACGTACGTGGTACAACGTACGTTT");
+        let bi = BiIndex::build(&text);
+        let read = seq("ACGTACGT");
+        let cfg = SmemConfig { min_seed_len: 1, min_intv: 1 };
+        for m in collect_smems(&bi, &read, &cfg) {
+            let sub = read.slice(m.start, m.end);
+            let hits = bi.forward().locate_all(&sub);
+            assert_eq!(hits.len() as u32, m.interval.s, "smem {m:?}");
+        }
+    }
+
+    #[test]
+    fn min_seed_len_filters_short_matches() {
+        let text = seq("ACGTACGGTTACGTAGGCATT");
+        let read = seq("ACGTAAAAAAAAAAAAAAGGCATT");
+        let bi = BiIndex::build(&text);
+        let all = collect_smems(&bi, &read, &SmemConfig { min_seed_len: 1, min_intv: 1 });
+        let filtered = collect_smems(&bi, &read, &SmemConfig { min_seed_len: 6, min_intv: 1 });
+        assert!(filtered.len() <= all.len());
+        assert!(filtered.iter().all(|m| m.len() >= 6));
+    }
+
+    #[test]
+    fn probe_counts_lookups() {
+        use gb_uarch::mix::MixProbe;
+        let codes: Vec<u8> = (0..500usize).map(|i| ((i * 17 + i / 9) % 4) as u8).collect();
+        let text = DnaSeq::from_codes_unchecked(codes);
+        let bi = BiIndex::build(&text);
+        let read = text.slice(100, 251);
+        let mut probe = MixProbe::new();
+        let _ = collect_smems_probed(&bi, &read, &SmemConfig::default(), &mut probe);
+        // Each extension does 2 occ_all lookups = 2+ loads.
+        assert!(probe.mix().loads as usize > read.len(), "loads = {}", probe.mix().loads);
+    }
+}

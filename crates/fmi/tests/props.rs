@@ -1,0 +1,122 @@
+//! Property-based tests for the FM-index stack.
+
+use gb_core::seq::DnaSeq;
+use gb_fmi::bidir::BiIndex;
+use gb_fmi::index::FmIndex;
+use gb_fmi::sais::{naive_suffix_array, suffix_array};
+use gb_fmi::smem::{collect_smems, naive_smems, SmemConfig};
+use proptest::prelude::*;
+
+fn codes(min: usize, max: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..4, min..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sais_matches_naive(text in codes(0, 400)) {
+        prop_assert_eq!(suffix_array(&text), naive_suffix_array(&text));
+    }
+
+    #[test]
+    fn suffixes_come_out_sorted(text in codes(1, 300)) {
+        let sa = suffix_array(&text);
+        for w in sa.windows(2) {
+            let a = &text[w[0] as usize..];
+            let b = &text[w[1] as usize..];
+            prop_assert!(a < b, "suffixes out of order");
+        }
+    }
+
+    #[test]
+    fn bwt_lf_mapping_inverts_text(text in codes(1, 200)) {
+        // Walking LF from the sentinel row reconstructs the text
+        // backwards — BWT invertibility.
+        let s = DnaSeq::from_codes(text.clone()).unwrap();
+        let idx = FmIndex::build(&s);
+        let mut row = 0u32; // row 0 is the sentinel suffix
+        let mut rebuilt = Vec::new();
+        loop {
+            match idx.bwt_at(row) {
+                None => break, // reached the sentinel character
+                Some(c) => {
+                    rebuilt.push(c);
+                    row = idx.c_of(c) + idx.occ(c, row);
+                }
+            }
+        }
+        rebuilt.reverse();
+        prop_assert_eq!(rebuilt, text);
+    }
+
+    #[test]
+    fn search_finds_exactly_the_occurrences(
+        text in codes(10, 300),
+        start in 0usize..250,
+        len in 1usize..20,
+    ) {
+        let s = DnaSeq::from_codes(text.clone()).unwrap();
+        let start = start % text.len().saturating_sub(1).max(1);
+        let len = len.min(text.len() - start).max(1);
+        let pat = s.slice(start, start + len);
+        let idx = FmIndex::build(&s);
+        let hits = idx.locate_all(&pat);
+        let p = pat.as_codes();
+        let expect: Vec<u32> = (0..=text.len() - p.len())
+            .filter(|&i| &text[i..i + p.len()] == p)
+            .map(|i| i as u32)
+            .collect();
+        prop_assert_eq!(hits, expect);
+    }
+
+    #[test]
+    fn bidir_extension_sizes_match_plain_search(
+        text in codes(20, 250),
+        start in 0usize..200,
+        len in 2usize..12,
+    ) {
+        let s = DnaSeq::from_codes(text.clone()).unwrap();
+        let start = start % (text.len() - len - 1).max(1);
+        let sub = s.slice(start, start + len);
+        let bi = BiIndex::build(&s);
+        // Grow backward from the last base.
+        let mut iv = bi.init(sub.code_at(sub.len() - 1));
+        for i in (0..sub.len() - 1).rev() {
+            iv = bi.backward_ext(iv, sub.code_at(i));
+        }
+        prop_assert_eq!(iv.forward_range(), bi.forward().search(&sub));
+        // Grow forward from the first base: same occurrence count.
+        let mut fv = bi.init(sub.code_at(0));
+        for i in 1..sub.len() {
+            fv = bi.forward_ext(fv, sub.code_at(i));
+        }
+        prop_assert_eq!(fv.s, iv.s);
+    }
+
+    #[test]
+    fn smems_match_naive_and_are_maximal(text in codes(30, 200), rstart in 0usize..150, rlen in 5usize..40) {
+        let s = DnaSeq::from_codes(text).unwrap();
+        let rstart = rstart % (s.len() - 5).max(1);
+        let rlen = rlen.min(s.len() - rstart).max(2);
+        // Mutate the middle base so the read is not one giant match.
+        let mut rc = s.slice(rstart, rstart + rlen).into_codes();
+        let mid = rc.len() / 2;
+        rc[mid] = (rc[mid] + 1) % 4;
+        let read = DnaSeq::from_codes_unchecked(rc);
+        let bi = BiIndex::build(&s);
+        let cfg = SmemConfig { min_seed_len: 1, min_intv: 1 };
+        let got: Vec<(usize, usize)> =
+            collect_smems(&bi, &read, &cfg).iter().map(|m| (m.start, m.end)).collect();
+        let want = naive_smems(&s, &read, 1);
+        prop_assert_eq!(got.clone(), want);
+        // No SMEM contains another.
+        for a in &got {
+            for b in &got {
+                if a != b {
+                    prop_assert!(!(a.0 <= b.0 && b.1 <= a.1), "{a:?} contains {b:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Connectionist Temporal Classification decoding.
+//!
+//! Basecallers emit per-timestep probabilities over `{A, C, G, T, blank}`;
+//! a CTC decoder collapses them into a base sequence. Greedy (best-path)
+//! decoding is what Bonito's fast path uses; a small beam search is
+//! provided as the higher-accuracy alternative.
+
+use gb_core::matrix::Matrix;
+use gb_core::seq::DnaSeq;
+
+/// Index of the CTC blank symbol in the 5-way posterior.
+pub const BLANK: usize = 4;
+
+/// Greedy (best-path) decode: per-step argmax, collapse repeats, drop
+/// blanks.
+///
+/// `posteriors` is `5 x T` (rows: A, C, G, T, blank).
+///
+/// # Examples
+///
+/// ```
+/// use gb_core::matrix::Matrix;
+/// use gb_nn::ctc::greedy_decode;
+/// // T=4 steps: A, A, blank, C  ->  "AC"
+/// let p = Matrix::from_vec(5, 4, vec![
+///     0.9, 0.9, 0.1, 0.1, // A
+///     0.0, 0.0, 0.1, 0.8, // C
+///     0.0, 0.0, 0.1, 0.0, // G
+///     0.0, 0.0, 0.1, 0.0, // T
+///     0.1, 0.1, 0.6, 0.1, // blank
+/// ]);
+/// assert_eq!(greedy_decode(&p).to_string(), "AC");
+/// ```
+pub fn greedy_decode(posteriors: &Matrix) -> DnaSeq {
+    assert_eq!(posteriors.rows(), 5, "posteriors must have 5 rows");
+    let t_len = posteriors.cols();
+    let mut out = DnaSeq::new();
+    let mut prev = BLANK;
+    for t in 0..t_len {
+        let mut best = 0usize;
+        for r in 1..5 {
+            if posteriors[(r, t)] > posteriors[(best, t)] {
+                best = r;
+            }
+        }
+        if best != BLANK && best != prev {
+            out.push_code(best as u8);
+        }
+        prev = best;
+    }
+    out
+}
+
+/// One beam-search hypothesis.
+#[derive(Debug, Clone)]
+struct Beam {
+    seq: Vec<u8>,
+    /// Probability of the hypothesis ending in a blank.
+    p_blank: f64,
+    /// Probability of the hypothesis ending in its last symbol.
+    p_label: f64,
+}
+
+impl Beam {
+    fn total(&self) -> f64 {
+        self.p_blank + self.p_label
+    }
+}
+
+/// Prefix beam-search decode with the given beam width.
+///
+/// Follows the standard CTC prefix search (Graves 2014): hypotheses are
+/// label prefixes; per step each prefix extends with blank, a repeat of
+/// its last label, or a new label, and the top `width` survive.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or the posterior matrix does not have 5 rows.
+pub fn beam_decode(posteriors: &Matrix, width: usize) -> DnaSeq {
+    assert!(width > 0, "beam width must be positive");
+    assert_eq!(posteriors.rows(), 5, "posteriors must have 5 rows");
+    let t_len = posteriors.cols();
+    let mut beams: Vec<Beam> = vec![Beam { seq: Vec::new(), p_blank: 1.0, p_label: 0.0 }];
+    for t in 0..t_len {
+        let p: Vec<f64> = (0..5).map(|r| f64::from(posteriors[(r, t)])).collect();
+        let mut next: std::collections::HashMap<Vec<u8>, Beam> = std::collections::HashMap::new();
+        for beam in &beams {
+            // 1. Extend with blank: prefix unchanged.
+            let e = next.entry(beam.seq.clone()).or_insert_with(|| Beam {
+                seq: beam.seq.clone(),
+                p_blank: 0.0,
+                p_label: 0.0,
+            });
+            e.p_blank += beam.total() * p[BLANK];
+            // 2. Repeat the last label: prefix unchanged, only extends the
+            // label-ending mass.
+            if let Some(&last) = beam.seq.last() {
+                let e = next.get_mut(&beam.seq).expect("just inserted");
+                e.p_label += beam.p_label * p[last as usize];
+            }
+            // 3. Extend with each non-blank label.
+            for c in 0..4u8 {
+                let mut seq = beam.seq.clone();
+                seq.push(c);
+                let mass = if beam.seq.last() == Some(&c) {
+                    // Same label after a blank only.
+                    beam.p_blank * p[c as usize]
+                } else {
+                    beam.total() * p[c as usize]
+                };
+                if mass == 0.0 {
+                    continue;
+                }
+                let e = next.entry(seq.clone()).or_insert(Beam { seq, p_blank: 0.0, p_label: 0.0 });
+                e.p_label += mass;
+            }
+        }
+        let mut all: Vec<Beam> = next.into_values().collect();
+        all.sort_by(|a, b| b.total().partial_cmp(&a.total()).expect("finite probabilities"));
+        all.truncate(width);
+        beams = all;
+    }
+    let best = beams.into_iter().max_by(|a, b| a.total().partial_cmp(&b.total()).expect("finite"));
+    DnaSeq::from_codes_unchecked(best.map(|b| b.seq).unwrap_or_default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a 5 x T posterior matrix from per-step (symbol, confidence).
+    fn posteriors(steps: &[(usize, f32)]) -> Matrix {
+        let t = steps.len();
+        let mut m = Matrix::zeros(5, t);
+        for (ti, &(sym, conf)) in steps.iter().enumerate() {
+            for r in 0..5 {
+                m[(r, ti)] = if r == sym { conf } else { (1.0 - conf) / 4.0 };
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn greedy_collapses_repeats_and_blanks() {
+        let p = posteriors(&[(0, 0.9), (0, 0.9), (4, 0.9), (0, 0.9), (1, 0.9), (1, 0.8)]);
+        assert_eq!(greedy_decode(&p).to_string(), "AAC");
+    }
+
+    #[test]
+    fn greedy_empty_for_all_blank() {
+        let p = posteriors(&[(4, 0.9), (4, 0.9)]);
+        assert!(greedy_decode(&p).is_empty());
+    }
+
+    #[test]
+    fn beam_equals_greedy_on_confident_input() {
+        let p = posteriors(&[(2, 0.99), (4, 0.99), (2, 0.99), (1, 0.99), (4, 0.99), (3, 0.99)]);
+        assert_eq!(beam_decode(&p, 4), greedy_decode(&p));
+        assert_eq!(beam_decode(&p, 4).to_string(), "GGCT");
+    }
+
+    #[test]
+    fn beam_sums_paths_greedy_cannot() {
+        // Classic CTC case: per-step argmax picks blank, but the summed
+        // label mass beats it. Steps: P(A)=0.4, P(blank)=0.6 twice.
+        // Paths for "A": A·A + A·- + -·A = 0.16+0.24+0.24 = 0.64
+        // Paths for "": -·- = 0.36. Beam finds "A"; greedy finds "".
+        let mut m = Matrix::zeros(5, 2);
+        for t in 0..2 {
+            m[(0, t)] = 0.4;
+            m[(4, t)] = 0.6;
+        }
+        assert!(greedy_decode(&m).is_empty());
+        assert_eq!(beam_decode(&m, 8).to_string(), "A");
+    }
+
+    #[test]
+    fn beam_respects_repeat_semantics() {
+        // "AA" requires a blank between the two A's.
+        let p = posteriors(&[(0, 0.95), (4, 0.95), (0, 0.95)]);
+        assert_eq!(beam_decode(&p, 8).to_string(), "AA");
+        let no_blank = posteriors(&[(0, 0.95), (0, 0.95), (0, 0.95)]);
+        assert_eq!(beam_decode(&no_blank, 8).to_string(), "A");
+    }
+
+    #[test]
+    fn wider_beam_never_decodes_worse_probability() {
+        // Construct a mildly ambiguous posterior and check the beam=1
+        // result is also found by beam=8 search space (sanity: same or
+        // different, but decode must be deterministic).
+        let p = posteriors(&[(0, 0.5), (1, 0.5), (4, 0.5), (2, 0.5)]);
+        let narrow = beam_decode(&p, 1);
+        let wide = beam_decode(&p, 8);
+        assert_eq!(beam_decode(&p, 8), wide);
+        assert!(!narrow.is_empty() || !wide.is_empty());
+    }
+}

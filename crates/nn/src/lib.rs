@@ -1,0 +1,36 @@
+//! # gb-nn
+//!
+//! From-scratch neural-network inference for the two GPU-class kernels of
+//! GenomicsBench-rs:
+//!
+//! - [`layers`] — conv1d / depthwise-separable blocks / dense / (bi)LSTM,
+//! - [`ctc`] — greedy and prefix-beam CTC decoding,
+//! - [`pore_decoder`] — the classical HMM/Viterbi basecaller baseline,
+//! - [`basecaller`] — the Bonito-like **nn-base** model,
+//! - [`variant_caller`] — the Clair-like **nn-variant** model.
+//!
+//! Weights are seeded-random: the suite characterizes inference *compute
+//! shape*, not model accuracy (see `DESIGN.md`).
+//!
+//! # Examples
+//!
+//! ```
+//! use gb_nn::basecaller::{Basecaller, BasecallerConfig};
+//! let cfg = BasecallerConfig { chunk_size: 500, ..Default::default() };
+//! let model = Basecaller::new(&cfg, 42);
+//! let raw: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.2).sin() * 12.0 + 90.0).collect();
+//! let result = model.basecall(&raw);
+//! assert_eq!(result.chunks, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod basecaller;
+pub mod ctc;
+pub mod layers;
+pub mod pore_decoder;
+pub mod variant_caller;
+
+pub use basecaller::{Basecaller, BasecallerConfig};
+pub use variant_caller::{VariantCall, VariantCaller, VariantCallerConfig};

@@ -1,0 +1,93 @@
+//! Property-based tests for the neural-network substrate.
+
+use gb_core::matrix::Matrix;
+use gb_nn::ctc::{beam_decode, greedy_decode};
+use gb_nn::layers::softmax;
+use proptest::prelude::*;
+
+/// Random CTC posterior matrix: 5 x T column-stochastic.
+fn posteriors(max_t: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(proptest::collection::vec(0.01f32..1.0, 5), 1..max_t).prop_map(
+        |cols| {
+            let t = cols.len();
+            let mut m = Matrix::zeros(5, t);
+            for (ti, mut col) in cols.into_iter().enumerate() {
+                softmax(&mut col);
+                for (r, v) in col.into_iter().enumerate() {
+                    m[(r, ti)] = v;
+                }
+            }
+            m
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn softmax_always_a_distribution(xs in proptest::collection::vec(-50.0f32..50.0, 1..40)) {
+        let mut v = xs;
+        softmax(&mut v);
+        let sum: f32 = v.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(v.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn greedy_decode_never_longer_than_input(p in posteriors(50)) {
+        let d = greedy_decode(&p);
+        prop_assert!(d.len() <= p.cols());
+        // No immediate repeats without an intervening blank is impossible
+        // to check from the output alone, but the output must be valid
+        // 2-bit codes.
+        prop_assert!(d.as_codes().iter().all(|&c| c < 4));
+    }
+
+    #[test]
+    fn beam_width_one_is_deterministic(p in posteriors(20)) {
+        let a = beam_decode(&p, 1);
+        let b = beam_decode(&p, 1);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn beam_decode_bounded_by_steps(p in posteriors(30), width in 1usize..6) {
+        let d = beam_decode(&p, width);
+        prop_assert!(d.len() <= p.cols());
+    }
+
+    #[test]
+    fn confident_posteriors_decode_identically(labels in proptest::collection::vec(0usize..5, 1..25)) {
+        // Near-one-hot posteriors: greedy and beam agree.
+        let t = labels.len();
+        let mut m = Matrix::zeros(5, t);
+        for (ti, &l) in labels.iter().enumerate() {
+            for r in 0..5 {
+                m[(r, ti)] = if r == l { 0.96 } else { 0.01 };
+            }
+        }
+        prop_assert_eq!(greedy_decode(&m), beam_decode(&m, 4));
+    }
+}
+
+mod pore {
+    use gb_datagen::signal::{simulate_signal, PoreModel, SignalSimConfig};
+    use gb_nn::pore_decoder::{accuracy, viterbi_decode, PoreDecoderParams};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn clean_signals_decode_accurately(codes in proptest::collection::vec(0u8..4, 60..150), seed in 0u64..1000) {
+            let seq = gb_core::seq::DnaSeq::from_codes_unchecked(codes);
+            let model = PoreModel::r9_like();
+            let cfg = SignalSimConfig { split_prob: 0.0, skip_prob: 0.0, ..Default::default() };
+            let sig = simulate_signal(&seq, &model, &cfg, seed);
+            let d = viterbi_decode(&sig.events, &model, &PoreDecoderParams::default()).expect("non-empty");
+            let acc = accuracy(&d.seq, &seq);
+            prop_assert!(acc > 0.9, "accuracy {acc}");
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Clair-style feature tensors: the bridge from pileup counts to the
+//! **nn-variant** kernel.
+//!
+//! Clair consumes a `33 x 8 x 4` tensor per candidate site: 33 reference
+//! positions (16 flanking each side), 8 channels (4 bases x 2 strands)
+//! and 4 encodings — raw pileup counts, insertion support, deletion
+//! support, and alternative-allele support relative to the reference.
+
+use crate::pileup::Pileup;
+use gb_core::seq::DnaSeq;
+
+/// Window half-width: 16 flanking positions each side of the candidate.
+pub const FLANK: usize = 16;
+/// Window width (33).
+pub const WINDOW: usize = 2 * FLANK + 1;
+/// Channels: 4 bases x 2 strands.
+pub const CHANNELS: usize = 8;
+/// Encodings per channel.
+pub const ENCODINGS: usize = 4;
+/// Flattened tensor length (33 * 8 * 4 = 1056).
+pub const TENSOR_LEN: usize = WINDOW * CHANNELS * ENCODINGS;
+
+/// A flattened `33 x 8 x 4` input tensor, indexed
+/// `[position][channel][encoding]` row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClairTensor {
+    /// Candidate reference position at the window center.
+    pub center: usize,
+    /// The flattened features.
+    pub data: Vec<f32>,
+}
+
+impl ClairTensor {
+    /// The feature at `(position, channel, encoding)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn get(&self, pos: usize, channel: usize, encoding: usize) -> f32 {
+        assert!(pos < WINDOW && channel < CHANNELS && encoding < ENCODINGS);
+        self.data[(pos * CHANNELS + channel) * ENCODINGS + encoding]
+    }
+}
+
+/// Builds the tensor for candidate position `center` (absolute reference
+/// coordinate) from a pileup and the reference sequence of the same
+/// region.
+///
+/// Positions outside the pileup's region contribute zeros, as Clair pads
+/// contig edges.
+///
+/// # Panics
+///
+/// Panics if `ref_seq.len() != pileup.region.len()`.
+pub fn clair_tensor(pileup: &Pileup, ref_seq: &DnaSeq, center: usize) -> ClairTensor {
+    assert_eq!(ref_seq.len(), pileup.region.len(), "reference must cover the pileup region");
+    let mut data = vec![0.0f32; TENSOR_LEN];
+    for (wi, slot) in data.chunks_mut(CHANNELS * ENCODINGS).enumerate() {
+        let pos = match (center + wi).checked_sub(FLANK) {
+            Some(p) => p,
+            None => continue,
+        };
+        let Some(counts) = pileup.at(pos) else { continue };
+        let depth = counts.depth().max(1) as f32;
+        let ref_base = ref_seq.code_at(pos - pileup.region.start);
+        for base in 0..4usize {
+            for (strand, (base_counts, ins, del)) in [
+                (0usize, (&counts.base_fwd, counts.ins_fwd, counts.del_fwd)),
+                (1usize, (&counts.base_rev, counts.ins_rev, counts.del_rev)),
+            ] {
+                let ch = base * 2 + strand;
+                let raw = base_counts[base] as f32 / depth;
+                let off = ch * ENCODINGS;
+                slot[off] = raw;
+                slot[off + 1] = ins as f32 / depth;
+                slot[off + 2] = del as f32 / depth;
+                // Alternative support: non-reference base fraction.
+                slot[off + 3] = if base as u8 == ref_base { 0.0 } else { raw };
+            }
+        }
+    }
+    ClairTensor { center, data }
+}
+
+/// Builds tensors for a batch of candidate positions — the nn-variant
+/// pre-processing workload.
+pub fn clair_tensor_batch(
+    pileup: &Pileup,
+    ref_seq: &DnaSeq,
+    centers: &[usize],
+) -> Vec<ClairTensor> {
+    centers.iter().map(|&c| clair_tensor(pileup, ref_seq, c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pileup::count_pileup;
+    use gb_core::cigar::Cigar;
+    use gb_core::quality::Phred;
+    use gb_core::record::{AlignmentRecord, ReadRecord, Strand};
+    use gb_core::region::{Region, RegionTask};
+
+    fn simple_task() -> (RegionTask, DnaSeq) {
+        // Reference of 100 A's; 10 reads of C at positions 40..60 -> every
+        // covered position is an alt site.
+        let ref_seq = DnaSeq::from_codes_unchecked(vec![0u8; 100]);
+        let reads: Vec<AlignmentRecord> = (0..10)
+            .map(|i| {
+                let read = ReadRecord::with_uniform_quality(
+                    format!("r{i}"),
+                    DnaSeq::from_codes_unchecked(vec![1u8; 20]),
+                    Phred::new(30),
+                );
+                let cig: Cigar = "20M".parse().unwrap();
+                AlignmentRecord::new(read, 0, 40, cig, 60, Strand::Forward).unwrap()
+            })
+            .collect();
+        (RegionTask { region: Region::new(0, 0, 100), ref_seq: ref_seq.clone(), reads }, ref_seq)
+    }
+
+    #[test]
+    fn tensor_shape_and_center() {
+        let (task, ref_seq) = simple_task();
+        let p = count_pileup(&task);
+        let t = clair_tensor(&p, &ref_seq, 50);
+        assert_eq!(t.data.len(), TENSOR_LEN);
+        // Center (window index 16): all reads say C on forward strand.
+        let c_fwd = t.get(FLANK, 2, 0);
+        assert!((c_fwd - 1.0).abs() < 1e-6, "C fraction {c_fwd}");
+        // Alt encoding mirrors raw for non-reference base.
+        assert_eq!(t.get(FLANK, 2, 3), c_fwd);
+        // Reference base A has no support and no alt.
+        assert_eq!(t.get(FLANK, 0, 0), 0.0);
+        assert_eq!(t.get(FLANK, 0, 3), 0.0);
+    }
+
+    #[test]
+    fn window_edges_are_padded() {
+        let (task, ref_seq) = simple_task();
+        let p = count_pileup(&task);
+        let t = clair_tensor(&p, &ref_seq, 5); // window extends below 0
+        for wi in 0..11 {
+            for ch in 0..CHANNELS {
+                for e in 0..ENCODINGS {
+                    if wi + 5 < FLANK {
+                        assert_eq!(t.get(wi, ch, e), 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uncovered_positions_are_zero() {
+        let (task, ref_seq) = simple_task();
+        let p = count_pileup(&task);
+        let t = clair_tensor(&p, &ref_seq, 10); // coverage starts at 40
+        assert!(t.data.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn batch_matches_singles() {
+        let (task, ref_seq) = simple_task();
+        let p = count_pileup(&task);
+        let batch = clair_tensor_batch(&p, &ref_seq, &[45, 50, 55]);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[1], clair_tensor(&p, &ref_seq, 50));
+    }
+
+    #[test]
+    fn reference_support_is_not_alt() {
+        // Reads agreeing with the reference: encoding 3 stays zero.
+        let ref_seq = DnaSeq::from_codes_unchecked(vec![2u8; 60]);
+        let read = ReadRecord::with_uniform_quality(
+            "r",
+            DnaSeq::from_codes_unchecked(vec![2u8; 30]),
+            Phred::new(30),
+        );
+        let cig: Cigar = "30M".parse().unwrap();
+        let aln = AlignmentRecord::new(read, 0, 10, cig, 60, Strand::Forward).unwrap();
+        let task =
+            RegionTask { region: Region::new(0, 0, 60), ref_seq: ref_seq.clone(), reads: vec![aln] };
+        let p = count_pileup(&task);
+        let t = clair_tensor(&p, &ref_seq, 20);
+        assert!((t.get(FLANK, 2 * 2, 0) - 1.0).abs() < 1e-6);
+        assert_eq!(t.get(FLANK, 2 * 2, 3), 0.0);
+    }
+}

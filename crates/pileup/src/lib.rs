@@ -1,0 +1,27 @@
+//! # gb-pileup
+//!
+//! Pileup counting (the **pileup** kernel, Medaka's pre-processing) and
+//! Clair-style feature-tensor generation (the front-end of the
+//! **nn-variant** kernel).
+//!
+//! # Examples
+//!
+//! ```
+//! use gb_core::{cigar::Cigar, quality::Phred, record::*, region::*, seq::DnaSeq};
+//! use gb_pileup::pileup::count_pileup;
+//! let ref_seq: DnaSeq = "ACGTACGT".parse()?;
+//! let read = ReadRecord::with_uniform_quality("r", "ACGT".parse()?, Phred::new(30));
+//! let aln = AlignmentRecord::new(read, 0, 0, "4M".parse()?, 60, Strand::Forward)?;
+//! let task = RegionTask { region: Region::new(0, 0, 8), ref_seq, reads: vec![aln] };
+//! assert_eq!(count_pileup(&task).at(0).unwrap().depth(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod feature;
+pub mod pileup;
+
+pub use feature::{clair_tensor, clair_tensor_batch, ClairTensor};
+pub use pileup::{count_pileup, Pileup, PosCounts};

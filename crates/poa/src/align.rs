@@ -1,0 +1,462 @@
+//! Sequence-to-graph alignment and graph update — the heart of the
+//! **spoa** kernel.
+//!
+//! Aligning a read to the partial-order graph is a dynamic program over
+//! `(topologically ordered nodes) x (read positions)`; unlike
+//! Smith-Waterman, the "previous row" of a cell is the set of graph
+//! predecessors of its node, so the data dependencies are input-dependent
+//! (complexity `O((2·n_p + 1)·n·|V|)`, paper §III).
+
+use crate::graph::{NodeId, PoaGraph};
+use gb_core::seq::DnaSeq;
+use gb_uarch::probe::{addr_of, NullProbe, Probe};
+
+/// Scoring for graph alignment (SPOA/Racon defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoaParams {
+    /// Match score (positive).
+    pub match_score: i32,
+    /// Mismatch penalty (positive).
+    pub mismatch: i32,
+    /// Linear gap penalty (positive).
+    pub gap: i32,
+}
+
+impl Default for PoaParams {
+    fn default() -> PoaParams {
+        PoaParams { match_score: 5, mismatch: 4, gap: 8 }
+    }
+}
+
+/// One step of a graph alignment path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignStep {
+    /// Read base `pos` aligned to graph node `node` (match or mismatch).
+    Aligned {
+        /// The graph node.
+        node: NodeId,
+        /// The read offset.
+        pos: usize,
+    },
+    /// Read base `pos` inserted relative to the graph.
+    Insert {
+        /// The read offset.
+        pos: usize,
+    },
+    /// Graph node `node` skipped by the read (deletion).
+    Delete {
+        /// The graph node.
+        node: NodeId,
+    },
+}
+
+/// Result of aligning one sequence to the graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphAlignment {
+    /// Global alignment score.
+    pub score: i32,
+    /// The path, in read/graph order.
+    pub steps: Vec<AlignStep>,
+    /// DP cells computed (`|V| * n`).
+    pub cells: u64,
+}
+
+/// Aligns `seq` to `graph` (global in the sequence, source-to-sink in the
+/// graph).
+///
+/// # Panics
+///
+/// Panics if the graph is empty or the sequence is empty.
+pub fn align_to_graph(graph: &PoaGraph, seq: &DnaSeq, params: &PoaParams) -> GraphAlignment {
+    align_to_graph_probed(graph, seq, params, &mut NullProbe)
+}
+
+/// [`align_to_graph`] with instrumentation.
+pub fn align_to_graph_probed<P: Probe>(
+    graph: &PoaGraph,
+    seq: &DnaSeq,
+    params: &PoaParams,
+    probe: &mut P,
+) -> GraphAlignment {
+    assert!(!graph.is_empty(), "cannot align to an empty graph");
+    assert!(!seq.is_empty(), "cannot align an empty sequence");
+    let order = graph.topo_order();
+    let n = seq.len();
+    let v = order.len();
+    let s = seq.as_codes();
+
+    // rank_of[node] = row index (1-based; row 0 is the virtual start).
+    let mut rank_of = vec![0usize; graph.num_nodes()];
+    for (r, &id) in order.iter().enumerate() {
+        rank_of[id] = r + 1;
+    }
+
+    let width = n + 1;
+    let neg = i32::MIN / 4;
+    let mut h = vec![neg; (v + 1) * width];
+    // Trace: (predecessor row, kind). Kind: 0 = diag, 1 = up (delete),
+    // 2 = left (insert), 3 = none (row start / origin).
+    let mut trace = vec![(0u32, 3u8); (v + 1) * width];
+
+    // Virtual start row: leading insertions.
+    for j in 0..=n {
+        h[j] = -(j as i32) * params.gap;
+        if j > 0 {
+            trace[j] = (0, 2);
+        }
+    }
+
+    let mut cells = 0u64;
+    for (r0, &id) in order.iter().enumerate() {
+        let row = r0 + 1;
+        let node = graph.node(id);
+        let base = node.base;
+        // Predecessor rows: graph predecessors, or the virtual start.
+        let pred_rows: Vec<usize> = if node.in_edges.is_empty() {
+            vec![0]
+        } else {
+            node.in_edges.iter().map(|&(p, _)| rank_of[p]).collect()
+        };
+        // Column 0: graph-only path (all deletions).
+        let mut best0 = neg;
+        let mut best0_pred = 0usize;
+        for &pr in &pred_rows {
+            if h[pr * width] - params.gap > best0 {
+                best0 = h[pr * width] - params.gap;
+                best0_pred = pr;
+            }
+        }
+        h[row * width] = best0;
+        trace[row * width] = (best0_pred as u32, 1);
+        for j in 1..=n {
+            cells += 1;
+            let sub = if base == s[j - 1] { params.match_score } else { -params.mismatch };
+            let mut best = neg;
+            let mut tr = (0u32, 3u8);
+            for &pr in &pred_rows {
+                probe.load(addr_of(&h[pr * width + j - 1]), 4);
+                probe.load(addr_of(&h[pr * width + j]), 4);
+                let diag = h[pr * width + j - 1] + sub;
+                if diag > best {
+                    best = diag;
+                    tr = (pr as u32, 0);
+                }
+                let up = h[pr * width + j] - params.gap;
+                if up > best {
+                    best = up;
+                    tr = (pr as u32, 1);
+                }
+                probe.int_ops(4);
+            }
+            let left = h[row * width + j - 1] - params.gap;
+            probe.branch(left > best);
+            if left > best {
+                best = left;
+                tr = (row as u32, 2);
+            }
+            h[row * width + j] = best;
+            trace[row * width + j] = tr;
+            probe.store(addr_of(&h[row * width + j]), 4);
+            probe.simd_ops(1); // SPOA's SIMD lane work per cell
+        }
+    }
+
+    // Best sink at full sequence consumption.
+    let mut best_row = 0usize;
+    for (r0, &id) in order.iter().enumerate() {
+        if graph.node(id).out_edges.is_empty() {
+            let row = r0 + 1;
+            if best_row == 0 || h[row * width + n] > h[best_row * width + n] {
+                best_row = row;
+            }
+        }
+    }
+    let best_score = h[best_row * width + n];
+
+    // Traceback.
+    let mut steps = Vec::new();
+    let (mut row, mut j) = (best_row, n);
+    while row != 0 || j != 0 {
+        let (pr, kind) = trace[row * width + j];
+        match kind {
+            0 => {
+                steps.push(AlignStep::Aligned { node: order[row - 1], pos: j - 1 });
+                row = pr as usize;
+                j -= 1;
+            }
+            1 => {
+                steps.push(AlignStep::Delete { node: order[row - 1] });
+                row = pr as usize;
+            }
+            2 => {
+                steps.push(AlignStep::Insert { pos: j - 1 });
+                j -= 1;
+            }
+            _ => break,
+        }
+    }
+    steps.reverse();
+    GraphAlignment { score: best_score, steps, cells }
+}
+
+/// Aligns `seq` and merges it into the graph, updating edge weights and
+/// creating nodes for mismatches/insertions. Returns the alignment.
+///
+/// An empty graph is seeded with the sequence as a backbone chain.
+pub fn add_sequence(graph: &mut PoaGraph, seq: &DnaSeq, params: &PoaParams) -> GraphAlignment {
+    add_sequence_probed(graph, seq, params, &mut NullProbe)
+}
+
+/// Quality-weighted merge (Racon's scheme): each traversed edge gains the
+/// read's Phred quality at that base instead of a flat 1, so confident
+/// reads dominate the heaviest-bundle consensus.
+///
+/// # Panics
+///
+/// Panics (in the underlying record) only if qualities and sequence
+/// lengths disagree, which [`gb_core::record::ReadRecord`] prevents.
+pub fn add_read_weighted(
+    graph: &mut PoaGraph,
+    read: &gb_core::record::ReadRecord,
+    params: &PoaParams,
+) -> GraphAlignment {
+    let weight_of = |pos: usize| u32::from(read.quals()[pos].value().max(1));
+    if graph.is_empty() {
+        let alignment = add_sequence(graph, &read.seq, params);
+        // Re-weight the fresh backbone edges by quality.
+        for pos in 1..read.seq.len() {
+            graph.add_edge(pos - 1, pos, weight_of(pos).saturating_sub(1));
+        }
+        return alignment;
+    }
+    graph.ensure_topo();
+    let alignment = align_to_graph_probed(graph, &read.seq, params, &mut NullProbe);
+    merge_alignment(graph, &read.seq, &alignment, &weight_of);
+    graph.ensure_topo();
+    alignment
+}
+
+/// [`add_sequence`] with instrumentation.
+pub fn add_sequence_probed<P: Probe>(
+    graph: &mut PoaGraph,
+    seq: &DnaSeq,
+    params: &PoaParams,
+    probe: &mut P,
+) -> GraphAlignment {
+    if graph.is_empty() {
+        *graph = PoaGraph::from_seq(seq);
+        return GraphAlignment {
+            score: seq.len() as i32 * params.match_score,
+            steps: (0..seq.len()).map(|pos| AlignStep::Aligned { node: pos, pos }).collect(),
+            cells: 0,
+        };
+    }
+    graph.ensure_topo();
+    let alignment = align_to_graph_probed(graph, seq, params, probe);
+    merge_alignment(graph, seq, &alignment, &|_| 1);
+    graph.ensure_topo();
+    alignment
+}
+
+/// Threads an alignment's path into the graph, weighting each traversed
+/// edge by `weight_of(read position)`.
+fn merge_alignment(
+    graph: &mut PoaGraph,
+    seq: &DnaSeq,
+    alignment: &GraphAlignment,
+    weight_of: &dyn Fn(usize) -> u32,
+) {
+    let s = seq.as_codes();
+    let mut prev: Option<NodeId> = None;
+    for step in &alignment.steps {
+        let (target, wpos) = match *step {
+            AlignStep::Aligned { node, pos } => {
+                let base = s[pos];
+                let t = if graph.node(node).base == base {
+                    node
+                } else {
+                    // Reuse an aligned alternative with this base, or mint
+                    // one and link it into the column family.
+                    let family = graph.aligned_family(node);
+                    match family.iter().copied().find(|&f| graph.node(f).base == base) {
+                        Some(alt) => alt,
+                        None => {
+                            let fresh = graph.add_node(base);
+                            for f in family {
+                                graph.link_aligned(fresh, f);
+                            }
+                            fresh
+                        }
+                    }
+                };
+                (Some(t), pos)
+            }
+            AlignStep::Insert { pos } => (Some(graph.add_node(s[pos])), pos),
+            AlignStep::Delete { .. } => (None, 0),
+        };
+        if let Some(t) = target {
+            if let Some(p) = prev {
+                if p != t {
+                    graph.add_edge(p, t, weight_of(wpos));
+                }
+            }
+            prev = Some(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> DnaSeq {
+        s.parse().unwrap()
+    }
+
+    /// Plain Needleman-Wunsch with the same scoring, for chain graphs.
+    fn nw(a: &[u8], b: &[u8], p: &PoaParams) -> i32 {
+        let (m, n) = (a.len(), b.len());
+        let mut h = vec![vec![0i32; n + 1]; m + 1];
+        for (i, row) in h.iter_mut().enumerate() {
+            row[0] = -(i as i32) * p.gap;
+        }
+        for (j, cell) in h[0].iter_mut().enumerate() {
+            *cell = -(j as i32) * p.gap;
+        }
+        for i in 1..=m {
+            for j in 1..=n {
+                let sub = if a[i - 1] == b[j - 1] { p.match_score } else { -p.mismatch };
+                h[i][j] = (h[i - 1][j - 1] + sub)
+                    .max(h[i - 1][j] - p.gap)
+                    .max(h[i][j - 1] - p.gap);
+            }
+        }
+        h[m][n]
+    }
+
+    #[test]
+    fn chain_graph_alignment_equals_nw() {
+        let p = PoaParams::default();
+        let cases = [
+            ("ACGTACGT", "ACGTACGT"),
+            ("ACGTACGT", "ACGTCGT"),
+            ("ACGTACGT", "ACCTACGA"),
+            ("AAAA", "TTTT"),
+            ("ACGGTTACA", "ACGGGTTACA"),
+        ];
+        for (g, q) in cases {
+            let graph = PoaGraph::from_seq(&seq(g));
+            let r = align_to_graph(&graph, &seq(q), &p);
+            assert_eq!(r.score, nw(seq(g).as_codes(), seq(q).as_codes(), &p), "{g} vs {q}");
+        }
+    }
+
+    #[test]
+    fn identical_sequence_reuses_all_nodes() {
+        let p = PoaParams::default();
+        let mut g = PoaGraph::from_seq(&seq("ACGTACGT"));
+        let before = g.num_nodes();
+        let r = add_sequence(&mut g, &seq("ACGTACGT"), &p);
+        assert_eq!(g.num_nodes(), before);
+        assert_eq!(r.score, 8 * p.match_score);
+        // Every backbone edge now has weight 2.
+        assert_eq!(g.total_edge_weight(), 14);
+    }
+
+    #[test]
+    fn mismatch_creates_aligned_alternative() {
+        let p = PoaParams::default();
+        let mut g = PoaGraph::from_seq(&seq("ACGTACGT"));
+        add_sequence(&mut g, &seq("ACCTACGT"), &p);
+        assert_eq!(g.num_nodes(), 9);
+        // A third read with the same mismatch reuses the alternative.
+        add_sequence(&mut g, &seq("ACCTACGT"), &p);
+        assert_eq!(g.num_nodes(), 9);
+    }
+
+    #[test]
+    fn insertion_creates_branch_node() {
+        let p = PoaParams::default();
+        let mut g = PoaGraph::from_seq(&seq("ACGT"));
+        add_sequence(&mut g, &seq("ACGGT"), &p);
+        assert!(g.num_nodes() >= 5);
+        // Graph stays acyclic.
+        g.refresh_topo();
+    }
+
+    #[test]
+    fn deletion_keeps_graph_unchanged_in_size() {
+        let p = PoaParams::default();
+        let mut g = PoaGraph::from_seq(&seq("ACGTACGT"));
+        add_sequence(&mut g, &seq("ACGACGT"), &p);
+        assert_eq!(g.num_nodes(), 8);
+    }
+
+    #[test]
+    fn alignment_steps_are_consistent() {
+        let p = PoaParams::default();
+        let g = PoaGraph::from_seq(&seq("ACGTACGT"));
+        let q = seq("ACGTTACG");
+        let r = align_to_graph(&g, &q, &p);
+        // Every read position appears exactly once across Aligned/Insert.
+        let mut seen = vec![0u32; q.len()];
+        for st in &r.steps {
+            match *st {
+                AlignStep::Aligned { pos, .. } | AlignStep::Insert { pos } => seen[pos] += 1,
+                AlignStep::Delete { .. } => {}
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+        assert_eq!(r.cells, 64);
+    }
+
+    #[test]
+    fn quality_weighting_lets_confident_reads_win() {
+        use gb_core::quality::Phred;
+        use gb_core::record::ReadRecord;
+        let p = PoaParams::default();
+        let truth = seq("ACGTACGGTTACGTAGGCAT");
+        let mut err_codes = truth.clone().into_codes();
+        err_codes[8] = (err_codes[8] + 1) % 4;
+        let err = DnaSeq::from_codes_unchecked(err_codes);
+        // Two low-quality erroneous reads vs one high-quality correct
+        // read: unweighted majority would pick the error; quality
+        // weighting must pick the truth.
+        let reads = [
+            ReadRecord::with_uniform_quality("good", truth.clone(), Phred::new(40)),
+            ReadRecord::with_uniform_quality("bad1", err.clone(), Phred::new(8)),
+            ReadRecord::with_uniform_quality("bad2", err, Phred::new(8)),
+        ];
+        let mut g = PoaGraph::new();
+        for r in &reads {
+            add_read_weighted(&mut g, r, &p);
+        }
+        let consensus = crate::consensus::consensus(&mut g);
+        assert_eq!(consensus, truth);
+        // Control: flat weights let the two erroneous reads win.
+        let mut g2 = PoaGraph::new();
+        for r in &reads {
+            add_sequence(&mut g2, &r.seq, &p);
+        }
+        let flat = crate::consensus::consensus(&mut g2);
+        assert_ne!(flat, truth, "flat majority should pick the 2-vote error");
+    }
+
+    #[test]
+    fn empty_graph_is_seeded() {
+        let p = PoaParams::default();
+        let mut g = PoaGraph::new();
+        add_sequence(&mut g, &seq("ACGT"), &p);
+        assert_eq!(g.num_nodes(), 4);
+    }
+
+    #[test]
+    fn probe_records_simd_per_cell() {
+        use gb_uarch::mix::MixProbe;
+        let p = PoaParams::default();
+        let g = PoaGraph::from_seq(&seq("ACGTACGT"));
+        let mut probe = MixProbe::new();
+        let r = align_to_graph_probed(&g, &seq("ACGTACGT"), &p, &mut probe);
+        assert_eq!(probe.mix().simd_ops, r.cells);
+    }
+}

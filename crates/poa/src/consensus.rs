@@ -1,0 +1,211 @@
+//! Consensus generation from the partial-order graph (the heaviest-bundle
+//! algorithm) and the Racon-style windowed polishing driver.
+
+use crate::align::{add_sequence_probed, PoaParams};
+use crate::graph::PoaGraph;
+use gb_core::seq::DnaSeq;
+use gb_uarch::probe::{NullProbe, Probe};
+
+/// Extracts the consensus sequence: the heaviest source-to-sink bundle.
+///
+/// For each node in topological order the best-supported incoming edge is
+/// chosen (maximum weight, ties broken by predecessor score); the
+/// consensus is the backtracked path from the best-scoring node.
+///
+/// Returns an empty sequence for an empty graph.
+///
+/// # Examples
+///
+/// ```
+/// use gb_core::seq::DnaSeq;
+/// use gb_poa::{consensus::consensus, graph::PoaGraph};
+/// let seq: DnaSeq = "ACGTACGT".parse()?;
+/// let mut g = PoaGraph::from_seq(&seq);
+/// assert_eq!(consensus(&mut g), seq);
+/// # Ok::<(), gb_core::error::Error>(())
+/// ```
+pub fn consensus(graph: &mut PoaGraph) -> DnaSeq {
+    if graph.is_empty() {
+        return DnaSeq::new();
+    }
+    graph.ensure_topo();
+    let order = graph.topo_order().to_vec();
+    let n = graph.num_nodes();
+    // score[v] = accumulated weight of the heaviest bundle ending at v.
+    let mut score = vec![0u64; n];
+    let mut pred: Vec<Option<usize>> = vec![None; n];
+    for &v in &order {
+        let mut best: Option<(u64, u64, usize)> = None; // (weight, pred score, pred)
+        for &(p, w) in &graph.node(v).in_edges {
+            let cand = (u64::from(w), score[p], p);
+            if best.is_none_or(|b| (cand.0, cand.1) > (b.0, b.1)) {
+                best = Some(cand);
+            }
+        }
+        if let Some((w, ps, p)) = best {
+            score[v] = w + ps;
+            pred[v] = Some(p);
+        }
+    }
+    // Start from the best-scoring node; prefer sinks on ties so the
+    // consensus reaches the end of the window.
+    let mut best_v = order[0];
+    for &v in &order {
+        let better = (score[v], graph.node(v).out_edges.is_empty())
+            > (score[best_v], graph.node(best_v).out_edges.is_empty());
+        if better {
+            best_v = v;
+        }
+    }
+    let mut path = vec![best_v];
+    let mut cur = best_v;
+    while let Some(p) = pred[cur] {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    path.into_iter().map(|v| graph.node(v).base).collect()
+}
+
+/// Statistics of one consensus task (a Racon window).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// DP cells computed across all reads of the window.
+    pub cells: u64,
+    /// Final graph size.
+    pub nodes: usize,
+    /// Reads aligned into the window.
+    pub reads: usize,
+}
+
+/// Builds the consensus of one window: backbone + supporting reads — the
+/// complete **spoa** kernel task.
+///
+/// The first sequence (the draft-assembly backbone in Racon) seeds the
+/// graph; every further read is aligned and merged; the heaviest bundle is
+/// the polished window.
+pub fn window_consensus(reads: &[DnaSeq], params: &PoaParams) -> (DnaSeq, WindowStats) {
+    window_consensus_probed(reads, params, &mut NullProbe)
+}
+
+/// [`window_consensus`] with instrumentation.
+pub fn window_consensus_probed<P: Probe>(
+    reads: &[DnaSeq],
+    params: &PoaParams,
+    probe: &mut P,
+) -> (DnaSeq, WindowStats) {
+    let mut graph = PoaGraph::new();
+    let mut stats = WindowStats::default();
+    for read in reads {
+        if read.is_empty() {
+            continue;
+        }
+        let a = add_sequence_probed(&mut graph, read, params, probe);
+        stats.cells += a.cells;
+        stats.reads += 1;
+    }
+    stats.nodes = graph.num_nodes();
+    (consensus(&mut graph), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> DnaSeq {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn single_read_consensus_is_itself() {
+        let (c, st) = window_consensus(&[seq("ACGGTTACA")], &PoaParams::default());
+        assert_eq!(c, seq("ACGGTTACA"));
+        assert_eq!(st.reads, 1);
+        assert_eq!(st.nodes, 9);
+    }
+
+    #[test]
+    fn majority_substitution_wins() {
+        let truth = seq("ACGTACGGTTACGTAGGCAT");
+        let mut err = truth.clone().into_codes();
+        err[7] = (err[7] + 2) % 4;
+        let err = DnaSeq::from_codes_unchecked(err);
+        // 4 correct reads vs 2 erroneous.
+        let reads =
+            vec![truth.clone(), err.clone(), truth.clone(), truth.clone(), err, truth.clone()];
+        let (c, _) = window_consensus(&reads, &PoaParams::default());
+        assert_eq!(c, truth);
+    }
+
+    #[test]
+    fn deletions_are_repaired_by_coverage() {
+        let truth = seq("ACGTACGGTTACGTAGGCATTACGGA");
+        let mut reads = vec![truth.clone()];
+        // Each read drops one distinct base.
+        for i in [3usize, 9, 15, 21] {
+            let mut codes = truth.clone().into_codes();
+            codes.remove(i);
+            reads.push(DnaSeq::from_codes_unchecked(codes));
+        }
+        // Majority still carries every base (4 of 5 reads have each).
+        let (c, _) = window_consensus(&reads, &PoaParams::default());
+        assert_eq!(c, truth);
+    }
+
+    #[test]
+    fn noisy_long_read_window_polishes_to_truth() {
+        use gb_datagen::genome::{Genome, GenomeConfig};
+        use gb_datagen::reads::{simulate_reads, ReadSimConfig};
+        let g = Genome::generate(
+            &GenomeConfig { length: 200, repeat_fraction: 0.0, ..Default::default() },
+            21,
+        );
+        let truth = g.contig(0).clone();
+        // 30 noisy full-window reads at ONT-like error rates.
+        let cfg = ReadSimConfig {
+            num_reads: 30,
+            read_len: 200,
+            length_jitter: 0.0,
+            errors: gb_datagen::reads::ErrorProfile::nanopore(),
+            revcomp_prob: 0.0,
+        };
+        let reads: Vec<DnaSeq> = simulate_reads(&g, &cfg, 22)
+            .into_iter()
+            .map(|r| r.record.seq)
+            .collect();
+        let mut window = vec![truth.clone()]; // backbone first, as in Racon
+        window.extend(reads);
+        let (c, st) = window_consensus(&window, &PoaParams::default());
+        // Consensus should be much closer to the truth than any single
+        // read: allow a few residual errors.
+        let dist = edit_distance(c.as_codes(), truth.as_codes());
+        assert!(dist <= 4, "consensus edit distance {dist}");
+        assert!(st.cells > 0);
+    }
+
+    fn edit_distance(a: &[u8], b: &[u8]) -> usize {
+        let mut prev: Vec<usize> = (0..=b.len()).collect();
+        for (i, &x) in a.iter().enumerate() {
+            let mut cur = vec![i + 1];
+            for (j, &y) in b.iter().enumerate() {
+                let sub = prev[j] + usize::from(x != y);
+                cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+            }
+            prev = cur;
+        }
+        prev[b.len()]
+    }
+
+    #[test]
+    fn empty_window_is_empty() {
+        let (c, st) = window_consensus(&[], &PoaParams::default());
+        assert!(c.is_empty());
+        assert_eq!(st.reads, 0);
+    }
+
+    #[test]
+    fn consensus_of_empty_graph() {
+        let mut g = PoaGraph::new();
+        assert!(consensus(&mut g).is_empty());
+    }
+}

@@ -1,0 +1,270 @@
+//! The partial-order graph.
+//!
+//! Each node holds one base; weighted edges record how many reads support
+//! each base-to-base transition. Nodes produced by mismatches at the same
+//! alignment column are linked into an "aligned family" so later reads can
+//! reuse them instead of growing the graph unboundedly (SPOA's
+//! `aligned_nodes` mechanism).
+
+/// Node identifier within a [`PoaGraph`].
+pub type NodeId = usize;
+
+/// One graph node: a base plus its adjacency.
+#[derive(Debug, Clone, Default)]
+pub struct Node {
+    /// The base (2-bit code) this node represents.
+    pub base: u8,
+    /// Incoming edges as `(predecessor, weight)`.
+    pub in_edges: Vec<(NodeId, u32)>,
+    /// Outgoing edges as `(successor, weight)`.
+    pub out_edges: Vec<(NodeId, u32)>,
+    /// Other nodes occupying the same alignment column (different bases).
+    pub aligned: Vec<NodeId>,
+}
+
+/// A partial-order alignment graph.
+///
+/// # Examples
+///
+/// ```
+/// use gb_poa::graph::PoaGraph;
+/// use gb_core::seq::DnaSeq;
+/// let seq: DnaSeq = "ACGT".parse()?;
+/// let g = PoaGraph::from_seq(&seq);
+/// assert_eq!(g.num_nodes(), 4);
+/// assert_eq!(g.topo_order().len(), 4);
+/// # Ok::<(), gb_core::error::Error>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PoaGraph {
+    nodes: Vec<Node>,
+    topo: Vec<NodeId>,
+    topo_dirty: bool,
+}
+
+impl PoaGraph {
+    /// Creates an empty graph.
+    pub fn new() -> PoaGraph {
+        PoaGraph::default()
+    }
+
+    /// Creates a chain graph from a single sequence (how Racon seeds each
+    /// window with its backbone).
+    pub fn from_seq(seq: &gb_core::seq::DnaSeq) -> PoaGraph {
+        let mut g = PoaGraph::new();
+        let mut prev: Option<NodeId> = None;
+        for &c in seq.as_codes() {
+            let id = g.add_node(c);
+            if let Some(p) = prev {
+                g.add_edge(p, id, 1);
+            }
+            prev = Some(id);
+        }
+        g.refresh_topo();
+        g
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node with identifier `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Adds a node and returns its id. Marks the topological order stale.
+    pub fn add_node(&mut self, base: u8) -> NodeId {
+        debug_assert!(base < 4);
+        self.nodes.push(Node { base, ..Node::default() });
+        self.topo_dirty = true;
+        self.nodes.len() - 1
+    }
+
+    /// Adds `weight` to the edge `from -> to`, creating it if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range or `from == to`.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, weight: u32) {
+        assert!(from != to, "self edge");
+        assert!(from < self.nodes.len() && to < self.nodes.len());
+        match self.nodes[from].out_edges.iter_mut().find(|(t, _)| *t == to) {
+            Some((_, w)) => *w += weight,
+            None => {
+                self.nodes[from].out_edges.push((to, weight));
+                self.topo_dirty = true;
+            }
+        }
+        match self.nodes[to].in_edges.iter_mut().find(|(f, _)| *f == from) {
+            Some((_, w)) => *w += weight,
+            None => self.nodes[to].in_edges.push((from, weight)),
+        }
+    }
+
+    /// Links `a` and `b` as alternatives in the same alignment column.
+    pub fn link_aligned(&mut self, a: NodeId, b: NodeId) {
+        if !self.nodes[a].aligned.contains(&b) {
+            self.nodes[a].aligned.push(b);
+        }
+        if !self.nodes[b].aligned.contains(&a) {
+            self.nodes[b].aligned.push(a);
+        }
+    }
+
+    /// The aligned family of `id` (itself plus all transitively aligned
+    /// alternatives).
+    pub fn aligned_family(&self, id: NodeId) -> Vec<NodeId> {
+        let mut fam = vec![id];
+        let mut i = 0;
+        while i < fam.len() {
+            for &a in &self.nodes[fam[i]].aligned {
+                if !fam.contains(&a) {
+                    fam.push(a);
+                }
+            }
+            i += 1;
+        }
+        fam
+    }
+
+    /// Recomputes the topological order (Kahn's algorithm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph contains a cycle (impossible via the public
+    /// alignment API, which only adds forward edges).
+    pub fn refresh_topo(&mut self) {
+        let n = self.nodes.len();
+        let mut indeg: Vec<usize> = self.nodes.iter().map(|nd| nd.in_edges.len()).collect();
+        let mut queue: Vec<NodeId> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop() {
+            order.push(v);
+            for &(t, _) in &self.nodes[v].out_edges {
+                indeg[t] -= 1;
+                if indeg[t] == 0 {
+                    queue.push(t);
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "partial-order graph acquired a cycle");
+        self.topo = order;
+        self.topo_dirty = false;
+    }
+
+    /// The current topological order (refreshing it if stale).
+    pub fn topo_order(&self) -> &[NodeId] {
+        assert!(!self.topo_dirty, "call refresh_topo() after mutating the graph");
+        &self.topo
+    }
+
+    /// Ensures the topological order is fresh, recomputing if needed.
+    pub fn ensure_topo(&mut self) {
+        if self.topo_dirty {
+            self.refresh_topo();
+        }
+    }
+
+    /// Total edge weight (diagnostics).
+    pub fn total_edge_weight(&self) -> u64 {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.out_edges.iter())
+            .map(|&(_, w)| u64::from(w))
+            .sum()
+    }
+
+    /// Average in-degree — the `n_p` in the kernel's
+    /// `O((2·n_p + 1)·n·|V|)` complexity.
+    pub fn avg_in_degree(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        let edges: usize = self.nodes.iter().map(|n| n.in_edges.len()).sum();
+        edges as f64 / self.nodes.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_core::seq::DnaSeq;
+
+    fn seq(s: &str) -> DnaSeq {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn chain_graph_shape() {
+        let g = PoaGraph::from_seq(&seq("ACGTT"));
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.node(0).out_edges, vec![(1, 1)]);
+        assert_eq!(g.node(4).in_edges, vec![(3, 1)]);
+        assert!(g.node(0).in_edges.is_empty());
+        assert_eq!(g.avg_in_degree(), 0.8);
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let mut g = PoaGraph::from_seq(&seq("ACGT"));
+        let alt = g.add_node(2);
+        g.add_edge(0, alt, 1);
+        g.add_edge(alt, 2, 1);
+        g.refresh_topo();
+        let pos: Vec<usize> = {
+            let order = g.topo_order();
+            let mut pos = vec![0; g.num_nodes()];
+            for (rank, &id) in order.iter().enumerate() {
+                pos[id] = rank;
+            }
+            pos
+        };
+        for id in 0..g.num_nodes() {
+            for &(t, _) in &g.node(id).out_edges {
+                assert!(pos[id] < pos[t], "edge {id}->{t} violates topo order");
+            }
+        }
+    }
+
+    #[test]
+    fn add_edge_accumulates_weight() {
+        let mut g = PoaGraph::from_seq(&seq("AC"));
+        g.add_edge(0, 1, 3);
+        assert_eq!(g.node(0).out_edges, vec![(1, 4)]);
+        assert_eq!(g.total_edge_weight(), 4);
+    }
+
+    #[test]
+    fn aligned_family_is_transitive() {
+        let mut g = PoaGraph::from_seq(&seq("AAAA"));
+        let b = g.add_node(1);
+        let c = g.add_node(2);
+        g.link_aligned(1, b);
+        g.link_aligned(b, c);
+        let mut fam = g.aligned_family(1);
+        fam.sort_unstable();
+        assert_eq!(fam, vec![1, b, c]);
+        let mut fam_c = g.aligned_family(c);
+        fam_c.sort_unstable();
+        assert_eq!(fam_c, vec![1, b, c]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_detection_panics() {
+        let mut g = PoaGraph::from_seq(&seq("AC"));
+        g.add_edge(1, 0, 1);
+        g.refresh_topo();
+    }
+}

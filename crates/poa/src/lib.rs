@@ -1,0 +1,34 @@
+//! # gb-poa
+//!
+//! Partial-order alignment — the **spoa** kernel of GenomicsBench-rs.
+//!
+//! Racon polishes a draft assembly by splitting it into windows, building
+//! a partial-order graph per window from the reads aligned there, and
+//! emitting the heaviest-bundle consensus. This crate implements the full
+//! pipeline from scratch: the graph ([`graph`]), sequence-to-graph
+//! alignment and merging ([`align`]), and consensus extraction plus the
+//! windowed driver ([`consensus`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use gb_core::seq::DnaSeq;
+//! use gb_poa::{align::PoaParams, consensus::window_consensus};
+//! let a: DnaSeq = "ACGGTTACA".parse()?;
+//! let b: DnaSeq = "ACGGTTACA".parse()?;
+//! let (cons, stats) = window_consensus(&[a, b.clone()], &PoaParams::default());
+//! assert_eq!(cons, b);
+//! assert_eq!(stats.reads, 2);
+//! # Ok::<(), gb_core::error::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod align;
+pub mod consensus;
+pub mod graph;
+
+pub use align::{add_read_weighted, add_sequence, align_to_graph, PoaParams};
+pub use consensus::{consensus, window_consensus, WindowStats};
+pub use graph::PoaGraph;

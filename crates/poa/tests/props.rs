@@ -1,0 +1,79 @@
+//! Property-based tests for partial-order alignment.
+
+use gb_core::seq::DnaSeq;
+use gb_poa::align::{add_sequence, align_to_graph, PoaParams};
+use gb_poa::consensus::{consensus, window_consensus};
+use gb_poa::graph::PoaGraph;
+use proptest::prelude::*;
+
+fn seq_strategy(min: usize, max: usize) -> impl Strategy<Value = DnaSeq> {
+    proptest::collection::vec(0u8..4, min..max).prop_map(DnaSeq::from_codes_unchecked)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn self_alignment_is_all_matches(s in seq_strategy(1, 80)) {
+        let g = PoaGraph::from_seq(&s);
+        let r = align_to_graph(&g, &s, &PoaParams::default());
+        prop_assert_eq!(r.score, s.len() as i32 * PoaParams::default().match_score);
+    }
+
+    #[test]
+    fn alignment_score_bounded_by_perfect(a in seq_strategy(1, 60), b in seq_strategy(1, 60)) {
+        let g = PoaGraph::from_seq(&a);
+        let r = align_to_graph(&g, &b, &PoaParams::default());
+        prop_assert!(r.score <= b.len().min(a.len()) as i32 * PoaParams::default().match_score);
+        prop_assert_eq!(r.cells, (a.len() * b.len()) as u64);
+    }
+
+    #[test]
+    fn identical_reads_reuse_the_graph(s in seq_strategy(2, 60), n in 2usize..6) {
+        let p = PoaParams::default();
+        let mut g = PoaGraph::new();
+        for _ in 0..n {
+            add_sequence(&mut g, &s, &p);
+        }
+        prop_assert_eq!(g.num_nodes(), s.len());
+        let c = consensus(&mut g);
+        prop_assert_eq!(c, s);
+    }
+
+    #[test]
+    fn consensus_of_unanimous_window(s in seq_strategy(5, 80), n in 1usize..6) {
+        let reads = vec![s.clone(); n];
+        let (c, stats) = window_consensus(&reads, &PoaParams::default());
+        prop_assert_eq!(c, s);
+        prop_assert_eq!(stats.reads, n);
+    }
+
+    #[test]
+    fn graph_stays_acyclic_under_arbitrary_reads(
+        reads in proptest::collection::vec(
+            proptest::collection::vec(0u8..4, 3..40), 1..8),
+    ) {
+        let p = PoaParams::default();
+        let mut g = PoaGraph::new();
+        for r in reads {
+            add_sequence(&mut g, &DnaSeq::from_codes_unchecked(r), &p);
+        }
+        // refresh_topo panics on cycles; reaching here proves acyclicity.
+        g.refresh_topo();
+        prop_assert_eq!(g.topo_order().len(), g.num_nodes());
+        let (c, _) = (consensus(&mut g), ());
+        prop_assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn majority_base_wins(s in seq_strategy(10, 50), pos in 0usize..49, n_good in 3usize..6) {
+        let pos = pos % s.len();
+        let mut alt = s.clone().into_codes();
+        alt[pos] = (alt[pos] + 1) % 4;
+        let alt = DnaSeq::from_codes_unchecked(alt);
+        let mut reads = vec![s.clone(); n_good];
+        reads.push(alt); // single dissenter
+        let (c, _) = window_consensus(&reads, &PoaParams::default());
+        prop_assert_eq!(c, s);
+    }
+}

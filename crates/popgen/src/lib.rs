@@ -1,0 +1,23 @@
+//! # gb-popgen
+//!
+//! Population-genomics kernel of GenomicsBench-rs: the Genomic
+//! Relationship Matrix (**grm**) from PLINK2 — dense standardized
+//! matrix multiplication, the suite's regular-compute baseline.
+//!
+//! # Examples
+//!
+//! ```
+//! use gb_datagen::genotypes::GenotypeMatrix;
+//! use gb_popgen::grm::{compute_grm, GrmParams};
+//! let geno = GenotypeMatrix::generate(10, 50, 3);
+//! let g = compute_grm(&geno, &GrmParams::default());
+//! assert_eq!(g.shape(), (10, 10));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grm;
+pub mod kinship;
+
+pub use grm::{compute_grm, naive_grm, standardize, GrmParams};

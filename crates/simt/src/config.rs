@@ -1,0 +1,137 @@
+//! GPU resource model and occupancy calculation.
+//!
+//! The paper characterizes its GPU kernels on an Nvidia Titan Xp with
+//! nvprof. This module models the relevant SM resource limits (threads,
+//! warps, registers, shared memory) so kernel launch configurations yield
+//! the same occupancy numbers nvprof would report.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-SM resource limits of the modelled GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Streaming multiprocessors.
+    pub sms: usize,
+    /// Threads per warp.
+    pub warp_size: usize,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: usize,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: usize,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: usize,
+    /// 32-bit registers per SM.
+    pub registers_per_sm: usize,
+    /// Shared memory per SM in bytes.
+    pub shared_per_sm: usize,
+    /// Global-memory transaction (sector) size in bytes.
+    pub sector_bytes: usize,
+}
+
+impl GpuConfig {
+    /// A Titan Xp-like (Pascal GP102) configuration.
+    pub fn titan_xp_like() -> GpuConfig {
+        GpuConfig {
+            sms: 30,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 32,
+            registers_per_sm: 65_536,
+            shared_per_sm: 96 << 10,
+            sector_bytes: 32,
+        }
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> GpuConfig {
+        GpuConfig::titan_xp_like()
+    }
+}
+
+/// A kernel launch configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    /// Blocks in the grid.
+    pub grid: usize,
+    /// Threads per block.
+    pub block: usize,
+    /// Registers per thread.
+    pub regs_per_thread: usize,
+    /// Shared memory per block in bytes.
+    pub shared_per_block: usize,
+}
+
+impl LaunchConfig {
+    /// Warps per block (rounded up).
+    pub fn warps_per_block(&self, gpu: &GpuConfig) -> usize {
+        self.block.div_ceil(gpu.warp_size)
+    }
+
+    /// Resident blocks per SM under every resource limit.
+    pub fn blocks_per_sm(&self, gpu: &GpuConfig) -> usize {
+        let by_threads = gpu.max_threads_per_sm / self.block.max(1);
+        let by_warps = gpu.max_warps_per_sm / self.warps_per_block(gpu).max(1);
+        let by_regs = gpu
+            .registers_per_sm
+            .checked_div(self.regs_per_thread * self.block)
+            .unwrap_or(gpu.max_blocks_per_sm);
+        let by_shared = gpu
+            .shared_per_sm
+            .checked_div(self.shared_per_block)
+            .unwrap_or(gpu.max_blocks_per_sm);
+        by_threads.min(by_warps).min(by_regs).min(by_shared).min(gpu.max_blocks_per_sm)
+    }
+
+    /// Theoretical occupancy: resident warps over the SM maximum — the
+    /// number nvprof reports as `achieved_occupancy`'s ceiling.
+    pub fn occupancy(&self, gpu: &GpuConfig) -> f64 {
+        let warps = self.blocks_per_sm(gpu) * self.warps_per_block(gpu);
+        (warps.min(gpu.max_warps_per_sm)) as f64 / gpu.max_warps_per_sm as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_launch_reaches_full_occupancy() {
+        let gpu = GpuConfig::titan_xp_like();
+        let l = LaunchConfig { grid: 1000, block: 256, regs_per_thread: 32, shared_per_block: 0 };
+        // regs: 65536/(256*32) = 8 blocks = 2048 threads -> 100%.
+        assert_eq!(l.blocks_per_sm(&gpu), 8);
+        assert_eq!(l.occupancy(&gpu), 1.0);
+    }
+
+    #[test]
+    fn shared_memory_limits_occupancy() {
+        let gpu = GpuConfig::titan_xp_like();
+        let l = LaunchConfig {
+            grid: 100,
+            block: 320,
+            regs_per_thread: 32,
+            shared_per_block: 45 << 10,
+        };
+        // shared: 96KB/45KB = 2 blocks -> 20 warps / 64 = 31.25%.
+        assert_eq!(l.blocks_per_sm(&gpu), 2);
+        assert!((l.occupancy(&gpu) - 0.3125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registers_limit_occupancy() {
+        let gpu = GpuConfig::titan_xp_like();
+        let l = LaunchConfig { grid: 100, block: 128, regs_per_thread: 36, shared_per_block: 0 };
+        // regs: 65536/(128*36) = 14 blocks -> 56 warps / 64 = 87.5%.
+        assert_eq!(l.blocks_per_sm(&gpu), 14);
+        assert!((l.occupancy(&gpu) - 0.875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn occupancy_capped_at_one() {
+        let gpu = GpuConfig::titan_xp_like();
+        let l = LaunchConfig { grid: 1, block: 32, regs_per_thread: 0, shared_per_block: 0 };
+        assert!(l.occupancy(&gpu) <= 1.0);
+    }
+}

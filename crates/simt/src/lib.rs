@@ -1,0 +1,34 @@
+//! # gb-simt
+//!
+//! A SIMT GPU execution model standing in for nvprof + Titan Xp in the
+//! paper's GPU characterization (Tables IV and V):
+//!
+//! - [`config`] — SM resource limits and the occupancy calculator,
+//! - [`exec`] — the warp-level recorder (active masks, predication,
+//!   divergence, 32-byte-sector coalescing, barrier stalls),
+//! - [`kernels`] — faithful execution models of the abea band kernel and
+//!   the nn-base tiled GEMMs, driven by real event/reference data and
+//!   real layer shapes.
+//!
+//! # Examples
+//!
+//! ```
+//! use gb_simt::config::{GpuConfig, LaunchConfig};
+//! let gpu = GpuConfig::titan_xp_like();
+//! let launch = LaunchConfig { grid: 64, block: 256, regs_per_thread: 32, shared_per_block: 0 };
+//! assert_eq!(launch.occupancy(&gpu), 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod exec;
+pub mod kernels;
+
+pub use config::{GpuConfig, LaunchConfig};
+pub use exec::{GpuKernelReport, KernelSim};
+pub use kernels::{
+    bonito_like_layers, model_abea_gpu, model_nn_base_gpu, AbeaGpuParams, GemmGpuParams,
+    GemmShape, NnLayer,
+};

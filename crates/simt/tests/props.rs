@@ -1,0 +1,65 @@
+//! Property-based tests for the SIMT model.
+
+use gb_simt::config::{GpuConfig, LaunchConfig};
+use gb_simt::exec::KernelSim;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn occupancy_always_in_unit_interval(
+        block in 32usize..1024,
+        regs in 0usize..256,
+        shared in 0usize..(96 << 10),
+    ) {
+        let gpu = GpuConfig::titan_xp_like();
+        let l = LaunchConfig { grid: 10, block, regs_per_thread: regs, shared_per_block: shared };
+        let occ = l.occupancy(&gpu);
+        prop_assert!((0.0..=1.0).contains(&occ), "occupancy {occ}");
+        // More registers can never raise occupancy.
+        let l2 = LaunchConfig { regs_per_thread: regs + 32, ..l };
+        prop_assert!(l2.occupancy(&gpu) <= occ + 1e-12);
+        // More shared memory can never raise occupancy.
+        let l3 = LaunchConfig { shared_per_block: shared + 4096, ..l };
+        prop_assert!(l3.occupancy(&gpu) <= occ + 1e-12);
+    }
+
+    #[test]
+    fn coalescer_efficiency_bounded(addrs in proptest::collection::vec(0u64..1_000_000, 1..32), bytes in 1u32..16) {
+        let gpu = GpuConfig::titan_xp_like();
+        let launch = LaunchConfig { grid: 1, block: 128, regs_per_thread: 32, shared_per_block: 0 };
+        let mut sim = KernelSim::new(gpu, launch);
+        let lanes: Vec<Option<u64>> = addrs.iter().map(|&a| Some(a)).collect();
+        sim.global_access(&lanes, bytes, false);
+        let r = sim.report();
+        // Efficiency can never exceed 1, and a warp of N lanes touching
+        // `bytes` each requests N*bytes against at least one sector.
+        prop_assert!(r.gld_efficiency <= 1.0 + 1e-12);
+        prop_assert!(r.gld_efficiency > 0.0);
+    }
+
+    #[test]
+    fn fully_coalesced_is_perfect(start in 0u64..1000, lanes in 1usize..=32) {
+        let gpu = GpuConfig::titan_xp_like();
+        let launch = LaunchConfig { grid: 1, block: 128, regs_per_thread: 32, shared_per_block: 0 };
+        let mut sim = KernelSim::new(gpu, launch);
+        // Consecutive sector-aligned 32-byte accesses: always 100%.
+        let addrs: Vec<Option<u64>> =
+            (0..lanes).map(|i| Some((start + i as u64) * 32)).collect();
+        sim.global_access(&addrs, 32, false);
+        prop_assert!((sim.report().gld_efficiency - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warp_efficiency_matches_mask_popcount(mask in 1u32.., n in 1u64..100) {
+        let gpu = GpuConfig::titan_xp_like();
+        let launch = LaunchConfig { grid: 1, block: 128, regs_per_thread: 32, shared_per_block: 0 };
+        let mut sim = KernelSim::new(gpu, launch);
+        sim.issue(mask, 0, n);
+        let r = sim.report();
+        let expect = f64::from(mask.count_ones()) / 32.0;
+        prop_assert!((r.warp_efficiency - expect).abs() < 1e-12);
+        prop_assert_eq!(r.instructions, n);
+    }
+}

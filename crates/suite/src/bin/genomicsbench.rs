@@ -1,0 +1,182 @@
+//! The `genomicsbench` command-line harness.
+//!
+//! ```text
+//! genomicsbench list
+//! genomicsbench run <kernel|all> [--size tiny|small|large] [--threads N]
+//! genomicsbench report <table1|table2|table3|table4|table5|fig3..fig9|all>
+//!                      [--size tiny|small|large] [--json <dir>]
+//! ```
+
+use gb_suite::dataset::DatasetSize;
+use gb_suite::kernels::{prepare, run_parallel, KernelId};
+use gb_suite::reports::{self, Report};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  genomicsbench list
+  genomicsbench run <kernel|all> [--size tiny|small|large] [--threads N]
+  genomicsbench report <name|all> [--size tiny|small|large] [--json <dir>]
+  genomicsbench experiments [--size tiny|small|large] [--json <path>]
+  genomicsbench export <dir> [--size tiny|small|large]
+    names: table1 table2 table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 fig9";
+
+struct Options {
+    size: DatasetSize,
+    threads: usize,
+    json_dir: Option<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options { size: DatasetSize::Small, threads: 1, json_dir: None };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--size" => {
+                let v = it.next().ok_or("--size needs a value")?;
+                opts.size = v.parse()?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                opts.threads = v.parse::<usize>().map_err(|e| e.to_string())?;
+            }
+            "--json" => {
+                let v = it.next().ok_or("--json needs a directory")?;
+                opts.json_dir = Some(v.clone());
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing command".into());
+    };
+    match cmd.as_str() {
+        "list" => {
+            println!("{:<11} {:<22} pipeline", "kernel", "source tool");
+            for id in KernelId::ALL {
+                println!("{:<11} {:<22} {}", id.name(), id.source_tool(), id.pipeline());
+            }
+            Ok(())
+        }
+        "run" => {
+            let which = args.get(1).ok_or("run needs a kernel name or 'all'")?;
+            let opts = parse_options(&args[2..])?;
+            let ids: Vec<KernelId> = if which == "all" {
+                KernelId::ALL.to_vec()
+            } else {
+                vec![which.parse()?]
+            };
+            println!(
+                "{:<11} {:>8} {:>12} {:>10}  ({} dataset, {} thread(s))",
+                "kernel",
+                "tasks",
+                "elapsed",
+                "checksum",
+                opts.size.name(),
+                opts.threads
+            );
+            for id in ids {
+                let kernel = prepare(id, opts.size);
+                let stats = run_parallel(kernel.as_ref(), opts.threads);
+                println!(
+                    "{:<11} {:>8} {:>12} {:>10x}",
+                    id.name(),
+                    stats.tasks,
+                    format!("{:.3}s", stats.elapsed.as_secs_f64()),
+                    stats.checksum & 0xFFFF_FFFF
+                );
+            }
+            Ok(())
+        }
+        "export" => {
+            let dir = args.get(1).ok_or("export needs a target directory")?;
+            let opts = parse_options(&args[2..])?;
+            let manifest = gb_suite::export::export_datasets(std::path::Path::new(dir), opts.size)
+                .map_err(|e| e.to_string())?;
+            for (file, items) in manifest {
+                println!("{dir}/{file}  ({items} records)");
+            }
+            Ok(())
+        }
+        "experiments" => {
+            let opts = parse_options(&args[1..])?;
+            let md = gb_suite::experiments::generate_markdown(opts.size);
+            match &opts.json_dir {
+                Some(path) => {
+                    std::fs::write(path, &md).map_err(|e| e.to_string())?;
+                    eprintln!("wrote {path}");
+                }
+                None => println!("{md}"),
+            }
+            Ok(())
+        }
+        "report" => {
+            let which = args.get(1).ok_or("report needs a name or 'all'")?;
+            let opts = parse_options(&args[2..])?;
+            let reports = generate(which, &opts)?;
+            for r in &reports {
+                println!("{}", r.text);
+                if let Some(dir) = &opts.json_dir {
+                    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+                    let path = format!("{dir}/{}.json", r.name);
+                    let body = serde_json::to_string_pretty(&r.json).map_err(|e| e.to_string())?;
+                    std::fs::write(&path, body).map_err(|e| e.to_string())?;
+                    eprintln!("wrote {path}");
+                }
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn generate(which: &str, opts: &Options) -> Result<Vec<Report>, String> {
+    let size = opts.size;
+    let threads = [1, 2, 4, 8];
+    let needs_chars = matches!(which, "fig5" | "fig6" | "fig8" | "fig9" | "all");
+    let chars = if needs_chars { Some(reports::characterize_all(size)) } else { None };
+    let one = |name: &str| -> Result<Report, String> {
+        Ok(match name {
+            "table1" => reports::table1(),
+            "table2" => reports::table2(),
+            "table3" => reports::table3(size),
+            "table4" => reports::table4(size),
+            "table5" => reports::table5(size),
+            "fig3" => reports::fig3(size),
+            "fig4" => reports::fig4(size),
+            "fig5" => reports::fig5(chars.as_ref().expect("chars prepared")),
+            "fig6" => reports::fig6(chars.as_ref().expect("chars prepared")),
+            "fig7" => reports::fig7(size, &threads),
+            "fig8" => reports::fig8(chars.as_ref().expect("chars prepared")),
+            "fig9" => reports::fig9(chars.as_ref().expect("chars prepared")),
+            other => return Err(format!("unknown report '{other}'")),
+        })
+    };
+    if which == "all" {
+        [
+            "table1", "table2", "table3", "table4", "table5", "fig3", "fig4", "fig5", "fig6",
+            "fig7", "fig8", "fig9",
+        ]
+        .iter()
+        .map(|n| one(n))
+        .collect()
+    } else {
+        Ok(vec![one(which)?])
+    }
+}

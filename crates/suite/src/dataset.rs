@@ -1,0 +1,96 @@
+//! Dataset presets.
+//!
+//! GenomicsBench ships each kernel with a *small* and a *large* input
+//! (paper §IV-A: small finishes in minutes, large in 5–20 single-thread
+//! minutes on their machine). The synthetic datasets here keep the same
+//! two-tier structure, scaled so `small` finishes in seconds and `large`
+//! in tens of seconds on a laptop-class core — the per-kernel workload
+//! *shapes* (read lengths, error rates, coverage, task-size
+//! distributions) follow the paper's Section III descriptions.
+
+use serde::{Deserialize, Serialize};
+
+/// Which dataset tier to prepare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DatasetSize {
+    /// Seconds-scale inputs.
+    #[default]
+    Small,
+    /// Tens-of-seconds-scale inputs (10x the small tier, matching the
+    /// paper's 1M -> 10M read scaling).
+    Large,
+    /// Milliseconds-scale inputs for tests and smoke runs (not part of
+    /// the paper's tiers).
+    Tiny,
+}
+
+impl DatasetSize {
+    /// The multiplier applied to the small tier's task counts.
+    pub fn scale(&self) -> usize {
+        match self {
+            DatasetSize::Tiny => 1,
+            DatasetSize::Small => 10,
+            DatasetSize::Large => 100,
+        }
+    }
+
+    /// Lowercase name used by the CLI and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetSize::Tiny => "tiny",
+            DatasetSize::Small => "small",
+            DatasetSize::Large => "large",
+        }
+    }
+}
+
+impl std::str::FromStr for DatasetSize {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<DatasetSize, String> {
+        match s {
+            "tiny" => Ok(DatasetSize::Tiny),
+            "small" => Ok(DatasetSize::Small),
+            "large" => Ok(DatasetSize::Large),
+            other => Err(format!("unknown dataset size '{other}' (tiny|small|large)")),
+        }
+    }
+}
+
+/// Fixed seeds so every run of the suite sees identical data.
+pub mod seeds {
+    /// Reference genome generation.
+    pub const GENOME: u64 = 0xB10_B10;
+    /// Short-read simulation.
+    pub const SHORT_READS: u64 = 0x5EED_0001;
+    /// Long-read simulation.
+    pub const LONG_READS: u64 = 0x5EED_0002;
+    /// Region task construction.
+    pub const REGIONS: u64 = 0x5EED_0003;
+    /// Chaining anchor synthesis.
+    pub const ANCHORS: u64 = 0x5EED_0004;
+    /// Nanopore signal simulation.
+    pub const SIGNALS: u64 = 0x5EED_0005;
+    /// Genotype matrix generation.
+    pub const GENOTYPES: u64 = 0x5EED_0006;
+    /// Neural-network weight initialization.
+    pub const WEIGHTS: u64 = 0x5EED_0007;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        for s in [DatasetSize::Tiny, DatasetSize::Small, DatasetSize::Large] {
+            assert_eq!(s.name().parse::<DatasetSize>().unwrap(), s);
+        }
+        assert!("medium".parse::<DatasetSize>().is_err());
+    }
+
+    #[test]
+    fn large_is_10x_small() {
+        assert_eq!(DatasetSize::Large.scale(), 10 * DatasetSize::Small.scale());
+    }
+}

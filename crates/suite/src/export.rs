@@ -1,0 +1,133 @@
+//! Dataset export: writing the synthetic inputs to disk.
+//!
+//! GenomicsBench ships its input datasets alongside the kernels; this
+//! module materializes the suite's synthetic equivalents as ordinary
+//! files (FASTA references, FASTQ reads, TSV signal/event/genotype
+//! tables) so external tools — or the original suite — can consume them.
+
+use crate::dataset::{seeds, DatasetSize};
+use gb_core::io::{write_fasta, write_fastq};
+use gb_core::record::ReadRecord;
+use gb_datagen::genome::{Genome, GenomeConfig};
+use gb_datagen::genotypes::GenotypeMatrix;
+use gb_datagen::reads::{simulate_reads, ReadSimConfig};
+use gb_datagen::signal::{simulate_signal, PoreModel, SignalSimConfig};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Summary of an export run (file name -> item count).
+pub type ExportManifest = Vec<(String, usize)>;
+
+/// Writes the suite's datasets under `dir`, returning a manifest.
+///
+/// Produces:
+/// - `reference.fasta` — the shared synthetic reference,
+/// - `short_reads.fastq` / `long_reads.fastq` — Illumina-like and
+///   ONT-like read sets,
+/// - `signal.tsv` — raw nanopore samples (`read_id sample`),
+/// - `events.tsv` — segmented events (`read_id mean stdv length`),
+/// - `genotypes.tsv` — the GRM input matrix (individual per row).
+///
+/// # Errors
+///
+/// Returns I/O errors from file creation/writing.
+pub fn export_datasets(dir: &Path, size: DatasetSize) -> std::io::Result<ExportManifest> {
+    std::fs::create_dir_all(dir)?;
+    let mut manifest = ExportManifest::new();
+    let scale = size.scale();
+
+    // Reference.
+    let genome = Genome::generate(
+        &GenomeConfig { length: 20_000 * scale, ..Default::default() },
+        seeds::GENOME,
+    );
+    let records: Vec<(String, gb_core::seq::DnaSeq)> = genome
+        .contigs()
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (format!("synthetic_contig_{i}"), c.clone()))
+        .collect();
+    let f = std::fs::File::create(dir.join("reference.fasta"))?;
+    write_fasta(BufWriter::new(f), &records)?;
+    manifest.push(("reference.fasta".into(), records.len()));
+
+    // Reads.
+    let short: Vec<ReadRecord> = simulate_reads(&genome, &ReadSimConfig::short(100 * scale), seeds::SHORT_READS)
+        .into_iter()
+        .map(|r| r.record)
+        .collect();
+    let f = std::fs::File::create(dir.join("short_reads.fastq"))?;
+    write_fastq(BufWriter::new(f), &short)?;
+    manifest.push(("short_reads.fastq".into(), short.len()));
+
+    let long: Vec<ReadRecord> = simulate_reads(&genome, &ReadSimConfig::long(5 * scale), seeds::LONG_READS)
+        .into_iter()
+        .map(|r| r.record)
+        .collect();
+    let f = std::fs::File::create(dir.join("long_reads.fastq"))?;
+    write_fastq(BufWriter::new(f), &long)?;
+    manifest.push(("long_reads.fastq".into(), long.len()));
+
+    // Signal + events.
+    let pore = PoreModel::r9_like();
+    let mut sig_w = BufWriter::new(std::fs::File::create(dir.join("signal.tsv"))?);
+    let mut ev_w = BufWriter::new(std::fs::File::create(dir.join("events.tsv"))?);
+    writeln!(ev_w, "read_id\tmean\tstdv\tlength")?;
+    writeln!(sig_w, "read_id\tsample")?;
+    let n_signals = 2 * scale;
+    for i in 0..n_signals {
+        let seq = genome.contig(0).slice(i * 900, i * 900 + 800);
+        let sig = simulate_signal(&seq, &pore, &SignalSimConfig::default(), seeds::SIGNALS + i as u64);
+        for s in &sig.raw {
+            writeln!(sig_w, "r{i}\t{s:.2}")?;
+        }
+        for e in &sig.events {
+            writeln!(ev_w, "r{i}\t{:.3}\t{:.3}\t{}", e.mean, e.stdv, e.length)?;
+        }
+    }
+    manifest.push(("signal.tsv".into(), n_signals));
+    manifest.push(("events.tsv".into(), n_signals));
+
+    // Genotypes.
+    let geno = GenotypeMatrix::generate(16 * scale, 100 * scale, seeds::GENOTYPES);
+    let mut gw = BufWriter::new(std::fs::File::create(dir.join("genotypes.tsv"))?);
+    for i in 0..geno.num_individuals() {
+        let row: Vec<String> = geno.row(i).iter().map(|g| g.to_string()).collect();
+        writeln!(gw, "{}", row.join("\t"))?;
+    }
+    manifest.push(("genotypes.tsv".into(), geno.num_individuals()));
+
+    Ok(manifest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_core::io::{read_fasta, read_fastq};
+    use std::io::BufReader;
+
+    #[test]
+    fn export_round_trips_through_files() {
+        let dir = std::env::temp_dir().join(format!("gbrs_export_{}", std::process::id()));
+        let manifest = export_datasets(&dir, DatasetSize::Tiny).expect("export");
+        assert_eq!(manifest.len(), 6);
+
+        let fasta = read_fasta(BufReader::new(std::fs::File::open(dir.join("reference.fasta")).unwrap()))
+            .expect("parse fasta");
+        assert_eq!(fasta.len(), 1);
+        assert_eq!(fasta[0].1.len(), 20_000);
+
+        let reads = read_fastq(BufReader::new(
+            std::fs::File::open(dir.join("short_reads.fastq")).unwrap(),
+        ))
+        .expect("parse fastq");
+        assert_eq!(reads.len(), 100);
+        assert!(reads.iter().all(|r| r.len() > 100));
+
+        let events = std::fs::read_to_string(dir.join("events.tsv")).unwrap();
+        assert!(events.lines().count() > 100);
+        assert!(events.starts_with("read_id\t"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,108 @@
+//! The **abea** kernel: adaptive banded event alignment (paper §III,
+//! from Nanopolish/f5c).
+
+use super::{Kernel, KernelId};
+use crate::dataset::{seeds, DatasetSize};
+use gb_core::seq::DnaSeq;
+use gb_datagen::genome::{Genome, GenomeConfig};
+use gb_datagen::signal::{simulate_signal, Event, PoreModel, SignalSimConfig};
+use gb_dp::abea::{align_events, align_events_probed, AbeaParams};
+use gb_simt::exec::GpuKernelReport;
+use gb_simt::kernels::{model_abea_gpu, AbeaGpuParams};
+use gb_uarch::cache::CacheProbe;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Prepared abea workload: raw-signal reads with their reference spans.
+pub struct AbeaKernel {
+    reads: Vec<(Vec<Event>, DnaSeq)>,
+    model: PoreModel,
+    params: AbeaParams,
+}
+
+impl AbeaKernel {
+    /// Simulates FAST5-like signal reads over reference segments of
+    /// varying length.
+    pub fn prepare(size: DatasetSize) -> AbeaKernel {
+        let num_reads = match size {
+            DatasetSize::Tiny => 5,
+            DatasetSize::Small => 80,
+            DatasetSize::Large => 800,
+        };
+        let genome =
+            Genome::generate(&GenomeConfig { length: 400_000, ..Default::default() }, seeds::GENOME);
+        let model = PoreModel::r9_like();
+        let mut rng = StdRng::seed_from_u64(seeds::SIGNALS);
+        let contig = genome.contig(0);
+        let reads = (0..num_reads)
+            .map(|_| {
+                let len = rng.gen_range(800..=3000usize);
+                let start = rng.gen_range(0..contig.len() - len);
+                let seq = contig.slice(start, start + len);
+                let sig = simulate_signal(&seq, &model, &SignalSimConfig::default(), rng.gen());
+                (sig.events, seq)
+            })
+            .collect();
+        AbeaKernel { reads, model, params: AbeaParams::default() }
+    }
+
+    /// Runs the SIMT model over this workload (paper Tables IV–V).
+    pub fn gpu_report(&self) -> GpuKernelReport {
+        model_abea_gpu(&self.reads, &AbeaGpuParams::default(), gb_simt::GpuConfig::default())
+    }
+}
+
+impl Kernel for AbeaKernel {
+    fn id(&self) -> KernelId {
+        KernelId::Abea
+    }
+
+    fn num_tasks(&self) -> usize {
+        self.reads.len()
+    }
+
+    fn run_task(&self, i: usize) -> u64 {
+        let (events, seq) = &self.reads[i];
+        match align_events(events, seq, &self.model, &self.params) {
+            Some(r) => r.cells.wrapping_add((r.score * -8.0) as u64),
+            None => 0,
+        }
+    }
+
+    fn characterize_task(&self, i: usize, probe: &mut CacheProbe) {
+        let (events, seq) = &self.reads[i];
+        let _ = align_events_probed(events, seq, &self.model, &self.params, probe);
+    }
+
+    fn task_work(&self, i: usize) -> u64 {
+        let (events, seq) = &self.reads[i];
+        align_events(events, seq, &self.model, &self.params).map_or(0, |r| r.cells)
+    }
+}
+
+impl std::fmt::Debug for AbeaKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AbeaKernel").field("reads", &self.reads.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{run_parallel, run_serial};
+
+    #[test]
+    fn deterministic_across_threads() {
+        let k = AbeaKernel::prepare(DatasetSize::Tiny);
+        assert_eq!(run_serial(&k).checksum, run_parallel(&k, 4).checksum);
+        assert!(run_serial(&k).checksum != 0);
+    }
+
+    #[test]
+    fn gpu_report_is_low_occupancy() {
+        let k = AbeaKernel::prepare(DatasetSize::Tiny);
+        let r = k.gpu_report();
+        assert!(r.occupancy < 0.5);
+        assert!(r.warp_efficiency < 1.0);
+    }
+}

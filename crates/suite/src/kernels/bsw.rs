@@ -1,0 +1,133 @@
+//! The **bsw** kernel: banded Smith-Waterman seed extension (paper §III,
+//! from BWA-MEM2).
+
+use super::{Kernel, KernelId};
+use crate::dataset::{seeds, DatasetSize};
+use gb_datagen::genome::{Genome, GenomeConfig};
+use gb_dp::bsw::{banded_sw, banded_sw_probed, run_batch, BatchReport, SwParams, SwTask};
+use gb_uarch::cache::CacheProbe;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Prepared bsw workload: query/target pairs of varying length and
+/// similarity (the ingredients of the paper's lane-divergence analysis).
+pub struct BswKernel {
+    tasks: Vec<SwTask>,
+    params: SwParams,
+}
+
+impl BswKernel {
+    /// Draws sequence pairs from a synthetic genome: mostly true pairs
+    /// (overlapping segments with errors), some unrelated pairs (which
+    /// trigger the Z-drop early exit — the paper's divergence source).
+    pub fn prepare(size: DatasetSize) -> BswKernel {
+        let num_pairs = match size {
+            DatasetSize::Tiny => 100,
+            DatasetSize::Small => 2_000,
+            DatasetSize::Large => 20_000,
+        };
+        let genome = Genome::generate(
+            &GenomeConfig { length: 500_000.min(num_pairs * 600), ..Default::default() },
+            seeds::GENOME,
+        );
+        let contig = genome.contig(0);
+        let mut rng = StdRng::seed_from_u64(seeds::SHORT_READS ^ 0xB5);
+        let mut tasks = Vec::with_capacity(num_pairs);
+        for _ in 0..num_pairs {
+            // Length-diverse pairs: 60..=400 bases.
+            let len = rng.gen_range(60..=400usize);
+            let start = rng.gen_range(0..contig.len() - len);
+            let target = contig.slice(start, start + len);
+            let query = if rng.gen::<f64>() < 0.85 {
+                // A noisy copy of the target (0.5% substitutions).
+                let codes = target
+                    .as_codes()
+                    .iter()
+                    .map(|&c| if rng.gen::<f64>() < 0.005 { (c + 1) % 4 } else { c })
+                    .collect();
+                gb_core::seq::DnaSeq::from_codes_unchecked(codes)
+            } else {
+                // Unrelated segment: similar length, dissimilar content.
+                let s2 = rng.gen_range(0..contig.len() - len);
+                contig.slice(s2, s2 + len).reverse_complement()
+            };
+            tasks.push(SwTask { query, target });
+        }
+        BswKernel { tasks, params: SwParams::default() }
+    }
+
+    /// Runs the inter-sequence SIMD batch model (Fig. 3): `lanes`-wide
+    /// lockstep execution, optionally length-sorted.
+    pub fn batch_report(&self, lanes: usize, sort_by_len: bool) -> BatchReport {
+        let (_, report) = run_batch(&self.tasks, &self.params, lanes, sort_by_len);
+        report
+    }
+
+    /// Runs the *executed* lockstep kernel (`gb_dp::bsw_batch`) over the
+    /// same tasks: real per-step lane masking rather than the analytic
+    /// max-cells model.
+    pub fn lockstep_report(&self, sort_by_len: bool) -> BatchReport {
+        let (_, report) = gb_dp::bsw_batch::run_lockstep(&self.tasks, &self.params, sort_by_len);
+        report
+    }
+}
+
+impl Kernel for BswKernel {
+    fn id(&self) -> KernelId {
+        KernelId::Bsw
+    }
+
+    fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    fn run_task(&self, i: usize) -> u64 {
+        let t = &self.tasks[i];
+        let r = banded_sw(&t.query, &t.target, &self.params);
+        (r.score as u64).wrapping_mul(31).wrapping_add(r.cells)
+    }
+
+    fn characterize_task(&self, i: usize, probe: &mut CacheProbe) {
+        let t = &self.tasks[i];
+        let _ = banded_sw_probed(&t.query, &t.target, &self.params, probe);
+    }
+
+    fn task_work(&self, i: usize) -> u64 {
+        let t = &self.tasks[i];
+        banded_sw(&t.query, &t.target, &self.params).cells
+    }
+}
+
+impl std::fmt::Debug for BswKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BswKernel").field("pairs", &self.tasks.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{run_parallel, run_serial, work_distribution};
+
+    #[test]
+    fn deterministic_across_threads() {
+        let k = BswKernel::prepare(DatasetSize::Tiny);
+        assert_eq!(run_serial(&k).checksum, run_parallel(&k, 4).checksum);
+    }
+
+    #[test]
+    fn work_is_imbalanced() {
+        let k = BswKernel::prepare(DatasetSize::Tiny);
+        let d = work_distribution(&k);
+        assert!(d.imbalance > 1.5, "imbalance {}", d.imbalance);
+    }
+
+    #[test]
+    fn batch_overcomputes_and_sorting_helps() {
+        let k = BswKernel::prepare(DatasetSize::Tiny);
+        let unsorted = k.batch_report(16, false);
+        let sorted = k.batch_report(16, true);
+        assert!(unsorted.overcompute() > 1.2, "unsorted {}", unsorted.overcompute());
+        assert!(sorted.overcompute() < unsorted.overcompute());
+    }
+}

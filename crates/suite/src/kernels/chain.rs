@@ -1,0 +1,81 @@
+//! The **chain** kernel: minimap2 anchor chaining (paper §III).
+
+use super::{Kernel, KernelId};
+use crate::dataset::{seeds, DatasetSize};
+use gb_datagen::anchors::{synthetic_anchor_sets, AnchorSet, AnchorSimConfig};
+use gb_dp::chain::{chain_anchors, chain_anchors_probed, ChainParams};
+use gb_uarch::cache::CacheProbe;
+
+/// Prepared chain workload: one anchor set per read pair.
+pub struct ChainKernel {
+    tasks: Vec<AnchorSet>,
+    params: ChainParams,
+}
+
+impl ChainKernel {
+    /// Synthesizes overlap tasks with long-tailed anchor counts (the
+    /// paper's PacBio *C. elegans* all-vs-all workload shape).
+    pub fn prepare(size: DatasetSize) -> ChainKernel {
+        let num_pairs = match size {
+            DatasetSize::Tiny => 20,
+            DatasetSize::Small => 1_000,
+            DatasetSize::Large => 10_000,
+        };
+        let cfg = AnchorSimConfig { num_pairs, mean_anchors: 500, ..Default::default() };
+        ChainKernel {
+            tasks: synthetic_anchor_sets(&cfg, seeds::ANCHORS),
+            params: ChainParams::default(),
+        }
+    }
+}
+
+impl Kernel for ChainKernel {
+    fn id(&self) -> KernelId {
+        KernelId::Chain
+    }
+
+    fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    fn run_task(&self, i: usize) -> u64 {
+        let r = chain_anchors(&self.tasks[i], &self.params);
+        r.chains
+            .iter()
+            .map(|c| c.score as u64 ^ (c.len() as u64).rotate_left(13))
+            .fold(r.comparisons, u64::wrapping_add)
+    }
+
+    fn characterize_task(&self, i: usize, probe: &mut CacheProbe) {
+        let _ = chain_anchors_probed(&self.tasks[i], &self.params, probe);
+    }
+
+    fn task_work(&self, i: usize) -> u64 {
+        self.tasks[i].len() as u64
+    }
+}
+
+impl std::fmt::Debug for ChainKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChainKernel").field("pairs", &self.tasks.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{run_parallel, run_serial, work_distribution};
+
+    #[test]
+    fn deterministic_across_threads() {
+        let k = ChainKernel::prepare(DatasetSize::Tiny);
+        assert_eq!(run_serial(&k).checksum, run_parallel(&k, 4).checksum);
+    }
+
+    #[test]
+    fn anchor_counts_are_long_tailed() {
+        let k = ChainKernel::prepare(DatasetSize::Tiny);
+        let d = work_distribution(&k);
+        assert!(d.imbalance > 1.5, "imbalance {}", d.imbalance);
+    }
+}

@@ -1,0 +1,84 @@
+//! The **dbg** kernel: De-Bruijn re-assembly of variant-calling regions
+//! (paper §III, from Platypus).
+
+use super::{Kernel, KernelId};
+use crate::dataset::{seeds, DatasetSize};
+use gb_assembly::dbg::{assemble_region, assemble_region_probed, DbgParams};
+use gb_core::region::RegionTask;
+use gb_datagen::genome::{Genome, GenomeConfig};
+use gb_datagen::regions::{build_region_tasks, RegionSimConfig};
+use gb_uarch::cache::CacheProbe;
+
+/// Prepared dbg workload: one task per reference window with its aligned
+/// reads.
+pub struct DbgKernel {
+    tasks: Vec<RegionTask>,
+    params: DbgParams,
+}
+
+impl DbgKernel {
+    /// Simulates a diploid short-read sample over a reference and buckets
+    /// it into 500-base re-assembly windows.
+    pub fn prepare(size: DatasetSize) -> DbgKernel {
+        let genome_len = match size {
+            DatasetSize::Tiny => 20_000,
+            DatasetSize::Small => 200_000,
+            DatasetSize::Large => 2_000_000,
+        };
+        let genome =
+            Genome::generate(&GenomeConfig { length: genome_len, ..Default::default() }, seeds::GENOME);
+        let workload = build_region_tasks(&genome, &RegionSimConfig::default(), seeds::REGIONS);
+        DbgKernel { tasks: workload.tasks, params: DbgParams::default() }
+    }
+}
+
+impl Kernel for DbgKernel {
+    fn id(&self) -> KernelId {
+        KernelId::Dbg
+    }
+
+    fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    fn run_task(&self, i: usize) -> u64 {
+        let r = assemble_region(&self.tasks[i], &self.params);
+        r.haplotypes.len() as u64 * 1000 + r.hash_lookups % 997 + u64::from(r.cycles_hit) * 7
+    }
+
+    fn characterize_task(&self, i: usize, probe: &mut CacheProbe) {
+        let _ = assemble_region_probed(&self.tasks[i], &self.params, probe);
+    }
+
+    fn task_work(&self, i: usize) -> u64 {
+        assemble_region(&self.tasks[i], &self.params).hash_lookups
+    }
+}
+
+impl std::fmt::Debug for DbgKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DbgKernel").field("regions", &self.tasks.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{run_parallel, run_serial};
+
+    #[test]
+    fn deterministic_across_threads() {
+        let k = DbgKernel::prepare(DatasetSize::Tiny);
+        assert_eq!(run_serial(&k).checksum, run_parallel(&k, 4).checksum);
+        assert_eq!(k.num_tasks(), 40); // 20 kb / 500 b windows
+    }
+
+    #[test]
+    fn some_region_produces_alternate_haplotypes() {
+        let k = DbgKernel::prepare(DatasetSize::Tiny);
+        let with_alts = (0..k.num_tasks())
+            .filter(|&i| assemble_region(&k.tasks[i], &k.params).haplotypes.len() > 1)
+            .count();
+        assert!(with_alts > 0, "no region assembled an alternate haplotype");
+    }
+}

@@ -1,0 +1,112 @@
+//! The **fmi** kernel: SMEM search over an FM-index (paper §III, from
+//! BWA-MEM2).
+
+use super::{Kernel, KernelId};
+use crate::dataset::{seeds, DatasetSize};
+use gb_core::seq::DnaSeq;
+use gb_datagen::genome::{Genome, GenomeConfig};
+use gb_datagen::reads::{simulate_reads, ReadSimConfig};
+use gb_fmi::bidir::BiIndex;
+use gb_fmi::smem::{collect_smems, collect_smems_probed, SmemConfig};
+use gb_uarch::cache::CacheProbe;
+use gb_uarch::probe::NullProbe;
+
+/// Prepared fmi workload: a bidirectional index plus reads to seed.
+pub struct FmiKernel {
+    index: BiIndex,
+    reads: Vec<DnaSeq>,
+    config: SmemConfig,
+}
+
+impl FmiKernel {
+    /// Builds the index and simulates the read set.
+    ///
+    /// The reference is sized so the index working set exceeds the
+    /// modelled LLC (as the paper's ~10 GB human FM-index dwarfs an 8 MB
+    /// LLC), which is what makes the kernel memory-bound.
+    pub fn prepare(size: DatasetSize) -> FmiKernel {
+        let (genome_len, num_reads) = match size {
+            DatasetSize::Tiny => (100_000, 50),
+            DatasetSize::Small => (8_000_000, 2_000),
+            DatasetSize::Large => (24_000_000, 20_000),
+        };
+        let genome = Genome::generate(&GenomeConfig { length: genome_len, ..Default::default() }, seeds::GENOME);
+        let reads = simulate_reads(&genome, &ReadSimConfig::short(num_reads), seeds::SHORT_READS)
+            .into_iter()
+            .map(|r| r.record.seq)
+            .collect();
+        let index = BiIndex::build(&genome.concat());
+        FmiKernel { index, reads, config: SmemConfig::default() }
+    }
+
+    /// The index heap footprint in bytes.
+    pub fn index_bytes(&self) -> usize {
+        self.index.heap_bytes()
+    }
+}
+
+impl Kernel for FmiKernel {
+    fn id(&self) -> KernelId {
+        KernelId::Fmi
+    }
+
+    fn num_tasks(&self) -> usize {
+        self.reads.len()
+    }
+
+    fn run_task(&self, i: usize) -> u64 {
+        let smems = collect_smems(&self.index, &self.reads[i], &self.config);
+        smems
+            .iter()
+            .map(|m| (m.end - m.start) as u64 ^ u64::from(m.interval.s).rotate_left(17))
+            .fold(0, u64::wrapping_add)
+    }
+
+    fn characterize_task(&self, i: usize, probe: &mut CacheProbe) {
+        let _ = collect_smems_probed(&self.index, &self.reads[i], &self.config, probe);
+    }
+
+    fn task_work(&self, i: usize) -> u64 {
+        // Occ-table lookups: counted by a mix-only probe.
+        let mut probe = gb_uarch::mix::MixProbe::new();
+        let _ = collect_smems_probed(&self.index, &self.reads[i], &self.config, &mut probe);
+        probe.mix().loads
+    }
+}
+
+impl std::fmt::Debug for FmiKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FmiKernel")
+            .field("reads", &self.reads.len())
+            .field("index_bytes", &self.index.heap_bytes())
+            .finish()
+    }
+}
+
+#[allow(dead_code)]
+fn _assert_probe_compat(k: &FmiKernel) {
+    // Compile-time check that the uninstrumented path exists too.
+    let _ = collect_smems_probed(&k.index, &k.reads[0], &k.config, &mut NullProbe);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{run_parallel, run_serial};
+
+    #[test]
+    fn tiny_runs_and_is_deterministic() {
+        let k = FmiKernel::prepare(DatasetSize::Tiny);
+        let a = run_serial(&k);
+        let b = run_parallel(&k, 4);
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.tasks, 50);
+        assert!(a.checksum != 0);
+    }
+
+    #[test]
+    fn task_work_is_positive() {
+        let k = FmiKernel::prepare(DatasetSize::Tiny);
+        assert!(k.task_work(0) > 100, "a 151-bp read needs many occ lookups");
+    }
+}

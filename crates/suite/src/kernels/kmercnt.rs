@@ -1,0 +1,115 @@
+//! The **kmer-cnt** kernel: canonical k-mer counting (paper §III, from
+//! Flye).
+
+use super::{Kernel, KernelId};
+use crate::dataset::{seeds, DatasetSize};
+use gb_assembly::kmer_count::{count_kmers, count_kmers_probed, KmerCountParams};
+use gb_core::seq::DnaSeq;
+use gb_datagen::genome::{Genome, GenomeConfig};
+use gb_datagen::reads::{simulate_reads, ReadSimConfig};
+use gb_uarch::cache::CacheProbe;
+
+/// Prepared kmer-cnt workload: long reads split into counting shards.
+///
+/// Each task counts one shard into a private table (the sharded layout
+/// multithreaded counters use); shards are sized so the table working set
+/// exceeds the modelled LLC, as the paper's ~8 GB table does.
+pub struct KmerCntKernel {
+    shards: Vec<Vec<DnaSeq>>,
+    params: KmerCountParams,
+}
+
+impl KmerCntKernel {
+    /// Simulates a long-read set and splits it into per-task shards.
+    pub fn prepare(size: DatasetSize) -> KmerCntKernel {
+        let (total_bases, shard_bases) = match size {
+            DatasetSize::Tiny => (400_000usize, 200_000usize),
+            DatasetSize::Small => (16_000_000, 2_000_000),
+            DatasetSize::Large => (64_000_000, 2_000_000),
+        };
+        let genome = Genome::generate(
+            &GenomeConfig { length: total_bases / 8, ..Default::default() },
+            seeds::GENOME,
+        );
+        let cfg = ReadSimConfig { num_reads: total_bases / 3000, ..ReadSimConfig::long(0) };
+        let reads = simulate_reads(&genome, &cfg, seeds::LONG_READS);
+        let mut shards: Vec<Vec<DnaSeq>> = Vec::new();
+        let mut cur: Vec<DnaSeq> = Vec::new();
+        let mut cur_bases = 0usize;
+        for r in reads {
+            cur_bases += r.record.len();
+            cur.push(r.record.seq);
+            if cur_bases >= shard_bases {
+                shards.push(std::mem::take(&mut cur));
+                cur_bases = 0;
+            }
+        }
+        if !cur.is_empty() {
+            shards.push(cur);
+        }
+        KmerCntKernel { shards, params: KmerCountParams::default() }
+    }
+
+    /// The counting parameters (exposed for the ablation benches).
+    pub fn params(&self) -> &KmerCountParams {
+        &self.params
+    }
+
+    /// The read shards (exposed for the ablation benches).
+    pub fn shards(&self) -> &[Vec<DnaSeq>] {
+        &self.shards
+    }
+}
+
+impl Kernel for KmerCntKernel {
+    fn id(&self) -> KernelId {
+        KernelId::KmerCnt
+    }
+
+    fn num_tasks(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn run_task(&self, i: usize) -> u64 {
+        let (table, stats) = count_kmers(&self.shards[i], &self.params);
+        stats.kmers_processed.wrapping_add(table.len() as u64)
+    }
+
+    fn characterize_task(&self, i: usize, probe: &mut CacheProbe) {
+        let _ = count_kmers_probed(&self.shards[i], &self.params, probe);
+    }
+
+    fn task_work(&self, i: usize) -> u64 {
+        self.shards[i]
+            .iter()
+            .map(|r| r.len().saturating_sub(self.params.k - 1) as u64)
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for KmerCntKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KmerCntKernel").field("shards", &self.shards.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{run_parallel, run_serial};
+
+    #[test]
+    fn deterministic_across_threads() {
+        let k = KmerCntKernel::prepare(DatasetSize::Tiny);
+        assert_eq!(run_serial(&k).checksum, run_parallel(&k, 4).checksum);
+        assert_eq!(k.num_tasks(), 2);
+    }
+
+    #[test]
+    fn shard_tables_exceed_llc_at_small() {
+        // The characterization depends on the table busting the 8 MB LLC.
+        let k = KmerCntKernel::prepare(DatasetSize::Small);
+        let (table, _) = count_kmers(&k.shards[0], &k.params);
+        assert!(table.heap_bytes() > 8 << 20, "table only {} bytes", table.heap_bytes());
+    }
+}

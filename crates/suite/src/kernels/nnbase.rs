@@ -1,0 +1,115 @@
+//! The **nn-base** kernel: neural basecalling (paper §III, from Bonito).
+
+use super::{Kernel, KernelId};
+use crate::dataset::{seeds, DatasetSize};
+use gb_datagen::genome::{Genome, GenomeConfig};
+use gb_datagen::signal::{simulate_signal, PoreModel, SignalSimConfig};
+use gb_nn::basecaller::{Basecaller, BasecallerConfig};
+use gb_simt::exec::GpuKernelReport;
+use gb_simt::kernels::{bonito_like_layers, model_nn_base_gpu, GemmGpuParams};
+use gb_uarch::cache::CacheProbe;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Prepared nn-base workload: signal chunks ready for inference.
+pub struct NnBaseKernel {
+    model: Basecaller,
+    chunks: Vec<Vec<f32>>,
+}
+
+impl NnBaseKernel {
+    /// Simulates raw nanopore signal and splits it into the model's
+    /// 4,000-sample chunks.
+    pub fn prepare(size: DatasetSize) -> NnBaseKernel {
+        let num_chunks = match size {
+            DatasetSize::Tiny => 2,
+            DatasetSize::Small => 30,
+            DatasetSize::Large => 300,
+        };
+        let config = BasecallerConfig::default();
+        let model = Basecaller::new(&config, seeds::WEIGHTS);
+        let genome =
+            Genome::generate(&GenomeConfig { length: 200_000, ..Default::default() }, seeds::GENOME);
+        let pore = PoreModel::r9_like();
+        let mut rng = StdRng::seed_from_u64(seeds::SIGNALS ^ 0xBA5E);
+        let contig = genome.contig(0);
+        let mut chunks = Vec::with_capacity(num_chunks);
+        let mut raw_pool: Vec<f32> = Vec::new();
+        while chunks.len() < num_chunks {
+            if raw_pool.len() < config.chunk_size {
+                let start = rng.gen_range(0..contig.len() - 2000);
+                let seq = contig.slice(start, start + 2000);
+                let sig = simulate_signal(&seq, &pore, &SignalSimConfig::default(), rng.gen());
+                raw_pool.extend(sig.raw);
+                continue;
+            }
+            chunks.push(raw_pool.drain(..config.chunk_size).collect());
+        }
+        NnBaseKernel { model, chunks }
+    }
+
+    /// Runs the SIMT model of this network's layers (Tables IV–V).
+    pub fn gpu_report(&self) -> GpuKernelReport {
+        let c = self.model.config();
+        let layers = bonito_like_layers(c.chunk_size, c.stride, c.channels, c.blocks, c.kernel);
+        model_nn_base_gpu(&layers, &GemmGpuParams::default(), gb_simt::GpuConfig::default())
+    }
+
+    /// Multiply-accumulates per chunk.
+    pub fn flops_per_chunk(&self) -> u64 {
+        self.model.flops_per_chunk()
+    }
+}
+
+impl Kernel for NnBaseKernel {
+    fn id(&self) -> KernelId {
+        KernelId::NnBase
+    }
+
+    fn num_tasks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    fn run_task(&self, i: usize) -> u64 {
+        let posteriors = self.model.forward_chunk_probed(&self.chunks[i], &mut gb_uarch::probe::NullProbe);
+        let decoded = gb_nn::ctc::greedy_decode(&posteriors);
+        decoded
+            .as_codes()
+            .iter()
+            .fold(decoded.len() as u64, |acc, &c| acc.wrapping_mul(7).wrapping_add(u64::from(c)))
+    }
+
+    fn characterize_task(&self, i: usize, probe: &mut CacheProbe) {
+        let _ = self.model.forward_chunk_probed(&self.chunks[i], probe);
+    }
+
+    fn task_work(&self, _i: usize) -> u64 {
+        self.model.flops_per_chunk()
+    }
+}
+
+impl std::fmt::Debug for NnBaseKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NnBaseKernel").field("chunks", &self.chunks.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{run_parallel, run_serial};
+
+    #[test]
+    fn deterministic_across_threads() {
+        let k = NnBaseKernel::prepare(DatasetSize::Tiny);
+        assert_eq!(run_serial(&k).checksum, run_parallel(&k, 2).checksum);
+    }
+
+    #[test]
+    fn gpu_report_is_regular() {
+        let k = NnBaseKernel::prepare(DatasetSize::Tiny);
+        let r = k.gpu_report();
+        assert_eq!(r.branch_efficiency, 1.0);
+        assert!(r.occupancy > 0.8);
+    }
+}

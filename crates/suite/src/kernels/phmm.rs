@@ -1,0 +1,129 @@
+//! The **phmm** kernel: pair-HMM read-haplotype likelihoods (paper §III,
+//! from GATK HaplotypeCaller).
+
+use super::{Kernel, KernelId};
+use crate::dataset::{seeds, DatasetSize};
+use gb_assembly::dbg::{assemble_region, DbgParams};
+use gb_core::record::ReadRecord;
+use gb_core::seq::DnaSeq;
+use gb_dp::phmm::{forward_likelihood, forward_likelihood_probed, HmmParams};
+use gb_datagen::genome::{Genome, GenomeConfig};
+use gb_datagen::reads::ReadSimConfig;
+use gb_datagen::regions::{build_region_tasks, RegionSimConfig};
+use gb_uarch::cache::CacheProbe;
+
+/// One phmm task: a genome region's reads evaluated against its candidate
+/// haplotypes (`|R| x |H|` pairwise likelihoods, paper §III).
+pub struct PhmmTask {
+    reads: Vec<ReadRecord>,
+    haplotypes: Vec<DnaSeq>,
+}
+
+/// Prepared phmm workload.
+pub struct PhmmKernel {
+    tasks: Vec<PhmmTask>,
+    params: HmmParams,
+}
+
+impl PhmmKernel {
+    /// Builds the realistic GATK front-to-back input: regions are
+    /// simulated, re-assembled with the dbg kernel, and the resulting
+    /// haplotypes paired with the region's reads.
+    pub fn prepare(size: DatasetSize) -> PhmmKernel {
+        let genome_len = match size {
+            DatasetSize::Tiny => 4_000,
+            DatasetSize::Small => 24_000,
+            DatasetSize::Large => 240_000,
+        };
+        let genome =
+            Genome::generate(&GenomeConfig { length: genome_len, ..Default::default() }, seeds::GENOME);
+        let cfg = RegionSimConfig {
+            region_len: 300,
+            coverage: 15.0,
+            reads: ReadSimConfig { read_len: 100, ..ReadSimConfig::short(0) },
+            ..RegionSimConfig::default()
+        };
+        let workload = build_region_tasks(&genome, &cfg, seeds::REGIONS ^ 0x9A);
+        // GATK trims its haplotype set before the pairHMM; keep the best
+        // few so per-region work stays |R| x |H| with small |H|.
+        let dbg_params = DbgParams { max_haplotypes: 4, ..DbgParams::default() };
+        let tasks = workload
+            .tasks
+            .into_iter()
+            .filter(|t| !t.reads.is_empty())
+            .map(|t| {
+                let haplotypes = assemble_region(&t, &dbg_params).haplotypes;
+                let reads = t.reads.into_iter().map(|a| a.read).collect();
+                PhmmTask { reads, haplotypes }
+            })
+            .collect();
+        PhmmKernel { tasks, params: HmmParams::default() }
+    }
+}
+
+impl Kernel for PhmmKernel {
+    fn id(&self) -> KernelId {
+        KernelId::Phmm
+    }
+
+    fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    fn run_task(&self, i: usize) -> u64 {
+        let t = &self.tasks[i];
+        let mut acc = 0u64;
+        for read in &t.reads {
+            for hap in &t.haplotypes {
+                let r = forward_likelihood(read, hap, &self.params);
+                acc = acc.wrapping_add((r.log10_likelihood * -16.0) as u64);
+            }
+        }
+        acc
+    }
+
+    fn characterize_task(&self, i: usize, probe: &mut CacheProbe) {
+        let t = &self.tasks[i];
+        for read in &t.reads {
+            for hap in &t.haplotypes {
+                let _ = forward_likelihood_probed(read, hap, &self.params, probe);
+            }
+        }
+    }
+
+    fn task_work(&self, i: usize) -> u64 {
+        let t = &self.tasks[i];
+        t.reads
+            .iter()
+            .map(|r| r.len() as u64)
+            .sum::<u64>()
+            .wrapping_mul(t.haplotypes.iter().map(|h| h.len() as u64).sum::<u64>())
+    }
+}
+
+impl std::fmt::Debug for PhmmKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhmmKernel").field("regions", &self.tasks.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{run_parallel, run_serial, work_distribution};
+
+    #[test]
+    fn deterministic_across_threads() {
+        let k = PhmmKernel::prepare(DatasetSize::Tiny);
+        assert!(k.num_tasks() > 10);
+        assert_eq!(run_serial(&k).checksum, run_parallel(&k, 4).checksum);
+    }
+
+    #[test]
+    fn region_work_varies_strongly() {
+        // Paper Fig. 4: phmm shows the largest per-task imbalance.
+        let k = PhmmKernel::prepare(DatasetSize::Tiny);
+        let d = work_distribution(&k);
+        assert!(d.imbalance > 2.0, "imbalance {}", d.imbalance);
+    }
+}

@@ -1,0 +1,115 @@
+//! The **pileup** kernel: per-region base/indel counting (paper §III,
+//! from Medaka).
+
+use super::{Kernel, KernelId};
+use crate::dataset::{seeds, DatasetSize};
+use gb_core::record::AlignmentRecord;
+use gb_core::region::{Region, RegionTask};
+use gb_datagen::genome::{Genome, GenomeConfig};
+use gb_datagen::reads::{simulate_reads, ReadSimConfig};
+use gb_pileup::pileup::{count_pileup, count_pileup_probed};
+use gb_uarch::cache::CacheProbe;
+
+/// Region width per task (the paper's 100-kilobase Medaka windows,
+/// scaled to the synthetic genome).
+const REGION_LEN: usize = 100_000;
+
+/// Prepared pileup workload: alignments bucketed into fixed windows.
+pub struct PileupKernel {
+    tasks: Vec<RegionTask>,
+}
+
+impl PileupKernel {
+    /// Simulates ONT-like long-read alignments across the genome and
+    /// tiles them into 100-kb counting regions.
+    pub fn prepare(size: DatasetSize) -> PileupKernel {
+        let genome_len = match size {
+            DatasetSize::Tiny => 120_000,
+            DatasetSize::Small => 1_200_000,
+            DatasetSize::Large => 12_000_000,
+        };
+        let genome =
+            Genome::generate(&GenomeConfig { length: genome_len, ..Default::default() }, seeds::GENOME);
+        let coverage = 25usize;
+        let mean_len = 3000usize;
+        let num_reads = genome_len * coverage / mean_len;
+        let cfg = ReadSimConfig { num_reads, ..ReadSimConfig::long(0) };
+        let alignments: Vec<AlignmentRecord> = simulate_reads(&genome, &cfg, seeds::LONG_READS)
+            .iter()
+            .map(|r| r.to_alignment())
+            .collect();
+        let contig = genome.contig(0);
+        let tasks = Region::tile(0, genome_len, REGION_LEN)
+            .into_iter()
+            .map(|region| {
+                let reads = alignments
+                    .iter()
+                    .filter(|a| a.overlaps(region.start, region.end))
+                    .cloned()
+                    .collect();
+                RegionTask {
+                    region,
+                    ref_seq: contig.slice(region.start, region.end),
+                    reads,
+                }
+            })
+            .collect();
+        PileupKernel { tasks }
+    }
+
+    /// The region tasks (shared with the nn-variant front-end).
+    pub fn tasks(&self) -> &[RegionTask] {
+        &self.tasks
+    }
+}
+
+impl Kernel for PileupKernel {
+    fn id(&self) -> KernelId {
+        KernelId::Pileup
+    }
+
+    fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    fn run_task(&self, i: usize) -> u64 {
+        let p = count_pileup(&self.tasks[i]);
+        p.counts
+            .iter()
+            .step_by(97)
+            .fold(p.ops_walked, |acc, c| acc.wrapping_mul(31).wrapping_add(u64::from(c.depth())))
+    }
+
+    fn characterize_task(&self, i: usize, probe: &mut CacheProbe) {
+        let _ = count_pileup_probed(&self.tasks[i], probe);
+    }
+
+    fn task_work(&self, i: usize) -> u64 {
+        count_pileup(&self.tasks[i]).ops_walked
+    }
+}
+
+impl std::fmt::Debug for PileupKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PileupKernel").field("regions", &self.tasks.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{run_parallel, run_serial};
+
+    #[test]
+    fn deterministic_across_threads() {
+        let k = PileupKernel::prepare(DatasetSize::Tiny);
+        assert_eq!(run_serial(&k).checksum, run_parallel(&k, 4).checksum);
+        assert_eq!(k.num_tasks(), 2);
+    }
+
+    #[test]
+    fn coverage_lands_in_regions() {
+        let k = PileupKernel::prepare(DatasetSize::Tiny);
+        assert!(k.task_work(0) > 100_000, "work {}", k.task_work(0));
+    }
+}

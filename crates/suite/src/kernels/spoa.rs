@@ -1,0 +1,111 @@
+//! The **spoa** kernel: partial-order-alignment consensus windows (paper
+//! §III, from Racon).
+
+use super::{Kernel, KernelId};
+use crate::dataset::{seeds, DatasetSize};
+use gb_core::seq::DnaSeq;
+use gb_datagen::genome::{Genome, GenomeConfig};
+use gb_datagen::reads::{simulate_reads, ErrorProfile, ReadSimConfig};
+use gb_poa::align::PoaParams;
+use gb_poa::consensus::{window_consensus, window_consensus_probed};
+use gb_uarch::cache::CacheProbe;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Prepared spoa workload: one consensus window per task (backbone +
+/// noisy long reads).
+pub struct SpoaKernel {
+    windows: Vec<Vec<DnaSeq>>,
+    params: PoaParams,
+}
+
+impl SpoaKernel {
+    /// Builds Racon-like windows: a 200-base backbone and ONT-noise reads
+    /// covering it, with depth varying per window (the imbalance source).
+    pub fn prepare(size: DatasetSize) -> SpoaKernel {
+        let num_windows = match size {
+            DatasetSize::Tiny => 6,
+            DatasetSize::Small => 120,
+            DatasetSize::Large => 1_200,
+        };
+        let window_len = 200usize;
+        let genome = Genome::generate(
+            &GenomeConfig { length: window_len * num_windows, ..Default::default() },
+            seeds::GENOME,
+        );
+        let mut rng = StdRng::seed_from_u64(seeds::LONG_READS ^ 0x50A);
+        let windows = (0..num_windows)
+            .map(|w| {
+                let backbone = genome.contig(0).slice(w * window_len, (w + 1) * window_len);
+                let depth = rng.gen_range(8..=24usize);
+                let g = Genome::from_contigs(vec![backbone.clone()]);
+                let cfg = ReadSimConfig {
+                    num_reads: depth,
+                    read_len: window_len,
+                    length_jitter: 0.0,
+                    errors: ErrorProfile::nanopore(),
+                    revcomp_prob: 0.0,
+                };
+                let mut reads = vec![backbone];
+                reads.extend(
+                    simulate_reads(&g, &cfg, rng.gen()).into_iter().map(|r| r.record.seq),
+                );
+                reads
+            })
+            .collect();
+        SpoaKernel { windows, params: PoaParams::default() }
+    }
+}
+
+impl Kernel for SpoaKernel {
+    fn id(&self) -> KernelId {
+        KernelId::Spoa
+    }
+
+    fn num_tasks(&self) -> usize {
+        self.windows.len()
+    }
+
+    fn run_task(&self, i: usize) -> u64 {
+        let (consensus, stats) = window_consensus(&self.windows[i], &self.params);
+        consensus
+            .as_codes()
+            .iter()
+            .fold(stats.cells, |acc, &c| acc.wrapping_mul(5).wrapping_add(u64::from(c)))
+    }
+
+    fn characterize_task(&self, i: usize, probe: &mut CacheProbe) {
+        let _ = window_consensus_probed(&self.windows[i], &self.params, probe);
+    }
+
+    fn task_work(&self, i: usize) -> u64 {
+        window_consensus(&self.windows[i], &self.params).1.cells
+    }
+}
+
+impl std::fmt::Debug for SpoaKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpoaKernel").field("windows", &self.windows.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{run_parallel, run_serial};
+
+    #[test]
+    fn deterministic_across_threads() {
+        let k = SpoaKernel::prepare(DatasetSize::Tiny);
+        assert_eq!(run_serial(&k).checksum, run_parallel(&k, 4).checksum);
+    }
+
+    #[test]
+    fn consensus_recovers_backbone_closely() {
+        let k = SpoaKernel::prepare(DatasetSize::Tiny);
+        let (consensus, _) = window_consensus(&k.windows[0], &k.params);
+        let backbone = &k.windows[0][0];
+        let len_diff = (consensus.len() as i64 - backbone.len() as i64).abs();
+        assert!(len_diff < 20, "consensus length diff {len_diff}");
+    }
+}

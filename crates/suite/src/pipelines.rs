@@ -1,0 +1,319 @@
+//! The paper's three end-to-end pipelines (Fig. 1) as library functions.
+//!
+//! The kernels exist to serve these pipelines; wiring them together here
+//! (a) proves the kernel APIs compose, and (b) gives examples/tests one
+//! canonical implementation of each flow:
+//!
+//! - [`reference_guided`]: map reads (fmi + bsw), re-assemble regions
+//!   (dbg), score haplotypes (phmm), call SNVs — Fig. 1a,
+//! - [`denovo_polish`]: count k-mers, assemble unitigs, polish windows
+//!   with POA consensus — Fig. 1b,
+//! - [`metagenomic_abundance`]: classify reads against a pan-genome with
+//!   SMEMs and estimate composition — Fig. 1c.
+
+use gb_assembly::dbg::{assemble_region, DbgParams};
+use gb_assembly::unitigs::{assemble_unitigs, Assembly, UnitigParams};
+use gb_core::cigar::{Cigar, CigarOp};
+use gb_core::record::{AlignmentRecord, ReadRecord, Strand};
+use gb_core::region::{Region, RegionTask};
+use gb_core::seq::DnaSeq;
+use gb_dp::bsw::{banded_sw, SwParams};
+use gb_dp::phmm::{forward_likelihood, HmmParams};
+use gb_fmi::bidir::BiIndex;
+use gb_fmi::smem::{collect_smems, SmemConfig};
+use gb_poa::align::PoaParams;
+use gb_poa::consensus::window_consensus;
+
+/// A called variant site from the reference-guided pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CalledSnv {
+    /// 0-based reference position.
+    pub pos: usize,
+    /// The called alternate base (2-bit code).
+    pub alt: u8,
+}
+
+/// Output of [`reference_guided`].
+#[derive(Debug, Clone, Default)]
+pub struct ReferenceGuidedResult {
+    /// Reads successfully mapped.
+    pub mapped_reads: usize,
+    /// SNVs called, sorted by position.
+    pub snvs: Vec<CalledSnv>,
+}
+
+/// Maps `reads` (already strand-corrected, e.g. from
+/// `SimulatedRead::to_alignment`) against `reference`, re-assembles
+/// `region_len` windows and calls SNVs where an alternate haplotype beats
+/// the reference by `min_log10_margin` under the pair-HMM.
+pub fn reference_guided(
+    reference: &DnaSeq,
+    reads: &[ReadRecord],
+    region_len: usize,
+    min_log10_margin: f64,
+) -> ReferenceGuidedResult {
+    let index = BiIndex::build(reference);
+    let smem_cfg = SmemConfig { min_seed_len: 19, min_intv: 1 };
+    let sw = SwParams::default();
+
+    // 1. Map: SMEM seed + banded-SW extension of the best seed.
+    let mut mapped: Vec<AlignmentRecord> = Vec::new();
+    for read in reads {
+        let smems = collect_smems(&index, &read.seq, &smem_cfg);
+        let Some(best) = smems.iter().max_by_key(|m| m.len()) else { continue };
+        let mut best_hit: Option<(i32, usize)> = None;
+        for row in best.interval.k..best.interval.k + best.interval.s.min(4) {
+            let hit = index.forward().locate(row) as usize;
+            let start = hit.saturating_sub(best.start + 8);
+            let target = reference.slice(start, start + read.len() + 16);
+            let r = banded_sw(&read.seq, &target, &sw);
+            if best_hit.is_none_or(|(s, _)| r.score > s) {
+                best_hit = Some((r.score, start + r.target_end.saturating_sub(r.query_end)));
+            }
+        }
+        if let Some((_, pos)) = best_hit {
+            let mut cigar = Cigar::new();
+            cigar.push(read.len() as u32, CigarOp::Match);
+            if let Ok(a) = AlignmentRecord::new(read.clone(), 0, pos, cigar, 60, Strand::Forward) {
+                mapped.push(a);
+            }
+        }
+    }
+
+    // 2+3. Per-window re-assembly and pair-HMM haplotype scoring.
+    let hmm = HmmParams::default();
+    let dbg_params = DbgParams { max_haplotypes: 4, ..DbgParams::default() };
+    let mut snvs = Vec::new();
+    for region in Region::tile(0, reference.len(), region_len) {
+        let in_region: Vec<AlignmentRecord> = mapped
+            .iter()
+            .filter(|a| a.overlaps(region.start, region.end))
+            .cloned()
+            .collect();
+        if in_region.is_empty() {
+            continue;
+        }
+        let task = RegionTask {
+            region,
+            ref_seq: reference.slice(region.start, region.end),
+            reads: in_region,
+        };
+        let asm = assemble_region(&task, &dbg_params);
+        if asm.haplotypes.len() < 2 {
+            continue;
+        }
+        let score = |hap: &DnaSeq| -> f64 {
+            task.reads.iter().map(|r| forward_likelihood(&r.read, hap, &hmm).log10_likelihood).sum()
+        };
+        let ref_score = score(&asm.haplotypes[0]);
+        let (best_alt, alt_score) = asm.haplotypes[1..]
+            .iter()
+            .map(|h| (h, score(h)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("alternates exist");
+        if alt_score > ref_score + min_log10_margin && best_alt.len() == task.ref_seq.len() {
+            for (off, (&a, &b)) in
+                task.ref_seq.as_codes().iter().zip(best_alt.as_codes()).enumerate()
+            {
+                if a != b {
+                    snvs.push(CalledSnv { pos: region.start + off, alt: b });
+                }
+            }
+        }
+    }
+    snvs.sort_by_key(|s| s.pos);
+    snvs.dedup();
+    ReferenceGuidedResult { mapped_reads: mapped.len(), snvs }
+}
+
+/// Output of [`denovo_polish`].
+#[derive(Debug, Clone)]
+pub struct DenovoResult {
+    /// The unitig assembly.
+    pub assembly: Assembly,
+    /// Polished contigs (same order as `assembly.contigs`).
+    pub polished: Vec<DnaSeq>,
+}
+
+/// Assembles `reads` into unitigs and polishes each contig with a POA
+/// consensus over the reads' matching windows (a simplified Racon pass:
+/// reads are matched to contigs by containment of their first k-mer).
+pub fn denovo_polish(reads: &[DnaSeq], params: &UnitigParams) -> DenovoResult {
+    let assembly = assemble_unitigs(reads, params);
+    let poa = PoaParams::default();
+    let polished = assembly
+        .contigs
+        .iter()
+        .map(|contig| {
+            // Window = whole contig (contigs here are window-sized); the
+            // backbone plus any read fully contained in it.
+            let contig_str = contig.to_string();
+            let rc = contig.reverse_complement().to_string();
+            let mut window = vec![contig.clone()];
+            for r in reads {
+                let s = r.to_string();
+                if contig_str.contains(&s) {
+                    window.push(r.clone());
+                } else if rc.contains(&s) {
+                    window.push(r.reverse_complement());
+                }
+                if window.len() > 16 {
+                    break;
+                }
+            }
+            window_consensus(&window, &poa).0
+        })
+        .collect();
+    DenovoResult { assembly, polished }
+}
+
+/// Output of [`metagenomic_abundance`].
+#[derive(Debug, Clone)]
+pub struct AbundanceResult {
+    /// Reads classified per species (index-aligned with the input
+    /// genome list).
+    pub counts: Vec<u64>,
+    /// Estimated fractions (sums to 1 over classified reads).
+    pub fractions: Vec<f64>,
+    /// Reads with no SMEM above the seed threshold.
+    pub unclassified: u64,
+}
+
+/// Classifies `reads` against the concatenated `species` genomes by the
+/// location of each read's longest SMEM.
+pub fn metagenomic_abundance(
+    species: &[DnaSeq],
+    reads: &[DnaSeq],
+    min_seed_len: usize,
+) -> AbundanceResult {
+    let mut pan = Vec::new();
+    let mut boundaries = vec![0usize];
+    for s in species {
+        pan.extend_from_slice(s.as_codes());
+        boundaries.push(pan.len());
+    }
+    let pan = DnaSeq::from_codes_unchecked(pan);
+    let index = BiIndex::build(&pan);
+    let cfg = SmemConfig { min_seed_len, min_intv: 1 };
+    let mut counts = vec![0u64; species.len()];
+    let mut unclassified = 0u64;
+    for read in reads {
+        let smems = collect_smems(&index, read, &cfg);
+        match smems.iter().max_by_key(|m| m.len()) {
+            Some(best) => {
+                let pos = index.forward().locate(best.interval.k) as usize;
+                let sp = boundaries
+                    .windows(2)
+                    .position(|w| pos >= w[0] && pos < w[1])
+                    .expect("position within pan-genome");
+                counts[sp] += 1;
+            }
+            None => unclassified += 1,
+        }
+    }
+    let total: u64 = counts.iter().sum();
+    let fractions =
+        counts.iter().map(|&c| if total == 0 { 0.0 } else { c as f64 / total as f64 }).collect();
+    AbundanceResult { counts, fractions, unclassified }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_datagen::genome::{Genome, GenomeConfig};
+    use gb_datagen::reads::{simulate_reads, ErrorProfile, ReadSimConfig};
+    use gb_datagen::variants::{inject_variants, VariantConfig, VariantKind};
+
+    #[test]
+    fn reference_guided_finds_planted_snvs() {
+        let genome = Genome::generate(&GenomeConfig { length: 8_000, ..Default::default() }, 51);
+        let reference = genome.contig(0).clone();
+        let sample = inject_variants(
+            &reference,
+            &VariantConfig {
+                snv_rate: 0.003,
+                ins_rate: 0.0,
+                del_rate: 0.0,
+                het_fraction: 0.0,
+                ..Default::default()
+            },
+            52,
+        );
+        let hap_genome = Genome::from_contigs(vec![sample.hap1.clone()]);
+        let cfg = ReadSimConfig { num_reads: 8_000 * 25 / 151, ..ReadSimConfig::short(0) };
+        let reads: Vec<ReadRecord> = simulate_reads(&hap_genome, &cfg, 53)
+            .iter()
+            .map(|r| r.to_alignment().read)
+            .collect();
+        let result = reference_guided(&reference, &reads, 400, 3.0);
+        assert!(result.mapped_reads > reads.len() / 2);
+        let truth: Vec<usize> = sample
+            .truth
+            .iter()
+            .filter(|v| matches!(v.kind, VariantKind::Snv { .. }))
+            .map(|v| v.pos)
+            .collect();
+        assert!(!truth.is_empty());
+        let tp = result.snvs.iter().filter(|s| truth.contains(&s.pos)).count();
+        // Homozygous SNVs at 25x: expect decent recall and no junk calls.
+        assert!(tp * 2 >= truth.len(), "recall too low: {tp}/{}", truth.len());
+        assert!(tp * 2 >= result.snvs.len(), "precision too low: {tp}/{}", result.snvs.len());
+    }
+
+    #[test]
+    fn denovo_polish_reconstructs_clean_genome() {
+        let genome = Genome::generate(
+            &GenomeConfig { length: 2_000, repeat_fraction: 0.0, ..Default::default() },
+            61,
+        );
+        let truth = genome.contig(0).clone();
+        let mut reads = Vec::new();
+        let mut s = 0;
+        while s + 200 <= truth.len() {
+            reads.push(truth.slice(s, s + 200));
+            reads.push(truth.slice(s, s + 200));
+            s += 50;
+        }
+        reads.push(truth.slice(truth.len() - 200, truth.len()));
+        reads.push(truth.slice(truth.len() - 200, truth.len()));
+        let r = denovo_polish(&reads, &UnitigParams::default());
+        assert_eq!(r.assembly.contigs.len(), 1);
+        assert_eq!(r.polished.len(), 1);
+        let p = &r.polished[0];
+        assert!(p == &truth || p.reverse_complement() == truth);
+    }
+
+    #[test]
+    fn abundance_recovers_mixture() {
+        let species: Vec<DnaSeq> = (0..3)
+            .map(|i| {
+                Genome::generate(
+                    &GenomeConfig { length: 6_000, ..Default::default() },
+                    71 + i as u64,
+                )
+                .contig(0)
+                .clone()
+            })
+            .collect();
+        let mix = [0.5f64, 0.3, 0.2];
+        let mut reads = Vec::new();
+        for (i, s) in species.iter().enumerate() {
+            let g = Genome::from_contigs(vec![s.clone()]);
+            let cfg = ReadSimConfig {
+                num_reads: (300.0 * mix[i]) as usize,
+                errors: ErrorProfile::illumina(),
+                ..ReadSimConfig::short(0)
+            };
+            reads.extend(
+                simulate_reads(&g, &cfg, 80 + i as u64)
+                    .into_iter()
+                    .map(|r| r.to_alignment().read.seq),
+            );
+        }
+        let r = metagenomic_abundance(&species, &reads, 25);
+        assert_eq!(r.unclassified, 0);
+        for (est, want) in r.fractions.iter().zip(mix) {
+            assert!((est - want).abs() < 0.05, "estimated {est} vs true {want}");
+        }
+    }
+}

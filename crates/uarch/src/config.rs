@@ -1,0 +1,92 @@
+//! The modelled machine configuration (Table I of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// The baseline system configuration the suite characterizes against,
+/// mirroring Table I of the paper (Intel Xeon E3-1240 v5 + Titan Xp).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// CPU model string.
+    pub cpu: String,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Number of cores.
+    pub cores: usize,
+    /// Hardware threads.
+    pub threads: usize,
+    /// SIMD ISA.
+    pub simd: String,
+    /// L1 data cache description.
+    pub l1d: String,
+    /// L2 cache description.
+    pub l2: String,
+    /// Last-level cache description.
+    pub llc: String,
+    /// Peak DRAM bandwidth in GB/s.
+    pub memory_bandwidth_gbps: f64,
+    /// GPU model string (for the SIMT model).
+    pub gpu: String,
+    /// GPU memory description.
+    pub gpu_memory: String,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig::table1()
+    }
+}
+
+impl MachineConfig {
+    /// The paper's Table I machine.
+    pub fn table1() -> MachineConfig {
+        MachineConfig {
+            cpu: "Intel Xeon E3-1240 v5 (modelled)".into(),
+            clock_ghz: 3.5,
+            cores: 4,
+            threads: 8,
+            simd: "AVX2 (modelled as 16/8-lane batches)".into(),
+            l1d: "4 x 32 KB, 8-way, 64 B lines".into(),
+            l2: "4 x 256 KB, 4-way".into(),
+            llc: "8 MB, 16-way, shared".into(),
+            memory_bandwidth_gbps: 31.79,
+            gpu: "Nvidia Titan Xp (SIMT model)".into(),
+            gpu_memory: "12 GB GDDR5X (modelled)".into(),
+        }
+    }
+
+    /// Renders the configuration as aligned `key: value` rows (the Table I
+    /// reproduction).
+    pub fn to_table(&self) -> String {
+        let rows = [
+            ("CPU", format!("{}, {} GHz, {} cores / {} threads, {}", self.cpu, self.clock_ghz, self.cores, self.threads, self.simd)),
+            ("L1D cache", self.l1d.clone()),
+            ("L2 cache", self.l2.clone()),
+            ("LLC", self.llc.clone()),
+            ("Memory bandwidth", format!("{} GB/s", self.memory_bandwidth_gbps)),
+            ("GPU", format!("{}, {}", self.gpu, self.gpu_memory)),
+        ];
+        let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        rows.iter()
+            .map(|(k, v)| format!("{k:width$}  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_mentions_all_parts() {
+        let t = MachineConfig::table1().to_table();
+        for needle in ["E3-1240", "32 KB", "256 KB", "8 MB", "31.79", "Titan Xp"] {
+            assert!(t.contains(needle), "missing {needle} in:\n{t}");
+        }
+    }
+
+    #[test]
+    fn default_is_table1() {
+        assert_eq!(MachineConfig::default(), MachineConfig::table1());
+    }
+}

@@ -1,0 +1,52 @@
+//! # gb-uarch
+//!
+//! Microarchitectural characterization substrate for GenomicsBench-rs.
+//!
+//! The original paper characterizes its kernels with Intel VTune, the MICA
+//! pintool and hardware performance counters. This crate replaces that
+//! toolchain with simulation that runs *inside* the benchmark process:
+//!
+//! - [`probe`] — the instrumentation interface kernels are generic over
+//!   (zero-cost [`probe::NullProbe`] on the timed path),
+//! - [`mix`] — dynamic instruction-mix accounting (paper Fig. 5),
+//! - [`cache`] — a trace-driven L1/L2/LLC + DRAM row-buffer simulator
+//!   (paper Figs. 6 and 8),
+//! - [`topdown`] — an analytic top-down pipeline-slot model
+//!   (paper Figs. 8 and 9),
+//! - [`working_set`] — distinct-lines/pages touched measurement,
+//! - [`config`] — the modelled Table I machine.
+//!
+//! # Examples
+//!
+//! ```
+//! use gb_uarch::{cache::CacheProbe, probe::Probe, topdown::CoreModel};
+//!
+//! // An "instrumented kernel": sum a strided array.
+//! let data = vec![1u64; 4096];
+//! let mut probe = CacheProbe::skylake_like();
+//! let mut sum = 0u64;
+//! for i in (0..data.len()).step_by(8) {
+//!     probe.load(gb_uarch::probe::addr_of(&data[i]), 8);
+//!     probe.int_ops(2);
+//!     probe.branch(true);
+//!     sum += data[i];
+//! }
+//! let (mix, stats) = probe.into_parts();
+//! let report = CoreModel::default().analyze(&mix, &stats);
+//! assert!(report.retiring > 0.0 && sum == 512);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod mix;
+pub mod probe;
+pub mod topdown;
+pub mod working_set;
+
+pub use cache::{CacheProbe, CacheStats, Hierarchy};
+pub use mix::{InstructionMix, MixProbe};
+pub use probe::{NullProbe, Probe};
+pub use topdown::{CoreModel, TopDownReport};

@@ -1,0 +1,193 @@
+//! Dynamic instruction-mix accounting (the suite's MICA-pintool stand-in,
+//! behind Fig. 5 of the paper).
+
+use crate::probe::Probe;
+use serde::{Deserialize, Serialize};
+
+/// Counts of dynamic operations by category.
+///
+/// Categories follow Fig. 5 of the paper: loads, stores, scalar integer,
+/// vector (SIMD), floating point, branches, other.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstructionMix {
+    /// Memory read instructions.
+    pub loads: u64,
+    /// Memory write instructions.
+    pub stores: u64,
+    /// Scalar integer ALU instructions.
+    pub int_ops: u64,
+    /// Scalar floating-point instructions.
+    pub fp_ops: u64,
+    /// SIMD/vector instructions.
+    pub simd_ops: u64,
+    /// Conditional branches.
+    pub branches: u64,
+    /// Taken conditional branches.
+    pub branches_taken: u64,
+    /// Everything else (string, sync, system).
+    pub other: u64,
+}
+
+impl InstructionMix {
+    /// Total dynamic instruction count.
+    pub fn total(&self) -> u64 {
+        self.loads + self.stores + self.int_ops + self.fp_ops + self.simd_ops + self.branches
+            + self.other
+    }
+
+    /// The mix as fractions of the total, in Fig. 5 category order:
+    /// `[loads, stores, int, simd, fp, branches, other]`.
+    ///
+    /// Returns all zeros for an empty mix.
+    pub fn fractions(&self) -> [f64; 7] {
+        let t = self.total();
+        if t == 0 {
+            return [0.0; 7];
+        }
+        let t = t as f64;
+        [
+            self.loads as f64 / t,
+            self.stores as f64 / t,
+            self.int_ops as f64 / t,
+            self.simd_ops as f64 / t,
+            self.fp_ops as f64 / t,
+            self.branches as f64 / t,
+            self.other as f64 / t,
+        ]
+    }
+
+    /// Fraction of conditional branches that were taken (0 when there were
+    /// no branches).
+    pub fn taken_ratio(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.branches_taken as f64 / self.branches as f64
+        }
+    }
+
+    /// Element-wise sum with another mix (for aggregating per-task runs).
+    pub fn merge(&mut self, other: &InstructionMix) {
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.int_ops += other.int_ops;
+        self.fp_ops += other.fp_ops;
+        self.simd_ops += other.simd_ops;
+        self.branches += other.branches;
+        self.branches_taken += other.branches_taken;
+        self.other += other.other;
+    }
+}
+
+/// A [`Probe`] that records an [`InstructionMix`].
+///
+/// # Examples
+///
+/// ```
+/// use gb_uarch::{mix::MixProbe, probe::Probe};
+/// let mut p = MixProbe::new();
+/// p.int_ops(3);
+/// p.load(0x100, 8);
+/// p.branch(true);
+/// let m = p.into_mix();
+/// assert_eq!(m.total(), 5);
+/// assert_eq!(m.branches_taken, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MixProbe {
+    mix: InstructionMix,
+}
+
+impl MixProbe {
+    /// Creates an empty recorder.
+    pub fn new() -> MixProbe {
+        MixProbe::default()
+    }
+
+    /// The mix recorded so far.
+    pub fn mix(&self) -> &InstructionMix {
+        &self.mix
+    }
+
+    /// Consumes the probe and returns the recorded mix.
+    pub fn into_mix(self) -> InstructionMix {
+        self.mix
+    }
+}
+
+impl Probe for MixProbe {
+    #[inline]
+    fn load(&mut self, _addr: u64, _bytes: u32) {
+        self.mix.loads += 1;
+    }
+
+    #[inline]
+    fn store(&mut self, _addr: u64, _bytes: u32) {
+        self.mix.stores += 1;
+    }
+
+    #[inline]
+    fn int_ops(&mut self, n: u64) {
+        self.mix.int_ops += n;
+    }
+
+    #[inline]
+    fn fp_ops(&mut self, n: u64) {
+        self.mix.fp_ops += n;
+    }
+
+    #[inline]
+    fn simd_ops(&mut self, n: u64) {
+        self.mix.simd_ops += n;
+    }
+
+    #[inline]
+    fn branch(&mut self, taken: bool) {
+        self.mix.branches += 1;
+        self.mix.branches_taken += u64::from(taken);
+    }
+
+    #[inline]
+    fn other_ops(&mut self, n: u64) {
+        self.mix.other += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut p = MixProbe::new();
+        p.load(0, 4);
+        p.store(0, 4);
+        p.int_ops(5);
+        p.fp_ops(2);
+        p.simd_ops(1);
+        p.branch(false);
+        p.other_ops(1);
+        let f = p.mix().fractions();
+        let sum: f64 = f.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_mix_is_zero() {
+        let m = InstructionMix::default();
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.fractions(), [0.0; 7]);
+        assert_eq!(m.taken_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = InstructionMix { loads: 1, branches: 2, branches_taken: 1, ..Default::default() };
+        let b = InstructionMix { loads: 3, int_ops: 4, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.loads, 4);
+        assert_eq!(a.int_ops, 4);
+        assert_eq!(a.total(), 10);
+        assert!((a.taken_ratio() - 0.5).abs() < 1e-12);
+    }
+}

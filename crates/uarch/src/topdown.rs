@@ -1,0 +1,287 @@
+//! First-order top-down bottleneck analysis (Fig. 9 of the paper) and the
+//! data-stall estimate behind Fig. 8.
+//!
+//! The paper uses Intel's top-down methodology (Yasin, ISPASS 2014) via
+//! VTune. Without hardware counters, this module computes the same
+//! four-way pipeline-slot breakdown from an analytic out-of-order core
+//! model driven by the *measured* dynamic instruction mix and the
+//! *simulated* cache behaviour of each kernel:
+//!
+//! - **Retiring** — slots that retired useful uops,
+//! - **Bad speculation** — slots lost to branch mispredicts,
+//! - **Front-end bound** — fetch/decode bubbles (modelled as a small
+//!   constant tax; the suite's kernels are loop-dominated),
+//! - **Back-end core bound** — execution-port pressure beyond issue width,
+//! - **Back-end memory bound** — stalls waiting for data.
+//!
+//! The model is deliberately first-order: it is meant to reproduce the
+//! *shape* of Fig. 9 (which kernels are memory- vs compute-bound), not
+//! absolute slot counts of a specific Skylake part.
+
+use crate::cache::CacheStats;
+use crate::mix::InstructionMix;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the analytic core model.
+///
+/// Defaults approximate the paper's Xeon E3-1240 v5 (Skylake client).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreModel {
+    /// Pipeline issue/retire width (slots per cycle).
+    pub width: f64,
+    /// Load ports.
+    pub load_ports: f64,
+    /// Store ports.
+    pub store_ports: f64,
+    /// Ports usable by scalar integer ALU ops.
+    pub int_ports: f64,
+    /// Ports usable by FP/SIMD ops.
+    pub vec_ports: f64,
+    /// Extra latency (cycles) of an L1 miss that hits L2.
+    pub l2_latency: f64,
+    /// Extra latency of an L2 miss that hits LLC.
+    pub llc_latency: f64,
+    /// Extra latency of an LLC miss served by DRAM with the row open.
+    pub dram_row_hit_latency: f64,
+    /// Extra latency when the access must also open a new DRAM row.
+    pub dram_row_miss_latency: f64,
+    /// Memory-level parallelism: how many outstanding misses overlap.
+    /// Pointer-chasing kernels (fmi) have ~1–2; batched independent
+    /// lookups can sustain more.
+    pub mlp: f64,
+    /// Branch mispredict rate applied to the kernel's conditional
+    /// branches.
+    pub mispredict_rate: f64,
+    /// Cycles lost per mispredict.
+    pub mispredict_penalty: f64,
+    /// Front-end bubble tax as a fraction of execution cycles.
+    pub frontend_tax: f64,
+    /// Residual exposed latency (cycles) of a *prefetchable* (sequential)
+    /// miss at each level — the stride prefetcher hides most but not all
+    /// of it, and DRAM streams remain bandwidth-limited.
+    pub prefetched_l2_latency: f64,
+    /// See [`CoreModel::prefetched_l2_latency`].
+    pub prefetched_llc_latency: f64,
+    /// See [`CoreModel::prefetched_l2_latency`].
+    pub prefetched_dram_latency: f64,
+    /// Cycles per DTLB-miss page walk (mostly overlapped; exposed part).
+    pub tlb_walk_latency: f64,
+}
+
+impl Default for CoreModel {
+    fn default() -> CoreModel {
+        CoreModel {
+            width: 4.0,
+            load_ports: 2.0,
+            store_ports: 1.0,
+            int_ports: 3.0,
+            vec_ports: 2.0,
+            l2_latency: 4.0,
+            llc_latency: 36.0,
+            dram_row_hit_latency: 170.0,
+            dram_row_miss_latency: 250.0,
+            mlp: 2.0,
+            mispredict_rate: 0.02,
+            mispredict_penalty: 15.0,
+            frontend_tax: 0.03,
+            prefetched_l2_latency: 1.0,
+            prefetched_llc_latency: 3.0,
+            prefetched_dram_latency: 25.0,
+            tlb_walk_latency: 12.0,
+        }
+    }
+}
+
+impl CoreModel {
+    /// A model variant with an explicit memory-level-parallelism estimate.
+    pub fn with_mlp(mlp: f64) -> CoreModel {
+        CoreModel { mlp: mlp.max(1.0), ..CoreModel::default() }
+    }
+
+    /// Runs the analytic model over one kernel's measured mix and cache
+    /// behaviour.
+    pub fn analyze(&self, mix: &InstructionMix, cache: &CacheStats) -> TopDownReport {
+        let n = mix.total() as f64;
+        if n == 0.0 {
+            return TopDownReport::default();
+        }
+
+        // Execution cycles: the binding structural resource.
+        let issue = n / self.width;
+        let load_cy = mix.loads as f64 / self.load_ports;
+        let store_cy = mix.stores as f64 / self.store_ports;
+        let vec_cy = (mix.fp_ops + mix.simd_ops) as f64 / self.vec_ports;
+        let int_cy = mix.int_ops as f64 / self.int_ports;
+        let exec = issue.max(load_cy).max(store_cy).max(vec_cy).max(int_cy);
+
+        // Memory stall cycles from the simulated hierarchy: sequential
+        // (prefetchable) misses pay only a residual latency, the rest pay
+        // the full latency; everything is overlapped by the kernel's MLP.
+        let l2_hits = cache.l1_misses.saturating_sub(cache.l2_misses) as f64;
+        let l2_hits_seq =
+            (cache.l1_seq_misses.saturating_sub(cache.l2_seq_misses) as f64).min(l2_hits);
+        let llc_hits = cache.l2_misses.saturating_sub(cache.llc_misses) as f64;
+        let llc_hits_seq =
+            (cache.l2_seq_misses.saturating_sub(cache.llc_seq_misses) as f64).min(llc_hits);
+        let dram_total = cache.llc_misses as f64;
+        let dram_seq = (cache.llc_seq_misses as f64).min(dram_total);
+        let dram_demand = dram_total - dram_seq;
+        let row_miss_frac = cache.row_miss_rate();
+        let dram_lat = self.dram_row_hit_latency * (1.0 - row_miss_frac)
+            + self.dram_row_miss_latency * row_miss_frac;
+        let tlb_stall = cache.tlb_misses as f64 * self.tlb_walk_latency;
+        let raw_stall = tlb_stall
+            + (l2_hits - l2_hits_seq) * self.l2_latency
+            + l2_hits_seq * self.prefetched_l2_latency
+            + (llc_hits - llc_hits_seq) * self.llc_latency
+            + llc_hits_seq * self.prefetched_llc_latency
+            + dram_demand * dram_lat
+            + dram_seq * self.prefetched_dram_latency;
+        let mem_stall = raw_stall / self.mlp.max(1.0);
+
+        let bad_spec = mix.branches as f64 * self.mispredict_rate * self.mispredict_penalty;
+        let frontend = exec * self.frontend_tax;
+
+        let cycles = exec + mem_stall + bad_spec + frontend;
+        let slots = cycles * self.width;
+
+        let retiring = (n / slots).min(1.0);
+        let memory_bound = mem_stall * self.width / slots;
+        let bad_speculation = bad_spec * self.width / slots;
+        let frontend_bound = frontend * self.width / slots;
+        let core_bound =
+            (1.0 - retiring - memory_bound - bad_speculation - frontend_bound).max(0.0);
+
+        TopDownReport {
+            retiring,
+            bad_speculation,
+            frontend_bound,
+            core_bound,
+            memory_bound,
+            cycles,
+            ipc: n / cycles,
+            data_stall_fraction: mem_stall / cycles,
+        }
+    }
+}
+
+/// Output of the top-down analysis for one kernel run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TopDownReport {
+    /// Fraction of pipeline slots retiring useful work.
+    pub retiring: f64,
+    /// Fraction lost to branch mispredicts.
+    pub bad_speculation: f64,
+    /// Fraction lost to front-end bubbles.
+    pub frontend_bound: f64,
+    /// Fraction lost to execution-port pressure.
+    pub core_bound: f64,
+    /// Fraction lost waiting for data.
+    pub memory_bound: f64,
+    /// Modelled total cycles.
+    pub cycles: f64,
+    /// Modelled instructions per cycle.
+    pub ipc: f64,
+    /// Fraction of cycles stalled on data (Fig. 8's right axis).
+    pub data_stall_fraction: f64,
+}
+
+impl TopDownReport {
+    /// The four+1 slot fractions, which always sum to ~1 for a non-empty
+    /// run.
+    pub fn fractions(&self) -> [f64; 5] {
+        [
+            self.retiring,
+            self.bad_speculation,
+            self.frontend_bound,
+            self.core_bound,
+            self.memory_bound,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix(loads: u64, stores: u64, int: u64, fp: u64, simd: u64, br: u64) -> InstructionMix {
+        InstructionMix {
+            loads,
+            stores,
+            int_ops: int,
+            fp_ops: fp,
+            simd_ops: simd,
+            branches: br,
+            branches_taken: br / 2,
+            other: 0,
+        }
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let m = mix(100, 50, 300, 10, 40, 80);
+        let c = CacheStats { l1_accesses: 150, l1_misses: 20, l2_accesses: 20, l2_misses: 10, llc_accesses: 10, llc_misses: 5, dram_row_misses: 4, dram_row_hits: 1, ..Default::default() };
+        let r = CoreModel::default().analyze(&m, &c);
+        let sum: f64 = r.fractions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
+    }
+
+    #[test]
+    fn compute_kernel_is_retiring_dominated() {
+        // grm-like: balanced mix saturating issue width, perfect cache
+        // behaviour — should retire close to 90% of slots like the paper's
+        // grm (87.7%).
+        let m = mix(200, 50, 300, 0, 300, 100);
+        let c = CacheStats { l1_accesses: 250, l1_misses: 2, l2_accesses: 2, l2_misses: 0, ..Default::default() };
+        let r = CoreModel::default().analyze(&m, &c);
+        assert!(r.retiring > 0.8, "retiring = {}", r.retiring);
+        assert!(r.memory_bound < 0.1);
+    }
+
+    #[test]
+    fn pointer_chase_is_memory_bound() {
+        // fmi-like: every load misses to DRAM, serial (MLP 1).
+        let m = mix(1000, 0, 2000, 0, 0, 500);
+        let c = CacheStats {
+            l1_accesses: 1000,
+            l1_misses: 900,
+            l2_accesses: 900,
+            l2_misses: 850,
+            llc_accesses: 850,
+            llc_misses: 800,
+            dram_row_misses: 700,
+            dram_row_hits: 100,
+            ..Default::default()
+        };
+        let r = CoreModel::with_mlp(1.5).analyze(&m, &c);
+        assert!(r.memory_bound > 0.5, "memory_bound = {}", r.memory_bound);
+        assert!(r.memory_bound > r.retiring);
+        assert!(r.data_stall_fraction > 0.5);
+    }
+
+    #[test]
+    fn empty_run_is_all_zero() {
+        let r = CoreModel::default().analyze(&InstructionMix::default(), &CacheStats::default());
+        assert_eq!(r.fractions(), [0.0; 5]);
+    }
+
+    #[test]
+    fn higher_mlp_reduces_memory_bound() {
+        let m = mix(1000, 0, 1000, 0, 0, 100);
+        let c = CacheStats {
+            l1_accesses: 1000,
+            l1_misses: 500,
+            l2_accesses: 500,
+            l2_misses: 400,
+            llc_accesses: 400,
+            llc_misses: 300,
+            dram_row_misses: 250,
+            dram_row_hits: 50,
+            ..Default::default()
+        };
+        let low = CoreModel::with_mlp(1.0).analyze(&m, &c);
+        let high = CoreModel::with_mlp(8.0).analyze(&m, &c);
+        assert!(high.memory_bound < low.memory_bound);
+        assert!(high.ipc > low.ipc);
+    }
+}

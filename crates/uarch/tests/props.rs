@@ -1,0 +1,95 @@
+//! Property-based tests for the characterization substrate.
+
+use gb_uarch::cache::{CacheGeometry, Hierarchy};
+use gb_uarch::mix::InstructionMix;
+use gb_uarch::topdown::CoreModel;
+use proptest::prelude::*;
+
+fn tiny_hierarchy() -> Hierarchy {
+    Hierarchy::new(
+        CacheGeometry { size_bytes: 512, assoc: 2, line_bytes: 64 },
+        CacheGeometry { size_bytes: 1024, assoc: 2, line_bytes: 64 },
+        CacheGeometry { size_bytes: 4096, assoc: 4, line_bytes: 64 },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn immediate_rereference_always_hits(addrs in proptest::collection::vec(0u64..100_000, 1..200)) {
+        let mut h = tiny_hierarchy();
+        for a in addrs {
+            h.load(a, 4);
+            let before = h.stats().l1_misses;
+            h.load(a, 4); // same address immediately after: must hit L1
+            prop_assert_eq!(h.stats().l1_misses, before);
+        }
+    }
+
+    #[test]
+    fn miss_counts_are_monotone_down_the_hierarchy(
+        addrs in proptest::collection::vec((0u64..1_000_000, 1u32..64), 1..500),
+        writes in proptest::collection::vec(proptest::bool::ANY, 500),
+    ) {
+        let mut h = tiny_hierarchy();
+        for ((a, b), w) in addrs.into_iter().zip(writes) {
+            if w {
+                h.store(a, b);
+            } else {
+                h.load(a, b);
+            }
+        }
+        let s = h.stats();
+        prop_assert!(s.l1_misses <= s.l1_accesses);
+        prop_assert_eq!(s.l2_accesses, s.l1_misses);
+        prop_assert!(s.l2_misses <= s.l2_accesses);
+        prop_assert_eq!(s.llc_accesses, s.l2_misses);
+        prop_assert!(s.llc_misses <= s.llc_accesses);
+        prop_assert!(s.l1_seq_misses <= s.l1_misses);
+        prop_assert!(s.l2_seq_misses <= s.l2_misses);
+        prop_assert!(s.llc_seq_misses <= s.llc_misses);
+        prop_assert_eq!(s.dram_row_hits + s.dram_row_misses, s.llc_misses);
+    }
+
+    #[test]
+    fn topdown_fractions_always_sum_to_one(
+        loads in 0u64..10_000, stores in 0u64..10_000, ints in 0u64..10_000,
+        fps in 0u64..10_000, simds in 0u64..10_000, brs in 0u64..10_000,
+        l1m in 0u64..5_000, mlp in 1u32..16,
+    ) {
+        let mix = InstructionMix {
+            loads, stores, int_ops: ints, fp_ops: fps, simd_ops: simds,
+            branches: brs, branches_taken: brs / 2, other: 0,
+        };
+        prop_assume!(mix.total() > 0);
+        let l1m = l1m.min(loads + stores);
+        let cache = gb_uarch::cache::CacheStats {
+            l1_accesses: loads + stores,
+            l1_misses: l1m,
+            l2_accesses: l1m,
+            l2_misses: l1m / 2,
+            llc_accesses: l1m / 2,
+            llc_misses: l1m / 4,
+            dram_row_hits: l1m / 8,
+            dram_row_misses: l1m / 4 - l1m / 8,
+            ..Default::default()
+        };
+        let r = CoreModel::with_mlp(f64::from(mlp)).analyze(&mix, &cache);
+        let sum: f64 = r.fractions().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum = {sum}");
+        prop_assert!(r.fractions().iter().all(|&f| (-1e-9..=1.0).contains(&f)));
+        prop_assert!(r.ipc > 0.0 && r.ipc <= 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn streaming_misses_are_classified_sequential(n in 10u64..300) {
+        let mut h = tiny_hierarchy();
+        for i in 0..n {
+            h.load(i * 64, 8);
+        }
+        let s = h.stats();
+        // All but the stream's first miss continue a sequential run.
+        prop_assert!(s.l1_seq_misses >= s.l1_misses - 1);
+    }
+}

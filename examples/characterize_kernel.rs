@@ -1,0 +1,42 @@
+//! Microarchitectural characterization of one kernel through the
+//! simulated Skylake-like hierarchy — the machinery behind the paper's
+//! Figs. 5, 6, 8 and 9, usable on any kernel from library code.
+//!
+//! ```text
+//! cargo run --release --example characterize_kernel -- kmer-cnt
+//! ```
+
+use genomicsbench::suite::dataset::DatasetSize;
+use genomicsbench::suite::kernels::{characterize, prepare, KernelId};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "fmi".to_string());
+    let id: KernelId = name.parse().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    println!("characterizing '{}' (tiny dataset) ...\n", id.name());
+    let kernel = prepare(id, DatasetSize::Tiny);
+    let c = characterize(kernel.as_ref(), 8);
+
+    let f = c.mix.fractions();
+    println!("instruction mix ({} instructions over {} tasks):", c.mix.total(), c.tasks_sampled);
+    for (label, frac) in
+        ["loads", "stores", "int", "simd", "fp", "branches", "other"].iter().zip(f)
+    {
+        println!("  {label:<9} {:>5.1}%", frac * 100.0);
+    }
+    println!("\ncache behaviour:");
+    println!("  L1 miss rate   {:>6.2}%", c.cache.l1_miss_rate() * 100.0);
+    println!("  L2 miss rate   {:>6.2}%", c.cache.l2_miss_rate() * 100.0);
+    println!("  LLC miss rate  {:>6.2}%", c.cache.llc_miss_rate() * 100.0);
+    println!("  DRAM row miss  {:>6.2}%", c.cache.row_miss_rate() * 100.0);
+    println!("  BPKI           {:>6.2}", c.bpki);
+    println!("\ntop-down pipeline slots:");
+    println!("  retiring       {:>6.1}%", c.topdown.retiring * 100.0);
+    println!("  bad spec       {:>6.1}%", c.topdown.bad_speculation * 100.0);
+    println!("  frontend       {:>6.1}%", c.topdown.frontend_bound * 100.0);
+    println!("  core bound     {:>6.1}%", c.topdown.core_bound * 100.0);
+    println!("  memory bound   {:>6.1}%", c.topdown.memory_bound * 100.0);
+    println!("  modelled IPC   {:>6.2}", c.topdown.ipc);
+}

@@ -1,0 +1,34 @@
+//! Quickstart: run every GenomicsBench-rs kernel on the tiny dataset and
+//! print a one-line summary per kernel.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use genomicsbench::suite::dataset::DatasetSize;
+use genomicsbench::suite::kernels::{prepare, run_serial, work_distribution, KernelId};
+
+fn main() {
+    println!("GenomicsBench-rs quickstart — all 12 kernels, tiny dataset\n");
+    println!(
+        "{:<11} {:<22} {:>6} {:>10} {:>12} {:>10}",
+        "kernel", "source tool", "tasks", "elapsed", "mean work", "imbalance"
+    );
+    for id in KernelId::ALL {
+        let kernel = prepare(id, DatasetSize::Tiny);
+        let stats = run_serial(kernel.as_ref());
+        let dist = work_distribution(kernel.as_ref());
+        println!(
+            "{:<11} {:<22} {:>6} {:>9.3}s {:>12.0} {:>9.1}x",
+            id.name(),
+            id.source_tool(),
+            stats.tasks,
+            stats.elapsed.as_secs_f64(),
+            dist.mean,
+            dist.imbalance,
+        );
+    }
+    println!("\nNext steps:");
+    println!("  cargo run --release -p gb-suite --bin genomicsbench -- report all --size small");
+    println!("  cargo bench -p gb-bench");
+}

@@ -1,0 +1,150 @@
+//! End-to-end short-read variant calling, the paper's Fig. 1a pipeline,
+//! built entirely from GenomicsBench-rs components:
+//!
+//! 1. simulate a reference genome and a diploid sample (known truth set),
+//! 2. sequence the sample with Illumina-like reads,
+//! 3. seed each read with SMEMs on the FM-index (**fmi**),
+//! 4. extend the best seed with banded Smith-Waterman (**bsw**),
+//! 5. re-assemble each region's reads into haplotypes (**dbg**),
+//! 6. score read-haplotype likelihoods with the pair-HMM (**phmm**),
+//! 7. call SNVs where the alternate haplotype wins, and compare with the
+//!    injected truth.
+//!
+//! ```text
+//! cargo run --release --example variant_calling
+//! ```
+
+use genomicsbench::assembly::dbg::{assemble_region, DbgParams};
+use genomicsbench::core::record::ReadRecord;
+use genomicsbench::core::region::{Region, RegionTask};
+use genomicsbench::core::seq::DnaSeq;
+use genomicsbench::datagen::genome::{Genome, GenomeConfig};
+use genomicsbench::datagen::reads::{simulate_reads, ReadSimConfig};
+use genomicsbench::datagen::variants::{inject_variants, VariantConfig, VariantKind};
+use genomicsbench::dp::bsw::{banded_sw, SwParams};
+use genomicsbench::dp::phmm::{forward_likelihood, HmmParams};
+use genomicsbench::fmi::bidir::BiIndex;
+use genomicsbench::fmi::smem::{collect_smems, SmemConfig};
+
+fn main() {
+    let genome_len = 30_000;
+    let region_len = 500;
+    println!("reference: {genome_len} bases; windows of {region_len}\n");
+
+    // 1. Reference + diploid sample.
+    let genome = Genome::generate(&GenomeConfig { length: genome_len, ..Default::default() }, 1);
+    let reference = genome.contig(0).clone();
+    let sample = inject_variants(
+        &reference,
+        &VariantConfig { snv_rate: 0.002, ins_rate: 0.0, del_rate: 0.0, ..Default::default() },
+        2,
+    );
+    let truth_snvs: Vec<usize> = sample
+        .truth
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Snv { .. }))
+        .map(|v| v.pos)
+        .collect();
+    println!("injected {} SNVs", truth_snvs.len());
+
+    // 2. Sequence both haplotypes at ~20x each.
+    let index = BiIndex::build(&reference);
+    let mut mapped: Vec<(usize, ReadRecord)> = Vec::new();
+    for (hi, hap) in sample.haplotypes().iter().enumerate() {
+        let hap_genome = Genome::from_contigs(vec![(*hap).clone()]);
+        let cfg = ReadSimConfig { num_reads: genome_len * 20 / 151, ..ReadSimConfig::short(0) };
+        for sim in simulate_reads(&hap_genome, &cfg, 3 + hi as u64) {
+            // 3+4. Map with SMEM seeding + banded SW extension.
+            let fwd = sim.to_alignment().read; // strand-corrected
+            if let Some(pos) = map_read(&index, &reference, &fwd.seq) {
+                mapped.push((pos, fwd));
+            }
+        }
+    }
+    println!("mapped {} reads", mapped.len());
+
+    // 5+6+7. Per-window re-assembly, likelihoods, and calling.
+    let mut called: Vec<usize> = Vec::new();
+    for region in Region::tile(0, genome_len, region_len) {
+        let reads: Vec<_> = mapped
+            .iter()
+            .filter(|(p, r)| *p < region.end && p + r.len() > region.start)
+            .map(|(p, r)| {
+                let mut cigar = genomicsbench::core::cigar::Cigar::new();
+                cigar.push(r.len() as u32, genomicsbench::core::cigar::CigarOp::Match);
+                genomicsbench::core::record::AlignmentRecord::new(
+                    r.clone(),
+                    0,
+                    *p,
+                    cigar,
+                    60,
+                    genomicsbench::core::record::Strand::Forward,
+                )
+                .expect("cigar matches read")
+            })
+            .collect();
+        if reads.is_empty() {
+            continue;
+        }
+        let task = RegionTask {
+            region,
+            ref_seq: reference.slice(region.start, region.end),
+            reads,
+        };
+        let asm = assemble_region(&task, &DbgParams { max_haplotypes: 4, ..Default::default() });
+        if asm.haplotypes.len() < 2 {
+            continue;
+        }
+        // Score reference vs best alternate with the pair-HMM.
+        let p = HmmParams::default();
+        let score = |hap: &DnaSeq| -> f64 {
+            task.reads.iter().map(|r| forward_likelihood(&r.read, hap, &p).log10_likelihood).sum()
+        };
+        let ref_score = score(&asm.haplotypes[0]);
+        let (best_alt, alt_score) = asm.haplotypes[1..]
+            .iter()
+            .map(|h| (h, score(h)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("at least one alternate");
+        if alt_score > ref_score + 3.0 {
+            // Locate the SNV positions the alternate haplotype implies.
+            for (off, (a, b)) in
+                task.ref_seq.as_codes().iter().zip(best_alt.as_codes()).enumerate()
+            {
+                if best_alt.len() == task.ref_seq.len() && a != b {
+                    called.push(region.start + off);
+                }
+            }
+        }
+    }
+    called.sort_unstable();
+    called.dedup();
+
+    let tp = called.iter().filter(|p| truth_snvs.contains(p)).count();
+    let recall = tp as f64 / truth_snvs.len().max(1) as f64;
+    let precision = tp as f64 / called.len().max(1) as f64;
+    println!("\ncalled {} sites: {tp} true positives", called.len());
+    println!("recall    {:.1}%", recall * 100.0);
+    println!("precision {:.1}%", precision * 100.0);
+    assert!(recall > 0.3, "pipeline should recover a fair share of SNVs");
+}
+
+/// SMEM-seed, then extend the best seed with banded SW; returns the
+/// best-scoring reference position.
+fn map_read(index: &BiIndex, reference: &DnaSeq, read: &DnaSeq) -> Option<usize> {
+    let cfg = SmemConfig { min_seed_len: 19, min_intv: 1 };
+    let smems = collect_smems(index, read, &cfg);
+    let best = smems.iter().max_by_key(|m| m.len())?;
+    let sw = SwParams::default();
+    let mut best_hit: Option<(i32, usize)> = None;
+    for row in best.interval.k..best.interval.k + best.interval.s.min(4) {
+        let hit = index.forward().locate(row) as usize;
+        let start = hit.saturating_sub(best.start + 8);
+        let target = reference.slice(start, start + read.len() + 16);
+        let r = banded_sw(read, &target, &sw);
+        if best_hit.is_none_or(|(s, _)| r.score > s) {
+            best_hit = Some((r.score, start + r.target_end.saturating_sub(r.query_end)));
+        }
+    }
+    best_hit.map(|(_, p)| p)
+}

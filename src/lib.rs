@@ -1,0 +1,45 @@
+//! # genomicsbench
+//!
+//! A from-scratch Rust reproduction of **GenomicsBench: A Benchmark Suite
+//! for Genomics** (ISPASS 2021): twelve data-parallel genomics kernels,
+//! their substrates, synthetic dataset generators, and a simulation-based
+//! microarchitectural characterization harness.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `gb-core` | sequences, qualities, CIGARs, regions |
+//! | [`datagen`] | `gb-datagen` | synthetic genomes, reads, signals, genotypes |
+//! | [`fmi`] | `gb-fmi` | SA-IS, FM-index, SMEM search |
+//! | [`dp`] | `gb-dp` | bsw, phmm, chain, abea |
+//! | [`poa`] | `gb-poa` | partial-order alignment + consensus |
+//! | [`assembly`] | `gb-assembly` | De-Bruijn graphs, k-mer counting |
+//! | [`popgen`] | `gb-popgen` | genomic relationship matrix |
+//! | [`nn`] | `gb-nn` | CNN/LSTM inference, CTC, basecaller, variant caller |
+//! | [`pileup`] | `gb-pileup` | pileup counting, Clair tensors |
+//! | [`uarch`] | `gb-uarch` | probes, cache simulator, top-down model |
+//! | [`simt`] | `gb-simt` | GPU SIMT model (Tables IV–V) |
+//! | [`suite`] | `gb-suite` | the 12 kernels, datasets, reports, CLI |
+//!
+//! # Examples
+//!
+//! ```
+//! use genomicsbench::suite::{dataset::DatasetSize, kernels};
+//! let kernel = kernels::prepare(kernels::KernelId::Chain, DatasetSize::Tiny);
+//! let stats = kernels::run_serial(kernel.as_ref());
+//! assert_eq!(stats.tasks, 20);
+//! ```
+
+pub use gb_assembly as assembly;
+pub use gb_core as core;
+pub use gb_datagen as datagen;
+pub use gb_dp as dp;
+pub use gb_fmi as fmi;
+pub use gb_nn as nn;
+pub use gb_pileup as pileup;
+pub use gb_poa as poa;
+pub use gb_popgen as popgen;
+pub use gb_simt as simt;
+pub use gb_suite as suite;
+pub use gb_uarch as uarch;

@@ -1,0 +1,163 @@
+//! Cross-crate integration tests: data flows spanning generator,
+//! substrate and kernel crates, checked against ground truth.
+
+use genomicsbench::core::seq::DnaSeq;
+use genomicsbench::datagen::genome::{Genome, GenomeConfig};
+use genomicsbench::datagen::reads::{simulate_reads, ErrorProfile, ReadSimConfig};
+
+#[test]
+fn error_free_reads_map_back_to_their_origin() {
+    // datagen -> fmi: every error-free read's SMEM set must include its
+    // true position.
+    use genomicsbench::fmi::bidir::BiIndex;
+    use genomicsbench::fmi::smem::{collect_smems, SmemConfig};
+    let genome = Genome::generate(
+        &GenomeConfig { length: 40_000, repeat_fraction: 0.0, ..Default::default() },
+        77,
+    );
+    let index = BiIndex::build(genome.contig(0));
+    let cfg = ReadSimConfig {
+        errors: ErrorProfile::perfect(),
+        revcomp_prob: 0.0,
+        ..ReadSimConfig::short(60)
+    };
+    for sim in simulate_reads(&genome, &cfg, 78) {
+        let smems =
+            collect_smems(&index, &sim.record.seq, &SmemConfig { min_seed_len: 20, min_intv: 1 });
+        // A perfect read in unique sequence yields one full-length SMEM.
+        let full = smems.iter().find(|m| m.len() == sim.record.len()).unwrap_or_else(|| {
+            panic!("no full-length SMEM for read at {}", sim.true_pos)
+        });
+        let hits: Vec<u32> = (full.interval.k..full.interval.k + full.interval.s)
+            .map(|row| index.forward().locate(row))
+            .collect();
+        assert!(
+            hits.contains(&(sim.true_pos as u32)),
+            "true position {} missing from {hits:?}",
+            sim.true_pos
+        );
+    }
+}
+
+#[test]
+fn kmer_counts_reflect_genome_coverage() {
+    // datagen -> assembly: error-free reads at uniform coverage give
+    // genome k-mers counts near the coverage depth.
+    use genomicsbench::assembly::kmer_count::{count_kmers, KmerCountParams};
+    let genome = Genome::generate(
+        &GenomeConfig { length: 20_000, repeat_fraction: 0.0, ..Default::default() },
+        79,
+    );
+    let coverage = 12usize;
+    let cfg = ReadSimConfig {
+        num_reads: 20_000 * coverage / 1000,
+        read_len: 1000,
+        length_jitter: 0.0,
+        errors: ErrorProfile::perfect(),
+        revcomp_prob: 0.5,
+    };
+    let reads: Vec<DnaSeq> =
+        simulate_reads(&genome, &cfg, 80).into_iter().map(|r| r.record.seq).collect();
+    let (table, _) = count_kmers(&reads, &KmerCountParams::default());
+    // Sample genome k-mers and check their counts cluster near coverage.
+    let mut close = 0;
+    let mut total = 0;
+    for (i, km) in genome.contig(0).kmers(17) {
+        if i % 97 != 0 {
+            continue;
+        }
+        total += 1;
+        let canon = genomicsbench::core::seq::canonical_kmer(km, 17);
+        let c = table.get(canon).unwrap_or(0);
+        if (c as i64 - coverage as i64).abs() <= coverage as i64 {
+            close += 1;
+        }
+    }
+    assert!(close * 10 >= total * 8, "only {close}/{total} k-mers near coverage");
+}
+
+#[test]
+fn signal_alignment_recovers_event_truth() {
+    // datagen signal -> abea: aligning a clean signal against its own
+    // reference maps events to their true k-mers.
+    use genomicsbench::datagen::signal::{simulate_signal, PoreModel, SignalSimConfig};
+    use genomicsbench::dp::abea::{align_events, AbeaParams};
+    let genome = Genome::generate(
+        &GenomeConfig { length: 500, repeat_fraction: 0.0, ..Default::default() },
+        81,
+    );
+    let seq = genome.contig(0);
+    let model = PoreModel::r9_like();
+    let cfg = SignalSimConfig { split_prob: 0.0, skip_prob: 0.0, ..Default::default() };
+    let sig = simulate_signal(seq, &model, &cfg, 82);
+    let r = align_events(&sig.events, seq, &model, &AbeaParams::default()).expect("aligns");
+    // One event per k-mer: the alignment should be nearly the identity.
+    let exact = r.alignment.iter().filter(|a| a.event_idx == a.kmer_idx).count();
+    assert!(exact * 10 >= r.alignment.len() * 9, "{exact}/{} diagonal", r.alignment.len());
+}
+
+#[test]
+fn pileup_to_variant_call_chain() {
+    // datagen -> pileup -> nn: the full nn-variant front end produces
+    // valid probability outputs at every candidate.
+    use genomicsbench::core::record::AlignmentRecord;
+    use genomicsbench::core::region::{Region, RegionTask};
+    use genomicsbench::nn::variant_caller::{VariantCaller, VariantCallerConfig};
+    use genomicsbench::pileup::feature::clair_tensor;
+    use genomicsbench::pileup::pileup::count_pileup;
+    let genome = Genome::generate(&GenomeConfig { length: 10_000, ..Default::default() }, 83);
+    let cfg = ReadSimConfig { num_reads: 60, ..ReadSimConfig::long(0) };
+    let reads: Vec<AlignmentRecord> =
+        simulate_reads(&genome, &cfg, 84).iter().map(|r| r.to_alignment()).collect();
+    let contig = genome.contig(0).clone();
+    let task = RegionTask {
+        region: Region::new(0, 0, 10_000),
+        ref_seq: contig.clone(),
+        reads,
+    };
+    let pile = count_pileup(&task);
+    let model = VariantCaller::new(&VariantCallerConfig::default(), 85);
+    for center in [500usize, 2500, 5000, 9000] {
+        let t = clair_tensor(&pile, &contig, center);
+        let call = model.call(&t);
+        let sum: f32 = call.zygosity_probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4, "center {center}");
+    }
+}
+
+#[test]
+fn consensus_polishing_beats_raw_reads() {
+    // datagen -> poa: consensus error must be far below raw-read error.
+    use genomicsbench::poa::align::PoaParams;
+    use genomicsbench::poa::consensus::window_consensus;
+    let genome = Genome::generate(
+        &GenomeConfig { length: 300, repeat_fraction: 0.0, ..Default::default() },
+        86,
+    );
+    let truth = genome.contig(0).clone();
+    let cfg = ReadSimConfig {
+        num_reads: 20,
+        read_len: 300,
+        length_jitter: 0.0,
+        errors: ErrorProfile::nanopore(),
+        revcomp_prob: 0.0,
+    };
+    let mut window = vec![truth.clone()];
+    window.extend(simulate_reads(&genome, &cfg, 87).into_iter().map(|r| r.record.seq));
+    let (c, _) = window_consensus(&window, &PoaParams::default());
+    let dist = edit_distance(c.as_codes(), truth.as_codes());
+    assert!(dist <= 5, "consensus edit distance {dist}");
+}
+
+fn edit_distance(a: &[u8], b: &[u8]) -> usize {
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &x) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, &y) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(x != y);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}

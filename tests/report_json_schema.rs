@@ -1,0 +1,70 @@
+//! JSON schema stability for the report generators: external tooling
+//! (plots, CI dashboards) consumes `genomicsbench report --json`, so the
+//! field names verified here are a public contract.
+
+use genomicsbench::suite::dataset::DatasetSize;
+use genomicsbench::suite::reports;
+
+#[test]
+fn table2_json_fields() {
+    let r = reports::table2();
+    let rows = r.json.as_array().expect("array");
+    assert_eq!(rows.len(), 12);
+    for row in rows {
+        for field in ["kernel", "tool", "pipeline", "motif"] {
+            assert!(row.get(field).is_some(), "missing {field}");
+        }
+    }
+}
+
+#[test]
+fn gpu_table_json_fields() {
+    let r = reports::table4(DatasetSize::Tiny);
+    for kernel in ["abea", "nn-base"] {
+        let k = r.json.get(kernel).expect("kernel present");
+        for field in [
+            "branch_efficiency",
+            "warp_efficiency",
+            "nonpred_warp_efficiency",
+            "occupancy",
+            "sm_utilization",
+            "gld_efficiency",
+            "gst_efficiency",
+        ] {
+            let v = k.get(field).and_then(|v| v.as_f64()).expect("numeric field");
+            assert!((0.0..=1.0).contains(&v), "{kernel}.{field} = {v}");
+        }
+    }
+}
+
+#[test]
+fn fig_json_rows_have_kernel_field() {
+    let size = DatasetSize::Tiny;
+    let chars = reports::characterize_all(size);
+    for r in [
+        reports::fig4(size),
+        reports::fig5(&chars),
+        reports::fig6(&chars),
+        reports::fig8(&chars),
+        reports::fig9(&chars),
+    ] {
+        let rows = r.json.as_array().unwrap_or_else(|| panic!("{} not an array", r.name));
+        assert!(!rows.is_empty(), "{} empty", r.name);
+        for row in rows {
+            assert!(row.get("kernel").is_some(), "{} row missing kernel", r.name);
+        }
+    }
+}
+
+#[test]
+fn fig9_fractions_sum_to_one_in_json() {
+    let chars = reports::characterize_all(DatasetSize::Tiny);
+    let r = reports::fig9(&chars);
+    for row in r.json.as_array().expect("array") {
+        let sum: f64 = ["retiring", "bad_speculation", "frontend_bound", "core_bound", "memory_bound"]
+            .iter()
+            .map(|f| row.get(*f).and_then(|v| v.as_f64()).expect("numeric"))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-6, "{row}: sum {sum}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Suite-level smoke tests: every kernel and every report on the tiny
+//! dataset tier.
+
+use genomicsbench::suite::dataset::DatasetSize;
+use genomicsbench::suite::kernels::{
+    characterize, prepare, run_parallel, run_serial, work_distribution, KernelId,
+};
+use genomicsbench::suite::reports;
+
+#[test]
+fn every_kernel_runs_and_is_thread_deterministic() {
+    for id in KernelId::ALL {
+        let kernel = prepare(id, DatasetSize::Tiny);
+        assert!(kernel.num_tasks() > 0, "{} has no tasks", id.name());
+        let serial = run_serial(kernel.as_ref());
+        let parallel = run_parallel(kernel.as_ref(), 3);
+        assert_eq!(serial.checksum, parallel.checksum, "{} diverged", id.name());
+        assert_eq!(serial.tasks, kernel.num_tasks());
+    }
+}
+
+#[test]
+fn every_kernel_characterizes() {
+    for id in KernelId::ALL {
+        let kernel = prepare(id, DatasetSize::Tiny);
+        let c = characterize(kernel.as_ref(), 1);
+        assert!(c.mix.total() > 0, "{} recorded no instructions", id.name());
+        let sum: f64 = c.topdown.fractions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "{} slots sum to {sum}", id.name());
+        assert!(c.cache.l1_accesses > 0, "{} touched no memory", id.name());
+    }
+}
+
+#[test]
+fn work_distributions_are_sane() {
+    for id in KernelId::ALL {
+        let kernel = prepare(id, DatasetSize::Tiny);
+        let d = work_distribution(kernel.as_ref());
+        assert!(d.mean > 0.0, "{} mean work 0", id.name());
+        assert!(d.max >= d.min);
+        assert!(d.imbalance >= 0.99, "{} imbalance {}", id.name(), d.imbalance);
+    }
+}
+
+#[test]
+fn all_reports_render_on_tiny() {
+    let size = DatasetSize::Tiny;
+    let chars = reports::characterize_all(size);
+    assert_eq!(chars.len(), 10, "CPU characterization covers 10 kernels");
+    for r in [
+        reports::table1(),
+        reports::table2(),
+        reports::table3(size),
+        reports::table4(size),
+        reports::table5(size),
+        reports::fig3(size),
+        reports::fig4(size),
+        reports::fig5(&chars),
+        reports::fig6(&chars),
+        reports::fig8(&chars),
+        reports::fig9(&chars),
+    ] {
+        assert!(!r.text.is_empty(), "{} rendered empty", r.name);
+        assert!(!r.json.is_null(), "{} has no json", r.name);
+    }
+}
+
+#[test]
+fn gpu_tables_have_paper_ordering() {
+    let abea = genomicsbench::suite::kernels::abea_gpu_report(DatasetSize::Tiny);
+    let nn = genomicsbench::suite::kernels::nnbase_gpu_report(DatasetSize::Tiny);
+    // The paper's Table IV/V ordering: nn-base is more regular than abea
+    // on every metric.
+    assert!(nn.warp_efficiency > abea.warp_efficiency);
+    assert!(nn.occupancy > abea.occupancy);
+    assert!(nn.sm_utilization > abea.sm_utilization);
+    assert!(nn.gld_efficiency > abea.gld_efficiency);
+    assert!(nn.gst_efficiency >= abea.gst_efficiency);
+    assert_eq!(nn.branch_efficiency, 1.0);
+    assert_eq!(abea.branch_efficiency, 1.0);
+}
+
+#[test]
+fn fig3_overcompute_and_sorting_mitigation() {
+    let rows = genomicsbench::suite::kernels::bsw_batch_reports(DatasetSize::Tiny);
+    let unsorted = rows.iter().find(|(l, _)| l.contains("unsorted") && l.contains("16")).unwrap();
+    let sorted = rows.iter().find(|(l, _)| l.contains("sorted") && !l.contains("unsorted")).unwrap();
+    assert!(unsorted.1.overcompute() > 1.2);
+    assert!(sorted.1.overcompute() < unsorted.1.overcompute());
+}
+
+#[test]
+fn memory_bound_ordering_matches_paper() {
+    // The paper's headline: fmi and kmer-cnt are the memory-bound
+    // outliers; phmm/bsw/chain retire most of their slots.
+    let chars = reports::characterize_all(DatasetSize::Tiny);
+    let get = |id: KernelId| {
+        chars.iter().find(|(k, _)| *k == id).map(|(_, c)| c.topdown).expect("present")
+    };
+    let kmercnt = get(KernelId::KmerCnt);
+    let phmm = get(KernelId::Phmm);
+    let bsw = get(KernelId::Bsw);
+    assert!(kmercnt.memory_bound > 0.5, "kmer-cnt {}", kmercnt.memory_bound);
+    assert!(phmm.retiring > 0.5, "phmm {}", phmm.retiring);
+    assert!(bsw.retiring > 0.5, "bsw {}", bsw.retiring);
+    assert!(kmercnt.memory_bound > phmm.memory_bound);
+}
