@@ -32,7 +32,13 @@ pub struct DbgParams {
 
 impl Default for DbgParams {
     fn default() -> DbgParams {
-        DbgParams { k: 15, max_k: 31, k_step: 4, min_edge_weight: 2, max_haplotypes: 64 }
+        DbgParams {
+            k: 15,
+            max_k: 31,
+            k_step: 4,
+            min_edge_weight: 2,
+            max_haplotypes: 64,
+        }
     }
 }
 
@@ -119,7 +125,11 @@ impl Dbg {
     }
 
     fn successor(&self, node: usize, base: usize) -> Option<usize> {
-        let mask = if self.k == 31 { (1u64 << 62) - 1 } else { (1u64 << (2 * self.k)) - 1 };
+        let mask = if self.k == 31 {
+            (1u64 << 62) - 1
+        } else {
+            (1u64 << (2 * self.k)) - 1
+        };
         let next = ((self.kmers[node] << 2) | base as u64) & mask;
         self.table.get(next).map(|i| i as usize)
     }
@@ -349,10 +359,15 @@ mod tests {
         let mut alt = r.clone().into_codes();
         alt[60] = (alt[60] + 1) % 4;
         let alt = DnaSeq::from_codes_unchecked(alt);
-        let reads: Vec<AlignmentRecord> =
-            (0..6).map(|i| mkread(alt.slice(30 + i, 95 + i), 30 + i)).collect();
+        let reads: Vec<AlignmentRecord> = (0..6)
+            .map(|i| mkread(alt.slice(30 + i, 95 + i), 30 + i))
+            .collect();
         let res = assemble_region(&region(&r, reads), &DbgParams::default());
-        assert!(res.haplotypes.len() >= 2, "haplotypes: {}", res.haplotypes.len());
+        assert!(
+            res.haplotypes.len() >= 2,
+            "haplotypes: {}",
+            res.haplotypes.len()
+        );
         assert_eq!(res.haplotypes[0], r);
         // One haplotype must contain the alt base in context.
         let alt_context = alt.slice(45, 76);
@@ -381,11 +396,15 @@ mod tests {
         let mut del = r.clone().into_codes();
         del.drain(60..66);
         let del = DnaSeq::from_codes_unchecked(del);
-        let reads: Vec<AlignmentRecord> =
-            (0..5).map(|i| mkread(del.slice(20 + i, 110 + i), 20 + i)).collect();
+        let reads: Vec<AlignmentRecord> = (0..5)
+            .map(|i| mkread(del.slice(20 + i, 110 + i), 20 + i))
+            .collect();
         let res = assemble_region(&region(&r, reads), &DbgParams::default());
-        assert!(res.haplotypes.iter().any(|h| h.len() == r.len() - 6), "{:?}",
-            res.haplotypes.iter().map(DnaSeq::len).collect::<Vec<_>>());
+        assert!(
+            res.haplotypes.iter().any(|h| h.len() == r.len() - 6),
+            "{:?}",
+            res.haplotypes.iter().map(DnaSeq::len).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -401,9 +420,16 @@ mod tests {
         let r = DnaSeq::from_codes_unchecked(codes);
         let res = assemble_region(
             &region(&r, vec![]),
-            &DbgParams { k: 15, ..DbgParams::default() },
+            &DbgParams {
+                k: 15,
+                ..DbgParams::default()
+            },
         );
-        assert!(res.cycles_hit >= 1, "expected escalation, cycles_hit = {}", res.cycles_hit);
+        assert!(
+            res.cycles_hit >= 1,
+            "expected escalation, cycles_hit = {}",
+            res.cycles_hit
+        );
         assert!(res.k_used > 15);
         assert_eq!(res.haplotypes[0], r);
     }
@@ -412,7 +438,10 @@ mod tests {
     fn lookups_scale_with_read_bases() {
         let r = random_ref(200, 15);
         let few = region(&r, (0..2).map(|i| mkread(r.slice(i, 150 + i), i)).collect());
-        let many = region(&r, (0..20).map(|i| mkread(r.slice(i, 150 + i), i)).collect());
+        let many = region(
+            &r,
+            (0..20).map(|i| mkread(r.slice(i, 150 + i), i)).collect(),
+        );
         let p = DbgParams::default();
         let a = assemble_region(&few, &p);
         let b = assemble_region(&many, &p);

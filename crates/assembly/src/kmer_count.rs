@@ -27,7 +27,11 @@ pub struct KmerCountParams {
 
 impl Default for KmerCountParams {
     fn default() -> KmerCountParams {
-        KmerCountParams { k: 17, probing: Probing::Linear, canonical: true }
+        KmerCountParams {
+            k: 17,
+            probing: Probing::Linear,
+            canonical: true,
+        }
     }
 }
 
@@ -71,13 +75,24 @@ pub fn count_kmers_probed<P: Probe>(
     probe: &mut P,
 ) -> (KmerTable, KmerCountStats) {
     assert!(params.k > 0 && params.k <= 31, "k must be in 1..=31");
-    let total: usize = reads.iter().map(|r| r.len().saturating_sub(params.k - 1)).sum();
+    let total: usize = reads
+        .iter()
+        .map(|r| r.len().saturating_sub(params.k - 1))
+        .sum();
     let mut table = KmerTable::with_capacity(total / 2 + 16, params.probing);
     let mut stats = KmerCountStats::default();
     for read in reads {
         for (_, kmer) in read.kmers(params.k) {
-            let key = if params.canonical { canonical_kmer(kmer, params.k) } else { kmer };
-            probe.int_ops(if params.canonical { 2 + params.k as u64 } else { 2 });
+            let key = if params.canonical {
+                canonical_kmer(kmer, params.k)
+            } else {
+                kmer
+            };
+            probe.int_ops(if params.canonical {
+                2 + params.k as u64
+            } else {
+                2
+            });
             table.insert_or_add_probed(key, 1, probe);
             stats.kmers_processed += 1;
             probe.branch(true);
@@ -103,14 +118,25 @@ pub fn count_kmers_prefetched<P: Probe>(
 ) -> (KmerTable, KmerCountStats) {
     assert!(params.k > 0 && params.k <= 31, "k must be in 1..=31");
     assert!(window > 0, "prefetch window must be positive");
-    let total: usize = reads.iter().map(|r| r.len().saturating_sub(params.k - 1)).sum();
+    let total: usize = reads
+        .iter()
+        .map(|r| r.len().saturating_sub(params.k - 1))
+        .sum();
     let mut table = KmerTable::with_capacity(total / 2 + 16, params.probing);
     let mut stats = KmerCountStats::default();
     let mut pending: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
     for read in reads {
         for (_, kmer) in read.kmers(params.k) {
-            let key = if params.canonical { canonical_kmer(kmer, params.k) } else { kmer };
-            probe.int_ops(if params.canonical { 2 + params.k as u64 } else { 2 });
+            let key = if params.canonical {
+                canonical_kmer(kmer, params.k)
+            } else {
+                kmer
+            };
+            probe.int_ops(if params.canonical {
+                2 + params.k as u64
+            } else {
+                2
+            });
             // Prefetch: touch the home slot of the key `window` ahead.
             probe.load(table.home_slot_addr(key), 8);
             pending.push_back(key);
@@ -177,7 +203,11 @@ mod tests {
     fn counts_match_reference() {
         let rs = reads(3, 20, 200);
         for canonical in [false, true] {
-            let p = KmerCountParams { k: 9, canonical, ..Default::default() };
+            let p = KmerCountParams {
+                k: 9,
+                canonical,
+                ..Default::default()
+            };
             let (table, stats) = count_kmers(&rs, &p);
             let want = naive_counts(&rs, 9, canonical);
             assert_eq!(stats.distinct, want.len());
@@ -190,7 +220,11 @@ mod tests {
     fn canonical_collapses_strands() {
         let fwd: DnaSeq = "ACGGTTACAGGATCC".parse().unwrap();
         let rev = fwd.reverse_complement();
-        let p = KmerCountParams { k: 7, canonical: true, ..Default::default() };
+        let p = KmerCountParams {
+            k: 7,
+            canonical: true,
+            ..Default::default()
+        };
         let (t1, _) = count_kmers(std::slice::from_ref(&fwd), &p);
         let (t2, _) = count_kmers(&[rev], &p);
         let a: BTreeMap<u64, u32> = t1.iter().collect();
@@ -201,7 +235,10 @@ mod tests {
     #[test]
     fn prefetched_counts_identical() {
         let rs = reads(5, 10, 300);
-        let p = KmerCountParams { k: 13, ..Default::default() };
+        let p = KmerCountParams {
+            k: 13,
+            ..Default::default()
+        };
         let (plain, s1) = count_kmers(&rs, &p);
         let (pf, s2) = count_kmers_prefetched(&rs, &p, 16, &mut NullProbe);
         assert_eq!(s1.kmers_processed, s2.kmers_processed);
@@ -214,7 +251,10 @@ mod tests {
     fn prefetch_reduces_simulated_misses() {
         use gb_uarch::cache::CacheProbe;
         let rs = reads(7, 60, 400);
-        let p = KmerCountParams { k: 17, ..Default::default() };
+        let p = KmerCountParams {
+            k: 17,
+            ..Default::default()
+        };
         let mut plain_probe = CacheProbe::skylake_like();
         let _ = count_kmers_probed(&rs, &p, &mut plain_probe);
         let mut pf_probe = CacheProbe::skylake_like();
@@ -235,7 +275,10 @@ mod tests {
     #[test]
     fn histogram_sums_to_distinct() {
         let rs = reads(9, 10, 100);
-        let p = KmerCountParams { k: 5, ..Default::default() };
+        let p = KmerCountParams {
+            k: 5,
+            ..Default::default()
+        };
         let (table, stats) = count_kmers(&rs, &p);
         let hist = count_histogram(&table, 10);
         assert_eq!(hist[0], 0);
@@ -245,7 +288,10 @@ mod tests {
 
     #[test]
     fn short_reads_contribute_nothing() {
-        let p = KmerCountParams { k: 17, ..Default::default() };
+        let p = KmerCountParams {
+            k: 17,
+            ..Default::default()
+        };
         let (_, stats) = count_kmers(&reads(1, 5, 10), &p);
         assert_eq!(stats.kmers_processed, 0);
     }
@@ -253,6 +299,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "1..=31")]
     fn oversized_k_panics() {
-        let _ = count_kmers(&[], &KmerCountParams { k: 32, ..Default::default() });
+        let _ = count_kmers(
+            &[],
+            &KmerCountParams {
+                k: 32,
+                ..Default::default()
+            },
+        );
     }
 }

@@ -53,7 +53,12 @@ impl KmerTable {
     /// load factor.
     pub fn with_capacity(capacity: usize, probing: Probing) -> KmerTable {
         let slots = (capacity.max(8) * 10 / 7).next_power_of_two();
-        KmerTable { keys: vec![EMPTY_KEY; slots], values: vec![0; slots], len: 0, probing }
+        KmerTable {
+            keys: vec![EMPTY_KEY; slots],
+            values: vec![0; slots],
+            len: 0,
+            probing,
+        }
     }
 
     /// Number of distinct keys stored.
@@ -132,7 +137,11 @@ impl KmerTable {
             let k = self.keys[slot];
             if k == EMPTY_KEY {
                 self.keys[slot] = cur_key;
-                let v = if cur_key == key { cur_val + delta } else { cur_val };
+                let v = if cur_key == key {
+                    cur_val + delta
+                } else {
+                    cur_val
+                };
                 self.values[slot] = v;
                 probe.store(addr_of(&self.values[slot]), 4);
                 probe.store(addr_of(&self.keys[slot]), 8);

@@ -23,7 +23,11 @@ pub struct UnitigParams {
 
 impl Default for UnitigParams {
     fn default() -> UnitigParams {
-        UnitigParams { k: 21, min_count: 2, min_len: 63 }
+        UnitigParams {
+            k: 21,
+            min_count: 2,
+            min_len: 63,
+        }
     }
 }
 
@@ -82,13 +86,23 @@ pub fn assemble_unitigs(reads: &[DnaSeq], params: &UnitigParams) -> Assembly {
     let k = params.k;
     let (table, _) = count_kmers(
         reads,
-        &KmerCountParams { k, canonical: true, ..Default::default() },
+        &KmerCountParams {
+            k,
+            canonical: true,
+            ..Default::default()
+        },
     );
 
     let solid = |km: u64| -> bool {
-        table.get(canonical_kmer(km, k)).is_some_and(|c| c >= params.min_count)
+        table
+            .get(canonical_kmer(km, k))
+            .is_some_and(|c| c >= params.min_count)
     };
-    let mask = if k == 31 { (1u64 << 62) - 1 } else { (1u64 << (2 * k)) - 1 };
+    let mask = if k == 31 {
+        (1u64 << 62) - 1
+    } else {
+        (1u64 << (2 * k)) - 1
+    };
     let succ = |km: u64, b: u64| ((km << 2) | b) & mask;
     let pred = |km: u64, b: u64| (km >> 2) | (b << (2 * (k - 1)));
     let out_degree = |km: u64| (0..4).filter(|&b| solid(succ(km, b))).count();
@@ -129,7 +143,9 @@ pub fn assemble_unitigs(reads: &[DnaSeq], params: &UnitigParams) -> Assembly {
             if out_degree(node) != 1 {
                 break;
             }
-            let b = (0..4).find(|&b| solid(succ(node, b))).expect("out-degree 1");
+            let b = (0..4)
+                .find(|&b| solid(succ(node, b)))
+                .expect("out-degree 1");
             let nxt = succ(node, b);
             if in_degree(nxt) != 1 || visited.get(canonical_kmer(nxt, k)).is_some() {
                 break;
@@ -152,7 +168,10 @@ pub fn assemble_unitigs(reads: &[DnaSeq], params: &UnitigParams) -> Assembly {
         handle(revcomp_kmer(canon, k), &mut visited, &mut contigs);
     }
     contigs.sort_by_key(|c| std::cmp::Reverse(c.len()));
-    Assembly { contigs, solid_kmers }
+    Assembly {
+        contigs,
+        solid_kmers,
+    }
 }
 
 #[cfg(test)]
@@ -234,7 +253,11 @@ mod tests {
         let genome = DnaSeq::from_codes_unchecked(codes);
         let reads = shred(&genome, 150, 30);
         let asm = assemble_unitigs(&reads, &UnitigParams::default());
-        assert!(asm.contigs.len() >= 3, "repeat should fragment: {}", asm.contigs.len());
+        assert!(
+            asm.contigs.len() >= 3,
+            "repeat should fragment: {}",
+            asm.contigs.len()
+        );
         assert!(asm.n50() < genome.len());
         // But total assembled sequence still covers most of the genome.
         assert!(asm.total_len() > genome.len() / 2);

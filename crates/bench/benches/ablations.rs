@@ -22,7 +22,13 @@ use gb_fmi::FmIndex;
 use gb_uarch::probe::NullProbe;
 
 fn genome(len: usize) -> Genome {
-    Genome::generate(&GenomeConfig { length: len, ..Default::default() }, 99)
+    Genome::generate(
+        &GenomeConfig {
+            length: len,
+            ..Default::default()
+        },
+        99,
+    )
 }
 
 fn ablation_fmi_occ(c: &mut Criterion) {
@@ -50,7 +56,9 @@ fn ablation_fmi_occ(c: &mut Criterion) {
             let mut hits = 0u64;
             for r in &reads {
                 let p = r.as_codes();
-                hits += (0..=t.len() - p.len()).filter(|&i| &t[i..i + p.len()] == p).count() as u64;
+                hits += (0..=t.len() - p.len())
+                    .filter(|&i| &t[i..i + p.len()] == p)
+                    .count() as u64;
             }
             std::hint::black_box(hits)
         })
@@ -69,7 +77,13 @@ fn ablation_fmi_stride(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_fmi_stride");
     group.sample_size(10);
     for occ_stride in [32usize, 64, 128, 256] {
-        let idx = gb_fmi::FmIndex::build_with(&text, &FmConfig { occ_stride, sa_stride: 32 });
+        let idx = gb_fmi::FmIndex::build_with(
+            &text,
+            &FmConfig {
+                occ_stride,
+                sa_stride: 32,
+            },
+        );
         eprintln!("occ_stride {occ_stride}: index {} bytes", idx.heap_bytes());
         group.bench_function(format!("occ_stride_{occ_stride}"), |b| {
             b.iter(|| {
@@ -92,8 +106,14 @@ fn ablation_kmercnt(c: &mut Criterion) {
         .collect();
     let mut group = c.benchmark_group("ablation_kmercnt");
     group.sample_size(10);
-    for (label, probing) in [("linear", Probing::Linear), ("robin_hood", Probing::RobinHood)] {
-        let params = KmerCountParams { probing, ..Default::default() };
+    for (label, probing) in [
+        ("linear", Probing::Linear),
+        ("robin_hood", Probing::RobinHood),
+    ] {
+        let params = KmerCountParams {
+            probing,
+            ..Default::default()
+        };
         group.bench_function(format!("hash_{label}"), |b| {
             b.iter(|| std::hint::black_box(count_kmers(&reads, &params).1.distinct))
         });
@@ -103,7 +123,9 @@ fn ablation_kmercnt(c: &mut Criterion) {
         group.bench_function(format!("prefetch_w{window}"), |b| {
             b.iter(|| {
                 std::hint::black_box(
-                    count_kmers_prefetched(&reads, &params, window, &mut NullProbe).1.distinct,
+                    count_kmers_prefetched(&reads, &params, window, &mut NullProbe)
+                        .1
+                        .distinct,
                 )
             })
         });
@@ -124,7 +146,11 @@ fn ablation_bsw(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_bsw");
     group.sample_size(10);
     for (label, band) in [("banded_100", Some(100usize)), ("full_matrix", None)] {
-        let params = SwParams { band, zdrop: None, ..SwParams::default() };
+        let params = SwParams {
+            band,
+            zdrop: None,
+            ..SwParams::default()
+        };
         group.bench_function(label, |b| {
             b.iter(|| {
                 let mut acc = 0i64;

@@ -10,7 +10,12 @@ use gb_suite::dataset::DatasetSize;
 use gb_suite::kernels::{prepare, run_parallel, KernelId};
 
 fn bench_fig7(c: &mut Criterion) {
-    let kernels = [KernelId::Bsw, KernelId::Chain, KernelId::KmerCnt, KernelId::Pileup];
+    let kernels = [
+        KernelId::Bsw,
+        KernelId::Chain,
+        KernelId::KmerCnt,
+        KernelId::Pileup,
+    ];
     for id in kernels {
         let kernel = prepare(id, DatasetSize::Tiny);
         let serial = run_parallel(kernel.as_ref(), 1).checksum;

@@ -1,0 +1,42 @@
+//! Instrumentation overhead: the same kernels through the plain pool,
+//! the instrumented pool with the zero-cost `NullRecorder`, and the
+//! buffering `TraceRecorder`. The first two must be indistinguishable —
+//! the `Recorder` trait's inlined no-op defaults and the `enabled()`
+//! gate are what the suite's always-on instrumentation hinges on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gb_obs::{NullRecorder, TraceRecorder};
+use gb_suite::dataset::DatasetSize;
+use gb_suite::kernels::{prepare, run_parallel, run_parallel_instrumented, KernelId};
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    // chain and fmi have the smallest tasks in the suite, so per-task
+    // instrumentation overhead is most visible on them.
+    for id in [KernelId::Chain, KernelId::Fmi] {
+        let kernel = prepare(id, DatasetSize::Tiny);
+        let mut group = c.benchmark_group(format!("obs_overhead_{}", id.name()));
+        group.sample_size(10);
+        group.bench_function("plain", |b| {
+            b.iter(|| std::hint::black_box(run_parallel(kernel.as_ref(), 1).checksum))
+        });
+        group.bench_function("null_recorder", |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    run_parallel_instrumented(kernel.as_ref(), 1, &NullRecorder).checksum,
+                )
+            })
+        });
+        group.bench_function("trace_recorder", |b| {
+            b.iter(|| {
+                let recorder = TraceRecorder::new();
+                std::hint::black_box(
+                    run_parallel_instrumented(kernel.as_ref(), 1, &recorder).checksum,
+                )
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

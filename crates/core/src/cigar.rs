@@ -83,7 +83,9 @@ impl Cigar {
     /// Returns [`Error::InvalidCigar`] if any run has length zero.
     pub fn from_ops(ops: Vec<(u32, CigarOp)>) -> Result<Cigar, Error> {
         if ops.iter().any(|&(n, _)| n == 0) {
-            return Err(Error::InvalidCigar { reason: "zero-length run".into() });
+            return Err(Error::InvalidCigar {
+                reason: "zero-length run".into(),
+            });
         }
         Ok(Cigar { ops })
     }
@@ -138,7 +140,13 @@ impl Cigar {
     /// reference base. Soft clips advance the query offset but are not
     /// yielded, matching how pileup counting skips clipped bases.
     pub fn walk(&self) -> Walk<'_> {
-        Walk { runs: &self.ops, run: 0, within: 0, q: 0, r: 0 }
+        Walk {
+            runs: &self.ops,
+            run: 0,
+            within: 0,
+            q: 0,
+            r: 0,
+        }
     }
 }
 
@@ -175,7 +183,11 @@ impl<'a> Iterator for Walk<'a> {
                 continue;
             }
             self.within += 1;
-            let step = WalkStep { query_off: self.q, ref_off: self.r, op };
+            let step = WalkStep {
+                query_off: self.q,
+                ref_off: self.r,
+                op,
+            };
             if op.consumes_query() {
                 self.q += 1;
             }
@@ -202,7 +214,9 @@ impl std::str::FromStr for Cigar {
                 num = num
                     .checked_mul(10)
                     .and_then(|n| n.checked_add(d))
-                    .ok_or_else(|| Error::InvalidCigar { reason: "run length overflow".into() })?;
+                    .ok_or_else(|| Error::InvalidCigar {
+                        reason: "run length overflow".into(),
+                    })?;
                 have_num = true;
             } else if let Some(op) = CigarOp::from_char(c) {
                 if !have_num || num == 0 {
@@ -214,11 +228,15 @@ impl std::str::FromStr for Cigar {
                 num = 0;
                 have_num = false;
             } else {
-                return Err(Error::InvalidCigar { reason: format!("unexpected character '{c}'") });
+                return Err(Error::InvalidCigar {
+                    reason: format!("unexpected character '{c}'"),
+                });
             }
         }
         if have_num {
-            return Err(Error::InvalidCigar { reason: "trailing length without operation".into() });
+            return Err(Error::InvalidCigar {
+                reason: "trailing length without operation".into(),
+            });
         }
         Cigar::from_ops(ops)
     }
@@ -282,11 +300,31 @@ mod tests {
         assert_eq!(
             steps,
             vec![
-                WalkStep { query_off: 1, ref_off: 0, op: CigarOp::Match },
-                WalkStep { query_off: 2, ref_off: 1, op: CigarOp::Match },
-                WalkStep { query_off: 3, ref_off: 2, op: CigarOp::Ins },
-                WalkStep { query_off: 4, ref_off: 2, op: CigarOp::Del },
-                WalkStep { query_off: 4, ref_off: 3, op: CigarOp::Match },
+                WalkStep {
+                    query_off: 1,
+                    ref_off: 0,
+                    op: CigarOp::Match
+                },
+                WalkStep {
+                    query_off: 2,
+                    ref_off: 1,
+                    op: CigarOp::Match
+                },
+                WalkStep {
+                    query_off: 3,
+                    ref_off: 2,
+                    op: CigarOp::Ins
+                },
+                WalkStep {
+                    query_off: 4,
+                    ref_off: 2,
+                    op: CigarOp::Del
+                },
+                WalkStep {
+                    query_off: 4,
+                    ref_off: 3,
+                    op: CigarOp::Match
+                },
             ]
         );
     }

@@ -47,7 +47,9 @@ pub enum Error {
 impl Error {
     /// Convenience constructor for [`Error::InvalidArgument`].
     pub fn invalid_argument(reason: impl Into<String>) -> Error {
-        Error::InvalidArgument { reason: reason.into() }
+        Error::InvalidArgument {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -77,7 +79,10 @@ mod tests {
     fn display_messages() {
         let e = Error::InvalidBase { pos: 2, byte: b'N' };
         assert_eq!(e.to_string(), "invalid base 'N' at position 2");
-        let e = Error::LengthMismatch { expected: 4, actual: 3 };
+        let e = Error::LengthMismatch {
+            expected: 4,
+            actual: 3,
+        };
         assert!(e.to_string().contains("expected 4"));
     }
 

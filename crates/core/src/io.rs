@@ -17,10 +17,7 @@ use std::io::{BufRead, Write};
 /// # Errors
 ///
 /// Propagates I/O errors from the writer.
-pub fn write_fasta<W: Write>(
-    mut w: W,
-    records: &[(String, DnaSeq)],
-) -> std::io::Result<()> {
+pub fn write_fasta<W: Write>(mut w: W, records: &[(String, DnaSeq)]) -> std::io::Result<()> {
     for (name, seq) in records {
         writeln!(w, ">{name}")?;
         let ascii = seq.to_ascii();
@@ -43,7 +40,9 @@ pub fn read_fasta<R: BufRead>(r: R) -> Result<Vec<(String, DnaSeq)>, Error> {
     let mut out: Vec<(String, DnaSeq)> = Vec::new();
     let mut current: Option<(String, Vec<u8>)> = None;
     for line in r.lines() {
-        let line = line.map_err(|e| Error::InvalidRecord { reason: e.to_string() })?;
+        let line = line.map_err(|e| Error::InvalidRecord {
+            reason: e.to_string(),
+        })?;
         let line = line.trim_end();
         if line.is_empty() {
             continue;
@@ -92,24 +91,34 @@ pub fn read_fastq<R: BufRead>(r: R) -> Result<Vec<ReadRecord>, Error> {
     let mut lines = r.lines();
     let mut out = Vec::new();
     while let Some(header) = lines.next() {
-        let header = header.map_err(|e| Error::InvalidRecord { reason: e.to_string() })?;
+        let header = header.map_err(|e| Error::InvalidRecord {
+            reason: e.to_string(),
+        })?;
         if header.trim().is_empty() {
             continue;
         }
         let name = header
             .strip_prefix('@')
-            .ok_or_else(|| Error::InvalidRecord { reason: format!("bad header '{header}'") })?
+            .ok_or_else(|| Error::InvalidRecord {
+                reason: format!("bad header '{header}'"),
+            })?
             .to_string();
         let mut take = || -> Result<String, Error> {
             lines
                 .next()
-                .ok_or_else(|| Error::InvalidRecord { reason: "truncated FASTQ block".into() })?
-                .map_err(|e| Error::InvalidRecord { reason: e.to_string() })
+                .ok_or_else(|| Error::InvalidRecord {
+                    reason: "truncated FASTQ block".into(),
+                })?
+                .map_err(|e| Error::InvalidRecord {
+                    reason: e.to_string(),
+                })
         };
         let seq_line = take()?;
         let plus = take()?;
         if !plus.starts_with('+') {
-            return Err(Error::InvalidRecord { reason: "missing '+' separator".into() });
+            return Err(Error::InvalidRecord {
+                reason: "missing '+' separator".into(),
+            });
         }
         let qual_line = take()?;
         let seq: DnaSeq = seq_line.trim_end().parse()?;
@@ -131,7 +140,10 @@ mod tests {
     #[test]
     fn fasta_round_trip_with_wrapping() {
         let long: DnaSeq = DnaSeq::from_codes_unchecked((0..150).map(|i| (i % 4) as u8).collect());
-        let records = vec![("chr1".to_string(), seq("ACGT")), ("chr2 extra".to_string(), long)];
+        let records = vec![
+            ("chr1".to_string(), seq("ACGT")),
+            ("chr2 extra".to_string(), long),
+        ];
         let mut buf = Vec::new();
         write_fasta(&mut buf, &records).unwrap();
         let text = String::from_utf8(buf.clone()).unwrap();

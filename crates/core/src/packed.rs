@@ -31,7 +31,10 @@ pub struct PackedSeq {
 impl PackedSeq {
     /// Creates an empty packed sequence.
     pub fn new() -> PackedSeq {
-        PackedSeq { bytes: Vec::new(), len: 0 }
+        PackedSeq {
+            bytes: Vec::new(),
+            len: 0,
+        }
     }
 
     /// Packs a [`DnaSeq`].
@@ -45,7 +48,10 @@ impl PackedSeq {
     ///
     /// Panics (in debug builds) if any code is `> 3`.
     pub fn from_codes(codes: &[u8]) -> PackedSeq {
-        let mut p = PackedSeq { bytes: vec![0u8; codes.len().div_ceil(4)], len: codes.len() };
+        let mut p = PackedSeq {
+            bytes: vec![0u8; codes.len().div_ceil(4)],
+            len: codes.len(),
+        };
         for (i, &c) in codes.iter().enumerate() {
             debug_assert!(c < 4);
             p.bytes[i / 4] |= c << (2 * (i % 4));
@@ -76,7 +82,11 @@ impl PackedSeq {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn get(&self, i: usize) -> u8 {
-        assert!(i < self.len, "index {i} out of bounds for length {}", self.len);
+        assert!(
+            i < self.len,
+            "index {i} out of bounds for length {}",
+            self.len
+        );
         (self.bytes[i / 4] >> (2 * (i % 4))) & 3
     }
 

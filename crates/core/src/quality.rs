@@ -118,7 +118,10 @@ mod tests {
     #[test]
     fn from_error_prob_inverts() {
         for q in [0u8, 7, 20, 41, 93] {
-            assert_eq!(Phred::from_error_prob(Phred::new(q).error_prob()).value(), q);
+            assert_eq!(
+                Phred::from_error_prob(Phred::new(q).error_prob()).value(),
+                q
+            );
         }
         assert_eq!(Phred::from_error_prob(0.0).value(), MAX_PHRED);
         assert_eq!(Phred::from_error_prob(2.0).value(), 0);

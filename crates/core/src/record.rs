@@ -36,17 +36,32 @@ impl ReadRecord {
     /// # Errors
     ///
     /// Returns [`Error::LengthMismatch`] when `quals.len() != seq.len()`.
-    pub fn new(name: impl Into<String>, seq: DnaSeq, quals: Vec<Phred>) -> Result<ReadRecord, Error> {
+    pub fn new(
+        name: impl Into<String>,
+        seq: DnaSeq,
+        quals: Vec<Phred>,
+    ) -> Result<ReadRecord, Error> {
         if quals.len() != seq.len() {
-            return Err(Error::LengthMismatch { expected: seq.len(), actual: quals.len() });
+            return Err(Error::LengthMismatch {
+                expected: seq.len(),
+                actual: quals.len(),
+            });
         }
-        Ok(ReadRecord { name: name.into(), seq, quals })
+        Ok(ReadRecord {
+            name: name.into(),
+            seq,
+            quals,
+        })
     }
 
     /// Creates a read with the same quality on every base.
     pub fn with_uniform_quality(name: impl Into<String>, seq: DnaSeq, q: Phred) -> ReadRecord {
         let quals = vec![q; seq.len()];
-        ReadRecord { name: name.into(), seq, quals }
+        ReadRecord {
+            name: name.into(),
+            seq,
+            quals,
+        }
     }
 
     /// Number of bases.
@@ -82,21 +97,28 @@ impl ReadRecord {
     /// underlying sequence/quality errors.
     pub fn from_fastq(block: &str) -> Result<ReadRecord, Error> {
         let mut lines = block.lines();
-        let header = lines
-            .next()
-            .ok_or_else(|| Error::InvalidRecord { reason: "missing header line".into() })?;
+        let header = lines.next().ok_or_else(|| Error::InvalidRecord {
+            reason: "missing header line".into(),
+        })?;
         let name = header
             .strip_prefix('@')
-            .ok_or_else(|| Error::InvalidRecord { reason: "header must start with '@'".into() })?;
-        let seq_line =
-            lines.next().ok_or_else(|| Error::InvalidRecord { reason: "missing sequence".into() })?;
-        let plus =
-            lines.next().ok_or_else(|| Error::InvalidRecord { reason: "missing '+' line".into() })?;
+            .ok_or_else(|| Error::InvalidRecord {
+                reason: "header must start with '@'".into(),
+            })?;
+        let seq_line = lines.next().ok_or_else(|| Error::InvalidRecord {
+            reason: "missing sequence".into(),
+        })?;
+        let plus = lines.next().ok_or_else(|| Error::InvalidRecord {
+            reason: "missing '+' line".into(),
+        })?;
         if !plus.starts_with('+') {
-            return Err(Error::InvalidRecord { reason: "third line must start with '+'".into() });
+            return Err(Error::InvalidRecord {
+                reason: "third line must start with '+'".into(),
+            });
         }
-        let qual_line =
-            lines.next().ok_or_else(|| Error::InvalidRecord { reason: "missing qualities".into() })?;
+        let qual_line = lines.next().ok_or_else(|| Error::InvalidRecord {
+            reason: "missing qualities".into(),
+        })?;
         let seq: DnaSeq = seq_line.parse()?;
         let quals = decode_quality_string(qual_line.as_bytes());
         ReadRecord::new(name, seq, quals)
@@ -161,9 +183,19 @@ impl AlignmentRecord {
         strand: Strand,
     ) -> Result<AlignmentRecord, Error> {
         if cigar.query_len() != read.len() {
-            return Err(Error::LengthMismatch { expected: read.len(), actual: cigar.query_len() });
+            return Err(Error::LengthMismatch {
+                expected: read.len(),
+                actual: cigar.query_len(),
+            });
         }
-        Ok(AlignmentRecord { read, ref_id, pos, cigar, mapq, strand })
+        Ok(AlignmentRecord {
+            read,
+            ref_id,
+            pos,
+            cigar,
+            mapq,
+            strand,
+        })
     }
 
     /// Exclusive reference end position of the alignment.

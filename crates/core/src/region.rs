@@ -27,7 +27,11 @@ pub struct Region {
 impl Region {
     /// Creates a region; `end` is clamped to be at least `start`.
     pub fn new(ref_id: usize, start: usize, end: usize) -> Region {
-        Region { ref_id, start, end: end.max(start) }
+        Region {
+            ref_id,
+            start,
+            end: end.max(start),
+        }
     }
 
     /// Length in bases.

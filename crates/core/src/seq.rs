@@ -38,7 +38,10 @@ impl DnaSeq {
     /// Returns [`Error::InvalidBase`] if any code is `> 3`.
     pub fn from_codes(codes: Vec<u8>) -> Result<DnaSeq, Error> {
         if let Some(pos) = codes.iter().position(|&c| c > 3) {
-            return Err(Error::InvalidBase { pos, byte: codes[pos] });
+            return Err(Error::InvalidBase {
+                pos,
+                byte: codes[pos],
+            });
         }
         Ok(DnaSeq { codes })
     }
@@ -112,13 +115,20 @@ impl DnaSeq {
     pub fn slice(&self, start: usize, end: usize) -> DnaSeq {
         let end = end.min(self.codes.len());
         let start = start.min(end);
-        DnaSeq { codes: self.codes[start..end].to_vec() }
+        DnaSeq {
+            codes: self.codes[start..end].to_vec(),
+        }
     }
 
     /// The reverse complement of this sequence.
     pub fn reverse_complement(&self) -> DnaSeq {
         DnaSeq {
-            codes: self.codes.iter().rev().map(|&c| complement_code(c)).collect(),
+            codes: self
+                .codes
+                .iter()
+                .rev()
+                .map(|&c| complement_code(c))
+                .collect(),
         }
     }
 
@@ -132,7 +142,12 @@ impl DnaSeq {
     /// Yields `(offset, kmer)` pairs. Returns an empty iterator when
     /// `k == 0`, `k > 32`, or the sequence is shorter than `k`.
     pub fn kmers(&self, k: usize) -> Kmers<'_> {
-        Kmers { codes: &self.codes, k, pos: 0, cur: 0 }
+        Kmers {
+            codes: &self.codes,
+            k,
+            pos: 0,
+            cur: 0,
+        }
     }
 }
 
@@ -205,7 +220,11 @@ impl<'a> Iterator for Kmers<'a> {
         if i + self.k > self.codes.len() {
             return None;
         }
-        let mask = if self.k == 32 { u64::MAX } else { (1u64 << (2 * self.k)) - 1 };
+        let mask = if self.k == 32 {
+            u64::MAX
+        } else {
+            (1u64 << (2 * self.k)) - 1
+        };
         self.cur = ((self.cur << 2) | u64::from(self.codes[i + self.k - 1])) & mask;
         self.pos += 1;
         Some((i, self.cur))

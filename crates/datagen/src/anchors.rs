@@ -75,7 +75,10 @@ pub fn minimizers(seq: &DnaSeq, k: usize, w: usize) -> Vec<(u32, u64)> {
     }
     if n < w {
         // Short sequence: one minimizer over the whole thing.
-        let &(pos, km) = kmers.iter().min_by_key(|&&(_, km)| hash64(km)).expect("non-empty");
+        let &(pos, km) = kmers
+            .iter()
+            .min_by_key(|&&(_, km)| hash64(km))
+            .expect("non-empty");
         out.push((pos as u32, km));
     }
     out
@@ -139,7 +142,12 @@ pub struct AnchorSimConfig {
 
 impl Default for AnchorSimConfig {
     fn default() -> AnchorSimConfig {
-        AnchorSimConfig { num_pairs: 100, mean_anchors: 500, seed_len: 15, noise_fraction: 0.15 }
+        AnchorSimConfig {
+            num_pairs: 100,
+            mean_anchors: 500,
+            seed_len: 15,
+            noise_fraction: 0.15,
+        }
     }
 }
 
@@ -166,7 +174,11 @@ pub fn synthetic_anchor_sets(config: &AnchorSimConfig, seed: u64) -> Vec<AnchorS
                     let q = i64::from(t) - diag + jitter;
                     (t, q.clamp(0, 1 << 30) as u32)
                 };
-                anchors.push(Anchor { target_pos: tp, query_pos: qp, length: config.seed_len });
+                anchors.push(Anchor {
+                    target_pos: tp,
+                    query_pos: qp,
+                    length: config.seed_len,
+                });
             }
             AnchorSet::new(anchors)
         })
@@ -180,7 +192,13 @@ mod tests {
 
     #[test]
     fn minimizers_are_subset_of_kmers() {
-        let g = Genome::generate(&GenomeConfig { length: 2000, ..Default::default() }, 1);
+        let g = Genome::generate(
+            &GenomeConfig {
+                length: 2000,
+                ..Default::default()
+            },
+            1,
+        );
         let s = g.contig(0);
         let kmers: std::collections::HashMap<usize, u64> = s.kmers(15).collect();
         for (pos, km) in minimizers(s, 15, 10) {
@@ -191,19 +209,32 @@ mod tests {
     #[test]
     fn minimizer_density_near_two_over_w_plus_one() {
         let g = Genome::generate(
-            &GenomeConfig { length: 50_000, repeat_fraction: 0.0, ..Default::default() },
+            &GenomeConfig {
+                length: 50_000,
+                repeat_fraction: 0.0,
+                ..Default::default()
+            },
             2,
         );
         let s = g.contig(0);
         let w = 10;
         let m = minimizers(s, 15, w).len() as f64;
         let expected = 2.0 / (w as f64 + 1.0) * s.len() as f64;
-        assert!((m - expected).abs() / expected < 0.25, "density {m} vs expected {expected}");
+        assert!(
+            (m - expected).abs() / expected < 0.25,
+            "density {m} vs expected {expected}"
+        );
     }
 
     #[test]
     fn overlapping_reads_share_diagonal_anchors() {
-        let g = Genome::generate(&GenomeConfig { length: 5000, ..Default::default() }, 3);
+        let g = Genome::generate(
+            &GenomeConfig {
+                length: 5000,
+                ..Default::default()
+            },
+            3,
+        );
         let a = g.contig(0).slice(0, 3000);
         let b = g.contig(0).slice(1000, 4000);
         let anchors = anchors_between(&a, &b, 15, 8);

@@ -60,12 +60,19 @@ impl Genome {
     ///
     /// Panics if `config.contigs == 0` or `config.length == 0`.
     pub fn generate(config: &GenomeConfig, seed: u64) -> Genome {
-        assert!(config.contigs > 0 && config.length > 0, "genome must be non-empty");
+        assert!(
+            config.contigs > 0 && config.length > 0,
+            "genome must be non-empty"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let per = config.length / config.contigs;
         let mut contigs = Vec::with_capacity(config.contigs);
         for ci in 0..config.contigs {
-            let len = if ci + 1 == config.contigs { config.length - per * ci } else { per };
+            let len = if ci + 1 == config.contigs {
+                config.length - per * ci
+            } else {
+                per
+            };
             contigs.push(generate_contig(len, config, &mut rng));
         }
         Genome { contigs }
@@ -128,14 +135,20 @@ pub(crate) fn random_base(rng: &mut StdRng, gc: f64) -> u8 {
 }
 
 fn generate_contig(len: usize, config: &GenomeConfig, rng: &mut StdRng) -> DnaSeq {
-    let mut codes: Vec<u8> = (0..len).map(|_| random_base(rng, config.gc_content)).collect();
+    let mut codes: Vec<u8> = (0..len)
+        .map(|_| random_base(rng, config.gc_content))
+        .collect();
     // Overlay repeat copies: pick a library of units and paste mutated
     // copies at random positions until the target repeat fraction is met.
     if config.repeat_fraction > 0.0 && len > config.repeat_unit_len * 2 {
         let unit_len = config.repeat_unit_len;
         let n_units = 4.max(len / 50_000);
         let units: Vec<Vec<u8>> = (0..n_units)
-            .map(|_| (0..unit_len).map(|_| random_base(rng, config.gc_content)).collect())
+            .map(|_| {
+                (0..unit_len)
+                    .map(|_| random_base(rng, config.gc_content))
+                    .collect()
+            })
             .collect();
         let target = (len as f64 * config.repeat_fraction) as usize;
         let mut covered = 0;
@@ -144,7 +157,11 @@ fn generate_contig(len: usize, config: &GenomeConfig, rng: &mut StdRng) -> DnaSe
             let pos = rng.gen_range(0..len - unit_len);
             for (i, &b) in unit.iter().enumerate() {
                 // 2% divergence between repeat copies.
-                codes[pos + i] = if rng.gen::<f64>() < 0.02 { random_base(rng, 0.5) } else { b };
+                codes[pos + i] = if rng.gen::<f64>() < 0.02 {
+                    random_base(rng, 0.5)
+                } else {
+                    b
+                };
             }
             covered += unit_len;
         }
@@ -158,14 +175,21 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = GenomeConfig { length: 5000, ..Default::default() };
+        let cfg = GenomeConfig {
+            length: 5000,
+            ..Default::default()
+        };
         assert_eq!(Genome::generate(&cfg, 7), Genome::generate(&cfg, 7));
         assert_ne!(Genome::generate(&cfg, 7), Genome::generate(&cfg, 8));
     }
 
     #[test]
     fn lengths_add_up_across_contigs() {
-        let cfg = GenomeConfig { length: 10_001, contigs: 3, ..Default::default() };
+        let cfg = GenomeConfig {
+            length: 10_001,
+            contigs: 3,
+            ..Default::default()
+        };
         let g = Genome::generate(&cfg, 1);
         assert_eq!(g.num_contigs(), 3);
         assert_eq!(g.total_len(), 10_001);
@@ -174,7 +198,12 @@ mod tests {
 
     #[test]
     fn gc_content_is_respected() {
-        let cfg = GenomeConfig { length: 200_000, repeat_fraction: 0.0, gc_content: 0.6, ..Default::default() };
+        let cfg = GenomeConfig {
+            length: 200_000,
+            repeat_fraction: 0.0,
+            gc_content: 0.6,
+            ..Default::default()
+        };
         let g = Genome::generate(&cfg, 3);
         let gc = g
             .contig(0)
@@ -188,7 +217,11 @@ mod tests {
 
     #[test]
     fn repeats_create_duplicate_kmers() {
-        let cfg = GenomeConfig { length: 50_000, repeat_fraction: 0.4, ..Default::default() };
+        let cfg = GenomeConfig {
+            length: 50_000,
+            repeat_fraction: 0.4,
+            ..Default::default()
+        };
         let g = Genome::generate(&cfg, 5);
         let mut counts = std::collections::HashMap::new();
         for (_, km) in g.contig(0).kmers(31) {
@@ -201,6 +234,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-empty")]
     fn zero_length_panics() {
-        let _ = Genome::generate(&GenomeConfig { length: 0, ..Default::default() }, 0);
+        let _ = Genome::generate(
+            &GenomeConfig {
+                length: 0,
+                ..Default::default()
+            },
+            0,
+        );
     }
 }

@@ -39,7 +39,10 @@ impl GenotypeMatrix {
     ///
     /// Panics if either dimension is zero.
     pub fn generate(individuals: usize, markers: usize, seed: u64) -> GenotypeMatrix {
-        assert!(individuals > 0 && markers > 0, "dimensions must be positive");
+        assert!(
+            individuals > 0 && markers > 0,
+            "dimensions must be positive"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         // Allele-frequency spectrum skewed toward rare variants:
         // p = 0.01 + 0.49 * u^2 keeps p in [0.01, 0.5] with density
@@ -58,7 +61,12 @@ impl GenotypeMatrix {
                 data[i * markers + s] = a + b;
             }
         }
-        GenotypeMatrix { individuals, markers, data, freqs }
+        GenotypeMatrix {
+            individuals,
+            markers,
+            data,
+            freqs,
+        }
     }
 
     /// Number of individuals (GRM dimension `N`).
@@ -95,7 +103,9 @@ impl GenotypeMatrix {
 
     /// Empirical allele frequency of marker `s` in this sample.
     pub fn empirical_freq(&self, s: usize) -> f64 {
-        let sum: u64 = (0..self.individuals).map(|i| u64::from(self.genotype(i, s))).sum();
+        let sum: u64 = (0..self.individuals)
+            .map(|i| u64::from(self.genotype(i, s)))
+            .sum();
         sum as f64 / (2.0 * self.individuals as f64)
     }
 }
@@ -106,7 +116,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(GenotypeMatrix::generate(10, 20, 1), GenotypeMatrix::generate(10, 20, 1));
+        assert_eq!(
+            GenotypeMatrix::generate(10, 20, 1),
+            GenotypeMatrix::generate(10, 20, 1)
+        );
     }
 
     #[test]

@@ -28,17 +28,29 @@ pub struct ErrorProfile {
 impl ErrorProfile {
     /// Illumina-like: substitution-dominated, ~0.3% total error.
     pub fn illumina() -> ErrorProfile {
-        ErrorProfile { sub_rate: 0.002, ins_rate: 0.0002, del_rate: 0.0002 }
+        ErrorProfile {
+            sub_rate: 0.002,
+            ins_rate: 0.0002,
+            del_rate: 0.0002,
+        }
     }
 
     /// ONT-like: 5–15% error with indels prominent; this picks ~9%.
     pub fn nanopore() -> ErrorProfile {
-        ErrorProfile { sub_rate: 0.03, ins_rate: 0.03, del_rate: 0.03 }
+        ErrorProfile {
+            sub_rate: 0.03,
+            ins_rate: 0.03,
+            del_rate: 0.03,
+        }
     }
 
     /// No errors (for exact-match tests).
     pub fn perfect() -> ErrorProfile {
-        ErrorProfile { sub_rate: 0.0, ins_rate: 0.0, del_rate: 0.0 }
+        ErrorProfile {
+            sub_rate: 0.0,
+            ins_rate: 0.0,
+            del_rate: 0.0,
+        }
     }
 
     /// Total per-base error probability.
@@ -115,8 +127,15 @@ impl SimulatedRead {
             read = ReadRecord::new(read.name.clone(), read.seq.reverse_complement(), quals)
                 .expect("lengths preserved by reversal");
         }
-        AlignmentRecord::new(read, self.ref_id, self.true_pos, self.true_cigar.clone(), 60, self.strand)
-            .expect("simulator CIGAR matches read length")
+        AlignmentRecord::new(
+            read,
+            self.ref_id,
+            self.true_pos,
+            self.true_cigar.clone(),
+            60,
+            self.strand,
+        )
+        .expect("simulator CIGAR matches read length")
     }
 }
 
@@ -152,7 +171,11 @@ fn simulate_one(
     let jitter = config.length_jitter.clamp(0.0, 0.99);
     let min_len = ((config.read_len as f64) * (1.0 - jitter)).max(20.0) as usize;
     let max_len = ((config.read_len as f64) * (1.0 + jitter)) as usize;
-    let target_len = if max_len > min_len { rng.gen_range(min_len..=max_len) } else { min_len };
+    let target_len = if max_len > min_len {
+        rng.gen_range(min_len..=max_len)
+    } else {
+        min_len
+    };
 
     // Pick a contig long enough, weighted by length.
     let total: usize = genome.contigs().iter().map(|c| c.len()).sum();
@@ -167,7 +190,11 @@ fn simulate_one(
     }
     let contig = genome.contig(ref_id);
     let span = target_len.min(contig.len());
-    let start = if contig.len() > span { rng.gen_range(0..=contig.len() - span) } else { 0 };
+    let start = if contig.len() > span {
+        rng.gen_range(0..=contig.len() - span)
+    } else {
+        0
+    };
 
     // Walk the reference span applying errors; build read + CIGAR.
     let mut codes = Vec::with_capacity(span + 8);
@@ -208,23 +235,42 @@ fn simulate_one(
     let n = codes.len();
     let quals: Vec<Phred> = (0..n)
         .map(|p| {
-            let base_q = if config.errors.total() < 0.01 { 37.0 } else { 12.0 };
-            let decay = if config.errors.total() < 0.01 { 12.0 * (p as f64 / n as f64) } else { 0.0 };
+            let base_q = if config.errors.total() < 0.01 {
+                37.0
+            } else {
+                12.0
+            };
+            let decay = if config.errors.total() < 0.01 {
+                12.0 * (p as f64 / n as f64)
+            } else {
+                0.0
+            };
             let noise: f64 = rng.gen_range(-2.0..2.0);
             Phred::new((base_q - decay + noise).clamp(2.0, 41.0) as u8)
         })
         .collect();
 
-    let strand = if rng.gen::<f64>() < config.revcomp_prob { Strand::Reverse } else { Strand::Forward };
+    let strand = if rng.gen::<f64>() < config.revcomp_prob {
+        Strand::Reverse
+    } else {
+        Strand::Forward
+    };
     let fwd_seq = DnaSeq::from_codes_unchecked(codes);
     let (seq, quals) = match strand {
         Strand::Forward => (fwd_seq, quals),
-        Strand::Reverse => {
-            (fwd_seq.reverse_complement(), quals.into_iter().rev().collect())
-        }
+        Strand::Reverse => (
+            fwd_seq.reverse_complement(),
+            quals.into_iter().rev().collect(),
+        ),
     };
     let record = ReadRecord::new(format!("read{idx}"), seq, quals).expect("same lengths");
-    SimulatedRead { record, ref_id, true_pos: start, strand, true_cigar: cigar }
+    SimulatedRead {
+        record,
+        ref_id,
+        true_pos: start,
+        strand,
+        true_cigar: cigar,
+    }
 }
 
 /// A simulated paired-end fragment: two reads from opposite ends of one
@@ -257,10 +303,15 @@ pub fn simulate_pairs(
     let mut rng = StdRng::seed_from_u64(seed);
     let contig = genome.contig(0);
     let max_insert = insert_mean + 2 * insert_sd;
-    assert!(contig.len() > max_insert, "contig shorter than the maximum insert");
+    assert!(
+        contig.len() > max_insert,
+        "contig shorter than the maximum insert"
+    );
     let mut out = Vec::with_capacity(config.num_reads / 2);
     for i in 0..config.num_reads / 2 {
-        let lo = insert_mean.saturating_sub(2 * insert_sd).max(config.read_len);
+        let lo = insert_mean
+            .saturating_sub(2 * insert_sd)
+            .max(config.read_len);
         let insert_len = rng.gen_range(lo..=max_insert);
         let start = rng.gen_range(0..contig.len() - insert_len);
         // Each mate is simulated over exactly its end of the insert, so
@@ -292,7 +343,13 @@ mod tests {
     use crate::genome::GenomeConfig;
 
     fn genome() -> Genome {
-        Genome::generate(&GenomeConfig { length: 30_000, ..Default::default() }, 11)
+        Genome::generate(
+            &GenomeConfig {
+                length: 30_000,
+                ..Default::default()
+            },
+            11,
+        )
     }
 
     #[test]
@@ -312,7 +369,9 @@ mod tests {
             ..ReadSimConfig::short(50)
         };
         for r in simulate_reads(&g, &cfg, 9) {
-            let refpart = g.contig(r.ref_id).slice(r.true_pos, r.true_pos + r.record.len());
+            let refpart = g
+                .contig(r.ref_id)
+                .slice(r.true_pos, r.true_pos + r.record.len());
             assert_eq!(r.record.seq, refpart);
         }
     }
@@ -327,7 +386,9 @@ mod tests {
         };
         for r in simulate_reads(&g, &cfg, 13) {
             assert_eq!(r.strand, Strand::Reverse);
-            let refpart = g.contig(r.ref_id).slice(r.true_pos, r.true_pos + r.record.len());
+            let refpart = g
+                .contig(r.ref_id)
+                .slice(r.true_pos, r.true_pos + r.record.len());
             assert_eq!(r.record.seq.reverse_complement(), refpart);
         }
     }
@@ -335,7 +396,10 @@ mod tests {
     #[test]
     fn error_rate_in_expected_range() {
         let g = genome();
-        let cfg = ReadSimConfig { revcomp_prob: 0.0, ..ReadSimConfig::long(40) };
+        let cfg = ReadSimConfig {
+            revcomp_prob: 0.0,
+            ..ReadSimConfig::long(40)
+        };
         let reads = simulate_reads(&g, &cfg, 21);
         let mut errs = 0usize;
         let mut bases = 0usize;
@@ -389,7 +453,11 @@ mod tests {
         let pairs = simulate_pairs(&g, &cfg, 400, 50, 31);
         assert_eq!(pairs.len(), 20);
         for p in &pairs {
-            assert!((300..=500).contains(&p.insert_len), "insert {}", p.insert_len);
+            assert!(
+                (300..=500).contains(&p.insert_len),
+                "insert {}",
+                p.insert_len
+            );
             assert_eq!(p.r1.strand, Strand::Forward);
             assert_eq!(p.r2.strand, Strand::Reverse);
             // Outer distance equals the insert.
@@ -409,7 +477,10 @@ mod tests {
     fn pairs_are_deterministic() {
         let g = genome();
         let cfg = ReadSimConfig::short(10);
-        assert_eq!(simulate_pairs(&g, &cfg, 300, 30, 7), simulate_pairs(&g, &cfg, 300, 30, 7));
+        assert_eq!(
+            simulate_pairs(&g, &cfg, 300, 30, 7),
+            simulate_pairs(&g, &cfg, 300, 30, 7)
+        );
     }
 
     #[test]

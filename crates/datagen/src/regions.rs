@@ -81,7 +81,10 @@ pub fn build_region_tasks(genome: &Genome, config: &RegionSimConfig, seed: u64) 
     let mut alignments: Vec<AlignmentRecord> = Vec::with_capacity(num_reads);
     for (hi, hap) in sample.haplotypes().iter().enumerate() {
         let hap_genome = Genome::from_contigs(vec![(*hap).clone()]);
-        let cfg = ReadSimConfig { num_reads: num_reads / 2, ..config.reads };
+        let cfg = ReadSimConfig {
+            num_reads: num_reads / 2,
+            ..config.reads
+        };
         let mut sims = simulate_reads(&hap_genome, &cfg, rng.gen());
         // Hotspot skew: re-home a fraction of reads to a few hot windows.
         let n_hot = 3usize;
@@ -116,7 +119,11 @@ pub fn build_region_tasks(genome: &Genome, config: &RegionSimConfig, seed: u64) 
             t.reads.push(a);
         }
     }
-    RegionWorkload { genome: genome.clone(), sample, tasks }
+    RegionWorkload {
+        genome: genome.clone(),
+        sample,
+        tasks,
+    }
 }
 
 /// Places a haplotype-simulated read at its (approximate) reference
@@ -146,7 +153,13 @@ mod tests {
     use crate::genome::GenomeConfig;
 
     fn workload() -> RegionWorkload {
-        let g = Genome::generate(&GenomeConfig { length: 30_000, ..Default::default() }, 5);
+        let g = Genome::generate(
+            &GenomeConfig {
+                length: 30_000,
+                ..Default::default()
+            },
+            5,
+        );
         build_region_tasks(&g, &RegionSimConfig::default(), 6)
     }
 
@@ -170,18 +183,36 @@ mod tests {
 
     #[test]
     fn hotspots_create_imbalance() {
-        let g = Genome::generate(&GenomeConfig { length: 50_000, ..Default::default() }, 7);
-        let cfg = RegionSimConfig { hotspot_fraction: 0.4, ..Default::default() };
+        let g = Genome::generate(
+            &GenomeConfig {
+                length: 50_000,
+                ..Default::default()
+            },
+            7,
+        );
+        let cfg = RegionSimConfig {
+            hotspot_fraction: 0.4,
+            ..Default::default()
+        };
         let w = build_region_tasks(&g, &cfg, 8);
         let sizes: Vec<usize> = w.tasks.iter().map(|t| t.reads.len()).collect();
         let max = *sizes.iter().max().unwrap() as f64;
         let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
-        assert!(max / mean > 3.0, "imbalance too small: max {max}, mean {mean}");
+        assert!(
+            max / mean > 3.0,
+            "imbalance too small: max {max}, mean {mean}"
+        );
     }
 
     #[test]
     fn deterministic() {
-        let g = Genome::generate(&GenomeConfig { length: 10_000, ..Default::default() }, 1);
+        let g = Genome::generate(
+            &GenomeConfig {
+                length: 10_000,
+                ..Default::default()
+            },
+            1,
+        );
         let a = build_region_tasks(&g, &RegionSimConfig::default(), 3);
         let b = build_region_tasks(&g, &RegionSimConfig::default(), 3);
         assert_eq!(a.tasks.len(), b.tasks.len());

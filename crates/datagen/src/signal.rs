@@ -56,7 +56,10 @@ impl PoreModel {
                 let h = splitmix64(km);
                 let mean = 60.0 + (h % 70_000) as f32 / 1000.0;
                 let stdv = 1.0 + ((h >> 17) % 2_000) as f32 / 1000.0;
-                KmerModel { level_mean: mean, level_stdv: stdv }
+                KmerModel {
+                    level_mean: mean,
+                    level_stdv: stdv,
+                }
             })
             .collect();
         PoreModel { levels }
@@ -129,7 +132,12 @@ pub struct SignalSimConfig {
 
 impl Default for SignalSimConfig {
     fn default() -> SignalSimConfig {
-        SignalSimConfig { split_prob: 0.35, skip_prob: 0.03, min_dwell: 4, max_dwell: 12 }
+        SignalSimConfig {
+            split_prob: 0.35,
+            skip_prob: 0.03,
+            min_dwell: 4,
+            max_dwell: 12,
+        }
     }
 }
 
@@ -162,7 +170,11 @@ pub fn simulate_signal(
         if rng.gen::<f64>() < config.skip_prob {
             continue;
         }
-        let n_events = if rng.gen::<f64>() < config.split_prob { 2 } else { 1 };
+        let n_events = if rng.gen::<f64>() < config.split_prob {
+            2
+        } else {
+            1
+        };
         for _ in 0..n_events {
             let km = model.get(kmer);
             let dwell = rng.gen_range(config.min_dwell..=config.max_dwell);
@@ -178,10 +190,18 @@ pub fn simulate_signal(
             let n = (raw.len() - start) as f32;
             let mean = sum / n;
             let var = (sumsq / n - mean * mean).max(0.0);
-            events.push(Event { mean, stdv: var.sqrt(), length: dwell });
+            events.push(Event {
+                mean,
+                stdv: var.sqrt(),
+                length: dwell,
+            });
         }
     }
-    SignalRead { seq: seq.clone(), raw, events }
+    SignalRead {
+        seq: seq.clone(),
+        raw,
+        events,
+    }
 }
 
 /// Box–Muller standard normal draw.
@@ -219,7 +239,11 @@ mod tests {
         for km in 0..4096u64 {
             distinct.insert((m.get(km).level_mean * 1000.0) as i64);
         }
-        assert!(distinct.len() > 3500, "levels too collided: {}", distinct.len());
+        assert!(
+            distinct.len() > 3500,
+            "levels too collided: {}",
+            distinct.len()
+        );
     }
 
     #[test]
@@ -237,7 +261,11 @@ mod tests {
     fn event_means_track_model_levels() {
         let s = seq(300);
         let model = PoreModel::r9_like();
-        let cfg = SignalSimConfig { split_prob: 0.0, skip_prob: 0.0, ..Default::default() };
+        let cfg = SignalSimConfig {
+            split_prob: 0.0,
+            skip_prob: 0.0,
+            ..Default::default()
+        };
         let sig = simulate_signal(&s, &model, &cfg, 7);
         let kmers: Vec<u64> = s.kmers(PORE_K).map(|(_, k)| k).collect();
         assert_eq!(sig.events.len(), kmers.len());

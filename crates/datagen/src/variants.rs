@@ -119,17 +119,29 @@ pub fn inject_variants(reference: &DnaSeq, config: &VariantConfig, seed: u64) ->
         if r < config.snv_rate {
             let refc = reference.code_at(pos);
             let alt = (refc + rng.gen_range(1..4u8)) % 4;
-            truth.push(Variant { pos, kind: VariantKind::Snv { alt }, zygosity: zyg });
+            truth.push(Variant {
+                pos,
+                kind: VariantKind::Snv { alt },
+                zygosity: zyg,
+            });
             pos += 1;
         } else if r < config.snv_rate + config.ins_rate {
             let len = rng.gen_range(1..=config.max_indel);
             let seq: Vec<u8> = (0..len).map(|_| rng.gen_range(0..4u8)).collect();
-            truth.push(Variant { pos, kind: VariantKind::Insertion { seq }, zygosity: zyg });
+            truth.push(Variant {
+                pos,
+                kind: VariantKind::Insertion { seq },
+                zygosity: zyg,
+            });
             pos += 1;
         } else if r < config.snv_rate + config.ins_rate + config.del_rate {
             let len = rng.gen_range(1..=config.max_indel).min(n - pos);
             if len > 0 {
-                truth.push(Variant { pos, kind: VariantKind::Deletion { len }, zygosity: zyg });
+                truth.push(Variant {
+                    pos,
+                    kind: VariantKind::Deletion { len },
+                    zygosity: zyg,
+                });
             }
             // Skip past the deleted span so variants never overlap.
             pos += len.max(1);
@@ -187,15 +199,30 @@ mod tests {
     use crate::genome::{Genome, GenomeConfig};
 
     fn reference() -> DnaSeq {
-        Genome::generate(&GenomeConfig { length: 50_000, ..Default::default() }, 5)
-            .contig(0)
-            .clone()
+        Genome::generate(
+            &GenomeConfig {
+                length: 50_000,
+                ..Default::default()
+            },
+            5,
+        )
+        .contig(0)
+        .clone()
     }
 
     #[test]
     fn no_variants_is_identity() {
         let r = reference();
-        let s = inject_variants(&r, &VariantConfig { snv_rate: 0.0, ins_rate: 0.0, del_rate: 0.0, ..Default::default() }, 1);
+        let s = inject_variants(
+            &r,
+            &VariantConfig {
+                snv_rate: 0.0,
+                ins_rate: 0.0,
+                del_rate: 0.0,
+                ..Default::default()
+            },
+            1,
+        );
         assert_eq!(s.hap1, r);
         assert_eq!(s.hap2, r);
         assert!(s.truth.is_empty());
@@ -205,19 +232,25 @@ mod tests {
     fn snv_count_near_rate() {
         let r = reference();
         let s = inject_variants(&r, &VariantConfig::default(), 2);
-        let snvs = s.truth.iter().filter(|v| matches!(v.kind, VariantKind::Snv { .. })).count();
+        let snvs = s
+            .truth
+            .iter()
+            .filter(|v| matches!(v.kind, VariantKind::Snv { .. }))
+            .count();
         let expected = r.len() as f64 * 0.001;
-        assert!((snvs as f64) > expected * 0.5 && (snvs as f64) < expected * 2.0, "snvs {snvs}");
+        assert!(
+            (snvs as f64) > expected * 0.5 && (snvs as f64) < expected * 2.0,
+            "snvs {snvs}"
+        );
     }
 
     #[test]
     fn het_variants_only_on_hap1() {
         let r = reference();
         let s = inject_variants(&r, &VariantConfig::default(), 3);
-        let het_snv = s
-            .truth
-            .iter()
-            .find(|v| v.zygosity == Zygosity::Heterozygous && matches!(v.kind, VariantKind::Snv { .. }));
+        let het_snv = s.truth.iter().find(|v| {
+            v.zygosity == Zygosity::Heterozygous && matches!(v.kind, VariantKind::Snv { .. })
+        });
         if let Some(v) = het_snv {
             // hap2 must keep the reference base at the corresponding
             // position; indels before pos shift coordinates, so map it.
@@ -240,7 +273,12 @@ mod tests {
     #[test]
     fn hom_snvs_on_both_haplotypes() {
         let r = reference();
-        let cfg = VariantConfig { het_fraction: 0.0, ins_rate: 0.0, del_rate: 0.0, ..Default::default() };
+        let cfg = VariantConfig {
+            het_fraction: 0.0,
+            ins_rate: 0.0,
+            del_rate: 0.0,
+            ..Default::default()
+        };
         let s = inject_variants(&r, &cfg, 4);
         assert_eq!(s.hap1, s.hap2);
         assert_eq!(s.hap1.len(), r.len());
@@ -255,7 +293,13 @@ mod tests {
     #[test]
     fn indels_change_length_consistently() {
         let r = reference();
-        let cfg = VariantConfig { snv_rate: 0.0, ins_rate: 0.001, del_rate: 0.001, het_fraction: 0.0, ..Default::default() };
+        let cfg = VariantConfig {
+            snv_rate: 0.0,
+            ins_rate: 0.001,
+            del_rate: 0.001,
+            het_fraction: 0.0,
+            ..Default::default()
+        };
         let s = inject_variants(&r, &cfg, 6);
         let delta: i64 = s
             .truth

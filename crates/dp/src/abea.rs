@@ -11,8 +11,8 @@
 //! Gaussian — the reason this kernel is the FP-heavy GPU candidate of the
 //! suite (paper Tables IV–V).
 
-use gb_datagen::signal::{Event, PoreModel, PORE_K};
 use gb_core::seq::DnaSeq;
+use gb_datagen::signal::{Event, PoreModel, PORE_K};
 use gb_uarch::probe::{addr_of, NullProbe, Probe};
 
 /// Parameters of the event-alignment HMM and band.
@@ -30,7 +30,11 @@ pub struct AbeaParams {
 
 impl Default for AbeaParams {
     fn default() -> AbeaParams {
-        AbeaParams { bandwidth: 100, p_skip: 1e-10, p_stay: None }
+        AbeaParams {
+            bandwidth: 100,
+            p_skip: 1e-10,
+            p_stay: None,
+        }
     }
 }
 
@@ -155,7 +159,11 @@ pub fn align_events_probed<P: Probe>(
         };
         probe.branch(right);
         let (ple, plk) = ll[prev];
-        ll.push(if right { (ple, plk + 1) } else { (ple + 1, plk) });
+        ll.push(if right {
+            (ple, plk + 1)
+        } else {
+            (ple + 1, plk)
+        });
         if right {
             moves_right += 1;
         }
@@ -174,7 +182,11 @@ pub fn align_events_probed<P: Probe>(
             probe.load(addr_of(&bands[(b - 2) * w]), 4);
             probe.load(addr_of(&bands[(b - 1) * w]), 4);
             // Virtual start feeds the first real cell diagonally.
-            let diag = if e == 0 && k == 0 { diag.max(get(b - 2, -1, -1, &bands, &ll)) } else { diag };
+            let diag = if e == 0 && k == 0 {
+                diag.max(get(b - 2, -1, -1, &bands, &ll))
+            } else {
+                diag
+            };
             let lp_emit = emission_logprob(&events[e as usize], kmers[k as usize], model, probe);
             let s_d = diag + lp_step + lp_emit;
             let s_u = up + lp_stay + lp_emit;
@@ -212,13 +224,19 @@ pub fn align_events_probed<P: Probe>(
         let mv = trace[b * w + o];
         match mv {
             FROM_D => {
-                alignment.push(EventAlignment { event_idx: e as usize, kmer_idx: k as usize });
+                alignment.push(EventAlignment {
+                    event_idx: e as usize,
+                    kmer_idx: k as usize,
+                });
                 e -= 1;
                 k -= 1;
                 b = b.checked_sub(2)?;
             }
             FROM_U => {
-                alignment.push(EventAlignment { event_idx: e as usize, kmer_idx: k as usize });
+                alignment.push(EventAlignment {
+                    event_idx: e as usize,
+                    kmer_idx: k as usize,
+                });
                 e -= 1;
                 b -= 1;
             }
@@ -233,7 +251,12 @@ pub fn align_events_probed<P: Probe>(
         }
     }
     alignment.reverse();
-    Some(AbeaResult { score, alignment, cells, moves_right })
+    Some(AbeaResult {
+        score,
+        alignment,
+        cells,
+        moves_right,
+    })
 }
 
 /// Full-matrix reference implementation with identical scoring (testing
@@ -285,12 +308,18 @@ pub fn align_events_full(
     while e >= 0 && k >= 0 {
         match tr[e as usize * nk + k as usize] {
             FROM_D => {
-                alignment.push(EventAlignment { event_idx: e as usize, kmer_idx: k as usize });
+                alignment.push(EventAlignment {
+                    event_idx: e as usize,
+                    kmer_idx: k as usize,
+                });
                 e -= 1;
                 k -= 1;
             }
             FROM_U => {
-                alignment.push(EventAlignment { event_idx: e as usize, kmer_idx: k as usize });
+                alignment.push(EventAlignment {
+                    event_idx: e as usize,
+                    kmer_idx: k as usize,
+                });
                 e -= 1;
             }
             FROM_L => k -= 1,
@@ -298,12 +327,20 @@ pub fn align_events_full(
         }
     }
     alignment.reverse();
-    Some(AbeaResult { score, alignment, cells: (ne * nk) as u64, moves_right: 0 })
+    Some(AbeaResult {
+        score,
+        alignment,
+        cells: (ne * nk) as u64,
+        moves_right: 0,
+    })
 }
 
 fn transition_logs(n_events: usize, n_kmers: usize, params: &AbeaParams) -> (f32, f32, f32) {
     let events_per_kmer = n_events as f64 / n_kmers as f64;
-    let p_stay = params.p_stay.unwrap_or(1.0 - 1.0 / (events_per_kmer + 1.0)).clamp(1e-6, 0.999);
+    let p_stay = params
+        .p_stay
+        .unwrap_or(1.0 - 1.0 / (events_per_kmer + 1.0))
+        .clamp(1e-6, 0.999);
     let p_skip = params.p_skip.clamp(1e-12, 0.5);
     let p_step = (1.0 - p_stay - p_skip).max(1e-6);
     (p_step.ln() as f32, p_stay.ln() as f32, p_skip.ln() as f32)
@@ -326,11 +363,19 @@ mod tests {
     use gb_datagen::signal::{simulate_signal, SignalSimConfig};
 
     fn refseq(n: usize) -> DnaSeq {
-        DnaSeq::from_codes_unchecked((0..n).map(|i| ((i * 7 + i / 5 + i % 3) % 4) as u8).collect())
+        DnaSeq::from_codes_unchecked(
+            (0..n)
+                .map(|i| ((i * 7 + i / 5 + i % 3) % 4) as u8)
+                .collect(),
+        )
     }
 
     fn clean_signal(seq: &DnaSeq, seed: u64) -> Vec<Event> {
-        let cfg = SignalSimConfig { split_prob: 0.0, skip_prob: 0.0, ..Default::default() };
+        let cfg = SignalSimConfig {
+            split_prob: 0.0,
+            skip_prob: 0.0,
+            ..Default::default()
+        };
         simulate_signal(seq, &PoreModel::r9_like(), &cfg, seed).events
     }
 
@@ -343,8 +388,15 @@ mod tests {
         let n_kmers = seq.len() - PORE_K + 1;
         assert_eq!(r.alignment.len(), events.len());
         // One event per k-mer: alignment should be (i, i).
-        let diagonal = r.alignment.iter().filter(|a| a.event_idx == a.kmer_idx).count();
-        assert!(diagonal * 10 >= r.alignment.len() * 9, "only {diagonal} diagonal pairs");
+        let diagonal = r
+            .alignment
+            .iter()
+            .filter(|a| a.event_idx == a.kmer_idx)
+            .count();
+        assert!(
+            diagonal * 10 >= r.alignment.len() * 9,
+            "only {diagonal} diagonal pairs"
+        );
         assert_eq!(r.alignment.last().unwrap().kmer_idx, n_kmers - 1);
     }
 
@@ -354,7 +406,10 @@ mod tests {
         let cfg = SignalSimConfig::default();
         let events = simulate_signal(&seq, &PoreModel::r9_like(), &cfg, 3).events;
         let model = PoreModel::r9_like();
-        let p = AbeaParams { bandwidth: 200, ..Default::default() };
+        let p = AbeaParams {
+            bandwidth: 200,
+            ..Default::default()
+        };
         let banded = align_events(&events, &seq, &model, &p).unwrap();
         let full = align_events_full(&events, &seq, &model, &p).unwrap();
         assert!(
@@ -368,7 +423,11 @@ mod tests {
     #[test]
     fn oversegmented_signal_still_reaches_terminal() {
         let seq = refseq(150);
-        let cfg = SignalSimConfig { split_prob: 0.5, skip_prob: 0.05, ..Default::default() };
+        let cfg = SignalSimConfig {
+            split_prob: 0.5,
+            skip_prob: 0.05,
+            ..Default::default()
+        };
         let events = simulate_signal(&seq, &PoreModel::r9_like(), &cfg, 5).events;
         let model = PoreModel::r9_like();
         let r = align_events(&events, &seq, &model, &AbeaParams::default()).unwrap();
@@ -404,20 +463,32 @@ mod tests {
         let model = PoreModel::r9_like();
         let r = align_events(&events, &seq, &model, &AbeaParams::default()).unwrap();
         let full_cells = (events.len() * (seq.len() - PORE_K + 1)) as u64;
-        assert!(r.cells * 4 < full_cells, "banded {} vs full {full_cells}", r.cells);
+        assert!(
+            r.cells * 4 < full_cells,
+            "banded {} vs full {full_cells}",
+            r.cells
+        );
     }
 
     #[test]
     fn adaptive_band_moves_both_ways() {
         let seq = refseq(200);
-        let cfg = SignalSimConfig { split_prob: 0.6, skip_prob: 0.0, ..Default::default() };
+        let cfg = SignalSimConfig {
+            split_prob: 0.6,
+            skip_prob: 0.0,
+            ..Default::default()
+        };
         let events = simulate_signal(&seq, &PoreModel::r9_like(), &cfg, 13).events;
         let model = PoreModel::r9_like();
         let r = align_events(&events, &seq, &model, &AbeaParams::default()).unwrap();
         // With ~1.6 events per k-mer the band must move down more often
         // than right.
         let total = events.len() as u64 + (seq.len() - PORE_K + 1) as u64;
-        assert!(r.moves_right < total * 2 / 3, "right {} of {total}", r.moves_right);
+        assert!(
+            r.moves_right < total * 2 / 3,
+            "right {} of {total}",
+            r.moves_right
+        );
         assert!(r.moves_right > total / 5);
     }
 

@@ -125,7 +125,11 @@ pub fn banded_sw_probed<P: Probe>(
             let valid = in_prev(j);
             let h_up = if valid { h[j] } else { 0 };
             let e_in = if valid { e[j] } else { 0 };
-            let s = if q[i - 1] == t[j - 1] { params.match_score } else { -params.mismatch };
+            let s = if q[i - 1] == t[j - 1] {
+                params.match_score
+            } else {
+                -params.mismatch
+            };
             let mut score = h_diag + s;
             score = score.max(e_in).max(f).max(0);
             h_diag = h_up;
@@ -162,7 +166,11 @@ pub fn banded_sw_probed<P: Probe>(
 
 /// Full-matrix (unbanded, no early exit) reference implementation.
 pub fn full_sw(query: &DnaSeq, target: &DnaSeq, params: &SwParams) -> SwResult {
-    let p = SwParams { band: None, zdrop: None, ..*params };
+    let p = SwParams {
+        band: None,
+        zdrop: None,
+        ..*params
+    };
     banded_sw(query, target, &p)
 }
 
@@ -242,7 +250,11 @@ mod tests {
     }
 
     fn params() -> SwParams {
-        SwParams { band: None, zdrop: None, ..SwParams::default() }
+        SwParams {
+            band: None,
+            zdrop: None,
+            ..SwParams::default()
+        }
     }
 
     /// Textbook O(nm) affine-gap local alignment with explicit matrices.
@@ -257,7 +269,11 @@ mod tests {
             for j in 1..=n {
                 em[i][j] = (em[i - 1][j].max(hm[i - 1][j] - p.gap_open)) - p.gap_extend;
                 fm[i][j] = (fm[i][j - 1].max(hm[i][j - 1] - p.gap_open)) - p.gap_extend;
-                let s = if q[i - 1] == t[j - 1] { p.match_score } else { -p.mismatch };
+                let s = if q[i - 1] == t[j - 1] {
+                    p.match_score
+                } else {
+                    -p.mismatch
+                };
                 hm[i][j] = (hm[i - 1][j - 1] + s).max(em[i][j]).max(fm[i][j]).max(0);
                 best = best.max(hm[i][j]);
             }
@@ -293,7 +309,11 @@ mod tests {
                 &DnaSeq::from_codes_unchecked(t.clone()),
                 &params(),
             );
-            assert_eq!(got.score, reference_sw(&q, &t, &params()), "seed {pair_seed}");
+            assert_eq!(
+                got.score,
+                reference_sw(&q, &t, &params()),
+                "seed {pair_seed}"
+            );
         }
     }
 
@@ -321,7 +341,15 @@ mod tests {
         let q = seq("ACGGTTACAGGATCCAGTACGTTGCA");
         let t = seq("ACGGTTACCGGATCAGTACGTTGCAA");
         let full = full_sw(&q, &t, &params());
-        let banded = banded_sw(&q, &t, &SwParams { band: Some(1000), zdrop: None, ..params() });
+        let banded = banded_sw(
+            &q,
+            &t,
+            &SwParams {
+                band: Some(1000),
+                zdrop: None,
+                ..params()
+            },
+        );
         assert_eq!(full.score, banded.score);
     }
 
@@ -330,7 +358,15 @@ mod tests {
         let q = seq("ACGGTTACAGGATCCAGTACGTTGCAACGGTTACAGG");
         let t = q.clone();
         let full = full_sw(&q, &t, &params());
-        let banded = banded_sw(&q, &t, &SwParams { band: Some(3), zdrop: None, ..params() });
+        let banded = banded_sw(
+            &q,
+            &t,
+            &SwParams {
+                band: Some(3),
+                zdrop: None,
+                ..params()
+            },
+        );
         assert!(banded.cells < full.cells / 2);
         // Identical sequences: the optimum lies on the diagonal, so even a
         // narrow band finds it.
@@ -342,9 +378,25 @@ mod tests {
         // A good prefix followed by garbage triggers the early exit.
         let q = seq("ACGTACGTACGTACGTCCCCCCCCCCCCCCCCCCCCCCCCCCCCCCCC");
         let t = seq("ACGTACGTACGTACGTGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGG");
-        let r = banded_sw(&q, &t, &SwParams { band: None, zdrop: Some(5), ..params() });
+        let r = banded_sw(
+            &q,
+            &t,
+            &SwParams {
+                band: None,
+                zdrop: Some(5),
+                ..params()
+            },
+        );
         assert!(r.zdropped);
-        let nor = banded_sw(&q, &t, &SwParams { band: None, zdrop: None, ..params() });
+        let nor = banded_sw(
+            &q,
+            &t,
+            &SwParams {
+                band: None,
+                zdrop: None,
+                ..params()
+            },
+        );
         assert!(r.cells < nor.cells);
         assert_eq!(r.score, nor.score); // best score was reached before the drop
     }
@@ -356,7 +408,10 @@ mod tests {
                 let len = 20 + (i * 13) % 120;
                 let codes: Vec<u8> = (0..len).map(|j| ((i + j * 3) % 4) as u8).collect();
                 let q = DnaSeq::from_codes_unchecked(codes);
-                SwTask { target: q.clone(), query: q }
+                SwTask {
+                    target: q.clone(),
+                    query: q,
+                }
             })
             .collect();
         let (res, rep) = run_batch(&tasks, &params(), 16, false);

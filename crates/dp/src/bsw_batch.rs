@@ -32,7 +32,10 @@ pub fn lockstep_group_probed<P: Probe>(
     params: &SwParams,
     probe: &mut P,
 ) -> (Vec<SwResult>, BatchReport) {
-    assert!(tasks.len() <= LANES, "at most {LANES} tasks per lockstep group");
+    assert!(
+        tasks.len() <= LANES,
+        "at most {LANES} tasks per lockstep group"
+    );
     let band = params.band.unwrap_or(usize::MAX);
 
     struct Lane<'a> {
@@ -86,7 +89,10 @@ pub fn lockstep_group_probed<P: Probe>(
         advance_row(lane, band, params);
     }
 
-    let mut report = BatchReport { batches: 1, ..BatchReport::default() };
+    let mut report = BatchReport {
+        batches: 1,
+        ..BatchReport::default()
+    };
     loop {
         let mut any_active = false;
         for lane in lanes.iter_mut() {
@@ -141,7 +147,11 @@ pub fn lockstep_group_probed<P: Probe>(
         let valid = j >= lane.prev_lo && j <= lane.prev_hi;
         let h_up = if valid { lane.h[j] } else { 0 };
         let e_in = if valid { lane.e[j] } else { 0 };
-        let s = if lane.q[i - 1] == lane.t[j - 1] { params.match_score } else { -params.mismatch };
+        let s = if lane.q[i - 1] == lane.t[j - 1] {
+            params.match_score
+        } else {
+            -params.mismatch
+        };
         let mut score = lane.h_diag + s;
         score = score.max(e_in).max(lane.f).max(0);
         lane.h_diag = h_up;
@@ -218,7 +228,9 @@ mod tests {
                 let q: Vec<u8> = (0..qlen).map(|_| ((next() >> 33) % 4) as u8).collect();
                 // Mix of noisy copies and unrelated targets.
                 let t: Vec<u8> = if next() % 10 < 8 {
-                    q.iter().map(|&c| if next() % 100 < 2 { (c + 1) % 4 } else { c }).collect()
+                    q.iter()
+                        .map(|&c| if next() % 100 < 2 { (c + 1) % 4 } else { c })
+                        .collect()
                 } else {
                     let tlen = 20 + (next() % 150) as usize;
                     (0..tlen).map(|_| ((next() >> 33) % 4) as u8).collect()
@@ -263,7 +275,10 @@ mod tests {
         // totals must agree when every lane runs to completion in step
         // (same max-cells bound).
         let ts = tasks(16, 17);
-        let params = SwParams { zdrop: None, ..SwParams::default() };
+        let params = SwParams {
+            zdrop: None,
+            ..SwParams::default()
+        };
         let (_, model) = run_batch(&ts, &params, LANES, false);
         let (_, real) = run_lockstep(&ts, &params, false);
         assert_eq!(model.scalar_cells, real.scalar_cells);

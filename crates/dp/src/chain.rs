@@ -155,11 +155,17 @@ pub fn chain_anchors_probed<P: Probe>(
         }
         nodes.reverse();
         if !nodes.is_empty() {
-            chains.push(Chain { score: score[tail], anchors: nodes });
+            chains.push(Chain {
+                score: score[tail],
+                anchors: nodes,
+            });
         }
     }
     chains.sort_by_key(|c| std::cmp::Reverse(c.score));
-    ChainResult { chains, comparisons }
+    ChainResult {
+        chains,
+        comparisons,
+    }
 }
 
 /// `alpha - beta` for chaining anchor `i` after anchor `j`, or `None` when
@@ -230,8 +236,16 @@ mod tests {
     fn noise_anchors_are_excluded() {
         let mut anchors = diag(25, 20, 500);
         // Far off-diagonal noise.
-        anchors.push(Anchor { target_pos: 150, query_pos: 999_999, length: 15 });
-        anchors.push(Anchor { target_pos: 310, query_pos: 5, length: 15 });
+        anchors.push(Anchor {
+            target_pos: 150,
+            query_pos: 999_999,
+            length: 15,
+        });
+        anchors.push(Anchor {
+            target_pos: 310,
+            query_pos: 5,
+            length: 15,
+        });
         let r = chain_anchors(&AnchorSet::new(anchors), &ChainParams::default());
         assert_eq!(r.chains[0].len(), 25);
     }
@@ -239,28 +253,71 @@ mod tests {
     #[test]
     fn gap_cost_penalizes_drift() {
         let p = ChainParams::default();
-        let a = Anchor { target_pos: 100, query_pos: 100, length: 15 };
-        let on = Anchor { target_pos: 200, query_pos: 200, length: 15 };
-        let off = Anchor { target_pos: 200, query_pos: 260, length: 15 };
+        let a = Anchor {
+            target_pos: 100,
+            query_pos: 100,
+            length: 15,
+        };
+        let on = Anchor {
+            target_pos: 200,
+            query_pos: 200,
+            length: 15,
+        };
+        let off = Anchor {
+            target_pos: 200,
+            query_pos: 260,
+            length: 15,
+        };
         assert!(pair_score(&a, &on, &p).unwrap() > pair_score(&a, &off, &p).unwrap());
     }
 
     #[test]
     fn unchainable_pairs_are_rejected() {
         let p = ChainParams::default();
-        let a = Anchor { target_pos: 100, query_pos: 100, length: 15 };
+        let a = Anchor {
+            target_pos: 100,
+            query_pos: 100,
+            length: 15,
+        };
         // Backwards on query.
-        assert_eq!(pair_score(&a, &Anchor { target_pos: 200, query_pos: 50, length: 15 }, &p), None);
+        assert_eq!(
+            pair_score(
+                &a,
+                &Anchor {
+                    target_pos: 200,
+                    query_pos: 50,
+                    length: 15
+                },
+                &p
+            ),
+            None
+        );
         // Same position.
         assert_eq!(pair_score(&a, &a, &p), None);
         // Too far.
         assert_eq!(
-            pair_score(&a, &Anchor { target_pos: 100_000, query_pos: 100_000, length: 15 }, &p),
+            pair_score(
+                &a,
+                &Anchor {
+                    target_pos: 100_000,
+                    query_pos: 100_000,
+                    length: 15
+                },
+                &p
+            ),
             None
         );
         // Excessive drift.
         assert_eq!(
-            pair_score(&a, &Anchor { target_pos: 2000, query_pos: 900, length: 15 }, &p),
+            pair_score(
+                &a,
+                &Anchor {
+                    target_pos: 2000,
+                    query_pos: 900,
+                    length: 15
+                },
+                &p
+            ),
             None
         );
     }
@@ -268,7 +325,10 @@ mod tests {
     #[test]
     fn max_pred_bounds_comparisons() {
         let set = AnchorSet::new(diag(100, 20, 0));
-        let p = ChainParams { max_pred: 10, ..Default::default() };
+        let p = ChainParams {
+            max_pred: 10,
+            ..Default::default()
+        };
         let r = chain_anchors(&set, &p);
         assert!(r.comparisons <= 100 * 10);
         // Chain still forms through bounded look-back.
@@ -285,7 +345,10 @@ mod tests {
         }));
         let r = chain_anchors(
             &AnchorSet::new(anchors),
-            &ChainParams { min_chain_score: 10, ..Default::default() },
+            &ChainParams {
+                min_chain_score: 10,
+                ..Default::default()
+            },
         );
         assert!(r.chains.windows(2).all(|w| w[0].score >= w[1].score));
     }

@@ -25,7 +25,10 @@ pub struct HmmParams {
 
 impl Default for HmmParams {
     fn default() -> HmmParams {
-        HmmParams { gap_open_qual: 45, gap_cont_qual: 10 }
+        HmmParams {
+            gap_open_qual: 45,
+            gap_cont_qual: 10,
+        }
     }
 }
 
@@ -95,7 +98,11 @@ pub fn forward_likelihood_probed<P: Probe>(
     // GATK's strategy.
     let (lik32, cells) = forward_generic::<f32, P>(read, haplotype, params, probe);
     if lik32 > 1e-28_f32 && lik32.is_finite() {
-        return PhmmResult { log10_likelihood: f64::from(lik32).log10(), cells, rescued: false };
+        return PhmmResult {
+            log10_likelihood: f64::from(lik32).log10(),
+            cells,
+            rescued: false,
+        };
     }
     let (lik64, cells64) = forward_generic::<f64, P>(read, haplotype, params, probe);
     PhmmResult {
@@ -106,7 +113,9 @@ pub fn forward_likelihood_probed<P: Probe>(
 }
 
 /// Float abstraction so the f32 pass and the f64 rescue share one kernel.
-pub trait HmmFloat: Copy + PartialOrd + std::ops::Add<Output = Self> + std::ops::Mul<Output = Self> {
+pub trait HmmFloat:
+    Copy + PartialOrd + std::ops::Add<Output = Self> + std::ops::Mul<Output = Self>
+{
     /// Converts from `f64`.
     fn from_f64(v: f64) -> Self;
     /// Converts to `f64`.
@@ -188,7 +197,11 @@ fn forward_generic<F: HmmFloat, P: Probe>(
             probe.load(addr_of(&m_prev[j - 1]), 4);
             probe.load(addr_of(&i_prev[j - 1]), 4);
             probe.load(addr_of(&d_prev[j - 1]), 4);
-            let prior = if r[i - 1] == h[j - 1] { p_match } else { p_miss };
+            let prior = if r[i - 1] == h[j - 1] {
+                p_match
+            } else {
+                p_miss
+            };
             let mv = prior * (tmm * m_prev[j - 1] + tgm * (i_prev[j - 1] + d_prev[j - 1]));
             let iv = tmx * m_prev[j] + txx * i_prev[j];
             let dv = tmy * m_cur[j - 1] + tyy * d_cur[j - 1];
@@ -230,7 +243,11 @@ pub fn forward_likelihood_wavefront(
     let quals = read.quals();
     let (m, n) = (r.len(), h.len());
     if m == 0 || n == 0 {
-        return PhmmResult { log10_likelihood: f64::NEG_INFINITY, cells: 0, rescued: false };
+        return PhmmResult {
+            log10_likelihood: f64::NEG_INFINITY,
+            cells: 0,
+            rescued: false,
+        };
     }
     let t = Transitions::from_params(params);
 
@@ -253,7 +270,11 @@ pub fn forward_likelihood_wavefront(
             debug_assert!(j >= 1 && j <= n);
             cells += 1;
             let err = quals[i - 1].error_prob();
-            let prior = if r[i - 1] == h[j - 1] { 1.0 - err } else { err / 3.0 };
+            let prior = if r[i - 1] == h[j - 1] {
+                1.0 - err
+            } else {
+                err / 3.0
+            };
             let up_left = (i - 1) * w + (j - 1);
             let up = (i - 1) * w + j;
             let left = i * w + (j - 1);
@@ -266,7 +287,11 @@ pub fn forward_likelihood_wavefront(
     for j in 1..=n {
         sum += mm[m * w + j] + ii[m * w + j];
     }
-    PhmmResult { log10_likelihood: sum.log10(), cells, rescued: false }
+    PhmmResult {
+        log10_likelihood: sum.log10(),
+        cells,
+        rescued: false,
+    }
 }
 
 /// Brute-force enumeration reference for tiny inputs: sums the
@@ -394,7 +419,10 @@ mod tests {
         let p = HmmParams::default();
         let hi = forward_likelihood(&read("ACGGTTGCGT", 40), &hap, &p).log10_likelihood;
         let lo = forward_likelihood(&read("ACGGTTGCGT", 10), &hap, &p).log10_likelihood;
-        assert!(lo > hi, "q10 {lo} should beat q40 {hi} for a mismatched read");
+        assert!(
+            lo > hi,
+            "q10 {lo} should beat q40 {hi} for a mismatched read"
+        );
     }
 
     #[test]
@@ -439,13 +467,21 @@ mod tests {
         let mut probe = MixProbe::new();
         let _ = forward_likelihood_probed(&rd, &hap, &HmmParams::default(), &mut probe);
         let mix = probe.mix();
-        assert!(mix.fp_ops > mix.int_ops, "phmm must be FP-dominated: {mix:?}");
+        assert!(
+            mix.fp_ops > mix.int_ops,
+            "phmm must be FP-dominated: {mix:?}"
+        );
     }
 
     #[test]
     fn wavefront_matches_rowwise() {
         let hap: DnaSeq = "ACGTACGGTTACGTAGGCATTACGGA".parse().unwrap();
-        for r in ["ACGGTTACGT", "ACGGTTGCGA", "TTTT", "ACGTACGGTTACGTAGGCATTACGGA"] {
+        for r in [
+            "ACGGTTACGT",
+            "ACGGTTGCGA",
+            "TTTT",
+            "ACGTACGGTTACGTAGGCATTACGGA",
+        ] {
             let rd = read(r, 28);
             let row = forward_likelihood(&rd, &hap, &HmmParams::default());
             let wave = forward_likelihood_wavefront(&rd, &hap, &HmmParams::default());

@@ -88,7 +88,11 @@ pub fn sw_align(query: &DnaSeq, target: &DnaSeq, params: &SwParams) -> SwAlignme
             }
             f = fv;
             // H.
-            let s = if q[i - 1] == t[j - 1] { params.match_score } else { -params.mismatch };
+            let s = if q[i - 1] == t[j - 1] {
+                params.match_score
+            } else {
+                -params.mismatch
+            };
             let diag = h_prev[j - 1] + s;
             let (mut hv, mut dir) = (0i32, H_STOP);
             if diag > hv {
@@ -162,7 +166,12 @@ pub fn sw_align(query: &DnaSeq, target: &DnaSeq, params: &SwParams) -> SwAlignme
     for op in steps {
         cigar.push(1, op);
     }
-    SwAlignment { result: best, query_start: i, target_start: j, cigar }
+    SwAlignment {
+        result: best,
+        query_start: i,
+        target_start: j,
+        cigar,
+    }
 }
 
 /// Recomputes the alignment score implied by a traceback — the invariant
@@ -217,7 +226,11 @@ mod tests {
     use crate::bsw::full_sw;
 
     fn params() -> SwParams {
-        SwParams { band: None, zdrop: None, ..SwParams::default() }
+        SwParams {
+            band: None,
+            zdrop: None,
+            ..SwParams::default()
+        }
     }
 
     fn seq(s: &str) -> DnaSeq {
@@ -279,12 +292,20 @@ mod tests {
         };
         for _case in 0..20 {
             let qlen = 30 + (next() % 40) as usize;
-            let q = DnaSeq::from_codes_unchecked((0..qlen).map(|_| ((next() >> 33) % 4) as u8).collect());
+            let q = DnaSeq::from_codes_unchecked(
+                (0..qlen).map(|_| ((next() >> 33) % 4) as u8).collect(),
+            );
             let tlen = 30 + (next() % 50) as usize;
-            let t = DnaSeq::from_codes_unchecked((0..tlen).map(|_| ((next() >> 33) % 4) as u8).collect());
+            let t = DnaSeq::from_codes_unchecked(
+                (0..tlen).map(|_| ((next() >> 33) % 4) as u8).collect(),
+            );
             let a = sw_align(&q, &t, &params());
             assert_eq!(a.result.score, full_sw(&q, &t, &params()).score);
-            assert_eq!(rescore(&q, &t, &a, &params()), a.result.score, "q={q} t={t}");
+            assert_eq!(
+                rescore(&q, &t, &a, &params()),
+                a.result.score,
+                "q={q} t={t}"
+            );
         }
     }
 

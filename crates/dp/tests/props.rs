@@ -14,7 +14,11 @@ fn codes(min: usize, max: usize) -> impl Strategy<Value = Vec<u8>> {
 }
 
 fn no_band() -> SwParams {
-    SwParams { band: None, zdrop: None, ..SwParams::default() }
+    SwParams {
+        band: None,
+        zdrop: None,
+        ..SwParams::default()
+    }
 }
 
 proptest! {

@@ -34,7 +34,10 @@ impl BiInterval {
 
     /// The forward-index range.
     pub fn forward_range(&self) -> SaRange {
-        SaRange { lo: self.k, hi: self.k + self.s }
+        SaRange {
+            lo: self.k,
+            hi: self.k + self.s,
+        }
     }
 }
 
@@ -67,9 +70,12 @@ impl BiIndex {
     ///
     /// Panics if `text` is empty.
     pub fn build(text: &DnaSeq) -> BiIndex {
-        let rev_text: DnaSeq =
-            text.as_codes().iter().rev().copied().collect();
-        BiIndex { fwd: FmIndex::build(text), rev: FmIndex::build(&rev_text), text_len: text.len() }
+        let rev_text: DnaSeq = text.as_codes().iter().rev().copied().collect();
+        BiIndex {
+            fwd: FmIndex::build(text),
+            rev: FmIndex::build(&rev_text),
+            text_len: text.len(),
+        }
     }
 
     /// The forward-text index.
@@ -92,7 +98,11 @@ impl BiIndex {
         debug_assert!(c < 4);
         let k = self.fwd.c_of(c);
         let l = self.rev.c_of(c); // identical C tables (same base multiset)
-        let hi = if c == 3 { self.fwd.len() as u32 } else { self.fwd.c_of(c + 1) };
+        let hi = if c == 3 {
+            self.fwd.len() as u32
+        } else {
+            self.fwd.c_of(c + 1)
+        };
         BiInterval { k, l, s: hi - k }
     }
 
@@ -103,7 +113,12 @@ impl BiIndex {
     }
 
     /// [`BiIndex::backward_ext`] with instrumentation.
-    pub fn backward_ext_probed<P: Probe>(&self, iv: BiInterval, c: u8, probe: &mut P) -> BiInterval {
+    pub fn backward_ext_probed<P: Probe>(
+        &self,
+        iv: BiInterval,
+        c: u8,
+        probe: &mut P,
+    ) -> BiInterval {
         ext(&self.fwd, iv.k, iv.l, iv.s, c, probe)
     }
 
@@ -118,7 +133,11 @@ impl BiIndex {
         // Symmetric: backward-extend the reversed pattern in the reverse
         // index, swapping the two interval starts.
         let out = ext(&self.rev, iv.l, iv.k, iv.s, c, probe);
-        BiInterval { k: out.l, l: out.k, s: out.s }
+        BiInterval {
+            k: out.l,
+            l: out.k,
+            s: out.s,
+        }
     }
 }
 
@@ -165,7 +184,9 @@ mod tests {
         if p.is_empty() || p.len() > t.len() {
             return 0;
         }
-        (0..=t.len() - p.len()).filter(|&i| &t[i..i + p.len()] == p).count() as u32
+        (0..=t.len() - p.len())
+            .filter(|&i| &t[i..i + p.len()] == p)
+            .count() as u32
     }
 
     #[test]
@@ -196,7 +217,9 @@ mod tests {
 
     #[test]
     fn mixed_extensions_on_pseudorandom_text() {
-        let codes: Vec<u8> = (0..800usize).map(|i| ((i * 37 + i / 11) % 4) as u8).collect();
+        let codes: Vec<u8> = (0..800usize)
+            .map(|i| ((i * 37 + i / 11) % 4) as u8)
+            .collect();
         let text = DnaSeq::from_codes_unchecked(codes);
         let bi = BiIndex::build(&text);
         // Take substrings and grow them from the middle outward.

@@ -31,7 +31,10 @@ pub struct FmConfig {
 
 impl Default for FmConfig {
     fn default() -> FmConfig {
-        FmConfig { occ_stride: OCC_STRIDE, sa_stride: SA_STRIDE }
+        FmConfig {
+            occ_stride: OCC_STRIDE,
+            sa_stride: SA_STRIDE,
+        }
     }
 }
 
@@ -108,8 +111,14 @@ impl FmIndex {
     /// is zero.
     pub fn build_with(text: &DnaSeq, config: &FmConfig) -> FmIndex {
         assert!(!text.is_empty(), "cannot index an empty text");
-        assert!(text.len() < u32::MAX as usize - 1, "text too long for u32 suffix array");
-        assert!(config.occ_stride > 0 && config.sa_stride > 0, "strides must be positive");
+        assert!(
+            text.len() < u32::MAX as usize - 1,
+            "text too long for u32 suffix array"
+        );
+        assert!(
+            config.occ_stride > 0 && config.sa_stride > 0,
+            "strides must be positive"
+        );
         assert!(
             config.occ_stride.is_multiple_of(32),
             "occ_stride must be a multiple of the 32-base packed word"
@@ -150,7 +159,16 @@ impl FmIndex {
             c_table[c] = acc;
             acc += counts[c];
         }
-        FmIndex { n, bwt, primary, checkpoints, c_table, sa_samples, occ_stride, sa_stride }
+        FmIndex {
+            n,
+            bwt,
+            primary,
+            checkpoints,
+            c_table,
+            sa_samples,
+            occ_stride,
+            sa_stride,
+        }
     }
 
     /// Rows in the BWT (text length + 1).
@@ -181,7 +199,10 @@ impl FmIndex {
 
     /// The full range covering every suffix.
     pub fn full_range(&self) -> SaRange {
-        SaRange { lo: 0, hi: self.n as u32 }
+        SaRange {
+            lo: 0,
+            hi: self.n as u32,
+        }
     }
 
     /// Number of occurrences of base `c` in `bwt[0..i)`.
@@ -341,7 +362,11 @@ fn count_base_in_word(word: u64, c: u8, upto: u32) -> u32 {
     let pat = u64::from(c) * 0x5555_5555_5555_5555;
     let x = word ^ pat; // matching slots become 00
     let matched = !(x | (x >> 1)) & 0x5555_5555_5555_5555;
-    let mask = if upto == 32 { u64::MAX } else { (1u64 << (2 * upto)) - 1 };
+    let mask = if upto == 32 {
+        u64::MAX
+    } else {
+        (1u64 << (2 * upto)) - 1
+    };
     (matched & mask).count_ones()
 }
 
@@ -375,7 +400,11 @@ mod tests {
         for c in 0..4u8 {
             for upto in 0..=32u32 {
                 let expect = (0..upto).filter(|&i| (i % 4) as u8 == c).count() as u32;
-                assert_eq!(count_base_in_word(word, c, upto), expect, "c={c} upto={upto}");
+                assert_eq!(
+                    count_base_in_word(word, c, upto),
+                    expect,
+                    "c={c} upto={upto}"
+                );
             }
         }
     }
@@ -416,20 +445,30 @@ mod tests {
         let idx = FmIndex::build(&text);
         for pat in ["A", "AC", "ACGT", "GGT", "TTT", "ACGTACGTGGTACAACGT", "CA"] {
             let pat = seq(pat);
-            assert_eq!(idx.locate_all(&pat), naive_occurrences(&text, &pat), "pattern {pat}");
+            assert_eq!(
+                idx.locate_all(&pat),
+                naive_occurrences(&text, &pat),
+                "pattern {pat}"
+            );
         }
     }
 
     #[test]
     fn search_larger_pseudorandom_text() {
-        let codes: Vec<u8> = (0..3000usize).map(|i| ((i * 131 + i / 5 + i * i % 97) % 4) as u8).collect();
+        let codes: Vec<u8> = (0..3000usize)
+            .map(|i| ((i * 131 + i / 5 + i * i % 97) % 4) as u8)
+            .collect();
         let text = DnaSeq::from_codes_unchecked(codes);
         let idx = FmIndex::build(&text);
         for start in [0usize, 7, 100, 999, 2500] {
             for len in [1usize, 5, 12, 31] {
                 let pat = text.slice(start, start + len);
                 let hits = idx.locate_all(&pat);
-                assert_eq!(hits, naive_occurrences(&text, &pat), "start={start} len={len}");
+                assert_eq!(
+                    hits,
+                    naive_occurrences(&text, &pat),
+                    "start={start} len={len}"
+                );
                 assert!(hits.contains(&(start as u32)));
             }
         }
@@ -476,12 +515,20 @@ mod tests {
     #[test]
     fn all_strides_agree_with_default() {
         use super::FmConfig;
-        let codes: Vec<u8> = (0..2000usize).map(|i| ((i * 61 + i / 7) % 4) as u8).collect();
+        let codes: Vec<u8> = (0..2000usize)
+            .map(|i| ((i * 61 + i / 7) % 4) as u8)
+            .collect();
         let text = DnaSeq::from_codes_unchecked(codes);
         let base = FmIndex::build(&text);
         for occ_stride in [32usize, 64, 128, 256] {
             for sa_stride in [4usize, 32, 128] {
-                let idx = FmIndex::build_with(&text, &FmConfig { occ_stride, sa_stride });
+                let idx = FmIndex::build_with(
+                    &text,
+                    &FmConfig {
+                        occ_stride,
+                        sa_stride,
+                    },
+                );
                 for pat_start in [0usize, 100, 555] {
                     let pat = text.slice(pat_start, pat_start + 12);
                     assert_eq!(
@@ -493,8 +540,20 @@ mod tests {
             }
         }
         // Denser sampling costs more memory.
-        let dense = FmIndex::build_with(&text, &FmConfig { occ_stride: 32, sa_stride: 4 });
-        let sparse = FmIndex::build_with(&text, &FmConfig { occ_stride: 256, sa_stride: 128 });
+        let dense = FmIndex::build_with(
+            &text,
+            &FmConfig {
+                occ_stride: 32,
+                sa_stride: 4,
+            },
+        );
+        let sparse = FmIndex::build_with(
+            &text,
+            &FmConfig {
+                occ_stride: 256,
+                sa_stride: 128,
+            },
+        );
         assert!(dense.heap_bytes() > sparse.heap_bytes());
     }
 
@@ -503,7 +562,13 @@ mod tests {
     fn unaligned_occ_stride_panics() {
         use super::FmConfig;
         let text: DnaSeq = "ACGTACGT".parse().unwrap();
-        let _ = FmIndex::build_with(&text, &FmConfig { occ_stride: 48, sa_stride: 32 });
+        let _ = FmIndex::build_with(
+            &text,
+            &FmConfig {
+                occ_stride: 48,
+                sa_stride: 32,
+            },
+        );
     }
 
     #[test]

@@ -53,17 +53,22 @@ pub fn inexact_search_probed<P: Probe>(
     let mut hits: Vec<InexactHit> = Vec::new();
     let p = pattern.as_codes();
     if p.is_empty() {
-        return vec![InexactHit { range: index.full_range(), mismatches: 0 }];
+        return vec![InexactHit {
+            range: index.full_range(),
+            mismatches: 0,
+        }];
     }
     // Depth-first backtracking from the pattern's end.
-    let mut stack: Vec<(usize, SaRange, u32)> =
-        vec![(p.len(), index.full_range(), 0)];
+    let mut stack: Vec<(usize, SaRange, u32)> = vec![(p.len(), index.full_range(), 0)];
     while let Some((i, range, mm)) = stack.pop() {
         if range.is_empty() {
             continue;
         }
         if i == 0 {
-            hits.push(InexactHit { range, mismatches: mm });
+            hits.push(InexactHit {
+                range,
+                mismatches: mm,
+            });
             continue;
         }
         let want = p[i - 1];
@@ -158,7 +163,10 @@ mod tests {
             let got = inexact_locate_all(&idx, &pat, k);
             let want = naive_inexact(&text, &pat, k);
             assert_eq!(got, want, "start {start} k {k}");
-            assert!(got.iter().any(|&(p, _)| p == start as u32), "planted site found");
+            assert!(
+                got.iter().any(|&(p, _)| p == start as u32),
+                "planted site found"
+            );
         }
     }
 
@@ -171,8 +179,14 @@ mod tests {
         codes[9] = (codes[9] + 2) % 4;
         let pat = DnaSeq::from_codes_unchecked(codes);
         // Two planted mismatches: absent at k=1, present at k=2.
-        let k1: Vec<u32> = inexact_locate_all(&idx, &pat, 1).iter().map(|&(p, _)| p).collect();
-        let k2: Vec<u32> = inexact_locate_all(&idx, &pat, 2).iter().map(|&(p, _)| p).collect();
+        let k1: Vec<u32> = inexact_locate_all(&idx, &pat, 1)
+            .iter()
+            .map(|&(p, _)| p)
+            .collect();
+        let k2: Vec<u32> = inexact_locate_all(&idx, &pat, 2)
+            .iter()
+            .map(|&(p, _)| p)
+            .collect();
         assert!(!k1.contains(&60));
         assert!(k2.contains(&60));
     }

@@ -125,8 +125,11 @@ fn sais(s: &[u32], k: usize) -> Vec<u32> {
     let sa0 = induce(&lms_positions);
 
     // 3. Extract LMS suffixes in induced order and name LMS substrings.
-    let lms_in_order: Vec<u32> =
-        sa0.iter().copied().filter(|&p| is_lms(p as usize)).collect();
+    let lms_in_order: Vec<u32> = sa0
+        .iter()
+        .copied()
+        .filter(|&p| is_lms(p as usize))
+        .collect();
     let mut names = vec![EMPTY; n];
     let mut name: u32 = 0;
     let mut prev: Option<u32> = None;
@@ -147,8 +150,7 @@ fn sais(s: &[u32], k: usize) -> Vec<u32> {
         lms_in_order
     } else {
         // Build the reduced string (names in text order) and recurse.
-        let reduced: Vec<u32> =
-            lms_positions.iter().map(|&p| names[p as usize]).collect();
+        let reduced: Vec<u32> = lms_positions.iter().map(|&p| names[p as usize]).collect();
         let sub_sa = sais(&reduced, num_names as usize);
         sub_sa.iter().map(|&r| lms_positions[r as usize]).collect()
     };
@@ -199,7 +201,11 @@ mod tests {
     use super::*;
 
     fn check(text: &[u8]) {
-        assert_eq!(suffix_array(text), naive_suffix_array(text), "text = {text:?}");
+        assert_eq!(
+            suffix_array(text),
+            naive_suffix_array(text),
+            "text = {text:?}"
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ pub struct SmemConfig {
 
 impl Default for SmemConfig {
     fn default() -> SmemConfig {
-        SmemConfig { min_seed_len: 19, min_intv: 1 }
+        SmemConfig {
+            min_seed_len: 19,
+            min_intv: 1,
+        }
     }
 }
 
@@ -115,7 +118,10 @@ fn smems_at_pivot<P: Probe>(
 
     // Forward extension: record the interval every time it shrinks.
     let mut curr: Vec<IntvEnd> = Vec::new();
-    let mut ik = IntvEnd { iv: bi.init(read.code_at(x)), end: x + 1 };
+    let mut ik = IntvEnd {
+        iv: bi.init(read.code_at(x)),
+        end: x + 1,
+    };
     let mut i = x + 1;
     while i < len {
         probe.branch(true);
@@ -141,7 +147,11 @@ fn smems_at_pivot<P: Probe>(
     let mut emitted_start = usize::MAX;
     let mut i = x as isize - 1;
     loop {
-        let c: Option<u8> = if i >= 0 { Some(read.code_at(i as usize)) } else { None };
+        let c: Option<u8> = if i >= 0 {
+            Some(read.code_at(i as usize))
+        } else {
+            None
+        };
         let mut curr: Vec<IntvEnd> = Vec::new();
         for p in &prev {
             probe.branch(true);
@@ -160,7 +170,11 @@ fn smems_at_pivot<P: Probe>(
                     // not contained in a previously emitted match.
                     let start = (i + 1) as usize;
                     if curr.is_empty() && start < emitted_start {
-                        out.push(Smem { start, end: p.end, interval: p.iv });
+                        out.push(Smem {
+                            start,
+                            end: p.end,
+                            interval: p.iv,
+                        });
                         emitted_start = start;
                     }
                 }
@@ -180,7 +194,9 @@ fn smems_at_pivot<P: Probe>(
 pub fn naive_smems(text: &DnaSeq, read: &DnaSeq, min_len: usize) -> Vec<(usize, usize)> {
     let t = text.as_codes();
     let occurs = |p: &[u8]| -> bool {
-        !p.is_empty() && p.len() <= t.len() && (0..=t.len() - p.len()).any(|i| &t[i..i + p.len()] == p)
+        !p.is_empty()
+            && p.len() <= t.len()
+            && (0..=t.len() - p.len()).any(|i| &t[i..i + p.len()] == p)
     };
     let r = read.as_codes();
     let n = r.len();
@@ -198,7 +214,10 @@ pub fn naive_smems(text: &DnaSeq, read: &DnaSeq, min_len: usize) -> Vec<(usize, 
     // Remove contained intervals.
     let mut out: Vec<(usize, usize)> = Vec::new();
     for &(s, e) in &best {
-        if !best.iter().any(|&(s2, e2)| (s2, e2) != (s, e) && s2 <= s && e <= e2) {
+        if !best
+            .iter()
+            .any(|&(s2, e2)| (s2, e2) != (s, e) && s2 <= s && e <= e2)
+        {
             out.push((s, e));
         }
     }
@@ -218,9 +237,14 @@ mod tests {
 
     fn run(text: &DnaSeq, read: &DnaSeq, min_len: usize) {
         let bi = BiIndex::build(text);
-        let cfg = SmemConfig { min_seed_len: min_len, min_intv: 1 };
-        let got: Vec<(usize, usize)> =
-            collect_smems(&bi, read, &cfg).iter().map(|m| (m.start, m.end)).collect();
+        let cfg = SmemConfig {
+            min_seed_len: min_len,
+            min_intv: 1,
+        };
+        let got: Vec<(usize, usize)> = collect_smems(&bi, read, &cfg)
+            .iter()
+            .map(|m| (m.start, m.end))
+            .collect();
         let want = naive_smems(text, read, min_len);
         assert_eq!(got, want, "text={text} read={read}");
     }
@@ -242,7 +266,9 @@ mod tests {
 
     #[test]
     fn pseudorandom_reads_match_naive() {
-        let codes: Vec<u8> = (0..600usize).map(|i| ((i * 53 + i / 7 + (i * i) % 13) % 4) as u8).collect();
+        let codes: Vec<u8> = (0..600usize)
+            .map(|i| ((i * 53 + i / 7 + (i * i) % 13) % 4) as u8)
+            .collect();
         let text = DnaSeq::from_codes_unchecked(codes);
         for (start, mutate) in [(10usize, 3usize), (100, 7), (300, 5), (450, 11)] {
             let mut r = text.slice(start, start + 60).into_codes();
@@ -260,11 +286,16 @@ mod tests {
 
     #[test]
     fn smems_cover_every_read_position() {
-        let codes: Vec<u8> = (0..400usize).map(|i| ((i * 29 + i / 3) % 4) as u8).collect();
+        let codes: Vec<u8> = (0..400usize)
+            .map(|i| ((i * 29 + i / 3) % 4) as u8)
+            .collect();
         let text = DnaSeq::from_codes_unchecked(codes);
         let bi = BiIndex::build(&text);
         let read = text.slice(50, 150);
-        let cfg = SmemConfig { min_seed_len: 1, min_intv: 1 };
+        let cfg = SmemConfig {
+            min_seed_len: 1,
+            min_intv: 1,
+        };
         let smems = collect_smems(&bi, &read, &cfg);
         // Every base of the read occurs in the text (alphabet present), so
         // every position must be covered by some SMEM.
@@ -281,7 +312,10 @@ mod tests {
         let text = seq("ACGTACGTGGTACAACGTACGTTT");
         let bi = BiIndex::build(&text);
         let read = seq("ACGTACGT");
-        let cfg = SmemConfig { min_seed_len: 1, min_intv: 1 };
+        let cfg = SmemConfig {
+            min_seed_len: 1,
+            min_intv: 1,
+        };
         for m in collect_smems(&bi, &read, &cfg) {
             let sub = read.slice(m.start, m.end);
             let hits = bi.forward().locate_all(&sub);
@@ -294,8 +328,22 @@ mod tests {
         let text = seq("ACGTACGGTTACGTAGGCATT");
         let read = seq("ACGTAAAAAAAAAAAAAAGGCATT");
         let bi = BiIndex::build(&text);
-        let all = collect_smems(&bi, &read, &SmemConfig { min_seed_len: 1, min_intv: 1 });
-        let filtered = collect_smems(&bi, &read, &SmemConfig { min_seed_len: 6, min_intv: 1 });
+        let all = collect_smems(
+            &bi,
+            &read,
+            &SmemConfig {
+                min_seed_len: 1,
+                min_intv: 1,
+            },
+        );
+        let filtered = collect_smems(
+            &bi,
+            &read,
+            &SmemConfig {
+                min_seed_len: 6,
+                min_intv: 1,
+            },
+        );
         assert!(filtered.len() <= all.len());
         assert!(filtered.iter().all(|m| m.len() >= 6));
     }
@@ -303,13 +351,19 @@ mod tests {
     #[test]
     fn probe_counts_lookups() {
         use gb_uarch::mix::MixProbe;
-        let codes: Vec<u8> = (0..500usize).map(|i| ((i * 17 + i / 9) % 4) as u8).collect();
+        let codes: Vec<u8> = (0..500usize)
+            .map(|i| ((i * 17 + i / 9) % 4) as u8)
+            .collect();
         let text = DnaSeq::from_codes_unchecked(codes);
         let bi = BiIndex::build(&text);
         let read = text.slice(100, 251);
         let mut probe = MixProbe::new();
         let _ = collect_smems_probed(&bi, &read, &SmemConfig::default(), &mut probe);
         // Each extension does 2 occ_all lookups = 2+ loads.
-        assert!(probe.mix().loads as usize > read.len(), "loads = {}", probe.mix().loads);
+        assert!(
+            probe.mix().loads as usize > read.len(),
+            "loads = {}",
+            probe.mix().loads
+        );
     }
 }

@@ -35,7 +35,13 @@ impl Default for BasecallerConfig {
     /// A scaled-down Bonito: 4000-sample chunks, stride 5, 48 channels,
     /// 5 separable blocks.
     fn default() -> BasecallerConfig {
-        BasecallerConfig { chunk_size: 4000, stride: 5, channels: 48, blocks: 5, kernel: 9 }
+        BasecallerConfig {
+            chunk_size: 4000,
+            stride: 5,
+            channels: 48,
+            blocks: 5,
+            kernel: 9,
+        }
     }
 }
 
@@ -72,7 +78,12 @@ impl Basecaller {
         // chunks; de-bias it slightly so decoding emits sequences and the
         // CTC path is exercised end-to-end.
         head.bias[crate::ctc::BLANK] -= 1.0;
-        Basecaller { config: *config, stem, stack, head }
+        Basecaller {
+            config: *config,
+            stem,
+            stack,
+            head,
+        }
     }
 
     /// The model configuration.
@@ -99,8 +110,11 @@ impl Basecaller {
         let mean = chunk.iter().sum::<f32>() / chunk.len() as f32;
         let var = chunk.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / chunk.len() as f32;
         let std = var.sqrt().max(1e-3);
-        let input =
-            Matrix::from_vec(1, chunk.len(), chunk.iter().map(|v| (v - mean) / std).collect());
+        let input = Matrix::from_vec(
+            1,
+            chunk.len(),
+            chunk.iter().map(|v| (v - mean) / std).collect(),
+        );
         probe.fp_ops(3 * chunk.len() as u64);
 
         let mut x = self.stem.forward_probed(&input, probe);
@@ -150,7 +164,11 @@ impl Basecaller {
             seq.extend(part.as_codes().iter().copied());
             chunks += 1;
         }
-        BasecallResult { seq, chunks, flops: self.flops_per_chunk() * chunks as u64 }
+        BasecallResult {
+            seq,
+            chunks,
+            flops: self.flops_per_chunk() * chunks as u64,
+        }
     }
 }
 
@@ -159,13 +177,21 @@ mod tests {
     use super::*;
 
     fn tiny() -> BasecallerConfig {
-        BasecallerConfig { chunk_size: 500, stride: 5, channels: 16, blocks: 2, kernel: 5 }
+        BasecallerConfig {
+            chunk_size: 500,
+            stride: 5,
+            channels: 16,
+            blocks: 2,
+            kernel: 5,
+        }
     }
 
     #[test]
     fn posterior_shape_and_simplex() {
         let bc = Basecaller::new(&tiny(), 1);
-        let chunk: Vec<f32> = (0..500).map(|i| (i as f32 * 0.1).sin() * 20.0 + 90.0).collect();
+        let chunk: Vec<f32> = (0..500)
+            .map(|i| (i as f32 * 0.1).sin() * 20.0 + 90.0)
+            .collect();
         let p = bc.forward_chunk_probed(&chunk, &mut NullProbe);
         assert_eq!(p.shape(), (5, 100));
         for t in 0..100 {
@@ -197,8 +223,12 @@ mod tests {
     #[test]
     fn different_signals_give_different_calls() {
         let bc = Basecaller::new(&tiny(), 3);
-        let a: Vec<f32> = (0..500).map(|i| (i as f32 * 0.3).sin() * 15.0 + 85.0).collect();
-        let b: Vec<f32> = (0..500).map(|i| (i as f32 * 0.11).cos() * 18.0 + 95.0).collect();
+        let a: Vec<f32> = (0..500)
+            .map(|i| (i as f32 * 0.3).sin() * 15.0 + 85.0)
+            .collect();
+        let b: Vec<f32> = (0..500)
+            .map(|i| (i as f32 * 0.11).cos() * 18.0 + 95.0)
+            .collect();
         let ra = bc.basecall(&a);
         let rb = bc.basecall(&b);
         assert_ne!(ra.seq, rb.seq);
@@ -208,7 +238,10 @@ mod tests {
     fn flops_match_bonito_scale_relationship() {
         let small = Basecaller::new(&tiny(), 1);
         let big = Basecaller::new(
-            &BasecallerConfig { channels: 32, ..tiny() },
+            &BasecallerConfig {
+                channels: 32,
+                ..tiny()
+            },
             1,
         );
         // Pointwise convs dominate: 2x channels ~ 4x flops.
@@ -224,6 +257,9 @@ mod tests {
         let mut probe = MixProbe::new();
         let _ = bc.forward_chunk_probed(&chunk, &mut probe);
         let mix = probe.mix();
-        assert!(mix.simd_ops > mix.int_ops, "nn-base must be vector-heavy: {mix:?}");
+        assert!(
+            mix.simd_ops > mix.int_ops,
+            "nn-base must be vector-heavy: {mix:?}"
+        );
     }
 }

@@ -80,7 +80,11 @@ pub fn beam_decode(posteriors: &Matrix, width: usize) -> DnaSeq {
     assert!(width > 0, "beam width must be positive");
     assert_eq!(posteriors.rows(), 5, "posteriors must have 5 rows");
     let t_len = posteriors.cols();
-    let mut beams: Vec<Beam> = vec![Beam { seq: Vec::new(), p_blank: 1.0, p_label: 0.0 }];
+    let mut beams: Vec<Beam> = vec![Beam {
+        seq: Vec::new(),
+        p_blank: 1.0,
+        p_label: 0.0,
+    }];
     for t in 0..t_len {
         let p: Vec<f64> = (0..5).map(|r| f64::from(posteriors[(r, t)])).collect();
         let mut next: std::collections::HashMap<Vec<u8>, Beam> = std::collections::HashMap::new();
@@ -111,16 +115,26 @@ pub fn beam_decode(posteriors: &Matrix, width: usize) -> DnaSeq {
                 if mass == 0.0 {
                     continue;
                 }
-                let e = next.entry(seq.clone()).or_insert(Beam { seq, p_blank: 0.0, p_label: 0.0 });
+                let e = next.entry(seq.clone()).or_insert(Beam {
+                    seq,
+                    p_blank: 0.0,
+                    p_label: 0.0,
+                });
                 e.p_label += mass;
             }
         }
         let mut all: Vec<Beam> = next.into_values().collect();
-        all.sort_by(|a, b| b.total().partial_cmp(&a.total()).expect("finite probabilities"));
+        all.sort_by(|a, b| {
+            b.total()
+                .partial_cmp(&a.total())
+                .expect("finite probabilities")
+        });
         all.truncate(width);
         beams = all;
     }
-    let best = beams.into_iter().max_by(|a, b| a.total().partial_cmp(&b.total()).expect("finite"));
+    let best = beams
+        .into_iter()
+        .max_by(|a, b| a.total().partial_cmp(&b.total()).expect("finite"));
     DnaSeq::from_codes_unchecked(best.map(|b| b.seq).unwrap_or_default())
 }
 
@@ -154,7 +168,14 @@ mod tests {
 
     #[test]
     fn beam_equals_greedy_on_confident_input() {
-        let p = posteriors(&[(2, 0.99), (4, 0.99), (2, 0.99), (1, 0.99), (4, 0.99), (3, 0.99)]);
+        let p = posteriors(&[
+            (2, 0.99),
+            (4, 0.99),
+            (2, 0.99),
+            (1, 0.99),
+            (4, 0.99),
+            (3, 0.99),
+        ]);
         assert_eq!(beam_decode(&p, 4), greedy_decode(&p));
         assert_eq!(beam_decode(&p, 4).to_string(), "GGCT");
     }

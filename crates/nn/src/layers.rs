@@ -14,7 +14,9 @@ use rand::Rng;
 /// Xavier-uniform initialization for a `rows x cols` weight matrix.
 pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
     let limit = (6.0 / (rows + cols) as f64).sqrt() as f32;
-    let data = (0..rows * cols).map(|_| rng.gen_range(-limit..limit)).collect();
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-limit..limit))
+        .collect();
     Matrix::from_vec(rows, cols, data)
 }
 
@@ -62,7 +64,13 @@ pub struct Conv1d {
 
 impl Conv1d {
     /// Creates a randomly initialized convolution ("same" padding).
-    pub fn new(in_ch: usize, out_ch: usize, kernel: usize, stride: usize, rng: &mut StdRng) -> Conv1d {
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        rng: &mut StdRng,
+    ) -> Conv1d {
         assert!(kernel % 2 == 1, "odd kernels only (same padding)");
         Conv1d {
             in_ch,
@@ -168,7 +176,10 @@ impl DepthwiseConv1d {
             }
             probe.simd_ops((t * self.kernel / 8 + 1) as u64);
         }
-        probe.load(addr_of(&input.as_slice()[0]), (input.as_slice().len() * 4) as u32);
+        probe.load(
+            addr_of(&input.as_slice()[0]),
+            (input.as_slice().len() * 4) as u32,
+        );
         out
     }
 
@@ -245,7 +256,10 @@ impl Dense {
             out.push(acc);
             probe.simd_ops((x.len() / 8 + 1) as u64);
         }
-        probe.load(addr_of(&self.weights.as_slice()[0]), (self.weights.as_slice().len() * 4) as u32);
+        probe.load(
+            addr_of(&self.weights.as_slice()[0]),
+            (self.weights.as_slice().len() * 4) as u32,
+        );
         out
     }
 }
@@ -275,7 +289,13 @@ impl Lstm {
             u: xavier(4 * hidden, hidden, rng),
             // Forget-gate bias +1, the standard stabilization.
             bias: (0..4 * hidden)
-                .map(|i| if i >= hidden && i < 2 * hidden { 1.0 } else { 0.0 })
+                .map(|i| {
+                    if i >= hidden && i < 2 * hidden {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
                 .collect(),
         }
     }
@@ -291,8 +311,11 @@ impl Lstm {
         let mut hs = Matrix::zeros(h, t_len);
         let mut hstate = vec![0.0f32; h];
         let mut cstate = vec![0.0f32; h];
-        let order: Vec<usize> =
-            if reverse { (0..t_len).rev().collect() } else { (0..t_len).collect() };
+        let order: Vec<usize> = if reverse {
+            (0..t_len).rev().collect()
+        } else {
+            (0..t_len).collect()
+        };
         for t in order {
             let mut gates = self.bias.clone();
             for (g, gate) in gates.iter_mut().enumerate() {
@@ -308,8 +331,14 @@ impl Lstm {
                 *gate += acc;
             }
             probe.simd_ops((4 * h * (self.input + h) / 8 + 1) as u64);
-            probe.load(addr_of(&self.w.as_slice()[0]), (self.w.as_slice().len() * 4) as u32);
-            probe.load(addr_of(&self.u.as_slice()[0]), (self.u.as_slice().len() * 4) as u32);
+            probe.load(
+                addr_of(&self.w.as_slice()[0]),
+                (self.w.as_slice().len() * 4) as u32,
+            );
+            probe.load(
+                addr_of(&self.u.as_slice()[0]),
+                (self.u.as_slice().len() * 4) as u32,
+            );
             for j in 0..h {
                 let i_g = sigmoid(gates[j]);
                 let f_g = sigmoid(gates[h + j]);
@@ -342,7 +371,10 @@ pub struct BiLstm {
 impl BiLstm {
     /// Creates a randomly initialized bi-LSTM.
     pub fn new(input: usize, hidden: usize, rng: &mut StdRng) -> BiLstm {
-        BiLstm { fwd: Lstm::new(input, hidden, rng), bwd: Lstm::new(input, hidden, rng) }
+        BiLstm {
+            fwd: Lstm::new(input, hidden, rng),
+            bwd: Lstm::new(input, hidden, rng),
+        }
     }
 
     /// Output: `2*hidden x T` (forward states stacked over backward).
@@ -449,8 +481,7 @@ mod tests {
         let a = l.forward_probed(&zeros, false, &mut NullProbe);
         let b = l.forward_probed(&spiked, false, &mut NullProbe);
         // The t=0 spike must influence the final state.
-        let last_diff: f32 =
-            (0..8).map(|j| (a[(j, 5)] - b[(j, 5)]).abs()).sum();
+        let last_diff: f32 = (0..8).map(|j| (a[(j, 5)] - b[(j, 5)]).abs()).sum();
         assert!(last_diff > 1e-4, "spike vanished: {last_diff}");
     }
 

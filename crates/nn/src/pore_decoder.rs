@@ -131,7 +131,11 @@ pub fn viterbi_decode(
             codes.push((w[1] & 3) as u8);
         }
     }
-    Some(PoreDecode { seq: DnaSeq::from_codes_unchecked(codes), log_likelihood: ll, path })
+    Some(PoreDecode {
+        seq: DnaSeq::from_codes_unchecked(codes),
+        log_likelihood: ll,
+        path,
+    })
 }
 
 /// Base-level accuracy of `decoded` against `truth` (1 - edit distance /
@@ -175,7 +179,11 @@ mod tests {
     fn clean_signal_decodes_exactly() {
         let t = truth(120, 5);
         let model = PoreModel::r9_like();
-        let cfg = SignalSimConfig { split_prob: 0.0, skip_prob: 0.0, ..Default::default() };
+        let cfg = SignalSimConfig {
+            split_prob: 0.0,
+            skip_prob: 0.0,
+            ..Default::default()
+        };
         let sig = simulate_signal(&t, &model, &cfg, 6);
         let d = viterbi_decode(&sig.events, &model, &PoreDecoderParams::default()).unwrap();
         assert_eq!(d.seq, t);
@@ -186,7 +194,11 @@ mod tests {
     fn oversegmented_signal_decodes_accurately() {
         let t = truth(200, 7);
         let model = PoreModel::r9_like();
-        let cfg = SignalSimConfig { split_prob: 0.4, skip_prob: 0.0, ..Default::default() };
+        let cfg = SignalSimConfig {
+            split_prob: 0.4,
+            skip_prob: 0.0,
+            ..Default::default()
+        };
         let sig = simulate_signal(&t, &model, &cfg, 8);
         let d = viterbi_decode(&sig.events, &model, &PoreDecoderParams::default()).unwrap();
         let acc = accuracy(&d.seq, &t);
@@ -202,7 +214,10 @@ mod tests {
         for w in d.path.windows(2) {
             let (a, b) = (u64::from(w[0]), u64::from(w[1]));
             let stepped = (a << 2) & 0xFFF | (b & 3);
-            assert!(b == a || b == stepped, "invalid transition {a:03x} -> {b:03x}");
+            assert!(
+                b == a || b == stepped,
+                "invalid transition {a:03x} -> {b:03x}"
+            );
         }
         assert_eq!(d.path.len(), sig.events.len());
     }

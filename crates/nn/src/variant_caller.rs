@@ -29,7 +29,10 @@ pub struct VariantCallerConfig {
 
 impl Default for VariantCallerConfig {
     fn default() -> VariantCallerConfig {
-        VariantCallerConfig { lstm_hidden: 48, fc_width: 96 }
+        VariantCallerConfig {
+            lstm_hidden: 48,
+            fc_width: 96,
+        }
     }
 }
 
@@ -185,16 +188,30 @@ impl VariantCaller {
             *v = v.max(0.0); // ReLU
         }
         probe.fp_ops(hidden.len() as u64);
-        let mut zyg: [f32; 3] =
-            self.head_zygosity.forward_probed(&hidden, probe).try_into().expect("3 outputs");
-        let mut ty: [f32; 4] =
-            self.head_type.forward_probed(&hidden, probe).try_into().expect("4 outputs");
-        let mut alt: [f32; 4] =
-            self.head_alt.forward_probed(&hidden, probe).try_into().expect("4 outputs");
+        let mut zyg: [f32; 3] = self
+            .head_zygosity
+            .forward_probed(&hidden, probe)
+            .try_into()
+            .expect("3 outputs");
+        let mut ty: [f32; 4] = self
+            .head_type
+            .forward_probed(&hidden, probe)
+            .try_into()
+            .expect("4 outputs");
+        let mut alt: [f32; 4] = self
+            .head_alt
+            .forward_probed(&hidden, probe)
+            .try_into()
+            .expect("4 outputs");
         softmax(&mut zyg);
         softmax(&mut ty);
         softmax(&mut alt);
-        VariantCall { pos: tensor.center, zygosity_probs: zyg, type_probs: ty, alt_probs: alt }
+        VariantCall {
+            pos: tensor.center,
+            zygosity_probs: zyg,
+            type_probs: ty,
+            alt_probs: alt,
+        }
     }
 
     /// Calls a batch of sites (the kernel's data-parallel loop).
@@ -213,14 +230,21 @@ mod tests {
     use gb_pileup::feature::TENSOR_LEN;
 
     fn tensor(fill: impl Fn(usize) -> f32) -> ClairTensor {
-        ClairTensor { center: 100, data: (0..TENSOR_LEN).map(fill).collect() }
+        ClairTensor {
+            center: 100,
+            data: (0..TENSOR_LEN).map(fill).collect(),
+        }
     }
 
     #[test]
     fn outputs_are_probability_simplices() {
         let vc = VariantCaller::new(&VariantCallerConfig::default(), 1);
         let call = vc.call(&tensor(|i| (i % 9) as f32 / 9.0));
-        for probs in [&call.zygosity_probs[..], &call.type_probs[..], &call.alt_probs[..]] {
+        for probs in [
+            &call.zygosity_probs[..],
+            &call.type_probs[..],
+            &call.alt_probs[..],
+        ] {
             let sum: f32 = probs.iter().sum();
             assert!((sum - 1.0).abs() < 1e-4);
             assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
@@ -269,8 +293,20 @@ mod tests {
 
     #[test]
     fn flops_scale_with_hidden_size() {
-        let small = VariantCaller::new(&VariantCallerConfig { lstm_hidden: 24, fc_width: 48 }, 1);
-        let big = VariantCaller::new(&VariantCallerConfig { lstm_hidden: 48, fc_width: 96 }, 1);
+        let small = VariantCaller::new(
+            &VariantCallerConfig {
+                lstm_hidden: 24,
+                fc_width: 48,
+            },
+            1,
+        );
+        let big = VariantCaller::new(
+            &VariantCallerConfig {
+                lstm_hidden: 48,
+                fc_width: 96,
+            },
+            1,
+        );
         assert!(big.flops_per_call() > small.flops_per_call() * 2);
     }
 
@@ -295,8 +331,11 @@ mod tests {
                 AlignmentRecord::new(read, 0, 30, cig, 60, Strand::Forward).unwrap()
             })
             .collect();
-        let task =
-            RegionTask { region: Region::new(0, 0, 100), ref_seq: ref_seq.clone(), reads };
+        let task = RegionTask {
+            region: Region::new(0, 0, 100),
+            ref_seq: ref_seq.clone(),
+            reads,
+        };
         let p = count_pileup(&task);
         let t = clair_tensor(&p, &ref_seq, 50);
         let vc = VariantCaller::new(&VariantCallerConfig::default(), 11);

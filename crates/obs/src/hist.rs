@@ -1,0 +1,321 @@
+//! Log-bucketed latency histograms (HDR-style).
+//!
+//! Values are bucketed log-linearly: each power of two is split into
+//! [`SUB_BUCKETS`] equal sub-buckets, so any recorded value is off by at
+//! most `1/SUB_BUCKETS` (~3% relative error) while the whole `u64` range
+//! fits in a fixed, merge-friendly array. Quantiles report the bucket's
+//! upper bound, so they never under-estimate.
+
+use serde::{Deserialize, Serialize};
+
+/// Sub-buckets per power of two; bounds the relative quantile error at
+/// `1/SUB_BUCKETS`.
+pub const SUB_BUCKETS: u64 = 32;
+
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+/// Total bucket count covering all of `u64`.
+const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB_BUCKETS as usize;
+
+/// Bucket index for a value: identity below [`SUB_BUCKETS`], then
+/// log-linear (exponent selects the bucket group, the next `SUB_BITS`
+/// bits of mantissa select the sub-bucket).
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros();
+    let top = exp - SUB_BITS;
+    let sub = (v >> top) - SUB_BUCKETS;
+    ((top as u64 + 1) * SUB_BUCKETS + sub) as usize
+}
+
+/// Largest value mapping to bucket `idx` (the value quantiles report).
+fn bucket_upper(idx: usize) -> u64 {
+    if (idx as u64) < SUB_BUCKETS {
+        return idx as u64;
+    }
+    let top = (idx as u64 / SUB_BUCKETS - 1) as u32;
+    let sub = idx as u64 % SUB_BUCKETS;
+    ((SUB_BUCKETS + sub) << top) | ((1u64 << top) - 1)
+}
+
+/// A mergeable log-bucketed histogram over `u64` samples (typically
+/// nanosecond latencies).
+#[derive(Clone)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` occurrences of the same sample.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(v)] += n;
+        self.count += n;
+        self.sum += v as u128 * n as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact maximum recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact minimum recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket holding the `ceil(q * count)`-th smallest sample, i.e.
+    /// within `1/SUB_BUCKETS` above the true quantile. Returns 0 when
+    /// empty.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Never report past the true extremes.
+                return bucket_upper(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`Self::value_at_quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.value_at_quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.value_at_quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.value_at_quantile(0.99)
+    }
+
+    /// Adds every sample of `other` into `self`. Merging is associative
+    /// and commutative, so per-worker histograms can be combined in any
+    /// order.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Fixed-size percentile summary for serialization.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            mean: self.mean(),
+            p50: self.p50(),
+            p90: self.p90(),
+            p99: self.p99(),
+            max: self.max(),
+        }
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("mean", &self.mean())
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+/// Serializable percentile summary of a [`LogHistogram`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact mean.
+    pub mean: f64,
+    /// Median (bucket upper bound, ≤3% above true).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..SUB_BUCKETS {
+            h.record(v);
+        }
+        // Below SUB_BUCKETS each value has its own bucket: quantiles are
+        // exact.
+        assert_eq!(h.value_at_quantile(1.0), SUB_BUCKETS - 1);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.count(), SUB_BUCKETS);
+    }
+
+    #[test]
+    fn bucket_roundtrip_bounds() {
+        // Every probe value lands in a bucket whose upper bound is >= the
+        // value and within 1/SUB_BUCKETS relative error above it.
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            for probe in [v, v + 1, v.saturating_mul(3) / 2] {
+                let upper = bucket_upper(bucket_index(probe));
+                assert!(upper >= probe, "upper {upper} < probe {probe}");
+                let err = (upper - probe) as f64 / probe.max(1) as f64;
+                assert!(
+                    err <= 1.0 / SUB_BUCKETS as f64 + 1e-12,
+                    "err {err} at {probe}"
+                );
+            }
+            v *= 2;
+        }
+    }
+
+    #[test]
+    fn quantiles_match_sorted_reference() {
+        // Deterministic pseudo-random samples (no external RNG needed).
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let samples: Vec<u64> = (0..10_000).map(|_| next() % 1_000_000_000).collect();
+        let mut h = LogHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.01, 0.25, 0.50, 0.90, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            let est = h.value_at_quantile(q);
+            assert!(est >= truth, "q={q}: est {est} < truth {truth}");
+            let bound = truth + truth / SUB_BUCKETS + 1;
+            assert!(est <= bound, "q={q}: est {est} > bound {bound}");
+        }
+        assert_eq!(h.max(), *sorted.last().unwrap());
+        assert_eq!(h.min(), sorted[0]);
+    }
+
+    #[test]
+    fn merge_equals_bulk_record() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for i in 0..1000u64 {
+            let v = i * i % 77_777;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.max(), all.max());
+        assert_eq!(a.min(), all.min());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.value_at_quantile(q), all.value_at_quantile(q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.value_at_quantile(1.0), u64::MAX);
+    }
+}

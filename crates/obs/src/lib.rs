@@ -1,0 +1,40 @@
+//! # gb-obs
+//!
+//! Observability for GenomicsBench-rs: a zero-cost-when-disabled tracing
+//! facade ([`Recorder`]/[`NullRecorder`]), log-bucketed latency
+//! histograms ([`LogHistogram`]), a JSON-serializable metrics registry
+//! ([`MetricsRegistry`]), and a Chrome trace-event exporter
+//! ([`TraceBuffer`]) whose output loads in Perfetto.
+//!
+//! The suite's dynamic-scheduling pool records per-task latencies and
+//! per-worker busy/idle time through this crate; the pipelines emit
+//! stage spans; the CLI surfaces both via `--trace`, `--metrics`, and
+//! the `profile` subcommand.
+//!
+//! ```
+//! use gb_obs::{LogHistogram, NullRecorder, Recorder};
+//!
+//! let mut h = LogHistogram::new();
+//! for v in [120_u64, 80, 95, 4000] {
+//!     h.record(v);
+//! }
+//! assert!(h.p99() >= h.p50());
+//!
+//! // The disabled recorder costs nothing and reports disabled.
+//! assert!(!NullRecorder.enabled());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod recorder;
+pub mod registry;
+pub mod stats;
+pub mod trace;
+
+pub use hist::{HistogramSummary, LogHistogram};
+pub use recorder::{NullRecorder, Recorder, TraceRecorder};
+pub use registry::MetricsRegistry;
+pub use stats::{TaskStats, WorkerStats};
+pub use trace::{TraceBuffer, TraceEvent};

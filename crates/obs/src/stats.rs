@@ -1,0 +1,115 @@
+//! Aggregated execution statistics: per-task latency percentiles and
+//! per-worker utilization, the summaries the `profile` subcommand and
+//! the Fig. 7 report print.
+
+use crate::hist::LogHistogram;
+use serde::{Deserialize, Serialize};
+
+/// One worker's share of an instrumented run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerStats {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Tasks this worker executed.
+    pub tasks: u64,
+    /// Time spent inside tasks, nanoseconds.
+    pub busy_ns: u64,
+    /// Wall time minus busy time, nanoseconds.
+    pub idle_ns: u64,
+}
+
+impl WorkerStats {
+    /// Fraction of wall time this worker spent inside tasks.
+    pub fn utilization(&self) -> f64 {
+        let wall = self.busy_ns + self.idle_ns;
+        if wall == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / wall as f64
+        }
+    }
+}
+
+/// Per-task latency distribution and worker utilization of one
+/// instrumented run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskStats {
+    /// Tasks executed.
+    pub count: u64,
+    /// Mean task latency, nanoseconds.
+    pub mean_ns: u64,
+    /// Median task latency (log-bucketed, ≤3% above true).
+    pub p50_ns: u64,
+    /// 90th-percentile task latency.
+    pub p90_ns: u64,
+    /// 99th-percentile task latency.
+    pub p99_ns: u64,
+    /// Maximum task latency (exact).
+    pub max_ns: u64,
+    /// Mean worker utilization: total busy time over `workers x wall`.
+    pub utilization: f64,
+    /// Per-worker breakdown.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl TaskStats {
+    /// Builds the summary from a merged latency histogram, the
+    /// per-worker breakdown, and the run's wall time.
+    pub fn from_parts(hist: &LogHistogram, workers: Vec<WorkerStats>, wall_ns: u64) -> TaskStats {
+        let busy: u64 = workers.iter().map(|w| w.busy_ns).sum();
+        let denom = workers.len() as f64 * wall_ns as f64;
+        TaskStats {
+            count: hist.count(),
+            mean_ns: hist.mean() as u64,
+            p50_ns: hist.p50(),
+            p90_ns: hist.p90(),
+            p99_ns: hist.p99(),
+            max_ns: hist.max(),
+            utilization: if denom > 0.0 {
+                (busy as f64 / denom).min(1.0)
+            } else {
+                0.0
+            },
+            workers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_from_parts() {
+        let mut h = LogHistogram::new();
+        h.record(100);
+        h.record(300);
+        let workers = vec![
+            WorkerStats {
+                worker: 0,
+                tasks: 1,
+                busy_ns: 100,
+                idle_ns: 300,
+            },
+            WorkerStats {
+                worker: 1,
+                tasks: 1,
+                busy_ns: 300,
+                idle_ns: 100,
+            },
+        ];
+        let s = TaskStats::from_parts(&h, workers, 400);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max_ns, 300);
+        // (100 + 300) / (2 workers x 400 wall) = 0.5
+        assert!((s.utilization - 0.5).abs() < 1e-12);
+        assert!((s.workers[0].utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_has_zero_utilization() {
+        let s = TaskStats::from_parts(&LogHistogram::new(), Vec::new(), 0);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.utilization, 0.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the log-bucketed histogram: quantiles against a
+//! sorted-vector reference, and merge associativity/commutativity.
+
+use gb_obs::hist::{LogHistogram, SUB_BUCKETS};
+use proptest::prelude::*;
+
+fn build(samples: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn quantile_within_bucket_error_of_sorted_reference(
+        samples in prop::collection::vec(0u64..1_000_000_000_000, 1..400),
+        q in 0.0f64..1.0,
+    ) {
+        let h = build(&samples);
+        let mut sorted = samples;
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let est = h.value_at_quantile(q);
+        // Quantiles report the bucket upper bound: never below the true
+        // value, at most 1/SUB_BUCKETS above it.
+        prop_assert!(est >= truth, "est {} < truth {}", est, truth);
+        let bound = truth + truth / SUB_BUCKETS + 1;
+        prop_assert!(est <= bound, "est {} > bound {}", est, bound);
+    }
+
+    #[test]
+    fn count_min_max_mean_are_exact(
+        samples in prop::collection::vec(0u64..1_000_000_000, 1..200),
+    ) {
+        let h = build(&samples);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.min(), *samples.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+        let mean = samples.iter().map(|&v| v as f64).sum::<f64>() / samples.len() as f64;
+        prop_assert!((h.mean() - mean).abs() <= mean.abs() * 1e-12 + 1e-9);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in prop::collection::vec(0u64..1_000_000, 0..100),
+        b in prop::collection::vec(0u64..1_000_000, 0..100),
+        c in prop::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        // (a + b) + c
+        let mut left = build(&a);
+        left.merge(&build(&b));
+        left.merge(&build(&c));
+        // a + (b + c)
+        let mut bc = build(&b);
+        bc.merge(&build(&c));
+        let mut right = build(&a);
+        right.merge(&bc);
+        // c + b + a
+        let mut rev = build(&c);
+        rev.merge(&build(&b));
+        rev.merge(&build(&a));
+        // All orderings agree with recording everything into one.
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        let bulk = build(&all);
+        for h in [&left, &right, &rev] {
+            prop_assert_eq!(h.count(), bulk.count());
+            prop_assert_eq!(h.min(), bulk.min());
+            prop_assert_eq!(h.max(), bulk.max());
+            for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+                prop_assert_eq!(h.value_at_quantile(q), bulk.value_at_quantile(q));
+            }
+        }
+    }
+}

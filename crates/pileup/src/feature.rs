@@ -53,14 +53,20 @@ impl ClairTensor {
 ///
 /// Panics if `ref_seq.len() != pileup.region.len()`.
 pub fn clair_tensor(pileup: &Pileup, ref_seq: &DnaSeq, center: usize) -> ClairTensor {
-    assert_eq!(ref_seq.len(), pileup.region.len(), "reference must cover the pileup region");
+    assert_eq!(
+        ref_seq.len(),
+        pileup.region.len(),
+        "reference must cover the pileup region"
+    );
     let mut data = vec![0.0f32; TENSOR_LEN];
     for (wi, slot) in data.chunks_mut(CHANNELS * ENCODINGS).enumerate() {
         let pos = match (center + wi).checked_sub(FLANK) {
             Some(p) => p,
             None => continue,
         };
-        let Some(counts) = pileup.at(pos) else { continue };
+        let Some(counts) = pileup.at(pos) else {
+            continue;
+        };
         let depth = counts.depth().max(1) as f32;
         let ref_base = ref_seq.code_at(pos - pileup.region.start);
         for base in 0..4usize {
@@ -89,7 +95,10 @@ pub fn clair_tensor_batch(
     ref_seq: &DnaSeq,
     centers: &[usize],
 ) -> Vec<ClairTensor> {
-    centers.iter().map(|&c| clair_tensor(pileup, ref_seq, c)).collect()
+    centers
+        .iter()
+        .map(|&c| clair_tensor(pileup, ref_seq, c))
+        .collect()
 }
 
 #[cfg(test)]
@@ -116,7 +125,14 @@ mod tests {
                 AlignmentRecord::new(read, 0, 40, cig, 60, Strand::Forward).unwrap()
             })
             .collect();
-        (RegionTask { region: Region::new(0, 0, 100), ref_seq: ref_seq.clone(), reads }, ref_seq)
+        (
+            RegionTask {
+                region: Region::new(0, 0, 100),
+                ref_seq: ref_seq.clone(),
+                reads,
+            },
+            ref_seq,
+        )
     }
 
     #[test]
@@ -179,8 +195,11 @@ mod tests {
         );
         let cig: Cigar = "30M".parse().unwrap();
         let aln = AlignmentRecord::new(read, 0, 10, cig, 60, Strand::Forward).unwrap();
-        let task =
-            RegionTask { region: Region::new(0, 0, 60), ref_seq: ref_seq.clone(), reads: vec![aln] };
+        let task = RegionTask {
+            region: Region::new(0, 0, 60),
+            ref_seq: ref_seq.clone(),
+            reads: vec![aln],
+        };
         let p = count_pileup(&task);
         let t = clair_tensor(&p, &ref_seq, 20);
         assert!((t.get(FLANK, 2 * 2, 0) - 1.0).abs() < 1e-6);

@@ -96,7 +96,11 @@ pub fn count_pileup_probed<P: Probe>(task: &RegionTask, probe: &mut P) -> Pileup
         }
         walk_alignment(rec, &region, &mut counts, &mut ops_walked, probe);
     }
-    Pileup { region, counts, ops_walked }
+    Pileup {
+        region,
+        counts,
+        ops_walked,
+    }
 }
 
 fn walk_alignment<P: Probe>(
@@ -179,7 +183,11 @@ mod tests {
 
     fn task(reads: Vec<AlignmentRecord>, start: usize, end: usize) -> RegionTask {
         let ref_seq = DnaSeq::from_codes_unchecked(vec![0; end - start]);
-        RegionTask { region: Region::new(0, start, end), ref_seq, reads }
+        RegionTask {
+            region: Region::new(0, start, end),
+            ref_seq,
+            reads,
+        }
     }
 
     #[test]
@@ -259,10 +267,18 @@ mod tests {
     fn depth_matches_coverage_on_simulated_data() {
         use gb_datagen::genome::{Genome, GenomeConfig};
         use gb_datagen::reads::{simulate_reads, ReadSimConfig};
-        let g = Genome::generate(&GenomeConfig { length: 5000, ..Default::default() }, 31);
+        let g = Genome::generate(
+            &GenomeConfig {
+                length: 5000,
+                ..Default::default()
+            },
+            31,
+        );
         let cfg = ReadSimConfig::short(300);
-        let reads: Vec<AlignmentRecord> =
-            simulate_reads(&g, &cfg, 32).iter().map(|r| r.to_alignment()).collect();
+        let reads: Vec<AlignmentRecord> = simulate_reads(&g, &cfg, 32)
+            .iter()
+            .map(|r| r.to_alignment())
+            .collect();
         let t = RegionTask {
             region: Region::new(0, 1000, 3000),
             ref_seq: g.contig(0).slice(1000, 3000),
@@ -271,6 +287,9 @@ mod tests {
         let p = count_pileup(&t);
         let mean_depth: f64 = p.counts.iter().map(|c| f64::from(c.depth())).sum::<f64>() / 2000.0;
         // 300 reads x 151 bp over 5 kb = ~9x coverage.
-        assert!(mean_depth > 5.0 && mean_depth < 13.0, "mean depth {mean_depth}");
+        assert!(
+            mean_depth > 5.0 && mean_depth < 13.0,
+            "mean depth {mean_depth}"
+        );
     }
 }

@@ -24,7 +24,11 @@ pub struct PoaParams {
 
 impl Default for PoaParams {
     fn default() -> PoaParams {
-        PoaParams { match_score: 5, mismatch: 4, gap: 8 }
+        PoaParams {
+            match_score: 5,
+            mismatch: 4,
+            gap: 8,
+        }
     }
 }
 
@@ -130,7 +134,11 @@ pub fn align_to_graph_probed<P: Probe>(
         trace[row * width] = (best0_pred as u32, 1);
         for j in 1..=n {
             cells += 1;
-            let sub = if base == s[j - 1] { params.match_score } else { -params.mismatch };
+            let sub = if base == s[j - 1] {
+                params.match_score
+            } else {
+                -params.mismatch
+            };
             let mut best = neg;
             let mut tr = (0u32, 3u8);
             for &pr in &pred_rows {
@@ -180,12 +188,17 @@ pub fn align_to_graph_probed<P: Probe>(
         let (pr, kind) = trace[row * width + j];
         match kind {
             0 => {
-                steps.push(AlignStep::Aligned { node: order[row - 1], pos: j - 1 });
+                steps.push(AlignStep::Aligned {
+                    node: order[row - 1],
+                    pos: j - 1,
+                });
                 row = pr as usize;
                 j -= 1;
             }
             1 => {
-                steps.push(AlignStep::Delete { node: order[row - 1] });
+                steps.push(AlignStep::Delete {
+                    node: order[row - 1],
+                });
                 row = pr as usize;
             }
             2 => {
@@ -196,7 +209,11 @@ pub fn align_to_graph_probed<P: Probe>(
         }
     }
     steps.reverse();
-    GraphAlignment { score: best_score, steps, cells }
+    GraphAlignment {
+        score: best_score,
+        steps,
+        cells,
+    }
 }
 
 /// Aligns `seq` and merges it into the graph, updating edge weights and
@@ -247,7 +264,9 @@ pub fn add_sequence_probed<P: Probe>(
         *graph = PoaGraph::from_seq(seq);
         return GraphAlignment {
             score: seq.len() as i32 * params.match_score,
-            steps: (0..seq.len()).map(|pos| AlignStep::Aligned { node: pos, pos }).collect(),
+            steps: (0..seq.len())
+                .map(|pos| AlignStep::Aligned { node: pos, pos })
+                .collect(),
             cells: 0,
         };
     }
@@ -325,7 +344,11 @@ mod tests {
         }
         for i in 1..=m {
             for j in 1..=n {
-                let sub = if a[i - 1] == b[j - 1] { p.match_score } else { -p.mismatch };
+                let sub = if a[i - 1] == b[j - 1] {
+                    p.match_score
+                } else {
+                    -p.mismatch
+                };
                 h[i][j] = (h[i - 1][j - 1] + sub)
                     .max(h[i - 1][j] - p.gap)
                     .max(h[i][j - 1] - p.gap);
@@ -347,7 +370,11 @@ mod tests {
         for (g, q) in cases {
             let graph = PoaGraph::from_seq(&seq(g));
             let r = align_to_graph(&graph, &seq(q), &p);
-            assert_eq!(r.score, nw(seq(g).as_codes(), seq(q).as_codes(), &p), "{g} vs {q}");
+            assert_eq!(
+                r.score,
+                nw(seq(g).as_codes(), seq(q).as_codes(), &p),
+                "{g} vs {q}"
+            );
         }
     }
 

@@ -131,8 +131,14 @@ mod tests {
         err[7] = (err[7] + 2) % 4;
         let err = DnaSeq::from_codes_unchecked(err);
         // 4 correct reads vs 2 erroneous.
-        let reads =
-            vec![truth.clone(), err.clone(), truth.clone(), truth.clone(), err, truth.clone()];
+        let reads = vec![
+            truth.clone(),
+            err.clone(),
+            truth.clone(),
+            truth.clone(),
+            err,
+            truth.clone(),
+        ];
         let (c, _) = window_consensus(&reads, &PoaParams::default());
         assert_eq!(c, truth);
     }
@@ -157,7 +163,11 @@ mod tests {
         use gb_datagen::genome::{Genome, GenomeConfig};
         use gb_datagen::reads::{simulate_reads, ReadSimConfig};
         let g = Genome::generate(
-            &GenomeConfig { length: 200, repeat_fraction: 0.0, ..Default::default() },
+            &GenomeConfig {
+                length: 200,
+                repeat_fraction: 0.0,
+                ..Default::default()
+            },
             21,
         );
         let truth = g.contig(0).clone();

@@ -86,7 +86,10 @@ impl PoaGraph {
     /// Adds a node and returns its id. Marks the topological order stale.
     pub fn add_node(&mut self, base: u8) -> NodeId {
         debug_assert!(base < 4);
-        self.nodes.push(Node { base, ..Node::default() });
+        self.nodes.push(Node {
+            base,
+            ..Node::default()
+        });
         self.topo_dirty = true;
         self.nodes.len() - 1
     }
@@ -99,7 +102,11 @@ impl PoaGraph {
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, weight: u32) {
         assert!(from != to, "self edge");
         assert!(from < self.nodes.len() && to < self.nodes.len());
-        match self.nodes[from].out_edges.iter_mut().find(|(t, _)| *t == to) {
+        match self.nodes[from]
+            .out_edges
+            .iter_mut()
+            .find(|(t, _)| *t == to)
+        {
             Some((_, w)) => *w += weight,
             None => {
                 self.nodes[from].out_edges.push((to, weight));
@@ -165,7 +172,10 @@ impl PoaGraph {
 
     /// The current topological order (refreshing it if stale).
     pub fn topo_order(&self) -> &[NodeId] {
-        assert!(!self.topo_dirty, "call refresh_topo() after mutating the graph");
+        assert!(
+            !self.topo_dirty,
+            "call refresh_topo() after mutating the graph"
+        );
         &self.topo
     }
 

@@ -28,7 +28,10 @@ pub struct GrmParams {
 
 impl Default for GrmParams {
     fn default() -> GrmParams {
-        GrmParams { block: 32, threads: 1 }
+        GrmParams {
+            block: 32,
+            threads: 1,
+        }
     }
 }
 
@@ -161,7 +164,10 @@ fn grm_from_z_parallel(z: &Matrix, params: &GrmParams) -> Matrix {
                 })
             })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("grm worker panicked")).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("grm worker panicked"))
+            .collect()
     })
     .expect("crossbeam scope");
     let mut g = Matrix::zeros(n, n);
@@ -208,15 +214,31 @@ mod tests {
     #[test]
     fn blocked_matches_naive() {
         let g = geno();
-        let blocked = compute_grm(&g, &GrmParams { block: 7, threads: 1 });
+        let blocked = compute_grm(
+            &g,
+            &GrmParams {
+                block: 7,
+                threads: 1,
+            },
+        );
         let naive = naive_grm(&g);
-        assert!(blocked.max_abs_diff(&naive) < 1e-3, "diff {}", blocked.max_abs_diff(&naive));
+        assert!(
+            blocked.max_abs_diff(&naive) < 1e-3,
+            "diff {}",
+            blocked.max_abs_diff(&naive)
+        );
     }
 
     #[test]
     fn parallel_matches_serial() {
         let g = geno();
-        let serial = compute_grm(&g, &GrmParams { block: 16, threads: 1 });
+        let serial = compute_grm(
+            &g,
+            &GrmParams {
+                block: 16,
+                threads: 1,
+            },
+        );
         for threads in [2, 3, 8] {
             let par = compute_grm(&g, &GrmParams { block: 16, threads });
             assert!(serial.max_abs_diff(&par) < 1e-5, "threads {threads}");
@@ -267,14 +289,29 @@ mod tests {
         let mut probe = MixProbe::new();
         let _ = compute_grm_probed(&g, &GrmParams::default(), &mut probe);
         let mix = probe.mix();
-        assert!(mix.simd_ops > mix.loads, "grm must be vector-compute heavy: {mix:?}");
+        assert!(
+            mix.simd_ops > mix.loads,
+            "grm must be vector-compute heavy: {mix:?}"
+        );
     }
 
     #[test]
     fn block_size_does_not_change_result() {
         let g = geno();
-        let a = compute_grm(&g, &GrmParams { block: 1, threads: 1 });
-        let b = compute_grm(&g, &GrmParams { block: 1000, threads: 1 });
+        let a = compute_grm(
+            &g,
+            &GrmParams {
+                block: 1,
+                threads: 1,
+            },
+        );
+        let b = compute_grm(
+            &g,
+            &GrmParams {
+                block: 1000,
+                threads: 1,
+            },
+        );
         assert!(a.max_abs_diff(&b) < 1e-6);
     }
 }

@@ -93,7 +93,11 @@ pub fn related_pairs(grm: &Matrix, min_degree: Relatedness) -> Vec<RelatedPair> 
             }
         }
     }
-    out.sort_by(|x, y| y.coefficient.partial_cmp(&x.coefficient).expect("finite GRM"));
+    out.sort_by(|x, y| {
+        y.coefficient
+            .partial_cmp(&x.coefficient)
+            .expect("finite GRM")
+    });
     out
 }
 
@@ -118,8 +122,14 @@ mod tests {
     fn classification_thresholds() {
         assert_eq!(Relatedness::from_coefficient(1.0), Relatedness::Duplicate);
         assert_eq!(Relatedness::from_coefficient(0.5), Relatedness::FirstDegree);
-        assert_eq!(Relatedness::from_coefficient(0.25), Relatedness::SecondDegree);
-        assert_eq!(Relatedness::from_coefficient(0.12), Relatedness::ThirdDegree);
+        assert_eq!(
+            Relatedness::from_coefficient(0.25),
+            Relatedness::SecondDegree
+        );
+        assert_eq!(
+            Relatedness::from_coefficient(0.12),
+            Relatedness::ThirdDegree
+        );
         assert_eq!(Relatedness::from_coefficient(0.01), Relatedness::Unrelated);
         assert_eq!(Relatedness::from_coefficient(-0.2), Relatedness::Unrelated);
     }

@@ -81,7 +81,11 @@ impl LaunchConfig {
             .shared_per_sm
             .checked_div(self.shared_per_block)
             .unwrap_or(gpu.max_blocks_per_sm);
-        by_threads.min(by_warps).min(by_regs).min(by_shared).min(gpu.max_blocks_per_sm)
+        by_threads
+            .min(by_warps)
+            .min(by_regs)
+            .min(by_shared)
+            .min(gpu.max_blocks_per_sm)
     }
 
     /// Theoretical occupancy: resident warps over the SM maximum — the
@@ -99,7 +103,12 @@ mod tests {
     #[test]
     fn unconstrained_launch_reaches_full_occupancy() {
         let gpu = GpuConfig::titan_xp_like();
-        let l = LaunchConfig { grid: 1000, block: 256, regs_per_thread: 32, shared_per_block: 0 };
+        let l = LaunchConfig {
+            grid: 1000,
+            block: 256,
+            regs_per_thread: 32,
+            shared_per_block: 0,
+        };
         // regs: 65536/(256*32) = 8 blocks = 2048 threads -> 100%.
         assert_eq!(l.blocks_per_sm(&gpu), 8);
         assert_eq!(l.occupancy(&gpu), 1.0);
@@ -122,7 +131,12 @@ mod tests {
     #[test]
     fn registers_limit_occupancy() {
         let gpu = GpuConfig::titan_xp_like();
-        let l = LaunchConfig { grid: 100, block: 128, regs_per_thread: 36, shared_per_block: 0 };
+        let l = LaunchConfig {
+            grid: 100,
+            block: 128,
+            regs_per_thread: 36,
+            shared_per_block: 0,
+        };
         // regs: 65536/(128*36) = 14 blocks -> 56 warps / 64 = 87.5%.
         assert_eq!(l.blocks_per_sm(&gpu), 14);
         assert!((l.occupancy(&gpu) - 0.875).abs() < 1e-9);
@@ -131,7 +145,12 @@ mod tests {
     #[test]
     fn occupancy_capped_at_one() {
         let gpu = GpuConfig::titan_xp_like();
-        let l = LaunchConfig { grid: 1, block: 32, regs_per_thread: 0, shared_per_block: 0 };
+        let l = LaunchConfig {
+            grid: 1,
+            block: 32,
+            regs_per_thread: 0,
+            shared_per_block: 0,
+        };
         assert!(l.occupancy(&gpu) <= 1.0);
     }
 }

@@ -192,8 +192,12 @@ mod tests {
 
     fn sim() -> KernelSim {
         let gpu = GpuConfig::titan_xp_like();
-        let launch =
-            LaunchConfig { grid: 10, block: 256, regs_per_thread: 32, shared_per_block: 0 };
+        let launch = LaunchConfig {
+            grid: 10,
+            block: 256,
+            regs_per_thread: 32,
+            shared_per_block: 0,
+        };
         KernelSim::new(gpu, launch)
     }
 
@@ -283,7 +287,9 @@ mod tests {
     #[test]
     fn inactive_lanes_request_nothing() {
         let mut s = sim();
-        let addrs: Vec<Option<u64>> = (0..32).map(|i| if i < 8 { Some(i * 4) } else { None }).collect();
+        let addrs: Vec<Option<u64>> = (0..32)
+            .map(|i| if i < 8 { Some(i * 4) } else { None })
+            .collect();
         s.global_access(&addrs, 4, false);
         let r = s.report();
         // 32 useful bytes of one fetched sector.

@@ -16,8 +16,8 @@
 
 use crate::config::{GpuConfig, LaunchConfig};
 use crate::exec::{GpuKernelReport, KernelSim};
-use gb_datagen::signal::{Event, PORE_K};
 use gb_core::seq::DnaSeq;
+use gb_datagen::signal::{Event, PORE_K};
 
 /// Parameters of the abea GPU model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,14 +32,23 @@ pub struct AbeaGpuParams {
 
 impl Default for AbeaGpuParams {
     fn default() -> AbeaGpuParams {
-        AbeaGpuParams { bandwidth: 100, sync_latency: 550.0, instr_per_cell: 12 }
+        AbeaGpuParams {
+            bandwidth: 100,
+            sync_latency: 550.0,
+            instr_per_cell: 12,
+        }
     }
 }
 
 /// The f5c-like launch configuration: band double-buffers and staging in
 /// shared memory limit residency to ~31% occupancy, as on the Titan Xp.
 pub fn abea_launch(reads: usize) -> LaunchConfig {
-    LaunchConfig { grid: reads, block: 128, regs_per_thread: 32, shared_per_block: 18 << 10 }
+    LaunchConfig {
+        grid: reads,
+        block: 128,
+        regs_per_thread: 32,
+        shared_per_block: 18 << 10,
+    }
 }
 
 /// Runs the abea SIMT model over `reads` (event stream + reference) and
@@ -133,7 +142,10 @@ pub struct GemmGpuParams {
 
 impl Default for GemmGpuParams {
     fn default() -> GemmGpuParams {
-        GemmGpuParams { tile: 32, sync_latency: 40.0 }
+        GemmGpuParams {
+            tile: 32,
+            sync_latency: 40.0,
+        }
     }
 }
 
@@ -172,7 +184,12 @@ pub enum NnLayer {
 
 /// The Bonito-like launch: register-limited to ~87.5% occupancy.
 pub fn gemm_launch(tiles: usize) -> LaunchConfig {
-    LaunchConfig { grid: tiles, block: 128, regs_per_thread: 36, shared_per_block: 4 << 10 }
+    LaunchConfig {
+        grid: tiles,
+        block: 128,
+        regs_per_thread: 36,
+        shared_per_block: 4 << 10,
+    }
 }
 
 /// Runs the nn-base SIMT model over the network's layers.
@@ -193,15 +210,22 @@ pub fn model_nn_base_gpu(
     for layer in layers {
         match layer {
             NnLayer::Gemm(shape) => model_gemm_layer(shape, params, gpu, &mut sim),
-            NnLayer::Depthwise { channels, kernel, n } => {
-                model_depthwise_layer(*channels, *kernel, *n, gpu, &mut sim)
-            }
+            NnLayer::Depthwise {
+                channels,
+                kernel,
+                n,
+            } => model_depthwise_layer(*channels, *kernel, *n, gpu, &mut sim),
         }
     }
     sim.report()
 }
 
-fn model_gemm_layer(shape: &GemmShape, params: &GemmGpuParams, gpu: GpuConfig, sim: &mut KernelSim) {
+fn model_gemm_layer(
+    shape: &GemmShape,
+    params: &GemmGpuParams,
+    gpu: GpuConfig,
+    sim: &mut KernelSim,
+) {
     let tile = params.tile;
     let warp = gpu.warp_size;
     let a_base = 0x1000_0000u64;
@@ -222,8 +246,7 @@ fn model_gemm_layer(shape: &GemmShape, params: &GemmGpuParams, gpu: GpuConfig, s
                     let addrs: Vec<Option<u64>> = (0..warp)
                         .map(|lane| {
                             (lane < kdepth).then(|| {
-                                a_base
-                                    + (((mt * tile + r) * shape.k + ks * tile + lane) * 4) as u64
+                                a_base + (((mt * tile + r) * shape.k + ks * tile + lane) * 4) as u64
                             })
                         })
                         .collect();
@@ -248,7 +271,11 @@ fn model_gemm_layer(shape: &GemmShape, params: &GemmGpuParams, gpu: GpuConfig, s
                 // plus uniform addressing/shared-load overhead.
                 let full_mask = u32::MAX;
                 let pred_off = ((tile - rows) * warp / tile) as u32;
-                sim.issue(full_mask, pred_off.min(warp as u32 - 1), (rows * kdepth) as u64 / 2);
+                sim.issue(
+                    full_mask,
+                    pred_off.min(warp as u32 - 1),
+                    (rows * kdepth) as u64 / 2,
+                );
                 sim.issue(full_mask, 0, (tile * kdepth) as u64 / 2);
                 sim.sync(params.sync_latency);
             }
@@ -319,13 +346,31 @@ pub fn bonito_like_layers(
     kernel: usize,
 ) -> Vec<NnLayer> {
     let t = chunk.div_ceil(stride);
-    let mut v =
-        vec![NnLayer::Gemm(GemmShape { m: channels, k: kernel, n: t, lane_stride: stride })];
+    let mut v = vec![NnLayer::Gemm(GemmShape {
+        m: channels,
+        k: kernel,
+        n: t,
+        lane_stride: stride,
+    })];
     for _ in 0..blocks {
-        v.push(NnLayer::Depthwise { channels, kernel, n: t });
-        v.push(NnLayer::Gemm(GemmShape { m: channels, k: channels, n: t, lane_stride: 1 }));
+        v.push(NnLayer::Depthwise {
+            channels,
+            kernel,
+            n: t,
+        });
+        v.push(NnLayer::Gemm(GemmShape {
+            m: channels,
+            k: channels,
+            n: t,
+            lane_stride: 1,
+        }));
     }
-    v.push(NnLayer::Gemm(GemmShape { m: 5, k: channels, n: t, lane_stride: 1 }));
+    v.push(NnLayer::Gemm(GemmShape {
+        m: 5,
+        k: channels,
+        n: t,
+        lane_stride: 1,
+    }));
     v
 }
 
@@ -355,18 +400,34 @@ mod tests {
 
     #[test]
     fn abea_report_matches_paper_shape() {
-        let r = model_abea_gpu(&abea_reads(4), &AbeaGpuParams::default(), GpuConfig::default());
+        let r = model_abea_gpu(
+            &abea_reads(4),
+            &AbeaGpuParams::default(),
+            GpuConfig::default(),
+        );
         // Table IV shape: no branch divergence, warp efficiency well below
         // 100%, low occupancy, mediocre SM utilization.
         assert_eq!(r.branch_efficiency, 1.0);
-        assert!(r.warp_efficiency > 0.55 && r.warp_efficiency < 0.9, "warp {}", r.warp_efficiency);
+        assert!(
+            r.warp_efficiency > 0.55 && r.warp_efficiency < 0.9,
+            "warp {}",
+            r.warp_efficiency
+        );
         assert!(r.nonpred_warp_efficiency < r.warp_efficiency);
         assert!((r.occupancy - 0.3125).abs() < 0.01, "occ {}", r.occupancy);
-        assert!(r.sm_utilization > 0.5 && r.sm_utilization < 0.9, "util {}", r.sm_utilization);
+        assert!(
+            r.sm_utilization > 0.5 && r.sm_utilization < 0.9,
+            "util {}",
+            r.sm_utilization
+        );
         // Table V shape: poor load efficiency (model-table gathers), much
         // better store efficiency.
         assert!(r.gld_efficiency < 0.5, "gld {}", r.gld_efficiency);
-        assert!(r.gst_efficiency > r.gld_efficiency + 0.2, "gst {}", r.gst_efficiency);
+        assert!(
+            r.gst_efficiency > r.gld_efficiency + 0.2,
+            "gst {}",
+            r.gst_efficiency
+        );
     }
 
     #[test]
@@ -383,13 +444,21 @@ mod tests {
         );
         assert!((r.occupancy - 0.875).abs() < 0.01);
         assert!(r.sm_utilization > 0.95, "util {}", r.sm_utilization);
-        assert!(r.gld_efficiency > 0.55 && r.gld_efficiency < 0.95, "gld {}", r.gld_efficiency);
+        assert!(
+            r.gld_efficiency > 0.55 && r.gld_efficiency < 0.95,
+            "gld {}",
+            r.gld_efficiency
+        );
         assert!(r.gst_efficiency > 0.9, "gst {}", r.gst_efficiency);
     }
 
     #[test]
     fn nn_base_beats_abea_on_every_table4_metric() {
-        let abea = model_abea_gpu(&abea_reads(3), &AbeaGpuParams::default(), GpuConfig::default());
+        let abea = model_abea_gpu(
+            &abea_reads(3),
+            &AbeaGpuParams::default(),
+            GpuConfig::default(),
+        );
         let nn = model_nn_base_gpu(
             &bonito_like_layers(4000, 5, 48, 5, 9),
             &GemmGpuParams::default(),

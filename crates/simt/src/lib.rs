@@ -29,6 +29,6 @@ pub mod kernels;
 pub use config::{GpuConfig, LaunchConfig};
 pub use exec::{GpuKernelReport, KernelSim};
 pub use kernels::{
-    bonito_like_layers, model_abea_gpu, model_nn_base_gpu, AbeaGpuParams, GemmGpuParams,
-    GemmShape, NnLayer,
+    bonito_like_layers, model_abea_gpu, model_nn_base_gpu, AbeaGpuParams, GemmGpuParams, GemmShape,
+    NnLayer,
 };

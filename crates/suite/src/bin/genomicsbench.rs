@@ -3,12 +3,17 @@
 //! ```text
 //! genomicsbench list
 //! genomicsbench run <kernel|all> [--size tiny|small|large] [--threads N]
+//!                   [--trace <file.json>] [--metrics <file.json>]
+//! genomicsbench profile <kernel> [--size tiny|small|large] [--threads N]
+//!                   [--trace <file.json>] [--metrics <file.json>]
 //! genomicsbench report <table1|table2|table3|table4|table5|fig3..fig9|all>
 //!                      [--size tiny|small|large] [--json <dir>]
+//!                      [--trace <file.json>] [--metrics <file.json>]
 //! ```
 
+use gb_obs::{MetricsRegistry, NullRecorder, Recorder, TaskStats, TraceRecorder};
 use gb_suite::dataset::DatasetSize;
-use gb_suite::kernels::{prepare, run_parallel, KernelId};
+use gb_suite::kernels::{prepare, run_parallel, run_parallel_instrumented, KernelId};
 use gb_suite::reports::{self, Report};
 use std::process::ExitCode;
 
@@ -27,39 +32,136 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   genomicsbench list
-  genomicsbench run <kernel|all> [--size tiny|small|large] [--threads N]
-  genomicsbench report <name|all> [--size tiny|small|large] [--json <dir>]
-  genomicsbench experiments [--size tiny|small|large] [--json <path>]
-  genomicsbench export <dir> [--size tiny|small|large]
-    names: table1 table2 table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 fig9";
+  genomicsbench run <kernel|all> [--size S] [--threads N] [--trace FILE] [--metrics FILE]
+  genomicsbench profile <kernel> [--size S] [--threads N] [--trace FILE] [--metrics FILE]
+  genomicsbench report <name|all> [--size S] [--json DIR] [--trace FILE] [--metrics FILE]
+  genomicsbench experiments [--size S] [--json FILE]
+  genomicsbench export <dir> [--size S]
+    sizes: tiny small large (default small)
+    names: table1 table2 table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 fig9
+    --json is a directory for 'report' (one <name>.json per report) and an
+      output file for 'experiments'; --trace writes a Chrome/Perfetto trace,
+      --metrics a JSON metrics dump. Each subcommand rejects options it does
+      not use.";
 
-struct Options {
-    size: DatasetSize,
-    threads: usize,
-    json_dir: Option<String>,
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Opt {
+    Size,
+    Threads,
+    Json,
+    Trace,
+    Metrics,
 }
 
-fn parse_options(args: &[String]) -> Result<Options, String> {
-    let mut opts = Options { size: DatasetSize::Small, threads: 1, json_dir: None };
+impl Opt {
+    fn flag(self) -> &'static str {
+        match self {
+            Opt::Size => "--size",
+            Opt::Threads => "--threads",
+            Opt::Json => "--json",
+            Opt::Trace => "--trace",
+            Opt::Metrics => "--metrics",
+        }
+    }
+}
+
+#[derive(Default)]
+struct Options {
+    size: Option<DatasetSize>,
+    threads: Option<usize>,
+    json: Option<String>,
+    trace: Option<String>,
+    metrics: Option<String>,
+}
+
+impl Options {
+    fn size(&self) -> DatasetSize {
+        self.size.unwrap_or(DatasetSize::Small)
+    }
+
+    fn threads(&self) -> usize {
+        self.threads.unwrap_or(1)
+    }
+}
+
+/// Parses options, accepting only the flags `cmd` supports — a flag that
+/// *some other* subcommand accepts produces a targeted error instead of
+/// being silently ignored.
+fn parse_options(cmd: &str, args: &[String], allowed: &[Opt]) -> Result<Options, String> {
+    let mut opts = Options::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        match a.as_str() {
-            "--size" => {
-                let v = it.next().ok_or("--size needs a value")?;
-                opts.size = v.parse()?;
-            }
-            "--threads" => {
-                let v = it.next().ok_or("--threads needs a value")?;
-                opts.threads = v.parse::<usize>().map_err(|e| e.to_string())?;
-            }
-            "--json" => {
-                let v = it.next().ok_or("--json needs a directory")?;
-                opts.json_dir = Some(v.clone());
-            }
-            other => return Err(format!("unknown option '{other}'")),
+        let all = [Opt::Size, Opt::Threads, Opt::Json, Opt::Trace, Opt::Metrics];
+        let Some(opt) = all.iter().copied().find(|o| o.flag() == a.as_str()) else {
+            return Err(format!("unknown option '{a}'"));
+        };
+        if !allowed.contains(&opt) {
+            return Err(format!("'{cmd}' does not accept {}", opt.flag()));
+        }
+        let v = it
+            .next()
+            .ok_or_else(|| format!("{} needs a value", opt.flag()))?;
+        match opt {
+            Opt::Size => opts.size = Some(v.parse()?),
+            Opt::Threads => opts.threads = Some(v.parse::<usize>().map_err(|e| e.to_string())?),
+            Opt::Json => opts.json = Some(v.clone()),
+            Opt::Trace => opts.trace = Some(v.clone()),
+            Opt::Metrics => opts.metrics = Some(v.clone()),
         }
     }
     Ok(opts)
+}
+
+fn write_trace(recorder: &TraceRecorder, path: &str) -> Result<(), String> {
+    recorder
+        .trace()
+        .write_to_file(std::path::Path::new(path))
+        .map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("wrote {path} ({} events)", recorder.trace().len());
+    Ok(())
+}
+
+fn write_metrics(registry: &MetricsRegistry, path: &str) -> Result<(), String> {
+    let body = serde_json::to_string_pretty(&registry.to_json()).map_err(|e| e.to_string())?;
+    std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("wrote {path}");
+    Ok(())
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn print_task_stats(stats: &TaskStats) {
+    println!(
+        "task latency: p50 {}  p90 {}  p99 {}  max {}  mean {}",
+        format_ns(stats.p50_ns),
+        format_ns(stats.p90_ns),
+        format_ns(stats.p99_ns),
+        format_ns(stats.max_ns),
+        format_ns(stats.mean_ns),
+    );
+    println!(
+        "{:<7} {:>7} {:>12} {:>12} {:>7}",
+        "worker", "tasks", "busy", "idle", "util"
+    );
+    for w in &stats.workers {
+        println!(
+            "{:<7} {:>7} {:>12} {:>12} {:>6.1}%",
+            w.worker,
+            w.tasks,
+            format_ns(w.busy_ns),
+            format_ns(w.idle_ns),
+            w.utilization() * 100.0
+        );
+    }
+    println!("overall utilization: {:.1}%", stats.utilization * 100.0);
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -68,32 +170,51 @@ fn run(args: &[String]) -> Result<(), String> {
     };
     match cmd.as_str() {
         "list" => {
+            parse_options(cmd, &args[1..], &[])?;
             println!("{:<11} {:<22} pipeline", "kernel", "source tool");
             for id in KernelId::ALL {
-                println!("{:<11} {:<22} {}", id.name(), id.source_tool(), id.pipeline());
+                println!(
+                    "{:<11} {:<22} {}",
+                    id.name(),
+                    id.source_tool(),
+                    id.pipeline()
+                );
             }
             Ok(())
         }
         "run" => {
             let which = args.get(1).ok_or("run needs a kernel name or 'all'")?;
-            let opts = parse_options(&args[2..])?;
+            let opts = parse_options(
+                cmd,
+                &args[2..],
+                &[Opt::Size, Opt::Threads, Opt::Trace, Opt::Metrics],
+            )?;
             let ids: Vec<KernelId> = if which == "all" {
                 KernelId::ALL.to_vec()
             } else {
                 vec![which.parse()?]
             };
+            let instrument = opts.trace.is_some() || opts.metrics.is_some();
+            let recorder = instrument.then(TraceRecorder::new);
+            let mut registry = MetricsRegistry::new();
             println!(
                 "{:<11} {:>8} {:>12} {:>10}  ({} dataset, {} thread(s))",
                 "kernel",
                 "tasks",
                 "elapsed",
                 "checksum",
-                opts.size.name(),
-                opts.threads
+                opts.size().name(),
+                opts.threads()
             );
             for id in ids {
-                let kernel = prepare(id, opts.size);
-                let stats = run_parallel(kernel.as_ref(), opts.threads);
+                let kernel = prepare(id, opts.size());
+                let stats = match &recorder {
+                    Some(r) => run_parallel_instrumented(kernel.as_ref(), opts.threads(), r),
+                    None => run_parallel(kernel.as_ref(), opts.threads()),
+                };
+                if let Some(ts) = &stats.task_stats {
+                    registry.record_task_stats(id.name(), ts);
+                }
                 println!(
                     "{:<11} {:>8} {:>12} {:>10x}",
                     id.name(),
@@ -102,22 +223,62 @@ fn run(args: &[String]) -> Result<(), String> {
                     stats.checksum & 0xFFFF_FFFF
                 );
             }
+            if let (Some(r), Some(path)) = (&recorder, &opts.trace) {
+                write_trace(r, path)?;
+            }
+            if let Some(path) = &opts.metrics {
+                write_metrics(&registry, path)?;
+            }
+            Ok(())
+        }
+        "profile" => {
+            let which = args.get(1).ok_or("profile needs a kernel name")?;
+            let id: KernelId = which.parse()?;
+            let opts = parse_options(
+                cmd,
+                &args[2..],
+                &[Opt::Size, Opt::Threads, Opt::Trace, Opt::Metrics],
+            )?;
+            let threads = opts.threads.unwrap_or(2);
+            let kernel = prepare(id, opts.size());
+            let recorder = TraceRecorder::new();
+            let stats = run_parallel_instrumented(kernel.as_ref(), threads, &recorder);
+            let task_stats = stats.task_stats.as_ref().expect("instrumented run");
+            println!(
+                "profile {} ({} dataset, {} thread(s)): {} tasks in {:.3}s, checksum {:x}",
+                id.name(),
+                opts.size().name(),
+                threads,
+                stats.tasks,
+                stats.elapsed.as_secs_f64(),
+                stats.checksum & 0xFFFF_FFFF
+            );
+            print_task_stats(task_stats);
+            if let Some(path) = &opts.trace {
+                write_trace(&recorder, path)?;
+            }
+            if let Some(path) = &opts.metrics {
+                let mut registry = MetricsRegistry::new();
+                registry.record_task_stats(id.name(), task_stats);
+                write_metrics(&registry, path)?;
+            }
             Ok(())
         }
         "export" => {
             let dir = args.get(1).ok_or("export needs a target directory")?;
-            let opts = parse_options(&args[2..])?;
-            let manifest = gb_suite::export::export_datasets(std::path::Path::new(dir), opts.size)
-                .map_err(|e| e.to_string())?;
+            let opts = parse_options(cmd, &args[2..], &[Opt::Size])?;
+            let manifest =
+                gb_suite::export::export_datasets(std::path::Path::new(dir), opts.size())
+                    .map_err(|e| e.to_string())?;
             for (file, items) in manifest {
                 println!("{dir}/{file}  ({items} records)");
             }
             Ok(())
         }
         "experiments" => {
-            let opts = parse_options(&args[1..])?;
-            let md = gb_suite::experiments::generate_markdown(opts.size);
-            match &opts.json_dir {
+            let opts = parse_options(cmd, &args[1..], &[Opt::Size, Opt::Json])?;
+            let md = gb_suite::experiments::generate_markdown(opts.size());
+            match &opts.json {
                 Some(path) => {
                     std::fs::write(path, &md).map_err(|e| e.to_string())?;
                     eprintln!("wrote {path}");
@@ -128,16 +289,34 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "report" => {
             let which = args.get(1).ok_or("report needs a name or 'all'")?;
-            let opts = parse_options(&args[2..])?;
-            let reports = generate(which, &opts)?;
+            let opts = parse_options(
+                cmd,
+                &args[2..],
+                &[Opt::Size, Opt::Json, Opt::Trace, Opt::Metrics],
+            )?;
+            let instrument = opts.trace.is_some() || opts.metrics.is_some();
+            let recorder = instrument.then(TraceRecorder::new);
+            let reports = generate(which, &opts, &recorder)?;
             for r in &reports {
                 println!("{}", r.text);
-                if let Some(dir) = &opts.json_dir {
+                if let Some(dir) = &opts.json {
                     std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
                     let path = format!("{dir}/{}.json", r.name);
                     let body = serde_json::to_string_pretty(&r.json).map_err(|e| e.to_string())?;
                     std::fs::write(&path, body).map_err(|e| e.to_string())?;
                     eprintln!("wrote {path}");
+                }
+            }
+            if let Some(r) = &recorder {
+                if let Some(path) = &opts.trace {
+                    write_trace(r, path)?;
+                }
+                if let Some(path) = &opts.metrics {
+                    let mut registry = MetricsRegistry::new();
+                    for (name, value) in r.counters() {
+                        registry.counter_add(&name, value);
+                    }
+                    write_metrics(&registry, path)?;
                 }
             }
             Ok(())
@@ -146,11 +325,23 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn generate(which: &str, opts: &Options) -> Result<Vec<Report>, String> {
-    let size = opts.size;
+fn generate(
+    which: &str,
+    opts: &Options,
+    recorder: &Option<TraceRecorder>,
+) -> Result<Vec<Report>, String> {
+    let size = opts.size();
     let threads = [1, 2, 4, 8];
+    let rec: &dyn Recorder = match recorder {
+        Some(r) => r,
+        None => &NullRecorder,
+    };
     let needs_chars = matches!(which, "fig5" | "fig6" | "fig8" | "fig9" | "all");
-    let chars = if needs_chars { Some(reports::characterize_all(size)) } else { None };
+    let chars = if needs_chars {
+        Some(reports::characterize_all(size))
+    } else {
+        None
+    };
     let one = |name: &str| -> Result<Report, String> {
         Ok(match name {
             "table1" => reports::table1(),
@@ -162,7 +353,7 @@ fn generate(which: &str, opts: &Options) -> Result<Vec<Report>, String> {
             "fig4" => reports::fig4(size),
             "fig5" => reports::fig5(chars.as_ref().expect("chars prepared")),
             "fig6" => reports::fig6(chars.as_ref().expect("chars prepared")),
-            "fig7" => reports::fig7(size, &threads),
+            "fig7" => reports::fig7_traced(size, &threads, rec),
             "fig8" => reports::fig8(chars.as_ref().expect("chars prepared")),
             "fig9" => reports::fig9(chars.as_ref().expect("chars prepared")),
             other => return Err(format!("unknown report '{other}'")),

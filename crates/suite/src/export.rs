@@ -38,7 +38,10 @@ pub fn export_datasets(dir: &Path, size: DatasetSize) -> std::io::Result<ExportM
 
     // Reference.
     let genome = Genome::generate(
-        &GenomeConfig { length: 20_000 * scale, ..Default::default() },
+        &GenomeConfig {
+            length: 20_000 * scale,
+            ..Default::default()
+        },
         seeds::GENOME,
     );
     let records: Vec<(String, gb_core::seq::DnaSeq)> = genome
@@ -52,18 +55,23 @@ pub fn export_datasets(dir: &Path, size: DatasetSize) -> std::io::Result<ExportM
     manifest.push(("reference.fasta".into(), records.len()));
 
     // Reads.
-    let short: Vec<ReadRecord> = simulate_reads(&genome, &ReadSimConfig::short(100 * scale), seeds::SHORT_READS)
-        .into_iter()
-        .map(|r| r.record)
-        .collect();
+    let short: Vec<ReadRecord> = simulate_reads(
+        &genome,
+        &ReadSimConfig::short(100 * scale),
+        seeds::SHORT_READS,
+    )
+    .into_iter()
+    .map(|r| r.record)
+    .collect();
     let f = std::fs::File::create(dir.join("short_reads.fastq"))?;
     write_fastq(BufWriter::new(f), &short)?;
     manifest.push(("short_reads.fastq".into(), short.len()));
 
-    let long: Vec<ReadRecord> = simulate_reads(&genome, &ReadSimConfig::long(5 * scale), seeds::LONG_READS)
-        .into_iter()
-        .map(|r| r.record)
-        .collect();
+    let long: Vec<ReadRecord> =
+        simulate_reads(&genome, &ReadSimConfig::long(5 * scale), seeds::LONG_READS)
+            .into_iter()
+            .map(|r| r.record)
+            .collect();
     let f = std::fs::File::create(dir.join("long_reads.fastq"))?;
     write_fastq(BufWriter::new(f), &long)?;
     manifest.push(("long_reads.fastq".into(), long.len()));
@@ -77,7 +85,12 @@ pub fn export_datasets(dir: &Path, size: DatasetSize) -> std::io::Result<ExportM
     let n_signals = 2 * scale;
     for i in 0..n_signals {
         let seq = genome.contig(0).slice(i * 900, i * 900 + 800);
-        let sig = simulate_signal(&seq, &pore, &SignalSimConfig::default(), seeds::SIGNALS + i as u64);
+        let sig = simulate_signal(
+            &seq,
+            &pore,
+            &SignalSimConfig::default(),
+            seeds::SIGNALS + i as u64,
+        );
         for s in &sig.raw {
             writeln!(sig_w, "r{i}\t{s:.2}")?;
         }
@@ -112,8 +125,10 @@ mod tests {
         let manifest = export_datasets(&dir, DatasetSize::Tiny).expect("export");
         assert_eq!(manifest.len(), 6);
 
-        let fasta = read_fasta(BufReader::new(std::fs::File::open(dir.join("reference.fasta")).unwrap()))
-            .expect("parse fasta");
+        let fasta = read_fasta(BufReader::new(
+            std::fs::File::open(dir.join("reference.fasta")).unwrap(),
+        ))
+        .expect("parse fasta");
         assert_eq!(fasta.len(), 1);
         assert_eq!(fasta[0].1.len(), 20_000);
 

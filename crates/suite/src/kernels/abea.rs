@@ -29,8 +29,13 @@ impl AbeaKernel {
             DatasetSize::Small => 80,
             DatasetSize::Large => 800,
         };
-        let genome =
-            Genome::generate(&GenomeConfig { length: 400_000, ..Default::default() }, seeds::GENOME);
+        let genome = Genome::generate(
+            &GenomeConfig {
+                length: 400_000,
+                ..Default::default()
+            },
+            seeds::GENOME,
+        );
         let model = PoreModel::r9_like();
         let mut rng = StdRng::seed_from_u64(seeds::SIGNALS);
         let contig = genome.contig(0);
@@ -43,12 +48,20 @@ impl AbeaKernel {
                 (sig.events, seq)
             })
             .collect();
-        AbeaKernel { reads, model, params: AbeaParams::default() }
+        AbeaKernel {
+            reads,
+            model,
+            params: AbeaParams::default(),
+        }
     }
 
     /// Runs the SIMT model over this workload (paper Tables IV–V).
     pub fn gpu_report(&self) -> GpuKernelReport {
-        model_abea_gpu(&self.reads, &AbeaGpuParams::default(), gb_simt::GpuConfig::default())
+        model_abea_gpu(
+            &self.reads,
+            &AbeaGpuParams::default(),
+            gb_simt::GpuConfig::default(),
+        )
     }
 }
 
@@ -82,7 +95,9 @@ impl Kernel for AbeaKernel {
 
 impl std::fmt::Debug for AbeaKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("AbeaKernel").field("reads", &self.reads.len()).finish()
+        f.debug_struct("AbeaKernel")
+            .field("reads", &self.reads.len())
+            .finish()
     }
 }
 

@@ -27,7 +27,10 @@ impl BswKernel {
             DatasetSize::Large => 20_000,
         };
         let genome = Genome::generate(
-            &GenomeConfig { length: 500_000.min(num_pairs * 600), ..Default::default() },
+            &GenomeConfig {
+                length: 500_000.min(num_pairs * 600),
+                ..Default::default()
+            },
             seeds::GENOME,
         );
         let contig = genome.contig(0);
@@ -43,7 +46,13 @@ impl BswKernel {
                 let codes = target
                     .as_codes()
                     .iter()
-                    .map(|&c| if rng.gen::<f64>() < 0.005 { (c + 1) % 4 } else { c })
+                    .map(|&c| {
+                        if rng.gen::<f64>() < 0.005 {
+                            (c + 1) % 4
+                        } else {
+                            c
+                        }
+                    })
                     .collect();
                 gb_core::seq::DnaSeq::from_codes_unchecked(codes)
             } else {
@@ -53,7 +62,10 @@ impl BswKernel {
             };
             tasks.push(SwTask { query, target });
         }
-        BswKernel { tasks, params: SwParams::default() }
+        BswKernel {
+            tasks,
+            params: SwParams::default(),
+        }
     }
 
     /// Runs the inter-sequence SIMD batch model (Fig. 3): `lanes`-wide
@@ -100,7 +112,9 @@ impl Kernel for BswKernel {
 
 impl std::fmt::Debug for BswKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BswKernel").field("pairs", &self.tasks.len()).finish()
+        f.debug_struct("BswKernel")
+            .field("pairs", &self.tasks.len())
+            .finish()
     }
 }
 
@@ -127,7 +141,11 @@ mod tests {
         let k = BswKernel::prepare(DatasetSize::Tiny);
         let unsorted = k.batch_report(16, false);
         let sorted = k.batch_report(16, true);
-        assert!(unsorted.overcompute() > 1.2, "unsorted {}", unsorted.overcompute());
+        assert!(
+            unsorted.overcompute() > 1.2,
+            "unsorted {}",
+            unsorted.overcompute()
+        );
         assert!(sorted.overcompute() < unsorted.overcompute());
     }
 }

@@ -21,7 +21,11 @@ impl ChainKernel {
             DatasetSize::Small => 1_000,
             DatasetSize::Large => 10_000,
         };
-        let cfg = AnchorSimConfig { num_pairs, mean_anchors: 500, ..Default::default() };
+        let cfg = AnchorSimConfig {
+            num_pairs,
+            mean_anchors: 500,
+            ..Default::default()
+        };
         ChainKernel {
             tasks: synthetic_anchor_sets(&cfg, seeds::ANCHORS),
             params: ChainParams::default(),
@@ -57,7 +61,9 @@ impl Kernel for ChainKernel {
 
 impl std::fmt::Debug for ChainKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ChainKernel").field("pairs", &self.tasks.len()).finish()
+        f.debug_struct("ChainKernel")
+            .field("pairs", &self.tasks.len())
+            .finish()
     }
 }
 

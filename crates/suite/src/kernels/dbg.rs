@@ -25,10 +25,18 @@ impl DbgKernel {
             DatasetSize::Small => 200_000,
             DatasetSize::Large => 2_000_000,
         };
-        let genome =
-            Genome::generate(&GenomeConfig { length: genome_len, ..Default::default() }, seeds::GENOME);
+        let genome = Genome::generate(
+            &GenomeConfig {
+                length: genome_len,
+                ..Default::default()
+            },
+            seeds::GENOME,
+        );
         let workload = build_region_tasks(&genome, &RegionSimConfig::default(), seeds::REGIONS);
-        DbgKernel { tasks: workload.tasks, params: DbgParams::default() }
+        DbgKernel {
+            tasks: workload.tasks,
+            params: DbgParams::default(),
+        }
     }
 }
 
@@ -57,7 +65,9 @@ impl Kernel for DbgKernel {
 
 impl std::fmt::Debug for DbgKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DbgKernel").field("regions", &self.tasks.len()).finish()
+        f.debug_struct("DbgKernel")
+            .field("regions", &self.tasks.len())
+            .finish()
     }
 }
 

@@ -30,13 +30,27 @@ impl FmiKernel {
             DatasetSize::Small => (8_000_000, 2_000),
             DatasetSize::Large => (24_000_000, 20_000),
         };
-        let genome = Genome::generate(&GenomeConfig { length: genome_len, ..Default::default() }, seeds::GENOME);
-        let reads = simulate_reads(&genome, &ReadSimConfig::short(num_reads), seeds::SHORT_READS)
-            .into_iter()
-            .map(|r| r.record.seq)
-            .collect();
+        let genome = Genome::generate(
+            &GenomeConfig {
+                length: genome_len,
+                ..Default::default()
+            },
+            seeds::GENOME,
+        );
+        let reads = simulate_reads(
+            &genome,
+            &ReadSimConfig::short(num_reads),
+            seeds::SHORT_READS,
+        )
+        .into_iter()
+        .map(|r| r.record.seq)
+        .collect();
         let index = BiIndex::build(&genome.concat());
-        FmiKernel { index, reads, config: SmemConfig::default() }
+        FmiKernel {
+            index,
+            reads,
+            config: SmemConfig::default(),
+        }
     }
 
     /// The index heap footprint in bytes.

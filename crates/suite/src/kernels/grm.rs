@@ -28,7 +28,9 @@ impl GrmKernel {
             DatasetSize::Large => (1_280, 12_000),
         };
         let geno = GenotypeMatrix::generate(individuals, markers, seeds::GENOTYPES);
-        GrmKernel { z: standardize(&geno) }
+        GrmKernel {
+            z: standardize(&geno),
+        }
     }
 
     fn stripe_product(&self, stripe: usize, probe: &mut CacheProbe) -> u64 {
@@ -121,7 +123,10 @@ impl GrmKernel {
 impl std::fmt::Debug for GrmKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let (n, s) = self.z.shape();
-        f.debug_struct("GrmKernel").field("individuals", &n).field("markers", &s).finish()
+        f.debug_struct("GrmKernel")
+            .field("individuals", &n)
+            .field("markers", &s)
+            .finish()
     }
 }
 

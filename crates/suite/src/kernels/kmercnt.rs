@@ -28,10 +28,16 @@ impl KmerCntKernel {
             DatasetSize::Large => (64_000_000, 2_000_000),
         };
         let genome = Genome::generate(
-            &GenomeConfig { length: total_bases / 8, ..Default::default() },
+            &GenomeConfig {
+                length: total_bases / 8,
+                ..Default::default()
+            },
             seeds::GENOME,
         );
-        let cfg = ReadSimConfig { num_reads: total_bases / 3000, ..ReadSimConfig::long(0) };
+        let cfg = ReadSimConfig {
+            num_reads: total_bases / 3000,
+            ..ReadSimConfig::long(0)
+        };
         let reads = simulate_reads(&genome, &cfg, seeds::LONG_READS);
         let mut shards: Vec<Vec<DnaSeq>> = Vec::new();
         let mut cur: Vec<DnaSeq> = Vec::new();
@@ -47,7 +53,10 @@ impl KmerCntKernel {
         if !cur.is_empty() {
             shards.push(cur);
         }
-        KmerCntKernel { shards, params: KmerCountParams::default() }
+        KmerCntKernel {
+            shards,
+            params: KmerCountParams::default(),
+        }
     }
 
     /// The counting parameters (exposed for the ablation benches).
@@ -89,7 +98,9 @@ impl Kernel for KmerCntKernel {
 
 impl std::fmt::Debug for KmerCntKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("KmerCntKernel").field("shards", &self.shards.len()).finish()
+        f.debug_struct("KmerCntKernel")
+            .field("shards", &self.shards.len())
+            .finish()
     }
 }
 
@@ -110,6 +121,10 @@ mod tests {
         // The characterization depends on the table busting the 8 MB LLC.
         let k = KmerCntKernel::prepare(DatasetSize::Small);
         let (table, _) = count_kmers(&k.shards[0], &k.params);
-        assert!(table.heap_bytes() > 8 << 20, "table only {} bytes", table.heap_bytes());
+        assert!(
+            table.heap_bytes() > 8 << 20,
+            "table only {} bytes",
+            table.heap_bytes()
+        );
     }
 }

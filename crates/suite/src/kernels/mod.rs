@@ -21,7 +21,8 @@ pub mod pileup;
 pub mod spoa;
 
 use crate::dataset::DatasetSize;
-use crate::pool::run_dynamic;
+use crate::pool::{run_dynamic, run_dynamic_instrumented};
+use gb_obs::{Recorder, TaskStats};
 use gb_uarch::cache::CacheProbe;
 use gb_uarch::mix::InstructionMix;
 use gb_uarch::topdown::{CoreModel, TopDownReport};
@@ -102,9 +103,15 @@ impl KernelId {
     /// The pipeline the kernel belongs to (Fig. 1).
     pub fn pipeline(&self) -> &'static str {
         match self {
-            KernelId::Fmi | KernelId::Bsw | KernelId::Dbg | KernelId::Phmm
+            KernelId::Fmi
+            | KernelId::Bsw
+            | KernelId::Dbg
+            | KernelId::Phmm
             | KernelId::NnVariant => "reference-guided assembly",
-            KernelId::Chain | KernelId::Spoa | KernelId::KmerCnt | KernelId::Abea
+            KernelId::Chain
+            | KernelId::Spoa
+            | KernelId::KmerCnt
+            | KernelId::Abea
             | KernelId::Pileup => "de-novo assembly / polishing",
             KernelId::Grm => "population genomics",
             KernelId::NnBase => "basecalling",
@@ -180,7 +187,7 @@ impl std::str::FromStr for KernelId {
 }
 
 /// Outcome of executing every task of a kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunStats {
     /// Wall-clock time.
     pub elapsed: Duration,
@@ -189,6 +196,9 @@ pub struct RunStats {
     /// Order-insensitive checksum over task outputs (detects divergence
     /// between serial and parallel execution).
     pub checksum: u64,
+    /// Per-task latency percentiles and worker utilization; present only
+    /// on instrumented runs ([`run_parallel_instrumented`]).
+    pub task_stats: Option<TaskStats>,
 }
 
 /// One kernel's microarchitectural characterization (from the simulated
@@ -254,7 +264,33 @@ pub fn run_serial(kernel: &dyn Kernel) -> RunStats {
 pub fn run_parallel(kernel: &dyn Kernel, threads: usize) -> RunStats {
     let n = kernel.num_tasks();
     let (checksum, elapsed) = run_dynamic(n, threads, |i| kernel.run_task(i));
-    RunStats { elapsed, tasks: n, checksum }
+    RunStats {
+        elapsed,
+        tasks: n,
+        checksum,
+        task_stats: None,
+    }
+}
+
+/// Like [`run_parallel`], but records per-task latencies and per-worker
+/// busy/idle time (`stats.task_stats` is always `Some`), and — when
+/// `recorder` is enabled — emits one span per task, named after the
+/// kernel, onto the recorder.
+pub fn run_parallel_instrumented<R: Recorder + ?Sized>(
+    kernel: &dyn Kernel,
+    threads: usize,
+    recorder: &R,
+) -> RunStats {
+    let n = kernel.num_tasks();
+    let name = kernel.id().name();
+    let (checksum, elapsed, task_stats) =
+        run_dynamic_instrumented(n, threads, |i| kernel.run_task(i), recorder, name);
+    RunStats {
+        elapsed,
+        tasks: n,
+        checksum,
+        task_stats: Some(task_stats),
+    }
 }
 
 /// Characterizes the kernel on up to `max_tasks` tasks (instrumented runs
@@ -282,7 +318,13 @@ pub fn characterize(kernel: &dyn Kernel, max_tasks: usize) -> Characterization {
     let bpki = probe.bpki();
     let (mix, cache) = probe.into_parts();
     let topdown = CoreModel::with_mlp(kernel.id().mlp_hint()).analyze(&mix, &cache);
-    Characterization { mix, cache, topdown, bpki, tasks_sampled: n }
+    Characterization {
+        mix,
+        cache,
+        topdown,
+        bpki,
+        tasks_sampled: n,
+    }
 }
 
 /// Runs the abea SIMT model on the given dataset tier (Tables IV–V).
@@ -301,9 +343,15 @@ pub fn bsw_batch_reports(size: DatasetSize) -> Vec<(String, gb_dp::bsw::BatchRep
     let k = bsw::BswKernel::prepare(size);
     vec![
         ("16 lanes, unsorted".to_string(), k.batch_report(16, false)),
-        ("16 lanes, length-sorted".to_string(), k.batch_report(16, true)),
+        (
+            "16 lanes, length-sorted".to_string(),
+            k.batch_report(16, true),
+        ),
         ("8 lanes, unsorted".to_string(), k.batch_report(8, false)),
-        ("16 lanes, executed lockstep".to_string(), k.lockstep_report(false)),
+        (
+            "16 lanes, executed lockstep".to_string(),
+            k.lockstep_report(false),
+        ),
     ]
 }
 
@@ -323,9 +371,15 @@ pub struct WorkDistribution {
 
 /// Computes the Fig. 4 work-imbalance statistics.
 pub fn work_distribution(kernel: &dyn Kernel) -> WorkDistribution {
-    let works: Vec<u64> = (0..kernel.num_tasks()).map(|i| kernel.task_work(i)).collect();
+    let works: Vec<u64> = (0..kernel.num_tasks())
+        .map(|i| kernel.task_work(i))
+        .collect();
     let sum: u64 = works.iter().sum();
-    let mean = if works.is_empty() { 0.0 } else { sum as f64 / works.len() as f64 };
+    let mean = if works.is_empty() {
+        0.0
+    } else {
+        sum as f64 / works.len() as f64
+    };
     let max = works.iter().copied().max().unwrap_or(0);
     let min = works.iter().copied().min().unwrap_or(0);
     WorkDistribution {
@@ -351,8 +405,7 @@ mod tests {
     #[test]
     fn twelve_kernels() {
         assert_eq!(KernelId::ALL.len(), 12);
-        let names: std::collections::HashSet<_> =
-            KernelId::ALL.iter().map(|k| k.name()).collect();
+        let names: std::collections::HashSet<_> = KernelId::ALL.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), 12);
     }
 
@@ -360,7 +413,10 @@ mod tests {
     fn irregular_kernels_have_granularity() {
         assert!(KernelId::Fmi.granularity().is_some());
         assert!(KernelId::Grm.granularity().is_none());
-        let with = KernelId::ALL.iter().filter(|k| k.granularity().is_some()).count();
+        let with = KernelId::ALL
+            .iter()
+            .filter(|k| k.granularity().is_some())
+            .count();
         assert_eq!(with, 8); // Table III lists the 8 irregular kernels
     }
 }

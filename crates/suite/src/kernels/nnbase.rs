@@ -28,8 +28,13 @@ impl NnBaseKernel {
         };
         let config = BasecallerConfig::default();
         let model = Basecaller::new(&config, seeds::WEIGHTS);
-        let genome =
-            Genome::generate(&GenomeConfig { length: 200_000, ..Default::default() }, seeds::GENOME);
+        let genome = Genome::generate(
+            &GenomeConfig {
+                length: 200_000,
+                ..Default::default()
+            },
+            seeds::GENOME,
+        );
         let pore = PoreModel::r9_like();
         let mut rng = StdRng::seed_from_u64(seeds::SIGNALS ^ 0xBA5E);
         let contig = genome.contig(0);
@@ -52,7 +57,11 @@ impl NnBaseKernel {
     pub fn gpu_report(&self) -> GpuKernelReport {
         let c = self.model.config();
         let layers = bonito_like_layers(c.chunk_size, c.stride, c.channels, c.blocks, c.kernel);
-        model_nn_base_gpu(&layers, &GemmGpuParams::default(), gb_simt::GpuConfig::default())
+        model_nn_base_gpu(
+            &layers,
+            &GemmGpuParams::default(),
+            gb_simt::GpuConfig::default(),
+        )
     }
 
     /// Multiply-accumulates per chunk.
@@ -71,12 +80,16 @@ impl Kernel for NnBaseKernel {
     }
 
     fn run_task(&self, i: usize) -> u64 {
-        let posteriors = self.model.forward_chunk_probed(&self.chunks[i], &mut gb_uarch::probe::NullProbe);
+        let posteriors = self
+            .model
+            .forward_chunk_probed(&self.chunks[i], &mut gb_uarch::probe::NullProbe);
         let decoded = gb_nn::ctc::greedy_decode(&posteriors);
         decoded
             .as_codes()
             .iter()
-            .fold(decoded.len() as u64, |acc, &c| acc.wrapping_mul(7).wrapping_add(u64::from(c)))
+            .fold(decoded.len() as u64, |acc, &c| {
+                acc.wrapping_mul(7).wrapping_add(u64::from(c))
+            })
     }
 
     fn characterize_task(&self, i: usize, probe: &mut CacheProbe) {
@@ -90,7 +103,9 @@ impl Kernel for NnBaseKernel {
 
 impl std::fmt::Debug for NnBaseKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NnBaseKernel").field("chunks", &self.chunks.len()).finish()
+        f.debug_struct("NnBaseKernel")
+            .field("chunks", &self.chunks.len())
+            .finish()
     }
 }
 

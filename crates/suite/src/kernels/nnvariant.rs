@@ -30,9 +30,17 @@ impl NnVariantKernel {
             DatasetSize::Large => 1_500,
         };
         let genome_len = 100_000;
-        let genome =
-            Genome::generate(&GenomeConfig { length: genome_len, ..Default::default() }, seeds::GENOME);
-        let cfg = ReadSimConfig { num_reads: genome_len * 20 / 3000, ..ReadSimConfig::long(0) };
+        let genome = Genome::generate(
+            &GenomeConfig {
+                length: genome_len,
+                ..Default::default()
+            },
+            seeds::GENOME,
+        );
+        let cfg = ReadSimConfig {
+            num_reads: genome_len * 20 / 3000,
+            ..ReadSimConfig::long(0)
+        };
         let alignments: Vec<AlignmentRecord> =
             simulate_reads(&genome, &cfg, seeds::LONG_READS ^ 0xC1A1)
                 .iter()
@@ -74,7 +82,9 @@ impl Kernel for NnVariantKernel {
             .iter()
             .chain(&call.type_probs)
             .chain(&call.alt_probs)
-            .fold(0u64, |acc, &p| acc.wrapping_mul(31).wrapping_add((p * 1e6) as u64))
+            .fold(0u64, |acc, &p| {
+                acc.wrapping_mul(31).wrapping_add((p * 1e6) as u64)
+            })
     }
 
     fn characterize_task(&self, i: usize, probe: &mut CacheProbe) {
@@ -88,7 +98,9 @@ impl Kernel for NnVariantKernel {
 
 impl std::fmt::Debug for NnVariantKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NnVariantKernel").field("candidates", &self.tensors.len()).finish()
+        f.debug_struct("NnVariantKernel")
+            .field("candidates", &self.tensors.len())
+            .finish()
     }
 }
 
@@ -107,7 +119,11 @@ mod tests {
     #[test]
     fn tensors_are_populated() {
         let k = NnVariantKernel::prepare(DatasetSize::Tiny);
-        let nonzero = k.tensors.iter().filter(|t| t.data.iter().any(|&v| v != 0.0)).count();
+        let nonzero = k
+            .tensors
+            .iter()
+            .filter(|t| t.data.iter().any(|&v| v != 0.0))
+            .count();
         assert!(nonzero >= 4, "only {nonzero} populated tensors");
     }
 }

@@ -6,10 +6,10 @@ use crate::dataset::{seeds, DatasetSize};
 use gb_assembly::dbg::{assemble_region, DbgParams};
 use gb_core::record::ReadRecord;
 use gb_core::seq::DnaSeq;
-use gb_dp::phmm::{forward_likelihood, forward_likelihood_probed, HmmParams};
 use gb_datagen::genome::{Genome, GenomeConfig};
 use gb_datagen::reads::ReadSimConfig;
 use gb_datagen::regions::{build_region_tasks, RegionSimConfig};
+use gb_dp::phmm::{forward_likelihood, forward_likelihood_probed, HmmParams};
 use gb_uarch::cache::CacheProbe;
 
 /// One phmm task: a genome region's reads evaluated against its candidate
@@ -35,18 +35,29 @@ impl PhmmKernel {
             DatasetSize::Small => 24_000,
             DatasetSize::Large => 240_000,
         };
-        let genome =
-            Genome::generate(&GenomeConfig { length: genome_len, ..Default::default() }, seeds::GENOME);
+        let genome = Genome::generate(
+            &GenomeConfig {
+                length: genome_len,
+                ..Default::default()
+            },
+            seeds::GENOME,
+        );
         let cfg = RegionSimConfig {
             region_len: 300,
             coverage: 15.0,
-            reads: ReadSimConfig { read_len: 100, ..ReadSimConfig::short(0) },
+            reads: ReadSimConfig {
+                read_len: 100,
+                ..ReadSimConfig::short(0)
+            },
             ..RegionSimConfig::default()
         };
         let workload = build_region_tasks(&genome, &cfg, seeds::REGIONS ^ 0x9A);
         // GATK trims its haplotype set before the pairHMM; keep the best
         // few so per-region work stays |R| x |H| with small |H|.
-        let dbg_params = DbgParams { max_haplotypes: 4, ..DbgParams::default() };
+        let dbg_params = DbgParams {
+            max_haplotypes: 4,
+            ..DbgParams::default()
+        };
         let tasks = workload
             .tasks
             .into_iter()
@@ -57,7 +68,10 @@ impl PhmmKernel {
                 PhmmTask { reads, haplotypes }
             })
             .collect();
-        PhmmKernel { tasks, params: HmmParams::default() }
+        PhmmKernel {
+            tasks,
+            params: HmmParams::default(),
+        }
     }
 }
 
@@ -103,7 +117,9 @@ impl Kernel for PhmmKernel {
 
 impl std::fmt::Debug for PhmmKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PhmmKernel").field("regions", &self.tasks.len()).finish()
+        f.debug_struct("PhmmKernel")
+            .field("regions", &self.tasks.len())
+            .finish()
     }
 }
 

@@ -28,12 +28,20 @@ impl PileupKernel {
             DatasetSize::Small => 1_200_000,
             DatasetSize::Large => 12_000_000,
         };
-        let genome =
-            Genome::generate(&GenomeConfig { length: genome_len, ..Default::default() }, seeds::GENOME);
+        let genome = Genome::generate(
+            &GenomeConfig {
+                length: genome_len,
+                ..Default::default()
+            },
+            seeds::GENOME,
+        );
         let coverage = 25usize;
         let mean_len = 3000usize;
         let num_reads = genome_len * coverage / mean_len;
-        let cfg = ReadSimConfig { num_reads, ..ReadSimConfig::long(0) };
+        let cfg = ReadSimConfig {
+            num_reads,
+            ..ReadSimConfig::long(0)
+        };
         let alignments: Vec<AlignmentRecord> = simulate_reads(&genome, &cfg, seeds::LONG_READS)
             .iter()
             .map(|r| r.to_alignment())
@@ -74,10 +82,9 @@ impl Kernel for PileupKernel {
 
     fn run_task(&self, i: usize) -> u64 {
         let p = count_pileup(&self.tasks[i]);
-        p.counts
-            .iter()
-            .step_by(97)
-            .fold(p.ops_walked, |acc, c| acc.wrapping_mul(31).wrapping_add(u64::from(c.depth())))
+        p.counts.iter().step_by(97).fold(p.ops_walked, |acc, c| {
+            acc.wrapping_mul(31).wrapping_add(u64::from(c.depth()))
+        })
     }
 
     fn characterize_task(&self, i: usize, probe: &mut CacheProbe) {
@@ -91,7 +98,9 @@ impl Kernel for PileupKernel {
 
 impl std::fmt::Debug for PileupKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PileupKernel").field("regions", &self.tasks.len()).finish()
+        f.debug_struct("PileupKernel")
+            .field("regions", &self.tasks.len())
+            .finish()
     }
 }
 

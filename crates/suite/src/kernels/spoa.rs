@@ -30,7 +30,10 @@ impl SpoaKernel {
         };
         let window_len = 200usize;
         let genome = Genome::generate(
-            &GenomeConfig { length: window_len * num_windows, ..Default::default() },
+            &GenomeConfig {
+                length: window_len * num_windows,
+                ..Default::default()
+            },
             seeds::GENOME,
         );
         let mut rng = StdRng::seed_from_u64(seeds::LONG_READS ^ 0x50A);
@@ -48,12 +51,17 @@ impl SpoaKernel {
                 };
                 let mut reads = vec![backbone];
                 reads.extend(
-                    simulate_reads(&g, &cfg, rng.gen()).into_iter().map(|r| r.record.seq),
+                    simulate_reads(&g, &cfg, rng.gen())
+                        .into_iter()
+                        .map(|r| r.record.seq),
                 );
                 reads
             })
             .collect();
-        SpoaKernel { windows, params: PoaParams::default() }
+        SpoaKernel {
+            windows,
+            params: PoaParams::default(),
+        }
     }
 }
 
@@ -68,10 +76,9 @@ impl Kernel for SpoaKernel {
 
     fn run_task(&self, i: usize) -> u64 {
         let (consensus, stats) = window_consensus(&self.windows[i], &self.params);
-        consensus
-            .as_codes()
-            .iter()
-            .fold(stats.cells, |acc, &c| acc.wrapping_mul(5).wrapping_add(u64::from(c)))
+        consensus.as_codes().iter().fold(stats.cells, |acc, &c| {
+            acc.wrapping_mul(5).wrapping_add(u64::from(c))
+        })
     }
 
     fn characterize_task(&self, i: usize, probe: &mut CacheProbe) {
@@ -85,7 +92,9 @@ impl Kernel for SpoaKernel {
 
 impl std::fmt::Debug for SpoaKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SpoaKernel").field("windows", &self.windows.len()).finish()
+        f.debug_struct("SpoaKernel")
+            .field("windows", &self.windows.len())
+            .finish()
     }
 }
 

@@ -9,12 +9,12 @@
 #![warn(missing_docs)]
 
 pub mod dataset;
-pub mod kernels;
-pub mod pipelines;
-pub mod pool;
 pub mod experiments;
 pub mod export;
+pub mod kernels;
 pub mod paper;
+pub mod pipelines;
+pub mod pool;
 pub mod reports;
 pub mod scaling;
 

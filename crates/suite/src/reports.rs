@@ -44,7 +44,10 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    out.push_str(&render(headers.iter().map(|s| s.to_string()).collect(), &widths));
+    out.push_str(&render(
+        headers.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
     out.push('\n');
@@ -83,7 +86,10 @@ pub fn table1() -> Report {
     let cfg = MachineConfig::table1();
     Report {
         name: "table1".into(),
-        text: format!("Table I — Baseline system configuration (modelled)\n\n{}\n", cfg.to_table()),
+        text: format!(
+            "Table I — Baseline system configuration (modelled)\n\n{}\n",
+            cfg.to_table()
+        ),
         json: serde_json::to_value(&cfg).expect("config serializes"),
     }
 }
@@ -114,7 +120,11 @@ pub fn table2() -> Report {
             "motif": k.motif(),
         }))
         .collect::<Vec<_>>());
-    Report { name: "table2".into(), text, json }
+    Report {
+        name: "table2".into(),
+        text,
+        json,
+    }
 }
 
 /// Table III: parallelism granularity and measured task counts/work for
@@ -123,7 +133,9 @@ pub fn table3(size: DatasetSize) -> Report {
     let mut rows = Vec::new();
     let mut jrows = Vec::new();
     for id in KernelId::ALL {
-        let Some((gran, work_desc)) = id.granularity() else { continue };
+        let Some((gran, work_desc)) = id.granularity() else {
+            continue;
+        };
         let kernel = prepare(id, size);
         let dist = work_distribution(kernel.as_ref());
         rows.push(vec![
@@ -144,9 +156,22 @@ pub fn table3(size: DatasetSize) -> Report {
     let text = format!(
         "Table III — data-parallelism granularity (irregular kernels), {} dataset\n\n{}",
         size.name(),
-        format_table(&["kernel", "granularity", "data-parallel work", "tasks", "mean work/task"], &rows)
+        format_table(
+            &[
+                "kernel",
+                "granularity",
+                "data-parallel work",
+                "tasks",
+                "mean work/task"
+            ],
+            &rows
+        )
     );
-    Report { name: "table3".into(), text, json: Value::Array(jrows) }
+    Report {
+        name: "table3".into(),
+        text,
+        json: Value::Array(jrows),
+    }
 }
 
 fn gpu_reports(size: DatasetSize) -> (GpuKernelReport, GpuKernelReport) {
@@ -160,14 +185,26 @@ pub fn table4(size: DatasetSize) -> Report {
     let (abea, nn) = gpu_reports(size);
     let pct = |v: f64| format!("{:.2}%", v * 100.0);
     let rows = vec![
-        vec!["Branch efficiency".into(), pct(abea.branch_efficiency), pct(nn.branch_efficiency)],
-        vec!["Warp efficiency".into(), pct(abea.warp_efficiency), pct(nn.warp_efficiency)],
+        vec![
+            "Branch efficiency".into(),
+            pct(abea.branch_efficiency),
+            pct(nn.branch_efficiency),
+        ],
+        vec![
+            "Warp efficiency".into(),
+            pct(abea.warp_efficiency),
+            pct(nn.warp_efficiency),
+        ],
         vec![
             "Non-predicated warp efficiency".into(),
             pct(abea.nonpred_warp_efficiency),
             pct(nn.nonpred_warp_efficiency),
         ],
-        vec!["SM utilization".into(), pct(abea.sm_utilization), pct(nn.sm_utilization)],
+        vec![
+            "SM utilization".into(),
+            pct(abea.sm_utilization),
+            pct(nn.sm_utilization),
+        ],
         vec!["Occupancy".into(), pct(abea.occupancy), pct(nn.occupancy)],
     ];
     let text = format!(
@@ -176,7 +213,11 @@ pub fn table4(size: DatasetSize) -> Report {
         format_table(&["metric", "abea", "nn-base"], &rows)
     );
     let json = json!({ "abea": abea, "nn-base": nn });
-    Report { name: "table4".into(), text, json }
+    Report {
+        name: "table4".into(),
+        text,
+        json,
+    }
 }
 
 /// Table V: useful fraction of GPU global memory bandwidth.
@@ -184,8 +225,16 @@ pub fn table5(size: DatasetSize) -> Report {
     let (abea, nn) = gpu_reports(size);
     let pct = |v: f64| format!("{:.1}%", v * 100.0);
     let rows = vec![
-        vec!["Global load efficiency".into(), pct(abea.gld_efficiency), pct(nn.gld_efficiency)],
-        vec!["Global store efficiency".into(), pct(abea.gst_efficiency), pct(nn.gst_efficiency)],
+        vec![
+            "Global load efficiency".into(),
+            pct(abea.gld_efficiency),
+            pct(nn.gld_efficiency),
+        ],
+        vec![
+            "Global store efficiency".into(),
+            pct(abea.gst_efficiency),
+            pct(nn.gst_efficiency),
+        ],
     ];
     let text = format!(
         "Table V — useful proportion of GPU global memory bandwidth ({} dataset)\n\n{}",
@@ -196,7 +245,11 @@ pub fn table5(size: DatasetSize) -> Report {
         "abea": { "gld": abea.gld_efficiency, "gst": abea.gst_efficiency },
         "nn-base": { "gld": nn.gld_efficiency, "gst": nn.gst_efficiency },
     });
-    Report { name: "table5".into(), text, json }
+    Report {
+        name: "table5".into(),
+        text,
+        json,
+    }
 }
 
 /// Fig. 3: bsw inter-sequence vector over-compute (lane imbalance).
@@ -222,9 +275,21 @@ pub fn fig3(size: DatasetSize) -> Report {
         "Fig. 3 — bsw vectorized cell updates vs scalar ({} dataset)\n\
          (paper: AVX2 16-lane inter-sequence bsw performs 2.2x more cell updates)\n\n{}",
         size.name(),
-        format_table(&["configuration", "scalar cells", "vector cell slots", "over-compute"], &rows)
+        format_table(
+            &[
+                "configuration",
+                "scalar cells",
+                "vector cell slots",
+                "over-compute"
+            ],
+            &rows
+        )
     );
-    Report { name: "fig3".into(), text, json: Value::Array(jrows) }
+    Report {
+        name: "fig3".into(),
+        text,
+        json: Value::Array(jrows),
+    }
 }
 
 /// Fig. 4: per-task work imbalance across the irregular kernels.
@@ -258,7 +323,11 @@ pub fn fig4(size: DatasetSize) -> Report {
         size.name(),
         format_table(&["kernel", "mean work", "max", "min", "max/mean"], &rows)
     );
-    Report { name: "fig4".into(), text, json: Value::Array(jrows) }
+    Report {
+        name: "fig4".into(),
+        text,
+        json: Value::Array(jrows),
+    }
 }
 
 /// Characterizes every CPU kernel once (shared by Figs. 5/6/8/9; the
@@ -306,7 +375,11 @@ pub fn fig5(chars: &[(KernelId, Characterization)]) -> Report {
             &rows
         )
     );
-    Report { name: "fig5".into(), text, json: Value::Array(jrows) }
+    Report {
+        name: "fig5".into(),
+        text,
+        json: Value::Array(jrows),
+    }
 }
 
 /// Fig. 6: off-chip traffic in DRAM bytes per kilo-instruction.
@@ -322,7 +395,11 @@ pub fn fig6(chars: &[(KernelId, Characterization)]) -> Report {
          (paper: fmi 66.8, kmer-cnt 484.1, spoa 6.62, phmm 0.02)\n\n{}",
         format_table(&["kernel", "BPKI"], &rows)
     );
-    Report { name: "fig6".into(), text, json: Value::Array(jrows) }
+    Report {
+        name: "fig6".into(),
+        text,
+        json: Value::Array(jrows),
+    }
 }
 
 /// Fig. 7: thread-scaling of the multithreaded irregular kernels.
@@ -333,6 +410,17 @@ pub fn fig6(chars: &[(KernelId, Characterization)]) -> Report {
 /// reproducible on the single-core environments this repository targets —
 /// see `DESIGN.md` for the substitution rationale.
 pub fn fig7(size: DatasetSize, threads: &[usize]) -> Report {
+    fig7_traced(size, threads, &gb_obs::NullRecorder)
+}
+
+/// [`fig7`] with the 2-thread validation runs instrumented through
+/// `recorder` (task spans land on the trace; per-task latency
+/// percentiles and the measured worker utilization join the report).
+pub fn fig7_traced(
+    size: DatasetSize,
+    threads: &[usize],
+    recorder: &dyn gb_obs::Recorder,
+) -> Report {
     let scaling_kernels = [
         KernelId::Fmi,
         KernelId::Bsw,
@@ -349,36 +437,54 @@ pub fn fig7(size: DatasetSize, threads: &[usize]) -> Report {
     for id in scaling_kernels {
         let kernel = prepare(id, size);
         // Validate that parallel execution is result-identical before
-        // estimating its timing.
+        // estimating its timing; the 2-thread run doubles as the
+        // measured-utilization sample (and feeds the trace when the
+        // recorder is enabled).
         let base = run_parallel(kernel.as_ref(), 1);
-        let check = run_parallel(kernel.as_ref(), 2);
-        assert_eq!(base.checksum, check.checksum, "{} diverged under threads", id.name());
+        let check = kernels::run_parallel_instrumented(kernel.as_ref(), 2, recorder);
+        assert_eq!(
+            base.checksum,
+            check.checksum,
+            "{} diverged under threads",
+            id.name()
+        );
+        let measured = check.task_stats.as_ref().expect("instrumented run");
         let c = characterize(kernel.as_ref(), characterize_budget(id, size).min(4));
         let r = crate::scaling::simulated_scaling(kernel.as_ref(), &c, &machine, threads);
         let mut row = vec![id.name().to_string()];
         row.extend(r.speedup.iter().map(|s| format!("{s:.2}")));
         row.push(format!("{:.1}", r.bw_demand_gbps));
+        row.push(format!("{:.0}%", measured.utilization * 100.0));
         rows.push(row);
         jrows.push(json!({
             "kernel": id.name(),
             "threads": threads,
             "speedup": r.speedup,
+            "utilization": r.utilization,
             "bw_demand_gbps": r.bw_demand_gbps,
+            "measured_utilization_2t": measured.utilization,
+            "task_p50_ns": measured.p50_ns,
+            "task_p99_ns": measured.p99_ns,
         }));
     }
     let headers: Vec<String> = std::iter::once("kernel".to_string())
         .chain(threads.iter().map(|t| format!("{t}T")))
-        .chain(std::iter::once("BW GB/s".to_string()))
+        .chain(["BW GB/s".to_string(), "util@2T".to_string()])
         .collect();
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let text = format!(
         "Fig. 7 — thread scaling (speedup over 1 thread, {} dataset, dynamic scheduling)\n\
-         (simulated schedule from measured task times + bandwidth roofline; paper: near-perfect\n\
-          scaling except kmer-cnt (bandwidth) and pileup (random accesses))\n\n{}",
+         (simulated schedule from measured task times + bandwidth roofline; util@2T measured\n\
+          on an instrumented 2-thread run; paper: near-perfect scaling except kmer-cnt\n\
+          (bandwidth) and pileup (random accesses))\n\n{}",
         size.name(),
         format_table(&header_refs, &rows)
     );
-    Report { name: "fig7".into(), text, json: Value::Array(jrows) }
+    Report {
+        name: "fig7".into(),
+        text,
+        json: Value::Array(jrows),
+    }
 }
 
 /// Fig. 8: cache miss rates and data-stall cycles.
@@ -402,9 +508,16 @@ pub fn fig8(chars: &[(KernelId, Characterization)]) -> Report {
     let text = format!(
         "Fig. 8 — cache miss rates and cycles stalled on data\n\
          (paper: fmi 41.5% and kmer-cnt 69.2% of cycles stalled; others <20%)\n\n{}",
-        format_table(&["kernel", "L1 miss", "L2 miss", "cycles stalled on data"], &rows)
+        format_table(
+            &["kernel", "L1 miss", "L2 miss", "cycles stalled on data"],
+            &rows
+        )
     );
-    Report { name: "fig8".into(), text, json: Value::Array(jrows) }
+    Report {
+        name: "fig8".into(),
+        text,
+        json: Value::Array(jrows),
+    }
 }
 
 /// Fig. 9: top-down pipeline-slot breakdown.
@@ -439,7 +552,11 @@ pub fn fig9(chars: &[(KernelId, Characterization)]) -> Report {
             &rows
         )
     );
-    Report { name: "fig9".into(), text, json: Value::Array(jrows) }
+    Report {
+        name: "fig9".into(),
+        text,
+        json: Value::Array(jrows),
+    }
 }
 
 #[cfg(test)]

@@ -30,6 +30,11 @@ pub struct ScalingResult {
     pub threads: Vec<usize>,
     /// Estimated speedup at each thread count.
     pub speedup: Vec<f64>,
+    /// Simulated worker utilization at each thread count: total task
+    /// time over `threads x makespan` (1.0 = perfectly balanced; drops
+    /// when few large tasks leave workers idle, the Fig. 4 imbalance
+    /// showing up in Fig. 7).
+    pub utilization: Vec<f64>,
     /// The single-thread DRAM bandwidth demand in GB/s.
     pub bw_demand_gbps: f64,
     /// Measured serial time (seconds).
@@ -95,10 +100,10 @@ pub fn simulated_scaling(
     let ipc = characterization.topdown.ipc.max(0.05);
     let instr_per_sec = ipc * machine.clock_ghz * 1e9;
     let bw_demand = characterization.bpki / 1000.0 * instr_per_sec; // bytes/s
-    // Random 64-byte accesses cannot reach peak streaming bandwidth:
-    // derate the roofline by the kernel's measured non-sequential DRAM
-    // fraction (the paper's kmer-cnt saturates the *random-access*
-    // bandwidth well below 31.79 GB/s).
+                                                                    // Random 64-byte accesses cannot reach peak streaming bandwidth:
+                                                                    // derate the roofline by the kernel's measured non-sequential DRAM
+                                                                    // fraction (the paper's kmer-cnt saturates the *random-access*
+                                                                    // bandwidth well below 31.79 GB/s).
     let c = &characterization.cache;
     let seq_frac = if c.llc_misses == 0 {
         1.0
@@ -110,15 +115,31 @@ pub fn simulated_scaling(
     let bw_total = machine.memory_bandwidth_gbps * 1e9 * effective_bw_frac;
 
     let mut speedup = Vec::with_capacity(threads.len());
+    let mut utilization = Vec::with_capacity(threads.len());
     for &t in threads {
         let makespan = dynamic_makespan(&times, t);
-        let compute_speedup = if makespan > 0.0 { serial / makespan } else { 1.0 };
-        let bw_cap = if bw_demand > 0.0 { (bw_total / bw_demand).max(1.0) } else { f64::INFINITY };
+        let compute_speedup = if makespan > 0.0 {
+            serial / makespan
+        } else {
+            1.0
+        };
+        let bw_cap = if bw_demand > 0.0 {
+            (bw_total / bw_demand).max(1.0)
+        } else {
+            f64::INFINITY
+        };
         speedup.push(compute_speedup.min(bw_cap).min(t as f64));
+        let busy_frac = if makespan > 0.0 {
+            serial / (t.max(1) as f64 * makespan)
+        } else {
+            1.0
+        };
+        utilization.push(busy_frac.min(1.0));
     }
     ScalingResult {
         threads: threads.to_vec(),
         speedup,
+        utilization,
         bw_demand_gbps: bw_demand / 1e9,
         serial_seconds: serial,
     }
@@ -178,5 +199,11 @@ mod tests {
         assert!(r.speedup[3] <= 8.0);
         // Monotone non-decreasing.
         assert!(r.speedup.windows(2).all(|w| w[1] >= w[0] - 1e-9));
+        // Utilization: perfect at 1 thread, in (0, 1] everywhere, and
+        // non-increasing as workers are added (imbalance only grows).
+        assert_eq!(r.utilization.len(), 4);
+        assert!((r.utilization[0] - 1.0).abs() < 1e-9);
+        assert!(r.utilization.iter().all(|&u| u > 0.0 && u <= 1.0 + 1e-9));
+        assert!(r.utilization.windows(2).all(|w| w[1] <= w[0] + 1e-9));
     }
 }

@@ -34,7 +34,10 @@ impl CacheGeometry {
     /// number of sets.
     pub fn num_sets(&self) -> usize {
         let sets = self.size_bytes / (self.assoc * self.line_bytes);
-        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a positive power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be a positive power of two"
+        );
         sets
     }
 }
@@ -52,7 +55,12 @@ struct CacheLevel {
 impl CacheLevel {
     fn new(geom: CacheGeometry) -> CacheLevel {
         let sets = geom.num_sets();
-        CacheLevel { geom, tags: vec![Vec::new(); sets], accesses: 0, misses: 0 }
+        CacheLevel {
+            geom,
+            tags: vec![Vec::new(); sets],
+            accesses: 0,
+            misses: 0,
+        }
     }
 
     fn set_and_tag(&self, line_addr: u64) -> (usize, u64) {
@@ -83,7 +91,10 @@ impl CacheLevel {
         let sets = self.tags.len() as u64;
         let assoc = self.geom.assoc;
         let ways = &mut self.tags[set];
-        debug_assert!(!ways.iter().any(|&(t, _)| t == tag), "fill of resident line");
+        debug_assert!(
+            !ways.iter().any(|&(t, _)| t == tag),
+            "fill of resident line"
+        );
         ways.insert(0, (tag, dirty));
         if ways.len() > assoc {
             let (vt, vd) = ways.pop().expect("just checked length");
@@ -148,7 +159,10 @@ impl CacheStats {
 
     /// Fraction of DRAM accesses that opened a new row.
     pub fn row_miss_rate(&self) -> f64 {
-        ratio(self.dram_row_misses, self.dram_row_hits + self.dram_row_misses)
+        ratio(
+            self.dram_row_misses,
+            self.dram_row_hits + self.dram_row_misses,
+        )
     }
 
     /// Total DRAM traffic in bytes (fills + writebacks), for the paper's
@@ -177,7 +191,10 @@ struct DramModel {
 
 impl DramModel {
     fn new(banks: usize, row_bytes: u64) -> DramModel {
-        DramModel { row_bytes, open_rows: vec![None; banks] }
+        DramModel {
+            row_bytes,
+            open_rows: vec![None; banks],
+        }
     }
 
     /// Returns `true` if the access hits the open row of its bank.
@@ -256,9 +273,21 @@ impl Hierarchy {
     /// 8 MB 16-way shared LLC, 64-byte lines.
     pub fn skylake_like() -> Hierarchy {
         Hierarchy::new(
-            CacheGeometry { size_bytes: 32 << 10, assoc: 8, line_bytes: 64 },
-            CacheGeometry { size_bytes: 256 << 10, assoc: 4, line_bytes: 64 },
-            CacheGeometry { size_bytes: 8 << 20, assoc: 16, line_bytes: 64 },
+            CacheGeometry {
+                size_bytes: 32 << 10,
+                assoc: 8,
+                line_bytes: 64,
+            },
+            CacheGeometry {
+                size_bytes: 256 << 10,
+                assoc: 4,
+                line_bytes: 64,
+            },
+            CacheGeometry {
+                size_bytes: 8 << 20,
+                assoc: 16,
+                line_bytes: 64,
+            },
         )
     }
 
@@ -291,8 +320,10 @@ impl Hierarchy {
     /// stride-1 prefetcher would have fetched it), updating the stream
     /// table either way.
     fn stream_check(&mut self, line_addr: u64) -> bool {
-        let sequential = if let Some(slot) =
-            self.streams.iter_mut().find(|s| line_addr == s.wrapping_add(1))
+        let sequential = if let Some(slot) = self
+            .streams
+            .iter_mut()
+            .find(|s| line_addr == s.wrapping_add(1))
         {
             *slot = line_addr;
             true
@@ -421,12 +452,18 @@ pub struct CacheProbe {
 impl CacheProbe {
     /// Creates a probe over the Table I hierarchy.
     pub fn skylake_like() -> CacheProbe {
-        CacheProbe { hierarchy: Hierarchy::skylake_like(), mix: MixProbe::new() }
+        CacheProbe {
+            hierarchy: Hierarchy::skylake_like(),
+            mix: MixProbe::new(),
+        }
     }
 
     /// Creates a probe over a custom hierarchy.
     pub fn with_hierarchy(hierarchy: Hierarchy) -> CacheProbe {
-        CacheProbe { hierarchy, mix: MixProbe::new() }
+        CacheProbe {
+            hierarchy,
+            mix: MixProbe::new(),
+        }
     }
 
     /// Cache statistics so far.
@@ -513,9 +550,21 @@ mod tests {
     fn tiny() -> Hierarchy {
         // 2 sets x 2 ways x 64B = 256B L1; 512B L2; 1KB LLC.
         Hierarchy::new(
-            CacheGeometry { size_bytes: 256, assoc: 2, line_bytes: 64 },
-            CacheGeometry { size_bytes: 512, assoc: 2, line_bytes: 64 },
-            CacheGeometry { size_bytes: 1024, assoc: 2, line_bytes: 64 },
+            CacheGeometry {
+                size_bytes: 256,
+                assoc: 2,
+                line_bytes: 64,
+            },
+            CacheGeometry {
+                size_bytes: 512,
+                assoc: 2,
+                line_bytes: 64,
+            },
+            CacheGeometry {
+                size_bytes: 1024,
+                assoc: 2,
+                line_bytes: 64,
+            },
         )
     }
 
@@ -562,7 +611,11 @@ mod tests {
         for i in 1..64u64 {
             h.load(i * 128, 4);
         }
-        assert!(h.stats().writebacks >= 1, "dirty line never reached DRAM: {:?}", h.stats());
+        assert!(
+            h.stats().writebacks >= 1,
+            "dirty line never reached DRAM: {:?}",
+            h.stats()
+        );
     }
 
     #[test]
@@ -583,12 +636,18 @@ mod tests {
         let mut h = Hierarchy::skylake_like();
         let mut x = 12345u64;
         for _ in 0..1000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let addr = (x >> 16) % (1 << 34); // ~16 GB working set
             h.load(addr, 8);
         }
         let s = h.stats();
-        assert!(s.row_miss_rate() > 0.8, "row miss rate {}", s.row_miss_rate());
+        assert!(
+            s.row_miss_rate() > 0.8,
+            "row miss rate {}",
+            s.row_miss_rate()
+        );
     }
 
     #[test]

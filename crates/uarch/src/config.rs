@@ -58,11 +58,20 @@ impl MachineConfig {
     /// reproduction).
     pub fn to_table(&self) -> String {
         let rows = [
-            ("CPU", format!("{}, {} GHz, {} cores / {} threads, {}", self.cpu, self.clock_ghz, self.cores, self.threads, self.simd)),
+            (
+                "CPU",
+                format!(
+                    "{}, {} GHz, {} cores / {} threads, {}",
+                    self.cpu, self.clock_ghz, self.cores, self.threads, self.simd
+                ),
+            ),
             ("L1D cache", self.l1d.clone()),
             ("L2 cache", self.l2.clone()),
             ("LLC", self.llc.clone()),
-            ("Memory bandwidth", format!("{} GB/s", self.memory_bandwidth_gbps)),
+            (
+                "Memory bandwidth",
+                format!("{} GB/s", self.memory_bandwidth_gbps),
+            ),
             ("GPU", format!("{}, {}", self.gpu, self.gpu_memory)),
         ];
         let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);

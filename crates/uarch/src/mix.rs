@@ -31,7 +31,12 @@ pub struct InstructionMix {
 impl InstructionMix {
     /// Total dynamic instruction count.
     pub fn total(&self) -> u64 {
-        self.loads + self.stores + self.int_ops + self.fp_ops + self.simd_ops + self.branches
+        self.loads
+            + self.stores
+            + self.int_ops
+            + self.fp_ops
+            + self.simd_ops
+            + self.branches
             + self.other
     }
 
@@ -182,8 +187,17 @@ mod tests {
 
     #[test]
     fn merge_adds() {
-        let mut a = InstructionMix { loads: 1, branches: 2, branches_taken: 1, ..Default::default() };
-        let b = InstructionMix { loads: 3, int_ops: 4, ..Default::default() };
+        let mut a = InstructionMix {
+            loads: 1,
+            branches: 2,
+            branches_taken: 1,
+            ..Default::default()
+        };
+        let b = InstructionMix {
+            loads: 3,
+            int_ops: 4,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.loads, 4);
         assert_eq!(a.int_ops, 4);

@@ -95,7 +95,10 @@ impl Default for CoreModel {
 impl CoreModel {
     /// A model variant with an explicit memory-level-parallelism estimate.
     pub fn with_mlp(mlp: f64) -> CoreModel {
-        CoreModel { mlp: mlp.max(1.0), ..CoreModel::default() }
+        CoreModel {
+            mlp: mlp.max(1.0),
+            ..CoreModel::default()
+        }
     }
 
     /// Runs the analytic model over one kernel's measured mix and cache
@@ -220,7 +223,17 @@ mod tests {
     #[test]
     fn fractions_sum_to_one() {
         let m = mix(100, 50, 300, 10, 40, 80);
-        let c = CacheStats { l1_accesses: 150, l1_misses: 20, l2_accesses: 20, l2_misses: 10, llc_accesses: 10, llc_misses: 5, dram_row_misses: 4, dram_row_hits: 1, ..Default::default() };
+        let c = CacheStats {
+            l1_accesses: 150,
+            l1_misses: 20,
+            l2_accesses: 20,
+            l2_misses: 10,
+            llc_accesses: 10,
+            llc_misses: 5,
+            dram_row_misses: 4,
+            dram_row_hits: 1,
+            ..Default::default()
+        };
         let r = CoreModel::default().analyze(&m, &c);
         let sum: f64 = r.fractions().iter().sum();
         assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
@@ -232,7 +245,13 @@ mod tests {
         // behaviour — should retire close to 90% of slots like the paper's
         // grm (87.7%).
         let m = mix(200, 50, 300, 0, 300, 100);
-        let c = CacheStats { l1_accesses: 250, l1_misses: 2, l2_accesses: 2, l2_misses: 0, ..Default::default() };
+        let c = CacheStats {
+            l1_accesses: 250,
+            l1_misses: 2,
+            l2_accesses: 2,
+            l2_misses: 0,
+            ..Default::default()
+        };
         let r = CoreModel::default().analyze(&m, &c);
         assert!(r.retiring > 0.8, "retiring = {}", r.retiring);
         assert!(r.memory_bound < 0.1);

@@ -7,9 +7,21 @@ use proptest::prelude::*;
 
 fn tiny_hierarchy() -> Hierarchy {
     Hierarchy::new(
-        CacheGeometry { size_bytes: 512, assoc: 2, line_bytes: 64 },
-        CacheGeometry { size_bytes: 1024, assoc: 2, line_bytes: 64 },
-        CacheGeometry { size_bytes: 4096, assoc: 4, line_bytes: 64 },
+        CacheGeometry {
+            size_bytes: 512,
+            assoc: 2,
+            line_bytes: 64,
+        },
+        CacheGeometry {
+            size_bytes: 1024,
+            assoc: 2,
+            line_bytes: 64,
+        },
+        CacheGeometry {
+            size_bytes: 4096,
+            assoc: 4,
+            line_bytes: 64,
+        },
     )
 }
 

@@ -20,9 +20,14 @@ fn main() {
     let c = characterize(kernel.as_ref(), 8);
 
     let f = c.mix.fractions();
-    println!("instruction mix ({} instructions over {} tasks):", c.mix.total(), c.tasks_sampled);
-    for (label, frac) in
-        ["loads", "stores", "int", "simd", "fp", "branches", "other"].iter().zip(f)
+    println!(
+        "instruction mix ({} instructions over {} tasks):",
+        c.mix.total(),
+        c.tasks_sampled
+    );
+    for (label, frac) in ["loads", "stores", "int", "simd", "fp", "branches", "other"]
+        .iter()
+        .zip(f)
     {
         println!("  {label:<9} {:>5.1}%", frac * 100.0);
     }
@@ -34,8 +39,14 @@ fn main() {
     println!("  BPKI           {:>6.2}", c.bpki);
     println!("\ntop-down pipeline slots:");
     println!("  retiring       {:>6.1}%", c.topdown.retiring * 100.0);
-    println!("  bad spec       {:>6.1}%", c.topdown.bad_speculation * 100.0);
-    println!("  frontend       {:>6.1}%", c.topdown.frontend_bound * 100.0);
+    println!(
+        "  bad spec       {:>6.1}%",
+        c.topdown.bad_speculation * 100.0
+    );
+    println!(
+        "  frontend       {:>6.1}%",
+        c.topdown.frontend_bound * 100.0
+    );
     println!("  core bound     {:>6.1}%", c.topdown.core_bound * 100.0);
     println!("  memory bound   {:>6.1}%", c.topdown.memory_bound * 100.0);
     println!("  modelled IPC   {:>6.2}", c.topdown.ipc);

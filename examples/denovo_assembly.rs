@@ -16,7 +16,12 @@ use genomicsbench::datagen::reads::{simulate_reads, ErrorProfile, ReadSimConfig}
 fn main() {
     // Hidden truth: a 25 kb genome with light repeat structure.
     let genome = Genome::generate(
-        &GenomeConfig { length: 25_000, repeat_fraction: 0.05, repeat_unit_len: 150, ..Default::default() },
+        &GenomeConfig {
+            length: 25_000,
+            repeat_fraction: 0.05,
+            repeat_unit_len: 150,
+            ..Default::default()
+        },
         2024,
     );
     let truth = genome.contig(0).clone();
@@ -26,11 +31,17 @@ fn main() {
         num_reads: 25_000 * 30 / 2000,
         read_len: 2000,
         length_jitter: 0.3,
-        errors: ErrorProfile { sub_rate: 0.002, ins_rate: 0.0005, del_rate: 0.0005 },
+        errors: ErrorProfile {
+            sub_rate: 0.002,
+            ins_rate: 0.0005,
+            del_rate: 0.0005,
+        },
         revcomp_prob: 0.5,
     };
-    let reads: Vec<DnaSeq> =
-        simulate_reads(&genome, &cfg, 2025).into_iter().map(|r| r.record.seq).collect();
+    let reads: Vec<DnaSeq> = simulate_reads(&genome, &cfg, 2025)
+        .into_iter()
+        .map(|r| r.record.seq)
+        .collect();
     let total_bases: usize = reads.iter().map(DnaSeq::len).sum();
     println!(
         "sequenced {} reads / {:.1} kb ({:.0}x coverage)",
@@ -50,7 +61,13 @@ fn main() {
     );
 
     // 2. Unitig assembly over solid k-mers.
-    let asm = assemble_unitigs(&reads, &UnitigParams { min_count: 5, ..Default::default() });
+    let asm = assemble_unitigs(
+        &reads,
+        &UnitigParams {
+            min_count: 5,
+            ..Default::default()
+        },
+    );
     println!(
         "assembly: {} contigs, {} bases total, N50 {}",
         asm.contigs.len(),

@@ -20,7 +20,13 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, &len)| {
-            Genome::generate(&GenomeConfig { length: len, ..Default::default() }, 100 + i as u64)
+            Genome::generate(
+                &GenomeConfig {
+                    length: len,
+                    ..Default::default()
+                },
+                100 + i as u64,
+            )
         })
         .collect();
 
@@ -34,7 +40,11 @@ fn main() {
     boundaries.push(pan.len());
     let pan = DnaSeq::from_codes_unchecked(pan);
     let index = BiIndex::build(&pan);
-    println!("pan-genome: {} bases across {} species", pan.len(), species.len());
+    println!(
+        "pan-genome: {} bases across {} species",
+        pan.len(),
+        species.len()
+    );
 
     // Sample with known composition 20% / 70% / 10%.
     let true_mix = [0.2f64, 0.7, 0.1];
@@ -49,7 +59,10 @@ fn main() {
     }
 
     // Classify each read by its longest SMEM's location.
-    let cfg = SmemConfig { min_seed_len: 25, min_intv: 1 };
+    let cfg = SmemConfig {
+        min_seed_len: 25,
+        min_intv: 1,
+    };
     let mut counts = [0u64; 3];
     let mut confusion = [[0u64; 3]; 3];
     let mut unclassified = 0u64;
@@ -60,20 +73,42 @@ fn main() {
             continue;
         };
         let pos = index.forward().locate(best.interval.k) as usize;
-        let sp = boundaries.windows(2).position(|w| pos >= w[0] && pos < w[1]).expect("in range");
+        let sp = boundaries
+            .windows(2)
+            .position(|w| pos >= w[0] && pos < w[1])
+            .expect("in range");
         counts[sp] += 1;
         confusion[*truth_sp][sp] += 1;
     }
 
     let classified: u64 = counts.iter().sum();
-    println!("\nclassified {classified}/{} reads ({unclassified} unclassified)\n", reads.len());
-    println!("{:<12} {:>8} {:>10} {:>10}", "species", "reads", "estimated", "true");
+    println!(
+        "\nclassified {classified}/{} reads ({unclassified} unclassified)\n",
+        reads.len()
+    );
+    println!(
+        "{:<12} {:>8} {:>10} {:>10}",
+        "species", "reads", "estimated", "true"
+    );
     for (i, name) in species.iter().enumerate() {
         let est = counts[i] as f64 / classified.max(1) as f64;
-        println!("{:<12} {:>8} {:>9.1}% {:>9.1}%", name, counts[i], est * 100.0, true_mix[i] * 100.0);
+        println!(
+            "{:<12} {:>8} {:>9.1}% {:>9.1}%",
+            name,
+            counts[i],
+            est * 100.0,
+            true_mix[i] * 100.0
+        );
         // Abundance estimate must land near the truth.
-        assert!((est - true_mix[i]).abs() < 0.08, "{name}: {est} vs {}", true_mix[i]);
+        assert!(
+            (est - true_mix[i]).abs() < 0.08,
+            "{name}: {est} vs {}",
+            true_mix[i]
+        );
     }
     let correct: u64 = (0..3).map(|i| confusion[i][i]).sum();
-    println!("\nclassification accuracy: {:.1}%", correct as f64 / classified as f64 * 100.0);
+    println!(
+        "\nclassification accuracy: {:.1}%",
+        correct as f64 / classified as f64 * 100.0
+    );
 }

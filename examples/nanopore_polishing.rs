@@ -34,7 +34,11 @@ fn edit_distance(a: &[u8], b: &[u8]) -> usize {
 fn main() {
     let truth_len = 400usize;
     let genome = Genome::generate(
-        &GenomeConfig { length: truth_len, repeat_fraction: 0.0, ..Default::default() },
+        &GenomeConfig {
+            length: truth_len,
+            repeat_fraction: 0.0,
+            ..Default::default()
+        },
         7,
     );
     let truth = genome.contig(0).clone();
@@ -42,7 +46,13 @@ fn main() {
     // 1. Neural basecalling demo on simulated raw signal.
     let pore = PoreModel::r9_like();
     let sig = simulate_signal(&truth, &pore, &SignalSimConfig::default(), 8);
-    let bc = Basecaller::new(&BasecallerConfig { chunk_size: 1000, ..Default::default() }, 9);
+    let bc = Basecaller::new(
+        &BasecallerConfig {
+            chunk_size: 1000,
+            ..Default::default()
+        },
+        9,
+    );
     let call = bc.basecall(&sig.raw);
     println!(
         "nn-base: {} raw samples -> {} chunks -> {} called bases (untrained weights)",
@@ -69,10 +79,18 @@ fn main() {
         errors: ErrorProfile::nanopore(),
         revcomp_prob: 0.0,
     };
-    let reads: Vec<DnaSeq> =
-        simulate_reads(&genome, &cfg, 10).into_iter().map(|r| r.record.seq).collect();
+    let reads: Vec<DnaSeq> = simulate_reads(&genome, &cfg, 10)
+        .into_iter()
+        .map(|r| r.record.seq)
+        .collect();
     let anchors = anchors_between(&reads[0], &reads[1], 13, 6);
-    let chains = chain_anchors(&anchors, &ChainParams { min_chain_score: 20, ..Default::default() });
+    let chains = chain_anchors(
+        &anchors,
+        &ChainParams {
+            min_chain_score: 20,
+            ..Default::default()
+        },
+    );
     println!(
         "chain:   reads 0/1 share {} anchors; best chain has {} anchors (score {})",
         anchors.len(),
@@ -93,7 +111,14 @@ fn main() {
     println!(
         "polish:  draft-read error {raw_err} bases -> consensus error {cons_err} bases \
          ({}x improvement)",
-        if cons_err == 0 { raw_err } else { raw_err / cons_err.max(1) }
+        if cons_err == 0 {
+            raw_err
+        } else {
+            raw_err / cons_err.max(1)
+        }
     );
-    assert!(cons_err < raw_err / 3, "consensus must sharply reduce error");
+    assert!(
+        cons_err < raw_err / 3,
+        "consensus must sharply reduce error"
+    );
 }

@@ -1,0 +1,57 @@
+//! Observability walkthrough: run a kernel instrumented, read the
+//! per-task latency percentiles and worker utilization, and export a
+//! Chrome/Perfetto trace plus a metrics JSON.
+//!
+//! ```sh
+//! cargo run --release --example observability
+//! ```
+//! Load the printed trace path at <https://ui.perfetto.dev> to see one
+//! lane per worker with a span per task.
+
+use genomicsbench::obs::{MetricsRegistry, TraceRecorder};
+use genomicsbench::suite::dataset::DatasetSize;
+use genomicsbench::suite::kernels::{self, KernelId};
+
+fn main() {
+    let kernel = kernels::prepare(KernelId::Bsw, DatasetSize::Tiny);
+
+    // A TraceRecorder buffers one span per task; NullRecorder would make
+    // the same call zero-cost if we only wanted the histograms.
+    let recorder = TraceRecorder::new();
+    let stats = kernels::run_parallel_instrumented(kernel.as_ref(), 2, &recorder);
+    let task_stats = stats.task_stats.as_ref().expect("instrumented run");
+
+    println!(
+        "bsw: {} tasks in {:.3}s (checksum {:x})",
+        stats.tasks,
+        stats.elapsed.as_secs_f64(),
+        stats.checksum & 0xFFFF_FFFF
+    );
+    println!(
+        "task latency ns: p50 {}  p90 {}  p99 {}  max {}",
+        task_stats.p50_ns, task_stats.p90_ns, task_stats.p99_ns, task_stats.max_ns
+    );
+    for w in &task_stats.workers {
+        println!(
+            "worker {}: {} tasks, {:.1}% utilized",
+            w.worker,
+            w.tasks,
+            w.utilization() * 100.0
+        );
+    }
+
+    // Export: Chrome trace for Perfetto, metrics registry as JSON.
+    let trace_path = std::env::temp_dir().join("genomicsbench_observability_trace.json");
+    recorder
+        .trace()
+        .write_to_file(&trace_path)
+        .expect("write trace");
+    let mut registry = MetricsRegistry::new();
+    registry.record_task_stats("bsw", task_stats);
+    println!(
+        "trace: {} ({} events)",
+        trace_path.display(),
+        recorder.trace().len()
+    );
+    println!("metrics:\n{}", registry.to_json());
+}

@@ -32,11 +32,22 @@ fn main() {
     println!("reference: {genome_len} bases; windows of {region_len}\n");
 
     // 1. Reference + diploid sample.
-    let genome = Genome::generate(&GenomeConfig { length: genome_len, ..Default::default() }, 1);
+    let genome = Genome::generate(
+        &GenomeConfig {
+            length: genome_len,
+            ..Default::default()
+        },
+        1,
+    );
     let reference = genome.contig(0).clone();
     let sample = inject_variants(
         &reference,
-        &VariantConfig { snv_rate: 0.002, ins_rate: 0.0, del_rate: 0.0, ..Default::default() },
+        &VariantConfig {
+            snv_rate: 0.002,
+            ins_rate: 0.0,
+            del_rate: 0.0,
+            ..Default::default()
+        },
         2,
     );
     let truth_snvs: Vec<usize> = sample
@@ -52,7 +63,10 @@ fn main() {
     let mut mapped: Vec<(usize, ReadRecord)> = Vec::new();
     for (hi, hap) in sample.haplotypes().iter().enumerate() {
         let hap_genome = Genome::from_contigs(vec![(*hap).clone()]);
-        let cfg = ReadSimConfig { num_reads: genome_len * 20 / 151, ..ReadSimConfig::short(0) };
+        let cfg = ReadSimConfig {
+            num_reads: genome_len * 20 / 151,
+            ..ReadSimConfig::short(0)
+        };
         for sim in simulate_reads(&hap_genome, &cfg, 3 + hi as u64) {
             // 3+4. Map with SMEM seeding + banded SW extension.
             let fwd = sim.to_alignment().read; // strand-corrected
@@ -91,14 +105,23 @@ fn main() {
             ref_seq: reference.slice(region.start, region.end),
             reads,
         };
-        let asm = assemble_region(&task, &DbgParams { max_haplotypes: 4, ..Default::default() });
+        let asm = assemble_region(
+            &task,
+            &DbgParams {
+                max_haplotypes: 4,
+                ..Default::default()
+            },
+        );
         if asm.haplotypes.len() < 2 {
             continue;
         }
         // Score reference vs best alternate with the pair-HMM.
         let p = HmmParams::default();
         let score = |hap: &DnaSeq| -> f64 {
-            task.reads.iter().map(|r| forward_likelihood(&r.read, hap, &p).log10_likelihood).sum()
+            task.reads
+                .iter()
+                .map(|r| forward_likelihood(&r.read, hap, &p).log10_likelihood)
+                .sum()
         };
         let ref_score = score(&asm.haplotypes[0]);
         let (best_alt, alt_score) = asm.haplotypes[1..]
@@ -108,8 +131,12 @@ fn main() {
             .expect("at least one alternate");
         if alt_score > ref_score + 3.0 {
             // Locate the SNV positions the alternate haplotype implies.
-            for (off, (a, b)) in
-                task.ref_seq.as_codes().iter().zip(best_alt.as_codes()).enumerate()
+            for (off, (a, b)) in task
+                .ref_seq
+                .as_codes()
+                .iter()
+                .zip(best_alt.as_codes())
+                .enumerate()
             {
                 if best_alt.len() == task.ref_seq.len() && a != b {
                     called.push(region.start + off);
@@ -132,7 +159,10 @@ fn main() {
 /// SMEM-seed, then extend the best seed with banded SW; returns the
 /// best-scoring reference position.
 fn map_read(index: &BiIndex, reference: &DnaSeq, read: &DnaSeq) -> Option<usize> {
-    let cfg = SmemConfig { min_seed_len: 19, min_intv: 1 };
+    let cfg = SmemConfig {
+        min_seed_len: 19,
+        min_intv: 1,
+    };
     let smems = collect_smems(index, read, &cfg);
     let best = smems.iter().max_by_key(|m| m.len())?;
     let sw = SwParams::default();

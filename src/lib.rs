@@ -20,6 +20,7 @@
 //! | [`pileup`] | `gb-pileup` | pileup counting, Clair tensors |
 //! | [`uarch`] | `gb-uarch` | probes, cache simulator, top-down model |
 //! | [`simt`] | `gb-simt` | GPU SIMT model (Tables IV–V) |
+//! | [`obs`] | `gb-obs` | tracing facade, latency histograms, metrics, Chrome-trace export |
 //! | [`suite`] | `gb-suite` | the 12 kernels, datasets, reports, CLI |
 //!
 //! # Examples
@@ -37,6 +38,7 @@ pub use gb_datagen as datagen;
 pub use gb_dp as dp;
 pub use gb_fmi as fmi;
 pub use gb_nn as nn;
+pub use gb_obs as obs;
 pub use gb_pileup as pileup;
 pub use gb_poa as poa;
 pub use gb_popgen as popgen;

@@ -1,0 +1,159 @@
+//! End-to-end observability: an instrumented kernel run yields coherent
+//! task statistics, and the exported Chrome trace has the golden shape
+//! Perfetto expects (valid JSON array, `X` events with consistent
+//! timestamps/durations inside the run's wall time).
+
+use genomicsbench::obs::{LogHistogram, NullRecorder, TraceRecorder};
+use genomicsbench::suite::dataset::DatasetSize;
+use genomicsbench::suite::kernels::{self, KernelId};
+use genomicsbench::suite::pool::run_dynamic_instrumented;
+
+#[test]
+fn instrumented_kernel_run_has_coherent_stats() {
+    let kernel = kernels::prepare(KernelId::Chain, DatasetSize::Tiny);
+    let plain = kernels::run_parallel(kernel.as_ref(), 2);
+    let inst = kernels::run_parallel_instrumented(kernel.as_ref(), 2, &NullRecorder);
+    assert_eq!(
+        plain.checksum, inst.checksum,
+        "instrumentation changed results"
+    );
+    assert!(plain.task_stats.is_none());
+    let stats = inst.task_stats.expect("instrumented run records stats");
+    assert_eq!(stats.count as usize, inst.tasks);
+    assert_eq!(stats.workers.len(), 2);
+    assert_eq!(
+        stats.workers.iter().map(|w| w.tasks).sum::<u64>() as usize,
+        inst.tasks
+    );
+    // Percentiles are ordered and bounded by the max.
+    assert!(stats.p50_ns <= stats.p90_ns);
+    assert!(stats.p90_ns <= stats.p99_ns);
+    assert!(stats.p99_ns <= stats.max_ns);
+    assert!(stats.utilization > 0.0 && stats.utilization <= 1.0);
+}
+
+#[test]
+fn busy_plus_idle_matches_wall_time() {
+    let (_, elapsed, stats) = run_dynamic_instrumented(
+        200,
+        2,
+        |i| {
+            let mut acc = 0u64;
+            for j in 0..2_000u64 {
+                acc = acc.wrapping_add(std::hint::black_box(i as u64 ^ j));
+            }
+            acc
+        },
+        &NullRecorder,
+        "work",
+    );
+    let wall_ns = elapsed.as_nanos() as u64;
+    for w in &stats.workers {
+        assert!(w.busy_ns <= wall_ns);
+        // idle is defined as wall - busy, so the sum reconstructs wall.
+        assert_eq!(w.busy_ns + w.idle_ns, wall_ns.max(w.busy_ns));
+    }
+}
+
+#[test]
+fn chrome_trace_golden_shape() {
+    let recorder = TraceRecorder::new();
+    let kernel = kernels::prepare(KernelId::Chain, DatasetSize::Tiny);
+    let inst = kernels::run_parallel_instrumented(kernel.as_ref(), 2, &recorder);
+    let end_ns = recorder
+        .trace()
+        .events
+        .iter()
+        .map(|e| e.ts_ns + e.dur_ns)
+        .max()
+        .unwrap_or(0);
+    let json_text = recorder.into_trace().to_json_string();
+
+    let v: serde_json::Value = serde_json::from_str(&json_text).expect("trace is valid JSON");
+    let events = v.as_array().expect("trace is a JSON array");
+    assert_eq!(events.len(), inst.tasks, "one span per task");
+    let end_us = end_ns as f64 / 1000.0;
+    for e in events {
+        // Golden shape: the exact keys Perfetto's importer needs.
+        for key in ["name", "cat", "ph", "ts", "dur", "pid", "tid"] {
+            assert!(e.get(key).is_some(), "event missing '{key}': {e}");
+        }
+        assert_eq!(e.get("ph").and_then(|p| p.as_str()), Some("X"));
+        assert_eq!(e.get("name").and_then(|n| n.as_str()), Some("chain"));
+        assert_eq!(e.get("cat").and_then(|c| c.as_str()), Some("task"));
+        let ts = e.get("ts").and_then(|t| t.as_f64()).expect("numeric ts");
+        let dur = e.get("dur").and_then(|d| d.as_f64()).expect("numeric dur");
+        assert!(ts >= 0.0 && dur >= 0.0);
+        assert!(
+            ts + dur <= end_us + 1.0,
+            "span [{ts}, {ts}+{dur}] past end {end_us}"
+        );
+        let tid = e.get("tid").and_then(|t| t.as_u64()).expect("numeric tid");
+        assert!(tid < 2, "tid {tid} not a worker lane");
+    }
+}
+
+#[test]
+fn histogram_percentiles_track_sorted_reference() {
+    // Deterministic xorshift stream, no RNG dependency.
+    let mut state = 0x0123_4567_89ab_cdefu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let samples: Vec<u64> = (0..5_000).map(|_| next() % 10_000_000).collect();
+    let mut h = LogHistogram::new();
+    for &s in &samples {
+        h.record(s);
+    }
+    let mut sorted = samples;
+    sorted.sort_unstable();
+    for (q, est) in [(0.5, h.p50()), (0.9, h.p90()), (0.99, h.p99())] {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        assert!(est >= truth, "q={q}: {est} < {truth}");
+        assert!(
+            est <= truth + truth / 32 + 1,
+            "q={q}: {est} too far above {truth}"
+        );
+    }
+}
+
+#[test]
+fn histogram_merge_is_order_independent() {
+    let chunks: Vec<Vec<u64>> = (0..4)
+        .map(|c| {
+            (0..500u64)
+                .map(|i| (i * 2654435761 + c) % 1_000_000)
+                .collect()
+        })
+        .collect();
+    let mut forward = LogHistogram::new();
+    let mut backward = LogHistogram::new();
+    let mut bulk = LogHistogram::new();
+    for chunk in &chunks {
+        let mut h = LogHistogram::new();
+        for &v in chunk {
+            h.record(v);
+            bulk.record(v);
+        }
+        forward.merge(&h);
+    }
+    for chunk in chunks.iter().rev() {
+        let mut h = LogHistogram::new();
+        for &v in chunk {
+            h.record(v);
+        }
+        backward.merge(&h);
+    }
+    for h in [&forward, &backward] {
+        assert_eq!(h.count(), bulk.count());
+        assert_eq!(h.min(), bulk.min());
+        assert_eq!(h.max(), bulk.max());
+        for q in [0.25, 0.5, 0.75, 0.99] {
+            assert_eq!(h.value_at_quantile(q), bulk.value_at_quantile(q));
+        }
+    }
+}

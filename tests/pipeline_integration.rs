@@ -12,7 +12,11 @@ fn error_free_reads_map_back_to_their_origin() {
     use genomicsbench::fmi::bidir::BiIndex;
     use genomicsbench::fmi::smem::{collect_smems, SmemConfig};
     let genome = Genome::generate(
-        &GenomeConfig { length: 40_000, repeat_fraction: 0.0, ..Default::default() },
+        &GenomeConfig {
+            length: 40_000,
+            repeat_fraction: 0.0,
+            ..Default::default()
+        },
         77,
     );
     let index = BiIndex::build(genome.contig(0));
@@ -22,12 +26,19 @@ fn error_free_reads_map_back_to_their_origin() {
         ..ReadSimConfig::short(60)
     };
     for sim in simulate_reads(&genome, &cfg, 78) {
-        let smems =
-            collect_smems(&index, &sim.record.seq, &SmemConfig { min_seed_len: 20, min_intv: 1 });
+        let smems = collect_smems(
+            &index,
+            &sim.record.seq,
+            &SmemConfig {
+                min_seed_len: 20,
+                min_intv: 1,
+            },
+        );
         // A perfect read in unique sequence yields one full-length SMEM.
-        let full = smems.iter().find(|m| m.len() == sim.record.len()).unwrap_or_else(|| {
-            panic!("no full-length SMEM for read at {}", sim.true_pos)
-        });
+        let full = smems
+            .iter()
+            .find(|m| m.len() == sim.record.len())
+            .unwrap_or_else(|| panic!("no full-length SMEM for read at {}", sim.true_pos));
         let hits: Vec<u32> = (full.interval.k..full.interval.k + full.interval.s)
             .map(|row| index.forward().locate(row))
             .collect();
@@ -45,7 +56,11 @@ fn kmer_counts_reflect_genome_coverage() {
     // genome k-mers counts near the coverage depth.
     use genomicsbench::assembly::kmer_count::{count_kmers, KmerCountParams};
     let genome = Genome::generate(
-        &GenomeConfig { length: 20_000, repeat_fraction: 0.0, ..Default::default() },
+        &GenomeConfig {
+            length: 20_000,
+            repeat_fraction: 0.0,
+            ..Default::default()
+        },
         79,
     );
     let coverage = 12usize;
@@ -56,8 +71,10 @@ fn kmer_counts_reflect_genome_coverage() {
         errors: ErrorProfile::perfect(),
         revcomp_prob: 0.5,
     };
-    let reads: Vec<DnaSeq> =
-        simulate_reads(&genome, &cfg, 80).into_iter().map(|r| r.record.seq).collect();
+    let reads: Vec<DnaSeq> = simulate_reads(&genome, &cfg, 80)
+        .into_iter()
+        .map(|r| r.record.seq)
+        .collect();
     let (table, _) = count_kmers(&reads, &KmerCountParams::default());
     // Sample genome k-mers and check their counts cluster near coverage.
     let mut close = 0;
@@ -73,7 +90,10 @@ fn kmer_counts_reflect_genome_coverage() {
             close += 1;
         }
     }
-    assert!(close * 10 >= total * 8, "only {close}/{total} k-mers near coverage");
+    assert!(
+        close * 10 >= total * 8,
+        "only {close}/{total} k-mers near coverage"
+    );
 }
 
 #[test]
@@ -83,17 +103,33 @@ fn signal_alignment_recovers_event_truth() {
     use genomicsbench::datagen::signal::{simulate_signal, PoreModel, SignalSimConfig};
     use genomicsbench::dp::abea::{align_events, AbeaParams};
     let genome = Genome::generate(
-        &GenomeConfig { length: 500, repeat_fraction: 0.0, ..Default::default() },
+        &GenomeConfig {
+            length: 500,
+            repeat_fraction: 0.0,
+            ..Default::default()
+        },
         81,
     );
     let seq = genome.contig(0);
     let model = PoreModel::r9_like();
-    let cfg = SignalSimConfig { split_prob: 0.0, skip_prob: 0.0, ..Default::default() };
+    let cfg = SignalSimConfig {
+        split_prob: 0.0,
+        skip_prob: 0.0,
+        ..Default::default()
+    };
     let sig = simulate_signal(seq, &model, &cfg, 82);
     let r = align_events(&sig.events, seq, &model, &AbeaParams::default()).expect("aligns");
     // One event per k-mer: the alignment should be nearly the identity.
-    let exact = r.alignment.iter().filter(|a| a.event_idx == a.kmer_idx).count();
-    assert!(exact * 10 >= r.alignment.len() * 9, "{exact}/{} diagonal", r.alignment.len());
+    let exact = r
+        .alignment
+        .iter()
+        .filter(|a| a.event_idx == a.kmer_idx)
+        .count();
+    assert!(
+        exact * 10 >= r.alignment.len() * 9,
+        "{exact}/{} diagonal",
+        r.alignment.len()
+    );
 }
 
 #[test]
@@ -105,10 +141,21 @@ fn pileup_to_variant_call_chain() {
     use genomicsbench::nn::variant_caller::{VariantCaller, VariantCallerConfig};
     use genomicsbench::pileup::feature::clair_tensor;
     use genomicsbench::pileup::pileup::count_pileup;
-    let genome = Genome::generate(&GenomeConfig { length: 10_000, ..Default::default() }, 83);
-    let cfg = ReadSimConfig { num_reads: 60, ..ReadSimConfig::long(0) };
-    let reads: Vec<AlignmentRecord> =
-        simulate_reads(&genome, &cfg, 84).iter().map(|r| r.to_alignment()).collect();
+    let genome = Genome::generate(
+        &GenomeConfig {
+            length: 10_000,
+            ..Default::default()
+        },
+        83,
+    );
+    let cfg = ReadSimConfig {
+        num_reads: 60,
+        ..ReadSimConfig::long(0)
+    };
+    let reads: Vec<AlignmentRecord> = simulate_reads(&genome, &cfg, 84)
+        .iter()
+        .map(|r| r.to_alignment())
+        .collect();
     let contig = genome.contig(0).clone();
     let task = RegionTask {
         region: Region::new(0, 0, 10_000),
@@ -131,7 +178,11 @@ fn consensus_polishing_beats_raw_reads() {
     use genomicsbench::poa::align::PoaParams;
     use genomicsbench::poa::consensus::window_consensus;
     let genome = Genome::generate(
-        &GenomeConfig { length: 300, repeat_fraction: 0.0, ..Default::default() },
+        &GenomeConfig {
+            length: 300,
+            repeat_fraction: 0.0,
+            ..Default::default()
+        },
         86,
     );
     let truth = genome.contig(0).clone();
@@ -143,7 +194,11 @@ fn consensus_polishing_beats_raw_reads() {
         revcomp_prob: 0.0,
     };
     let mut window = vec![truth.clone()];
-    window.extend(simulate_reads(&genome, &cfg, 87).into_iter().map(|r| r.record.seq));
+    window.extend(
+        simulate_reads(&genome, &cfg, 87)
+            .into_iter()
+            .map(|r| r.record.seq),
+    );
     let (c, _) = window_consensus(&window, &PoaParams::default());
     let dist = edit_distance(c.as_codes(), truth.as_codes());
     assert!(dist <= 5, "consensus edit distance {dist}");

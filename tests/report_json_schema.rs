@@ -31,7 +31,10 @@ fn gpu_table_json_fields() {
             "gld_efficiency",
             "gst_efficiency",
         ] {
-            let v = k.get(field).and_then(|v| v.as_f64()).expect("numeric field");
+            let v = k
+                .get(field)
+                .and_then(|v| v.as_f64())
+                .expect("numeric field");
             assert!((0.0..=1.0).contains(&v), "{kernel}.{field} = {v}");
         }
     }
@@ -48,7 +51,10 @@ fn fig_json_rows_have_kernel_field() {
         reports::fig8(&chars),
         reports::fig9(&chars),
     ] {
-        let rows = r.json.as_array().unwrap_or_else(|| panic!("{} not an array", r.name));
+        let rows = r
+            .json
+            .as_array()
+            .unwrap_or_else(|| panic!("{} not an array", r.name));
         assert!(!rows.is_empty(), "{} empty", r.name);
         for row in rows {
             assert!(row.get("kernel").is_some(), "{} row missing kernel", r.name);
@@ -61,10 +67,16 @@ fn fig9_fractions_sum_to_one_in_json() {
     let chars = reports::characterize_all(DatasetSize::Tiny);
     let r = reports::fig9(&chars);
     for row in r.json.as_array().expect("array") {
-        let sum: f64 = ["retiring", "bad_speculation", "frontend_bound", "core_bound", "memory_bound"]
-            .iter()
-            .map(|f| row.get(*f).and_then(|v| v.as_f64()).expect("numeric"))
-            .sum();
+        let sum: f64 = [
+            "retiring",
+            "bad_speculation",
+            "frontend_bound",
+            "core_bound",
+            "memory_bound",
+        ]
+        .iter()
+        .map(|f| row.get(f).and_then(|v| v.as_f64()).expect("numeric"))
+        .sum();
         assert!((sum - 1.0).abs() < 1e-6, "{row}: sum {sum}");
     }
 }

@@ -38,7 +38,12 @@ fn work_distributions_are_sane() {
         let d = work_distribution(kernel.as_ref());
         assert!(d.mean > 0.0, "{} mean work 0", id.name());
         assert!(d.max >= d.min);
-        assert!(d.imbalance >= 0.99, "{} imbalance {}", id.name(), d.imbalance);
+        assert!(
+            d.imbalance >= 0.99,
+            "{} imbalance {}",
+            id.name(),
+            d.imbalance
+        );
     }
 }
 
@@ -83,8 +88,14 @@ fn gpu_tables_have_paper_ordering() {
 #[test]
 fn fig3_overcompute_and_sorting_mitigation() {
     let rows = genomicsbench::suite::kernels::bsw_batch_reports(DatasetSize::Tiny);
-    let unsorted = rows.iter().find(|(l, _)| l.contains("unsorted") && l.contains("16")).unwrap();
-    let sorted = rows.iter().find(|(l, _)| l.contains("sorted") && !l.contains("unsorted")).unwrap();
+    let unsorted = rows
+        .iter()
+        .find(|(l, _)| l.contains("unsorted") && l.contains("16"))
+        .unwrap();
+    let sorted = rows
+        .iter()
+        .find(|(l, _)| l.contains("sorted") && !l.contains("unsorted"))
+        .unwrap();
     assert!(unsorted.1.overcompute() > 1.2);
     assert!(sorted.1.overcompute() < unsorted.1.overcompute());
 }
@@ -95,12 +106,20 @@ fn memory_bound_ordering_matches_paper() {
     // outliers; phmm/bsw/chain retire most of their slots.
     let chars = reports::characterize_all(DatasetSize::Tiny);
     let get = |id: KernelId| {
-        chars.iter().find(|(k, _)| *k == id).map(|(_, c)| c.topdown).expect("present")
+        chars
+            .iter()
+            .find(|(k, _)| *k == id)
+            .map(|(_, c)| c.topdown)
+            .expect("present")
     };
     let kmercnt = get(KernelId::KmerCnt);
     let phmm = get(KernelId::Phmm);
     let bsw = get(KernelId::Bsw);
-    assert!(kmercnt.memory_bound > 0.5, "kmer-cnt {}", kmercnt.memory_bound);
+    assert!(
+        kmercnt.memory_bound > 0.5,
+        "kmer-cnt {}",
+        kmercnt.memory_bound
+    );
     assert!(phmm.retiring > 0.5, "phmm {}", phmm.retiring);
     assert!(bsw.retiring > 0.5, "bsw {}", bsw.retiring);
     assert!(kmercnt.memory_bound > phmm.memory_bound);
