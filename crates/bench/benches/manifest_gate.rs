@@ -1,0 +1,68 @@
+//! Manifest persistence and regression-gate costs: serializing a
+//! full-suite `RunManifest`, the atomic write+load round trip, and a
+//! `compare` over two 12-kernel manifests. These run on every CI
+//! invocation that gates a PR, so they must stay far below the noise
+//! floor of the kernels they guard (micro- not milliseconds).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gb_obs::compare::{compare, CompareConfig};
+use gb_obs::manifest::{KernelRecord, RunManifest};
+use gb_obs::HistogramSummary;
+use gb_suite::kernels::KernelId;
+
+/// A fully-populated manifest shaped like a real 12-kernel suite run.
+fn full_manifest(scale: u64) -> RunManifest {
+    let mut m = RunManifest::new("run", "tiny", 2);
+    for (i, id) in KernelId::ALL.iter().enumerate() {
+        let wall_ns = (i as u64 + 1) * 7_000_000 * scale / 100;
+        m.add_kernel(
+            id.name(),
+            KernelRecord {
+                wall_ns,
+                tasks: 100 + i as u64,
+                checksum: 0xABCD ^ i as u64,
+                work_unit: id.work_unit().to_string(),
+                work_total: 1_000_000 * (i as u64 + 1),
+                throughput_per_s: 1e9 * (i as f64 + 1.0) / wall_ns.max(1) as f64,
+                latency: Some(HistogramSummary {
+                    count: 100,
+                    mean: wall_ns as f64 / 100.0,
+                    p50: wall_ns / 120,
+                    p90: wall_ns / 80,
+                    p99: wall_ns / 60,
+                    max: wall_ns / 50,
+                }),
+                utilization: Some(0.9),
+                memory: None,
+            },
+        );
+    }
+    m
+}
+
+fn bench_manifest_gate(c: &mut Criterion) {
+    let base = full_manifest(100);
+    let cand = full_manifest(105); // uniform 5% drift, inside tolerance
+
+    let mut group = c.benchmark_group("manifest_gate");
+    group.bench_function("to_json_string", |b| {
+        b.iter(|| std::hint::black_box(base.to_json_string().len()))
+    });
+    group.bench_function("save_load_round_trip", |b| {
+        let path =
+            std::env::temp_dir().join(format!("gb_bench_manifest_{}.json", std::process::id()));
+        b.iter(|| {
+            base.save(&path).unwrap();
+            std::hint::black_box(RunManifest::load(&path).unwrap().kernels.len())
+        });
+        let _ = std::fs::remove_file(&path);
+    });
+    group.bench_function("compare_12_kernels", |b| {
+        let cfg = CompareConfig::default();
+        b.iter(|| std::hint::black_box(compare(&base, &cand, &cfg).deltas.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_manifest_gate);
+criterion_main!(benches);

@@ -1,0 +1,361 @@
+//! `genomicsbench compare`: a noise-aware perf-regression gate over two
+//! [`RunManifest`]s.
+//!
+//! Comparisons are direction-aware (wall time up = bad, throughput down
+//! = bad, peak memory up = bad) and guarded against microbenchmark
+//! jitter two ways:
+//!
+//! 1. a **min-runtime floor** ([`CompareConfig::min_wall_ns`]) — kernels
+//!    whose wall time is below the floor in *both* runs are reported but
+//!    never gate, because sub-floor timings are noise-dominated;
+//! 2. an **absolute slack** ([`CompareConfig::min_abs_wall_ns`]) — a
+//!    relative change only counts when the absolute wall-time delta also
+//!    clears the slack, so a 30% swing on a 2 ms kernel cannot fail CI
+//!    while a 30% swing on a 2 s kernel always does.
+//!
+//! The gate is deliberately symmetric-safe: comparing a manifest against
+//! itself never regresses, whatever the thresholds.
+
+use crate::manifest::RunManifest;
+use serde_json::{json, Value};
+
+/// Thresholds for [`compare`]. The defaults are tuned so that two
+/// honest tiny-tier runs pass while a 20% slowdown of any
+/// non-trivial kernel fails.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareConfig {
+    /// Relative change (fraction, not percent) beyond which a metric
+    /// counts as a regression or improvement.
+    pub rel_tolerance: f64,
+    /// Kernels below this wall time in both runs never gate.
+    pub min_wall_ns: u64,
+    /// A wall-time change must also exceed this absolute delta to gate.
+    pub min_abs_wall_ns: u64,
+    /// Peak-memory comparisons ignore kernels below this footprint in
+    /// both runs.
+    pub min_peak_bytes: u64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig {
+            rel_tolerance: 0.10,
+            min_wall_ns: 10_000_000,    // 10 ms
+            min_abs_wall_ns: 5_000_000, // 5 ms
+            min_peak_bytes: 1 << 20,    // 1 MiB
+        }
+    }
+}
+
+/// Which way a metric is supposed to move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller is better (wall time, peak memory).
+    LowerIsBetter,
+    /// Larger is better (throughput).
+    HigherIsBetter,
+}
+
+/// Verdict for one metric of one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within tolerance.
+    Ok,
+    /// Moved the good way beyond tolerance.
+    Improved,
+    /// Moved the bad way beyond tolerance — gates CI.
+    Regressed,
+    /// Below the noise floor; informational only.
+    BelowFloor,
+}
+
+impl Verdict {
+    /// Short label for tables and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Improved => "improved",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::BelowFloor => "below-floor",
+        }
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Kernel name.
+    pub kernel: String,
+    /// Metric name (`wall_time`, `throughput`, `peak_memory`).
+    pub metric: &'static str,
+    /// Baseline value.
+    pub base: f64,
+    /// Candidate value.
+    pub cand: f64,
+    /// `(cand - base) / base` (0 when the baseline is 0).
+    pub rel_change: f64,
+    /// Which way this metric should move.
+    pub direction: Direction,
+    /// Outcome.
+    pub verdict: Verdict,
+}
+
+/// Everything [`compare`] found.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompareReport {
+    /// Per-kernel, per-metric verdicts.
+    pub deltas: Vec<Delta>,
+    /// Kernels present only in the baseline (informational).
+    pub only_in_baseline: Vec<String>,
+    /// Kernels present only in the candidate (informational).
+    pub only_in_candidate: Vec<String>,
+}
+
+impl CompareReport {
+    /// The regressed deltas.
+    pub fn regressions(&self) -> impl Iterator<Item = &Delta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.verdict == Verdict::Regressed)
+    }
+
+    /// Whether any metric regressed (the CI gate).
+    pub fn has_regressions(&self) -> bool {
+        self.regressions().next().is_some()
+    }
+
+    /// Machine-readable form for `compare --json`.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "regressions": self.regressions().count(),
+            "deltas": self.deltas.iter().map(|d| json!({
+                "kernel": d.kernel,
+                "metric": d.metric,
+                "base": d.base,
+                "candidate": d.cand,
+                "rel_change": d.rel_change,
+                "verdict": d.verdict.label(),
+            })).collect::<Vec<_>>(),
+            "only_in_baseline": self.only_in_baseline,
+            "only_in_candidate": self.only_in_candidate,
+        })
+    }
+}
+
+fn rel_change(base: f64, cand: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (cand - base) / base
+    }
+}
+
+/// Classifies one metric. `gated` is false when the kernel sits below
+/// the noise floor; `abs_ok` is whether the absolute-delta slack is
+/// cleared.
+fn verdict(rel: f64, direction: Direction, tolerance: f64, gated: bool, abs_ok: bool) -> Verdict {
+    if !gated {
+        return Verdict::BelowFloor;
+    }
+    let signed = match direction {
+        Direction::LowerIsBetter => rel,   // increase is bad
+        Direction::HigherIsBetter => -rel, // decrease is bad
+    };
+    if signed > tolerance && abs_ok {
+        Verdict::Regressed
+    } else if signed < -tolerance && abs_ok {
+        Verdict::Improved
+    } else {
+        Verdict::Ok
+    }
+}
+
+/// Compares `cand` against `base` under `cfg`.
+pub fn compare(base: &RunManifest, cand: &RunManifest, cfg: &CompareConfig) -> CompareReport {
+    let mut report = CompareReport::default();
+    for (name, b) in &base.kernels {
+        let Some(c) = cand.kernels.get(name) else {
+            report.only_in_baseline.push(name.clone());
+            continue;
+        };
+        // The floor looks at both runs: a kernel that crossed the floor
+        // in either direction is still compared, so a regression that
+        // pushes a kernel *over* the floor cannot hide below it.
+        let gated = b.wall_ns.max(c.wall_ns) >= cfg.min_wall_ns;
+        let abs_ok = b.wall_ns.abs_diff(c.wall_ns) >= cfg.min_abs_wall_ns;
+
+        let rel = rel_change(b.wall_ns as f64, c.wall_ns as f64);
+        report.deltas.push(Delta {
+            kernel: name.clone(),
+            metric: "wall_time",
+            base: b.wall_ns as f64,
+            cand: c.wall_ns as f64,
+            rel_change: rel,
+            direction: Direction::LowerIsBetter,
+            verdict: verdict(
+                rel,
+                Direction::LowerIsBetter,
+                cfg.rel_tolerance,
+                gated,
+                abs_ok,
+            ),
+        });
+
+        if b.throughput_per_s > 0.0 && c.throughput_per_s > 0.0 {
+            let rel = rel_change(b.throughput_per_s, c.throughput_per_s);
+            report.deltas.push(Delta {
+                kernel: name.clone(),
+                metric: "throughput",
+                base: b.throughput_per_s,
+                cand: c.throughput_per_s,
+                rel_change: rel,
+                direction: Direction::HigherIsBetter,
+                // Throughput is work/wall, so its significance guard is
+                // the same wall-based one — relative throughput noise is
+                // exactly relative wall noise when work is fixed.
+                verdict: verdict(
+                    rel,
+                    Direction::HigherIsBetter,
+                    cfg.rel_tolerance,
+                    gated,
+                    abs_ok,
+                ),
+            });
+        }
+
+        if let (Some(bm), Some(cm)) = (&b.memory, &c.memory) {
+            let mem_gated = bm.peak_bytes.max(cm.peak_bytes) >= cfg.min_peak_bytes;
+            let rel = rel_change(bm.peak_bytes as f64, cm.peak_bytes as f64);
+            report.deltas.push(Delta {
+                kernel: name.clone(),
+                metric: "peak_memory",
+                base: bm.peak_bytes as f64,
+                cand: cm.peak_bytes as f64,
+                rel_change: rel,
+                direction: Direction::LowerIsBetter,
+                // Allocation totals are deterministic, so no absolute
+                // slack beyond the footprint floor.
+                verdict: verdict(
+                    rel,
+                    Direction::LowerIsBetter,
+                    cfg.rel_tolerance,
+                    mem_gated,
+                    true,
+                ),
+            });
+        }
+    }
+    for name in cand.kernels.keys() {
+        if !base.kernels.contains_key(name) {
+            report.only_in_candidate.push(name.clone());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::{KernelRecord, MemoryRecord};
+
+    fn manifest(kernels: &[(&str, u64, f64)]) -> RunManifest {
+        let mut m = RunManifest::new("run", "tiny", 1);
+        for (name, wall_ns, thr) in kernels {
+            m.add_kernel(
+                name,
+                KernelRecord {
+                    wall_ns: *wall_ns,
+                    tasks: 10,
+                    checksum: 1,
+                    work_unit: "cells".into(),
+                    work_total: 1000,
+                    throughput_per_s: *thr,
+                    latency: None,
+                    utilization: None,
+                    memory: None,
+                },
+            );
+        }
+        m
+    }
+
+    #[test]
+    fn self_compare_never_regresses() {
+        let m = manifest(&[("bsw", 50_000_000, 1e6), ("fmi", 500_000, 9e6)]);
+        let r = compare(&m, &m, &CompareConfig::default());
+        assert!(!r.has_regressions());
+        assert!(r.deltas.iter().all(|d| d.rel_change == 0.0));
+    }
+
+    #[test]
+    fn twenty_percent_slowdown_regresses_and_names_kernel() {
+        let base = manifest(&[("phmm", 700_000_000, 1e6)]);
+        let cand = manifest(&[("phmm", 840_000_000, 1e6 / 1.2)]);
+        let r = compare(&base, &cand, &CompareConfig::default());
+        let regs: Vec<_> = r.regressions().collect();
+        assert!(regs
+            .iter()
+            .any(|d| d.kernel == "phmm" && d.metric == "wall_time"));
+        assert!(regs
+            .iter()
+            .any(|d| d.kernel == "phmm" && d.metric == "throughput"));
+    }
+
+    #[test]
+    fn sub_floor_jitter_does_not_gate() {
+        // 2 ms -> 3 ms is a 50% swing but far below the 10 ms floor.
+        let base = manifest(&[("fmi", 2_000_000, 1e6)]);
+        let cand = manifest(&[("fmi", 3_000_000, 0.66e6)]);
+        let r = compare(&base, &cand, &CompareConfig::default());
+        assert!(!r.has_regressions());
+        assert!(r.deltas.iter().all(|d| d.verdict == Verdict::BelowFloor));
+    }
+
+    #[test]
+    fn small_absolute_delta_does_not_gate() {
+        // 12% relative but only 2.4 ms absolute: inside the 5 ms slack.
+        let base = manifest(&[("dbg", 20_000_000, 1e6)]);
+        let cand = manifest(&[("dbg", 22_400_000, 1e6 / 1.12)]);
+        let r = compare(&base, &cand, &CompareConfig::default());
+        assert!(!r.has_regressions());
+    }
+
+    #[test]
+    fn speedup_reports_improvement() {
+        let base = manifest(&[("grm", 100_000_000, 1e6)]);
+        let cand = manifest(&[("grm", 50_000_000, 2e6)]);
+        let r = compare(&base, &cand, &CompareConfig::default());
+        assert!(!r.has_regressions());
+        assert!(r.deltas.iter().any(|d| d.verdict == Verdict::Improved));
+    }
+
+    #[test]
+    fn disjoint_kernels_are_informational() {
+        let base = manifest(&[("bsw", 50_000_000, 1e6)]);
+        let cand = manifest(&[("fmi", 50_000_000, 1e6)]);
+        let r = compare(&base, &cand, &CompareConfig::default());
+        assert_eq!(r.only_in_baseline, vec!["bsw".to_string()]);
+        assert_eq!(r.only_in_candidate, vec!["fmi".to_string()]);
+        assert!(!r.has_regressions());
+    }
+
+    #[test]
+    fn memory_growth_regresses() {
+        let mem = |peak: u64| {
+            Some(MemoryRecord {
+                peak_bytes: peak,
+                end_bytes: peak / 2,
+                allocs: 10,
+                frees: 5,
+            })
+        };
+        let mut base = manifest(&[("kmer-cnt", 50_000_000, 1e6)]);
+        base.kernels.get_mut("kmer-cnt").unwrap().memory = mem(100 << 20);
+        let mut cand = manifest(&[("kmer-cnt", 50_000_000, 1e6)]);
+        cand.kernels.get_mut("kmer-cnt").unwrap().memory = mem(150 << 20);
+        let r = compare(&base, &cand, &CompareConfig::default());
+        assert!(r
+            .regressions()
+            .any(|d| d.metric == "peak_memory" && d.kernel == "kmer-cnt"));
+    }
+}

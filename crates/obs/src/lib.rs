@@ -11,6 +11,13 @@
 //! stage spans; the CLI surfaces both via `--trace`, `--metrics`, and
 //! the `profile` subcommand.
 //!
+//! On top of the live instrumentation sit the persistence and
+//! comparison layers: [`manifest`] (schema-versioned [`RunManifest`]
+//! artifacts with atomic writes), [`mem`] (a feature-gated
+//! [`TrackingAllocator`](mem::TrackingAllocator) for measured heap
+//! footprints), and [`compare`] (the noise-aware regression gate behind
+//! `genomicsbench compare`).
+//!
 //! ```
 //! use gb_obs::{LogHistogram, NullRecorder, Recorder};
 //!
@@ -24,16 +31,23 @@
 //! assert!(!NullRecorder.enabled());
 //! ```
 
-#![forbid(unsafe_code)]
+// The one unsafe block in the crate is the `GlobalAlloc` delegation in
+// `mem` (feature-gated); everything else stays forbidden via deny+allow.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod hist;
+pub mod manifest;
+pub mod mem;
 pub mod recorder;
 pub mod registry;
 pub mod stats;
 pub mod trace;
 
+pub use compare::{CompareConfig, CompareReport, Delta, Verdict};
 pub use hist::{HistogramSummary, LogHistogram};
+pub use manifest::{KernelRecord, ManifestError, MemoryRecord, RunManifest, SCHEMA_VERSION};
 pub use recorder::{NullRecorder, Recorder, TraceRecorder};
 pub use registry::MetricsRegistry;
 pub use stats::{TaskStats, WorkerStats};

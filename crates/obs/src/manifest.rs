@@ -1,0 +1,529 @@
+//! Run manifests: one schema-versioned JSON artifact per suite
+//! invocation, capturing everything needed to compare two runs —
+//! per-kernel wall time, throughput in paper units, latency-histogram
+//! summaries, worker utilization, measured memory footprint, and the
+//! merged [`MetricsRegistry`](crate::MetricsRegistry) dump (runtime +
+//! microarchitectural counters).
+//!
+//! Manifests are written atomically (temp file + rename in the target
+//! directory) so a reader — `genomicsbench compare`, CI tooling — never
+//! sees a half-written file, and every manifest embeds
+//! [`SCHEMA_VERSION`]; loading rejects files whose major version this
+//! build does not understand.
+//!
+//! JSON conversion is hand-rolled over [`serde_json::Value`] (rather
+//! than derived) so absent optional fields are *omitted*, field order
+//! is stable, and the exact shape under test in
+//! `tests/manifest_schema.rs` is explicit in one place.
+
+use crate::hist::HistogramSummary;
+use serde_json::{Map, Value};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Manifest schema version, `major.minor`. Bump the major for breaking
+/// shape changes (readers reject them), the minor for additive ones.
+pub const SCHEMA_VERSION: &str = "1.0";
+
+/// Parses the major component of a `major.minor` schema version.
+pub fn schema_major(version: &str) -> Option<u64> {
+    version.split('.').next()?.parse().ok()
+}
+
+/// Why a manifest could not be loaded.
+#[derive(Debug)]
+pub enum ManifestError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// The file is not valid manifest JSON.
+    Parse(String),
+    /// The manifest's schema major differs from this build's.
+    Version {
+        /// `schema_version` found in the file.
+        found: String,
+    },
+}
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ManifestError::Io(e) => write!(f, "{e}"),
+            ManifestError::Parse(e) => write!(f, "invalid manifest JSON: {e}"),
+            ManifestError::Version { found } => write!(
+                f,
+                "unsupported manifest schema '{found}' (this build reads major {})",
+                schema_major(SCHEMA_VERSION).unwrap_or(0)
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+impl From<std::io::Error> for ManifestError {
+    fn from(e: std::io::Error) -> Self {
+        ManifestError::Io(e)
+    }
+}
+
+/// Measured heap footprint of one kernel span (requires the
+/// `mem-profile` feature and the tracking allocator; see [`crate::mem`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryRecord {
+    /// Peak live heap bytes observed during the span.
+    pub peak_bytes: u64,
+    /// Live heap bytes when the span closed.
+    pub end_bytes: u64,
+    /// Allocations performed during the span.
+    pub allocs: u64,
+    /// Deallocations performed during the span.
+    pub frees: u64,
+}
+
+/// One kernel's results within a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRecord {
+    /// Wall-clock time, nanoseconds.
+    pub wall_ns: u64,
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Order-insensitive output checksum (divergence detector).
+    pub checksum: u64,
+    /// Unit of `work_total` — the paper's per-kernel throughput unit
+    /// (`cells`, `kmers`, `anchors`, `occ_lookups`, …).
+    pub work_unit: String,
+    /// Total data-parallel work across tasks, in `work_unit`s.
+    pub work_total: u64,
+    /// `work_total / wall seconds` — throughput in `work_unit`/s.
+    pub throughput_per_s: f64,
+    /// Per-task latency percentiles (instrumented runs).
+    pub latency: Option<HistogramSummary>,
+    /// Mean worker utilization in `[0, 1]` (instrumented runs).
+    pub utilization: Option<f64>,
+    /// Measured heap footprint (`mem-profile` builds only).
+    pub memory: Option<MemoryRecord>,
+}
+
+/// A complete, self-describing record of one suite invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Manifest schema version ([`SCHEMA_VERSION`] at write time).
+    pub schema_version: String,
+    /// Subcommand that produced the manifest (`run`, `profile`, `report`).
+    pub command: String,
+    /// Suite crate version.
+    pub suite_version: String,
+    /// Git revision of the suite checkout, when discoverable.
+    pub git_rev: Option<String>,
+    /// Unix timestamp (seconds) at write time.
+    pub created_unix_s: Option<u64>,
+    /// Dataset tier the run used (`tiny`, `small`, `large`).
+    pub tier: String,
+    /// Worker threads the run used.
+    pub threads: usize,
+    /// Per-kernel results, keyed by kernel name.
+    pub kernels: BTreeMap<String, KernelRecord>,
+    /// Full [`MetricsRegistry`](crate::MetricsRegistry) dump: counters,
+    /// gauges, histograms — including the `gb-uarch` characterization
+    /// counters when the invocation gathered them. `Null` when the run
+    /// collected none.
+    pub metrics: Value,
+}
+
+// --- field readers over Value (shared by every from_json below) ---
+
+fn need<'v>(v: &'v Value, key: &str) -> Result<&'v Value, String> {
+    v.get(key).ok_or_else(|| format!("missing field '{key}'"))
+}
+
+fn need_u64(v: &Value, key: &str) -> Result<u64, String> {
+    need(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field '{key}' is not a u64"))
+}
+
+fn need_f64(v: &Value, key: &str) -> Result<f64, String> {
+    need(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field '{key}' is not a number"))
+}
+
+fn need_str(v: &Value, key: &str) -> Result<String, String> {
+    Ok(need(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("field '{key}' is not a string"))?
+        .to_string())
+}
+
+impl MemoryRecord {
+    /// JSON form.
+    pub fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("peak_bytes".into(), Value::from(self.peak_bytes));
+        m.insert("end_bytes".into(), Value::from(self.end_bytes));
+        m.insert("allocs".into(), Value::from(self.allocs));
+        m.insert("frees".into(), Value::from(self.frees));
+        Value::Object(m)
+    }
+
+    /// Parses the JSON form.
+    pub fn from_json(v: &Value) -> Result<MemoryRecord, String> {
+        Ok(MemoryRecord {
+            peak_bytes: need_u64(v, "peak_bytes")?,
+            end_bytes: need_u64(v, "end_bytes")?,
+            allocs: need_u64(v, "allocs")?,
+            frees: need_u64(v, "frees")?,
+        })
+    }
+}
+
+fn summary_to_json(s: &HistogramSummary) -> Value {
+    let mut m = Map::new();
+    m.insert("count".into(), Value::from(s.count));
+    m.insert("mean".into(), Value::from(s.mean));
+    m.insert("p50".into(), Value::from(s.p50));
+    m.insert("p90".into(), Value::from(s.p90));
+    m.insert("p99".into(), Value::from(s.p99));
+    m.insert("max".into(), Value::from(s.max));
+    Value::Object(m)
+}
+
+fn summary_from_json(v: &Value) -> Result<HistogramSummary, String> {
+    Ok(HistogramSummary {
+        count: need_u64(v, "count")?,
+        mean: need_f64(v, "mean")?,
+        p50: need_u64(v, "p50")?,
+        p90: need_u64(v, "p90")?,
+        p99: need_u64(v, "p99")?,
+        max: need_u64(v, "max")?,
+    })
+}
+
+impl KernelRecord {
+    /// JSON form; absent optionals are omitted, not null.
+    pub fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("wall_ns".into(), Value::from(self.wall_ns));
+        m.insert("tasks".into(), Value::from(self.tasks));
+        m.insert("checksum".into(), Value::from(self.checksum));
+        m.insert("work_unit".into(), Value::from(self.work_unit.as_str()));
+        m.insert("work_total".into(), Value::from(self.work_total));
+        m.insert(
+            "throughput_per_s".into(),
+            Value::from(self.throughput_per_s),
+        );
+        if let Some(l) = &self.latency {
+            m.insert("latency".into(), summary_to_json(l));
+        }
+        if let Some(u) = self.utilization {
+            m.insert("utilization".into(), Value::from(u));
+        }
+        if let Some(mem) = &self.memory {
+            m.insert("memory".into(), mem.to_json());
+        }
+        Value::Object(m)
+    }
+
+    /// Parses the JSON form.
+    pub fn from_json(v: &Value) -> Result<KernelRecord, String> {
+        Ok(KernelRecord {
+            wall_ns: need_u64(v, "wall_ns")?,
+            tasks: need_u64(v, "tasks")?,
+            checksum: need_u64(v, "checksum")?,
+            work_unit: need_str(v, "work_unit")?,
+            work_total: need_u64(v, "work_total")?,
+            throughput_per_s: need_f64(v, "throughput_per_s")?,
+            latency: match v.get("latency") {
+                Some(l) if !l.is_null() => Some(summary_from_json(l)?),
+                _ => None,
+            },
+            utilization: v.get("utilization").and_then(Value::as_f64),
+            memory: match v.get("memory") {
+                Some(mv) if !mv.is_null() => Some(MemoryRecord::from_json(mv)?),
+                _ => None,
+            },
+        })
+    }
+}
+
+impl RunManifest {
+    /// An empty manifest stamped with the current schema version, suite
+    /// version, wall-clock time, and (when discoverable) git revision.
+    pub fn new(command: &str, tier: &str, threads: usize) -> RunManifest {
+        RunManifest {
+            schema_version: SCHEMA_VERSION.to_string(),
+            command: command.to_string(),
+            suite_version: env!("CARGO_PKG_VERSION").to_string(),
+            git_rev: git_revision(),
+            created_unix_s: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .ok()
+                .map(|d| d.as_secs()),
+            tier: tier.to_string(),
+            threads,
+            kernels: BTreeMap::new(),
+            metrics: Value::Null,
+        }
+    }
+
+    /// Adds one kernel's record.
+    pub fn add_kernel(&mut self, name: &str, record: KernelRecord) {
+        self.kernels.insert(name.to_string(), record);
+    }
+
+    /// JSON form.
+    pub fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert(
+            "schema_version".into(),
+            Value::from(self.schema_version.as_str()),
+        );
+        m.insert("command".into(), Value::from(self.command.as_str()));
+        m.insert(
+            "suite_version".into(),
+            Value::from(self.suite_version.as_str()),
+        );
+        if let Some(rev) = &self.git_rev {
+            m.insert("git_rev".into(), Value::from(rev.as_str()));
+        }
+        if let Some(ts) = self.created_unix_s {
+            m.insert("created_unix_s".into(), Value::from(ts));
+        }
+        m.insert("tier".into(), Value::from(self.tier.as_str()));
+        m.insert("threads".into(), Value::from(self.threads as u64));
+        let mut kernels = Map::new();
+        for (name, rec) in &self.kernels {
+            kernels.insert(name.clone(), rec.to_json());
+        }
+        m.insert("kernels".into(), Value::Object(kernels));
+        m.insert("metrics".into(), self.metrics.clone());
+        Value::Object(m)
+    }
+
+    /// Parses the JSON form (schema version must match in major; use
+    /// [`RunManifest::load`] for files).
+    pub fn from_json(v: &Value) -> Result<RunManifest, ManifestError> {
+        let found = v
+            .get("schema_version")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+        if schema_major(&found) != schema_major(SCHEMA_VERSION) {
+            return Err(ManifestError::Version { found });
+        }
+        let parse = || -> Result<RunManifest, String> {
+            let mut kernels = BTreeMap::new();
+            let kmap = need(v, "kernels")?
+                .as_object()
+                .ok_or("'kernels' is not an object")?;
+            for (name, rec) in kmap.iter() {
+                kernels.insert(
+                    name.clone(),
+                    KernelRecord::from_json(rec).map_err(|e| format!("kernel '{name}': {e}"))?,
+                );
+            }
+            Ok(RunManifest {
+                schema_version: found.clone(),
+                command: need_str(v, "command")?,
+                suite_version: need_str(v, "suite_version")?,
+                git_rev: v.get("git_rev").and_then(Value::as_str).map(str::to_string),
+                created_unix_s: v.get("created_unix_s").and_then(Value::as_u64),
+                tier: need_str(v, "tier")?,
+                threads: need_u64(v, "threads")? as usize,
+                kernels,
+                metrics: v.get("metrics").cloned().unwrap_or(Value::Null),
+            })
+        };
+        parse().map_err(ManifestError::Parse)
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(&self.to_json()).expect("manifest serializes")
+    }
+
+    /// Writes the manifest atomically (temp file + rename).
+    pub fn save(&self, path: &Path) -> Result<(), ManifestError> {
+        write_bytes_atomic(path, self.to_json_string().as_bytes())?;
+        Ok(())
+    }
+
+    /// Loads and validates a manifest: parse errors and unknown schema
+    /// majors are rejected (a minor-version skew is accepted — the
+    /// schema only grows within a major).
+    pub fn load(path: &Path) -> Result<RunManifest, ManifestError> {
+        let body = std::fs::read_to_string(path)?;
+        let probe: Value =
+            serde_json::from_str(&body).map_err(|e| ManifestError::Parse(e.to_string()))?;
+        RunManifest::from_json(&probe)
+    }
+}
+
+/// Best-effort git revision of the current checkout (`None` outside a
+/// repo or without git on PATH).
+pub fn git_revision() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let rev = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    (!rev.is_empty()).then_some(rev)
+}
+
+/// Writes `bytes` to `path` atomically: the content lands in a unique
+/// temp file in the same directory and is renamed into place, so
+/// concurrent readers see either the old file or the new one — never a
+/// partial write. All `results/` artifacts go through this.
+pub fn write_bytes_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name")
+        })?
+        .to_string_lossy()
+        .into_owned();
+    // Unique per process+thread: concurrent writers race on the rename
+    // (last one wins, each file complete), never on the temp content.
+    let tmp = dir.join(format!(
+        ".{file_name}.{}.{:?}.tmp",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// [`write_bytes_atomic`] for a JSON value, pretty-printed.
+pub fn write_json_atomic(path: &Path, json: &Value) -> std::io::Result<()> {
+    let body = serde_json::to_string_pretty(json).expect("JSON serializes");
+    write_bytes_atomic(path, body.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gb_obs_manifest_{name}_{}", std::process::id()));
+        p
+    }
+
+    fn sample() -> RunManifest {
+        let mut m = RunManifest::new("run", "tiny", 2);
+        m.add_kernel(
+            "chain",
+            KernelRecord {
+                wall_ns: 3_000_000,
+                tasks: 20,
+                checksum: 0x355e855,
+                work_unit: "anchors".into(),
+                work_total: 40_000,
+                throughput_per_s: 40_000.0 / 3e-3,
+                latency: None,
+                utilization: Some(0.93),
+                memory: None,
+            },
+        );
+        m
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let path = tmp_path("round_trip");
+        let m = sample();
+        m.save(&path).unwrap();
+        let loaded = RunManifest::load(&path).unwrap();
+        assert_eq!(loaded, m);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unknown_major_is_rejected() {
+        let path = tmp_path("bad_major");
+        let mut m = sample();
+        m.schema_version = "99.0".into();
+        m.save(&path).unwrap();
+        match RunManifest::load(&path) {
+            Err(ManifestError::Version { found }) => assert_eq!(found, "99.0"),
+            other => panic!("expected version error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn newer_minor_is_accepted() {
+        let path = tmp_path("newer_minor");
+        let mut m = sample();
+        m.schema_version = "1.99".into();
+        m.save(&path).unwrap();
+        assert!(RunManifest::load(&path).is_ok());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn half_written_file_is_a_parse_error_not_a_panic() {
+        let path = tmp_path("truncated");
+        let full = sample().to_json_string();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(matches!(
+            RunManifest::load(&path),
+            Err(ManifestError::Parse(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_replaces_existing_content() {
+        let path = tmp_path("replace");
+        write_bytes_atomic(&path, b"old").unwrap();
+        write_bytes_atomic(&path, b"new").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn schema_major_parses() {
+        assert_eq!(schema_major("1.0"), Some(1));
+        assert_eq!(schema_major("12.34"), Some(12));
+        assert_eq!(schema_major("nope"), None);
+    }
+
+    #[test]
+    fn full_record_round_trips_through_json() {
+        let mut m = sample();
+        let rec = m.kernels.get_mut("chain").unwrap();
+        rec.latency = Some(HistogramSummary {
+            count: 20,
+            mean: 150_000.0,
+            p50: 140_000,
+            p90: 200_000,
+            p99: 250_000,
+            max: 260_000,
+        });
+        rec.memory = Some(MemoryRecord {
+            peak_bytes: 5 << 20,
+            end_bytes: 1 << 20,
+            allocs: 100,
+            frees: 90,
+        });
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+    }
+}

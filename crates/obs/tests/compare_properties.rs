@@ -1,0 +1,111 @@
+//! Property tests for the regression gate: comparing a manifest against
+//! itself never gates, and a genuine +20% wall-time regression on a
+//! kernel above the noise floor always gates.
+
+use gb_obs::compare::{compare, CompareConfig};
+use gb_obs::manifest::{KernelRecord, RunManifest};
+use proptest::prelude::*;
+
+fn manifest_from(walls: &[(String, u64, u64)]) -> RunManifest {
+    let mut m = RunManifest::new("run", "tiny", 1);
+    for (name, wall_ns, work) in walls {
+        let secs = (*wall_ns as f64 / 1e9).max(1e-12);
+        m.add_kernel(
+            name,
+            KernelRecord {
+                wall_ns: *wall_ns,
+                tasks: 7,
+                checksum: 42,
+                work_unit: "cells".into(),
+                work_total: *work,
+                throughput_per_s: *work as f64 / secs,
+                latency: None,
+                utilization: None,
+                memory: None,
+            },
+        );
+    }
+    m
+}
+
+/// Arbitrary kernel sets: indexed names, walls from 0 to 10 s.
+fn kernels_strategy() -> impl Strategy<Value = Vec<(String, u64, u64)>> {
+    proptest::collection::vec((0u64..10_000_000_000, 1u64..1_000_000_000), 1..8).prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (w, t))| (format!("k{i}"), w, t))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A vs A is always clean, whatever the walls and thresholds.
+    #[test]
+    fn self_compare_is_symmetric_safe(
+        kernels in kernels_strategy(),
+        tol in 0.01f64..0.5,
+        floor_ms in 0u64..100,
+    ) {
+        let m = manifest_from(&kernels);
+        let cfg = CompareConfig {
+            rel_tolerance: tol,
+            min_wall_ns: floor_ms * 1_000_000,
+            ..CompareConfig::default()
+        };
+        let r = compare(&m, &m, &cfg);
+        prop_assert!(!r.has_regressions(), "self-compare regressed: {:?}", r);
+        prop_assert!(r.only_in_baseline.is_empty());
+        prop_assert!(r.only_in_candidate.is_empty());
+    }
+
+    /// Injecting +20% wall time into a kernel that clears both noise
+    /// guards always flags that kernel, under the default config.
+    #[test]
+    fn injected_twenty_percent_always_flags(
+        kernels in kernels_strategy(),
+        victim_wall_ms in 50u64..5_000,
+    ) {
+        let cfg = CompareConfig::default();
+        let mut base_kernels = kernels.clone();
+        // The victim's wall clears the floor, and +20% of it clears the
+        // absolute slack (50 ms -> 10 ms delta > 5 ms slack).
+        base_kernels.push(("victim".to_string(), victim_wall_ms * 1_000_000, 1_000_000));
+        let base = manifest_from(&base_kernels);
+
+        let mut cand = base.clone();
+        {
+            let k = cand.kernels.get_mut("victim").unwrap();
+            k.wall_ns = k.wall_ns + k.wall_ns / 5; // +20%
+            k.throughput_per_s =
+                k.work_total as f64 / (k.wall_ns as f64 / 1e9);
+        }
+        let r = compare(&base, &cand, &cfg);
+        prop_assert!(
+            r.regressions().any(|d| d.kernel == "victim" && d.metric == "wall_time"),
+            "missed injected regression: {:?}",
+            r.deltas.iter().filter(|d| d.kernel == "victim").collect::<Vec<_>>()
+        );
+        // Direction awareness: no *other* kernel regresses (their values
+        // are identical in both manifests).
+        prop_assert!(r.regressions().all(|d| d.kernel == "victim"));
+    }
+
+    /// Uniform speedups never gate: improvements are not regressions.
+    #[test]
+    fn speedups_never_gate(
+        kernels in kernels_strategy(),
+        speedup_pct in 1u64..80,
+    ) {
+        let base = manifest_from(&kernels);
+        let mut cand = base.clone();
+        for k in cand.kernels.values_mut() {
+            k.wall_ns -= k.wall_ns * speedup_pct / 100;
+            let secs = (k.wall_ns as f64 / 1e9).max(1e-12);
+            k.throughput_per_s = k.work_total as f64 / secs;
+        }
+        let r = compare(&base, &cand, &CompareConfig::default());
+        prop_assert!(!r.has_regressions(), "speedup gated: {:?}", r);
+    }
+}

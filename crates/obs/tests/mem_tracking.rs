@@ -1,0 +1,72 @@
+//! TrackingAllocator behaviour with the allocator actually registered.
+//! Only meaningful under `--features mem-profile`; without the feature
+//! the whole file compiles to nothing (registering the tracker would
+//! not compile, and the counters would read zero anyway).
+#![cfg(feature = "mem-profile")]
+
+use gb_obs::mem::{self, MemSpan, TrackingAllocator};
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
+
+/// An allocation the optimizer cannot elide.
+fn ballast(bytes: usize) -> Vec<u8> {
+    std::hint::black_box(vec![0xA5u8; bytes])
+}
+
+#[test]
+fn tracking_allocator_counts_and_spans_nest() {
+    // --- counters move with allocations ---
+    let before = mem::snapshot();
+    let keep = ballast(1 << 20);
+    let after = mem::snapshot();
+    assert!(after.allocs > before.allocs, "alloc not counted");
+    assert!(
+        after.current_bytes >= before.current_bytes + (1 << 20),
+        "live bytes did not grow by the allocation"
+    );
+    // Peak is a high-water mark: never below the live total.
+    assert!(after.peak_bytes >= after.current_bytes);
+    drop(keep);
+    let freed = mem::snapshot();
+    assert!(freed.frees > after.frees, "free not counted");
+    assert!(freed.current_bytes < after.current_bytes);
+
+    // --- span peaks cover what happened inside them ---
+    let outer = MemSpan::enter();
+    let held = ballast(4 << 20); // 4 MiB live across the inner span
+    let inner = MemSpan::enter();
+    let transient = ballast(8 << 20); // 8 MiB, freed before inner exits
+    let inner_floor = mem::snapshot().current_bytes;
+    drop(transient);
+    let inner_report = inner.exit();
+    assert!(
+        inner_report.peak_bytes >= inner_floor,
+        "inner peak {} below its own live total {}",
+        inner_report.peak_bytes,
+        inner_floor
+    );
+    assert!(inner_report.allocs >= 1);
+    assert!(inner_report.frees >= 1);
+    // peak >= bytes still live when the span closed.
+    assert!(inner_report.peak_bytes >= inner_report.end_bytes);
+
+    drop(held);
+    let outer_report = outer.exit();
+    // Nesting restores totals: the outer span's peak must cover the
+    // inner span's peak even though the inner span reset the tracker.
+    assert!(
+        outer_report.peak_bytes >= inner_report.peak_bytes,
+        "outer peak {} lost the inner peak {}",
+        outer_report.peak_bytes,
+        inner_report.peak_bytes
+    );
+    assert!(outer_report.peak_bytes >= outer_report.end_bytes);
+    // And the global high-water mark survives span exit.
+    assert!(mem::snapshot().peak_bytes >= inner_report.peak_bytes);
+}
+
+#[test]
+fn enabled_reflects_the_feature() {
+    assert!(mem::enabled());
+}

@@ -2,66 +2,116 @@
 //!
 //! ```text
 //! genomicsbench list
-//! genomicsbench run <kernel|all> [--size tiny|small|large] [--threads N]
-//!                   [--trace <file.json>] [--metrics <file.json>]
-//! genomicsbench profile <kernel> [--size tiny|small|large] [--threads N]
-//!                   [--trace <file.json>] [--metrics <file.json>]
-//! genomicsbench report <table1|table2|table3|table4|table5|fig3..fig9|all>
-//!                      [--size tiny|small|large] [--json <dir>]
-//!                      [--trace <file.json>] [--metrics <file.json>]
+//! genomicsbench run [kernel|all] [--tier tiny|small|large] [--threads N]
+//!                   [--trace FILE] [--metrics FILE] [--uarch]
+//!                   [--manifest-out FILE] [--baseline FILE]
+//! genomicsbench profile <kernel> [--tier T] [--threads N]
+//!                   [--trace FILE] [--metrics FILE] [--manifest-out FILE]
+//! genomicsbench report <table1..table5|fig3..fig9|all>
+//!                      [--tier T] [--json DIR]
+//!                      [--trace FILE] [--metrics FILE] [--manifest-out FILE]
+//! genomicsbench compare <baseline.json> <candidate.json>
+//!                      [--json] [--tolerance FRAC] [--min-wall-ms N]
 //! ```
+//!
+//! Exit codes: `0` success, `1` a perf regression was detected
+//! (`compare`, or `run --baseline`), `2` usage or I/O error.
 
-use gb_obs::{MetricsRegistry, NullRecorder, Recorder, TaskStats, TraceRecorder};
+use gb_obs::manifest::{write_bytes_atomic, write_json_atomic};
+use gb_obs::{
+    compare, mem, CompareConfig, CompareReport, HistogramSummary, KernelRecord, MetricsRegistry,
+    NullRecorder, Recorder, RunManifest, TaskStats, TraceRecorder, Verdict, SCHEMA_VERSION,
+};
 use gb_suite::dataset::DatasetSize;
-use gb_suite::kernels::{prepare, run_parallel, run_parallel_instrumented, KernelId};
+use gb_suite::kernels::{
+    prepare, run_parallel, run_parallel_instrumented, total_work, Characterization, KernelId,
+    RunStats,
+};
 use gb_suite::reports::{self, Report};
+use std::path::Path;
 use std::process::ExitCode;
+
+/// With the `mem-profile` feature the binary routes every allocation
+/// through the tracking allocator, so per-kernel memory spans and the
+/// peak-heap report columns carry real numbers. Default builds use the
+/// system allocator untouched.
+#[cfg(feature = "mem-profile")]
+#[global_allocator]
+static ALLOC: mem::TrackingAllocator = mem::TrackingAllocator;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(Outcome::Clean) => ExitCode::SUCCESS,
+        Ok(Outcome::Regressed) => ExitCode::from(1),
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!();
             eprintln!("{USAGE}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }
 
+/// How a successfully-parsed invocation ended.
+enum Outcome {
+    /// No gate tripped.
+    Clean,
+    /// A perf-regression gate tripped (exit code 1).
+    Regressed,
+}
+
 const USAGE: &str = "usage:
   genomicsbench list
-  genomicsbench run <kernel|all> [--size S] [--threads N] [--trace FILE] [--metrics FILE]
-  genomicsbench profile <kernel> [--size S] [--threads N] [--trace FILE] [--metrics FILE]
-  genomicsbench report <name|all> [--size S] [--json DIR] [--trace FILE] [--metrics FILE]
-  genomicsbench experiments [--size S] [--json FILE]
-  genomicsbench export <dir> [--size S]
-    sizes: tiny small large (default small)
+  genomicsbench run [kernel|all] [--tier T] [--threads N] [--trace FILE]
+                    [--metrics FILE] [--uarch] [--manifest-out FILE] [--baseline FILE]
+  genomicsbench profile <kernel> [--tier T] [--threads N] [--trace FILE]
+                    [--metrics FILE] [--manifest-out FILE]
+  genomicsbench report <name|all> [--tier T] [--json DIR] [--trace FILE]
+                    [--metrics FILE] [--manifest-out FILE]
+  genomicsbench compare <baseline.json> <candidate.json> [--json]
+                    [--tolerance FRAC] [--min-wall-ms N]
+  genomicsbench experiments [--tier T] [--json FILE]
+  genomicsbench export <dir> [--tier T]
+    tiers: tiny small large (default small); --size is an alias of --tier
     names: table1 table2 table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 fig9
-    --json is a directory for 'report' (one <name>.json per report) and an
-      output file for 'experiments'; --trace writes a Chrome/Perfetto trace,
-      --metrics a JSON metrics dump. Each subcommand rejects options it does
-      not use.";
+    --json is a directory for 'report' (one <name>.json per report), an output
+      file for 'experiments', and a flag for 'compare' (JSON to stdout);
+      --trace writes a Chrome/Perfetto trace, --metrics a JSON metrics dump.
+    --manifest-out writes a schema-versioned run manifest; 'run --baseline'
+      compares the fresh manifest against a saved one and exits 1 on
+      regression. --uarch adds simulated hardware counters to the metrics.
+    Each subcommand rejects options it does not use.";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Opt {
-    Size,
+    Tier,
     Threads,
     Json,
     Trace,
     Metrics,
+    ManifestOut,
+    Baseline,
+    Uarch,
 }
 
 impl Opt {
     fn flag(self) -> &'static str {
         match self {
-            Opt::Size => "--size",
+            Opt::Tier => "--tier",
             Opt::Threads => "--threads",
             Opt::Json => "--json",
             Opt::Trace => "--trace",
             Opt::Metrics => "--metrics",
+            Opt::ManifestOut => "--manifest-out",
+            Opt::Baseline => "--baseline",
+            Opt::Uarch => "--uarch",
         }
+    }
+
+    /// Whether the flag takes a value (`--uarch` is a bare switch).
+    fn takes_value(self) -> bool {
+        !matches!(self, Opt::Uarch)
     }
 }
 
@@ -72,6 +122,9 @@ struct Options {
     json: Option<String>,
     trace: Option<String>,
     metrics: Option<String>,
+    manifest_out: Option<String>,
+    baseline: Option<String>,
+    uarch: bool,
 }
 
 impl Options {
@@ -91,22 +144,42 @@ fn parse_options(cmd: &str, args: &[String], allowed: &[Opt]) -> Result<Options,
     let mut opts = Options::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        let all = [Opt::Size, Opt::Threads, Opt::Json, Opt::Trace, Opt::Metrics];
-        let Some(opt) = all.iter().copied().find(|o| o.flag() == a.as_str()) else {
+        let all = [
+            Opt::Tier,
+            Opt::Threads,
+            Opt::Json,
+            Opt::Trace,
+            Opt::Metrics,
+            Opt::ManifestOut,
+            Opt::Baseline,
+            Opt::Uarch,
+        ];
+        // --size predates --tier; both name the dataset tier.
+        let canonical = if a == "--size" { "--tier" } else { a.as_str() };
+        let Some(opt) = all.iter().copied().find(|o| o.flag() == canonical) else {
             return Err(format!("unknown option '{a}'"));
         };
         if !allowed.contains(&opt) {
             return Err(format!("'{cmd}' does not accept {}", opt.flag()));
         }
+        if !opt.takes_value() {
+            if opt == Opt::Uarch {
+                opts.uarch = true;
+            }
+            continue;
+        }
         let v = it
             .next()
             .ok_or_else(|| format!("{} needs a value", opt.flag()))?;
         match opt {
-            Opt::Size => opts.size = Some(v.parse()?),
+            Opt::Tier => opts.size = Some(v.parse()?),
             Opt::Threads => opts.threads = Some(v.parse::<usize>().map_err(|e| e.to_string())?),
             Opt::Json => opts.json = Some(v.clone()),
             Opt::Trace => opts.trace = Some(v.clone()),
             Opt::Metrics => opts.metrics = Some(v.clone()),
+            Opt::ManifestOut => opts.manifest_out = Some(v.clone()),
+            Opt::Baseline => opts.baseline = Some(v.clone()),
+            Opt::Uarch => unreachable!("bare switch"),
         }
     }
     Ok(opts)
@@ -115,15 +188,15 @@ fn parse_options(cmd: &str, args: &[String], allowed: &[Opt]) -> Result<Options,
 fn write_trace(recorder: &TraceRecorder, path: &str) -> Result<(), String> {
     recorder
         .trace()
-        .write_to_file(std::path::Path::new(path))
+        .write_to_file(Path::new(path))
         .map_err(|e| format!("writing {path}: {e}"))?;
     eprintln!("wrote {path} ({} events)", recorder.trace().len());
     Ok(())
 }
 
 fn write_metrics(registry: &MetricsRegistry, path: &str) -> Result<(), String> {
-    let body = serde_json::to_string_pretty(&registry.to_json()).map_err(|e| e.to_string())?;
-    std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))?;
+    write_json_atomic(Path::new(path), &registry.to_json())
+        .map_err(|e| format!("writing {path}: {e}"))?;
     eprintln!("wrote {path}");
     Ok(())
 }
@@ -136,6 +209,20 @@ fn format_ns(ns: u64) -> String {
     } else {
         format!("{ns}ns")
     }
+}
+
+/// Renders a throughput in its paper unit: `1.23 Gcells/s`.
+fn format_throughput(per_s: f64, unit: &str) -> String {
+    let (scaled, prefix) = if per_s >= 1e9 {
+        (per_s / 1e9, "G")
+    } else if per_s >= 1e6 {
+        (per_s / 1e6, "M")
+    } else if per_s >= 1e3 {
+        (per_s / 1e3, "k")
+    } else {
+        (per_s, "")
+    };
+    format!("{scaled:.2} {prefix}{unit}/s")
 }
 
 fn print_task_stats(stats: &TaskStats) {
@@ -164,7 +251,140 @@ fn print_task_stats(stats: &TaskStats) {
     println!("overall utilization: {:.1}%", stats.utilization * 100.0);
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn latency_summary(ts: &TaskStats) -> HistogramSummary {
+    HistogramSummary {
+        count: ts.count,
+        mean: ts.mean_ns as f64,
+        p50: ts.p50_ns,
+        p90: ts.p90_ns,
+        p99: ts.p99_ns,
+        max: ts.max_ns,
+    }
+}
+
+/// Builds one kernel's manifest record from its run and exports the
+/// throughput/work metrics into the registry.
+fn kernel_record(
+    id: KernelId,
+    kernel: &dyn gb_suite::Kernel,
+    stats: &RunStats,
+    memory: Option<gb_obs::MemoryRecord>,
+    registry: &mut MetricsRegistry,
+) -> KernelRecord {
+    let wall_ns = stats.elapsed.as_nanos() as u64;
+    let work_total = total_work(kernel);
+    let throughput_per_s = if wall_ns > 0 {
+        work_total as f64 / (wall_ns as f64 / 1e9)
+    } else {
+        0.0
+    };
+    registry.counter_add(&format!("{}.work_total", id.name()), work_total);
+    registry.set_gauge(&format!("{}.throughput_per_s", id.name()), throughput_per_s);
+    if let Some(m) = &memory {
+        registry.set_gauge(
+            &format!("{}.peak_heap_bytes", id.name()),
+            m.peak_bytes as f64,
+        );
+    }
+    KernelRecord {
+        wall_ns,
+        tasks: stats.tasks as u64,
+        checksum: stats.checksum,
+        work_unit: id.work_unit().to_string(),
+        work_total,
+        throughput_per_s,
+        latency: stats.task_stats.as_ref().map(latency_summary),
+        utilization: stats.task_stats.as_ref().map(|ts| ts.utilization),
+        memory,
+    }
+}
+
+fn save_manifest(manifest: &RunManifest, path: &str) -> Result<(), String> {
+    manifest
+        .save(Path::new(path))
+        .map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("wrote {path} (schema {SCHEMA_VERSION})");
+    Ok(())
+}
+
+fn load_manifest(path: &str) -> Result<RunManifest, String> {
+    RunManifest::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Renders a compare report as an aligned human table.
+fn print_compare_table(report: &CompareReport) {
+    let value = |metric: &str, v: f64| match metric {
+        "wall_time" => format!("{:.2}ms", v / 1e6),
+        "peak_memory" => mem::format_bytes(v as u64),
+        _ => format!("{v:.3e}/s"),
+    };
+    let rows: Vec<Vec<String>> = report
+        .deltas
+        .iter()
+        .map(|d| {
+            vec![
+                d.kernel.clone(),
+                d.metric.to_string(),
+                value(d.metric, d.base),
+                value(d.metric, d.cand),
+                format!("{:+.1}%", d.rel_change * 100.0),
+                d.verdict.label().to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        reports::format_table(
+            &[
+                "kernel",
+                "metric",
+                "baseline",
+                "candidate",
+                "delta",
+                "verdict"
+            ],
+            &rows
+        )
+    );
+    for k in &report.only_in_baseline {
+        println!("note: kernel '{k}' present only in baseline");
+    }
+    for k in &report.only_in_candidate {
+        println!("note: kernel '{k}' present only in candidate");
+    }
+    let regressions: Vec<&str> = report
+        .regressions()
+        .map(|d| d.kernel.as_str())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    if regressions.is_empty() {
+        let improved = report
+            .deltas
+            .iter()
+            .filter(|d| d.verdict == Verdict::Improved)
+            .count();
+        println!(
+            "no regressions ({} metrics compared, {} improved)",
+            report.deltas.len(),
+            improved
+        );
+    } else {
+        println!("REGRESSED kernels: {}", regressions.join(", "));
+    }
+}
+
+/// Runs the gate for `run --baseline` / `compare`, returning the exit
+/// outcome.
+fn gate(report: &CompareReport) -> Outcome {
+    if report.has_regressions() {
+        Outcome::Regressed
+    } else {
+        Outcome::Clean
+    }
+}
+
+fn run(args: &[String]) -> Result<Outcome, String> {
     let Some(cmd) = args.first() else {
         return Err("missing command".into());
     };
@@ -180,56 +400,107 @@ fn run(args: &[String]) -> Result<(), String> {
                     id.pipeline()
                 );
             }
-            Ok(())
+            Ok(Outcome::Clean)
         }
         "run" => {
-            let which = args.get(1).ok_or("run needs a kernel name or 'all'")?;
+            // The kernel argument is optional: `run --tier tiny` runs
+            // the full suite, matching the manifest/CI workflow.
+            let (which, rest) = match args.get(1) {
+                Some(a) if !a.starts_with("--") => (a.as_str(), &args[2..]),
+                _ => ("all", &args[1..]),
+            };
             let opts = parse_options(
                 cmd,
-                &args[2..],
-                &[Opt::Size, Opt::Threads, Opt::Trace, Opt::Metrics],
+                rest,
+                &[
+                    Opt::Tier,
+                    Opt::Threads,
+                    Opt::Trace,
+                    Opt::Metrics,
+                    Opt::ManifestOut,
+                    Opt::Baseline,
+                    Opt::Uarch,
+                ],
             )?;
             let ids: Vec<KernelId> = if which == "all" {
                 KernelId::ALL.to_vec()
             } else {
                 vec![which.parse()?]
             };
-            let instrument = opts.trace.is_some() || opts.metrics.is_some();
+            let instrument = opts.trace.is_some()
+                || opts.metrics.is_some()
+                || opts.manifest_out.is_some()
+                || opts.baseline.is_some();
             let recorder = instrument.then(TraceRecorder::new);
             let mut registry = MetricsRegistry::new();
+            let mut manifest = RunManifest::new("run", opts.size().name(), opts.threads());
             println!(
-                "{:<11} {:>8} {:>12} {:>10}  ({} dataset, {} thread(s))",
+                "{:<11} {:>8} {:>12} {:>10} {:>18}  ({} dataset, {} thread(s))",
                 "kernel",
                 "tasks",
                 "elapsed",
                 "checksum",
+                "throughput",
                 opts.size().name(),
                 opts.threads()
             );
             for id in ids {
+                let span = mem::enabled().then(mem::MemSpan::enter);
                 let kernel = prepare(id, opts.size());
                 let stats = match &recorder {
                     Some(r) => run_parallel_instrumented(kernel.as_ref(), opts.threads(), r),
                     None => run_parallel(kernel.as_ref(), opts.threads()),
                 };
+                let memory = span.map(mem::MemSpan::exit);
                 if let Some(ts) = &stats.task_stats {
                     registry.record_task_stats(id.name(), ts);
                 }
+                if opts.uarch {
+                    let c: Characterization = gb_suite::kernels::characterize(
+                        kernel.as_ref(),
+                        reports::characterize_budget(id, opts.size()),
+                    );
+                    gb_uarch::export::export_characterization(
+                        &mut registry,
+                        id.name(),
+                        &c.mix,
+                        &c.cache,
+                        &c.topdown,
+                        c.bpki,
+                    );
+                }
+                let record = kernel_record(id, kernel.as_ref(), &stats, memory, &mut registry);
                 println!(
-                    "{:<11} {:>8} {:>12} {:>10x}",
+                    "{:<11} {:>8} {:>12} {:>10x} {:>18}",
                     id.name(),
                     stats.tasks,
                     format!("{:.3}s", stats.elapsed.as_secs_f64()),
-                    stats.checksum & 0xFFFF_FFFF
+                    stats.checksum & 0xFFFF_FFFF,
+                    format_throughput(record.throughput_per_s, id.work_unit()),
                 );
+                manifest.add_kernel(id.name(), record);
             }
             if let (Some(r), Some(path)) = (&recorder, &opts.trace) {
                 write_trace(r, path)?;
             }
+            if instrument {
+                manifest.metrics = registry.to_json();
+            }
             if let Some(path) = &opts.metrics {
                 write_metrics(&registry, path)?;
             }
-            Ok(())
+            if let Some(path) = &opts.manifest_out {
+                save_manifest(&manifest, path)?;
+            }
+            if let Some(path) = &opts.baseline {
+                let baseline = load_manifest(path)?;
+                let report = compare::compare(&baseline, &manifest, &CompareConfig::default());
+                println!();
+                println!("comparison against baseline {path}:");
+                print_compare_table(&report);
+                return Ok(gate(&report));
+            }
+            Ok(Outcome::Clean)
         }
         "profile" => {
             let which = args.get(1).ok_or("profile needs a kernel name")?;
@@ -237,12 +508,20 @@ fn run(args: &[String]) -> Result<(), String> {
             let opts = parse_options(
                 cmd,
                 &args[2..],
-                &[Opt::Size, Opt::Threads, Opt::Trace, Opt::Metrics],
+                &[
+                    Opt::Tier,
+                    Opt::Threads,
+                    Opt::Trace,
+                    Opt::Metrics,
+                    Opt::ManifestOut,
+                ],
             )?;
             let threads = opts.threads.unwrap_or(2);
+            let span = mem::enabled().then(mem::MemSpan::enter);
             let kernel = prepare(id, opts.size());
             let recorder = TraceRecorder::new();
             let stats = run_parallel_instrumented(kernel.as_ref(), threads, &recorder);
+            let memory = span.map(mem::MemSpan::exit);
             let task_stats = stats.task_stats.as_ref().expect("instrumented run");
             println!(
                 "profile {} ({} dataset, {} thread(s)): {} tasks in {:.3}s, checksum {:x}",
@@ -254,82 +533,189 @@ fn run(args: &[String]) -> Result<(), String> {
                 stats.checksum & 0xFFFF_FFFF
             );
             print_task_stats(task_stats);
+            if let Some(m) = &memory {
+                println!(
+                    "heap: peak {}  end {}  allocs {}  frees {}",
+                    mem::format_bytes(m.peak_bytes),
+                    mem::format_bytes(m.end_bytes),
+                    m.allocs,
+                    m.frees
+                );
+            }
+            let mut registry = MetricsRegistry::new();
+            registry.record_task_stats(id.name(), task_stats);
+            let record = kernel_record(id, kernel.as_ref(), &stats, memory, &mut registry);
+            println!(
+                "throughput: {}",
+                format_throughput(record.throughput_per_s, id.work_unit())
+            );
             if let Some(path) = &opts.trace {
                 write_trace(&recorder, path)?;
             }
             if let Some(path) = &opts.metrics {
-                let mut registry = MetricsRegistry::new();
-                registry.record_task_stats(id.name(), task_stats);
                 write_metrics(&registry, path)?;
             }
-            Ok(())
+            if let Some(path) = &opts.manifest_out {
+                let mut manifest = RunManifest::new("profile", opts.size().name(), threads);
+                manifest.metrics = registry.to_json();
+                manifest.add_kernel(id.name(), record);
+                save_manifest(&manifest, path)?;
+            }
+            Ok(Outcome::Clean)
         }
         "export" => {
             let dir = args.get(1).ok_or("export needs a target directory")?;
-            let opts = parse_options(cmd, &args[2..], &[Opt::Size])?;
-            let manifest =
-                gb_suite::export::export_datasets(std::path::Path::new(dir), opts.size())
-                    .map_err(|e| e.to_string())?;
+            let opts = parse_options(cmd, &args[2..], &[Opt::Tier])?;
+            let manifest = gb_suite::export::export_datasets(Path::new(dir), opts.size())
+                .map_err(|e| e.to_string())?;
             for (file, items) in manifest {
                 println!("{dir}/{file}  ({items} records)");
             }
-            Ok(())
+            Ok(Outcome::Clean)
         }
         "experiments" => {
-            let opts = parse_options(cmd, &args[1..], &[Opt::Size, Opt::Json])?;
+            let opts = parse_options(cmd, &args[1..], &[Opt::Tier, Opt::Json])?;
             let md = gb_suite::experiments::generate_markdown(opts.size());
             match &opts.json {
                 Some(path) => {
-                    std::fs::write(path, &md).map_err(|e| e.to_string())?;
+                    write_bytes_atomic(Path::new(path), md.as_bytes())
+                        .map_err(|e| format!("writing {path}: {e}"))?;
                     eprintln!("wrote {path}");
                 }
                 None => println!("{md}"),
             }
-            Ok(())
+            Ok(Outcome::Clean)
         }
         "report" => {
             let which = args.get(1).ok_or("report needs a name or 'all'")?;
             let opts = parse_options(
                 cmd,
                 &args[2..],
-                &[Opt::Size, Opt::Json, Opt::Trace, Opt::Metrics],
+                &[
+                    Opt::Tier,
+                    Opt::Json,
+                    Opt::Trace,
+                    Opt::Metrics,
+                    Opt::ManifestOut,
+                ],
             )?;
-            let instrument = opts.trace.is_some() || opts.metrics.is_some();
+            let instrument =
+                opts.trace.is_some() || opts.metrics.is_some() || opts.manifest_out.is_some();
             let recorder = instrument.then(TraceRecorder::new);
-            let reports = generate(which, &opts, &recorder)?;
-            for r in &reports {
+            let (generated, chars) = generate(which, &opts, &recorder)?;
+            for r in &generated {
                 println!("{}", r.text);
                 if let Some(dir) = &opts.json {
                     std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
                     let path = format!("{dir}/{}.json", r.name);
-                    let body = serde_json::to_string_pretty(&r.json).map_err(|e| e.to_string())?;
-                    std::fs::write(&path, body).map_err(|e| e.to_string())?;
+                    // Every results/ artifact is schema-versioned and
+                    // written atomically; readers check the envelope.
+                    let envelope = serde_json::json!({
+                        "schema_version": SCHEMA_VERSION,
+                        "name": r.name,
+                        "tier": opts.size().name(),
+                        "data": r.json,
+                    });
+                    write_json_atomic(Path::new(&path), &envelope)
+                        .map_err(|e| format!("writing {path}: {e}"))?;
                     eprintln!("wrote {path}");
                 }
             }
-            if let Some(r) = &recorder {
-                if let Some(path) = &opts.trace {
-                    write_trace(r, path)?;
-                }
-                if let Some(path) = &opts.metrics {
-                    let mut registry = MetricsRegistry::new();
+            if instrument {
+                let mut registry = MetricsRegistry::new();
+                if let Some(r) = &recorder {
                     for (name, value) in r.counters() {
                         registry.counter_add(&name, value);
                     }
+                }
+                if let Some(chars) = &chars {
+                    for (id, c) in chars {
+                        gb_uarch::export::export_characterization(
+                            &mut registry,
+                            id.name(),
+                            &c.mix,
+                            &c.cache,
+                            &c.topdown,
+                            c.bpki,
+                        );
+                    }
+                }
+                if let (Some(r), Some(path)) = (&recorder, &opts.trace) {
+                    write_trace(r, path)?;
+                }
+                if let Some(path) = &opts.metrics {
                     write_metrics(&registry, path)?;
                 }
+                if let Some(path) = &opts.manifest_out {
+                    let mut manifest = RunManifest::new("report", opts.size().name(), 1);
+                    manifest.metrics = registry.to_json();
+                    save_manifest(&manifest, path)?;
+                }
             }
-            Ok(())
+            Ok(Outcome::Clean)
+        }
+        "compare" => {
+            let base_path = args.get(1).ok_or("compare needs <baseline> <candidate>")?;
+            let cand_path = args.get(2).ok_or("compare needs <baseline> <candidate>")?;
+            let mut cfg = CompareConfig::default();
+            let mut json = false;
+            let mut it = args[3..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--json" => json = true,
+                    "--tolerance" => {
+                        let v = it.next().ok_or("--tolerance needs a value")?;
+                        let t: f64 = v
+                            .parse()
+                            .map_err(|_| format!("bad --tolerance '{v}' (want a fraction)"))?;
+                        if !(t.is_finite() && t > 0.0) {
+                            return Err(format!(
+                                "--tolerance must be a positive fraction, got {v}"
+                            ));
+                        }
+                        cfg.rel_tolerance = t;
+                    }
+                    "--min-wall-ms" => {
+                        let v = it.next().ok_or("--min-wall-ms needs a value")?;
+                        let ms: u64 = v.parse().map_err(|_| format!("bad --min-wall-ms '{v}'"))?;
+                        cfg.min_wall_ns = ms * 1_000_000;
+                    }
+                    other => return Err(format!("unknown option '{other}'")),
+                }
+            }
+            let base = load_manifest(base_path)?;
+            let cand = load_manifest(cand_path)?;
+            let report = compare::compare(&base, &cand, &cfg);
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&report.to_json()).map_err(|e| e.to_string())?
+                );
+            } else {
+                println!(
+                    "comparing {cand_path} (candidate) against {base_path} (baseline), \
+tolerance {:.0}%, floor {}ms",
+                    cfg.rel_tolerance * 100.0,
+                    cfg.min_wall_ns / 1_000_000
+                );
+                print_compare_table(&report);
+            }
+            Ok(gate(&report))
         }
         other => Err(format!("unknown command '{other}'")),
     }
 }
 
+type Chars = Vec<(KernelId, Characterization)>;
+
+/// Generates the requested reports; returns the characterizations too
+/// (when the report set needed them) so instrumented invocations can
+/// export the uarch counters into the metrics registry and manifest.
 fn generate(
     which: &str,
     opts: &Options,
     recorder: &Option<TraceRecorder>,
-) -> Result<Vec<Report>, String> {
+) -> Result<(Vec<Report>, Option<Chars>), String> {
     let size = opts.size();
     let threads = [1, 2, 4, 8];
     let rec: &dyn Recorder = match recorder {
@@ -359,15 +745,16 @@ fn generate(
             other => return Err(format!("unknown report '{other}'")),
         })
     };
-    if which == "all" {
+    let generated = if which == "all" {
         [
             "table1", "table2", "table3", "table4", "table5", "fig3", "fig4", "fig5", "fig6",
             "fig7", "fig8", "fig9",
         ]
         .iter()
         .map(|n| one(n))
-        .collect()
+        .collect::<Result<Vec<_>, _>>()?
     } else {
-        Ok(vec![one(which)?])
-    }
+        vec![one(which)?]
+    };
+    Ok((generated, chars))
 }

@@ -159,6 +159,22 @@ impl KernelId {
         !matches!(self, KernelId::NnBase | KernelId::NnVariant)
     }
 
+    /// Unit of [`Kernel::task_work`] — the paper's per-kernel throughput
+    /// denominator (DP cell updates, k-mers, anchors, Occ lookups, …).
+    /// `<work_unit>/s` is the throughput the run manifest records.
+    pub fn work_unit(&self) -> &'static str {
+        match self {
+            KernelId::Fmi => "occ_lookups",
+            KernelId::Bsw | KernelId::Phmm | KernelId::Spoa | KernelId::Abea => "cells",
+            KernelId::Dbg => "hash_lookups",
+            KernelId::Chain => "anchors",
+            KernelId::KmerCnt => "kmers",
+            KernelId::Grm => "mac_ops",
+            KernelId::Pileup => "pileup_ops",
+            KernelId::NnBase | KernelId::NnVariant => "flops",
+        }
+    }
+
     /// Memory-level-parallelism hint for the top-down model: serial
     /// pointer-chase-like kernels overlap few misses; blocked compute
     /// kernels overlap many.
@@ -355,6 +371,17 @@ pub fn bsw_batch_reports(size: DatasetSize) -> Vec<(String, gb_dp::bsw::BatchRep
     ]
 }
 
+/// Total data-parallel work across every task, in the kernel's
+/// [`KernelId::work_unit`]s — the numerator of the manifest's
+/// throughput counters. Some kernels re-execute their tasks to count
+/// work, so this costs up to one extra serial pass; callers gather it
+/// only when exporting metrics or manifests.
+pub fn total_work(kernel: &dyn Kernel) -> u64 {
+    (0..kernel.num_tasks())
+        .map(|i| kernel.task_work(i))
+        .fold(0u64, u64::wrapping_add)
+}
+
 /// Per-task work distribution statistics (Fig. 4).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct WorkDistribution {
@@ -407,6 +434,24 @@ mod tests {
         assert_eq!(KernelId::ALL.len(), 12);
         let names: std::collections::HashSet<_> = KernelId::ALL.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn every_kernel_names_a_work_unit() {
+        for id in KernelId::ALL {
+            assert!(!id.work_unit().is_empty());
+        }
+        assert_eq!(KernelId::Bsw.work_unit(), "cells");
+        assert_eq!(KernelId::KmerCnt.work_unit(), "kmers");
+    }
+
+    #[test]
+    fn total_work_matches_distribution_sum() {
+        let kernel = prepare(KernelId::Chain, DatasetSize::Tiny);
+        let d = work_distribution(kernel.as_ref());
+        let total = total_work(kernel.as_ref());
+        assert!(total > 0);
+        assert_eq!(total as f64, d.mean * kernel.num_tasks() as f64);
     }
 
     #[test]

@@ -59,8 +59,10 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 }
 
 /// How many tasks each kernel's instrumented characterization samples
-/// (instrumented runs are far slower than timed runs).
-fn characterize_budget(id: KernelId, size: DatasetSize) -> usize {
+/// (instrumented runs are far slower than timed runs). Public so the
+/// CLI can characterize individual kernels on the same budget when
+/// exporting uarch counters into a run manifest.
+pub fn characterize_budget(id: KernelId, size: DatasetSize) -> usize {
     let base = match id {
         KernelId::Fmi => 60,
         KernelId::Bsw => 60,
@@ -128,7 +130,9 @@ pub fn table2() -> Report {
 }
 
 /// Table III: parallelism granularity and measured task counts/work for
-/// the irregular kernels.
+/// the irregular kernels. In `mem-profile` builds the table gains a
+/// measured peak-heap column (the footprint of preparing and holding the
+/// kernel's workload); default builds show a dash.
 pub fn table3(size: DatasetSize) -> Report {
     let mut rows = Vec::new();
     let mut jrows = Vec::new();
@@ -136,14 +140,21 @@ pub fn table3(size: DatasetSize) -> Report {
         let Some((gran, work_desc)) = id.granularity() else {
             continue;
         };
+        let span = gb_obs::mem::enabled().then(gb_obs::mem::MemSpan::enter);
         let kernel = prepare(id, size);
         let dist = work_distribution(kernel.as_ref());
+        let mem = span.map(gb_obs::mem::MemSpan::exit);
+        let peak_cell = match &mem {
+            Some(m) => gb_obs::mem::format_bytes(m.peak_bytes),
+            None => "-".to_string(),
+        };
         rows.push(vec![
             id.name().to_string(),
             gran.to_string(),
             work_desc.to_string(),
             kernel.num_tasks().to_string(),
             format!("{:.0}", dist.mean),
+            peak_cell,
         ]);
         jrows.push(json!({
             "kernel": id.name(),
@@ -151,6 +162,10 @@ pub fn table3(size: DatasetSize) -> Report {
             "work": work_desc,
             "tasks": kernel.num_tasks(),
             "mean_work": dist.mean,
+            "peak_heap_bytes": match mem {
+                Some(m) => Value::from(m.peak_bytes),
+                None => Value::Null,
+            },
         }));
     }
     let text = format!(
@@ -162,7 +177,8 @@ pub fn table3(size: DatasetSize) -> Report {
                 "granularity",
                 "data-parallel work",
                 "tasks",
-                "mean work/task"
+                "mean work/task",
+                "peak heap"
             ],
             &rows
         )

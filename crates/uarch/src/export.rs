@@ -1,0 +1,130 @@
+//! Export of microarchitectural counters into a
+//! [`gb_obs::MetricsRegistry`], so one run manifest carries runtime
+//! behaviour (latencies, utilization, throughput) and simulated hardware
+//! behaviour (instruction mix, cache miss rates, top-down buckets) side
+//! by side — the paper's characterization as a single machine-readable
+//! artifact.
+
+use crate::cache::CacheStats;
+use crate::mix::InstructionMix;
+use crate::topdown::TopDownReport;
+use gb_obs::MetricsRegistry;
+
+/// Writes the instruction-mix counters under `<prefix>.uarch.mix.*`.
+pub fn export_mix(registry: &mut MetricsRegistry, prefix: &str, mix: &InstructionMix) {
+    let c = |registry: &mut MetricsRegistry, name: &str, v: u64| {
+        registry.counter_add(&format!("{prefix}.uarch.mix.{name}"), v);
+    };
+    c(registry, "loads", mix.loads);
+    c(registry, "stores", mix.stores);
+    c(registry, "int_ops", mix.int_ops);
+    c(registry, "fp_ops", mix.fp_ops);
+    c(registry, "simd_ops", mix.simd_ops);
+    c(registry, "branches", mix.branches);
+    c(registry, "branches_taken", mix.branches_taken);
+    c(registry, "other", mix.other);
+    c(registry, "total", mix.total());
+}
+
+/// Writes cache access/miss counters and miss-rate gauges under
+/// `<prefix>.uarch.cache.*`.
+pub fn export_cache(registry: &mut MetricsRegistry, prefix: &str, cache: &CacheStats) {
+    let c = |registry: &mut MetricsRegistry, name: &str, v: u64| {
+        registry.counter_add(&format!("{prefix}.uarch.cache.{name}"), v);
+    };
+    c(registry, "l1_accesses", cache.l1_accesses);
+    c(registry, "l1_misses", cache.l1_misses);
+    c(registry, "l2_accesses", cache.l2_accesses);
+    c(registry, "l2_misses", cache.l2_misses);
+    c(registry, "llc_accesses", cache.llc_accesses);
+    c(registry, "llc_misses", cache.llc_misses);
+    c(registry, "writebacks", cache.writebacks);
+    c(registry, "dram_row_hits", cache.dram_row_hits);
+    c(registry, "dram_row_misses", cache.dram_row_misses);
+    c(registry, "tlb_accesses", cache.tlb_accesses);
+    let g = |registry: &mut MetricsRegistry, name: &str, v: f64| {
+        registry.set_gauge(&format!("{prefix}.uarch.cache.{name}"), v);
+    };
+    g(registry, "l1_miss_rate", cache.l1_miss_rate());
+    g(registry, "l2_miss_rate", cache.l2_miss_rate());
+    g(registry, "llc_miss_rate", cache.llc_miss_rate());
+    g(registry, "dram_row_miss_rate", cache.row_miss_rate());
+}
+
+/// Writes the top-down slot fractions and derived rates under
+/// `<prefix>.uarch.topdown.*`.
+pub fn export_topdown(registry: &mut MetricsRegistry, prefix: &str, report: &TopDownReport) {
+    let g = |registry: &mut MetricsRegistry, name: &str, v: f64| {
+        registry.set_gauge(&format!("{prefix}.uarch.topdown.{name}"), v);
+    };
+    g(registry, "retiring", report.retiring);
+    g(registry, "bad_speculation", report.bad_speculation);
+    g(registry, "frontend_bound", report.frontend_bound);
+    g(registry, "core_bound", report.core_bound);
+    g(registry, "memory_bound", report.memory_bound);
+    g(registry, "ipc", report.ipc);
+    g(registry, "data_stall_fraction", report.data_stall_fraction);
+}
+
+/// Exports one kernel's full characterization (mix + cache + top-down +
+/// BPKI) under `<prefix>.uarch.*`.
+pub fn export_characterization(
+    registry: &mut MetricsRegistry,
+    prefix: &str,
+    mix: &InstructionMix,
+    cache: &CacheStats,
+    topdown: &TopDownReport,
+    bpki: f64,
+) {
+    export_mix(registry, prefix, mix);
+    export_cache(registry, prefix, cache);
+    export_topdown(registry, prefix, topdown);
+    registry.set_gauge(&format!("{prefix}.uarch.bpki"), bpki);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheProbe;
+    use crate::probe::Probe;
+    use crate::topdown::CoreModel;
+    use serde_json::Value;
+
+    #[test]
+    fn characterization_lands_in_one_registry() {
+        let data = vec![7u64; 2048];
+        let mut probe = CacheProbe::skylake_like();
+        for i in (0..data.len()).step_by(8) {
+            probe.load(crate::probe::addr_of(&data[i]), 8);
+            probe.int_ops(2);
+            probe.branch(true);
+        }
+        let bpki = probe.bpki();
+        let (mix, cache) = probe.into_parts();
+        let td = CoreModel::default().analyze(&mix, &cache);
+
+        let mut registry = MetricsRegistry::new();
+        registry.counter_add("fmi.tasks", 50); // runtime metric coexists
+        export_characterization(&mut registry, "fmi", &mix, &cache, &td, bpki);
+
+        assert_eq!(registry.counter("fmi.uarch.mix.loads"), mix.loads);
+        assert_eq!(
+            registry.counter("fmi.uarch.cache.l1_accesses"),
+            cache.l1_accesses
+        );
+        let j = registry.to_json();
+        let gauges = j.get("gauges").and_then(Value::as_object).unwrap();
+        for key in [
+            "fmi.uarch.cache.l1_miss_rate",
+            "fmi.uarch.topdown.retiring",
+            "fmi.uarch.topdown.memory_bound",
+            "fmi.uarch.bpki",
+        ] {
+            assert!(gauges.contains_key(key), "missing gauge {key}");
+        }
+        // Runtime and uarch counters share the document.
+        let counters = j.get("counters").and_then(Value::as_object).unwrap();
+        assert!(counters.contains_key("fmi.tasks"));
+        assert!(counters.contains_key("fmi.uarch.mix.total"));
+    }
+}

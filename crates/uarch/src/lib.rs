@@ -14,7 +14,10 @@
 //! - [`topdown`] — an analytic top-down pipeline-slot model
 //!   (paper Figs. 8 and 9),
 //! - [`working_set`] — distinct-lines/pages touched measurement,
-//! - [`config`] — the modelled Table I machine.
+//! - [`config`] — the modelled Table I machine,
+//! - [`export`] — counter export into a [`gb_obs::MetricsRegistry`] so
+//!   run manifests carry runtime and microarchitectural behaviour in
+//!   one artifact.
 //!
 //! # Examples
 //!
@@ -41,6 +44,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod export;
 pub mod mix;
 pub mod probe;
 pub mod topdown;

@@ -1,0 +1,159 @@
+//! Golden-schema test for the `RunManifest` JSON: CI dashboards and
+//! `genomicsbench compare` consume these artifacts across suite
+//! revisions, so key names and value types are a public contract —
+//! any shape change must bump `gb_obs::manifest::SCHEMA_VERSION`.
+
+use genomicsbench::obs::manifest::{KernelRecord, MemoryRecord, RunManifest, SCHEMA_VERSION};
+use genomicsbench::obs::HistogramSummary;
+use serde_json::Value;
+
+fn field<'v>(v: &'v Value, key: &str) -> &'v Value {
+    v.get(key).unwrap_or_else(|| panic!("missing key '{key}'"))
+}
+
+fn sample_manifest() -> RunManifest {
+    let mut m = RunManifest::new("run", "tiny", 2);
+    // Pin the environment-dependent fields so the rendered shape is
+    // stable regardless of where the test runs.
+    m.git_rev = Some("abc123def456".into());
+    m.created_unix_s = Some(1_700_000_000);
+    m.add_kernel(
+        "bsw",
+        KernelRecord {
+            wall_ns: 22_000_000,
+            tasks: 100,
+            checksum: 0x415a93,
+            work_unit: "cells".into(),
+            work_total: 1_234_567,
+            throughput_per_s: 56_116_681.8,
+            latency: Some(HistogramSummary {
+                count: 100,
+                mean: 220_000.0,
+                p50: 210_000,
+                p90: 300_000,
+                p99: 400_000,
+                max: 412_345,
+            }),
+            utilization: Some(0.91),
+            memory: Some(MemoryRecord {
+                peak_bytes: 12 << 20,
+                end_bytes: 3 << 20,
+                allocs: 4096,
+                frees: 4000,
+            }),
+        },
+    );
+    let metrics = serde_json::json!({
+        "counters": {"bsw.tasks": 100},
+        "gauges": {"bsw.utilization": 0.91},
+        "histograms": {},
+    });
+    // Normalize the literal through one serialize/parse cycle so save ->
+    // load equality compares parsed numbers against parsed numbers
+    // (integer-width representation can differ between the two paths).
+    m.metrics = serde_json::from_str(&serde_json::to_string(&metrics).unwrap()).unwrap();
+    m
+}
+
+#[test]
+fn manifest_json_golden_shape() {
+    let m = sample_manifest();
+    let v: Value = serde_json::from_str(&m.to_json_string()).unwrap();
+    let root = v.as_object().expect("manifest is an object");
+
+    let mut root_keys: Vec<&str> = root.keys().map(String::as_str).collect();
+    root_keys.sort_unstable();
+    assert_eq!(
+        root_keys,
+        [
+            "command",
+            "created_unix_s",
+            "git_rev",
+            "kernels",
+            "metrics",
+            "schema_version",
+            "suite_version",
+            "threads",
+            "tier",
+        ],
+        "RunManifest top-level keys changed — bump SCHEMA_VERSION"
+    );
+    assert_eq!(field(&v, "schema_version").as_str(), Some(SCHEMA_VERSION));
+    assert_eq!(field(&v, "command").as_str(), Some("run"));
+    assert_eq!(field(&v, "tier").as_str(), Some("tiny"));
+    assert_eq!(field(&v, "threads").as_u64(), Some(2));
+    assert!(field(&v, "suite_version").as_str().is_some());
+
+    let bsw_v = field(field(&v, "kernels"), "bsw");
+    let bsw = bsw_v.as_object().expect("kernel record");
+    let mut kernel_keys: Vec<&str> = bsw.keys().map(String::as_str).collect();
+    kernel_keys.sort_unstable();
+    assert_eq!(
+        kernel_keys,
+        [
+            "checksum",
+            "latency",
+            "memory",
+            "tasks",
+            "throughput_per_s",
+            "utilization",
+            "wall_ns",
+            "work_total",
+            "work_unit",
+        ],
+        "KernelRecord keys changed — bump SCHEMA_VERSION"
+    );
+    assert!(field(bsw_v, "wall_ns").as_u64().is_some());
+    assert!(field(bsw_v, "throughput_per_s").as_f64().is_some());
+    assert_eq!(field(bsw_v, "work_unit").as_str(), Some("cells"));
+    let latency = field(bsw_v, "latency");
+    for name in ["count", "mean", "p50", "p90", "p99", "max"] {
+        assert!(field(latency, name).as_f64().is_some(), "latency.{name}");
+    }
+    let memory = field(bsw_v, "memory");
+    for name in ["peak_bytes", "end_bytes", "allocs", "frees"] {
+        assert!(field(memory, name).as_u64().is_some(), "memory.{name}");
+    }
+}
+
+#[test]
+fn optional_fields_are_omitted_not_null() {
+    // Sparse manifests (no instrumentation, no mem-profile) stay sparse:
+    // absent optionals must not serialize as nulls.
+    let mut m = RunManifest::new("profile", "small", 1);
+    m.git_rev = None;
+    m.created_unix_s = None;
+    m.add_kernel(
+        "fmi",
+        KernelRecord {
+            wall_ns: 1,
+            tasks: 1,
+            checksum: 0,
+            work_unit: "occ_lookups".into(),
+            work_total: 0,
+            throughput_per_s: 0.0,
+            latency: None,
+            utilization: None,
+            memory: None,
+        },
+    );
+    let v: Value = serde_json::from_str(&m.to_json_string()).unwrap();
+    assert!(v.get("git_rev").is_none());
+    assert!(v.get("created_unix_s").is_none());
+    let fmi = field(field(&v, "kernels"), "fmi")
+        .as_object()
+        .expect("kernel record");
+    for absent in ["latency", "utilization", "memory"] {
+        assert!(fmi.get(absent).is_none(), "{absent} should be omitted");
+    }
+}
+
+#[test]
+fn loader_round_trips_the_golden_sample() {
+    let path = std::env::temp_dir().join(format!("gb_manifest_golden_{}.json", std::process::id()));
+    let m = sample_manifest();
+    m.save(&path).unwrap();
+    let loaded = RunManifest::load(&path).unwrap();
+    assert_eq!(loaded, m);
+    std::fs::remove_file(&path).unwrap();
+}
