@@ -1,0 +1,55 @@
+//! Cost of thread-local allocation tracking. Built without
+//! `mem-profile` this measures the baseline (no allocator hook, spans
+//! compile to zeros); with `--features mem-profile` the tracking
+//! allocator is registered and the same workloads pay the real
+//! per-allocation cost — a thread-local read plus three relaxed atomic
+//! updates on the owning core's cache line. Comparing the two runs
+//! bounds the feature's overhead; the old global-counter design also
+//! paid cross-core cache-line contention under threads, which the slot
+//! registry removes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gb_obs::{mem, NullRecorder};
+use gb_suite::pool::run_dynamic_instrumented;
+
+#[cfg(feature = "mem-profile")]
+#[global_allocator]
+static ALLOC: mem::TrackingAllocator = mem::TrackingAllocator;
+
+/// An allocation-bound task: the work is dominated by the Vec round
+/// trip, so tracking overhead shows directly.
+fn alloc_task(i: usize) -> u64 {
+    let buf = std::hint::black_box(vec![i as u8; 16 << 10]);
+    buf[buf.len() / 2] as u64
+}
+
+fn bench_mem_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group(format!(
+        "mem_overhead_{}",
+        if mem::enabled() {
+            "tracked"
+        } else {
+            "baseline"
+        }
+    ));
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("pool_alloc_tasks_{threads}t"), |b| {
+            b.iter(|| {
+                let (sum, _, stats) =
+                    run_dynamic_instrumented(256, threads, alloc_task, &NullRecorder, "mem");
+                std::hint::black_box((sum, stats.memory));
+            })
+        });
+    }
+    group.bench_function("task_span_enter_exit", |b| {
+        b.iter(|| {
+            let span = mem::TaskSpan::enter();
+            std::hint::black_box(span.exit())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mem_overhead);
+criterion_main!(benches);

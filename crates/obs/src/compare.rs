@@ -34,15 +34,21 @@ pub struct CompareConfig {
     /// Peak-memory comparisons ignore kernels below this footprint in
     /// both runs.
     pub min_peak_bytes: u64,
+    /// Per-task peak-memory comparisons ignore kernels whose largest
+    /// task footprint is below this in both runs (task footprints are
+    /// orders of magnitude smaller than kernel footprints, so they get
+    /// their own floor).
+    pub min_task_peak_bytes: u64,
 }
 
 impl Default for CompareConfig {
     fn default() -> Self {
         CompareConfig {
             rel_tolerance: 0.10,
-            min_wall_ns: 10_000_000,    // 10 ms
-            min_abs_wall_ns: 5_000_000, // 5 ms
-            min_peak_bytes: 1 << 20,    // 1 MiB
+            min_wall_ns: 10_000_000,       // 10 ms
+            min_abs_wall_ns: 5_000_000,    // 5 ms
+            min_peak_bytes: 1 << 20,       // 1 MiB
+            min_task_peak_bytes: 64 << 10, // 64 KiB
         }
     }
 }
@@ -67,6 +73,12 @@ pub enum Verdict {
     Regressed,
     /// Below the noise floor; informational only.
     BelowFloor,
+    /// The baseline had no signal for this metric (zero or absent) and
+    /// the candidate does — e.g. the baseline predates `mem-profile`
+    /// builds or the 1.1 per-task fields. A 0 → X jump has no
+    /// meaningful relative change, so it neither gates nor silently
+    /// passes as "no change"; it is reported as new.
+    New,
 }
 
 impl Verdict {
@@ -77,6 +89,7 @@ impl Verdict {
             Verdict::Improved => "improved",
             Verdict::Regressed => "REGRESSED",
             Verdict::BelowFloor => "below-floor",
+            Verdict::New => "new",
         }
     }
 }
@@ -170,6 +183,26 @@ fn verdict(rel: f64, direction: Direction, tolerance: f64, gated: bool, abs_ok: 
     }
 }
 
+/// Computes `(rel_change, verdict)` for one metric, catching the
+/// zero-baseline case first: a metric going 0 → X has an undefined
+/// relative change (`rel_change` returns 0.0), which previously let it
+/// sail through the gate as "no change". It now classifies as
+/// [`Verdict::New`] — informational, never gating, never "ok".
+fn classify(
+    base: f64,
+    cand: f64,
+    direction: Direction,
+    tolerance: f64,
+    gated: bool,
+    abs_ok: bool,
+) -> (f64, Verdict) {
+    if base == 0.0 && cand != 0.0 {
+        return (0.0, Verdict::New);
+    }
+    let rel = rel_change(base, cand);
+    (rel, verdict(rel, direction, tolerance, gated, abs_ok))
+}
+
 /// Compares `cand` against `base` under `cfg`.
 pub fn compare(base: &RunManifest, cand: &RunManifest, cfg: &CompareConfig) -> CompareReport {
     let mut report = CompareReport::default();
@@ -184,7 +217,14 @@ pub fn compare(base: &RunManifest, cand: &RunManifest, cfg: &CompareConfig) -> C
         let gated = b.wall_ns.max(c.wall_ns) >= cfg.min_wall_ns;
         let abs_ok = b.wall_ns.abs_diff(c.wall_ns) >= cfg.min_abs_wall_ns;
 
-        let rel = rel_change(b.wall_ns as f64, c.wall_ns as f64);
+        let (rel, v) = classify(
+            b.wall_ns as f64,
+            c.wall_ns as f64,
+            Direction::LowerIsBetter,
+            cfg.rel_tolerance,
+            gated,
+            abs_ok,
+        );
         report.deltas.push(Delta {
             kernel: name.clone(),
             metric: "wall_time",
@@ -192,17 +232,18 @@ pub fn compare(base: &RunManifest, cand: &RunManifest, cfg: &CompareConfig) -> C
             cand: c.wall_ns as f64,
             rel_change: rel,
             direction: Direction::LowerIsBetter,
-            verdict: verdict(
-                rel,
-                Direction::LowerIsBetter,
+            verdict: v,
+        });
+
+        if c.throughput_per_s > 0.0 {
+            let (rel, v) = classify(
+                b.throughput_per_s,
+                c.throughput_per_s,
+                Direction::HigherIsBetter,
                 cfg.rel_tolerance,
                 gated,
                 abs_ok,
-            ),
-        });
-
-        if b.throughput_per_s > 0.0 && c.throughput_per_s > 0.0 {
-            let rel = rel_change(b.throughput_per_s, c.throughput_per_s);
+            );
             report.deltas.push(Delta {
                 kernel: name.clone(),
                 metric: "throughput",
@@ -213,36 +254,61 @@ pub fn compare(base: &RunManifest, cand: &RunManifest, cfg: &CompareConfig) -> C
                 // Throughput is work/wall, so its significance guard is
                 // the same wall-based one — relative throughput noise is
                 // exactly relative wall noise when work is fixed.
-                verdict: verdict(
-                    rel,
-                    Direction::HigherIsBetter,
-                    cfg.rel_tolerance,
-                    gated,
-                    abs_ok,
-                ),
+                verdict: v,
             });
         }
 
-        if let (Some(bm), Some(cm)) = (&b.memory, &c.memory) {
-            let mem_gated = bm.peak_bytes.max(cm.peak_bytes) >= cfg.min_peak_bytes;
-            let rel = rel_change(bm.peak_bytes as f64, cm.peak_bytes as f64);
+        // Memory: a candidate record with no baseline counterpart (or a
+        // zero baseline) is reported as New; a baseline record the
+        // candidate dropped is skipped (nothing to gate on).
+        let base_mem = b.memory.as_ref();
+        if let Some(cm) = &c.memory {
+            let base_peak = base_mem.map_or(0, |m| m.peak_bytes);
+            let mem_gated = base_peak.max(cm.peak_bytes) >= cfg.min_peak_bytes;
+            let (rel, v) = classify(
+                base_peak as f64,
+                cm.peak_bytes as f64,
+                Direction::LowerIsBetter,
+                cfg.rel_tolerance,
+                mem_gated,
+                // Allocation totals are deterministic, so no absolute
+                // slack beyond the footprint floor.
+                true,
+            );
             report.deltas.push(Delta {
                 kernel: name.clone(),
                 metric: "peak_memory",
-                base: bm.peak_bytes as f64,
+                base: base_peak as f64,
                 cand: cm.peak_bytes as f64,
                 rel_change: rel,
                 direction: Direction::LowerIsBetter,
-                // Allocation totals are deterministic, so no absolute
-                // slack beyond the footprint floor.
-                verdict: verdict(
-                    rel,
+                verdict: v,
+            });
+
+            // Per-task attribution (schema ≥ 1.1): gate the largest
+            // task footprint so a per-task blow-up hidden inside a flat
+            // kernel total still trips.
+            if let Some(ct) = cm.task_peak_max_bytes {
+                let bt = base_mem.and_then(|m| m.task_peak_max_bytes).unwrap_or(0);
+                let task_gated = bt.max(ct) >= cfg.min_task_peak_bytes;
+                let (rel, v) = classify(
+                    bt as f64,
+                    ct as f64,
                     Direction::LowerIsBetter,
                     cfg.rel_tolerance,
-                    mem_gated,
+                    task_gated,
                     true,
-                ),
-            });
+                );
+                report.deltas.push(Delta {
+                    kernel: name.clone(),
+                    metric: "task_peak_memory",
+                    base: bt as f64,
+                    cand: ct as f64,
+                    rel_change: rel,
+                    direction: Direction::LowerIsBetter,
+                    verdict: v,
+                });
+            }
         }
     }
     for name in cand.kernels.keys() {
@@ -339,23 +405,94 @@ mod tests {
         assert!(!r.has_regressions());
     }
 
+    fn mem(peak: u64, task_peak: Option<u64>) -> Option<MemoryRecord> {
+        Some(MemoryRecord {
+            peak_bytes: peak,
+            end_bytes: peak / 2,
+            allocs: 10,
+            frees: 5,
+            task_peak_max_bytes: task_peak,
+            task_peak_mean_bytes: task_peak.map(|t| t / 2),
+        })
+    }
+
     #[test]
     fn memory_growth_regresses() {
-        let mem = |peak: u64| {
-            Some(MemoryRecord {
-                peak_bytes: peak,
-                end_bytes: peak / 2,
-                allocs: 10,
-                frees: 5,
-            })
-        };
         let mut base = manifest(&[("kmer-cnt", 50_000_000, 1e6)]);
-        base.kernels.get_mut("kmer-cnt").unwrap().memory = mem(100 << 20);
+        base.kernels.get_mut("kmer-cnt").unwrap().memory = mem(100 << 20, None);
         let mut cand = manifest(&[("kmer-cnt", 50_000_000, 1e6)]);
-        cand.kernels.get_mut("kmer-cnt").unwrap().memory = mem(150 << 20);
+        cand.kernels.get_mut("kmer-cnt").unwrap().memory = mem(150 << 20, None);
         let r = compare(&base, &cand, &CompareConfig::default());
         assert!(r
             .regressions()
             .any(|d| d.metric == "peak_memory" && d.kernel == "kmer-cnt"));
+    }
+
+    #[test]
+    fn task_peak_growth_regresses_even_when_kernel_peak_is_flat() {
+        let mut base = manifest(&[("spoa", 50_000_000, 1e6)]);
+        base.kernels.get_mut("spoa").unwrap().memory = mem(100 << 20, Some(1 << 20));
+        let mut cand = manifest(&[("spoa", 50_000_000, 1e6)]);
+        cand.kernels.get_mut("spoa").unwrap().memory = mem(100 << 20, Some(3 << 20));
+        let r = compare(&base, &cand, &CompareConfig::default());
+        assert!(r
+            .regressions()
+            .any(|d| d.metric == "task_peak_memory" && d.kernel == "spoa"));
+        // The kernel-level peak itself did not move.
+        assert!(!r.regressions().any(|d| d.metric == "peak_memory"));
+    }
+
+    #[test]
+    fn zero_baseline_wall_time_is_new_not_ok() {
+        // 0 → 50 ms: a 10% relative gate on a zero baseline is
+        // meaningless, but it must not read as "no change" either.
+        let base = manifest(&[("phmm", 0, 1e6)]);
+        let cand = manifest(&[("phmm", 50_000_000, 1e6)]);
+        let r = compare(&base, &cand, &CompareConfig::default());
+        let wall = r
+            .deltas
+            .iter()
+            .find(|d| d.metric == "wall_time")
+            .expect("wall_time compared");
+        assert_eq!(wall.verdict, Verdict::New);
+        assert!(!r.has_regressions(), "New is informational, not gating");
+    }
+
+    #[test]
+    fn zero_baseline_peak_bytes_is_new_not_ok() {
+        // Baseline recorded a memory record with a zero peak (e.g. the
+        // tracker was registered but the span saw nothing); candidate
+        // reports 150 MiB. Previously rel_change = 0.0 → silently "ok".
+        let mut base = manifest(&[("kmer-cnt", 50_000_000, 1e6)]);
+        base.kernels.get_mut("kmer-cnt").unwrap().memory = mem(0, None);
+        let mut cand = manifest(&[("kmer-cnt", 50_000_000, 1e6)]);
+        cand.kernels.get_mut("kmer-cnt").unwrap().memory = mem(150 << 20, None);
+        let r = compare(&base, &cand, &CompareConfig::default());
+        let peak = r
+            .deltas
+            .iter()
+            .find(|d| d.metric == "peak_memory")
+            .expect("peak_memory compared");
+        assert_eq!(peak.verdict, Verdict::New);
+        assert!(!r.has_regressions());
+    }
+
+    #[test]
+    fn memory_record_absent_in_baseline_is_new() {
+        // Baselines recorded before mem-profile builds have no memory
+        // record at all; the candidate's must surface as New.
+        let base = manifest(&[("grm", 50_000_000, 1e6)]);
+        let mut cand = manifest(&[("grm", 50_000_000, 1e6)]);
+        cand.kernels.get_mut("grm").unwrap().memory = mem(64 << 20, Some(2 << 20));
+        let r = compare(&base, &cand, &CompareConfig::default());
+        assert!(r
+            .deltas
+            .iter()
+            .any(|d| d.metric == "peak_memory" && d.verdict == Verdict::New));
+        assert!(r
+            .deltas
+            .iter()
+            .any(|d| d.metric == "task_peak_memory" && d.verdict == Verdict::New));
+        assert!(!r.has_regressions());
     }
 }

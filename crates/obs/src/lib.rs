@@ -14,9 +14,11 @@
 //! On top of the live instrumentation sit the persistence and
 //! comparison layers: [`manifest`] (schema-versioned [`RunManifest`]
 //! artifacts with atomic writes), [`mem`] (a feature-gated
-//! [`TrackingAllocator`](mem::TrackingAllocator) for measured heap
-//! footprints), and [`compare`] (the noise-aware regression gate behind
-//! `genomicsbench compare`).
+//! [`TrackingAllocator`](mem::TrackingAllocator) with thread-local
+//! allocation slots, per-task [`TaskSpan`](mem::TaskSpan) epochs, and
+//! cross-thread [`PoolMemStats`](mem::PoolMemStats) folding so
+//! concurrent spans don't cross-talk), and [`compare`] (the noise-aware
+//! regression gate behind `genomicsbench compare`).
 //!
 //! ```
 //! use gb_obs::{LogHistogram, NullRecorder, Recorder};
@@ -48,6 +50,7 @@ pub mod trace;
 pub use compare::{CompareConfig, CompareReport, Delta, Verdict};
 pub use hist::{HistogramSummary, LogHistogram};
 pub use manifest::{KernelRecord, ManifestError, MemoryRecord, RunManifest, SCHEMA_VERSION};
+pub use mem::{MemSpan, PoolMemStats, TaskMemRecord, TaskSpan, WorkerMemTally};
 pub use recorder::{NullRecorder, Recorder, TraceRecorder};
 pub use registry::MetricsRegistry;
 pub use stats::{TaskStats, WorkerStats};

@@ -24,7 +24,11 @@ use std::path::Path;
 
 /// Manifest schema version, `major.minor`. Bump the major for breaking
 /// shape changes (readers reject them), the minor for additive ones.
-pub const SCHEMA_VERSION: &str = "1.0";
+///
+/// History: `1.0` introduced the manifest; `1.1` added the optional
+/// per-task heap-attribution fields on `memory`
+/// (`task_peak_max_bytes`, `task_peak_mean_bytes`).
+pub const SCHEMA_VERSION: &str = "1.1";
 
 /// Parses the major component of a `major.minor` schema version.
 pub fn schema_major(version: &str) -> Option<u64> {
@@ -69,16 +73,31 @@ impl From<std::io::Error> for ManifestError {
 
 /// Measured heap footprint of one kernel span (requires the
 /// `mem-profile` feature and the tracking allocator; see [`crate::mem`]).
+///
+/// All values are **span-relative and span-attributed**: they cover the
+/// allocations performed by the span's own threads (the opener plus any
+/// pool workers folded in), measured against the live-set at span
+/// entry. Concurrent spans therefore report disjoint footprints instead
+/// of absorbing each other's allocations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryRecord {
-    /// Peak live heap bytes observed during the span.
+    /// Peak bytes held live above the span's entry point, summed over
+    /// the span's threads (an exact measurement single-threaded, a
+    /// tight upper bound under a concurrent pool).
     pub peak_bytes: u64,
-    /// Live heap bytes when the span closed.
+    /// Bytes still retained when the span closed (net growth, clamped
+    /// at zero).
     pub end_bytes: u64,
     /// Allocations performed during the span.
     pub allocs: u64,
     /// Deallocations performed during the span.
     pub frees: u64,
+    /// Largest single-task peak of the span's pool run (schema ≥ 1.1,
+    /// instrumented runs only).
+    pub task_peak_max_bytes: Option<u64>,
+    /// Mean per-task peak of the span's pool run (schema ≥ 1.1,
+    /// instrumented runs only).
+    pub task_peak_mean_bytes: Option<u64>,
 }
 
 /// One kernel's results within a run.
@@ -157,23 +176,32 @@ fn need_str(v: &Value, key: &str) -> Result<String, String> {
 }
 
 impl MemoryRecord {
-    /// JSON form.
+    /// JSON form; absent optionals are omitted, not null.
     pub fn to_json(&self) -> Value {
         let mut m = Map::new();
         m.insert("peak_bytes".into(), Value::from(self.peak_bytes));
         m.insert("end_bytes".into(), Value::from(self.end_bytes));
         m.insert("allocs".into(), Value::from(self.allocs));
         m.insert("frees".into(), Value::from(self.frees));
+        if let Some(v) = self.task_peak_max_bytes {
+            m.insert("task_peak_max_bytes".into(), Value::from(v));
+        }
+        if let Some(v) = self.task_peak_mean_bytes {
+            m.insert("task_peak_mean_bytes".into(), Value::from(v));
+        }
         Value::Object(m)
     }
 
-    /// Parses the JSON form.
+    /// Parses the JSON form (the per-task fields are optional — schema
+    /// 1.0 manifests omit them).
     pub fn from_json(v: &Value) -> Result<MemoryRecord, String> {
         Ok(MemoryRecord {
             peak_bytes: need_u64(v, "peak_bytes")?,
             end_bytes: need_u64(v, "end_bytes")?,
             allocs: need_u64(v, "allocs")?,
             frees: need_u64(v, "frees")?,
+            task_peak_max_bytes: v.get("task_peak_max_bytes").and_then(Value::as_u64),
+            task_peak_mean_bytes: v.get("task_peak_mean_bytes").and_then(Value::as_u64),
         })
     }
 }
@@ -360,9 +388,27 @@ impl RunManifest {
     }
 }
 
+/// Cached result of the one-and-only `git` probe.
+static GIT_REVISION: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
+/// How many times the probe actually forked a subprocess (observable in
+/// tests; must stay ≤ 1 per process).
+static GIT_PROBES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 /// Best-effort git revision of the current checkout (`None` outside a
-/// repo or without git on PATH).
+/// repo or without git on PATH). The subprocess probe runs **at most
+/// once per process** — [`RunManifest::new`] sits on instrumented run
+/// paths, and forking `git` per manifest both skews timings and fails
+/// noisily in sandboxes without git.
 pub fn git_revision() -> Option<String> {
+    GIT_REVISION
+        .get_or_init(|| {
+            GIT_PROBES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            probe_git_revision()
+        })
+        .clone()
+}
+
+fn probe_git_revision() -> Option<String> {
     let out = std::process::Command::new("git")
         .args(["rev-parse", "--short=12", "HEAD"])
         .output()
@@ -522,8 +568,38 @@ mod tests {
             end_bytes: 1 << 20,
             allocs: 100,
             frees: 90,
+            task_peak_max_bytes: Some(512 << 10),
+            task_peak_mean_bytes: Some(128 << 10),
         });
         let back = RunManifest::from_json(&m.to_json()).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn schema_1_0_memory_record_still_parses() {
+        // A 1.0-era memory object has no per-task fields; they must
+        // load as None, not error.
+        let v = serde_json::json!({
+            "peak_bytes": 1024, "end_bytes": 512, "allocs": 3, "frees": 2,
+        });
+        let rec = MemoryRecord::from_json(&v).unwrap();
+        assert_eq!(rec.task_peak_max_bytes, None);
+        assert_eq!(rec.task_peak_mean_bytes, None);
+        assert_eq!(rec.peak_bytes, 1024);
+    }
+
+    #[test]
+    fn repeated_manifest_construction_probes_git_at_most_once() {
+        let a = RunManifest::new("run", "tiny", 1);
+        let b = RunManifest::new("run", "tiny", 2);
+        let c = RunManifest::new("profile", "small", 4);
+        assert_eq!(a.git_rev, b.git_rev);
+        assert_eq!(b.git_rev, c.git_rev);
+        // Every construction in the whole test process funnels through
+        // the OnceLock, so at most one subprocess was ever forked.
+        assert!(
+            GIT_PROBES.load(std::sync::atomic::Ordering::Relaxed) <= 1,
+            "git probe forked more than once"
+        );
     }
 }

@@ -1,7 +1,48 @@
-//! Heap-footprint profiling: a [`TrackingAllocator`] that wraps the
-//! system allocator and counts live bytes, peak bytes, and
-//! allocation/deallocation events, plus [`MemSpan`] scopes that report
-//! the peak observed within a region (one kernel, one pipeline stage).
+//! Heap-footprint profiling with **thread-local allocation tracking**:
+//! a [`TrackingAllocator`] that wraps the system allocator and feeds a
+//! lock-free registry of per-thread counter slots, plus span types that
+//! attribute allocations to the code region — and the *thread* — that
+//! performed them.
+//!
+//! # Why thread-local
+//!
+//! The first version of this module kept four global atomic counters.
+//! That made every `MemSpan` a *process-wide* measurement: when two
+//! kernels (or two tasks inside one kernel's dynamic pool) ran
+//! concurrently, each span absorbed the other's allocations and the
+//! reported peaks were garbage at `--threads > 1`. The registry fixes
+//! the attribution and, as a bonus, removes the shared-cache-line
+//! contention: each thread's allocator hook bumps only its own slot.
+//!
+//! # Model
+//!
+//! * Every thread that *participates in measurement* owns a **slot**:
+//!   monotone `alloc_bytes`/`free_bytes`/`allocs`/`frees` counters plus
+//!   a resettable high-water mark of the slot's net live bytes. A slot
+//!   is written only by its owning thread (the fold paths read it with
+//!   relaxed atomics), claimed on first span entry, and released when
+//!   the thread exits. Threads that never enter a span — and the rare
+//!   allocation that lands while thread-local storage is being torn
+//!   down — fall back to a shared *orphan* slot, so process-wide totals
+//!   stay exact even when attribution is impossible.
+//! * A [`TaskSpan`] is a **per-thread epoch**: it snapshots the owning
+//!   thread's slot, resets the slot's peak, and on exit reports the
+//!   bytes the thread allocated, freed, and held live *above the
+//!   span's entry point*. Task spans nest (the enclosing span's peak is
+//!   restored as `max(outer, inner)`), and spans on different threads
+//!   are fully independent — N concurrent task spans over disjoint
+//!   allocations report disjoint peaks.
+//! * A [`MemSpan`] is a **cross-thread span**: a task span on the
+//!   opening thread plus an explicit aggregation step.
+//!   [`MemSpan::exit_with_pool`] folds the per-worker tallies that an
+//!   instrumented pool run collected ([`PoolMemStats`]) into one
+//!   [`MemoryRecord`], bounding the concurrent peak by
+//!   `Σ_worker (retained + max task peak)`. Because only the span's own
+//!   participants are folded, concurrent spans no longer cross-talk.
+//!
+//! All reported peaks are **span-relative** (bytes above the span's
+//! entry live-set, attributed to the span's threads), not process
+//! absolutes — that is the quantity that survives concurrency.
 //!
 //! Everything is gated behind the `mem-profile` cargo feature. With the
 //! feature off this module still compiles — every probe returns zeros
@@ -15,25 +56,15 @@
 //! static ALLOC: gb_obs::mem::TrackingAllocator = gb_obs::mem::TrackingAllocator;
 //! ```
 //!
-//! Overhead: four relaxed atomic updates per allocation/deallocation
-//! (roughly 5–15% on allocation-heavy kernels, unmeasurable on
-//! compute-bound ones), which is why the suite's default build leaves
-//! the feature off and the `obs_overhead` bench guards the default
-//! path. Span accounting assumes spans are entered sequentially (the
-//! CLI measures one kernel at a time); allocations from unrelated
-//! concurrent threads land in whichever span is open.
+//! Overhead: a thread-local read plus three relaxed atomic updates per
+//! allocation event, all on the owning thread's cache line (no
+//! cross-core traffic in steady state). The suite's default build
+//! leaves the feature off and pays nothing.
 
 use crate::manifest::MemoryRecord;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-
-/// Live heap bytes.
-static CURRENT: AtomicUsize = AtomicUsize::new(0);
-/// High-water mark of [`CURRENT`] since the last span reset.
-static PEAK: AtomicUsize = AtomicUsize::new(0);
-/// Allocation events.
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-/// Deallocation events.
-static FREES: AtomicU64 = AtomicU64::new(0);
+use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 
 /// Whether this build can track heap usage (the `mem-profile` feature).
 /// Numbers additionally require the binary to register
@@ -43,18 +74,167 @@ pub const fn enabled() -> bool {
     cfg!(feature = "mem-profile")
 }
 
+// --- the slot registry -------------------------------------------------
+
+/// Fixed registry capacity. Slots are recycled when threads exit, so
+/// this bounds *live* measured threads, not threads over the process
+/// lifetime; overflow degrades gracefully to the orphan slot.
+const MAX_SLOTS: usize = 512;
+
+/// `SLOT_IDX` value meaning "not registered — use the orphan slot".
+const UNREGISTERED: usize = usize::MAX;
+
+/// One thread's counters. Only the owning thread writes (the orphan
+/// slot is the exception — it may have many concurrent writers, which
+/// is safe because every update is a single atomic RMW). Cache-line
+/// sized so neighbouring slots never false-share.
+#[repr(align(64))]
+struct Slot {
+    /// Claimed by a live thread.
+    in_use: AtomicBool,
+    /// Monotone: bytes ever allocated by this slot's owners.
+    alloc_bytes: AtomicU64,
+    /// Monotone: bytes ever freed by this slot's owners.
+    free_bytes: AtomicU64,
+    /// Monotone: allocation events.
+    allocs: AtomicU64,
+    /// Monotone: deallocation events.
+    frees: AtomicU64,
+    /// High-water mark of `alloc_bytes - free_bytes` since the last
+    /// epoch reset by the owner. `i64`: a thread that frees memory
+    /// allocated elsewhere has a negative net.
+    peak_net: AtomicI64,
+}
+
+impl Slot {
+    const fn new() -> Slot {
+        Slot {
+            in_use: AtomicBool::new(false),
+            alloc_bytes: AtomicU64::new(0),
+            free_bytes: AtomicU64::new(0),
+            allocs: AtomicU64::new(0),
+            frees: AtomicU64::new(0),
+            peak_net: AtomicI64::new(0),
+        }
+    }
+
+    /// Net live bytes attributed to this slot (allocated here minus
+    /// freed here; negative when the slot freed other threads' memory).
+    #[inline]
+    fn net(&self) -> i64 {
+        self.alloc_bytes
+            .load(Ordering::Relaxed)
+            .wrapping_sub(self.free_bytes.load(Ordering::Relaxed)) as i64
+    }
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const EMPTY_SLOT: Slot = Slot::new();
+static SLOTS: [Slot; MAX_SLOTS] = [EMPTY_SLOT; MAX_SLOTS];
+
+/// Shared fallback for unregistered threads and allocations during TLS
+/// teardown. Multiple writers — totals stay exact, attribution is lost.
+static ORPHAN: Slot = Slot::new();
+
+/// High-water mark of claimed slot indices + 1; bounds registry folds.
+static CLAIMED_HWM: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// The current thread's slot index, read on the allocation hot path.
+    /// Const-initialized `Cell` — accessing it never allocates, which
+    /// keeps the `GlobalAlloc` hook re-entrancy-free.
+    static SLOT_IDX: Cell<usize> = const { Cell::new(UNREGISTERED) };
+
+    /// Claims a slot on first *span* entry (normal code, where
+    /// allocating is fine) and releases it when the thread exits.
+    static SLOT_HANDLE: SlotHandle = SlotHandle::claim();
+}
+
+struct SlotHandle {
+    idx: usize,
+}
+
+impl SlotHandle {
+    fn claim() -> SlotHandle {
+        let mut idx = UNREGISTERED;
+        for (i, slot) in SLOTS.iter().enumerate() {
+            if slot
+                .in_use
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                idx = i;
+                CLAIMED_HWM.fetch_max(i + 1, Ordering::Relaxed);
+                break;
+            }
+        }
+        // On exhaustion idx stays UNREGISTERED: the thread keeps routing
+        // to the orphan slot.
+        let _ = SLOT_IDX.try_with(|c| c.set(idx));
+        SlotHandle { idx }
+    }
+}
+
+impl Drop for SlotHandle {
+    fn drop(&mut self) {
+        // Stop routing this thread's allocations to the slot *before*
+        // releasing it, so a new claimant never races an old owner.
+        let _ = SLOT_IDX.try_with(|c| c.set(UNREGISTERED));
+        if self.idx < MAX_SLOTS {
+            SLOTS[self.idx].in_use.store(false, Ordering::Release);
+        }
+    }
+}
+
+/// The slot behind an index (sentinels map to the orphan slot).
+#[inline]
+fn slot_for(idx: usize) -> &'static Slot {
+    if idx < MAX_SLOTS {
+        &SLOTS[idx]
+    } else {
+        &ORPHAN
+    }
+}
+
+/// Ensures the current thread owns a slot (claiming one if needed) and
+/// returns its index. Must only be called from normal code — claiming
+/// may allocate. Falls back to the orphan sentinel during TLS teardown
+/// or registry exhaustion.
+fn register_current_thread() -> usize {
+    match SLOT_IDX.try_with(Cell::get) {
+        Ok(idx) if idx != UNREGISTERED => idx,
+        Ok(_) => SLOT_HANDLE.try_with(|h| h.idx).unwrap_or(UNREGISTERED),
+        Err(_) => UNREGISTERED,
+    }
+}
+
+/// Registers the current thread (see [`register_current_thread`]) and
+/// returns its slot's absolute net live bytes. Used by instrumented
+/// pools to snapshot the coordinating thread before workers start; `0`
+/// without the `mem-profile` feature.
+pub fn current_thread_net() -> i64 {
+    if !enabled() {
+        return 0;
+    }
+    slot_for(register_current_thread()).net()
+}
+
+// --- the allocator hook ------------------------------------------------
+
 /// A `#[global_allocator]` shim over [`std::alloc::System`] that feeds
-/// the module's counters. Does nothing unless the `mem-profile` feature
-/// is on (without it the `GlobalAlloc` impl is absent, so registering
-/// the tracker in a default build is a compile error rather than silent
-/// zeros).
+/// the calling thread's registry slot. Does nothing unless the
+/// `mem-profile` feature is on (without it the `GlobalAlloc` impl is
+/// absent, so registering the tracker in a default build is a compile
+/// error rather than silent zeros).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct TrackingAllocator;
 
 #[cfg(feature = "mem-profile")]
 #[allow(unsafe_code)]
 // SAFETY: delegates every operation verbatim to `System`; the counter
-// updates have no effect on the returned memory.
+// updates have no effect on the returned memory. The hook only ever
+// *reads* the const-initialized `SLOT_IDX` cell, so it cannot recurse
+// into TLS initialization (which may itself allocate).
 unsafe impl std::alloc::GlobalAlloc for TrackingAllocator {
     unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
         let p = std::alloc::System.alloc(layout);
@@ -81,26 +261,42 @@ unsafe impl std::alloc::GlobalAlloc for TrackingAllocator {
 
 #[cfg(feature = "mem-profile")]
 #[inline]
+fn hot_slot() -> &'static Slot {
+    slot_for(SLOT_IDX.try_with(Cell::get).unwrap_or(UNREGISTERED))
+}
+
+#[cfg(feature = "mem-profile")]
+#[inline]
 fn record_alloc(bytes: usize) {
-    let now = CURRENT.fetch_add(bytes, Ordering::Relaxed) + bytes;
-    PEAK.fetch_max(now, Ordering::Relaxed);
-    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    let s = hot_slot();
+    s.allocs.fetch_add(1, Ordering::Relaxed);
+    let net = (s
+        .alloc_bytes
+        .fetch_add(bytes as u64, Ordering::Relaxed)
+        .wrapping_add(bytes as u64))
+    .wrapping_sub(s.free_bytes.load(Ordering::Relaxed)) as i64;
+    s.peak_net.fetch_max(net, Ordering::Relaxed);
 }
 
 #[cfg(feature = "mem-profile")]
 #[inline]
 fn record_free(bytes: usize) {
-    CURRENT.fetch_sub(bytes, Ordering::Relaxed);
-    FREES.fetch_add(1, Ordering::Relaxed);
+    let s = hot_slot();
+    s.frees.fetch_add(1, Ordering::Relaxed);
+    s.free_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
 }
 
-/// Point-in-time view of the allocator counters.
+// --- snapshots ---------------------------------------------------------
+
+/// Point-in-time fold of the whole registry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemSnapshot {
-    /// Live heap bytes.
+    /// Live heap bytes (sum of every slot's net, clamped at zero).
     pub current_bytes: u64,
-    /// Peak live bytes since the innermost open span began (or since
-    /// process start when no span ever opened).
+    /// Upper bound on the peak live bytes: the sum of each slot's
+    /// epoch high-water mark. Per-slot marks are exact; their sum can
+    /// exceed the true simultaneous peak when threads peak at
+    /// different times.
     pub peak_bytes: u64,
     /// Allocation events since process start.
     pub allocs: u64,
@@ -108,50 +304,271 @@ pub struct MemSnapshot {
     pub frees: u64,
 }
 
-/// Reads the counters (all zeros without `mem-profile` or when the
-/// allocator is not registered).
+/// Folds every registered slot plus the orphan slot (all zeros without
+/// `mem-profile` or when the allocator is not registered).
 pub fn snapshot() -> MemSnapshot {
-    let current = CURRENT.load(Ordering::Relaxed) as u64;
+    let hwm = CLAIMED_HWM.load(Ordering::Relaxed).min(MAX_SLOTS);
+    let mut current: i64 = 0;
+    let mut peak: i64 = 0;
+    let mut allocs = 0u64;
+    let mut frees = 0u64;
+    for s in SLOTS[..hwm].iter().chain(std::iter::once(&ORPHAN)) {
+        let net = s.net();
+        current += net;
+        peak += s.peak_net.load(Ordering::Relaxed).max(net).max(0);
+        allocs += s.allocs.load(Ordering::Relaxed);
+        frees += s.frees.load(Ordering::Relaxed);
+    }
+    let current = current.max(0) as u64;
     MemSnapshot {
         current_bytes: current,
-        // The peak can lag a racing allocation's fetch_max; never report
-        // a peak below the live total.
-        peak_bytes: (PEAK.load(Ordering::Relaxed) as u64).max(current),
-        allocs: ALLOCS.load(Ordering::Relaxed),
-        frees: FREES.load(Ordering::Relaxed),
+        peak_bytes: (peak.max(0) as u64).max(current),
+        allocs,
+        frees,
     }
 }
 
-/// A measurement scope: peak-bytes tracking restarts at entry, and
-/// [`MemSpan::exit`] reports the footprint of everything that happened
-/// inside. Spans nest — exiting restores the enclosing span's peak as
-/// `max(outer peak so far, inner peak)`, so an outer span always
-/// reports at least what any inner span saw.
+// --- per-thread (task) spans ------------------------------------------
+
+/// What one [`TaskSpan`] measured: the footprint of one task on one
+/// thread, relative to the span's entry point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TaskMemRecord {
+    /// Peak bytes held live above the entry live-set (never negative).
+    pub peak_bytes: u64,
+    /// Net change in live bytes across the span (negative when the
+    /// task freed more than it allocated).
+    pub net_bytes: i64,
+    /// Allocation events inside the span.
+    pub allocs: u64,
+    /// Deallocation events inside the span.
+    pub frees: u64,
+}
+
+/// A measurement epoch on the **current thread's** slot. Cheap enough
+/// to open per pool task; concurrent task spans on different threads
+/// are fully independent. Spans on the same thread nest: exiting an
+/// inner span restores the enclosing span's peak as
+/// `max(outer so far, inner)`.
+///
+/// Enter and exit must happen on the same thread.
+#[derive(Debug)]
+pub struct TaskSpan {
+    idx: usize,
+    start_net: i64,
+    start_allocs: u64,
+    start_frees: u64,
+    saved_peak: i64,
+}
+
+impl TaskSpan {
+    /// Opens an epoch: registers the thread if needed, snapshots its
+    /// slot, and resets the slot's peak to the current net.
+    pub fn enter() -> TaskSpan {
+        if !enabled() {
+            return TaskSpan {
+                idx: UNREGISTERED,
+                start_net: 0,
+                start_allocs: 0,
+                start_frees: 0,
+                saved_peak: 0,
+            };
+        }
+        let idx = register_current_thread();
+        let s = slot_for(idx);
+        let start_net = s.net();
+        TaskSpan {
+            idx,
+            start_net,
+            start_allocs: s.allocs.load(Ordering::Relaxed),
+            start_frees: s.frees.load(Ordering::Relaxed),
+            saved_peak: s.peak_net.swap(start_net, Ordering::Relaxed),
+        }
+    }
+
+    /// Closes the epoch, returning the task's footprint and restoring
+    /// the enclosing epoch's peak accounting.
+    pub fn exit(self) -> TaskMemRecord {
+        if !enabled() {
+            return TaskMemRecord::default();
+        }
+        let s = slot_for(self.idx);
+        let net_now = s.net();
+        let peak = s.peak_net.load(Ordering::Relaxed).max(net_now);
+        s.peak_net.fetch_max(self.saved_peak, Ordering::Relaxed);
+        TaskMemRecord {
+            peak_bytes: (peak - self.start_net).max(0) as u64,
+            net_bytes: net_now - self.start_net,
+            allocs: s
+                .allocs
+                .load(Ordering::Relaxed)
+                .wrapping_sub(self.start_allocs),
+            frees: s
+                .frees
+                .load(Ordering::Relaxed)
+                .wrapping_sub(self.start_frees),
+        }
+    }
+}
+
+// --- pool aggregation --------------------------------------------------
+
+/// One worker's accumulated task-span records; folded into
+/// [`PoolMemStats`] after the pool joins.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerMemTally {
+    /// Tasks folded in.
+    pub tasks: u64,
+    /// Largest single-task peak.
+    pub peak_max: u64,
+    /// Sum of task peaks (for the mean).
+    pub peak_sum: u64,
+    /// Net live-byte change across all tasks.
+    pub net_bytes: i64,
+    /// Allocation events across all tasks.
+    pub allocs: u64,
+    /// Deallocation events across all tasks.
+    pub frees: u64,
+}
+
+impl WorkerMemTally {
+    /// Folds one task's record in.
+    pub fn add(&mut self, r: TaskMemRecord) {
+        self.tasks += 1;
+        self.peak_max = self.peak_max.max(r.peak_bytes);
+        self.peak_sum += r.peak_bytes;
+        self.net_bytes += r.net_bytes;
+        self.allocs += r.allocs;
+        self.frees += r.frees;
+    }
+}
+
+/// Per-task heap attribution for one instrumented pool run, aggregated
+/// across workers. Carried on
+/// [`TaskStats::memory`](crate::TaskStats) and folded into the
+/// enclosing kernel span by [`MemSpan::exit_with_pool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolMemStats {
+    /// Tasks measured.
+    pub tasks: u64,
+    /// Largest per-task peak across all workers.
+    pub task_peak_max_bytes: u64,
+    /// Mean per-task peak across all workers.
+    pub task_peak_mean_bytes: u64,
+    /// Allocation events inside tasks.
+    pub allocs: u64,
+    /// Deallocation events inside tasks.
+    pub frees: u64,
+    /// Net live-byte change across all tasks.
+    pub net_bytes: i64,
+    /// Upper bound on the workers' simultaneous footprint:
+    /// `Σ_worker (retained + max task peak)`. At any instant each
+    /// worker holds at most its retained bytes plus one in-flight
+    /// task's peak, so the true concurrent peak never exceeds this.
+    pub concurrent_peak_bound: u64,
+    /// Whether the pool ran on the calling thread (`threads == 1`), in
+    /// which case the caller's own epoch already covers the tasks.
+    pub serial: bool,
+    /// The calling thread's absolute slot net when the pool started;
+    /// lets [`MemSpan::exit_with_pool`] place the workers' footprint on
+    /// top of whatever the caller had retained by then.
+    pub caller_net_at_start: i64,
+}
+
+impl PoolMemStats {
+    /// Folds per-worker tallies. `caller_net_at_start` should come from
+    /// [`current_thread_net`] taken just before the workers started;
+    /// `serial` marks pools that ran on the calling thread.
+    pub fn fold<'a>(
+        caller_net_at_start: i64,
+        serial: bool,
+        workers: impl IntoIterator<Item = &'a WorkerMemTally>,
+    ) -> PoolMemStats {
+        let mut out = PoolMemStats {
+            tasks: 0,
+            task_peak_max_bytes: 0,
+            task_peak_mean_bytes: 0,
+            allocs: 0,
+            frees: 0,
+            net_bytes: 0,
+            concurrent_peak_bound: 0,
+            serial,
+            caller_net_at_start,
+        };
+        let mut peak_sum = 0u64;
+        for w in workers {
+            out.tasks += w.tasks;
+            out.allocs += w.allocs;
+            out.frees += w.frees;
+            out.net_bytes += w.net_bytes;
+            out.task_peak_max_bytes = out.task_peak_max_bytes.max(w.peak_max);
+            peak_sum += w.peak_sum;
+            out.concurrent_peak_bound += w.net_bytes.max(0) as u64 + w.peak_max;
+        }
+        out.task_peak_mean_bytes = peak_sum.checked_div(out.tasks).unwrap_or(0);
+        out
+    }
+}
+
+// --- cross-thread (kernel) spans --------------------------------------
+
+/// A kernel- or stage-level measurement scope: a [`TaskSpan`] on the
+/// opening thread plus an explicit cross-thread aggregation step. Exit
+/// with [`MemSpan::exit`] when everything ran on this thread, or with
+/// [`MemSpan::exit_with_pool`] to fold the per-worker tallies of an
+/// instrumented pool run. Only the span's own participants are folded,
+/// so concurrent spans (other kernels, other tasks) never contribute.
 #[derive(Debug)]
 pub struct MemSpan {
-    start: MemSnapshot,
-    saved_peak: usize,
+    own: TaskSpan,
 }
 
 impl MemSpan {
-    /// Opens a span: snapshots the counters and resets peak tracking to
-    /// the current live total.
+    /// Opens a span on the current thread.
     pub fn enter() -> MemSpan {
-        let start = snapshot();
-        let saved_peak = PEAK.swap(start.current_bytes as usize, Ordering::Relaxed);
-        MemSpan { start, saved_peak }
+        MemSpan {
+            own: TaskSpan::enter(),
+        }
     }
 
-    /// Closes the span, returning its footprint and restoring the
-    /// enclosing span's peak accounting.
+    /// Closes the span. The record covers this thread's allocations
+    /// only — use [`MemSpan::exit_with_pool`] after a multi-threaded
+    /// pool run.
     pub fn exit(self) -> MemoryRecord {
-        let end = snapshot();
-        PEAK.fetch_max(self.saved_peak, Ordering::Relaxed);
+        self.exit_with_pool(None)
+    }
+
+    /// Closes the span, folding the per-worker memory tallies of a pool
+    /// run that happened inside it. `peak_bytes` is the span-relative
+    /// peak: this thread's own epoch peak, or — when workers ran
+    /// concurrently — the caller's retained bytes at pool start plus
+    /// the workers' concurrent-footprint bound, whichever is larger.
+    pub fn exit_with_pool(self, pool: Option<&PoolMemStats>) -> MemoryRecord {
+        let start_net = self.own.start_net;
+        let own = self.own.exit();
+        let (peak_bytes, net, allocs, frees) = match pool {
+            // Serial pools ran on this thread: the own epoch already
+            // saw every task allocation — folding would double-count.
+            None => (own.peak_bytes, own.net_bytes, own.allocs, own.frees),
+            Some(p) if p.serial => (own.peak_bytes, own.net_bytes, own.allocs, own.frees),
+            Some(p) => {
+                let own_net_at_pool = (p.caller_net_at_start - start_net).max(0) as u64;
+                (
+                    own.peak_bytes
+                        .max(own_net_at_pool + p.concurrent_peak_bound),
+                    own.net_bytes + p.net_bytes,
+                    own.allocs + p.allocs,
+                    own.frees + p.frees,
+                )
+            }
+        };
         MemoryRecord {
-            peak_bytes: end.peak_bytes,
-            end_bytes: end.current_bytes,
-            allocs: end.allocs - self.start.allocs,
-            frees: end.frees - self.start.frees,
+            peak_bytes,
+            end_bytes: net.max(0) as u64,
+            allocs,
+            frees,
+            task_peak_max_bytes: pool.map(|p| p.task_peak_max_bytes),
+            task_peak_mean_bytes: pool.map(|p| p.task_peak_mean_bytes),
         }
     }
 }
@@ -189,7 +606,48 @@ mod tests {
         assert!(s.peak_bytes >= s.current_bytes);
     }
 
-    // Behavior with the allocator actually registered is covered by the
-    // feature-gated integration test `tests/mem_tracking.rs` (run via
+    #[test]
+    fn pool_stats_fold_aggregates_workers() {
+        let w1 = WorkerMemTally {
+            tasks: 2,
+            peak_max: 100,
+            peak_sum: 150,
+            net_bytes: 20,
+            allocs: 4,
+            frees: 3,
+        };
+        let w2 = WorkerMemTally {
+            tasks: 1,
+            peak_max: 300,
+            peak_sum: 300,
+            net_bytes: -10,
+            allocs: 2,
+            frees: 5,
+        };
+        let p = PoolMemStats::fold(7, false, [&w1, &w2]);
+        assert_eq!(p.tasks, 3);
+        assert_eq!(p.task_peak_max_bytes, 300);
+        assert_eq!(p.task_peak_mean_bytes, 150);
+        assert_eq!(p.allocs, 6);
+        assert_eq!(p.frees, 8);
+        assert_eq!(p.net_bytes, 10);
+        // Worker 2's negative net clamps to 0 in the concurrency bound:
+        // (20 + 100) for worker 1, (0 + 300) for worker 2.
+        assert_eq!(p.concurrent_peak_bound, 420);
+        assert_eq!(p.caller_net_at_start, 7);
+        assert!(!p.serial);
+    }
+
+    #[test]
+    fn empty_fold_is_zero() {
+        let p = PoolMemStats::fold(0, true, []);
+        assert_eq!(p.tasks, 0);
+        assert_eq!(p.task_peak_mean_bytes, 0);
+        assert_eq!(p.concurrent_peak_bound, 0);
+    }
+
+    // Behaviour with the allocator actually registered is covered by the
+    // feature-gated integration tests `tests/mem_tracking.rs` and
+    // `tests/mem_stress.rs` (run via
     // `cargo test -p gb-obs --features mem-profile`).
 }

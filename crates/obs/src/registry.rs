@@ -60,6 +60,9 @@ impl MetricsRegistry {
     /// Ingests one instrumented run's [`TaskStats`] under `prefix`:
     /// a `<prefix>.tasks` counter plus latency-percentile and
     /// utilization gauges (`<prefix>.p50_ns`, …, `<prefix>.utilization`).
+    /// When the run carried per-task heap attribution (`mem-profile`
+    /// builds), also emits `<prefix>.task_peak_max_bytes` and
+    /// `<prefix>.task_peak_mean_bytes` gauges.
     pub fn record_task_stats(&mut self, prefix: &str, stats: &TaskStats) {
         self.counter_add(&format!("{prefix}.tasks"), stats.count);
         self.set_gauge(&format!("{prefix}.mean_ns"), stats.mean_ns as f64);
@@ -68,6 +71,16 @@ impl MetricsRegistry {
         self.set_gauge(&format!("{prefix}.p99_ns"), stats.p99_ns as f64);
         self.set_gauge(&format!("{prefix}.max_ns"), stats.max_ns as f64);
         self.set_gauge(&format!("{prefix}.utilization"), stats.utilization);
+        if let Some(mem) = &stats.memory {
+            self.set_gauge(
+                &format!("{prefix}.task_peak_max_bytes"),
+                mem.task_peak_max_bytes as f64,
+            );
+            self.set_gauge(
+                &format!("{prefix}.task_peak_mean_bytes"),
+                mem.task_peak_mean_bytes as f64,
+            );
+        }
     }
 
     /// Serializes every metric:

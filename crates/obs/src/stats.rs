@@ -3,6 +3,7 @@
 //! the Fig. 7 report print.
 
 use crate::hist::LogHistogram;
+use crate::mem::PoolMemStats;
 use serde::{Deserialize, Serialize};
 
 /// One worker's share of an instrumented run.
@@ -50,6 +51,11 @@ pub struct TaskStats {
     pub utilization: f64,
     /// Per-worker breakdown.
     pub workers: Vec<WorkerStats>,
+    /// Per-task heap attribution folded across the pool's workers.
+    ///
+    /// `None` unless the run was instrumented under the `mem-profile`
+    /// feature.
+    pub memory: Option<PoolMemStats>,
 }
 
 impl TaskStats {
@@ -71,6 +77,7 @@ impl TaskStats {
                 0.0
             },
             workers,
+            memory: None,
         }
     }
 }

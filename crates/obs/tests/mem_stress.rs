@@ -1,0 +1,136 @@
+//! Concurrency stress for the thread-local allocation registry: N
+//! concurrent spans over disjoint allocations must report disjoint,
+//! non-negative peaks whose sum bounds the global live-byte growth —
+//! the no-cross-talk invariant the registry exists to provide (the old
+//! global-counter tracker conflated every concurrent span).
+//!
+//! Run with `cargo test -p gb-obs --features mem-profile`.
+#![cfg(feature = "mem-profile")]
+
+use gb_obs::mem::{self, TaskSpan, TrackingAllocator};
+use proptest::prelude::*;
+use std::sync::{Barrier, Mutex};
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
+
+/// Serializes the tests in this binary: per-span peaks are immune to
+/// outside allocations, but the global live-byte growth measured by
+/// [`concurrent_spans`] is not.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// An allocation the optimizer cannot elide.
+fn ballast(bytes: usize) -> Vec<u8> {
+    std::hint::black_box(vec![0x5Au8; bytes])
+}
+
+/// Per-thread slack for incidentals (thread spawn, TLS registration).
+/// Ballast is a single exact-size allocation, so the tolerance is tight.
+const SLACK: u64 = 256 << 10;
+
+/// Runs one span per size on its own thread, all ballast live
+/// simultaneously (barrier-synchronized), and returns the per-span
+/// records plus the global live-byte growth observed at the rendezvous.
+fn concurrent_spans(sizes: &[usize]) -> (Vec<mem::TaskMemRecord>, u64) {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let base = mem::snapshot().current_bytes;
+    let barrier = Barrier::new(sizes.len());
+    let (records, mid) = std::thread::scope(|s| {
+        let handles: Vec<_> = sizes
+            .iter()
+            .map(|&bytes| {
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let span = TaskSpan::enter();
+                    let buf = ballast(bytes);
+                    // Every thread's ballast is live here.
+                    let leader = barrier.wait().is_leader();
+                    let mid = leader.then(|| mem::snapshot().current_bytes);
+                    drop(buf);
+                    (span.exit(), mid)
+                })
+            })
+            .collect();
+        let mut records = Vec::new();
+        let mut mid = 0;
+        for h in handles {
+            let (r, m) = h.join().unwrap();
+            records.push(r);
+            if let Some(m) = m {
+                mid = m;
+            }
+        }
+        (records, mid)
+    });
+    (records, mid.saturating_sub(base))
+}
+
+fn assert_no_cross_talk(sizes: &[usize], records: &[mem::TaskMemRecord], global_growth: u64) {
+    for (r, &bytes) in records.iter().zip(sizes) {
+        let bytes = bytes as u64;
+        assert!(
+            r.peak_bytes >= bytes,
+            "peak {} below own ballast {bytes}",
+            r.peak_bytes
+        );
+        assert!(
+            r.peak_bytes <= bytes + SLACK,
+            "peak {} absorbed another span's allocations (own ballast {bytes})",
+            r.peak_bytes
+        );
+        // Ballast freed before exit; only incidentals may remain.
+        assert!(
+            r.net_bytes.unsigned_abs() <= SLACK,
+            "retained {} bytes",
+            r.net_bytes
+        );
+    }
+    // At the rendezvous every span's ballast was live at once, so the
+    // per-span peaks must jointly account for the global growth — minus
+    // out-of-span incidentals (thread-spawn bookkeeping allocated on
+    // the launching thread), budgeted at one SLACK per thread + one for
+    // the launcher.
+    let peak_sum: u64 = records.iter().map(|r| r.peak_bytes).sum();
+    let slack_budget = SLACK * (records.len() as u64 + 1);
+    assert!(
+        peak_sum + slack_budget >= global_growth,
+        "span peaks sum to {peak_sum} but global live bytes grew {global_growth}"
+    );
+}
+
+#[test]
+fn concurrent_spans_report_disjoint_peaks() {
+    // Well-separated sizes: any cross-talk shifts a peak past its bound.
+    let sizes: Vec<usize> = (0..8).map(|i| (i + 1) << 20).collect();
+    let (records, global_growth) = concurrent_spans(&sizes);
+    assert_no_cross_talk(&sizes, &records, global_growth);
+}
+
+#[test]
+fn repeated_thread_churn_recycles_slots() {
+    // Far more short-lived measured threads than registry slots: slot
+    // recycling must keep attribution working (no exhaustion, no leaks
+    // into other spans).
+    for round in 0..64 {
+        let sizes = [(round % 4 + 1) << 20, 1 << 20];
+        let (records, _) = concurrent_spans(&sizes);
+        for (r, &bytes) in records.iter().zip(&sizes) {
+            assert!(r.peak_bytes >= bytes as u64, "round {round}");
+            assert!(r.peak_bytes <= bytes as u64 + SLACK, "round {round}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The invariant holds for arbitrary disjoint allocation sizes and
+    /// span counts, not just the hand-picked layout above.
+    #[test]
+    fn prop_disjoint_spans_never_cross_talk(
+        sizes in prop::collection::vec((64usize << 10)..(4 << 20), 2..8)
+    ) {
+        let (records, global_growth) = concurrent_spans(&sizes);
+        assert_no_cross_talk(&sizes, &records, global_growth);
+    }
+}

@@ -2,9 +2,14 @@
 //! Only meaningful under `--features mem-profile`; without the feature
 //! the whole file compiles to nothing (registering the tracker would
 //! not compile, and the counters would read zero anyway).
+//!
+//! Span peaks are **span-relative**: a span reports bytes held live
+//! above its own entry point, attributed to its own thread(s) — not the
+//! process-wide absolute peak the first version of `gb_obs::mem`
+//! reported (which conflated concurrent spans).
 #![cfg(feature = "mem-profile")]
 
-use gb_obs::mem::{self, MemSpan, TrackingAllocator};
+use gb_obs::mem::{self, MemSpan, TaskSpan, TrackingAllocator};
 
 #[global_allocator]
 static ALLOC: TrackingAllocator = TrackingAllocator;
@@ -16,7 +21,7 @@ fn ballast(bytes: usize) -> Vec<u8> {
 
 #[test]
 fn tracking_allocator_counts_and_spans_nest() {
-    // --- counters move with allocations ---
+    // --- process-wide counters move with allocations ---
     let before = mem::snapshot();
     let keep = ballast(1 << 20);
     let after = mem::snapshot();
@@ -30,40 +35,71 @@ fn tracking_allocator_counts_and_spans_nest() {
     drop(keep);
     let freed = mem::snapshot();
     assert!(freed.frees > after.frees, "free not counted");
-    assert!(freed.current_bytes < after.current_bytes);
 
-    // --- span peaks cover what happened inside them ---
+    // --- span peaks are relative to their own entry point ---
     let outer = MemSpan::enter();
     let held = ballast(4 << 20); // 4 MiB live across the inner span
     let inner = MemSpan::enter();
     let transient = ballast(8 << 20); // 8 MiB, freed before inner exits
-    let inner_floor = mem::snapshot().current_bytes;
     drop(transient);
     let inner_report = inner.exit();
+    // The inner span saw the 8 MiB transient but NOT the 4 MiB held
+    // buffer (allocated before it opened).
     assert!(
-        inner_report.peak_bytes >= inner_floor,
-        "inner peak {} below its own live total {}",
-        inner_report.peak_bytes,
-        inner_floor
+        inner_report.peak_bytes >= 8 << 20,
+        "inner peak {} missed its transient",
+        inner_report.peak_bytes
+    );
+    assert!(
+        inner_report.peak_bytes < 12 << 20,
+        "inner peak {} absorbed the enclosing span's ballast",
+        inner_report.peak_bytes
     );
     assert!(inner_report.allocs >= 1);
     assert!(inner_report.frees >= 1);
-    // peak >= bytes still live when the span closed.
-    assert!(inner_report.peak_bytes >= inner_report.end_bytes);
+    // The transient was freed inside the span, so little is retained.
+    assert!(inner_report.end_bytes < 1 << 20);
 
-    drop(held);
     let outer_report = outer.exit();
-    // Nesting restores totals: the outer span's peak must cover the
-    // inner span's peak even though the inner span reset the tracker.
+    // Nesting restores peak accounting: the outer span held 4 MiB while
+    // the inner span peaked 8 MiB above that.
     assert!(
-        outer_report.peak_bytes >= inner_report.peak_bytes,
-        "outer peak {} lost the inner peak {}",
-        outer_report.peak_bytes,
-        inner_report.peak_bytes
+        outer_report.peak_bytes >= 12 << 20,
+        "outer peak {} lost the nested peak",
+        outer_report.peak_bytes
     );
     assert!(outer_report.peak_bytes >= outer_report.end_bytes);
-    // And the global high-water mark survives span exit.
-    assert!(mem::snapshot().peak_bytes >= inner_report.peak_bytes);
+    // `held` is still live at exit: the span retained it.
+    assert!(outer_report.end_bytes >= 4 << 20);
+    drop(held);
+}
+
+#[test]
+fn task_spans_report_their_own_thread_only() {
+    let span = TaskSpan::enter();
+    let buf = ballast(2 << 20);
+    // A concurrent thread allocating must not leak into this epoch.
+    std::thread::spawn(|| {
+        let other = ballast(16 << 20);
+        std::hint::black_box(other.len())
+    })
+    .join()
+    .unwrap();
+    drop(buf);
+    let r = span.exit();
+    assert!(r.peak_bytes >= 2 << 20, "own allocation missed");
+    assert!(
+        r.peak_bytes < 10 << 20,
+        "peak {} absorbed another thread's 16 MiB",
+        r.peak_bytes
+    );
+    // The 2 MiB ballast was freed here; only thread-spawn incidentals
+    // (packets freed on the other thread, and vice versa) remain.
+    assert!(
+        r.net_bytes.abs() < 1 << 20,
+        "unexpected retained bytes: {}",
+        r.net_bytes
+    );
 }
 
 #[test]

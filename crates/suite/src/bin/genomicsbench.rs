@@ -315,7 +315,7 @@ fn load_manifest(path: &str) -> Result<RunManifest, String> {
 fn print_compare_table(report: &CompareReport) {
     let value = |metric: &str, v: f64| match metric {
         "wall_time" => format!("{:.2}ms", v / 1e6),
-        "peak_memory" => mem::format_bytes(v as u64),
+        "peak_memory" | "task_peak_memory" => mem::format_bytes(v as u64),
         _ => format!("{v:.3e}/s"),
     };
     let rows: Vec<Vec<String>> = report
@@ -449,9 +449,17 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 let kernel = prepare(id, opts.size());
                 let stats = match &recorder {
                     Some(r) => run_parallel_instrumented(kernel.as_ref(), opts.threads(), r),
+                    // mem-profile builds always take the instrumented
+                    // path (NullRecorder: no tracing overhead) so the
+                    // pool collects per-task heap attribution.
+                    None if mem::enabled() => {
+                        run_parallel_instrumented(kernel.as_ref(), opts.threads(), &NullRecorder)
+                    }
                     None => run_parallel(kernel.as_ref(), opts.threads()),
                 };
-                let memory = span.map(mem::MemSpan::exit);
+                let memory = span.map(|s| {
+                    s.exit_with_pool(stats.task_stats.as_ref().and_then(|ts| ts.memory.as_ref()))
+                });
                 if let Some(ts) = &stats.task_stats {
                     registry.record_task_stats(id.name(), ts);
                 }
@@ -521,7 +529,9 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             let kernel = prepare(id, opts.size());
             let recorder = TraceRecorder::new();
             let stats = run_parallel_instrumented(kernel.as_ref(), threads, &recorder);
-            let memory = span.map(mem::MemSpan::exit);
+            let memory = span.map(|s| {
+                s.exit_with_pool(stats.task_stats.as_ref().and_then(|ts| ts.memory.as_ref()))
+            });
             let task_stats = stats.task_stats.as_ref().expect("instrumented run");
             println!(
                 "profile {} ({} dataset, {} thread(s)): {} tasks in {:.3}s, checksum {:x}",
@@ -541,6 +551,13 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                     m.allocs,
                     m.frees
                 );
+                if let (Some(max), Some(mean)) = (m.task_peak_max_bytes, m.task_peak_mean_bytes) {
+                    println!(
+                        "task heap: peak(max) {}  peak(mean) {}",
+                        mem::format_bytes(max),
+                        mem::format_bytes(mean)
+                    );
+                }
             }
             let mut registry = MetricsRegistry::new();
             registry.record_task_stats(id.name(), task_stats);

@@ -7,6 +7,7 @@
 //! workers pull from, so imbalanced task lists (Fig. 4) still load-balance
 //! well (Fig. 7).
 
+use gb_obs::mem::{self, PoolMemStats, WorkerMemTally};
 use gb_obs::{LogHistogram, Recorder, TaskStats, WorkerStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -21,9 +22,10 @@ use std::time::{Duration, Instant};
 ///
 /// ```
 /// use gb_suite::pool::run_dynamic;
-/// let (sum, elapsed) = run_dynamic(100, 4, |i| i as u64);
+/// // The elapsed Duration can read as zero on coarse clocks, so only
+/// // the checksum is asserted.
+/// let (sum, _elapsed) = run_dynamic(100, 4, |i| i as u64);
 /// assert_eq!(sum, 4950);
-/// assert!(elapsed.as_nanos() > 0);
 /// ```
 pub fn run_dynamic<F>(num_tasks: usize, threads: usize, work: F) -> (u64, Duration)
 where
@@ -73,6 +75,7 @@ struct WorkerTally {
     hist: LogHistogram,
     busy_ns: u64,
     tasks: u64,
+    mem: WorkerMemTally,
 }
 
 /// One worker's pull-loop, timing every task. Span emission is gated on
@@ -95,16 +98,24 @@ where
         hist: LogHistogram::new(),
         busy_ns: 0,
         tasks: 0,
+        mem: WorkerMemTally::default(),
     };
     loop {
         let i = cursor.fetch_add(1, Ordering::Relaxed);
         if i >= num_tasks {
             break;
         }
+        // Per-task heap epoch: opened on this worker's own thread-local
+        // allocation slot, so concurrent workers never see each other's
+        // allocations. Compiled out entirely without `mem-profile`.
+        let mspan = mem::enabled().then(mem::TaskSpan::enter);
         let span_ts = recorder.now_ns();
         let t = Instant::now();
         tally.acc = tally.acc.wrapping_add(work(i));
         let dur_ns = t.elapsed().as_nanos() as u64;
+        if let Some(s) = mspan {
+            tally.mem.add(s.exit());
+        }
         tally.hist.record(dur_ns);
         tally.busy_ns += dur_ns;
         tally.tasks += 1;
@@ -146,6 +157,14 @@ where
     F: Fn(usize) -> u64 + Sync,
 {
     let threads = threads.max(1);
+    // Snapshot the calling thread's allocation level before any tasks
+    // run: in the serial case tasks execute on this thread, and the
+    // cross-thread fold needs the caller's pre-pool baseline either way.
+    let caller_net = if mem::enabled() {
+        mem::current_thread_net()
+    } else {
+        0
+    };
     let start = Instant::now();
     let cursor = AtomicUsize::new(0);
     let tallies: Vec<WorkerTally> = if threads == 1 {
@@ -188,11 +207,10 @@ where
     if recorder.enabled() {
         recorder.counter("tasks", hist.count());
     }
-    (
-        checksum,
-        elapsed,
-        TaskStats::from_parts(&hist, workers, wall_ns),
-    )
+    let mut stats = TaskStats::from_parts(&hist, workers, wall_ns);
+    stats.memory = mem::enabled()
+        .then(|| PoolMemStats::fold(caller_net, threads == 1, tallies.iter().map(|t| &t.mem)));
+    (checksum, elapsed, stats)
 }
 
 /// Times a closure, returning `(result, elapsed)`.
@@ -303,6 +321,20 @@ mod tests {
         assert!(stats.utilization > 0.0 && stats.utilization <= 1.0);
         assert!(stats.max_ns >= stats.p50_ns);
         assert!(stats.p99_ns >= stats.p50_ns);
+    }
+
+    #[test]
+    fn memory_attribution_matches_build_features() {
+        use gb_obs::NullRecorder;
+        let (_, _, stats) = run_dynamic_instrumented(16, 2, |i| i as u64, &NullRecorder, "t");
+        if gb_obs::mem::enabled() {
+            // Attribution is populated, though without a registered
+            // tracking allocator the counters stay zero.
+            let mem = stats.memory.expect("mem-profile builds attribute tasks");
+            assert_eq!(mem.tasks, 16);
+        } else {
+            assert!(stats.memory.is_none(), "default builds carry no mem stats");
+        }
     }
 
     #[test]

@@ -130,9 +130,12 @@ pub fn table2() -> Report {
 }
 
 /// Table III: parallelism granularity and measured task counts/work for
-/// the irregular kernels. In `mem-profile` builds the table gains a
-/// measured peak-heap column (the footprint of preparing and holding the
-/// kernel's workload); default builds show a dash.
+/// the irregular kernels. In `mem-profile` builds the table gains
+/// measured heap columns — the peak footprint of preparing and running
+/// the kernel's workload, plus per-task peak heap (max and mean across
+/// tasks, each task metered on its own worker's thread-local slot so
+/// the numbers stay meaningful under parallel runs); default builds
+/// show dashes.
 pub fn table3(size: DatasetSize) -> Report {
     let mut rows = Vec::new();
     let mut jrows = Vec::new();
@@ -143,9 +146,21 @@ pub fn table3(size: DatasetSize) -> Report {
         let span = gb_obs::mem::enabled().then(gb_obs::mem::MemSpan::enter);
         let kernel = prepare(id, size);
         let dist = work_distribution(kernel.as_ref());
-        let mem = span.map(gb_obs::mem::MemSpan::exit);
-        let peak_cell = match &mem {
-            Some(m) => gb_obs::mem::format_bytes(m.peak_bytes),
+        // With profiling on, run the tasks once (single worker) so the
+        // span's memory record carries per-task peak attribution.
+        let pool_mem = gb_obs::mem::enabled().then(|| {
+            let (_, _, stats) = crate::pool::run_dynamic_instrumented(
+                kernel.num_tasks(),
+                1,
+                |i| kernel.run_task(i),
+                &gb_obs::NullRecorder,
+                id.name(),
+            );
+            stats.memory.expect("mem-profile run attributes tasks")
+        });
+        let mem = span.map(|s| s.exit_with_pool(pool_mem.as_ref()));
+        let bytes_cell = |b: Option<u64>| match b {
+            Some(b) => gb_obs::mem::format_bytes(b),
             None => "-".to_string(),
         };
         rows.push(vec![
@@ -154,18 +169,20 @@ pub fn table3(size: DatasetSize) -> Report {
             work_desc.to_string(),
             kernel.num_tasks().to_string(),
             format!("{:.0}", dist.mean),
-            peak_cell,
+            bytes_cell(mem.as_ref().map(|m| m.peak_bytes)),
+            bytes_cell(mem.as_ref().and_then(|m| m.task_peak_max_bytes)),
+            bytes_cell(mem.as_ref().and_then(|m| m.task_peak_mean_bytes)),
         ]);
+        let opt_bytes = |b: Option<u64>| b.map_or(Value::Null, Value::from);
         jrows.push(json!({
             "kernel": id.name(),
             "granularity": gran,
             "work": work_desc,
             "tasks": kernel.num_tasks(),
             "mean_work": dist.mean,
-            "peak_heap_bytes": match mem {
-                Some(m) => Value::from(m.peak_bytes),
-                None => Value::Null,
-            },
+            "peak_heap_bytes": opt_bytes(mem.as_ref().map(|m| m.peak_bytes)),
+            "task_peak_max_bytes": opt_bytes(mem.as_ref().and_then(|m| m.task_peak_max_bytes)),
+            "task_peak_mean_bytes": opt_bytes(mem.as_ref().and_then(|m| m.task_peak_mean_bytes)),
         }));
     }
     let text = format!(
@@ -178,7 +195,9 @@ pub fn table3(size: DatasetSize) -> Report {
                 "data-parallel work",
                 "tasks",
                 "mean work/task",
-                "peak heap"
+                "peak heap",
+                "task peak (max)",
+                "task peak (mean)"
             ],
             &rows
         )

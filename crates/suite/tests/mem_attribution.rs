@@ -1,0 +1,93 @@
+//! The acceptance criterion for per-task heap attribution: two
+//! allocation-heavy "kernels" running concurrently on a multi-thread
+//! pool must report per-kernel peaks within 10% of their 1-thread solo
+//! peaks. Under the old global-counter tracker each concurrent span
+//! absorbed the other's 32 MiB workload and reported roughly 2x.
+//!
+//! Run with `cargo test -p gb-suite --features mem-profile`.
+#![cfg(feature = "mem-profile")]
+
+use gb_obs::mem::{MemSpan, TrackingAllocator};
+use gb_obs::{MemoryRecord, NullRecorder};
+use gb_suite::pool::run_dynamic_instrumented;
+use std::sync::Barrier;
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
+
+/// Retained "prepared workload" per kernel instance.
+const RETAINED: usize = 32 << 20;
+/// Transient allocation per pool task.
+const TASK_BYTES: usize = 64 << 10;
+const TASKS: usize = 64;
+
+/// A synthetic allocation-heavy kernel: prepare a retained workload,
+/// then run tasks through the instrumented pool, each allocating (and
+/// dropping) a per-task buffer. Mirrors the `MemSpan` wiring in the
+/// `genomicsbench` binary.
+fn run_fake_kernel(pool_threads: usize) -> MemoryRecord {
+    let span = MemSpan::enter();
+    let workload = std::hint::black_box(vec![0xC3u8; RETAINED]);
+    let (_, _, stats) = run_dynamic_instrumented(
+        TASKS,
+        pool_threads,
+        |i| {
+            let buf = std::hint::black_box(vec![i as u8; TASK_BYTES]);
+            buf.iter().map(|&b| u64::from(b)).sum()
+        },
+        &NullRecorder,
+        "fake-kernel",
+    );
+    drop(workload);
+    span.exit_with_pool(stats.memory.as_ref())
+}
+
+#[test]
+fn task_peaks_reflect_per_task_allocations() {
+    let r = run_fake_kernel(2);
+    let max = r.task_peak_max_bytes.expect("pool attribution present");
+    let mean = r.task_peak_mean_bytes.expect("pool attribution present");
+    let task = TASK_BYTES as u64;
+    assert!(max >= task, "task peak {max} below the per-task buffer");
+    assert!(max <= 2 * task, "task peak {max} absorbed foreign work");
+    assert!(mean >= task / 2 && mean <= max, "mean {mean} out of range");
+}
+
+#[test]
+fn concurrent_kernels_match_their_solo_peaks() {
+    let solo = run_fake_kernel(1);
+    assert!(
+        solo.peak_bytes >= RETAINED as u64,
+        "solo peak {} below the retained workload",
+        solo.peak_bytes
+    );
+
+    // Two kernel instances, each on a 2-worker pool, running at the
+    // same time (4 measured worker threads total).
+    let barrier = Barrier::new(2);
+    let peaks: Vec<u64> = std::thread::scope(|s| {
+        (0..2)
+            .map(|_| {
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    run_fake_kernel(2).peak_bytes
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+
+    for peak in peaks {
+        let rel = (peak as f64 - solo.peak_bytes as f64).abs() / solo.peak_bytes as f64;
+        assert!(
+            rel <= 0.10,
+            "concurrent peak {} deviates {:.1}% from solo peak {} — cross-talk",
+            peak,
+            rel * 100.0,
+            solo.peak_bytes
+        );
+    }
+}

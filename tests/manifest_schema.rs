@@ -40,6 +40,8 @@ fn sample_manifest() -> RunManifest {
                 end_bytes: 3 << 20,
                 allocs: 4096,
                 frees: 4000,
+                task_peak_max_bytes: Some(512 << 10),
+                task_peak_mean_bytes: Some(128 << 10),
             }),
         },
     );
@@ -111,9 +113,33 @@ fn manifest_json_golden_shape() {
         assert!(field(latency, name).as_f64().is_some(), "latency.{name}");
     }
     let memory = field(bsw_v, "memory");
-    for name in ["peak_bytes", "end_bytes", "allocs", "frees"] {
+    for name in [
+        "peak_bytes",
+        "end_bytes",
+        "allocs",
+        "frees",
+        // Schema 1.1 additions: per-task attribution from the pool.
+        "task_peak_max_bytes",
+        "task_peak_mean_bytes",
+    ] {
         assert!(field(memory, name).as_u64().is_some(), "memory.{name}");
     }
+}
+
+#[test]
+fn task_peak_fields_are_omitted_when_absent() {
+    // Memory records from uninstrumented spans (no pool attribution)
+    // keep the schema-1.0 shape: the 1.1 fields are additive-optional.
+    let mut m = sample_manifest();
+    let mem = m.kernels.get_mut("bsw").unwrap().memory.as_mut().unwrap();
+    mem.task_peak_max_bytes = None;
+    mem.task_peak_mean_bytes = None;
+    let v: Value = serde_json::from_str(&m.to_json_string()).unwrap();
+    let memory = field(field(field(&v, "kernels"), "bsw"), "memory")
+        .as_object()
+        .expect("memory record");
+    assert!(memory.get("task_peak_max_bytes").is_none());
+    assert!(memory.get("task_peak_mean_bytes").is_none());
 }
 
 #[test]
