@@ -1,0 +1,132 @@
+//! DP-engine shootout: scalar vs SIMD execution for `bsw` and `phmm`.
+//!
+//! Times the three bsw execution modes (per-pair scalar i32, i16 SoA
+//! SIMD unsorted, i16 SoA SIMD length-sorted) and the two phmm engines
+//! (row-wise f32/f64, anti-diagonal wavefront f32) on identical
+//! small-tier-shaped batches, and prints cells/s throughput once at
+//! start-up. The engines are bit-identical (see
+//! `crates/dp/tests/dp_engines_diff.rs`), so any wall-clock difference is
+//! pure execution efficiency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gb_core::quality::Phred;
+use gb_core::record::ReadRecord;
+use gb_core::seq::DnaSeq;
+use gb_dp::bsw::{banded_sw, SwParams, SwTask};
+use gb_dp::bsw_simd::run_simd;
+use gb_dp::phmm::{forward_likelihood, HmmParams};
+use gb_dp::phmm_wavefront::wavefront_likelihood;
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.0
+    }
+}
+
+/// Small-tier-shaped bsw batch: 85% noisy copies, lengths 60..=400.
+fn bsw_tasks(n: usize, seed: u64) -> Vec<SwTask> {
+    let mut rng = Lcg(seed);
+    (0..n)
+        .map(|_| {
+            let qlen = 60 + (rng.next() % 341) as usize;
+            let q: Vec<u8> = (0..qlen).map(|_| ((rng.next() >> 33) % 4) as u8).collect();
+            let t: Vec<u8> = if rng.next() % 100 < 85 {
+                q.iter()
+                    .map(|&c| if rng.next() % 100 < 3 { (c + 1) % 4 } else { c })
+                    .collect()
+            } else {
+                let tlen = 60 + (rng.next() % 341) as usize;
+                (0..tlen).map(|_| ((rng.next() >> 33) % 4) as u8).collect()
+            };
+            SwTask {
+                query: DnaSeq::from_codes_unchecked(q),
+                target: DnaSeq::from_codes_unchecked(t),
+            }
+        })
+        .collect()
+}
+
+/// Read/haplotype pairs shaped like the phmm kernel's region tasks.
+fn phmm_pairs(n: usize, seed: u64) -> Vec<(ReadRecord, DnaSeq)> {
+    let mut rng = Lcg(seed);
+    (0..n)
+        .map(|i| {
+            let hlen = 200 + (rng.next() % 200) as usize;
+            let h: Vec<u8> = (0..hlen).map(|_| ((rng.next() >> 33) % 4) as u8).collect();
+            let hap = DnaSeq::from_codes_unchecked(h);
+            let rlen = 80 + (rng.next() % 70) as usize;
+            let start = (rng.next() as usize) % (hlen - rlen);
+            let read_codes: Vec<u8> = hap.as_codes()[start..start + rlen]
+                .iter()
+                .map(|&c| if rng.next() % 100 < 2 { (c + 1) % 4 } else { c })
+                .collect();
+            let read = ReadRecord::with_uniform_quality(
+                &format!("r{i}"),
+                DnaSeq::from_codes_unchecked(read_codes),
+                Phred::new(30),
+            );
+            (read, hap)
+        })
+        .collect()
+}
+
+fn bench_dp_engines(c: &mut Criterion) {
+    let sw_params = SwParams::default();
+    let tasks = bsw_tasks(256, 0xB5D);
+    let pairs = phmm_pairs(48, 0xF17);
+
+    let mut group = c.benchmark_group("dp_engines_bsw");
+    group.sample_size(10);
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for t in &tasks {
+                let r = banded_sw(&t.query, &t.target, &sw_params);
+                acc = acc.wrapping_add(r.score as u64).wrapping_add(r.cells);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.bench_function("simd_unsorted", |b| {
+        b.iter(|| {
+            let (rs, _) = run_simd(&tasks, &sw_params, false);
+            std::hint::black_box(rs.len())
+        })
+    });
+    group.bench_function("simd_sorted", |b| {
+        b.iter(|| {
+            let (rs, _) = run_simd(&tasks, &sw_params, true);
+            std::hint::black_box(rs.len())
+        })
+    });
+    group.finish();
+
+    let hmm_params = HmmParams::default();
+    let mut group = c.benchmark_group("dp_engines_phmm");
+    group.sample_size(10);
+    group.bench_function("rowwise", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for (read, hap) in &pairs {
+                acc += forward_likelihood(read, hap, &hmm_params).log10_likelihood;
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.bench_function("wavefront", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for (read, hap) in &pairs {
+                acc += wavefront_likelihood(read, hap, &hmm_params).log10_likelihood;
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp_engines);
+criterion_main!(benches);

@@ -193,6 +193,9 @@ pub struct BatchReport {
     pub vector_cells: u64,
     /// Number of lane-batches executed.
     pub batches: u64,
+    /// Lanes the i16 SIMD engine retired to the i32 scalar ladder
+    /// (always 0 for the i32 lockstep reference and the analytic model).
+    pub retired_lanes: u64,
 }
 
 impl BatchReport {
@@ -204,6 +207,23 @@ impl BatchReport {
         }
         self.vector_cells as f64 / self.scalar_cells as f64
     }
+
+    /// Fraction of vector cell slots that did no useful work (lane
+    /// imbalance waste): `1 - scalar/vector`. Zero for an empty batch.
+    pub fn dead_slot_fraction(&self) -> f64 {
+        if self.vector_cells == 0 {
+            return 0.0;
+        }
+        1.0 - self.scalar_cells as f64 / self.vector_cells as f64
+    }
+
+    /// Folds another report's counts into this one.
+    pub fn merge(&mut self, other: &BatchReport) {
+        self.scalar_cells += other.scalar_cells;
+        self.vector_cells += other.vector_cells;
+        self.batches += other.batches;
+        self.retired_lanes += other.retired_lanes;
+    }
 }
 
 /// Executes `tasks` in lockstep batches of `lanes` (the inter-sequence
@@ -212,6 +232,13 @@ impl BatchReport {
 ///
 /// `sort_by_len` enables the length-sorting mitigation the paper
 /// describes (inputs sorted before lane assignment).
+///
+/// Delegates to the executed lockstep engine
+/// ([`crate::bsw_batch::run_lockstep_width`]) so the Fig. 3 slot counts
+/// come from one code path: per vector step every lane — active, masked
+/// or idle — burns one slot, which reproduces the old analytic
+/// `lanes x max-cells` bound exactly (each lane computes one cell per
+/// step, so a group runs for `max-cells` steps).
 pub fn run_batch(
     tasks: &[SwTask],
     params: &SwParams,
@@ -219,26 +246,7 @@ pub fn run_batch(
     sort_by_len: bool,
 ) -> (Vec<SwResult>, BatchReport) {
     assert!(lanes > 0, "lanes must be positive");
-    let mut order: Vec<usize> = (0..tasks.len()).collect();
-    if sort_by_len {
-        order.sort_by_key(|&i| tasks[i].query.len() + tasks[i].target.len());
-    }
-    let mut results = vec![SwResult::default(); tasks.len()];
-    let mut report = BatchReport::default();
-    for group in order.chunks(lanes) {
-        let mut max_cells = 0u64;
-        for &idx in group {
-            let r = banded_sw(&tasks[idx].query, &tasks[idx].target, params);
-            report.scalar_cells += r.cells;
-            max_cells = max_cells.max(r.cells);
-            results[idx] = r;
-        }
-        // Idle lanes in a partial last group still burn slots, as in real
-        // SIMD execution.
-        report.vector_cells += max_cells * lanes as u64;
-        report.batches += 1;
-    }
-    (results, report)
+    crate::bsw_batch::run_lockstep_width(tasks, params, lanes, sort_by_len)
 }
 
 #[cfg(test)]

@@ -32,9 +32,22 @@ pub fn lockstep_group_probed<P: Probe>(
     params: &SwParams,
     probe: &mut P,
 ) -> (Vec<SwResult>, BatchReport) {
+    lockstep_group_width_probed(tasks, params, LANES, probe)
+}
+
+/// [`lockstep_group_probed`] generalized to an arbitrary vector width
+/// (used by [`crate::bsw::run_batch`] to reproduce lane counts other than
+/// the AVX2 default, e.g. the Fig. 3 8-lane row).
+pub fn lockstep_group_width_probed<P: Probe>(
+    tasks: &[SwTask],
+    params: &SwParams,
+    lanes_width: usize,
+    probe: &mut P,
+) -> (Vec<SwResult>, BatchReport) {
+    assert!(lanes_width > 0, "lanes must be positive");
     assert!(
-        tasks.len() <= LANES,
-        "at most {LANES} tasks per lockstep group"
+        tasks.len() <= lanes_width,
+        "at most {lanes_width} tasks per lockstep group"
     );
     let band = params.band.unwrap_or(usize::MAX);
 
@@ -110,7 +123,7 @@ pub fn lockstep_group_probed<P: Probe>(
             break;
         }
         // Every vector step burns one slot per lane, active or not.
-        report.vector_cells += LANES as u64;
+        report.vector_cells += lanes_width as u64;
         probe.simd_ops(1);
         probe.branch(true);
     }
@@ -191,21 +204,36 @@ pub fn run_lockstep(
     params: &SwParams,
     sort_by_len: bool,
 ) -> (Vec<SwResult>, BatchReport) {
+    run_lockstep_width(tasks, params, LANES, sort_by_len)
+}
+
+/// Length-sort order over task indices: the paper's mitigation assigns
+/// similarly-sized alignments to the same lockstep group.
+pub(crate) fn length_order(tasks: &[SwTask], sort_by_len: bool) -> Vec<usize> {
     let mut order: Vec<usize> = (0..tasks.len()).collect();
     if sort_by_len {
         order.sort_by_key(|&i| tasks[i].query.len() + tasks[i].target.len());
     }
+    order
+}
+
+/// [`run_lockstep`] generalized to an arbitrary lane width.
+pub fn run_lockstep_width(
+    tasks: &[SwTask],
+    params: &SwParams,
+    lanes_width: usize,
+    sort_by_len: bool,
+) -> (Vec<SwResult>, BatchReport) {
+    let order = length_order(tasks, sort_by_len);
     let mut results = vec![SwResult::default(); tasks.len()];
     let mut total = BatchReport::default();
-    for group in order.chunks(LANES) {
+    for group in order.chunks(lanes_width) {
         let batch: Vec<SwTask> = group.iter().map(|&i| tasks[i].clone()).collect();
-        let (rs, rep) = lockstep_group(&batch, params);
+        let (rs, rep) = lockstep_group_width_probed(&batch, params, lanes_width, &mut NullProbe);
         for (&idx, r) in group.iter().zip(rs) {
             results[idx] = r;
         }
-        total.scalar_cells += rep.scalar_cells;
-        total.vector_cells += rep.vector_cells;
-        total.batches += 1;
+        total.merge(&rep);
     }
     (results, total)
 }
@@ -270,23 +298,23 @@ mod tests {
 
     #[test]
     fn lockstep_agrees_with_the_analytic_model_on_cells() {
-        // The run_batch model derives vector slots from per-task scalar
-        // cells; the real lockstep counts them by execution. Per-batch
-        // totals must agree when every lane runs to completion in step
-        // (same max-cells bound).
+        // run_batch now delegates here, so the old analytic model
+        // (`lanes x max-cells` per group) and the executed lockstep must
+        // agree exactly: a lane computes one cell per vector step, so a
+        // group runs for max-cells steps and burns lanes slots per step.
         let ts = tasks(16, 17);
         let params = SwParams {
             zdrop: None,
             ..SwParams::default()
         };
-        let (_, model) = run_batch(&ts, &params, LANES, false);
-        let (_, real) = run_lockstep(&ts, &params, false);
-        assert_eq!(model.scalar_cells, real.scalar_cells);
-        // The analytic model assumes lanes idle until the longest task's
-        // cell count; the real kernel steps per cell position, so its slot
-        // count can only be >= the model's bound and within 2x.
-        assert!(real.vector_cells >= model.vector_cells);
-        assert!(real.vector_cells <= model.vector_cells * 2);
+        let (model_res, model) = run_batch(&ts, &params, LANES, false);
+        let (real_res, real) = run_lockstep(&ts, &params, false);
+        assert_eq!(model, real);
+        assert_eq!(model_res, real_res);
+        // The executed slot count equals the analytic bound: the longest
+        // lane's cell count times the vector width.
+        let max_cells = real_res.iter().map(|r| r.cells).max().unwrap();
+        assert_eq!(real.vector_cells, max_cells * LANES as u64);
     }
 
     #[test]

@@ -4,11 +4,17 @@
 //!
 //! - [`bsw`] — banded Smith-Waterman with affine gaps and inter-sequence
 //!   batching (BWA-MEM2 seed extension),
+//! - [`bsw_batch`] / [`bsw_simd`] — the executed lockstep engines: exact
+//!   i32 reference and the autovectorizable i16 struct-of-arrays fast
+//!   path with precision-ladder lane retirement,
 //! - [`phmm`] — GATK-style pair-HMM forward likelihood (f32 with f64
 //!   rescue),
+//! - [`phmm_wavefront`] — the anti-diagonal f32 phmm execution engine,
 //! - [`chain`] — minimap2 anchor chaining (1-D DP with bounded
 //!   predecessor scan),
 //! - [`abea`] — Nanopolish/f5c adaptive banded event alignment.
+//!
+//! The two DP kernels with SIMD fast paths select them via [`DpEngine`].
 //!
 //! All kernels are generic over a [`gb_uarch::probe::Probe`] so one code
 //! path serves both timed benchmarking and microarchitectural
@@ -31,6 +37,45 @@
 pub mod abea;
 pub mod bsw;
 pub mod bsw_batch;
+pub mod bsw_simd;
 pub mod chain;
 pub mod phmm;
+pub mod phmm_wavefront;
 pub mod traceback;
+
+/// Which execution engine the DP kernels (`bsw`, `phmm`) run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DpEngine {
+    /// Paper-faithful scalar kernels: per-pair i32 `bsw`, row-wise f32/f64
+    /// `phmm`. Reproduces the modelled Fig. 3/5 numbers exactly.
+    Scalar,
+    /// Vectorized fast paths: i16 SoA lockstep `bsw` with precision
+    /// laddering, anti-diagonal f32 `phmm`. Bit-identical results.
+    #[default]
+    Simd,
+}
+
+impl DpEngine {
+    /// Stable lowercase name, as used by the `--dp-engine` CLI flag and
+    /// recorded in run manifests.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DpEngine::Scalar => "scalar",
+            DpEngine::Simd => "simd",
+        }
+    }
+}
+
+impl std::str::FromStr for DpEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<DpEngine, String> {
+        match s {
+            "scalar" => Ok(DpEngine::Scalar),
+            "simd" => Ok(DpEngine::Simd),
+            other => Err(format!(
+                "unknown dp engine '{other}' (expected 'scalar' or 'simd')"
+            )),
+        }
+    }
+}

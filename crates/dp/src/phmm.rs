@@ -34,17 +34,17 @@ impl Default for HmmParams {
 
 /// Precomputed transition probabilities.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct Transitions {
-    mm: f64,
-    gm: f64, // gap -> match
-    mx: f64, // match -> insertion
-    xx: f64, // insertion -> insertion
-    my: f64, // match -> deletion
-    yy: f64, // deletion -> deletion
+pub(crate) struct Transitions {
+    pub(crate) mm: f64,
+    pub(crate) gm: f64, // gap -> match
+    pub(crate) mx: f64, // match -> insertion
+    pub(crate) xx: f64, // insertion -> insertion
+    pub(crate) my: f64, // match -> deletion
+    pub(crate) yy: f64, // deletion -> deletion
 }
 
 impl Transitions {
-    fn from_params(p: &HmmParams) -> Transitions {
+    pub(crate) fn from_params(p: &HmmParams) -> Transitions {
         let eps = Phred::new(p.gap_open_qual).error_prob();
         let cont = Phred::new(p.gap_cont_qual).error_prob();
         Transitions {
@@ -97,7 +97,7 @@ pub fn forward_likelihood_probed<P: Probe>(
     // f32 first; rescue in f64 when the result is denormal-small, exactly
     // GATK's strategy.
     let (lik32, cells) = forward_generic::<f32, P>(read, haplotype, params, probe);
-    if lik32 > 1e-28_f32 && lik32.is_finite() {
+    if lik32 > UNDERFLOW_LIMIT_F32 && lik32.is_finite() {
         return PhmmResult {
             log10_likelihood: f64::from(lik32).log10(),
             cells,
@@ -148,7 +148,12 @@ impl HmmFloat for f64 {
     }
 }
 
-fn forward_generic<F: HmmFloat, P: Probe>(
+/// Threshold below which the f32 pass is considered underflowed and the
+/// `f64` rescue runs. Shared with the wavefront engine so both make the
+/// same rescue decisions.
+pub(crate) const UNDERFLOW_LIMIT_F32: f32 = 1e-28;
+
+pub(crate) fn forward_generic<F: HmmFloat, P: Probe>(
     read: &ReadRecord,
     haplotype: &DnaSeq,
     params: &HmmParams,

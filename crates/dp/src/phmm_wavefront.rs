@@ -1,0 +1,272 @@
+//! Anti-diagonal (wavefront) f32 PairHMM forward pass — the production
+//! SIMD engine for the **phmm** kernel.
+//!
+//! Every cell on anti-diagonal `d = i + j` of the M/I/D recurrence
+//! depends only on diagonals `d - 1` and `d - 2`, so a whole diagonal can
+//! be computed at once with no loop-carried dependency — unlike the
+//! row-wise kernel, whose D state forms a serial multiply-add chain along
+//! each row. The inner loop here runs over three rotating O(read-length)
+//! diagonal buffers with unit-stride accesses only (the haplotype is
+//! copied once in reverse so `h[j-1] = hrev[n-d+i]` advances forward with
+//! `i`), which lets LLVM autovectorize it on stable Rust.
+//!
+//! **Bit-exactness.** The per-cell arithmetic is the same f32 expression
+//! tree as [`crate::phmm::forward_likelihood`]'s f32 pass (same constant
+//! conversions, no FMA contraction on stable Rust), the final likelihood
+//! sums the captured last row in the same `j` order, and the `f64` rescue
+//! reuses the row-wise kernel with the same underflow threshold — so
+//! results (likelihood, cells, rescue flag) are bit-identical, not merely
+//! close.
+//!
+//! Not to be confused with [`crate::phmm::forward_likelihood_wavefront`],
+//! the full-matrix `f64` clarity model of the same traversal used to
+//! document Fig. 2d; this module is the optimized execution engine.
+
+use crate::phmm::{forward_generic, HmmParams, PhmmResult, Transitions, UNDERFLOW_LIMIT_F32};
+use gb_core::record::ReadRecord;
+use gb_core::seq::DnaSeq;
+use gb_uarch::probe::{addr_of, NullProbe, Probe};
+
+/// Computes `log10 P(read | haplotype)` with the wavefront f32 engine,
+/// falling back to the row-wise `f64` kernel on underflow.
+pub fn wavefront_likelihood(
+    read: &ReadRecord,
+    haplotype: &DnaSeq,
+    params: &HmmParams,
+) -> PhmmResult {
+    wavefront_likelihood_probed(read, haplotype, params, &mut NullProbe)
+}
+
+/// [`wavefront_likelihood`] with instrumentation: one SIMD op per
+/// diagonal step, with FP work and buffer traffic batched per diagonal
+/// (the vector-granularity counterpart of the row-wise per-cell probes).
+pub fn wavefront_likelihood_probed<P: Probe>(
+    read: &ReadRecord,
+    haplotype: &DnaSeq,
+    params: &HmmParams,
+    probe: &mut P,
+) -> PhmmResult {
+    let (lik32, cells) = wavefront_f32(read, haplotype, params, probe);
+    if lik32 > UNDERFLOW_LIMIT_F32 && lik32.is_finite() {
+        return PhmmResult {
+            log10_likelihood: f64::from(lik32).log10(),
+            cells,
+            rescued: false,
+        };
+    }
+    // Per-read precision fallback: the rescue stays on the exact row-wise
+    // f64 kernel (underflow is rare, so it is never the hot path).
+    let (lik64, cells64) = forward_generic::<f64, P>(read, haplotype, params, probe);
+    PhmmResult {
+        log10_likelihood: lik64.log10(),
+        cells: cells + cells64,
+        rescued: true,
+    }
+}
+
+/// The f32 diagonal sweep. Returns the forward likelihood and cell count.
+fn wavefront_f32<P: Probe>(
+    read: &ReadRecord,
+    haplotype: &DnaSeq,
+    params: &HmmParams,
+    probe: &mut P,
+) -> (f32, u64) {
+    let r = read.seq.as_codes();
+    let h = haplotype.as_codes();
+    let quals = read.quals();
+    let (m, n) = (r.len(), h.len());
+    if m == 0 || n == 0 {
+        return (0.0, 0);
+    }
+    let t = Transitions::from_params(params);
+    let tmm = t.mm as f32;
+    let tgm = t.gm as f32;
+    let tmx = t.mx as f32;
+    let txx = t.xx as f32;
+    let tmy = t.my as f32;
+    let tyy = t.yy as f32;
+    let init = (1.0 / n as f64) as f32;
+
+    // Per-read-position emission priors (index i in 1..=m; slot 0 unused),
+    // hoisted out of the sweep: one diagonal touches many read rows.
+    let mut pm = vec![0.0f32; m + 1];
+    let mut px = vec![0.0f32; m + 1];
+    for i in 1..=m {
+        let err = quals[i - 1].error_prob();
+        pm[i] = (1.0 - err) as f32;
+        px[i] = (err / 3.0) as f32;
+    }
+    // Reversed haplotype: cell (i, j) on diagonal d reads h[j-1] =
+    // hrev[n - d + i], a forward unit-stride access within a diagonal.
+    let hrev: Vec<u8> = h.iter().rev().copied().collect();
+
+    // Rotating diagonal buffers indexed by read row i; `*2` is diagonal
+    // d-2, `*1` is d-1, `c*` is the one being computed.
+    let mut m2 = vec![0.0f32; m + 1];
+    let mut i2 = vec![0.0f32; m + 1];
+    let mut d2 = vec![0.0f32; m + 1];
+    let mut m1 = vec![0.0f32; m + 1];
+    let mut i1 = vec![0.0f32; m + 1];
+    let mut d1 = vec![0.0f32; m + 1];
+    let mut cm = vec![0.0f32; m + 1];
+    let mut ci = vec![0.0f32; m + 1];
+    let mut cd = vec![0.0f32; m + 1];
+    // Diagonal 0 holds cell (0, 0), diagonal 1 holds (0, 1) and (1, 0):
+    // row 0 is the free-start D = 1/n initialization, column 0 is zeros.
+    d2[0] = init;
+    d1[0] = init;
+
+    // Last-row M/I values captured as the sweep passes row m, summed in
+    // `j` order afterwards — the same order as the row-wise kernel.
+    let mut last_m = vec![0.0f32; n + 1];
+    let mut last_i = vec![0.0f32; n + 1];
+
+    let mut cells = 0u64;
+    for d in 2..=(m + n) {
+        let ilo = 1.max(d.saturating_sub(n));
+        let ihi = m.min(d - 1);
+        let len = ihi - ilo + 1;
+        // Unit-stride views for the diagonal; `a` slices are the (i-1, .)
+        // neighbors, `b` slices the (i, j-1) neighbors.
+        let rs = &r[ilo - 1..ilo - 1 + len];
+        let hs = &hrev[n + ilo - d..n + ilo - d + len];
+        let pms = &pm[ilo..ilo + len];
+        let pxs = &px[ilo..ilo + len];
+        let m2a = &m2[ilo - 1..ilo - 1 + len];
+        let i2a = &i2[ilo - 1..ilo - 1 + len];
+        let d2a = &d2[ilo - 1..ilo - 1 + len];
+        let m1a = &m1[ilo - 1..ilo - 1 + len];
+        let i1a = &i1[ilo - 1..ilo - 1 + len];
+        let m1b = &m1[ilo..ilo + len];
+        let d1b = &d1[ilo..ilo + len];
+        let cms = &mut cm[ilo..ilo + len];
+        let cis = &mut ci[ilo..ilo + len];
+        let cds = &mut cd[ilo..ilo + len];
+        for o in 0..len {
+            let prior = if rs[o] == hs[o] { pms[o] } else { pxs[o] };
+            cms[o] = prior * (tmm * m2a[o] + tgm * (i2a[o] + d2a[o]));
+            cis[o] = tmx * m1a[o] + txx * i1a[o];
+            cds[o] = tmy * m1b[o] + tyy * d1b[o];
+        }
+        cells += len as u64;
+        let bytes = (4 * len) as u32;
+        probe.load(addr_of(&m2a[0]), bytes);
+        probe.load(addr_of(&m1a[0]), bytes);
+        probe.load(addr_of(&m1b[0]), bytes);
+        probe.store(addr_of(&cm[ilo]), bytes);
+        probe.fp_ops(12 * len as u64);
+        probe.simd_ops(1);
+        probe.branch(true);
+        // Boundary cells of this diagonal (stale from d - 3 otherwise):
+        // row 0 free-start above the band, column 0 zeros below it.
+        if d <= n {
+            cm[0] = 0.0;
+            ci[0] = 0.0;
+            cd[0] = init;
+        }
+        if d <= m {
+            cm[d] = 0.0;
+            ci[d] = 0.0;
+            cd[d] = 0.0;
+        }
+        if ihi == m {
+            last_m[d - m] = cm[m];
+            last_i[d - m] = ci[m];
+        }
+        std::mem::swap(&mut m2, &mut m1);
+        std::mem::swap(&mut i2, &mut i1);
+        std::mem::swap(&mut d2, &mut d1);
+        std::mem::swap(&mut m1, &mut cm);
+        std::mem::swap(&mut i1, &mut ci);
+        std::mem::swap(&mut d1, &mut cd);
+    }
+
+    let mut sum = 0.0f32;
+    for j in 1..=n {
+        sum = sum + last_m[j] + last_i[j];
+    }
+    probe.fp_ops(2 * n as u64);
+    (sum, cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phmm::forward_likelihood;
+    use gb_core::quality::Phred;
+
+    fn read(seq: &str, q: u8) -> ReadRecord {
+        ReadRecord::with_uniform_quality("r", seq.parse().unwrap(), Phred::new(q))
+    }
+
+    #[test]
+    fn wavefront_is_bit_identical_to_rowwise() {
+        let hap: DnaSeq = "ACGTACGGTTACGTAGGCATTACGGA".parse().unwrap();
+        for r in [
+            "ACGGTTACGT",
+            "ACGGTTGCGA",
+            "TTTT",
+            "A",
+            "ACGTACGGTTACGTAGGCATTACGGA",
+        ] {
+            let rd = read(r, 28);
+            let row = forward_likelihood(&rd, &hap, &HmmParams::default());
+            let wave = wavefront_likelihood(&rd, &hap, &HmmParams::default());
+            assert_eq!(
+                row.log10_likelihood.to_bits(),
+                wave.log10_likelihood.to_bits(),
+                "{r}"
+            );
+            assert_eq!(row.cells, wave.cells);
+            assert_eq!(row.rescued, wave.rescued);
+        }
+    }
+
+    #[test]
+    fn underflow_rescues_identically() {
+        // ~40 high-quality mismatches: below f32 range, within f64 range.
+        let hap = DnaSeq::from_codes_unchecked(vec![0u8; 200]);
+        let codes: Vec<u8> = (0..80).map(|i| if i % 2 == 0 { 0 } else { 1 }).collect();
+        let rd = ReadRecord::with_uniform_quality(
+            "r",
+            DnaSeq::from_codes_unchecked(codes),
+            Phred::new(40),
+        );
+        let row = forward_likelihood(&rd, &hap, &HmmParams::default());
+        let wave = wavefront_likelihood(&rd, &hap, &HmmParams::default());
+        assert!(wave.rescued);
+        assert_eq!(
+            row.log10_likelihood.to_bits(),
+            wave.log10_likelihood.to_bits()
+        );
+        assert_eq!(row.cells, wave.cells);
+    }
+
+    #[test]
+    fn empty_inputs_match_rowwise() {
+        let hap: DnaSeq = "ACGT".parse().unwrap();
+        let rd = ReadRecord::with_uniform_quality("r", DnaSeq::new(), Phred::new(30));
+        let row = forward_likelihood(&rd, &hap, &HmmParams::default());
+        let wave = wavefront_likelihood(&rd, &hap, &HmmParams::default());
+        assert_eq!(row.cells, wave.cells);
+        assert_eq!(row.rescued, wave.rescued);
+        assert_eq!(
+            row.log10_likelihood.to_bits(),
+            wave.log10_likelihood.to_bits()
+        );
+    }
+
+    #[test]
+    fn probe_sees_one_simd_op_per_diagonal() {
+        use gb_uarch::mix::MixProbe;
+        let hap: DnaSeq = "ACGTACGGTTACGTAGGCAT".parse().unwrap();
+        let rd = read("ACGGTTACGT", 30);
+        let mut probe = MixProbe::new();
+        let res = wavefront_likelihood_probed(&rd, &hap, &HmmParams::default(), &mut probe);
+        assert!(!res.rescued);
+        let (m, n) = (10u64, 20u64);
+        // Diagonals 2..=(m+n): one vector step each.
+        assert_eq!(probe.mix().simd_ops, m + n - 1);
+        assert!(probe.mix().fp_ops >= 12 * m * n);
+    }
+}

@@ -27,8 +27,10 @@ use std::path::Path;
 ///
 /// History: `1.0` introduced the manifest; `1.1` added the optional
 /// per-task heap-attribution fields on `memory`
-/// (`task_peak_max_bytes`, `task_peak_mean_bytes`).
-pub const SCHEMA_VERSION: &str = "1.1";
+/// (`task_peak_max_bytes`, `task_peak_mean_bytes`); `1.2` added the
+/// optional top-level `dp_engine` field recording which DP execution
+/// engine (`scalar` or `simd`) the run used.
+pub const SCHEMA_VERSION: &str = "1.2";
 
 /// Parses the major component of a `major.minor` schema version.
 pub fn schema_major(version: &str) -> Option<u64> {
@@ -141,6 +143,10 @@ pub struct RunManifest {
     pub tier: String,
     /// Worker threads the run used.
     pub threads: usize,
+    /// DP execution engine (`scalar` or `simd`) the run used for the
+    /// bsw/phmm kernels, when the producing command had one (schema
+    /// ≥ 1.2; absent on reports and pre-1.2 manifests).
+    pub dp_engine: Option<String>,
     /// Per-kernel results, keyed by kernel name.
     pub kernels: BTreeMap<String, KernelRecord>,
     /// Full [`MetricsRegistry`](crate::MetricsRegistry) dump: counters,
@@ -290,6 +296,7 @@ impl RunManifest {
                 .map(|d| d.as_secs()),
             tier: tier.to_string(),
             threads,
+            dp_engine: None,
             kernels: BTreeMap::new(),
             metrics: Value::Null,
         }
@@ -320,6 +327,9 @@ impl RunManifest {
         }
         m.insert("tier".into(), Value::from(self.tier.as_str()));
         m.insert("threads".into(), Value::from(self.threads as u64));
+        if let Some(engine) = &self.dp_engine {
+            m.insert("dp_engine".into(), Value::from(engine.as_str()));
+        }
         let mut kernels = Map::new();
         for (name, rec) in &self.kernels {
             kernels.insert(name.clone(), rec.to_json());
@@ -359,6 +369,10 @@ impl RunManifest {
                 created_unix_s: v.get("created_unix_s").and_then(Value::as_u64),
                 tier: need_str(v, "tier")?,
                 threads: need_u64(v, "threads")? as usize,
+                dp_engine: v
+                    .get("dp_engine")
+                    .and_then(Value::as_str)
+                    .map(str::to_string),
                 kernels,
                 metrics: v.get("metrics").cloned().unwrap_or(Value::Null),
             })
@@ -572,6 +586,22 @@ mod tests {
             task_peak_mean_bytes: Some(128 << 10),
         });
         let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn dp_engine_round_trips_and_stays_optional() {
+        let mut m = sample();
+        assert_eq!(m.dp_engine, None);
+        // Absent -> omitted from the JSON object, and loads back as None.
+        assert!(m.to_json().get("dp_engine").is_none());
+        assert_eq!(
+            RunManifest::from_json(&m.to_json()).unwrap().dp_engine,
+            None
+        );
+        m.dp_engine = Some("simd".into());
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back.dp_engine.as_deref(), Some("simd"));
         assert_eq!(back, m);
     }
 

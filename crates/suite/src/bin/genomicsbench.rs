@@ -24,8 +24,8 @@ use gb_obs::{
 };
 use gb_suite::dataset::DatasetSize;
 use gb_suite::kernels::{
-    prepare, run_parallel, run_parallel_instrumented, total_work, Characterization, KernelId,
-    RunStats,
+    prepare_dp, run_parallel, run_parallel_instrumented, total_work, Characterization, DpEngine,
+    KernelId, RunStats,
 };
 use gb_suite::reports::{self, Report};
 use std::path::Path;
@@ -63,10 +63,11 @@ enum Outcome {
 
 const USAGE: &str = "usage:
   genomicsbench list
-  genomicsbench run [kernel|all] [--tier T] [--threads N] [--trace FILE]
-                    [--metrics FILE] [--uarch] [--manifest-out FILE] [--baseline FILE]
-  genomicsbench profile <kernel> [--tier T] [--threads N] [--trace FILE]
-                    [--metrics FILE] [--manifest-out FILE]
+  genomicsbench run [kernels|all] [--tier T] [--threads N] [--dp-engine E]
+                    [--trace FILE] [--metrics FILE] [--uarch]
+                    [--manifest-out FILE] [--baseline FILE]
+  genomicsbench profile <kernel> [--tier T] [--threads N] [--dp-engine E]
+                    [--trace FILE] [--metrics FILE] [--manifest-out FILE]
   genomicsbench report <name|all> [--tier T] [--json DIR] [--trace FILE]
                     [--metrics FILE] [--manifest-out FILE]
   genomicsbench compare <baseline.json> <candidate.json> [--json]
@@ -81,12 +82,17 @@ const USAGE: &str = "usage:
     --manifest-out writes a schema-versioned run manifest; 'run --baseline'
       compares the fresh manifest against a saved one and exits 1 on
       regression. --uarch adds simulated hardware counters to the metrics.
+    --dp-engine picks the bsw/phmm execution engine: 'simd' (default; i16
+      SoA lockstep bsw + wavefront f32 phmm) or 'scalar' (paper-faithful
+      per-pair i32/f32 kernels). Results are bit-identical either way.
+    'run' also accepts a comma-separated kernel list, e.g. run bsw,phmm.
     Each subcommand rejects options it does not use.";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Opt {
     Tier,
     Threads,
+    DpEngine,
     Json,
     Trace,
     Metrics,
@@ -100,6 +106,7 @@ impl Opt {
         match self {
             Opt::Tier => "--tier",
             Opt::Threads => "--threads",
+            Opt::DpEngine => "--dp-engine",
             Opt::Json => "--json",
             Opt::Trace => "--trace",
             Opt::Metrics => "--metrics",
@@ -119,6 +126,7 @@ impl Opt {
 struct Options {
     size: Option<DatasetSize>,
     threads: Option<usize>,
+    dp_engine: Option<DpEngine>,
     json: Option<String>,
     trace: Option<String>,
     metrics: Option<String>,
@@ -135,6 +143,10 @@ impl Options {
     fn threads(&self) -> usize {
         self.threads.unwrap_or(1)
     }
+
+    fn dp_engine(&self) -> DpEngine {
+        self.dp_engine.unwrap_or_default()
+    }
 }
 
 /// Parses options, accepting only the flags `cmd` supports — a flag that
@@ -147,6 +159,7 @@ fn parse_options(cmd: &str, args: &[String], allowed: &[Opt]) -> Result<Options,
         let all = [
             Opt::Tier,
             Opt::Threads,
+            Opt::DpEngine,
             Opt::Json,
             Opt::Trace,
             Opt::Metrics,
@@ -174,6 +187,7 @@ fn parse_options(cmd: &str, args: &[String], allowed: &[Opt]) -> Result<Options,
         match opt {
             Opt::Tier => opts.size = Some(v.parse()?),
             Opt::Threads => opts.threads = Some(v.parse::<usize>().map_err(|e| e.to_string())?),
+            Opt::DpEngine => opts.dp_engine = Some(v.parse()?),
             Opt::Json => opts.json = Some(v.clone()),
             Opt::Trace => opts.trace = Some(v.clone()),
             Opt::Metrics => opts.metrics = Some(v.clone()),
@@ -415,6 +429,7 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 &[
                     Opt::Tier,
                     Opt::Threads,
+                    Opt::DpEngine,
                     Opt::Trace,
                     Opt::Metrics,
                     Opt::ManifestOut,
@@ -425,7 +440,12 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             let ids: Vec<KernelId> = if which == "all" {
                 KernelId::ALL.to_vec()
             } else {
-                vec![which.parse()?]
+                // Comma-separated kernel lists (`run bsw,phmm`) let CI
+                // gate just the DP kernels without a full-suite run.
+                which
+                    .split(',')
+                    .map(str::parse)
+                    .collect::<Result<Vec<_>, _>>()?
             };
             let instrument = opts.trace.is_some()
                 || opts.metrics.is_some()
@@ -434,19 +454,21 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             let recorder = instrument.then(TraceRecorder::new);
             let mut registry = MetricsRegistry::new();
             let mut manifest = RunManifest::new("run", opts.size().name(), opts.threads());
+            manifest.dp_engine = Some(opts.dp_engine().name().to_string());
             println!(
-                "{:<11} {:>8} {:>12} {:>10} {:>18}  ({} dataset, {} thread(s))",
+                "{:<11} {:>8} {:>12} {:>10} {:>18}  ({} dataset, {} thread(s), {} dp engine)",
                 "kernel",
                 "tasks",
                 "elapsed",
                 "checksum",
                 "throughput",
                 opts.size().name(),
-                opts.threads()
+                opts.threads(),
+                opts.dp_engine().name()
             );
             for id in ids {
                 let span = mem::enabled().then(mem::MemSpan::enter);
-                let kernel = prepare(id, opts.size());
+                let kernel = prepare_dp(id, opts.size(), opts.dp_engine());
                 let stats = match &recorder {
                     Some(r) => run_parallel_instrumented(kernel.as_ref(), opts.threads(), r),
                     // mem-profile builds always take the instrumented
@@ -476,6 +498,15 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                         &c.topdown,
                         c.bpki,
                     );
+                }
+                if instrument {
+                    // Engine-specific gauges (e.g. bsw dead-slot fractions
+                    // before/after length sorting) ride into the metrics
+                    // dump and manifest; skipped on bare timed runs since
+                    // gathering them replays the kernel.
+                    for (name, value) in kernel.export_gauges() {
+                        registry.set_gauge(&name, value);
+                    }
                 }
                 let record = kernel_record(id, kernel.as_ref(), &stats, memory, &mut registry);
                 println!(
@@ -519,6 +550,7 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 &[
                     Opt::Tier,
                     Opt::Threads,
+                    Opt::DpEngine,
                     Opt::Trace,
                     Opt::Metrics,
                     Opt::ManifestOut,
@@ -526,7 +558,7 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             )?;
             let threads = opts.threads.unwrap_or(2);
             let span = mem::enabled().then(mem::MemSpan::enter);
-            let kernel = prepare(id, opts.size());
+            let kernel = prepare_dp(id, opts.size(), opts.dp_engine());
             let recorder = TraceRecorder::new();
             let stats = run_parallel_instrumented(kernel.as_ref(), threads, &recorder);
             let memory = span.map(|s| {
@@ -534,10 +566,11 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             });
             let task_stats = stats.task_stats.as_ref().expect("instrumented run");
             println!(
-                "profile {} ({} dataset, {} thread(s)): {} tasks in {:.3}s, checksum {:x}",
+                "profile {} ({} dataset, {} thread(s), {} dp engine): {} tasks in {:.3}s, checksum {:x}",
                 id.name(),
                 opts.size().name(),
                 threads,
+                opts.dp_engine().name(),
                 stats.tasks,
                 stats.elapsed.as_secs_f64(),
                 stats.checksum & 0xFFFF_FFFF
@@ -561,6 +594,9 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             }
             let mut registry = MetricsRegistry::new();
             registry.record_task_stats(id.name(), task_stats);
+            for (name, value) in kernel.export_gauges() {
+                registry.set_gauge(&name, value);
+            }
             let record = kernel_record(id, kernel.as_ref(), &stats, memory, &mut registry);
             println!(
                 "throughput: {}",
@@ -574,6 +610,7 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             }
             if let Some(path) = &opts.manifest_out {
                 let mut manifest = RunManifest::new("profile", opts.size().name(), threads);
+                manifest.dp_engine = Some(opts.dp_engine().name().to_string());
                 manifest.metrics = registry.to_json();
                 manifest.add_kernel(id.name(), record);
                 save_manifest(&manifest, path)?;

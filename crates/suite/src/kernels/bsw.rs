@@ -1,10 +1,20 @@
 //! The **bsw** kernel: banded Smith-Waterman seed extension (paper §III,
 //! from BWA-MEM2).
+//!
+//! Two execution engines ([`DpEngine`]): the paper-faithful scalar mode
+//! runs one i32 alignment per pool task (Table III granularity); the SIMD
+//! mode length-sorts the pairs, packs them into contiguous 16-lane
+//! lockstep groups, and runs each group as one pool task on the i16
+//! struct-of-arrays engine (`gb_dp::bsw_simd`) — bit-identical results,
+//! so the two engines produce the same run checksum.
 
 use super::{Kernel, KernelId};
 use crate::dataset::{seeds, DatasetSize};
 use gb_datagen::genome::{Genome, GenomeConfig};
 use gb_dp::bsw::{banded_sw, banded_sw_probed, run_batch, BatchReport, SwParams, SwTask};
+use gb_dp::bsw_batch::LANES;
+use gb_dp::bsw_simd::{run_simd, simd_group_probed};
+use gb_dp::DpEngine;
 use gb_uarch::cache::CacheProbe;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -14,13 +24,31 @@ use rand::{Rng, SeedableRng};
 pub struct BswKernel {
     tasks: Vec<SwTask>,
     params: SwParams,
+    engine: DpEngine,
+    /// SIMD engine only: contiguous `tasks` ranges, one lockstep group
+    /// per pool task (tasks are stored length-sorted, groups issued
+    /// largest-first so the dynamic pool schedules longest-processing-time
+    /// first).
+    groups: Vec<std::ops::Range<usize>>,
+    /// SIMD engine only: generation-order view of the sorted `tasks`
+    /// (original pair `k` lives at `tasks[unsorted_order[k]]`), kept so
+    /// the slot-efficiency gauges can compare against the unsorted
+    /// baseline the scalar engine would have grouped.
+    unsorted_order: Vec<usize>,
 }
 
 impl BswKernel {
+    /// Paper-faithful preparation: scalar engine, one pair per task.
+    pub fn prepare(size: DatasetSize) -> BswKernel {
+        BswKernel::prepare_with(size, DpEngine::Scalar)
+    }
+
     /// Draws sequence pairs from a synthetic genome: mostly true pairs
     /// (overlapping segments with errors), some unrelated pairs (which
     /// trigger the Z-drop early exit — the paper's divergence source).
-    pub fn prepare(size: DatasetSize) -> BswKernel {
+    /// The pair set is identical for both engines; only the task shape
+    /// differs.
+    pub fn prepare_with(size: DatasetSize, engine: DpEngine) -> BswKernel {
         let num_pairs = match size {
             DatasetSize::Tiny => 100,
             DatasetSize::Small => 2_000,
@@ -62,9 +90,33 @@ impl BswKernel {
             };
             tasks.push(SwTask { query, target });
         }
+        let mut groups = Vec::new();
+        let mut unsorted_order = Vec::new();
+        if engine == DpEngine::Simd {
+            // Length-sorted batch scheduling: similar-length pairs share a
+            // lockstep group, cutting the Fig. 3 dead-slot over-compute.
+            let mut order: Vec<usize> = (0..tasks.len()).collect();
+            order.sort_by_key(|&i| tasks[i].query.len() + tasks[i].target.len());
+            unsorted_order = vec![0usize; tasks.len()];
+            for (new_pos, &old) in order.iter().enumerate() {
+                unsorted_order[old] = new_pos;
+            }
+            tasks = order.iter().map(|&i| tasks[i].clone()).collect();
+            let mut start = 0;
+            while start < tasks.len() {
+                let end = (start + LANES).min(tasks.len());
+                groups.push(start..end);
+                start = end;
+            }
+            // Largest (longest-sequence) groups first.
+            groups.reverse();
+        }
         BswKernel {
             tasks,
             params: SwParams::default(),
+            engine,
+            groups,
+            unsorted_order,
         }
     }
 
@@ -82,6 +134,13 @@ impl BswKernel {
         let (_, report) = gb_dp::bsw_batch::run_lockstep(&self.tasks, &self.params, sort_by_len);
         report
     }
+
+    /// Runs the i16 SoA SIMD engine (`gb_dp::bsw_simd`) over the same
+    /// tasks and reports its slot counts (plus retired-lane tally).
+    pub fn simd_report(&self, sort_by_len: bool) -> BatchReport {
+        let (_, report) = run_simd(&self.tasks, &self.params, sort_by_len);
+        report
+    }
 }
 
 impl Kernel for BswKernel {
@@ -90,23 +149,82 @@ impl Kernel for BswKernel {
     }
 
     fn num_tasks(&self) -> usize {
-        self.tasks.len()
+        match self.engine {
+            DpEngine::Scalar => self.tasks.len(),
+            DpEngine::Simd => self.groups.len(),
+        }
     }
 
     fn run_task(&self, i: usize) -> u64 {
-        let t = &self.tasks[i];
-        let r = banded_sw(&t.query, &t.target, &self.params);
-        (r.score as u64).wrapping_mul(31).wrapping_add(r.cells)
+        match self.engine {
+            DpEngine::Scalar => {
+                let t = &self.tasks[i];
+                let r = banded_sw(&t.query, &t.target, &self.params);
+                (r.score as u64).wrapping_mul(31).wrapping_add(r.cells)
+            }
+            DpEngine::Simd => {
+                let group = &self.tasks[self.groups[i].clone()];
+                let (results, _) = gb_dp::bsw_simd::simd_group(group, &self.params);
+                // Same per-alignment contribution as the scalar engine,
+                // wrapping-summed: the pool checksum is order-insensitive,
+                // so both engines agree on the total.
+                results.iter().fold(0u64, |acc, r| {
+                    acc.wrapping_add((r.score as u64).wrapping_mul(31).wrapping_add(r.cells))
+                })
+            }
+        }
     }
 
     fn characterize_task(&self, i: usize, probe: &mut CacheProbe) {
-        let t = &self.tasks[i];
-        let _ = banded_sw_probed(&t.query, &t.target, &self.params, probe);
+        match self.engine {
+            DpEngine::Scalar => {
+                let t = &self.tasks[i];
+                let _ = banded_sw_probed(&t.query, &t.target, &self.params, probe);
+            }
+            DpEngine::Simd => {
+                let group = &self.tasks[self.groups[i].clone()];
+                let _ = simd_group_probed(group, &self.params, probe);
+            }
+        }
     }
 
     fn task_work(&self, i: usize) -> u64 {
-        let t = &self.tasks[i];
-        banded_sw(&t.query, &t.target, &self.params).cells
+        let cells = |t: &SwTask| banded_sw(&t.query, &t.target, &self.params).cells;
+        match self.engine {
+            DpEngine::Scalar => cells(&self.tasks[i]),
+            DpEngine::Simd => self.tasks[self.groups[i].clone()].iter().map(cells).sum(),
+        }
+    }
+
+    fn export_gauges(&self) -> Vec<(String, f64)> {
+        if self.engine != DpEngine::Simd {
+            return Vec::new();
+        }
+        // Slot-efficiency delta of length-sorted batch scheduling, wired
+        // into metrics/manifests so `compare` can track it. `tasks` is
+        // already length-sorted here, so the unsorted baseline replays the
+        // engine over the pairs in generation order.
+        let original: Vec<SwTask> = self
+            .unsorted_order
+            .iter()
+            .map(|&i| self.tasks[i].clone())
+            .collect();
+        let (_, unsorted) = run_simd(&original, &self.params, false);
+        let sorted = self.simd_report(true);
+        vec![
+            (
+                "bsw.dead_slot_fraction.unsorted".to_string(),
+                unsorted.dead_slot_fraction(),
+            ),
+            (
+                "bsw.dead_slot_fraction.sorted".to_string(),
+                sorted.dead_slot_fraction(),
+            ),
+            (
+                "bsw.simd_retired_lanes".to_string(),
+                sorted.retired_lanes as f64,
+            ),
+        ]
     }
 }
 
@@ -114,6 +232,7 @@ impl std::fmt::Debug for BswKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BswKernel")
             .field("pairs", &self.tasks.len())
+            .field("engine", &self.engine.name())
             .finish()
     }
 }
@@ -147,5 +266,51 @@ mod tests {
             unsorted.overcompute()
         );
         assert!(sorted.overcompute() < unsorted.overcompute());
+    }
+
+    #[test]
+    fn engines_agree_on_checksum() {
+        // The SIMD engine is bit-identical per alignment and the pool
+        // checksum is order-insensitive, so the run checksums match even
+        // though the SIMD engine groups 16 pairs per task.
+        let scalar = BswKernel::prepare_with(DatasetSize::Tiny, DpEngine::Scalar);
+        let simd = BswKernel::prepare_with(DatasetSize::Tiny, DpEngine::Simd);
+        assert_eq!(scalar.num_tasks(), 100);
+        assert_eq!(simd.num_tasks(), 100usize.div_ceil(LANES));
+        assert_eq!(
+            run_serial(&scalar).checksum,
+            run_parallel(&simd, 4).checksum
+        );
+    }
+
+    #[test]
+    fn engines_agree_on_total_work() {
+        let scalar = BswKernel::prepare_with(DatasetSize::Tiny, DpEngine::Scalar);
+        let simd = BswKernel::prepare_with(DatasetSize::Tiny, DpEngine::Simd);
+        assert_eq!(
+            crate::kernels::total_work(&scalar),
+            crate::kernels::total_work(&simd)
+        );
+    }
+
+    #[test]
+    fn simd_gauges_show_sorting_gain() {
+        let simd = BswKernel::prepare_with(DatasetSize::Tiny, DpEngine::Simd);
+        let gauges = simd.export_gauges();
+        let get = |name: &str| {
+            gauges
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        let unsorted = get("bsw.dead_slot_fraction.unsorted");
+        let sorted = get("bsw.dead_slot_fraction.sorted");
+        assert!(unsorted > 0.0, "unsorted dead slots {unsorted}");
+        assert!(sorted < unsorted, "sorted {sorted} vs unsorted {unsorted}");
+        // Scalar engine exports nothing.
+        assert!(BswKernel::prepare(DatasetSize::Tiny)
+            .export_gauges()
+            .is_empty());
     }
 }

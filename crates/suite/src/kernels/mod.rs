@@ -22,6 +22,7 @@ pub mod spoa;
 
 use crate::dataset::DatasetSize;
 use crate::pool::{run_dynamic, run_dynamic_instrumented};
+pub use gb_dp::DpEngine;
 use gb_obs::{Recorder, TaskStats};
 use gb_uarch::cache::CacheProbe;
 use gb_uarch::mix::InstructionMix;
@@ -251,6 +252,13 @@ pub trait Kernel: Send + Sync {
     /// The per-task work measure of Table III / Fig. 4 (cell updates,
     /// lookups, anchors, …).
     fn task_work(&self, i: usize) -> u64;
+
+    /// Engine- or kernel-specific gauges worth exporting alongside run
+    /// metrics (name, value) — e.g. the bsw SIMD engine's dead-slot
+    /// fractions. Most kernels have none.
+    fn export_gauges(&self) -> Vec<(String, f64)> {
+        Vec::new()
+    }
 }
 
 /// Prepares the dataset for `id` at `size`.
@@ -268,6 +276,17 @@ pub fn prepare(id: KernelId, size: DatasetSize) -> Box<dyn Kernel> {
         KernelId::Pileup => Box::new(pileup::PileupKernel::prepare(size)),
         KernelId::NnBase => Box::new(nnbase::NnBaseKernel::prepare(size)),
         KernelId::NnVariant => Box::new(nnvariant::NnVariantKernel::prepare(size)),
+    }
+}
+
+/// Prepares the dataset for `id` at `size` with an explicit DP engine.
+/// Only the two DP kernels (bsw, phmm) have a SIMD fast path; every other
+/// kernel ignores the engine and behaves exactly as [`prepare`].
+pub fn prepare_dp(id: KernelId, size: DatasetSize, engine: DpEngine) -> Box<dyn Kernel> {
+    match id {
+        KernelId::Bsw => Box::new(bsw::BswKernel::prepare_with(size, engine)),
+        KernelId::Phmm => Box::new(phmm::PhmmKernel::prepare_with(size, engine)),
+        _ => prepare(id, size),
     }
 }
 
@@ -354,7 +373,9 @@ pub fn nnbase_gpu_report(size: DatasetSize) -> gb_simt::exec::GpuKernelReport {
 }
 
 /// Runs the bsw inter-sequence batch model at several configurations
-/// (Fig. 3): 16 lanes unsorted, 16 lanes length-sorted, 8 lanes unsorted.
+/// (Fig. 3): 16 lanes unsorted, 16 lanes length-sorted, 8 lanes unsorted,
+/// the executed i32 lockstep kernel, and the production i16 SoA SIMD
+/// engine (unsorted and length-sorted, for the slot-efficiency delta).
 pub fn bsw_batch_reports(size: DatasetSize) -> Vec<(String, gb_dp::bsw::BatchReport)> {
     let k = bsw::BswKernel::prepare(size);
     vec![
@@ -367,6 +388,14 @@ pub fn bsw_batch_reports(size: DatasetSize) -> Vec<(String, gb_dp::bsw::BatchRep
         (
             "16 lanes, executed lockstep".to_string(),
             k.lockstep_report(false),
+        ),
+        (
+            "i16 SIMD engine, unsorted".to_string(),
+            k.simd_report(false),
+        ),
+        (
+            "i16 SIMD engine, length-sorted".to_string(),
+            k.simd_report(true),
         ),
     ]
 }

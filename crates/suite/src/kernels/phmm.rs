@@ -1,5 +1,12 @@
 //! The **phmm** kernel: pair-HMM read-haplotype likelihoods (paper §III,
 //! from GATK HaplotypeCaller).
+//!
+//! Two execution engines ([`DpEngine`]): the scalar mode runs the
+//! row-wise f32/f64 forward kernel per pair; the SIMD mode runs the
+//! anti-diagonal wavefront f32 engine (`gb_dp::phmm_wavefront`) and
+//! orders regions by descending estimated work (longest-processing-time
+//! first for the dynamic pool). Per-pair likelihoods are bit-identical,
+//! so both engines produce the same run checksum.
 
 use super::{Kernel, KernelId};
 use crate::dataset::{seeds, DatasetSize};
@@ -10,6 +17,8 @@ use gb_datagen::genome::{Genome, GenomeConfig};
 use gb_datagen::reads::ReadSimConfig;
 use gb_datagen::regions::{build_region_tasks, RegionSimConfig};
 use gb_dp::phmm::{forward_likelihood, forward_likelihood_probed, HmmParams};
+use gb_dp::phmm_wavefront::{wavefront_likelihood, wavefront_likelihood_probed};
+use gb_dp::DpEngine;
 use gb_uarch::cache::CacheProbe;
 
 /// One phmm task: a genome region's reads evaluated against its candidate
@@ -23,13 +32,19 @@ pub struct PhmmTask {
 pub struct PhmmKernel {
     tasks: Vec<PhmmTask>,
     params: HmmParams,
+    engine: DpEngine,
 }
 
 impl PhmmKernel {
+    /// Paper-faithful preparation: scalar (row-wise) engine.
+    pub fn prepare(size: DatasetSize) -> PhmmKernel {
+        PhmmKernel::prepare_with(size, DpEngine::Scalar)
+    }
+
     /// Builds the realistic GATK front-to-back input: regions are
     /// simulated, re-assembled with the dbg kernel, and the resulting
     /// haplotypes paired with the region's reads.
-    pub fn prepare(size: DatasetSize) -> PhmmKernel {
+    pub fn prepare_with(size: DatasetSize, engine: DpEngine) -> PhmmKernel {
         let genome_len = match size {
             DatasetSize::Tiny => 4_000,
             DatasetSize::Small => 24_000,
@@ -58,7 +73,7 @@ impl PhmmKernel {
             max_haplotypes: 4,
             ..DbgParams::default()
         };
-        let tasks = workload
+        let mut tasks: Vec<PhmmTask> = workload
             .tasks
             .into_iter()
             .filter(|t| !t.reads.is_empty())
@@ -68,9 +83,22 @@ impl PhmmKernel {
                 PhmmTask { reads, haplotypes }
             })
             .collect();
+        if engine == DpEngine::Simd {
+            // Longest-processing-time-first ordering: phmm has the
+            // paper's worst per-region imbalance (Fig. 4), so issuing the
+            // heaviest regions first stops one of them landing last and
+            // stretching the pool's tail. Checksums are order-insensitive,
+            // so this cannot change results.
+            tasks.sort_by_key(|t| {
+                let reads: u64 = t.reads.iter().map(|r| r.len() as u64).sum();
+                let haps: u64 = t.haplotypes.iter().map(|h| h.len() as u64).sum();
+                std::cmp::Reverse(reads.wrapping_mul(haps))
+            });
+        }
         PhmmKernel {
             tasks,
             params: HmmParams::default(),
+            engine,
         }
     }
 }
@@ -89,7 +117,13 @@ impl Kernel for PhmmKernel {
         let mut acc = 0u64;
         for read in &t.reads {
             for hap in &t.haplotypes {
-                let r = forward_likelihood(read, hap, &self.params);
+                // Both engines produce bit-identical likelihoods (see
+                // crates/dp/tests/dp_engines_diff.rs), so the checksum
+                // contribution is engine-independent.
+                let r = match self.engine {
+                    DpEngine::Scalar => forward_likelihood(read, hap, &self.params),
+                    DpEngine::Simd => wavefront_likelihood(read, hap, &self.params),
+                };
                 acc = acc.wrapping_add((r.log10_likelihood * -16.0) as u64);
             }
         }
@@ -100,7 +134,14 @@ impl Kernel for PhmmKernel {
         let t = &self.tasks[i];
         for read in &t.reads {
             for hap in &t.haplotypes {
-                let _ = forward_likelihood_probed(read, hap, &self.params, probe);
+                match self.engine {
+                    DpEngine::Scalar => {
+                        let _ = forward_likelihood_probed(read, hap, &self.params, probe);
+                    }
+                    DpEngine::Simd => {
+                        let _ = wavefront_likelihood_probed(read, hap, &self.params, probe);
+                    }
+                }
             }
         }
     }
@@ -119,6 +160,7 @@ impl std::fmt::Debug for PhmmKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PhmmKernel")
             .field("regions", &self.tasks.len())
+            .field("engine", &self.engine.name())
             .finish()
     }
 }
@@ -150,5 +192,30 @@ mod tests {
         if !crate::test_support::rand_is_offline_stub() {
             assert!(d.imbalance > 2.0, "imbalance {}", d.imbalance);
         }
+    }
+
+    #[test]
+    fn engines_agree_on_checksum() {
+        // Per-pair likelihoods are bit-identical across engines and the
+        // pool checksum is order-insensitive, so the wavefront engine's
+        // LPT task reordering cannot change the result.
+        let scalar = PhmmKernel::prepare_with(DatasetSize::Tiny, DpEngine::Scalar);
+        let simd = PhmmKernel::prepare_with(DatasetSize::Tiny, DpEngine::Simd);
+        assert_eq!(scalar.num_tasks(), simd.num_tasks());
+        assert_eq!(
+            run_serial(&scalar).checksum,
+            run_parallel(&simd, 4).checksum
+        );
+    }
+
+    #[test]
+    fn simd_engine_issues_heaviest_region_first() {
+        let simd = PhmmKernel::prepare_with(DatasetSize::Tiny, DpEngine::Simd);
+        let works: Vec<u64> = (0..simd.num_tasks()).map(|i| simd.task_work(i)).collect();
+        let max = works.iter().copied().max().unwrap();
+        assert_eq!(
+            works[0], max,
+            "LPT order should lead with the max-work region"
+        );
     }
 }

@@ -17,6 +17,7 @@ fn sample_manifest() -> RunManifest {
     // stable regardless of where the test runs.
     m.git_rev = Some("abc123def456".into());
     m.created_unix_s = Some(1_700_000_000);
+    m.dp_engine = Some("simd".into());
     m.add_kernel(
         "bsw",
         KernelRecord {
@@ -70,6 +71,7 @@ fn manifest_json_golden_shape() {
         [
             "command",
             "created_unix_s",
+            "dp_engine",
             "git_rev",
             "kernels",
             "metrics",
@@ -84,6 +86,8 @@ fn manifest_json_golden_shape() {
     assert_eq!(field(&v, "command").as_str(), Some("run"));
     assert_eq!(field(&v, "tier").as_str(), Some("tiny"));
     assert_eq!(field(&v, "threads").as_u64(), Some(2));
+    // Schema 1.2 addition: the DP engine the run used.
+    assert_eq!(field(&v, "dp_engine").as_str(), Some("simd"));
     assert!(field(&v, "suite_version").as_str().is_some());
 
     let bsw_v = field(field(&v, "kernels"), "bsw");
@@ -166,6 +170,7 @@ fn optional_fields_are_omitted_not_null() {
     let v: Value = serde_json::from_str(&m.to_json_string()).unwrap();
     assert!(v.get("git_rev").is_none());
     assert!(v.get("created_unix_s").is_none());
+    assert!(v.get("dp_engine").is_none());
     let fmi = field(field(&v, "kernels"), "fmi")
         .as_object()
         .expect("kernel record");
