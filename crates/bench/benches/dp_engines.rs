@@ -64,7 +64,7 @@ fn phmm_pairs(n: usize, seed: u64) -> Vec<(ReadRecord, DnaSeq)> {
                 .map(|&c| if rng.next() % 100 < 2 { (c + 1) % 4 } else { c })
                 .collect();
             let read = ReadRecord::with_uniform_quality(
-                &format!("r{i}"),
+                format!("r{i}"),
                 DnaSeq::from_codes_unchecked(read_codes),
                 Phred::new(30),
             );

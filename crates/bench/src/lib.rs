@@ -1,1 +1,2 @@
 //! GenomicsBench-rs Criterion bench crate: see the `benches/` targets.
+#![forbid(unsafe_code)]

@@ -56,6 +56,8 @@ pub fn params_fit_i16(params: &SwParams) -> bool {
 /// Saturating ops map to `paddsw`/`psubsw`/`pmaxsw`; they never actually
 /// saturate under the invariants above, so results stay exact.
 #[inline(always)]
+// The parameter list mirrors the kernel's SIMD register set; bundling
+// them into a struct defeats the per-array aliasing analysis.
 #[allow(clippy::too_many_arguments)]
 fn step_vector(
     h_diag: &mut [i16; LANES],

@@ -31,7 +31,15 @@
 //! # Ok::<(), gb_core::error::Error>(())
 //! ```
 
+// The DP engines (bsw_simd, phmm_wavefront) are deliberately written in
+// safe slice-indexed form — the SIMD comes from autovectorizable
+// struct-of-arrays lockstep loops, not intrinsics — so the whole crate
+// forbids `unsafe`. If intrinsics ever land, downgrade to
+// `deny(unsafe_code)` per-block and keep the hygiene lint: every unsafe
+// op needs its own block + SAFETY comment (`cargo xtask lint` enforces;
+// see DESIGN.md, "Concurrency & safety invariants" for the audit).
 #![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod abea;

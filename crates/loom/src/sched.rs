@@ -1,0 +1,407 @@
+//! The cooperative scheduler and schedule-space explorer.
+//!
+//! One execution of the model runs every model thread as a real OS
+//! thread, but only one is ever *running*: all others are parked on a
+//! condvar until the scheduler hands them the token. Each instrumented
+//! operation calls [`yield_point`], which is a *decision point*: the
+//! scheduler consults the replay prefix (the DFS path into the schedule
+//! tree) and either continues the current thread or preempts to another
+//! runnable one. After the execution finishes, the recorded decision
+//! log is used to compute the next unexplored branch; the model closure
+//! re-runs until the tree is exhausted.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Panic payload used to unwind parked model threads once an execution
+/// has already failed elsewhere; never surfaces to user code.
+pub(crate) struct ModelAbort;
+
+/// How long a parked model thread waits before declaring the scheduler
+/// wedged. Generous: a healthy handoff is microseconds.
+const STALL: Duration = Duration::from_secs(30);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    Runnable,
+    /// Waiting for the given thread id to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+/// What a thread does with itself at a scheduling point.
+pub(crate) enum Block {
+    /// Plain yield; the thread stays runnable.
+    None,
+    /// Block until the given thread id finishes.
+    Join(usize),
+    /// The thread is done.
+    Finish,
+}
+
+struct State {
+    threads: Vec<TState>,
+    /// Id of the thread holding the run token (`usize::MAX` once all
+    /// threads have finished).
+    current: usize,
+    /// Decision index within this execution.
+    depth: usize,
+    /// Replay path: choice index to take at each decision, in order.
+    /// Decisions beyond the prefix take choice 0 and extend the log.
+    prefix: Vec<usize>,
+    /// `(choice_taken, choices_available)` per decision of this run.
+    log: Vec<(usize, usize)>,
+    preemptions: usize,
+    failure: Option<String>,
+    finished: usize,
+}
+
+pub(crate) struct Scheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+    bound: usize,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+/// `(scheduler, thread id)` of the calling thread, when it is a model
+/// thread of an active execution.
+pub(crate) fn current() -> Option<(Arc<Scheduler>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_current(v: Option<(Arc<Scheduler>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = v);
+}
+
+/// A scheduling point for the calling thread. No-op outside a model.
+#[inline]
+pub(crate) fn yield_point() {
+    if let Some((sched, me)) = current() {
+        sched.reschedule(me, Block::None);
+    }
+}
+
+impl Scheduler {
+    fn new(prefix: Vec<usize>, bound: usize) -> Scheduler {
+        Scheduler {
+            state: Mutex::new(State {
+                threads: vec![TState::Runnable],
+                current: 0,
+                depth: 0,
+                prefix,
+                log: Vec::new(),
+                preemptions: 0,
+                failure: None,
+                finished: 0,
+            }),
+            cv: Condvar::new(),
+            bound,
+        }
+    }
+
+    /// Registers a newly spawned model thread; it starts runnable but
+    /// does not run until a decision picks it.
+    pub(crate) fn register(&self) -> usize {
+        let mut st = self.state.lock().unwrap();
+        st.threads.push(TState::Runnable);
+        st.threads.len() - 1
+    }
+
+    /// Records a failure (assertion/panic/deadlock) for this execution
+    /// and wakes every parked thread so the execution can unwind.
+    pub(crate) fn fail(&self, msg: String) {
+        let mut st = self.state.lock().unwrap();
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Marks a thread finished without taking a scheduling decision —
+    /// used on the unwind path, where the decision log must not grow.
+    pub(crate) fn finish_quiet(&self, me: usize) {
+        let mut st = self.state.lock().unwrap();
+        if st.threads[me] != TState::Finished {
+            st.threads[me] = TState::Finished;
+            st.finished += 1;
+            let n = st.threads.len();
+            for i in 0..n {
+                if st.threads[i] == TState::BlockedJoin(me) {
+                    st.threads[i] = TState::Runnable;
+                }
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// The decision point. Applies `block` to the calling thread, picks
+    /// the next thread to run (replaying the prefix or extending it with
+    /// choice 0), then parks until the token comes back.
+    ///
+    /// Panics with [`ModelAbort`] when the execution has failed.
+    pub(crate) fn reschedule(&self, me: usize, block: Block) {
+        let mut st = self.state.lock().unwrap();
+        if st.failure.is_some() {
+            drop(st);
+            resume_unwind(Box::new(ModelAbort));
+        }
+        match block {
+            Block::None => {}
+            Block::Join(t) => {
+                if st.threads[t] != TState::Finished {
+                    st.threads[me] = TState::BlockedJoin(t);
+                }
+            }
+            Block::Finish => {
+                st.threads[me] = TState::Finished;
+                st.finished += 1;
+                let n = st.threads.len();
+                for i in 0..n {
+                    if st.threads[i] == TState::BlockedJoin(me) {
+                        st.threads[i] = TState::Runnable;
+                    }
+                }
+            }
+        }
+
+        // Runnable set, calling thread first: choice 0 always means
+        // "keep running the current thread" when that is possible, so
+        // only non-zero choices consume preemption budget.
+        let me_runnable = st.threads[me] == TState::Runnable;
+        let mut runnable: Vec<usize> = (0..st.threads.len())
+            .filter(|&i| i != me && st.threads[i] == TState::Runnable)
+            .collect();
+        if me_runnable {
+            runnable.insert(0, me);
+        }
+
+        if runnable.is_empty() {
+            if st.finished == st.threads.len() {
+                // Execution complete.
+                st.current = usize::MAX;
+                self.cv.notify_all();
+                return;
+            }
+            let blocked: Vec<usize> = (0..st.threads.len())
+                .filter(|&i| matches!(st.threads[i], TState::BlockedJoin(_)))
+                .collect();
+            st.failure = Some(format!(
+                "deadlock: no runnable threads, {blocked:?} blocked on join"
+            ));
+            self.cv.notify_all();
+            if matches!(st.threads[me], TState::Finished) {
+                return;
+            }
+            drop(st);
+            resume_unwind(Box::new(ModelAbort));
+        }
+
+        let forced = me_runnable && self.bound != 0 && st.preemptions >= self.bound;
+        let choices = if forced { 1 } else { runnable.len() };
+        let pick = if st.depth < st.prefix.len() {
+            st.prefix[st.depth]
+        } else {
+            0
+        };
+        assert!(
+            pick < choices,
+            "gb-loom: nondeterministic model — replay expected {choices} choices at \
+             decision {}, prefix wanted choice {pick}",
+            st.depth
+        );
+        st.log.push((pick, choices));
+        st.depth += 1;
+        let next = runnable[pick];
+        if me_runnable && next != me {
+            st.preemptions += 1;
+        }
+        st.current = next;
+        self.cv.notify_all();
+
+        if matches!(block, Block::Finish) {
+            return;
+        }
+        while st.current != me {
+            if st.failure.is_some() {
+                drop(st);
+                resume_unwind(Box::new(ModelAbort));
+            }
+            let (guard, timeout) = self.cv.wait_timeout(st, STALL).unwrap();
+            st = guard;
+            if timeout.timed_out() && st.current != me && st.failure.is_none() {
+                st.failure = Some("scheduler stall: handoff took > 30s".into());
+                self.cv.notify_all();
+            }
+        }
+        if st.failure.is_some() {
+            drop(st);
+            resume_unwind(Box::new(ModelAbort));
+        }
+    }
+
+    /// Parks a freshly spawned thread until it is scheduled for the
+    /// first time.
+    pub(crate) fn wait_first(&self, me: usize) {
+        let mut st = self.state.lock().unwrap();
+        while st.current != me {
+            if st.failure.is_some() {
+                drop(st);
+                resume_unwind(Box::new(ModelAbort));
+            }
+            let (guard, timeout) = self.cv.wait_timeout(st, STALL).unwrap();
+            st = guard;
+            if timeout.timed_out() && st.current != me && st.failure.is_none() {
+                st.failure = Some("scheduler stall: spawned thread never scheduled".into());
+                self.cv.notify_all();
+            }
+        }
+        if st.failure.is_some() {
+            drop(st);
+            resume_unwind(Box::new(ModelAbort));
+        }
+    }
+
+    /// Blocks the (already finished) main thread until every model
+    /// thread has finished, so the next execution starts clean.
+    fn wait_all_finished(&self) {
+        let mut st = self.state.lock().unwrap();
+        while st.finished < st.threads.len() {
+            let (guard, timeout) = self.cv.wait_timeout(st, STALL).unwrap();
+            st = guard;
+            if timeout.timed_out() && st.finished < st.threads.len() {
+                // A wedged worker would hang the whole test run;
+                // failing loudly beats that.
+                panic!(
+                    "gb-loom: {} of {} model threads failed to unwind",
+                    st.threads.len() - st.finished,
+                    st.threads.len()
+                );
+            }
+        }
+    }
+}
+
+/// Exploration limits; see the crate docs for the environment knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Max forced preemptions of a runnable thread per execution
+    /// (`0` = unbounded).
+    pub preemption_bound: usize,
+    /// Max schedules explored before the checker gives up and fails.
+    pub max_iterations: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        let env_usize = |k: &str, d: usize| {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
+        };
+        Config {
+            preemption_bound: env_usize("GB_LOOM_PREEMPTION_BOUND", 2),
+            max_iterations: env_usize("GB_LOOM_MAX_ITERATIONS", 1_000_000) as u64,
+        }
+    }
+}
+
+/// Runs `f` once per schedule until the (preemption-bounded) schedule
+/// space is exhausted, panicking with the failing schedule if any
+/// execution panics, fails an assertion, or deadlocks.
+pub fn model<F: Fn()>(f: F) {
+    model_with(Config::default(), f);
+}
+
+/// [`model`] with explicit [`Config`] (tests use tight bounds; the CI
+/// loom job sets the environment knobs instead).
+pub fn model_with<F: Fn()>(cfg: Config, f: F) {
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut iterations: u64 = 0;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= cfg.max_iterations,
+            "gb-loom: model exceeded {} explored schedules — shrink the model \
+             or raise GB_LOOM_MAX_ITERATIONS",
+            cfg.max_iterations
+        );
+        let sched = Arc::new(Scheduler::new(prefix.clone(), cfg.preemption_bound));
+        set_current(Some((Arc::clone(&sched), 0)));
+        let result = catch_unwind(AssertUnwindSafe(&f));
+        match result {
+            Ok(()) => {
+                // The finishing handoff can itself abort if another
+                // thread failed while we were returning.
+                if catch_unwind(AssertUnwindSafe(|| sched.reschedule(0, Block::Finish))).is_err() {
+                    sched.finish_quiet(0);
+                }
+            }
+            Err(payload) => {
+                if !payload.is::<ModelAbort>() {
+                    sched.fail(panic_message(payload.as_ref()));
+                }
+                sched.finish_quiet(0);
+            }
+        }
+        sched.wait_all_finished();
+        set_current(None);
+        let st = sched.state.lock().unwrap();
+        if let Some(msg) = &st.failure {
+            let path: Vec<usize> = st.log.iter().map(|&(p, _)| p).collect();
+            panic!(
+                "gb-loom: model failed on schedule {path:?} \
+                 (execution #{iterations}): {msg}"
+            );
+        }
+        // DFS: advance the deepest decision that still has an untaken
+        // branch; drop everything below it.
+        let next = st
+            .log
+            .iter()
+            .rposition(|&(pick, choices)| pick + 1 < choices)
+            .map(|d| {
+                let mut p: Vec<usize> = st.log[..d].iter().map(|&(pick, _)| pick).collect();
+                p.push(st.log[d].0 + 1);
+                p
+            });
+        drop(st);
+        match next {
+            Some(p) => prefix = p,
+            None => break,
+        }
+    }
+}
+
+/// Renders a panic payload the way the test harness would.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (non-string payload)".to_string()
+    }
+}
+
+/// Installs the scheduler TLS for a spawned model thread and parks it
+/// until first scheduled. Returns a guard that clears the TLS.
+pub(crate) struct TlsGuard;
+
+impl TlsGuard {
+    pub(crate) fn install(sched: Arc<Scheduler>, tid: usize) -> TlsGuard {
+        set_current(Some((sched, tid)));
+        TlsGuard
+    }
+}
+
+impl Drop for TlsGuard {
+    fn drop(&mut self) {
+        set_current(None);
+    }
+}

@@ -1,0 +1,163 @@
+//! Instrumented drop-in replacements for `std::sync` primitives.
+//!
+//! Each operation is a scheduling point inside a model and a plain
+//! `SeqCst` std atomic operation outside one. The `Ordering` argument
+//! is accepted for API compatibility but **every access runs `SeqCst`**:
+//! the checker explores sequentially-consistent interleavings only (see
+//! the crate docs for what that does and does not cover).
+
+pub use std::sync::Arc;
+
+/// Atomic types whose every operation is a model scheduling point.
+pub mod atomic {
+    use crate::sched::yield_point;
+    pub use std::sync::atomic::Ordering;
+    use std::sync::atomic::Ordering::SeqCst;
+
+    macro_rules! instrumented_atomic {
+        ($(#[$doc:meta])* $Name:ident, $Std:ty, $T:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $Name {
+                inner: $Std,
+            }
+
+            impl $Name {
+                /// Creates the atomic (const, so statics work in both
+                /// `cfg(loom)` and normal builds — unlike real loom).
+                pub const fn new(v: $T) -> Self {
+                    Self { inner: <$Std>::new(v) }
+                }
+
+                /// Instrumented load (always `SeqCst`).
+                pub fn load(&self, _order: Ordering) -> $T {
+                    yield_point();
+                    self.inner.load(SeqCst)
+                }
+
+                /// Instrumented store (always `SeqCst`).
+                pub fn store(&self, v: $T, _order: Ordering) {
+                    yield_point();
+                    self.inner.store(v, SeqCst)
+                }
+
+                /// Instrumented swap (always `SeqCst`).
+                pub fn swap(&self, v: $T, _order: Ordering) -> $T {
+                    yield_point();
+                    self.inner.swap(v, SeqCst)
+                }
+
+                /// Instrumented compare-exchange (always `SeqCst`).
+                pub fn compare_exchange(
+                    &self,
+                    current: $T,
+                    new: $T,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$T, $T> {
+                    yield_point();
+                    self.inner.compare_exchange(current, new, SeqCst, SeqCst)
+                }
+
+                /// Like [`Self::compare_exchange`]; the model never
+                /// fails spuriously (a superset of real executions is
+                /// *not* explored on this axis — documented limitation).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $T,
+                    new: $T,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$T, $T> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                /// Consumes the atomic, returning the value (not a
+                /// scheduling point: requires unique ownership).
+                pub fn into_inner(self) -> $T {
+                    self.inner.into_inner()
+                }
+            }
+        };
+    }
+
+    macro_rules! instrumented_int_ops {
+        ($Name:ident, $T:ty) => {
+            impl $Name {
+                /// Instrumented add, returning the previous value.
+                pub fn fetch_add(&self, v: $T, _order: Ordering) -> $T {
+                    yield_point();
+                    self.inner.fetch_add(v, SeqCst)
+                }
+
+                /// Instrumented subtract, returning the previous value.
+                pub fn fetch_sub(&self, v: $T, _order: Ordering) -> $T {
+                    yield_point();
+                    self.inner.fetch_sub(v, SeqCst)
+                }
+
+                /// Instrumented max, returning the previous value.
+                pub fn fetch_max(&self, v: $T, _order: Ordering) -> $T {
+                    yield_point();
+                    self.inner.fetch_max(v, SeqCst)
+                }
+
+                /// Instrumented min, returning the previous value.
+                pub fn fetch_min(&self, v: $T, _order: Ordering) -> $T {
+                    yield_point();
+                    self.inner.fetch_min(v, SeqCst)
+                }
+            }
+        };
+    }
+
+    instrumented_atomic!(
+        /// Model-checked `AtomicBool`.
+        AtomicBool,
+        std::sync::atomic::AtomicBool,
+        bool
+    );
+    instrumented_atomic!(
+        /// Model-checked `AtomicUsize`.
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize
+    );
+    instrumented_atomic!(
+        /// Model-checked `AtomicU64`.
+        AtomicU64,
+        std::sync::atomic::AtomicU64,
+        u64
+    );
+    instrumented_atomic!(
+        /// Model-checked `AtomicI64`.
+        AtomicI64,
+        std::sync::atomic::AtomicI64,
+        i64
+    );
+    instrumented_atomic!(
+        /// Model-checked `AtomicU32`.
+        AtomicU32,
+        std::sync::atomic::AtomicU32,
+        u32
+    );
+
+    instrumented_int_ops!(AtomicUsize, usize);
+    instrumented_int_ops!(AtomicU64, u64);
+    instrumented_int_ops!(AtomicI64, i64);
+    instrumented_int_ops!(AtomicU32, u32);
+
+    impl AtomicBool {
+        /// Instrumented logical-or, returning the previous value.
+        pub fn fetch_or(&self, v: bool, _order: Ordering) -> bool {
+            yield_point();
+            self.inner.fetch_or(v, SeqCst)
+        }
+
+        /// Instrumented logical-and, returning the previous value.
+        pub fn fetch_and(&self, v: bool, _order: Ordering) -> bool {
+            yield_point();
+            self.inner.fetch_and(v, SeqCst)
+        }
+    }
+}

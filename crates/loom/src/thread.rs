@@ -1,0 +1,110 @@
+//! Scheduler-aware replacements for `std::thread` used inside a model.
+//!
+//! Outside [`crate::model`] these delegate to `std::thread`, so code
+//! compiled against the facade keeps working in ordinary tests.
+
+use crate::sched::{self, Block, ModelAbort, TlsGuard};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Handle to a spawned (model or plain) thread.
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    /// Model-thread id and scheduler, when spawned inside a model.
+    model: Option<(std::sync::Arc<sched::Scheduler>, usize)>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its result.
+    ///
+    /// Inside a model this is a scheduling point that blocks the caller
+    /// until the target thread's model execution completes.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((sched, tid)) = &self.model {
+            if let Some((my_sched, me)) = sched::current() {
+                debug_assert!(std::sync::Arc::ptr_eq(sched, &my_sched));
+                my_sched.reschedule(me, Block::Join(*tid));
+            } else {
+                // Join from outside the model (should not happen in
+                // well-formed tests): fall through to the OS join.
+            }
+        }
+        match self.inner.join() {
+            Ok(v) => Ok(v),
+            Err(payload) => {
+                if payload.is::<ModelAbort>() {
+                    // The target unwound because the execution failed;
+                    // propagate the abort so this thread unwinds too.
+                    resume_unwind(Box::new(ModelAbort));
+                }
+                Err(payload)
+            }
+        }
+    }
+}
+
+/// Spawns a thread. Inside a model the thread is registered with the
+/// scheduler, starts parked, and every instrumented operation it
+/// performs becomes a scheduling point.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match sched::current() {
+        None => JoinHandle {
+            inner: std::thread::spawn(f),
+            model: None,
+        },
+        Some((sched, me)) => {
+            let tid = sched.register();
+            let child_sched = std::sync::Arc::clone(&sched);
+            let inner = std::thread::spawn(move || {
+                let _tls = TlsGuard::install(std::sync::Arc::clone(&child_sched), tid);
+                // The first park can abort (execution failed before this
+                // thread ever ran); it must still mark itself finished.
+                if catch_unwind(AssertUnwindSafe(|| child_sched.wait_first(tid))).is_err() {
+                    child_sched.finish_quiet(tid);
+                    resume_unwind(Box::new(ModelAbort));
+                }
+                match catch_unwind(AssertUnwindSafe(f)) {
+                    Ok(v) => {
+                        // The finishing handoff can abort if another
+                        // thread failed first; finish quietly then.
+                        if catch_unwind(AssertUnwindSafe(|| {
+                            child_sched.reschedule(tid, Block::Finish)
+                        }))
+                        .is_err()
+                        {
+                            child_sched.finish_quiet(tid);
+                        }
+                        v
+                    }
+                    Err(payload) => {
+                        if !payload.is::<ModelAbort>() {
+                            child_sched.fail(sched::panic_message(payload.as_ref()));
+                        }
+                        child_sched.finish_quiet(tid);
+                        resume_unwind(payload);
+                    }
+                }
+            });
+            // Spawning is itself a scheduling point: the child may run
+            // immediately or arbitrarily later.
+            sched.reschedule(me, Block::None);
+            JoinHandle {
+                inner,
+                model: Some((sched, tid)),
+            }
+        }
+    }
+}
+
+/// A voluntary scheduling point (no-op outside a model beyond the OS
+/// yield).
+pub fn yield_now() {
+    if sched::current().is_some() {
+        sched::yield_point();
+    } else {
+        std::thread::yield_now();
+    }
+}

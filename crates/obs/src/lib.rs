@@ -33,24 +33,30 @@
 //! assert!(!NullRecorder.enabled());
 //! ```
 
-// The one unsafe block in the crate is the `GlobalAlloc` delegation in
-// `mem` (feature-gated); everything else stays forbidden via deny+allow.
+// The one unsafe impl in the crate is the `GlobalAlloc` delegation in
+// `mem` (feature-gated); everything else stays forbidden via deny+allow,
+// and any unsafe operation inside an `unsafe fn` still needs its own
+// `unsafe {}` block with a SAFETY comment (`cargo xtask lint` checks).
 #![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod compare;
 pub mod hist;
 pub mod manifest;
 pub mod mem;
+pub mod pool;
 pub mod recorder;
 pub mod registry;
 pub mod stats;
+pub mod sync;
 pub mod trace;
 
 pub use compare::{CompareConfig, CompareReport, Delta, Verdict};
 pub use hist::{HistogramSummary, LogHistogram};
 pub use manifest::{KernelRecord, ManifestError, MemoryRecord, RunManifest, SCHEMA_VERSION};
 pub use mem::{MemSpan, PoolMemStats, TaskMemRecord, TaskSpan, WorkerMemTally};
+pub use pool::TaskCursor;
 pub use recorder::{NullRecorder, Recorder, TraceRecorder};
 pub use registry::MetricsRegistry;
 pub use stats::{TaskStats, WorkerStats};

@@ -416,7 +416,7 @@ static GIT_PROBES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::
 pub fn git_revision() -> Option<String> {
     GIT_REVISION
         .get_or_init(|| {
-            GIT_PROBES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            GIT_PROBES.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
             probe_git_revision()
         })
         .clone()
@@ -628,7 +628,7 @@ mod tests {
         // Every construction in the whole test process funnels through
         // the OnceLock, so at most one subprocess was ever forked.
         assert!(
-            GIT_PROBES.load(std::sync::atomic::Ordering::Relaxed) <= 1,
+            GIT_PROBES.load(std::sync::atomic::Ordering::SeqCst) <= 1,
             "git probe forked more than once"
         );
     }

@@ -44,6 +44,18 @@
 //! entry live-set, attributed to the span's threads), not process
 //! absolutes — that is the quantity that survives concurrency.
 //!
+//! # Machine-checked invariants
+//!
+//! The registry protocol lives in [`SlotRegistry`], an instantiable
+//! type whose atomics come from the [`crate::sync`] facade. The process
+//! uses one `'static` instance ([`TaskSpan`]/[`MemSpan`] and the
+//! allocator hook route through it via TLS); the loom tests
+//! (`tests/loom_mem.rs`, built under `RUSTFLAGS="--cfg loom"`) create
+//! small registries inside a model and exhaustively check the
+//! no-cross-talk, no-lost-allocation, epoch-nesting and no-double-fold
+//! invariants across every bounded-preemption interleaving. DESIGN.md
+//! ("Concurrency & safety invariants") names them all.
+//!
 //! Everything is gated behind the `mem-profile` cargo feature. With the
 //! feature off this module still compiles — every probe returns zeros
 //! and [`enabled`] is `false` — so call sites need no `cfg` of their
@@ -62,9 +74,9 @@
 //! leaves the feature off and pays nothing.
 
 use crate::manifest::MemoryRecord;
+use crate::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 
 /// Whether this build can track heap usage (the `mem-profile` feature).
 /// Numbers additionally require the binary to register
@@ -76,18 +88,25 @@ pub const fn enabled() -> bool {
 
 // --- the slot registry -------------------------------------------------
 
-/// Fixed registry capacity. Slots are recycled when threads exit, so
-/// this bounds *live* measured threads, not threads over the process
-/// lifetime; overflow degrades gracefully to the orphan slot.
+/// Fixed registry capacity of the process-wide registry. Slots are
+/// recycled when threads exit, so this bounds *live* measured threads,
+/// not threads over the process lifetime; overflow degrades gracefully
+/// to the orphan slot.
 const MAX_SLOTS: usize = 512;
 
-/// `SLOT_IDX` value meaning "not registered — use the orphan slot".
-const UNREGISTERED: usize = usize::MAX;
+/// Slot-index value meaning "not registered — use the orphan slot".
+pub const UNREGISTERED: usize = usize::MAX;
 
 /// One thread's counters. Only the owning thread writes (the orphan
 /// slot is the exception — it may have many concurrent writers, which
 /// is safe because every update is a single atomic RMW). Cache-line
 /// sized so neighbouring slots never false-share.
+///
+/// `Ordering::Relaxed` is correct here — and allowlisted by
+/// `cargo xtask lint` for this file only — because each counter is
+/// written by one owner (or via single RMWs on the orphan slot) and the
+/// fold paths only need per-counter atomicity, not cross-counter
+/// ordering; the loom tests check exactly this protocol.
 #[repr(align(64))]
 struct Slot {
     /// Claimed by a live thread.
@@ -126,18 +145,192 @@ impl Slot {
             .load(Ordering::Relaxed)
             .wrapping_sub(self.free_bytes.load(Ordering::Relaxed)) as i64
     }
+
+    #[inline]
+    fn record_alloc(&self, bytes: u64) {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        let net = (self
+            .alloc_bytes
+            .fetch_add(bytes, Ordering::Relaxed)
+            .wrapping_add(bytes))
+        .wrapping_sub(self.free_bytes.load(Ordering::Relaxed)) as i64;
+        self.peak_net.fetch_max(net, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn record_free(&self, bytes: u64) {
+        self.frees.fetch_add(1, Ordering::Relaxed);
+        self.free_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
 }
 
-#[allow(clippy::declare_interior_mutable_const)]
-const EMPTY_SLOT: Slot = Slot::new();
-static SLOTS: [Slot; MAX_SLOTS] = [EMPTY_SLOT; MAX_SLOTS];
+/// A lock-free registry of per-thread allocation-counter slots plus one
+/// shared orphan slot.
+///
+/// The process uses a single `'static` instance behind [`TaskSpan`],
+/// [`MemSpan`], [`snapshot`] and the allocator hook; the type is public
+/// (and const-generic over its capacity) so the loom model tests can
+/// exhaustively check the claim/release/record/fold protocol on small
+/// instances. Indices outside `0..N` — conventionally
+/// [`UNREGISTERED`] — address the orphan slot, so every code path can
+/// hold a plain `usize` instead of an option.
+pub struct SlotRegistry<const N: usize> {
+    slots: [Slot; N],
+    orphan: Slot,
+    /// High-water mark of claimed slot indices + 1; bounds registry folds.
+    hwm: AtomicUsize,
+}
 
-/// Shared fallback for unregistered threads and allocations during TLS
-/// teardown. Multiple writers — totals stay exact, attribution is lost.
-static ORPHAN: Slot = Slot::new();
+impl<const N: usize> Default for SlotRegistry<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
-/// High-water mark of claimed slot indices + 1; bounds registry folds.
-static CLAIMED_HWM: AtomicUsize = AtomicUsize::new(0);
+impl<const N: usize> SlotRegistry<N> {
+    /// An empty registry (const: usable in statics in every cfg).
+    pub const fn new() -> SlotRegistry<N> {
+        SlotRegistry {
+            slots: [const { Slot::new() }; N],
+            orphan: Slot::new(),
+            hwm: AtomicUsize::new(0),
+        }
+    }
+
+    /// The slot behind an index (out-of-range indices, including
+    /// [`UNREGISTERED`], map to the orphan slot).
+    #[inline]
+    fn slot(&self, idx: usize) -> &Slot {
+        if idx < N {
+            &self.slots[idx]
+        } else {
+            &self.orphan
+        }
+    }
+
+    /// Claims a free slot for the calling thread, or `None` when the
+    /// registry is exhausted (callers then route to the orphan slot via
+    /// [`UNREGISTERED`]). Lock-free: one CAS per probed slot.
+    pub fn claim(&self) -> Option<usize> {
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot
+                .in_use
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.hwm.fetch_max(i + 1, Ordering::Relaxed);
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Releases a claimed slot for recycling. The slot's monotone
+    /// counters are *not* reset — totals must survive owner turnover —
+    /// which is exactly the no-lost-allocation invariant the loom tests
+    /// check across release/re-claim interleavings.
+    pub fn release(&self, idx: usize) {
+        if idx < N {
+            self.slots[idx].in_use.store(false, Ordering::Release);
+        }
+    }
+
+    /// Records an allocation of `bytes` into slot `idx` (orphan slot
+    /// for out-of-range indices).
+    #[inline]
+    pub fn record_alloc(&self, idx: usize, bytes: u64) {
+        self.slot(idx).record_alloc(bytes);
+    }
+
+    /// Records a deallocation of `bytes` into slot `idx` (orphan slot
+    /// for out-of-range indices).
+    #[inline]
+    pub fn record_free(&self, idx: usize, bytes: u64) {
+        self.slot(idx).record_free(bytes);
+    }
+
+    /// Net live bytes attributed to slot `idx`.
+    pub fn slot_net(&self, idx: usize) -> i64 {
+        self.slot(idx).net()
+    }
+
+    /// Point-in-time fold of every claimed slot plus the orphan slot.
+    pub fn snapshot(&self) -> MemSnapshot {
+        let hwm = self.hwm.load(Ordering::Relaxed).min(N);
+        let mut current: i64 = 0;
+        let mut peak: i64 = 0;
+        let mut allocs = 0u64;
+        let mut frees = 0u64;
+        for s in self.slots[..hwm]
+            .iter()
+            .chain(std::iter::once(&self.orphan))
+        {
+            let net = s.net();
+            current += net;
+            peak += s.peak_net.load(Ordering::Relaxed).max(net).max(0);
+            allocs += s.allocs.load(Ordering::Relaxed);
+            frees += s.frees.load(Ordering::Relaxed);
+        }
+        let current = current.max(0) as u64;
+        MemSnapshot {
+            current_bytes: current,
+            peak_bytes: (peak.max(0) as u64).max(current),
+            allocs,
+            frees,
+        }
+    }
+
+    /// Opens a measurement epoch on slot `idx`: snapshots the slot and
+    /// resets its peak to the current net. Must be paired with
+    /// [`SlotRegistry::span_exit`] on the same registry, from the
+    /// slot-owning thread.
+    pub fn span_enter(&self, idx: usize) -> SpanState {
+        let s = self.slot(idx);
+        let start_net = s.net();
+        SpanState {
+            idx,
+            start_net,
+            start_allocs: s.allocs.load(Ordering::Relaxed),
+            start_frees: s.frees.load(Ordering::Relaxed),
+            saved_peak: s.peak_net.swap(start_net, Ordering::Relaxed),
+        }
+    }
+
+    /// Closes an epoch, returning the epoch's footprint and restoring
+    /// the enclosing epoch's peak accounting as `max(outer, inner)`.
+    pub fn span_exit(&self, state: SpanState) -> TaskMemRecord {
+        let s = self.slot(state.idx);
+        let net_now = s.net();
+        let peak = s.peak_net.load(Ordering::Relaxed).max(net_now);
+        s.peak_net.fetch_max(state.saved_peak, Ordering::Relaxed);
+        TaskMemRecord {
+            peak_bytes: (peak - state.start_net).max(0) as u64,
+            net_bytes: net_now - state.start_net,
+            allocs: s
+                .allocs
+                .load(Ordering::Relaxed)
+                .wrapping_sub(state.start_allocs),
+            frees: s
+                .frees
+                .load(Ordering::Relaxed)
+                .wrapping_sub(state.start_frees),
+        }
+    }
+}
+
+/// Epoch bookkeeping returned by [`SlotRegistry::span_enter`]; the
+/// borrow-free payload inside [`TaskSpan`].
+#[derive(Debug, Clone, Copy)]
+pub struct SpanState {
+    idx: usize,
+    start_net: i64,
+    start_allocs: u64,
+    start_frees: u64,
+    saved_peak: i64,
+}
+
+/// The process-wide registry every public span/snapshot API folds.
+static REGISTRY: SlotRegistry<MAX_SLOTS> = SlotRegistry::new();
 
 thread_local! {
     /// The current thread's slot index, read on the allocation hot path.
@@ -156,20 +349,9 @@ struct SlotHandle {
 
 impl SlotHandle {
     fn claim() -> SlotHandle {
-        let mut idx = UNREGISTERED;
-        for (i, slot) in SLOTS.iter().enumerate() {
-            if slot
-                .in_use
-                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
-                .is_ok()
-            {
-                idx = i;
-                CLAIMED_HWM.fetch_max(i + 1, Ordering::Relaxed);
-                break;
-            }
-        }
-        // On exhaustion idx stays UNREGISTERED: the thread keeps routing
-        // to the orphan slot.
+        // On exhaustion the index stays UNREGISTERED: the thread keeps
+        // routing to the orphan slot.
+        let idx = REGISTRY.claim().unwrap_or(UNREGISTERED);
         let _ = SLOT_IDX.try_with(|c| c.set(idx));
         SlotHandle { idx }
     }
@@ -180,19 +362,7 @@ impl Drop for SlotHandle {
         // Stop routing this thread's allocations to the slot *before*
         // releasing it, so a new claimant never races an old owner.
         let _ = SLOT_IDX.try_with(|c| c.set(UNREGISTERED));
-        if self.idx < MAX_SLOTS {
-            SLOTS[self.idx].in_use.store(false, Ordering::Release);
-        }
-    }
-}
-
-/// The slot behind an index (sentinels map to the orphan slot).
-#[inline]
-fn slot_for(idx: usize) -> &'static Slot {
-    if idx < MAX_SLOTS {
-        &SLOTS[idx]
-    } else {
-        &ORPHAN
+        REGISTRY.release(self.idx);
     }
 }
 
@@ -216,7 +386,7 @@ pub fn current_thread_net() -> i64 {
     if !enabled() {
         return 0;
     }
-    slot_for(register_current_thread()).net()
+    REGISTRY.slot_net(register_current_thread())
 }
 
 // --- the allocator hook ------------------------------------------------
@@ -230,14 +400,16 @@ pub fn current_thread_net() -> i64 {
 pub struct TrackingAllocator;
 
 #[cfg(feature = "mem-profile")]
-#[allow(unsafe_code)]
-// SAFETY: delegates every operation verbatim to `System`; the counter
-// updates have no effect on the returned memory. The hook only ever
-// *reads* the const-initialized `SLOT_IDX` cell, so it cannot recurse
-// into TLS initialization (which may itself allocate).
+#[allow(unsafe_code)] // the one unsafe impl in the crate; see lib.rs
+                      // SAFETY: delegates every operation verbatim to `System`; the counter
+                      // updates have no effect on the returned memory. The hook only ever
+                      // *reads* the const-initialized `SLOT_IDX` cell, so it cannot recurse
+                      // into TLS initialization (which may itself allocate).
 unsafe impl std::alloc::GlobalAlloc for TrackingAllocator {
     unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
-        let p = std::alloc::System.alloc(layout);
+        // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract
+        // (non-zero-sized layout); forwarded unchanged to `System`.
+        let p = unsafe { std::alloc::System.alloc(layout) };
         if !p.is_null() {
             record_alloc(layout.size());
         }
@@ -245,12 +417,18 @@ unsafe impl std::alloc::GlobalAlloc for TrackingAllocator {
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
-        std::alloc::System.dealloc(ptr, layout);
+        // SAFETY: caller guarantees `ptr` was allocated by this
+        // allocator with `layout`; `System` is the allocator we
+        // delegated that allocation to.
+        unsafe { std::alloc::System.dealloc(ptr, layout) };
         record_free(layout.size());
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
-        let p = std::alloc::System.realloc(ptr, layout, new_size);
+        // SAFETY: caller guarantees `ptr`/`layout` describe a live
+        // allocation from this allocator and `new_size` is non-zero;
+        // forwarded unchanged to `System`, which owns the allocation.
+        let p = unsafe { std::alloc::System.realloc(ptr, layout, new_size) };
         if !p.is_null() {
             record_free(layout.size());
             record_alloc(new_size);
@@ -261,29 +439,16 @@ unsafe impl std::alloc::GlobalAlloc for TrackingAllocator {
 
 #[cfg(feature = "mem-profile")]
 #[inline]
-fn hot_slot() -> &'static Slot {
-    slot_for(SLOT_IDX.try_with(Cell::get).unwrap_or(UNREGISTERED))
-}
-
-#[cfg(feature = "mem-profile")]
-#[inline]
 fn record_alloc(bytes: usize) {
-    let s = hot_slot();
-    s.allocs.fetch_add(1, Ordering::Relaxed);
-    let net = (s
-        .alloc_bytes
-        .fetch_add(bytes as u64, Ordering::Relaxed)
-        .wrapping_add(bytes as u64))
-    .wrapping_sub(s.free_bytes.load(Ordering::Relaxed)) as i64;
-    s.peak_net.fetch_max(net, Ordering::Relaxed);
+    let idx = SLOT_IDX.try_with(Cell::get).unwrap_or(UNREGISTERED);
+    REGISTRY.record_alloc(idx, bytes as u64);
 }
 
 #[cfg(feature = "mem-profile")]
 #[inline]
 fn record_free(bytes: usize) {
-    let s = hot_slot();
-    s.frees.fetch_add(1, Ordering::Relaxed);
-    s.free_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    let idx = SLOT_IDX.try_with(Cell::get).unwrap_or(UNREGISTERED);
+    REGISTRY.record_free(idx, bytes as u64);
 }
 
 // --- snapshots ---------------------------------------------------------
@@ -307,25 +472,7 @@ pub struct MemSnapshot {
 /// Folds every registered slot plus the orphan slot (all zeros without
 /// `mem-profile` or when the allocator is not registered).
 pub fn snapshot() -> MemSnapshot {
-    let hwm = CLAIMED_HWM.load(Ordering::Relaxed).min(MAX_SLOTS);
-    let mut current: i64 = 0;
-    let mut peak: i64 = 0;
-    let mut allocs = 0u64;
-    let mut frees = 0u64;
-    for s in SLOTS[..hwm].iter().chain(std::iter::once(&ORPHAN)) {
-        let net = s.net();
-        current += net;
-        peak += s.peak_net.load(Ordering::Relaxed).max(net).max(0);
-        allocs += s.allocs.load(Ordering::Relaxed);
-        frees += s.frees.load(Ordering::Relaxed);
-    }
-    let current = current.max(0) as u64;
-    MemSnapshot {
-        current_bytes: current,
-        peak_bytes: (peak.max(0) as u64).max(current),
-        allocs,
-        frees,
-    }
+    REGISTRY.snapshot()
 }
 
 // --- per-thread (task) spans ------------------------------------------
@@ -354,11 +501,7 @@ pub struct TaskMemRecord {
 /// Enter and exit must happen on the same thread.
 #[derive(Debug)]
 pub struct TaskSpan {
-    idx: usize,
-    start_net: i64,
-    start_allocs: u64,
-    start_frees: u64,
-    saved_peak: i64,
+    state: SpanState,
 }
 
 impl TaskSpan {
@@ -367,22 +510,18 @@ impl TaskSpan {
     pub fn enter() -> TaskSpan {
         if !enabled() {
             return TaskSpan {
-                idx: UNREGISTERED,
-                start_net: 0,
-                start_allocs: 0,
-                start_frees: 0,
-                saved_peak: 0,
+                state: SpanState {
+                    idx: UNREGISTERED,
+                    start_net: 0,
+                    start_allocs: 0,
+                    start_frees: 0,
+                    saved_peak: 0,
+                },
             };
         }
         let idx = register_current_thread();
-        let s = slot_for(idx);
-        let start_net = s.net();
         TaskSpan {
-            idx,
-            start_net,
-            start_allocs: s.allocs.load(Ordering::Relaxed),
-            start_frees: s.frees.load(Ordering::Relaxed),
-            saved_peak: s.peak_net.swap(start_net, Ordering::Relaxed),
+            state: REGISTRY.span_enter(idx),
         }
     }
 
@@ -392,22 +531,7 @@ impl TaskSpan {
         if !enabled() {
             return TaskMemRecord::default();
         }
-        let s = slot_for(self.idx);
-        let net_now = s.net();
-        let peak = s.peak_net.load(Ordering::Relaxed).max(net_now);
-        s.peak_net.fetch_max(self.saved_peak, Ordering::Relaxed);
-        TaskMemRecord {
-            peak_bytes: (peak - self.start_net).max(0) as u64,
-            net_bytes: net_now - self.start_net,
-            allocs: s
-                .allocs
-                .load(Ordering::Relaxed)
-                .wrapping_sub(self.start_allocs),
-            frees: s
-                .frees
-                .load(Ordering::Relaxed)
-                .wrapping_sub(self.start_frees),
-        }
+        REGISTRY.span_exit(self.state)
     }
 }
 
@@ -544,7 +668,7 @@ impl MemSpan {
     /// concurrently — the caller's retained bytes at pool start plus
     /// the workers' concurrent-footprint bound, whichever is larger.
     pub fn exit_with_pool(self, pool: Option<&PoolMemStats>) -> MemoryRecord {
-        let start_net = self.own.start_net;
+        let start_net = self.own.state.start_net;
         let own = self.own.exit();
         let (peak_bytes, net, allocs, frees) = match pool {
             // Serial pools ran on this thread: the own epoch already
@@ -607,6 +731,68 @@ mod tests {
     }
 
     #[test]
+    fn registry_claims_are_unique_and_recyclable() {
+        let reg = SlotRegistry::<3>::new();
+        let a = reg.claim().unwrap();
+        let b = reg.claim().unwrap();
+        let c = reg.claim().unwrap();
+        assert_eq!({ [a, b, c] }, [0, 1, 2]);
+        assert_eq!(reg.claim(), None, "exhausted registry must say so");
+        reg.release(b);
+        assert_eq!(reg.claim(), Some(b), "released slot is recycled");
+    }
+
+    #[test]
+    fn registry_totals_survive_owner_turnover() {
+        // The no-lost-allocation invariant, sequentially: an owner
+        // allocates, dies (releases), and the memory is freed later by
+        // a different owner of a different slot — totals still balance.
+        let reg = SlotRegistry::<2>::new();
+        let a = reg.claim().unwrap();
+        reg.record_alloc(a, 640);
+        reg.release(a);
+        let b = reg.claim().unwrap();
+        reg.record_free(b, 640);
+        let snap = reg.snapshot();
+        assert_eq!(snap.current_bytes, 0);
+        assert_eq!(snap.allocs, 1);
+        assert_eq!(snap.frees, 1);
+    }
+
+    #[test]
+    fn orphan_routing_balances() {
+        // UNREGISTERED (and any out-of-range index) routes to the
+        // orphan slot, which keeps process totals exact.
+        let reg = SlotRegistry::<1>::new();
+        reg.record_alloc(UNREGISTERED, 100);
+        reg.record_free(7, 40); // out-of-range == orphan too
+        let snap = reg.snapshot();
+        assert_eq!(snap.current_bytes, 60);
+        assert_eq!(snap.allocs, 1);
+        assert_eq!(snap.frees, 1);
+    }
+
+    #[test]
+    fn span_nesting_restores_outer_peak() {
+        let reg = SlotRegistry::<1>::new();
+        let idx = reg.claim().unwrap();
+        let outer = reg.span_enter(idx);
+        reg.record_alloc(idx, 100);
+        let inner = reg.span_enter(idx);
+        reg.record_alloc(idx, 300);
+        reg.record_free(idx, 300);
+        let ir = reg.span_exit(inner);
+        assert_eq!(ir.peak_bytes, 300, "inner sees only its own transient");
+        assert_eq!(ir.net_bytes, 0);
+        reg.record_free(idx, 100);
+        let or = reg.span_exit(outer);
+        assert_eq!(or.peak_bytes, 400, "outer peak includes the inner's");
+        assert_eq!(or.net_bytes, 0);
+        assert_eq!(or.allocs, 2);
+        assert_eq!(or.frees, 2);
+    }
+
+    #[test]
     fn pool_stats_fold_aggregates_workers() {
         let w1 = WorkerMemTally {
             tasks: 2,
@@ -649,5 +835,7 @@ mod tests {
     // Behaviour with the allocator actually registered is covered by the
     // feature-gated integration tests `tests/mem_tracking.rs` and
     // `tests/mem_stress.rs` (run via
-    // `cargo test -p gb-obs --features mem-profile`).
+    // `cargo test -p gb-obs --features mem-profile`); the concurrency
+    // protocol is model-checked by `tests/loom_mem.rs` under
+    // `RUSTFLAGS="--cfg loom"`.
 }

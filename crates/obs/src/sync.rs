@@ -1,0 +1,28 @@
+//! Synchronization facade: `std::sync` in normal builds, the
+//! [`gb_loom`] model-checked shims under `--cfg loom`.
+//!
+//! Every concurrency-bearing primitive in this crate (the [`crate::mem`]
+//! slot registry, the [`crate::pool`] task cursor) imports its atomics
+//! from here instead of `std::sync` directly. A normal build re-exports
+//! `std::sync` verbatim — zero cost, bit-identical behaviour — while
+//! `RUSTFLAGS="--cfg loom"` swaps in instrumented types whose every
+//! operation is a scheduling point, letting
+//! `cargo test -p gb-obs --test loom_mem --test loom_pool` exhaustively
+//! model-check the lock-free protocols (see DESIGN.md, "Concurrency &
+//! safety invariants").
+
+#[cfg(not(loom))]
+pub use std::sync::{atomic, Arc};
+
+#[cfg(loom)]
+pub use gb_loom::sync::{atomic, Arc};
+
+/// Thread shims: `std::thread` normally, scheduler-aware spawns under
+/// loom.
+pub mod thread {
+    #[cfg(not(loom))]
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+
+    #[cfg(loom)]
+    pub use gb_loom::thread::{spawn, yield_now, JoinHandle};
+}

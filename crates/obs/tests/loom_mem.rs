@@ -1,0 +1,197 @@
+//! Exhaustive model checking of the [`gb_obs::mem`] slot-registry
+//! protocol under `RUSTFLAGS="--cfg loom"`.
+//!
+//! Each test wraps a small [`SlotRegistry`] in [`gb_loom::model`],
+//! which re-executes the closure under **every** sequentially-consistent
+//! interleaving within the preemption bound (see `crates/loom`). The
+//! registry's atomics route through the `gb_obs::sync` facade, so under
+//! `--cfg loom` every load/store/RMW is a scheduling point.
+//!
+//! The named invariants (DESIGN.md, "Concurrency & safety invariants"):
+//!
+//! 1. **claim-exclusivity** — a slot is owned by at most one thread at
+//!    a time, across claim/release/re-claim races.
+//! 2. **no-cross-talk** — a span on one thread's slot never observes
+//!    another thread's allocations.
+//! 3. **no-lost-allocation** — monotone totals survive owner turnover
+//!    (slot recycling) and orphan-slot fallback; process-wide
+//!    alloc/free tallies always balance.
+//! 4. **epoch-nesting** — an inner span's peak folds into the
+//!    enclosing span as `max(outer, inner)` even while other threads
+//!    mutate their own slots.
+//! 5. **no-double-fold** — folding per-worker tallies counts every
+//!    task-span record exactly once.
+//!
+//! Without `--cfg loom` this file compiles to nothing: the facade would
+//! re-export plain `std` atomics and the model would explore a single
+//! schedule, proving nothing.
+#![cfg(loom)]
+
+use gb_loom::model;
+use gb_obs::mem::{PoolMemStats, SlotRegistry, WorkerMemTally, UNREGISTERED};
+use std::sync::Arc;
+
+/// Invariant 1 (claim-exclusivity), claim/claim race: with one free
+/// slot and two claimants, exactly one wins in every interleaving.
+#[test]
+fn claim_exclusivity_single_slot() {
+    model(|| {
+        let reg = Arc::new(SlotRegistry::<1>::new());
+        let r2 = Arc::clone(&reg);
+        let t = gb_loom::thread::spawn(move || r2.claim());
+        let mine = reg.claim();
+        let theirs = t.join().unwrap();
+        match (mine, theirs) {
+            (Some(0), None) | (None, Some(0)) => {}
+            other => panic!("claim not exclusive: {other:?}"),
+        }
+    });
+}
+
+/// Invariant 1 (claim-exclusivity), release/claim race: a re-claimant
+/// racing the owner's release either gets the recycled slot or nothing;
+/// it never co-owns, and the release is never lost.
+#[test]
+fn claim_exclusivity_across_release() {
+    model(|| {
+        let reg = Arc::new(SlotRegistry::<1>::new());
+        let owner = reg.claim().expect("uncontended claim");
+        let r2 = Arc::clone(&reg);
+        let t = gb_loom::thread::spawn(move || r2.claim());
+        reg.release(owner);
+        let theirs = t.join().unwrap();
+        match theirs {
+            // The claimant ran after the release.
+            Some(idx) => assert_eq!(idx, 0),
+            // The claimant ran before the release; the slot must be
+            // claimable now that the release has happened.
+            None => assert_eq!(reg.claim(), Some(0), "release lost"),
+        }
+    });
+}
+
+/// Invariant 2 (no-cross-talk): each thread records into its own slot;
+/// a span over one slot reports exactly that thread's bytes in every
+/// interleaving of the two threads' counter updates.
+#[test]
+fn spans_do_not_cross_talk() {
+    model(|| {
+        let reg = Arc::new(SlotRegistry::<2>::new());
+        let a = reg.claim().unwrap();
+        let b = reg.claim().unwrap();
+        let r2 = Arc::clone(&reg);
+        let t = gb_loom::thread::spawn(move || {
+            let span = r2.span_enter(b);
+            r2.record_alloc(b, 37);
+            r2.span_exit(span)
+        });
+        let span = reg.span_enter(a);
+        reg.record_alloc(a, 100);
+        reg.record_free(a, 100);
+        let mine = reg.span_exit(span);
+        let theirs = t.join().unwrap();
+        assert_eq!(mine.peak_bytes, 100, "cross-talk into span A");
+        assert_eq!(mine.net_bytes, 0);
+        assert_eq!((mine.allocs, mine.frees), (1, 1));
+        assert_eq!(theirs.peak_bytes, 37, "cross-talk into span B");
+        assert_eq!(theirs.net_bytes, 37);
+    });
+}
+
+/// Invariant 3 (no-lost-allocation): one thread's allocation survives
+/// its death (slot release) and a concurrent orphan-routed free; the
+/// registry totals balance in every interleaving — including those
+/// where the main thread re-claims the recycled slot mid-flight.
+#[test]
+fn totals_survive_owner_turnover_and_orphan_fallback() {
+    model(|| {
+        let reg = Arc::new(SlotRegistry::<1>::new());
+        let r2 = Arc::clone(&reg);
+        // Worker: claim (may race main's claim), allocate, die.
+        let t = gb_loom::thread::spawn(move || {
+            let idx = r2.claim().unwrap_or(UNREGISTERED);
+            r2.record_alloc(idx, 64);
+            if idx != UNREGISTERED {
+                r2.release(idx);
+            }
+        });
+        // Main: free those 64 bytes from wherever it stands — a slot if
+        // one is free, the orphan otherwise (the dead-thread-free path).
+        let idx = reg.claim().unwrap_or(UNREGISTERED);
+        reg.record_free(idx, 64);
+        t.join().unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.allocs, 1, "allocation event lost");
+        assert_eq!(snap.frees, 1, "free event lost");
+        assert_eq!(snap.current_bytes, 0, "net bytes lost in turnover");
+    });
+}
+
+/// Invariant 4 (epoch-nesting): outer/inner span nesting on one thread
+/// restores `max(outer, inner)` while a second thread concurrently
+/// exercises its own slot's epoch machinery.
+#[test]
+fn epoch_nesting_is_immune_to_concurrent_epochs() {
+    model(|| {
+        let reg = Arc::new(SlotRegistry::<2>::new());
+        let a = reg.claim().unwrap();
+        let b = reg.claim().unwrap();
+        let r2 = Arc::clone(&reg);
+        let t = gb_loom::thread::spawn(move || {
+            // Concurrent epoch churn on the *other* slot.
+            let span = r2.span_enter(b);
+            r2.record_alloc(b, 500);
+            r2.record_free(b, 500);
+            r2.span_exit(span)
+        });
+        let outer = reg.span_enter(a);
+        reg.record_alloc(a, 100);
+        let inner = reg.span_enter(a);
+        reg.record_alloc(a, 300);
+        reg.record_free(a, 300);
+        let ir = reg.span_exit(inner);
+        reg.record_free(a, 100);
+        let or = reg.span_exit(outer);
+        t.join().unwrap();
+        assert_eq!(ir.peak_bytes, 300, "inner epoch polluted");
+        assert_eq!(or.peak_bytes, 400, "outer lost the inner peak");
+        assert_eq!(or.net_bytes, 0);
+    });
+}
+
+/// Invariant 5 (no-double-fold): per-worker tallies collected from
+/// concurrent spans fold into totals that count each record exactly
+/// once, and the concurrent-peak bound dominates every worker's actual
+/// footprint in every interleaving.
+#[test]
+fn fold_counts_each_worker_record_exactly_once() {
+    model(|| {
+        let reg = Arc::new(SlotRegistry::<2>::new());
+        let a = reg.claim().unwrap();
+        let b = reg.claim().unwrap();
+        let r2 = Arc::clone(&reg);
+        let t = gb_loom::thread::spawn(move || {
+            let mut tally = WorkerMemTally::default();
+            let span = r2.span_enter(b);
+            r2.record_alloc(b, 50);
+            tally.add(r2.span_exit(span));
+            tally
+        });
+        let mut mine = WorkerMemTally::default();
+        let span = reg.span_enter(a);
+        reg.record_alloc(a, 30);
+        reg.record_free(a, 10);
+        mine.add(reg.span_exit(span));
+        let theirs = t.join().unwrap();
+        let pool = PoolMemStats::fold(0, false, [&mine, &theirs]);
+        assert_eq!(pool.tasks, 2, "task record dropped or double-folded");
+        assert_eq!(pool.allocs, 2);
+        assert_eq!(pool.frees, 1);
+        assert_eq!(pool.net_bytes, 70, "net double-folded");
+        assert_eq!(pool.task_peak_max_bytes, 50);
+        // The bound must dominate the true combined footprint (70):
+        // Σ_worker (retained⁺ + peak) = (20 + 30) + (50 + 50).
+        assert!(pool.concurrent_peak_bound >= 70);
+        assert_eq!(pool.concurrent_peak_bound, 150);
+    });
+}

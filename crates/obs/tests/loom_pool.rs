@@ -1,0 +1,110 @@
+//! Exhaustive model checking of the [`gb_obs::pool::TaskCursor`]
+//! claim/close protocol under `RUSTFLAGS="--cfg loom"`.
+//!
+//! Named invariants (DESIGN.md, "Concurrency & safety invariants"):
+//!
+//! 6. **exactly-once claim** — each task index in `0..limit` is handed
+//!    to exactly one claimant, in every interleaving.
+//! 7. **no-lost-task** — when workers drain the cursor to exhaustion,
+//!    the union of their claims is the full range.
+//! 8. **shutdown monotonicity** — `close()` is idempotent, sticky
+//!    (claims never resume), and racing closers/claimants never
+//!    duplicate or resurrect an index.
+#![cfg(loom)]
+
+use gb_loom::model;
+use gb_obs::pool::TaskCursor;
+use std::sync::Arc;
+
+/// Invariants 6 + 7: two workers drain a 3-task cursor; their claims
+/// partition `{0,1,2}` in every interleaving.
+#[test]
+fn concurrent_claims_partition_the_range() {
+    model(|| {
+        let cursor = Arc::new(TaskCursor::new(3));
+        let c2 = Arc::clone(&cursor);
+        let t = gb_loom::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(i) = c2.claim() {
+                got.push(i);
+            }
+            got
+        });
+        let mut mine = Vec::new();
+        while let Some(i) = cursor.claim() {
+            mine.push(i);
+        }
+        let theirs = t.join().unwrap();
+        let mut all = mine;
+        all.extend(theirs);
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2], "claims lost or duplicated");
+        assert!(cursor.is_exhausted());
+        assert_eq!(cursor.claim(), None, "exhaustion not sticky");
+    });
+}
+
+/// Invariant 8: a closer racing a claimant. The claimant sees a prefix
+/// of the range (never a duplicate, never an index past the limit), and
+/// after both finish the cursor stays closed.
+#[test]
+fn close_racing_claim_is_monotone() {
+    model(|| {
+        let cursor = Arc::new(TaskCursor::new(2));
+        let c2 = Arc::clone(&cursor);
+        let t = gb_loom::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(i) = c2.claim() {
+                got.push(i);
+            }
+            got
+        });
+        cursor.close();
+        let theirs = t.join().unwrap();
+        // Whatever interleaved, claims are distinct, in-range, and in
+        // claim order (the cursor only moves forward).
+        for w in theirs.windows(2) {
+            assert!(w[0] < w[1], "claims out of order: {theirs:?}");
+        }
+        assert!(theirs.iter().all(|&i| i < 2), "claim past limit");
+        assert_eq!(cursor.claim(), None, "cursor reopened after close");
+        assert!(cursor.is_exhausted());
+    });
+}
+
+/// Invariant 8, closer/closer race: concurrent closes are idempotent —
+/// the cursor ends closed, claims end `None`, nothing panics.
+#[test]
+fn concurrent_closes_are_idempotent() {
+    model(|| {
+        let cursor = Arc::new(TaskCursor::new(5));
+        let c2 = Arc::clone(&cursor);
+        let t = gb_loom::thread::spawn(move || {
+            c2.close();
+            c2.claim()
+        });
+        cursor.close();
+        let theirs = t.join().unwrap();
+        assert_eq!(theirs, None, "claim succeeded after that thread closed");
+        assert_eq!(cursor.claim(), None);
+        assert!(cursor.is_exhausted());
+    });
+}
+
+/// Invariant 6 on the exhaustion edge: with more workers than tasks,
+/// the single task goes to exactly one of them in every interleaving.
+#[test]
+fn one_task_two_workers_single_winner() {
+    model(|| {
+        let cursor = Arc::new(TaskCursor::new(1));
+        let c2 = Arc::clone(&cursor);
+        let t = gb_loom::thread::spawn(move || c2.claim());
+        let mine = cursor.claim();
+        let theirs = t.join().unwrap();
+        match (mine, theirs) {
+            (Some(0), None) | (None, Some(0)) => {}
+            other => panic!("task 0 not claimed exactly once: {other:?}"),
+        }
+        assert!(cursor.is_exhausted());
+    });
+}

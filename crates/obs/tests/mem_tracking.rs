@@ -106,3 +106,51 @@ fn task_spans_report_their_own_thread_only() {
 fn enabled_reflects_the_feature() {
     assert!(mem::enabled());
 }
+
+#[test]
+fn dead_thread_allocation_freed_elsewhere_balances() {
+    // Deterministic orphan/recycling scenario: a worker thread
+    // allocates a buffer, hands it back, and exits — releasing its
+    // registry slot. The main thread then frees the buffer. The free
+    // lands on a *different* slot (main's own, or the orphan slot if
+    // TLS is torn down), yet the process-wide tally must balance: the
+    // worker's monotone alloc counters survive slot recycling, so
+    // current_bytes returns to (at most) its pre-test level.
+    const BYTES: usize = 3 << 20;
+    let before = mem::snapshot();
+    let buf = std::thread::spawn(|| {
+        // Open a span so the thread claims a slot (and releases it on
+        // exit via the TLS handle's Drop) rather than orphan-routing.
+        let span = TaskSpan::enter();
+        let buf = ballast(BYTES);
+        let r = span.exit();
+        assert!(
+            r.net_bytes >= BYTES as i64,
+            "worker span missed its own allocation: {}",
+            r.net_bytes
+        );
+        buf
+    })
+    .join()
+    .expect("worker");
+    let held = mem::snapshot();
+    assert!(
+        held.current_bytes >= before.current_bytes + BYTES as u64,
+        "dead thread's allocation lost from the process tally \
+         (before {} held {})",
+        before.current_bytes,
+        held.current_bytes
+    );
+    drop(buf);
+    let after = mem::snapshot();
+    assert!(
+        after.current_bytes <= held.current_bytes - BYTES as u64,
+        "cross-slot free not accounted (held {} after {})",
+        held.current_bytes,
+        after.current_bytes
+    );
+    assert!(after.frees > held.frees, "free event lost");
+    // Alloc/free *event* totals stay monotone and balanced: everything
+    // this test allocated it also freed.
+    assert!(after.allocs >= before.allocs + 1);
+}

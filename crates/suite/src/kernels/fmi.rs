@@ -97,9 +97,9 @@ impl std::fmt::Debug for FmiKernel {
     }
 }
 
+// Compile-time check that the uninstrumented path exists too; never called.
 #[allow(dead_code)]
 fn _assert_probe_compat(k: &FmiKernel) {
-    // Compile-time check that the uninstrumented path exists too.
     let _ = collect_smems_probed(&k.index, &k.reads[0], &k.config, &mut NullProbe);
 }
 

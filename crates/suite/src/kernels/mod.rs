@@ -32,6 +32,8 @@ use std::time::Duration;
 
 /// Identifier of one suite kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+// The variant names are the paper's kernel names; per-variant docs would
+// just repeat the table in the crate docs.
 #[allow(missing_docs)]
 pub enum KernelId {
     Fmi,

@@ -8,8 +8,8 @@
 //! well (Fig. 7).
 
 use gb_obs::mem::{self, PoolMemStats, WorkerMemTally};
+use gb_obs::pool::TaskCursor;
 use gb_obs::{LogHistogram, Recorder, TaskStats, WorkerStats};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Runs `work` over `0..num_tasks` on `threads` workers with dynamic
@@ -40,7 +40,10 @@ where
         }
         return (acc, start.elapsed());
     }
-    let cursor = AtomicUsize::new(0);
+    // The claim protocol lives in gb-obs so the loom job can
+    // model-check it (tests/loom_pool.rs): exactly-once claiming and
+    // monotone shutdown across all bounded-preemption interleavings.
+    let cursor = TaskCursor::new(num_tasks);
     let total = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
@@ -48,11 +51,7 @@ where
                 let work = &work;
                 scope.spawn(move |_| {
                     let mut acc = 0u64;
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= num_tasks {
-                            break;
-                        }
+                    while let Some(i) = cursor.claim() {
                         acc = acc.wrapping_add(work(i));
                     }
                     acc
@@ -83,8 +82,7 @@ struct WorkerTally {
 /// overhead over [`run_dynamic`] is the two `Instant` reads per task
 /// that feed the latency histogram.
 fn instrumented_worker<R: Recorder + ?Sized, F>(
-    cursor: &AtomicUsize,
-    num_tasks: usize,
+    cursor: &TaskCursor,
     work: &F,
     recorder: &R,
     span_name: &str,
@@ -100,11 +98,7 @@ where
         tasks: 0,
         mem: WorkerMemTally::default(),
     };
-    loop {
-        let i = cursor.fetch_add(1, Ordering::Relaxed);
-        if i >= num_tasks {
-            break;
-        }
+    while let Some(i) = cursor.claim() {
         // Per-task heap epoch: opened on this worker's own thread-local
         // allocation slot, so concurrent workers never see each other's
         // allocations. Compiled out entirely without `mem-profile`.
@@ -166,11 +160,9 @@ where
         0
     };
     let start = Instant::now();
-    let cursor = AtomicUsize::new(0);
+    let cursor = TaskCursor::new(num_tasks);
     let tallies: Vec<WorkerTally> = if threads == 1 {
-        vec![instrumented_worker(
-            &cursor, num_tasks, &work, recorder, span_name, 0,
-        )]
+        vec![instrumented_worker(&cursor, &work, recorder, span_name, 0)]
     } else {
         crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
@@ -178,7 +170,7 @@ where
                     let cursor = &cursor;
                     let work = &work;
                     scope.spawn(move |_| {
-                        instrumented_worker(cursor, num_tasks, work, recorder, span_name, t as u32)
+                        instrumented_worker(cursor, work, recorder, span_name, t as u32)
                     })
                 })
                 .collect();
@@ -223,7 +215,7 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn serial_and_parallel_agree() {
@@ -239,10 +231,10 @@ mod tests {
     fn every_task_runs_exactly_once() {
         let counter = AtomicU64::new(0);
         let (_, _) = run_dynamic(500, 4, |_| {
-            counter.fetch_add(1, Ordering::Relaxed);
+            counter.fetch_add(1, Ordering::SeqCst);
             0
         });
-        assert_eq!(counter.load(Ordering::Relaxed), 500);
+        assert_eq!(counter.load(Ordering::SeqCst), 500);
     }
 
     #[test]

@@ -1,0 +1,307 @@
+//! A minimal Rust lexer for lint purposes: splits a source file into a
+//! **code shadow** (the original text with comment bodies and string
+//! contents blanked out, byte-for-byte and line-for-line) and a
+//! **comment shadow** (the converse). Lints can then grep the code
+//! shadow for tokens like `unsafe` or `Relaxed` without tripping over
+//! occurrences inside comments, doc text, or string literals, and grep
+//! the comment shadow for `SAFETY:` annotations.
+//!
+//! Handled: line comments (`//`, `///`, `//!`), nested block comments,
+//! `"…"` strings with escapes, raw strings `r"…"`/`r#"…"#` (any hash
+//! depth, with the `b`/`c` prefixes), char literals with escapes, and
+//! the char-vs-lifetime ambiguity (`'a'` is a literal, `'a` in
+//! `&'a str` is not). This is not a full lexer — it does not tokenize —
+//! but the blanking is exact enough for word-boundary searches.
+
+/// The two shadows of one source text. Both have exactly the original
+/// length and newline positions; non-structural bytes are replaced by
+/// spaces in the shadow they don't belong to.
+#[derive(Debug, Clone)]
+pub struct Shadows {
+    /// Source with comments and string/char *contents* blanked.
+    pub code: String,
+    /// Source with everything but comment text blanked.
+    pub comments: String,
+}
+
+impl Shadows {
+    /// Lines of the code shadow (same count and numbering as source).
+    pub fn code_lines(&self) -> Vec<&str> {
+        self.code.lines().collect()
+    }
+
+    /// Lines of the comment shadow.
+    pub fn comment_lines(&self) -> Vec<&str> {
+        self.comments.lines().collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Splits `src` into code and comment shadows. See the module docs for
+/// the supported syntax; the function never panics on malformed input —
+/// an unterminated construct simply blanks to end of file.
+pub fn shadows(src: &str) -> Shadows {
+    let bytes = src.as_bytes();
+    let mut code = vec![b' '; bytes.len()];
+    let mut comments = vec![b' '; bytes.len()];
+    let mut st = State::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            code[i] = b'\n';
+            comments[i] = b'\n';
+            if st == State::LineComment {
+                st = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match st {
+            State::Code => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    st = State::LineComment;
+                    comments[i] = b'/';
+                    i += 1;
+                    comments[i] = b'/';
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    st = State::BlockComment(1);
+                    comments[i] = b'/';
+                    i += 1;
+                    comments[i] = b'*';
+                } else if b == b'"' {
+                    st = State::Str;
+                    code[i] = b'"';
+                } else if let Some(hashes) = raw_string_open(bytes, i) {
+                    // Copy the whole opener (`r##"`) into the code
+                    // shadow, then blank until the matching closer.
+                    let open_end = raw_open_end(bytes, i);
+                    for (j, cj) in code.iter_mut().enumerate().take(open_end).skip(i) {
+                        *cj = bytes[j];
+                    }
+                    st = State::RawStr(hashes);
+                    i = open_end - 1;
+                } else if b == b'\'' && char_literal_opens(bytes, i) {
+                    st = State::Char;
+                    code[i] = b'\'';
+                } else {
+                    code[i] = b;
+                }
+            }
+            State::LineComment => comments[i] = b,
+            State::BlockComment(depth) => {
+                comments[i] = b;
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    i += 1;
+                    comments[i] = b'/';
+                    st = if depth > 1 {
+                        State::BlockComment(depth - 1)
+                    } else {
+                        State::Code
+                    };
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    i += 1;
+                    comments[i] = b'*';
+                    st = State::BlockComment(depth + 1);
+                }
+            }
+            State::Str => {
+                if b == b'\\' {
+                    i += 1; // skip the escaped byte (stays blanked)
+                } else if b == b'"' {
+                    code[i] = b'"';
+                    st = State::Code;
+                }
+            }
+            State::RawStr(hashes) => {
+                if b == b'"' && closes_raw(bytes, i, hashes) {
+                    let end = i + 1 + hashes as usize;
+                    for (j, cj) in code
+                        .iter_mut()
+                        .enumerate()
+                        .take(end.min(bytes.len()))
+                        .skip(i)
+                    {
+                        if bytes[j] != b'\n' {
+                            *cj = bytes[j];
+                        }
+                    }
+                    i = end - 1;
+                    st = State::Code;
+                }
+            }
+            State::Char => {
+                if b == b'\\' {
+                    i += 1;
+                } else if b == b'\'' {
+                    code[i] = b'\'';
+                    st = State::Code;
+                }
+            }
+        }
+        i += 1;
+    }
+    Shadows {
+        code: String::from_utf8_lossy(&code).into_owned(),
+        comments: String::from_utf8_lossy(&comments).into_owned(),
+    }
+}
+
+/// Is `bytes[i] == '\''` a char-literal opener rather than a lifetime?
+/// Heuristic (exact for well-formed Rust): it's a lifetime iff the next
+/// char starts an identifier **and** the char after the identifier-ish
+/// run is not `'`; `'\…'` and `'<non-ident>'` are literals.
+fn char_literal_opens(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        None => false,
+        Some(b'\\') => true,
+        Some(&c) if c == b'_' || c.is_ascii_alphabetic() => {
+            // `'a'` is a literal; `'a ` / `'abc` are lifetimes; `'static`.
+            bytes.get(i + 2) == Some(&b'\'')
+        }
+        Some(_) => true, // '(' etc: a char literal like '(' or '0'
+    }
+}
+
+/// If a raw-string opener (`r"`, `r#"`, `br##"`, `cr"`) starts at `i`,
+/// returns its hash count.
+fn raw_string_open(bytes: &[u8], i: usize) -> Option<u32> {
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') || bytes.get(j) == Some(&b'c') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    // `r` must not be the tail of a longer identifier (`var"` is not raw).
+    if i > 0 && (bytes[i - 1] == b'_' || bytes[i - 1].is_ascii_alphanumeric()) {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (bytes.get(j) == Some(&b'"')).then_some(hashes)
+}
+
+/// Byte index one past a raw-string opener starting at `i`.
+fn raw_open_end(bytes: &[u8], i: usize) -> usize {
+    let mut j = i;
+    while bytes.get(j) != Some(&b'"') {
+        j += 1;
+    }
+    j + 1
+}
+
+/// Does the `"` at `i` close a raw string with `hashes` hashes?
+fn closes_raw(bytes: &[u8], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&b'#'))
+}
+
+/// Whether `line` contains `word` delimited by non-identifier chars —
+/// `word_on_line("pub unsafe fn", "unsafe")` but not
+/// `word_on_line("unsafe_code", "unsafe")`.
+pub fn word_on_line(line: &str, word: &str) -> bool {
+    let b = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let pre_ok = start == 0 || !is_ident_byte(b[start - 1]);
+        let post_ok = end >= b.len() || !is_ident_byte(b[end]);
+        if pre_ok && post_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_line_and_block_comments() {
+        let s = shadows("let x = 1; // unsafe here\n/* unsafe\n there */ let y = 2;\n");
+        assert!(!word_on_line(&s.code, "unsafe"));
+        assert!(s.comments.contains("unsafe here"));
+        assert!(s.code.contains("let x = 1;"));
+        assert!(s.code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = shadows("a /* outer /* inner */ still comment */ b\n");
+        let code: String = s.code.split_whitespace().collect();
+        assert_eq!(code, "ab");
+    }
+
+    #[test]
+    fn blanks_string_contents_but_keeps_quotes() {
+        let s = shadows(r#"let s = "unsafe { Relaxed }"; call();"#);
+        assert!(!word_on_line(&s.code, "unsafe"));
+        assert!(!word_on_line(&s.code, "Relaxed"));
+        let blanked = format!("\"{}\"", " ".repeat("unsafe { Relaxed }".len()));
+        assert!(s.code.contains(&blanked), "code shadow: {:?}", s.code);
+        assert!(s.code.contains("call();"));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let s = shadows("let s = r#\"unsafe \" quote\"#; unsafe {}\n");
+        // The raw-string body is blanked; the real keyword survives.
+        assert_eq!(s.code.matches("unsafe").count(), 1);
+    }
+
+    #[test]
+    fn escaped_quote_does_not_terminate() {
+        let s = shadows(r#"let s = "a\"unsafe"; id();"#);
+        assert!(!word_on_line(&s.code, "unsafe"));
+        assert!(s.code.contains("id();"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let s = shadows("fn f<'a>(c: char) -> &'a str { if c == '\"' { x() } else { y() } }\n");
+        // The quote char literal must not open a string.
+        assert!(s.code.contains("x()"));
+        assert!(s.code.contains("y()"));
+        assert!(s.code.contains("<'a>"));
+        let s2 = shadows("let c = 'u'; unsafe {}\n");
+        assert_eq!(s2.code.matches("unsafe").count(), 1);
+    }
+
+    #[test]
+    fn line_structure_is_preserved() {
+        let src = "a\n// c\nb\n\"s\ntill\"\nc\n";
+        let s = shadows(src);
+        assert_eq!(s.code.lines().count(), src.lines().count());
+        assert_eq!(s.comments.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(word_on_line("unsafe {", "unsafe"));
+        assert!(word_on_line("pub unsafe impl X {}", "unsafe"));
+        assert!(!word_on_line("#![forbid(unsafe_code)]", "unsafe"));
+        assert!(!word_on_line("unsafe_op_in_unsafe_fn", "unsafe"));
+        assert!(word_on_line("Ordering::Relaxed)", "Relaxed"));
+        assert!(!word_on_line("RelaxedPlus", "Relaxed"));
+    }
+}

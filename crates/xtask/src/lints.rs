@@ -1,0 +1,709 @@
+//! The lint rules behind `cargo xtask lint`.
+//!
+//! Each rule is a pure function over a [`Workspace`] (an in-memory file
+//! set), so the unit tests below can prove both directions: the real
+//! repo passes, and seeded violations fail. The binary loads the real
+//! repo into a `Workspace` and runs every rule.
+//!
+//! Rules (see DESIGN.md, "Concurrency & safety invariants"):
+//!
+//! * `safety-comments` — every `unsafe` keyword has a `SAFETY:` comment
+//!   within five lines above (or one line below, for `unsafe fn`
+//!   signatures whose justification opens the body).
+//! * `relaxed-allowlist` — `Ordering::Relaxed` appears only in the
+//!   allowlisted slot-registry/task-cursor files (and the gb-loom
+//!   checker, whose tests exercise `Relaxed` deliberately).
+//! * `schema-version` — the `SCHEMA_VERSION` literal in
+//!   `crates/obs/src/manifest.rs` is named on a "schema" line of both
+//!   README.md and CHANGES.md.
+//! * `kernel-table` — every `KernelId` variant is registered in the
+//!   `ALL` table and handled by `work_unit`.
+//! * `bench-ci` — every Criterion bench declared in
+//!   `crates/bench/Cargo.toml` is wired into a CI workflow.
+//! * `clippy-allow-justified` — every `allow(clippy::…)` /
+//!   `allow(dead_code)`-style attribute carries a justification comment
+//!   on the same line or the line above.
+//! * `unsafe-hygiene` — every crate root forbids (or denies)bare
+//!   `unsafe_code`, and crates containing `unsafe` also deny
+//!   `unsafe_op_in_unsafe_fn`.
+
+use crate::lexer::{shadows, word_on_line, Shadows};
+
+/// One file of the workspace under lint.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Repo-relative path with forward slashes (`crates/obs/src/mem.rs`).
+    pub path: String,
+    /// Full text.
+    pub text: String,
+}
+
+/// The file set the lints run over.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Every tracked file (Rust sources, manifests, workflows, docs).
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    fn get(&self, path: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.path == path)
+    }
+
+    fn rust_sources(&self) -> impl Iterator<Item = &SourceFile> {
+        self.files.iter().filter(|f| f.path.ends_with(".rs"))
+    }
+}
+
+/// A single finding; `line` is 1-based.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which rule fired (kebab-case).
+    pub rule: &'static str,
+    /// Repo-relative file.
+    pub file: String,
+    /// 1-based line (0 for file-level findings).
+    pub line: usize,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {}:{}: {}",
+            self.rule, self.file, self.line, self.msg
+        )
+    }
+}
+
+/// Runs every rule; an empty result means the workspace is clean.
+pub fn run_all(ws: &Workspace) -> Vec<Violation> {
+    let mut v = Vec::new();
+    v.extend(safety_comments(ws));
+    v.extend(relaxed_allowlist(ws));
+    v.extend(schema_version(ws));
+    v.extend(kernel_table(ws));
+    v.extend(bench_ci(ws));
+    v.extend(clippy_allow_justified(ws));
+    v.extend(unsafe_hygiene(ws));
+    v
+}
+
+// --- safety-comments ---------------------------------------------------
+
+/// How far above an `unsafe` the `SAFETY:` comment may sit.
+const SAFETY_WINDOW_ABOVE: usize = 5;
+
+/// Every `unsafe` keyword needs a nearby `SAFETY:` comment: within
+/// [`SAFETY_WINDOW_ABOVE`] lines above, or on the next line (the
+/// convention for `unsafe fn` signatures that open with their
+/// justification).
+pub fn safety_comments(ws: &Workspace) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in ws.rust_sources() {
+        let sh = shadows(&f.text);
+        let code = sh.code_lines();
+        let comments = sh.comment_lines();
+        for (i, line) in code.iter().enumerate() {
+            if !word_on_line(line, "unsafe") {
+                continue;
+            }
+            let lo = i.saturating_sub(SAFETY_WINDOW_ABOVE);
+            let hi = (i + 1).min(comments.len().saturating_sub(1));
+            let justified = comments[lo..=hi].iter().any(|c| c.contains("SAFETY:"));
+            if !justified {
+                out.push(Violation {
+                    rule: "safety-comments",
+                    file: f.path.clone(),
+                    line: i + 1,
+                    msg: format!(
+                        "`unsafe` without a `// SAFETY:` comment within {SAFETY_WINDOW_ABOVE} \
+                         lines above (or on the following line)"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+// --- relaxed-allowlist -------------------------------------------------
+
+/// Files (prefixes) where `Ordering::Relaxed` is legitimate: the
+/// model-checked slot registry and task cursor, whose file docs justify
+/// every relaxed access, and the gb-loom checker itself (its smoke
+/// tests seed relaxed races on purpose; the checker upgrades all
+/// orderings to SeqCst anyway).
+const RELAXED_ALLOWLIST: &[&str] = &[
+    "crates/obs/src/mem.rs",
+    "crates/obs/src/pool.rs",
+    "crates/loom/",
+];
+
+/// `Relaxed` may only appear in the allowlisted files — everywhere else
+/// the right default is `SeqCst` until a loom model justifies weaker.
+pub fn relaxed_allowlist(ws: &Workspace) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in ws.rust_sources() {
+        if RELAXED_ALLOWLIST.iter().any(|p| f.path.starts_with(p)) {
+            continue;
+        }
+        let sh = shadows(&f.text);
+        for (i, line) in sh.code_lines().iter().enumerate() {
+            if word_on_line(line, "Relaxed") {
+                out.push(Violation {
+                    rule: "relaxed-allowlist",
+                    file: f.path.clone(),
+                    line: i + 1,
+                    msg: "`Ordering::Relaxed` outside the allowlisted registry/cursor files; \
+                          use SeqCst or extend the model-checked allowlist"
+                        .into(),
+                });
+            }
+        }
+    }
+    out
+}
+
+// --- schema-version ----------------------------------------------------
+
+/// Extracts the quoted literal from the `SCHEMA_VERSION` declaration.
+fn declared_schema_version(ws: &Workspace) -> Option<(String, String)> {
+    let f = ws.get("crates/obs/src/manifest.rs")?;
+    for line in f.text.lines() {
+        if line.contains("SCHEMA_VERSION") && line.contains('=') {
+            let lit: String = line
+                .split('"')
+                .nth(1)
+                .map(str::to_string)
+                .unwrap_or_default();
+            if !lit.is_empty() {
+                return Some((f.path.clone(), lit));
+            }
+        }
+    }
+    None
+}
+
+/// The manifest schema version literal must be stated on a line that
+/// also mentions "schema" in README.md and CHANGES.md, so docs can't
+/// silently drift from the code.
+pub fn schema_version(ws: &Workspace) -> Vec<Violation> {
+    let Some((src, lit)) = declared_schema_version(ws) else {
+        return vec![Violation {
+            rule: "schema-version",
+            file: "crates/obs/src/manifest.rs".into(),
+            line: 0,
+            msg: "SCHEMA_VERSION declaration not found".into(),
+        }];
+    };
+    let mut out = Vec::new();
+    for doc in ["README.md", "CHANGES.md"] {
+        let mentioned = ws.get(doc).is_some_and(|f| {
+            f.text
+                .lines()
+                .any(|l| l.to_ascii_lowercase().contains("schema") && l.contains(&lit))
+        });
+        if !mentioned {
+            out.push(Violation {
+                rule: "schema-version",
+                file: doc.into(),
+                line: 0,
+                msg: format!(
+                    "no line mentions schema version {lit} (declared in {src}); \
+                     update the doc to match the code"
+                ),
+            });
+        }
+    }
+    out
+}
+
+// --- kernel-table ------------------------------------------------------
+
+/// The text of the `{…}` block that starts at the first `{` at or after
+/// `from` (brace-matched on the code shadow, so strings/comments can't
+/// unbalance it).
+fn brace_block(sh: &Shadows, from: usize) -> Option<&str> {
+    let code = &sh.code;
+    let open = code[from..].find('{')? + from;
+    let mut depth = 0usize;
+    for (off, ch) in code[open..].char_indices() {
+        match ch {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&code[open..open + off + 1]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Identifier variants of `enum KernelId { … }` (skips attribute/doc
+/// noise — anything that isn't a leading capitalized ident).
+fn kernel_variants(sh: &Shadows) -> Vec<String> {
+    let Some(pos) = sh.code.find("enum KernelId") else {
+        return Vec::new();
+    };
+    let Some(block) = brace_block(sh, pos) else {
+        return Vec::new();
+    };
+    block
+        .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .filter(|w| {
+            !w.is_empty()
+                && w.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                && w != &"KernelId"
+        })
+        .map(str::to_string)
+        .collect()
+}
+
+/// Every `KernelId` variant must be registered in the `ALL` table and
+/// carry a `work_unit` arm — a new kernel that compiles but is absent
+/// from the suite table or reports no throughput unit is a bug the type
+/// system can't catch.
+pub fn kernel_table(ws: &Workspace) -> Vec<Violation> {
+    const MOD: &str = "crates/suite/src/kernels/mod.rs";
+    let Some(f) = ws.get(MOD) else {
+        return vec![Violation {
+            rule: "kernel-table",
+            file: MOD.into(),
+            line: 0,
+            msg: "kernel table module missing".into(),
+        }];
+    };
+    let sh = shadows(&f.text);
+    let variants = kernel_variants(&sh);
+    let mut out = Vec::new();
+    if variants.is_empty() {
+        out.push(Violation {
+            rule: "kernel-table",
+            file: MOD.into(),
+            line: 0,
+            msg: "could not parse `enum KernelId` variants".into(),
+        });
+        return out;
+    }
+    let all_block = sh
+        .code
+        .find("ALL")
+        .and_then(|p| {
+            // Skip the type annotation's `[KernelId; N]`: the variant
+            // list is the bracket after the `=`.
+            let tail = &sh.code[p..];
+            let eq = tail.find('=')?;
+            let open = eq + tail[eq..].find('[')?;
+            let close = open + tail[open..].find(']')?;
+            Some(tail[open..close].to_string())
+        })
+        .unwrap_or_default();
+    let work_unit_block = sh
+        .code
+        .find("fn work_unit")
+        .and_then(|p| brace_block(&sh, p))
+        .unwrap_or_default();
+    for v in &variants {
+        if !word_on_line(&all_block, v) {
+            out.push(Violation {
+                rule: "kernel-table",
+                file: MOD.into(),
+                line: 0,
+                msg: format!("KernelId::{v} missing from the `ALL` registration table"),
+            });
+        }
+        if !word_on_line(work_unit_block, v) {
+            out.push(Violation {
+                rule: "kernel-table",
+                file: MOD.into(),
+                line: 0,
+                msg: format!("KernelId::{v} has no `work_unit` arm"),
+            });
+        }
+    }
+    out
+}
+
+// --- bench-ci ----------------------------------------------------------
+
+/// Bench names declared in `crates/bench/Cargo.toml`.
+fn declared_benches(ws: &Workspace) -> Vec<String> {
+    let Some(f) = ws.get("crates/bench/Cargo.toml") else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut in_bench = false;
+    for line in f.text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_bench = line == "[[bench]]";
+        } else if in_bench && line.starts_with("name") {
+            if let Some(name) = line.split('"').nth(1) {
+                out.push(name.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Every declared Criterion bench must appear in some CI workflow —
+/// benches that never build in CI rot silently.
+pub fn bench_ci(ws: &Workspace) -> Vec<Violation> {
+    let benches = declared_benches(ws);
+    if benches.is_empty() {
+        return vec![Violation {
+            rule: "bench-ci",
+            file: "crates/bench/Cargo.toml".into(),
+            line: 0,
+            msg: "no [[bench]] entries found".into(),
+        }];
+    }
+    let ci_text: String = ws
+        .files
+        .iter()
+        .filter(|f| {
+            f.path.starts_with(".github/workflows/")
+                && (f.path.ends_with(".yml") || f.path.ends_with(".yaml"))
+        })
+        .map(|f| f.text.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    benches
+        .iter()
+        .filter(|b| !word_on_line(&ci_text, b))
+        .map(|b| Violation {
+            rule: "bench-ci",
+            file: "crates/bench/Cargo.toml".into(),
+            line: 0,
+            msg: format!("bench `{b}` is not referenced by any .github/workflows/*.yml"),
+        })
+        .collect()
+}
+
+// --- clippy-allow-justified -------------------------------------------
+
+/// Every lint-silencing `allow(…)` attribute must say why, in a comment
+/// on the same line or the line directly above — an unexplained allow
+/// is a suppressed warning nobody can re-evaluate later.
+pub fn clippy_allow_justified(ws: &Workspace) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in ws.rust_sources() {
+        let sh = shadows(&f.text);
+        let code = sh.code_lines();
+        let comments = sh.comment_lines();
+        for (i, line) in code.iter().enumerate() {
+            if !line.contains("allow(") {
+                continue;
+            }
+            // `#[allow(…)]` / `#![allow(…)]` attributes only; calls like
+            // `foo.allow(x)` don't match the attribute form.
+            if !(line.contains("#[allow(") || line.contains("#![allow(")) {
+                continue;
+            }
+            let nearby_comment = |j: usize| comments.get(j).is_some_and(|c| c.trim().len() > 2);
+            if !(nearby_comment(i) || (i > 0 && nearby_comment(i - 1))) {
+                out.push(Violation {
+                    rule: "clippy-allow-justified",
+                    file: f.path.clone(),
+                    line: i + 1,
+                    msg: "`allow(…)` without a justification comment on this or the \
+                          previous line"
+                        .into(),
+                });
+            }
+        }
+    }
+    out
+}
+
+// --- unsafe-hygiene ----------------------------------------------------
+
+/// Crate roots: `<dir>/src/lib.rs` or `<dir>/src/main.rs` where
+/// `<dir>/Cargo.toml` is in the workspace (plus the workspace root).
+fn crate_roots(ws: &Workspace) -> Vec<(&SourceFile, String)> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        if !(f.path.ends_with("src/lib.rs") || f.path.ends_with("src/main.rs")) {
+            continue;
+        }
+        let dir = f
+            .path
+            .trim_end_matches("src/lib.rs")
+            .trim_end_matches("src/main.rs")
+            .to_string();
+        let manifest = format!("{dir}Cargo.toml");
+        if ws.get(&manifest).is_some() {
+            out.push((f, dir));
+        }
+    }
+    out
+}
+
+/// Every crate root must forbid (or deny) `unsafe_code`; crates that do
+/// contain `unsafe` must additionally deny `unsafe_op_in_unsafe_fn` so
+/// each unsafe operation needs its own scoped block + SAFETY comment.
+pub fn unsafe_hygiene(ws: &Workspace) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (root, dir) in crate_roots(ws) {
+        let sh = shadows(&root.text);
+        let gated =
+            sh.code.contains("forbid(unsafe_code)") || sh.code.contains("deny(unsafe_code)");
+        if !gated {
+            out.push(Violation {
+                rule: "unsafe-hygiene",
+                file: root.path.clone(),
+                line: 0,
+                msg: "crate root lacks `#![forbid(unsafe_code)]` / `#![deny(unsafe_code)]`".into(),
+            });
+        }
+        // Only the crate's `src/` tree: `<dir>/tests` and (for the
+        // workspace root, where `dir` is empty) member crates are
+        // separate compilation units with their own roots.
+        let src_prefix = format!("{dir}src/");
+        let crate_has_unsafe = ws
+            .rust_sources()
+            .filter(|f| f.path.starts_with(&src_prefix))
+            .any(|f| {
+                shadows(&f.text)
+                    .code_lines()
+                    .iter()
+                    .any(|l| word_on_line(l, "unsafe"))
+            });
+        if crate_has_unsafe && !sh.code.contains("deny(unsafe_op_in_unsafe_fn)") {
+            out.push(Violation {
+                rule: "unsafe-hygiene",
+                file: root.path.clone(),
+                line: 0,
+                msg: "crate contains `unsafe` but its root lacks \
+                      `#![deny(unsafe_op_in_unsafe_fn)]`"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            files: files
+                .iter()
+                .map(|(p, t)| SourceFile {
+                    path: p.to_string(),
+                    text: t.to_string(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn safety_comment_required_and_honored() {
+        let bad = ws(&[("crates/x/src/a.rs", "fn f() { unsafe { g() } }\n")]);
+        let v = safety_comments(&bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "safety-comments");
+        assert_eq!(v[0].line, 1);
+
+        let good = ws(&[(
+            "crates/x/src/a.rs",
+            "// SAFETY: g has no preconditions here.\nfn f() { unsafe { g() } }\n",
+        )]);
+        assert!(safety_comments(&good).is_empty());
+
+        // Signature form: justification on the following line.
+        let sig = ws(&[(
+            "crates/x/src/a.rs",
+            "unsafe fn f() {\n    // SAFETY: caller upholds the contract.\n    unsafe { g() }\n}\n",
+        )]);
+        assert!(safety_comments(&sig).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_in_string_does_not_count_and_unsafe_in_comment_is_ignored() {
+        let tricky = ws(&[(
+            "crates/x/src/a.rs",
+            "let s = \"SAFETY: not a comment\";\nfn f() { unsafe { g() } }\n",
+        )]);
+        assert_eq!(safety_comments(&tricky).len(), 1);
+
+        let commented = ws(&[("crates/x/src/a.rs", "// unsafe is discussed here only\n")]);
+        assert!(safety_comments(&commented).is_empty());
+    }
+
+    #[test]
+    fn relaxed_only_in_allowlist() {
+        let bad = ws(&[(
+            "crates/suite/src/pool.rs",
+            "c.fetch_add(1, Ordering::Relaxed);\n",
+        )]);
+        let v = relaxed_allowlist(&bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "relaxed-allowlist");
+
+        let allowed = ws(&[
+            ("crates/obs/src/mem.rs", "x.load(Ordering::Relaxed);\n"),
+            ("crates/obs/src/pool.rs", "x.load(Ordering::Relaxed);\n"),
+            ("crates/loom/src/sync.rs", "Ordering::Relaxed\n"),
+            ("crates/x/src/a.rs", "// Ordering::Relaxed in a comment\n"),
+            ("crates/x/src/b.rs", "x.load(Ordering::SeqCst);\n"),
+        ]);
+        assert!(relaxed_allowlist(&allowed).is_empty());
+    }
+
+    fn schema_files(readme: &str, changes: &str) -> Workspace {
+        ws(&[
+            (
+                "crates/obs/src/manifest.rs",
+                "pub const SCHEMA_VERSION: &str = \"9.7\";\n",
+            ),
+            ("README.md", readme),
+            ("CHANGES.md", changes),
+        ])
+    }
+
+    #[test]
+    fn schema_version_cross_checked_against_docs() {
+        let good = schema_files("manifest schema 9.7 here\n", "schema bumped to 9.7\n");
+        assert!(schema_version(&good).is_empty());
+
+        let stale = schema_files("manifest schema 9.6 here\n", "schema bumped to 9.7\n");
+        let v = schema_version(&stale);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].file, "README.md");
+
+        // The literal on a line that doesn't mention "schema" is drift.
+        let unrelated = schema_files("version 9.7 of the paper\n", "schema 9.7\n");
+        assert_eq!(schema_version(&unrelated).len(), 1);
+    }
+
+    const KERNELS_OK: &str = r#"
+pub enum KernelId {
+    Fmi,
+    Bsw,
+}
+impl KernelId {
+    pub const ALL: [KernelId; 2] = [KernelId::Fmi, KernelId::Bsw];
+
+    pub fn work_unit(self) -> &'static str {
+        match self {
+            KernelId::Fmi => "queries",
+            KernelId::Bsw => "cells",
+        }
+    }
+}
+"#;
+
+    #[test]
+    fn kernel_table_catches_unregistered_variant() {
+        let good = ws(&[("crates/suite/src/kernels/mod.rs", KERNELS_OK)]);
+        assert!(kernel_table(&good).is_empty());
+
+        let missing = KERNELS_OK.replace("[KernelId::Fmi, KernelId::Bsw]", "[KernelId::Fmi]");
+        let v = kernel_table(&ws(&[("crates/suite/src/kernels/mod.rs", &missing)]));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("Bsw") && v[0].msg.contains("ALL"));
+
+        let no_unit = KERNELS_OK.replace("            KernelId::Bsw => \"cells\",\n", "");
+        let v = kernel_table(&ws(&[("crates/suite/src/kernels/mod.rs", &no_unit)]));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("work_unit"));
+    }
+
+    #[test]
+    fn bench_ci_requires_workflow_wiring() {
+        let files = [
+            (
+                "crates/bench/Cargo.toml",
+                "[[bench]]\nname = \"kernels\"\nharness = false\n\n[[bench]]\nname = \"ablations\"\nharness = false\n",
+            ),
+            (
+                ".github/workflows/ci.yml",
+                "run: cargo bench --bench kernels --no-run\n",
+            ),
+        ];
+        let v = bench_ci(&ws(&files));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("ablations"));
+
+        let wired = [
+            files[0],
+            (
+                ".github/workflows/ci.yml",
+                "run: cargo bench --bench kernels --bench ablations --no-run\n",
+            ),
+        ];
+        assert!(bench_ci(&ws(&wired)).is_empty());
+    }
+
+    #[test]
+    fn clippy_allows_need_justification() {
+        let bad = ws(&[(
+            "crates/x/src/a.rs",
+            "#[allow(clippy::too_many_arguments)]\nfn f() {}\n",
+        )]);
+        let v = clippy_allow_justified(&bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "clippy-allow-justified");
+
+        let good = ws(&[(
+            "crates/x/src/a.rs",
+            "// Mirrors the 10-register SIMD kernel signature.\n#[allow(clippy::too_many_arguments)]\nfn f() {}\n",
+        )]);
+        assert!(clippy_allow_justified(&good).is_empty());
+
+        let inline = ws(&[(
+            "crates/x/src/a.rs",
+            "#[allow(dead_code)] // kept for the ffi table layout\nfn f() {}\n",
+        )]);
+        assert!(clippy_allow_justified(&inline).is_empty());
+    }
+
+    #[test]
+    fn unsafe_hygiene_checks_crate_roots() {
+        let bad = ws(&[
+            ("crates/x/Cargo.toml", "[package]\nname = \"x\"\n"),
+            ("crates/x/src/lib.rs", "pub fn f() {}\n"),
+        ]);
+        let v = unsafe_hygiene(&bad);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("forbid"));
+
+        let with_unsafe = ws(&[
+            ("crates/x/Cargo.toml", "[package]\nname = \"x\"\n"),
+            ("crates/x/src/lib.rs", "#![deny(unsafe_code)]\npub mod a;\n"),
+            (
+                "crates/x/src/a.rs",
+                "// SAFETY: test fixture.\npub fn f() { unsafe { g() } }\n",
+            ),
+        ]);
+        let v = unsafe_hygiene(&with_unsafe);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("unsafe_op_in_unsafe_fn"));
+
+        let clean = ws(&[
+            ("crates/x/Cargo.toml", "[package]\nname = \"x\"\n"),
+            ("crates/x/src/lib.rs", "#![forbid(unsafe_code)]\n"),
+        ]);
+        assert!(unsafe_hygiene(&clean).is_empty());
+    }
+
+    #[test]
+    fn run_all_aggregates() {
+        let bad = ws(&[("crates/x/src/a.rs", "fn f() { unsafe { g() } }\n")]);
+        let v = run_all(&bad);
+        assert!(v.iter().any(|x| x.rule == "safety-comments"));
+        // Missing manifest/kernels/bench files also surface as findings.
+        assert!(v.iter().any(|x| x.rule == "schema-version"));
+        assert!(v.iter().any(|x| x.rule == "kernel-table"));
+        assert!(v.iter().any(|x| x.rule == "bench-ci"));
+    }
+}

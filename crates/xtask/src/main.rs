@@ -1,0 +1,107 @@
+//! `cargo xtask` — repo-local automation for GenomicsBench-rs.
+//!
+//! Subcommands:
+//!
+//! * `lint` — run the repo's static policy checks (safety comments,
+//!   relaxed-ordering allowlist, schema-version/doc agreement, kernel
+//!   registration table, bench-CI wiring, justified lint allows,
+//!   per-crate unsafe hygiene). Exits non-zero with one line per
+//!   violation. See `src/lints.rs` for the rules and DESIGN.md
+//!   ("Concurrency & safety invariants") for the policy.
+//!
+//! Wired up as a cargo alias in `.cargo/config.toml`, so the entry
+//! point is `cargo xtask lint`.
+
+#![forbid(unsafe_code)]
+
+mod lexer;
+mod lints;
+
+use lints::{SourceFile, Workspace};
+use std::path::{Path, PathBuf};
+
+/// File extensions the lints read.
+const TRACKED_EXT: &[&str] = &["rs", "toml", "yml", "yaml", "md"];
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "results", "data"];
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let root = repo_root();
+            let ws = load_workspace(&root);
+            let violations = lints::run_all(&ws);
+            if violations.is_empty() {
+                println!(
+                    "xtask lint: OK ({} files, 7 rules, 0 violations)",
+                    ws.files.len()
+                );
+            } else {
+                for v in &violations {
+                    eprintln!("{v}");
+                }
+                eprintln!("xtask lint: {} violation(s)", violations.len());
+                std::process::exit(1);
+            }
+        }
+        other => {
+            eprintln!("usage: cargo xtask <command>\n\ncommands:\n  lint   run repo policy checks");
+            if other.is_some() {
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest dir.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask sits two levels under the repo root")
+        .to_path_buf()
+}
+
+/// Loads every tracked file under `root` into an in-memory [`Workspace`]
+/// with repo-relative, forward-slash paths.
+fn load_workspace(root: &Path) -> Workspace {
+    let mut files = Vec::new();
+    walk(root, root, &mut files);
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Workspace { files }
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') || name == ".github" {
+                walk(root, &path, out);
+            }
+            continue;
+        }
+        let tracked = path
+            .extension()
+            .and_then(|e| e.to_str())
+            .is_some_and(|e| TRACKED_EXT.contains(&e));
+        if !tracked {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue; // non-UTF8 files carry nothing lintable
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.push(SourceFile { path: rel, text });
+    }
+}

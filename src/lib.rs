@@ -32,6 +32,8 @@
 //! assert_eq!(stats.tasks, 20);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use gb_assembly as assembly;
 pub use gb_core as core;
 pub use gb_datagen as datagen;
