@@ -9,7 +9,62 @@ use gb_obs::{NullRecorder, TraceRecorder};
 use gb_suite::dataset::DatasetSize;
 use gb_suite::kernels::{prepare, run_parallel, run_parallel_instrumented, KernelId};
 
+/// Interning guard: stage-name interning lives entirely inside
+/// `TraceRecorder`, so the disabled path must stay structurally free of
+/// it. These assertions run before the timing groups and fail `cargo
+/// bench` loudly if the zero-cost discipline breaks.
+fn assert_interning_stays_out_of_the_null_path() {
+    use gb_obs::Recorder;
+    // NullRecorder is a ZST with a const-false gate: nothing to intern,
+    // nothing to lock.
+    assert_eq!(std::mem::size_of::<NullRecorder>(), 0);
+    assert!(!NullRecorder.enabled());
+
+    // TraceRecorder interns: thousands of spans carrying a handful of
+    // distinct labels allocate a handful of strings, not thousands.
+    let recorder = TraceRecorder::new();
+    for i in 0..10_000u64 {
+        recorder.span("task_a", "task", 0, i, 1);
+        recorder.span("task_b", "task", 1, i, 1);
+    }
+    assert_eq!(
+        recorder.interned_labels(),
+        3,
+        "expected exactly task_a, task_b, task"
+    );
+    assert_eq!(recorder.trace().len(), 20_000);
+
+    // Timing: with interning in place the NullRecorder run must stay
+    // within noise of the plain pool. The bound is deliberately loose
+    // (1.5x + 2ms slack) — the fine-grained signal is the criterion
+    // groups below; this assert only catches gross regressions, e.g. a
+    // lock or allocation leaking onto the disabled path.
+    let kernel = prepare(KernelId::Chain, DatasetSize::Tiny);
+    let median = |f: &mut dyn FnMut()| -> u128 {
+        let mut samples: Vec<u128> = (0..9)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                f();
+                t.elapsed().as_nanos()
+            })
+            .collect();
+        samples.sort_unstable();
+        samples[samples.len() / 2]
+    };
+    let plain = median(&mut || {
+        std::hint::black_box(run_parallel(kernel.as_ref(), 1).checksum);
+    });
+    let null = median(&mut || {
+        std::hint::black_box(run_parallel_instrumented(kernel.as_ref(), 1, &NullRecorder).checksum);
+    });
+    assert!(
+        null as f64 <= plain as f64 * 1.5 + 2e6,
+        "NullRecorder run regressed vs plain pool: {null}ns vs {plain}ns"
+    );
+}
+
 fn bench_obs_overhead(c: &mut Criterion) {
+    assert_interning_stays_out_of_the_null_path();
     // chain and fmi have the smallest tasks in the suite, so per-task
     // instrumentation overhead is most visible on them.
     for id in [KernelId::Chain, KernelId::Fmi] {

@@ -188,7 +188,7 @@ fn verdict(rel: f64, direction: Direction, tolerance: f64, gated: bool, abs_ok: 
 /// relative change (`rel_change` returns 0.0), which previously let it
 /// sail through the gate as "no change". It now classifies as
 /// [`Verdict::New`] — informational, never gating, never "ok".
-fn classify(
+pub(crate) fn classify(
     base: f64,
     cand: f64,
     direction: Direction,

@@ -20,6 +20,12 @@
 //! concurrent spans don't cross-talk), and [`compare`] (the noise-aware
 //! regression gate behind `genomicsbench compare`).
 //!
+//! The profile-analytics layer folds those artifacts into higher-level
+//! views: [`agg`] (stage trees and collapsed-stack flamegraph output
+//! from traces and memory records, behind `profile --flame`) and
+//! [`trend`] (per-kernel sparkline time series over N manifests with
+//! the same noise-aware gating, behind `genomicsbench trend`).
+//!
 //! ```
 //! use gb_obs::{LogHistogram, NullRecorder, Recorder};
 //!
@@ -41,6 +47,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+pub mod agg;
 pub mod compare;
 pub mod hist;
 pub mod manifest;
@@ -51,7 +58,9 @@ pub mod registry;
 pub mod stats;
 pub mod sync;
 pub mod trace;
+pub mod trend;
 
+pub use agg::{StageRow, StageTree};
 pub use compare::{CompareConfig, CompareReport, Delta, Verdict};
 pub use hist::{HistogramSummary, LogHistogram};
 pub use manifest::{KernelRecord, ManifestError, MemoryRecord, RunManifest, SCHEMA_VERSION};
@@ -61,3 +70,4 @@ pub use recorder::{NullRecorder, Recorder, TraceRecorder};
 pub use registry::MetricsRegistry;
 pub use stats::{TaskStats, WorkerStats};
 pub use trace::{TraceBuffer, TraceEvent};
+pub use trend::{trend, KernelTrend, TrendContext, TrendGroup, TrendReport, TrendRun};

@@ -7,8 +7,8 @@
 //! additionally gate timestamp capture on [`Recorder::enabled`].
 
 use crate::trace::{TraceBuffer, TraceEvent};
-use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Sink for structured runtime events. All methods default to inlined
@@ -52,10 +52,71 @@ pub struct NullRecorder;
 
 impl Recorder for NullRecorder {}
 
+/// String interner for span/instant names and categories. Pool runs
+/// emit thousands of spans carrying a handful of distinct labels (one
+/// name per kernel, `"task"`/`"stage"` categories), so events store a
+/// `u32` id and the backing `String` is allocated once per distinct
+/// label instead of once per event.
+#[derive(Default)]
+struct Interner {
+    ids: HashMap<Arc<str>, u32>,
+    strings: Vec<Arc<str>>,
+}
+
+impl Interner {
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.ids.get(s) {
+            return id;
+        }
+        let owned: Arc<str> = Arc::from(s);
+        let id = u32::try_from(self.strings.len()).expect("fewer than 2^32 distinct labels");
+        self.strings.push(Arc::clone(&owned));
+        self.ids.insert(owned, id);
+        id
+    }
+
+    fn get(&self, id: u32) -> &str {
+        &self.strings[id as usize]
+    }
+}
+
+/// A buffered event holding interned label ids; materialized into a
+/// [`TraceEvent`] only at snapshot time, so the public trace API is
+/// unchanged.
+#[derive(Clone, Copy)]
+struct RawEvent {
+    name: u32,
+    cat: u32,
+    ph: char,
+    ts_ns: u64,
+    dur_ns: u64,
+    tid: u32,
+}
+
 #[derive(Default)]
 struct TraceInner {
-    events: Vec<TraceEvent>,
+    interner: Interner,
+    events: Vec<RawEvent>,
     counters: BTreeMap<String, u64>,
+}
+
+impl TraceInner {
+    fn materialize(&self) -> TraceBuffer {
+        TraceBuffer {
+            events: self
+                .events
+                .iter()
+                .map(|e| TraceEvent {
+                    name: self.interner.get(e.name).to_string(),
+                    cat: self.interner.get(e.cat).to_string(),
+                    ph: e.ph,
+                    ts_ns: e.ts_ns,
+                    dur_ns: e.dur_ns,
+                    tid: e.tid,
+                })
+                .collect(),
+        }
+    }
 }
 
 /// A thread-safe recorder that buffers spans for Chrome-trace export and
@@ -87,16 +148,27 @@ impl TraceRecorder {
 
     /// Snapshot of the buffered events as a [`TraceBuffer`].
     pub fn trace(&self) -> TraceBuffer {
-        TraceBuffer {
-            events: self.inner.lock().expect("recorder lock").events.clone(),
-        }
+        self.inner.lock().expect("recorder lock").materialize()
     }
 
     /// Consumes the recorder, returning the buffered events.
     pub fn into_trace(self) -> TraceBuffer {
-        TraceBuffer {
-            events: self.inner.into_inner().expect("recorder lock").events,
-        }
+        self.inner
+            .into_inner()
+            .expect("recorder lock")
+            .materialize()
+    }
+
+    /// Number of distinct interned label strings (names + categories) —
+    /// observable so tests and the `obs_overhead` bench can assert that
+    /// repeated spans do not allocate per-event label copies.
+    pub fn interned_labels(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("recorder lock")
+            .interner
+            .strings
+            .len()
     }
 }
 
@@ -113,9 +185,11 @@ impl Recorder for TraceRecorder {
 
     fn span(&self, name: &str, cat: &str, track: u32, start_ns: u64, dur_ns: u64) {
         let mut inner = self.inner.lock().expect("recorder lock");
-        inner.events.push(TraceEvent {
-            name: name.to_string(),
-            cat: cat.to_string(),
+        let name = inner.interner.intern(name);
+        let cat = inner.interner.intern(cat);
+        inner.events.push(RawEvent {
+            name,
+            cat,
             ph: 'X',
             ts_ns: start_ns,
             dur_ns,
@@ -125,9 +199,11 @@ impl Recorder for TraceRecorder {
 
     fn instant(&self, name: &str, track: u32, ts_ns: u64) {
         let mut inner = self.inner.lock().expect("recorder lock");
-        inner.events.push(TraceEvent {
-            name: name.to_string(),
-            cat: "instant".to_string(),
+        let name = inner.interner.intern(name);
+        let cat = inner.interner.intern("instant");
+        inner.events.push(RawEvent {
+            name,
+            cat,
             ph: 'i',
             ts_ns,
             dur_ns: 0,
@@ -171,6 +247,22 @@ mod tests {
         assert_eq!(trace.len(), 3);
         assert_eq!(trace.events[0].name, "a");
         assert_eq!(trace.events[2].ph, 'i');
+    }
+
+    #[test]
+    fn repeated_labels_intern_to_a_handful_of_strings() {
+        let r = TraceRecorder::new();
+        for i in 0..10_000 {
+            r.span("chain", "task", i % 4, u64::from(i) * 10, 5);
+        }
+        r.instant("tick", 0, 1);
+        // "chain", "task", "tick", "instant" — labels, not events.
+        assert_eq!(r.interned_labels(), 4);
+        let trace = r.trace();
+        assert_eq!(trace.len(), 10_001);
+        assert_eq!(trace.events[0].name, "chain");
+        assert_eq!(trace.events[0].cat, "task");
+        assert_eq!(trace.events[10_000].cat, "instant");
     }
 
     #[test]

@@ -1,0 +1,423 @@
+//! `genomicsbench trend`: per-kernel time series over N run manifests.
+//!
+//! Where [`compare`](crate::compare) gates one candidate against one
+//! baseline, `trend` looks at *history*: every 1.x manifest it is given
+//! is grouped into a **context** — the `(tier, threads, dp_engine)`
+//! triple within which wall times are comparable — and runs inside a
+//! context are ordered by `(created_unix_s, git_rev, …)` into a series.
+//! Per kernel it renders a unicode sparkline of wall time across the
+//! series and classifies the **latest** run against the **best earlier**
+//! run with the same noise-aware machinery `compare` uses (relative
+//! tolerance + min-runtime floor + absolute slack), so a slow drift that
+//! each adjacent compare would wave through still trips the gate once it
+//! accumulates.
+//!
+//! Runs from different contexts are never compared against each other —
+//! a tiny-tier point is not a baseline for a small-tier point, nor a
+//! scalar-engine point for a simd one. Cross-context manifests simply
+//! render as separate series in one report.
+//!
+//! Ordering is deliberately input-order independent (ties broken by the
+//! full serialized manifest), so shuffling the manifest arguments cannot
+//! change the report — a property under proptest in
+//! `tests/trend_properties.rs`.
+
+use crate::compare::{classify, CompareConfig, Direction, Verdict};
+use crate::manifest::RunManifest;
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+
+/// The eight-level bar alphabet used by [`sparkline`].
+pub const SPARK_BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Placeholder for runs where a kernel has no sample.
+pub const SPARK_GAP: char = '·';
+
+/// Renders `values` as a unicode sparkline, scaling min..max across the
+/// eight bar heights; `None` entries render as [`SPARK_GAP`]. A flat
+/// (or single-point) series renders at mid height.
+pub fn sparkline(values: &[Option<u64>]) -> String {
+    let present: Vec<u64> = values.iter().flatten().copied().collect();
+    let (min, max) = (
+        present.iter().copied().min().unwrap_or(0),
+        present.iter().copied().max().unwrap_or(0),
+    );
+    values
+        .iter()
+        .map(|v| match v {
+            None => SPARK_GAP,
+            Some(_) if max == min => SPARK_BARS[3],
+            Some(v) => {
+                let idx = ((v - min) as u128 * (SPARK_BARS.len() as u128 - 1)
+                    + (max - min) as u128 / 2)
+                    / (max - min) as u128;
+                SPARK_BARS[idx as usize]
+            }
+        })
+        .collect()
+}
+
+/// The comparability key: runs only form a series within one context.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TrendContext {
+    /// Dataset tier.
+    pub tier: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// DP execution engine, when the producing command had one.
+    pub dp_engine: Option<String>,
+}
+
+impl std::fmt::Display for TrendContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} tier · {} threads", self.tier, self.threads)?;
+        if let Some(e) = &self.dp_engine {
+            write!(f, " · {e} engine")?;
+        }
+        Ok(())
+    }
+}
+
+/// One run (time-axis point) within a context's series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendRun {
+    /// Git revision of the run, when the manifest recorded one.
+    pub git_rev: Option<String>,
+    /// Manifest creation time (unix seconds), when recorded.
+    pub created_unix_s: Option<u64>,
+    /// Producing subcommand (`run`, `profile`, `report`).
+    pub command: String,
+    /// Per-kernel wall time for this run.
+    pub wall_ns: BTreeMap<String, u64>,
+}
+
+impl TrendRun {
+    /// Short label for tables: abbreviated git rev, or `?`.
+    pub fn label(&self) -> String {
+        match &self.git_rev {
+            Some(r) if r.len() > 9 => r[..9].to_string(),
+            Some(r) => r.clone(),
+            None => "?".to_string(),
+        }
+    }
+}
+
+/// One kernel's series within a context, plus its verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelTrend {
+    /// Kernel name.
+    pub kernel: String,
+    /// Wall time per run, in series order (`None` where the run did not
+    /// execute this kernel).
+    pub wall_ns: Vec<Option<u64>>,
+    /// [`sparkline`] over `wall_ns`.
+    pub sparkline: String,
+    /// Best (minimum) wall among runs before the latest sample.
+    pub best_prev_ns: Option<u64>,
+    /// The latest sample.
+    pub latest_ns: Option<u64>,
+    /// `(latest - best_prev) / best_prev` (0 when undefined).
+    pub rel_change: f64,
+    /// Latest-vs-best-previous classification under the compare
+    /// tolerances; [`Verdict::New`] when the series has fewer than two
+    /// samples.
+    pub verdict: Verdict,
+}
+
+/// All kernels' series for one context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendGroup {
+    /// The comparability key.
+    pub context: TrendContext,
+    /// The runs, in series (time) order.
+    pub runs: Vec<TrendRun>,
+    /// Per-kernel series, sorted by kernel name.
+    pub kernels: Vec<KernelTrend>,
+}
+
+/// Everything [`trend`] found, one group per context.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrendReport {
+    /// The context groups, sorted by context.
+    pub groups: Vec<TrendGroup>,
+}
+
+impl TrendReport {
+    /// The regressed kernel series across all groups.
+    pub fn regressions(&self) -> impl Iterator<Item = (&TrendContext, &KernelTrend)> {
+        self.groups.iter().flat_map(|g| {
+            g.kernels
+                .iter()
+                .filter(|k| k.verdict == Verdict::Regressed)
+                .map(move |k| (&g.context, k))
+        })
+    }
+
+    /// Whether any kernel's latest run regressed against its best
+    /// earlier run (the CI gate).
+    pub fn has_regressions(&self) -> bool {
+        self.regressions().next().is_some()
+    }
+
+    /// Machine-readable form for `trend --json`.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "kind": "trend",
+            "regressions": self.regressions().count(),
+            "groups": self.groups.iter().map(|g| json!({
+                "tier": g.context.tier,
+                "threads": g.context.threads,
+                "dp_engine": g.context.dp_engine,
+                "runs": g.runs.iter().map(|r| json!({
+                    "git_rev": r.git_rev,
+                    "created_unix_s": r.created_unix_s,
+                    "command": r.command,
+                })).collect::<Vec<_>>(),
+                "kernels": g.kernels.iter().map(|k| json!({
+                    "kernel": k.kernel,
+                    "wall_ns": k.wall_ns,
+                    "sparkline": k.sparkline,
+                    "best_prev_ns": k.best_prev_ns,
+                    "latest_ns": k.latest_ns,
+                    "rel_change": k.rel_change,
+                    "verdict": k.verdict.label(),
+                })).collect::<Vec<_>>(),
+            })).collect::<Vec<_>>(),
+        })
+    }
+}
+
+/// Series order within a context: creation time, then git rev, then (for
+/// full determinism under shuffled input) the serialized manifest.
+fn series_key(m: &RunManifest) -> (u64, String, String) {
+    (
+        m.created_unix_s.unwrap_or(0),
+        m.git_rev.clone().unwrap_or_default(),
+        m.to_json_string(),
+    )
+}
+
+/// Builds the trend report over `manifests` under `cfg`; see the module
+/// docs for grouping, ordering, and gating semantics.
+pub fn trend(manifests: &[RunManifest], cfg: &CompareConfig) -> TrendReport {
+    let mut by_context: BTreeMap<TrendContext, Vec<&RunManifest>> = BTreeMap::new();
+    for m in manifests {
+        let ctx = TrendContext {
+            tier: m.tier.clone(),
+            threads: m.threads,
+            dp_engine: m.dp_engine.clone(),
+        };
+        by_context.entry(ctx).or_default().push(m);
+    }
+
+    let mut report = TrendReport::default();
+    for (context, mut ms) in by_context {
+        ms.sort_by_cached_key(|m| series_key(m));
+        let runs: Vec<TrendRun> = ms
+            .iter()
+            .map(|m| TrendRun {
+                git_rev: m.git_rev.clone(),
+                created_unix_s: m.created_unix_s,
+                command: m.command.clone(),
+                wall_ns: m
+                    .kernels
+                    .iter()
+                    .map(|(k, r)| (k.clone(), r.wall_ns))
+                    .collect(),
+            })
+            .collect();
+
+        let mut kernel_names: Vec<String> = runs
+            .iter()
+            .flat_map(|r| r.wall_ns.keys().cloned())
+            .collect();
+        kernel_names.sort();
+        kernel_names.dedup();
+
+        let kernels = kernel_names
+            .into_iter()
+            .map(|kernel| {
+                let wall_ns: Vec<Option<u64>> = runs
+                    .iter()
+                    .map(|r| r.wall_ns.get(&kernel).copied())
+                    .collect();
+                let latest_idx = wall_ns.iter().rposition(Option::is_some);
+                let latest_ns = latest_idx.and_then(|i| wall_ns[i]);
+                let best_prev_ns =
+                    latest_idx.and_then(|i| wall_ns[..i].iter().flatten().copied().min());
+                let (rel_change, verdict) = match (best_prev_ns, latest_ns) {
+                    (Some(best), Some(latest)) => {
+                        let gated = best.max(latest) >= cfg.min_wall_ns;
+                        let abs_ok = best.abs_diff(latest) >= cfg.min_abs_wall_ns;
+                        classify(
+                            best as f64,
+                            latest as f64,
+                            Direction::LowerIsBetter,
+                            cfg.rel_tolerance,
+                            gated,
+                            abs_ok,
+                        )
+                    }
+                    // A single sample has no history to drift from.
+                    _ => (0.0, Verdict::New),
+                };
+                KernelTrend {
+                    sparkline: sparkline(&wall_ns),
+                    kernel,
+                    wall_ns,
+                    best_prev_ns,
+                    latest_ns,
+                    rel_change,
+                    verdict,
+                }
+            })
+            .collect();
+
+        report.groups.push(TrendGroup {
+            context,
+            runs,
+            kernels,
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::KernelRecord;
+
+    fn manifest(
+        tier: &str,
+        threads: usize,
+        created: u64,
+        rev: &str,
+        kernels: &[(&str, u64)],
+    ) -> RunManifest {
+        let mut m = RunManifest::new("run", tier, threads);
+        m.created_unix_s = Some(created);
+        m.git_rev = Some(rev.to_string());
+        for (name, wall_ns) in kernels {
+            m.add_kernel(
+                name,
+                KernelRecord {
+                    wall_ns: *wall_ns,
+                    tasks: 10,
+                    checksum: 1,
+                    work_unit: "cells".into(),
+                    work_total: 1000,
+                    throughput_per_s: 1e6,
+                    latency: None,
+                    utilization: None,
+                    memory: None,
+                },
+            );
+        }
+        m
+    }
+
+    #[test]
+    fn sparkline_spans_the_alphabet() {
+        let s = sparkline(&[Some(0), Some(50), None, Some(100)]);
+        assert_eq!(s.chars().count(), 4);
+        assert_eq!(s.chars().next(), Some('▁'));
+        assert_eq!(s.chars().nth(2), Some('·'));
+        assert_eq!(s.chars().nth(3), Some('█'));
+        assert_eq!(sparkline(&[Some(7), Some(7)]), "▄▄");
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn latest_regression_vs_best_previous_gates() {
+        let ms = vec![
+            manifest("tiny", 2, 100, "aaa", &[("bsw", 50_000_000)]),
+            manifest("tiny", 2, 200, "bbb", &[("bsw", 52_000_000)]),
+            manifest("tiny", 2, 300, "ccc", &[("bsw", 90_000_000)]),
+        ];
+        let r = trend(&ms, &CompareConfig::default());
+        assert!(r.has_regressions());
+        let k = &r.groups[0].kernels[0];
+        assert_eq!(k.verdict, Verdict::Regressed);
+        assert_eq!(k.best_prev_ns, Some(50_000_000));
+        assert_eq!(k.latest_ns, Some(90_000_000));
+    }
+
+    #[test]
+    fn slow_drift_gates_even_when_adjacent_steps_are_in_tolerance() {
+        // +8% per step never trips a pairwise compare at 10% tolerance,
+        // but 50 → 68 ms versus the best point does.
+        let ms = vec![
+            manifest("tiny", 2, 100, "aaa", &[("phmm", 50_000_000)]),
+            manifest("tiny", 2, 200, "bbb", &[("phmm", 54_000_000)]),
+            manifest("tiny", 2, 300, "ccc", &[("phmm", 58_300_000)]),
+            manifest("tiny", 2, 400, "ddd", &[("phmm", 63_000_000)]),
+            manifest("tiny", 2, 500, "eee", &[("phmm", 68_000_000)]),
+        ];
+        let r = trend(&ms, &CompareConfig::default());
+        assert!(r.has_regressions());
+    }
+
+    #[test]
+    fn different_contexts_never_cross_compare() {
+        // A "regression" from tiny to small tier is just a bigger input.
+        let ms = vec![
+            manifest("tiny", 2, 100, "aaa", &[("bsw", 50_000_000)]),
+            manifest("small", 2, 200, "bbb", &[("bsw", 500_000_000)]),
+        ];
+        let r = trend(&ms, &CompareConfig::default());
+        assert_eq!(r.groups.len(), 2);
+        assert!(!r.has_regressions());
+        for g in &r.groups {
+            assert_eq!(g.kernels[0].verdict, Verdict::New);
+        }
+    }
+
+    #[test]
+    fn below_floor_series_never_gate() {
+        let ms = vec![
+            manifest("tiny", 2, 100, "aaa", &[("fmi", 2_000_000)]),
+            manifest("tiny", 2, 200, "bbb", &[("fmi", 4_000_000)]),
+        ];
+        let r = trend(&ms, &CompareConfig::default());
+        assert!(!r.has_regressions());
+        assert_eq!(r.groups[0].kernels[0].verdict, Verdict::BelowFloor);
+    }
+
+    #[test]
+    fn improvement_is_reported_not_gated() {
+        let ms = vec![
+            manifest("tiny", 2, 100, "aaa", &[("dbg", 90_000_000)]),
+            manifest("tiny", 2, 200, "bbb", &[("dbg", 50_000_000)]),
+        ];
+        let r = trend(&ms, &CompareConfig::default());
+        assert!(!r.has_regressions());
+        assert_eq!(r.groups[0].kernels[0].verdict, Verdict::Improved);
+    }
+
+    #[test]
+    fn shuffled_input_produces_identical_reports() {
+        let a = manifest("tiny", 2, 100, "aaa", &[("bsw", 50_000_000)]);
+        let b = manifest("tiny", 2, 200, "bbb", &[("bsw", 52_000_000)]);
+        let c = manifest("tiny", 4, 150, "ccc", &[("bsw", 30_000_000)]);
+        let fwd = trend(
+            &[a.clone(), b.clone(), c.clone()],
+            &CompareConfig::default(),
+        );
+        let rev = trend(&[c, b, a], &CompareConfig::default());
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn json_envelope_has_groups_and_regression_count() {
+        let ms = vec![
+            manifest("tiny", 2, 100, "aaa", &[("bsw", 50_000_000)]),
+            manifest("tiny", 2, 200, "bbb", &[("bsw", 90_000_000)]),
+        ];
+        let j = trend(&ms, &CompareConfig::default()).to_json();
+        assert_eq!(j["kind"], "trend");
+        assert_eq!(j["regressions"], 1);
+        assert_eq!(j["groups"][0]["kernels"][0]["kernel"], "bsw");
+        assert_eq!(j["groups"][0]["kernels"][0]["verdict"], "REGRESSED");
+        assert_eq!(j["groups"][0]["runs"].as_array().unwrap().len(), 2);
+    }
+}

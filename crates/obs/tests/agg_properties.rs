@@ -1,0 +1,115 @@
+//! Property tests for the stage-tree fold: over arbitrary *well-formed*
+//! traces (spans on one track either nest fully or are disjoint — what
+//! the pool and the pipeline stage helpers emit by construction), the
+//! collapsed-stack output at `div = 1` conserves time exactly: summing
+//! every emitted self value reproduces the sum of the top-level span
+//! durations. No nanosecond is double-counted by nesting or lost by
+//! merging frames across tracks.
+
+use gb_obs::{StageTree, TraceBuffer, TraceEvent};
+use proptest::prelude::*;
+
+fn span(name: &str, tid: u32, ts_ns: u64, dur_ns: u64) -> TraceEvent {
+    TraceEvent {
+        name: name.into(),
+        cat: "stage".into(),
+        ph: 'X',
+        ts_ns,
+        dur_ns,
+        tid,
+    }
+}
+
+/// One track's worth of well-formed spans built from flat random
+/// parameters: a root span covering the whole track, sequential child
+/// segments inside it, and (where the parameters allow) one grandchild
+/// fully contained in its segment. Returns the events plus the track's
+/// top-level (root) duration.
+///
+/// `segments` is `(name_idx, dur, gap, grandchild_frac_pct)` per child.
+fn build_track(tid: u32, segments: &[(u8, u64, u64, u8)]) -> (Vec<TraceEvent>, u64) {
+    let mut events = Vec::new();
+    let mut cursor: u64 = 1;
+    for (name_idx, dur, gap, gc_pct) in segments {
+        let start = cursor + gap;
+        let name = format!("stage{}", name_idx % 5);
+        events.push(span(&name, tid, start, *dur));
+        // Grandchild: strictly inside the segment when there is room.
+        let gc_dur = dur * u64::from(*gc_pct % 100) / 100;
+        if gc_dur > 0 && gc_dur < *dur {
+            events.push(span("inner", tid, start, gc_dur));
+        }
+        cursor = start + dur;
+    }
+    let root_dur = cursor + 1;
+    // Pushed last on purpose: from_trace sorts by start time, so the
+    // event order in the buffer must not matter.
+    events.push(span("root", tid, 0, root_dur));
+    (events, root_dur)
+}
+
+fn collapsed_sum(folded: &str) -> u64 {
+    folded
+        .lines()
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn collapsed_output_conserves_top_level_durations(
+        tracks in proptest::collection::vec(
+            proptest::collection::vec(
+                (0u8..5, 1u64..100_000, 0u64..1_000, 0u8..120),
+                1..6,
+            ),
+            1..4,
+        ),
+    ) {
+        let mut events = Vec::new();
+        let mut top_level_total = 0u64;
+        for (tid, segs) in tracks.iter().enumerate() {
+            let (evs, root_dur) = build_track(tid as u32, segs);
+            events.extend(evs);
+            top_level_total += root_dur;
+        }
+        let trace = TraceBuffer { events };
+        let tree = StageTree::from_trace(&trace, "ns");
+
+        // Conservation: every line of the collapsed output (self
+        // values, div = 1) sums back to the top-level durations.
+        let folded = tree.to_collapsed(1);
+        prop_assert_eq!(collapsed_sum(&folded), top_level_total);
+
+        // total() agrees — it is defined as the same quantity from the
+        // inclusive side.
+        prop_assert_eq!(tree.total(), top_level_total);
+
+        // The same invariant holds per row: self = total − children.
+        for row in tree.rows() {
+            prop_assert!(row.self_value <= row.total);
+        }
+    }
+
+    #[test]
+    fn rooting_preserves_conservation_at_the_new_root(
+        durs in proptest::collection::vec(1u64..1_000_000, 1..8),
+        floor in 0u64..10_000_000,
+    ) {
+        // Disjoint task spans (one per track, like the pool emits) under
+        // a synthetic kernel root pinned at max(floor, busy).
+        let events = durs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| span("kern", i as u32, 0, *d))
+            .collect();
+        let busy: u64 = durs.iter().sum();
+        let tree = StageTree::from_trace(&TraceBuffer { events }, "ns")
+            .into_rooted("kern", floor);
+        let folded = tree.to_collapsed(1);
+        prop_assert_eq!(collapsed_sum(&folded), floor.max(busy));
+        prop_assert_eq!(tree.total(), floor.max(busy));
+    }
+}

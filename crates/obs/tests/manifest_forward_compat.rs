@@ -1,0 +1,92 @@
+//! Golden forward-compatibility test: a manifest stamped with a *later*
+//! 1.x minor version and carrying fields this build has never heard of
+//! must load cleanly — the schema only grows within a major, so readers
+//! skip unknown fields instead of erroring. A `2.0` stamp, by contrast,
+//! must be rejected with the version error, not a parse error.
+
+use gb_obs::manifest::{ManifestError, RunManifest};
+
+/// A synthetic schema-1.99 manifest: valid 1.x skeleton plus unknown
+/// extra fields at the root, kernel, latency, and memory levels.
+const FUTURE_MANIFEST: &str = r#"{
+  "schema_version": "1.99",
+  "command": "profile",
+  "suite_version": "9.9.9",
+  "git_rev": "feedc0ffee42",
+  "created_unix_s": 1786200000,
+  "tier": "tiny",
+  "threads": 4,
+  "dp_engine": "simd",
+  "hostname": "future-box",
+  "cpu_model": "Imaginary 9000X",
+  "flux_capacitor": {"charged": true, "jigawatts": 1.21},
+  "kernels": {
+    "bsw": {
+      "wall_ns": 123456789,
+      "tasks": 20,
+      "checksum": 987654321,
+      "work_unit": "cells",
+      "work_total": 1000000,
+      "throughput_per_s": 8.1e9,
+      "energy_joules": 0.25,
+      "simd_width_used": 256,
+      "latency": {
+        "count": 20,
+        "mean": 61728.3,
+        "p50": 60000,
+        "p90": 90000,
+        "p99": 120000,
+        "max": 123000,
+        "p99_9": 122500
+      },
+      "utilization": 0.93,
+      "memory": {
+        "peak_bytes": 1048576,
+        "end_bytes": 0,
+        "allocs": 400,
+        "frees": 400,
+        "task_peak_max_bytes": 65536,
+        "numa_spill_bytes": 0
+      }
+    }
+  },
+  "metrics": null,
+  "provenance": ["ci", "nightly"]
+}"#;
+
+#[test]
+fn newer_minor_version_with_unknown_fields_loads() {
+    let dir = std::env::temp_dir().join(format!("gb_fwd_compat_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("future.json");
+    std::fs::write(&path, FUTURE_MANIFEST).unwrap();
+
+    let m = RunManifest::load(&path).expect("1.99 manifest must load on a 1.x reader");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // The stamped version is preserved, not rewritten to ours.
+    assert_eq!(m.schema_version, "1.99");
+    assert_eq!(m.tier, "tiny");
+    assert_eq!(m.threads, 4);
+    assert_eq!(m.dp_engine.as_deref(), Some("simd"));
+
+    // Known kernel fields came through; unknown ones were skipped.
+    let bsw = &m.kernels["bsw"];
+    assert_eq!(bsw.wall_ns, 123_456_789);
+    assert_eq!(bsw.latency.as_ref().unwrap().p99, 120_000);
+    assert_eq!(bsw.memory.as_ref().unwrap().peak_bytes, 1_048_576);
+
+    // And the loaded manifest round-trips through the current writer.
+    let rt = RunManifest::from_json(&m.to_json()).unwrap();
+    assert_eq!(rt.kernels["bsw"], m.kernels["bsw"]);
+}
+
+#[test]
+fn next_major_version_is_rejected_as_version_skew() {
+    let body = FUTURE_MANIFEST.replace("\"1.99\"", "\"2.0\"");
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    match RunManifest::from_json(&v) {
+        Err(ManifestError::Version { found }) => assert_eq!(found, "2.0"),
+        other => panic!("expected version error, got {other:?}"),
+    }
+}

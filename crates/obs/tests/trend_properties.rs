@@ -1,0 +1,125 @@
+//! Property tests for the trend report: the report is a pure function
+//! of the manifest *set* (input order never matters), and a genuinely
+//! seeded regression — latest sample past both the relative tolerance
+//! and the absolute slack against the best earlier sample, above the
+//! noise floor — always gates.
+
+use gb_obs::compare::CompareConfig;
+use gb_obs::manifest::{KernelRecord, RunManifest};
+use gb_obs::trend::trend;
+use proptest::prelude::*;
+
+fn manifest(
+    tier: &str,
+    threads: usize,
+    created: u64,
+    rev: u64,
+    walls: &[(String, u64)],
+) -> RunManifest {
+    let mut m = RunManifest::new("run", tier, threads);
+    m.created_unix_s = Some(created);
+    m.git_rev = Some(format!("{rev:012x}"));
+    for (name, wall_ns) in walls {
+        let secs = (*wall_ns as f64 / 1e9).max(1e-12);
+        m.add_kernel(
+            name,
+            KernelRecord {
+                wall_ns: *wall_ns,
+                tasks: 3,
+                checksum: 9,
+                work_unit: "cells".into(),
+                work_total: 100,
+                throughput_per_s: 100.0 / secs,
+                latency: None,
+                utilization: None,
+                memory: None,
+            },
+        );
+    }
+    m
+}
+
+/// Deterministic Fisher–Yates over `items` driven by `seed` (SplitMix64
+/// step), so proptest explores many permutations without a shuffle
+/// strategy.
+fn shuffled<T: Clone>(items: &[T], mut seed: u64) -> Vec<T> {
+    let mut out = items.to_vec();
+    for i in (1..out.len()).rev() {
+        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        out.swap(i, (z % (i as u64 + 1)) as usize);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn report_is_input_order_independent(
+        runs in proptest::collection::vec(
+            (0u64..1_000_000, 10_000_000u64..1_000_000_000), 2..8),
+        threads_split in proptest::bool::ANY,
+        seed in 0u64..u64::MAX,
+    ) {
+        // Distinct creation times so the series order is unambiguous;
+        // optionally split runs across two contexts.
+        let ms: Vec<RunManifest> = runs
+            .iter()
+            .enumerate()
+            .map(|(i, (created, wall))| {
+                let threads = if threads_split && i % 2 == 0 { 4 } else { 1 };
+                manifest(
+                    "tiny",
+                    threads,
+                    *created * 8 + i as u64, // distinct per index
+                    i as u64,
+                    &[("bsw".to_string(), *wall)],
+                )
+            })
+            .collect();
+        let cfg = CompareConfig::default();
+        let base = trend(&ms, &cfg);
+        let shuf = trend(&shuffled(&ms, seed), &cfg);
+        prop_assert_eq!(&base, &shuf);
+
+        // Series lengths and run counts survive the permutation too
+        // (paranoia beyond PartialEq: the JSON envelope agrees).
+        prop_assert_eq!(base.to_json(), shuf.to_json());
+    }
+
+    #[test]
+    fn seeded_regression_always_gates(
+        base_wall in 20_000_000u64..500_000_000,
+        steady in proptest::collection::vec(0u64..1_000_000, 0..4),
+        factor_pct in 150u64..400,
+    ) {
+        let cfg = CompareConfig::default();
+        // History: the base point plus jittered points that stay within
+        // a +1 ms band (far inside tolerance at these magnitudes).
+        let mut ms: Vec<RunManifest> = Vec::new();
+        ms.push(manifest("tiny", 2, 100, 0, &[("phmm".to_string(), base_wall)]));
+        for (i, j) in steady.iter().enumerate() {
+            ms.push(manifest(
+                "tiny", 2, 200 + i as u64, 1 + i as u64,
+                &[("phmm".to_string(), base_wall + j)],
+            ));
+        }
+        // The seeded regression: ≥ 1.5× the best point, which clears the
+        // 10% tolerance and the absolute slack at every generated wall.
+        let regressed = base_wall * factor_pct / 100;
+        ms.push(manifest(
+            "tiny", 2, 9_999_999, 77,
+            &[("phmm".to_string(), regressed)],
+        ));
+        let r = trend(&ms, &cfg);
+        prop_assert!(r.has_regressions(), "walls {base_wall} -> {regressed}");
+
+        // And without the seeded point, the steady series never gates.
+        ms.pop();
+        prop_assert!(!trend(&ms, &cfg).has_regressions());
+    }
+}

@@ -7,20 +7,25 @@
 //!                   [--manifest-out FILE] [--baseline FILE]
 //! genomicsbench profile <kernel> [--tier T] [--threads N]
 //!                   [--trace FILE] [--metrics FILE] [--manifest-out FILE]
+//!                   [--flame FILE] [--uarch] [--uarch-budget N]
 //! genomicsbench report <table1..table5|fig3..fig9|all>
-//!                      [--tier T] [--json DIR]
+//!                      [--tier T] [--json DIR] [--flame FILE]
 //!                      [--trace FILE] [--metrics FILE] [--manifest-out FILE]
 //! genomicsbench compare <baseline.json> <candidate.json>
+//!                      [--json] [--tolerance FRAC] [--min-wall-ms N]
+//!                      [--write-github-summary]
+//! genomicsbench trend <manifest.json...>
 //!                      [--json] [--tolerance FRAC] [--min-wall-ms N]
 //! ```
 //!
 //! Exit codes: `0` success, `1` a perf regression was detected
-//! (`compare`, or `run --baseline`), `2` usage or I/O error.
+//! (`compare`, `trend`, or `run --baseline`), `2` usage or I/O error.
 
 use gb_obs::manifest::{write_bytes_atomic, write_json_atomic};
 use gb_obs::{
     compare, mem, CompareConfig, CompareReport, HistogramSummary, KernelRecord, MetricsRegistry,
-    NullRecorder, Recorder, RunManifest, TaskStats, TraceRecorder, Verdict, SCHEMA_VERSION,
+    NullRecorder, Recorder, RunManifest, StageTree, TaskStats, TraceRecorder, TrendReport, Verdict,
+    SCHEMA_VERSION,
 };
 use gb_suite::dataset::DatasetSize;
 use gb_suite::kernels::{
@@ -68,9 +73,13 @@ const USAGE: &str = "usage:
                     [--manifest-out FILE] [--baseline FILE]
   genomicsbench profile <kernel> [--tier T] [--threads N] [--dp-engine E]
                     [--trace FILE] [--metrics FILE] [--manifest-out FILE]
+                    [--flame FILE] [--uarch] [--uarch-budget N]
   genomicsbench report <name|all> [--tier T] [--json DIR] [--trace FILE]
-                    [--metrics FILE] [--manifest-out FILE]
+                    [--metrics FILE] [--manifest-out FILE] [--flame FILE]
   genomicsbench compare <baseline.json> <candidate.json> [--json]
+                    [--tolerance FRAC] [--min-wall-ms N]
+                    [--write-github-summary]
+  genomicsbench trend <manifest.json...> [--json]
                     [--tolerance FRAC] [--min-wall-ms N]
   genomicsbench experiments [--tier T] [--json FILE]
   genomicsbench export <dir> [--tier T]
@@ -85,6 +94,17 @@ const USAGE: &str = "usage:
     --dp-engine picks the bsw/phmm execution engine: 'simd' (default; i16
       SoA lockstep bsw + wavefront f32 phmm) or 'scalar' (paper-faithful
       per-pair i32/f32 kernels). Results are bit-identical either way.
+    --flame writes a collapsed-stack file (one 'frame;frame VALUE' line
+      per stack, flamegraph.pl/inferno-compatible); wall values are in
+      microseconds, and with mem-profile builds a '<FILE>.mem' sibling
+      carries peak-heap bytes. 'profile --uarch' samples a hardware
+      characterization (--uarch-budget caps the sampled tasks) and
+      annotates the kernel's stage-tree frame with IPC/miss rates.
+    'trend' orders >=1 manifests into per-kernel time series grouped by
+      tier/threads/dp-engine, draws unicode sparklines, and exits 1 when
+      the latest run regressed against the best earlier run.
+    'compare --write-github-summary' appends the table as markdown to
+      $GITHUB_STEP_SUMMARY (no-op when the variable is unset).
     'run' also accepts a comma-separated kernel list, e.g. run bsw,phmm.
     Each subcommand rejects options it does not use.";
 
@@ -99,6 +119,8 @@ enum Opt {
     ManifestOut,
     Baseline,
     Uarch,
+    UarchBudget,
+    Flame,
 }
 
 impl Opt {
@@ -113,6 +135,8 @@ impl Opt {
             Opt::ManifestOut => "--manifest-out",
             Opt::Baseline => "--baseline",
             Opt::Uarch => "--uarch",
+            Opt::UarchBudget => "--uarch-budget",
+            Opt::Flame => "--flame",
         }
     }
 
@@ -133,6 +157,8 @@ struct Options {
     manifest_out: Option<String>,
     baseline: Option<String>,
     uarch: bool,
+    uarch_budget: Option<usize>,
+    flame: Option<String>,
 }
 
 impl Options {
@@ -166,6 +192,8 @@ fn parse_options(cmd: &str, args: &[String], allowed: &[Opt]) -> Result<Options,
             Opt::ManifestOut,
             Opt::Baseline,
             Opt::Uarch,
+            Opt::UarchBudget,
+            Opt::Flame,
         ];
         // --size predates --tier; both name the dataset tier.
         let canonical = if a == "--size" { "--tier" } else { a.as_str() };
@@ -193,6 +221,16 @@ fn parse_options(cmd: &str, args: &[String], allowed: &[Opt]) -> Result<Options,
             Opt::Metrics => opts.metrics = Some(v.clone()),
             Opt::ManifestOut => opts.manifest_out = Some(v.clone()),
             Opt::Baseline => opts.baseline = Some(v.clone()),
+            Opt::UarchBudget => {
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --uarch-budget '{v}' (want a task count)"))?;
+                if n == 0 {
+                    return Err("--uarch-budget must be at least 1".into());
+                }
+                opts.uarch_budget = Some(n);
+            }
+            Opt::Flame => opts.flame = Some(v.clone()),
             Opt::Uarch => unreachable!("bare switch"),
         }
     }
@@ -398,6 +436,165 @@ fn gate(report: &CompareReport) -> Outcome {
     }
 }
 
+/// Prints a stage tree as its self-times table (one indented row per
+/// frame, heaviest-first within each level).
+fn print_stage_tree(tree: &StageTree) {
+    if tree.is_empty() {
+        return;
+    }
+    let bytes = tree.unit() == "bytes";
+    let fmt = |v: u64| {
+        if bytes {
+            mem::format_bytes(v)
+        } else {
+            format_ns(v)
+        }
+    };
+    println!("stage tree ({}):", if bytes { "peak heap" } else { "wall" });
+    let rows: Vec<Vec<String>> = tree
+        .rows()
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}{}", "  ".repeat(r.depth), r.name),
+                fmt(r.total),
+                fmt(r.self_value),
+                r.note.clone().unwrap_or_default(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        reports::format_table(&["stage", "total", "self", "notes"], &rows)
+    );
+}
+
+/// Writes `tree` as a collapsed-stack file; `div` scales raw values
+/// (1000 turns nanoseconds into the microseconds flamegraph convention,
+/// 1 leaves bytes untouched).
+fn write_flame(tree: &StageTree, div: u64, path: &str) -> Result<(), String> {
+    let folded = tree.to_collapsed(div);
+    write_bytes_atomic(Path::new(path), folded.as_bytes())
+        .map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("wrote {path} ({} stacks)", folded.lines().count());
+    Ok(())
+}
+
+/// Prints a trend report as per-context sparkline tables.
+fn print_trend(report: &TrendReport) {
+    if report.groups.is_empty() {
+        println!("no runs to trend");
+        return;
+    }
+    for g in &report.groups {
+        let labels: Vec<String> = g.runs.iter().map(|r| r.label()).collect();
+        println!(
+            "{} — {} run(s): {}",
+            g.context,
+            g.runs.len(),
+            labels.join(" → ")
+        );
+        let rows: Vec<Vec<String>> = g
+            .kernels
+            .iter()
+            .map(|k| {
+                vec![
+                    k.kernel.clone(),
+                    k.sparkline.clone(),
+                    k.best_prev_ns.map(format_ns).unwrap_or_default(),
+                    k.latest_ns.map(format_ns).unwrap_or_default(),
+                    format!("{:+.1}%", k.rel_change * 100.0),
+                    k.verdict.label().to_string(),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            reports::format_table(
+                &["kernel", "trend", "best", "latest", "delta", "verdict"],
+                &rows
+            )
+        );
+        println!();
+    }
+    let regressed: Vec<String> = report
+        .regressions()
+        .map(|(ctx, k)| format!("{} ({ctx})", k.kernel))
+        .collect();
+    if regressed.is_empty() {
+        println!("no regressions against best-previous runs");
+    } else {
+        println!("REGRESSED series: {}", regressed.join(", "));
+    }
+}
+
+/// Renders a compare report as a GitHub-flavoured markdown section.
+fn github_summary_markdown(
+    report: &CompareReport,
+    base_path: &str,
+    cand_path: &str,
+    cfg: &CompareConfig,
+) -> String {
+    let value = |metric: &str, v: f64| match metric {
+        "wall_time" => format!("{:.2}ms", v / 1e6),
+        "peak_memory" | "task_peak_memory" => mem::format_bytes(v as u64),
+        _ => format!("{v:.3e}/s"),
+    };
+    let mut md = String::new();
+    md.push_str("## Manifest compare\n\n");
+    md.push_str(&format!(
+        "`{cand_path}` (candidate) vs `{base_path}` (baseline), tolerance {:.0}%\n\n",
+        cfg.rel_tolerance * 100.0
+    ));
+    md.push_str("| kernel | metric | baseline | candidate | delta | verdict |\n");
+    md.push_str("|---|---|---|---|---|---|\n");
+    for d in &report.deltas {
+        md.push_str(&format!(
+            "| {} | {} | {} | {} | {:+.1}% | {} |\n",
+            d.kernel,
+            d.metric,
+            value(d.metric, d.base),
+            value(d.metric, d.cand),
+            d.rel_change * 100.0,
+            d.verdict.label()
+        ));
+    }
+    md.push('\n');
+    if report.has_regressions() {
+        md.push_str("**Regression gate tripped.**\n");
+    } else {
+        md.push_str(&format!(
+            "No regressions ({} metrics compared).\n",
+            report.deltas.len()
+        ));
+    }
+    md
+}
+
+/// Appends `md` to the file `$GITHUB_STEP_SUMMARY` points at; outside
+/// GitHub Actions (variable unset or empty) this is a noted no-op so the
+/// same command line works locally.
+fn append_github_summary(md: &str) -> Result<(), String> {
+    match std::env::var("GITHUB_STEP_SUMMARY") {
+        Ok(path) if !path.is_empty() => {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .map_err(|e| format!("opening {path}: {e}"))?;
+            f.write_all(md.as_bytes())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("appended compare summary to {path}");
+            Ok(())
+        }
+        _ => {
+            eprintln!("note: $GITHUB_STEP_SUMMARY not set; summary not written");
+            Ok(())
+        }
+    }
+}
+
 fn run(args: &[String]) -> Result<Outcome, String> {
     let Some(cmd) = args.first() else {
         return Err("missing command".into());
@@ -554,6 +751,9 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                     Opt::Trace,
                     Opt::Metrics,
                     Opt::ManifestOut,
+                    Opt::Flame,
+                    Opt::Uarch,
+                    Opt::UarchBudget,
                 ],
             )?;
             let threads = opts.threads.unwrap_or(2);
@@ -602,6 +802,42 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 "throughput: {}",
                 format_throughput(record.throughput_per_s, id.work_unit())
             );
+            // Profile analytics: fold the task spans into a per-kernel
+            // stage tree. The kernel root is pinned to the measured wall
+            // time so the frame's self value is scheduler overhead (wall
+            // minus worker busy time at 1 thread; at N threads the task
+            // child carries CPU time, which legitimately exceeds wall).
+            let wall_ns = stats.elapsed.as_nanos() as u64;
+            let mut tree =
+                StageTree::from_trace(&recorder.trace(), "ns").into_rooted(id.name(), wall_ns);
+            if opts.uarch || opts.uarch_budget.is_some() {
+                // Sampled uarch characterization: replay up to the budget
+                // of tasks through the instrumented probe and pin the
+                // derived rates onto the kernel's frame.
+                let budget = opts
+                    .uarch_budget
+                    .unwrap_or_else(|| reports::characterize_budget(id, opts.size()));
+                let c: Characterization = gb_suite::kernels::characterize(kernel.as_ref(), budget);
+                gb_uarch::export::export_characterization(
+                    &mut registry,
+                    id.name(),
+                    &c.mix,
+                    &c.cache,
+                    &c.topdown,
+                    c.bpki,
+                );
+                let note = gb_uarch::export::frame_annotation(&c.cache, &c.topdown, c.bpki);
+                println!("uarch sample ({} task(s)): {note}", c.tasks_sampled);
+                tree.annotate(&[id.name()], &note);
+            }
+            print_stage_tree(&tree);
+            if let Some(path) = &opts.flame {
+                write_flame(&tree, 1_000, path)?;
+                if let Some(m) = &memory {
+                    let mem_tree = StageTree::from_kernel_memory([(id.name(), m)]);
+                    write_flame(&mem_tree, 1, &format!("{path}.mem"))?;
+                }
+            }
             if let Some(path) = &opts.trace {
                 write_trace(&recorder, path)?;
             }
@@ -651,10 +887,13 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                     Opt::Trace,
                     Opt::Metrics,
                     Opt::ManifestOut,
+                    Opt::Flame,
                 ],
             )?;
-            let instrument =
-                opts.trace.is_some() || opts.metrics.is_some() || opts.manifest_out.is_some();
+            let instrument = opts.trace.is_some()
+                || opts.metrics.is_some()
+                || opts.manifest_out.is_some()
+                || opts.flame.is_some();
             let recorder = instrument.then(TraceRecorder::new);
             let (generated, chars) = generate(which, &opts, &recorder)?;
             for r in &generated {
@@ -697,6 +936,13 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 if let (Some(r), Some(path)) = (&recorder, &opts.trace) {
                     write_trace(r, path)?;
                 }
+                if let (Some(r), Some(path)) = (&recorder, &opts.flame) {
+                    // Pipeline stage spans nest under their pipeline root
+                    // (rg/dn/mg) by interval containment, so the folded
+                    // stacks read `rg;rg:map 1234`-style.
+                    let tree = StageTree::from_trace(&r.trace(), "ns");
+                    write_flame(&tree, 1_000, path)?;
+                }
                 if let Some(path) = &opts.metrics {
                     write_metrics(&registry, path)?;
                 }
@@ -713,10 +959,12 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             let cand_path = args.get(2).ok_or("compare needs <baseline> <candidate>")?;
             let mut cfg = CompareConfig::default();
             let mut json = false;
+            let mut write_summary = false;
             let mut it = args[3..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--json" => json = true,
+                    "--write-github-summary" => write_summary = true,
                     "--tolerance" => {
                         let v = it.next().ok_or("--tolerance needs a value")?;
                         let t: f64 = v
@@ -754,7 +1002,71 @@ tolerance {:.0}%, floor {}ms",
                 );
                 print_compare_table(&report);
             }
+            if write_summary {
+                append_github_summary(&github_summary_markdown(
+                    &report, base_path, cand_path, &cfg,
+                ))?;
+            }
             Ok(gate(&report))
+        }
+        "trend" => {
+            let mut cfg = CompareConfig::default();
+            let mut json = false;
+            let mut paths: Vec<&String> = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--json" => json = true,
+                    "--tolerance" => {
+                        let v = it.next().ok_or("--tolerance needs a value")?;
+                        let t: f64 = v
+                            .parse()
+                            .map_err(|_| format!("bad --tolerance '{v}' (want a fraction)"))?;
+                        if !(t.is_finite() && t > 0.0) {
+                            return Err(format!(
+                                "--tolerance must be a positive fraction, got {v}"
+                            ));
+                        }
+                        cfg.rel_tolerance = t;
+                    }
+                    "--min-wall-ms" => {
+                        let v = it.next().ok_or("--min-wall-ms needs a value")?;
+                        let ms: u64 = v.parse().map_err(|_| format!("bad --min-wall-ms '{v}'"))?;
+                        cfg.min_wall_ns = ms * 1_000_000;
+                    }
+                    other if other.starts_with("--") => {
+                        return Err(format!("unknown option '{other}'"))
+                    }
+                    _ => paths.push(a),
+                }
+            }
+            if paths.is_empty() {
+                return Err("trend needs at least one manifest".into());
+            }
+            let manifests: Vec<RunManifest> = paths
+                .iter()
+                .map(|p| load_manifest(p))
+                .collect::<Result<_, _>>()?;
+            let report = gb_obs::trend(&manifests, &cfg);
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&report.to_json()).map_err(|e| e.to_string())?
+                );
+            } else {
+                println!(
+                    "trend over {} manifest(s), tolerance {:.0}%, floor {}ms",
+                    manifests.len(),
+                    cfg.rel_tolerance * 100.0,
+                    cfg.min_wall_ns / 1_000_000
+                );
+                print_trend(&report);
+            }
+            if report.has_regressions() {
+                Ok(Outcome::Regressed)
+            } else {
+                Ok(Outcome::Clean)
+            }
         }
         other => Err(format!("unknown command '{other}'")),
     }

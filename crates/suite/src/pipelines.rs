@@ -39,6 +39,38 @@ fn stage<T>(recorder: &dyn Recorder, name: &str, f: impl FnOnce() -> T) -> T {
     out
 }
 
+/// An open pipeline-root span: covers the whole `*_traced` call so the
+/// per-stage spans nest under one root frame (`rg;rg:map`-style) when
+/// profile analytics folds the trace by interval containment. Inert (no
+/// clock reads) when the recorder is disabled.
+struct RootSpan<'a> {
+    recorder: &'a dyn Recorder,
+    name: &'static str,
+    open: Option<(u64, std::time::Instant)>,
+}
+
+impl<'a> RootSpan<'a> {
+    fn enter(recorder: &'a dyn Recorder, name: &'static str) -> Self {
+        let open = recorder
+            .enabled()
+            .then(|| (recorder.now_ns(), std::time::Instant::now()));
+        RootSpan {
+            recorder,
+            name,
+            open,
+        }
+    }
+
+    /// Emits the span; called at the pipeline's single return point (not
+    /// a `Drop` impl, so an unwinding pipeline emits nothing).
+    fn exit(self) {
+        if let Some((ts, start)) = self.open {
+            self.recorder
+                .span(self.name, "stage", 0, ts, start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
 /// A called variant site from the reference-guided pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CalledSnv {
@@ -85,6 +117,7 @@ pub fn reference_guided_traced(
     min_log10_margin: f64,
     recorder: &dyn Recorder,
 ) -> ReferenceGuidedResult {
+    let root = RootSpan::enter(recorder, "rg");
     let index = stage(recorder, "rg:index", || BiIndex::build(reference));
     let smem_cfg = SmemConfig {
         min_seed_len: 19,
@@ -184,6 +217,7 @@ pub fn reference_guided_traced(
         snvs
     });
     recorder.counter("rg:snvs", snvs.len() as u64);
+    root.exit();
     ReferenceGuidedResult {
         mapped_reads: mapped.len(),
         snvs,
@@ -213,6 +247,7 @@ pub fn denovo_polish_traced(
     params: &UnitigParams,
     recorder: &dyn Recorder,
 ) -> DenovoResult {
+    let root = RootSpan::enter(recorder, "dn");
     let assembly = stage(recorder, "dn:assemble", || assemble_unitigs(reads, params));
     recorder.counter("dn:contigs", assembly.contigs.len() as u64);
     let poa = PoaParams::default();
@@ -241,6 +276,7 @@ pub fn denovo_polish_traced(
             })
             .collect()
     });
+    root.exit();
     DenovoResult { assembly, polished }
 }
 
@@ -274,6 +310,7 @@ pub fn metagenomic_abundance_traced(
     min_seed_len: usize,
     recorder: &dyn Recorder,
 ) -> AbundanceResult {
+    let root = RootSpan::enter(recorder, "mg");
     let index = stage(recorder, "mg:index", || {
         let mut pan = Vec::new();
         for s in species {
@@ -320,6 +357,7 @@ pub fn metagenomic_abundance_traced(
             }
         })
         .collect();
+    root.exit();
     AbundanceResult {
         counts,
         fractions,

@@ -1,0 +1,194 @@
+//! End-to-end CLI tests for the profile-analytics surface: `profile
+//! --flame` must emit a well-formed collapsed-stack file whose total
+//! agrees with the manifest wall time, and `trend` must order real
+//! manifests into a series, stay quiet on steady history, and exit
+//! non-zero once a seeded regression lands.
+//!
+//! These drive the real binary (`CARGO_BIN_EXE_genomicsbench`) on the
+//! tiny tier, so they double as smoke coverage for the whole
+//! instrumented profile path.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_genomicsbench"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gb_flame_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_ok(cmd: &mut Command) -> Output {
+    let out = cmd.output().expect("spawn genomicsbench");
+    assert!(
+        out.status.success(),
+        "command failed ({:?}):\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+/// Parses collapsed-stack lines into (path, value) pairs, asserting the
+/// format along the way: `frame(;frame)* VALUE`, no annotations, no
+/// empty frames.
+fn parse_folded(body: &str) -> Vec<(String, u64)> {
+    body.lines()
+        .map(|line| {
+            let (path, value) = line.rsplit_once(' ').expect("line has a value");
+            assert!(!path.is_empty() && !path.starts_with(';') && !path.ends_with(';'));
+            assert!(
+                path.split(';').all(|f| !f.is_empty() && !f.contains(' ')),
+                "malformed frame path {path:?}"
+            );
+            (
+                path.to_string(),
+                value.parse::<u64>().expect("numeric value"),
+            )
+        })
+        .collect()
+}
+
+fn profile_chain(dir: &Path, n: u32, flame: bool) -> PathBuf {
+    let manifest = dir.join(format!("m{n}.json"));
+    let mut cmd = bin();
+    cmd.args(["profile", "chain", "--tier", "tiny", "--threads", "1"])
+        .arg("--manifest-out")
+        .arg(&manifest);
+    if flame {
+        cmd.arg("--flame").arg(dir.join(format!("m{n}.folded")));
+    }
+    run_ok(&mut cmd);
+    manifest
+}
+
+#[test]
+fn profile_flame_totals_match_the_manifest_wall_time() {
+    let dir = tmp_dir("flame");
+    let manifest_path = profile_chain(&dir, 1, true);
+    let folded_path = dir.join("m1.folded");
+
+    let folded = std::fs::read_to_string(&folded_path).expect("folded file written");
+    let stacks = parse_folded(&folded);
+    assert!(!stacks.is_empty(), "collapsed output is empty");
+
+    // Every stack is rooted at the profiled kernel.
+    for (path, _) in &stacks {
+        assert!(
+            path == "chain" || path.starts_with("chain;"),
+            "stray root in {path:?}"
+        );
+    }
+
+    // Conservation against the manifest: the folded values are µs of
+    // self time, so their sum must reproduce the kernel's wall time.
+    // Rounding grants ±0.5 µs per line; give it 30% for scheduler noise
+    // between the two measurements of the same run.
+    let manifest: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&manifest_path).unwrap()).unwrap();
+    let wall_ns = manifest["kernels"]["chain"]["wall_ns"].as_u64().unwrap();
+    let folded_us: u64 = stacks.iter().map(|(_, v)| v).sum();
+    let wall_us = wall_ns as f64 / 1000.0;
+    let diff = (folded_us as f64 - wall_us).abs();
+    assert!(
+        diff <= wall_us * 0.30 + stacks.len() as f64,
+        "folded {folded_us}us vs manifest {wall_us:.1}us"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trend_is_quiet_on_steady_history_and_gates_a_seeded_regression() {
+    let dir = tmp_dir("trend");
+    let m1 = profile_chain(&dir, 1, false);
+    let m2 = profile_chain(&dir, 2, false);
+    let m3 = profile_chain(&dir, 3, false);
+
+    // Three real runs of the same kernel on the same context: tiny-tier
+    // chain sits below the 10 ms noise floor, so nothing can gate.
+    let out = run_ok(bin().args(["trend"]).args([&m1, &m2, &m3]));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("no regressions"), "stdout:\n{text}");
+    assert!(text.contains("chain"), "stdout:\n{text}");
+
+    // Seed a regression: same context, later timestamp, wall time far
+    // above both the floor and the tolerance.
+    let mut v: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&m3).unwrap()).unwrap();
+    let wall = v["kernels"]["chain"]["wall_ns"].as_u64().unwrap();
+    v["kernels"]["chain"]["wall_ns"] = serde_json::Value::from(wall * 20 + 50_000_000);
+    let created = v["created_unix_s"].as_u64().unwrap();
+    v["created_unix_s"] = serde_json::Value::from(created + 10_000);
+    v["git_rev"] = serde_json::Value::from("feedbad00001");
+    let m_reg = dir.join("m_reg.json");
+    std::fs::write(&m_reg, serde_json::to_string_pretty(&v).unwrap()).unwrap();
+
+    let out = bin()
+        .args(["trend"])
+        .args([&m1, &m2, &m3, &m_reg])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "seeded regression must gate");
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("REGRESSED"), "stdout:\n{text}");
+
+    // --json: machine-readable envelope with the same verdict.
+    let out = bin()
+        .args(["trend", "--json"])
+        .args([&m1, &m2, &m3, &m_reg])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let j: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("trend --json emits valid JSON");
+    assert_eq!(j["kind"], "trend");
+    assert_eq!(j["regressions"], 1);
+    assert_eq!(j["groups"][0]["kernels"][0]["kernel"], "chain");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trend_rejects_unknown_flags_and_empty_input() {
+    let out = bin().args(["trend"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = bin().args(["trend", "--bogus"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn compare_appends_a_markdown_summary_when_the_env_var_is_set() {
+    let dir = tmp_dir("ghsum");
+    let m1 = profile_chain(&dir, 1, false);
+    let m2 = profile_chain(&dir, 2, false);
+    let summary = dir.join("step_summary.md");
+
+    run_ok(
+        bin()
+            .args(["compare"])
+            .args([&m1, &m2])
+            .arg("--write-github-summary")
+            .env("GITHUB_STEP_SUMMARY", &summary),
+    );
+    let md = std::fs::read_to_string(&summary).expect("summary written");
+    assert!(md.contains("## Manifest compare"), "md:\n{md}");
+    assert!(md.contains("| kernel |"), "md:\n{md}");
+    assert!(md.contains("chain"), "md:\n{md}");
+
+    // A second invocation appends rather than truncates.
+    run_ok(
+        bin()
+            .args(["compare"])
+            .args([&m1, &m2])
+            .arg("--write-github-summary")
+            .env("GITHUB_STEP_SUMMARY", &summary),
+    );
+    let md2 = std::fs::read_to_string(&summary).unwrap();
+    assert_eq!(md2.matches("## Manifest compare").count(), 2);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

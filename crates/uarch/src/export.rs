@@ -82,6 +82,24 @@ pub fn export_characterization(
     registry.set_gauge(&format!("{prefix}.uarch.bpki"), bpki);
 }
 
+/// Renders a sampled characterization as the compact one-line note
+/// profile analytics attaches to a flamegraph frame:
+/// `ipc 1.82 · l1 3.1% · llc 0.2% · bpki 4.6`.
+///
+/// Miss rates are percentages of the level's accesses; `bpki` is DRAM
+/// bytes per kilo-instruction. The note rides in [`gb_obs::StageTree`]
+/// annotations (self-times table), never in collapsed-stack output,
+/// which stays pure `frames value` lines.
+pub fn frame_annotation(cache: &CacheStats, topdown: &TopDownReport, bpki: f64) -> String {
+    format!(
+        "ipc {:.2} · l1 {:.1}% · llc {:.1}% · bpki {:.1}",
+        topdown.ipc,
+        cache.l1_miss_rate() * 100.0,
+        cache.llc_miss_rate() * 100.0,
+        bpki
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +144,26 @@ mod tests {
         let counters = j.get("counters").and_then(Value::as_object).unwrap();
         assert!(counters.contains_key("fmi.tasks"));
         assert!(counters.contains_key("fmi.uarch.mix.total"));
+    }
+
+    #[test]
+    fn frame_annotation_is_one_line_and_carries_the_rates() {
+        let data = vec![3u64; 512];
+        let mut probe = CacheProbe::skylake_like();
+        for (i, word) in data.iter().enumerate() {
+            probe.load(crate::probe::addr_of(word), 8);
+            probe.int_ops(1);
+            probe.branch(i % 3 == 0);
+        }
+        let bpki = probe.bpki();
+        let (mix, cache) = probe.into_parts();
+        let td = CoreModel::default().analyze(&mix, &cache);
+        let note = frame_annotation(&cache, &td, bpki);
+        assert!(!note.contains('\n'));
+        assert!(note.starts_with("ipc "), "note: {note}");
+        assert!(
+            note.contains("l1 ") && note.contains("bpki "),
+            "note: {note}"
+        );
     }
 }

@@ -26,6 +26,10 @@
 //! * `unsafe-hygiene` — every crate root forbids (or denies)bare
 //!   `unsafe_code`, and crates containing `unsafe` also deny
 //!   `unsafe_op_in_unsafe_fn`.
+//! * `traced-stages` — inside every `*_traced` pipeline function in
+//!   `crates/suite/`, each `stage(…)` call (and the `RootSpan::enter`
+//!   frame) carries a non-empty string-literal name that is unique
+//!   within that function, so stage-tree frames never silently merge.
 
 use crate::lexer::{shadows, word_on_line, Shadows};
 
@@ -88,6 +92,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Violation> {
     v.extend(bench_ci(ws));
     v.extend(clippy_allow_justified(ws));
     v.extend(unsafe_hygiene(ws));
+    v.extend(traced_stages(ws));
     v
 }
 
@@ -489,6 +494,101 @@ pub fn unsafe_hygiene(ws: &Workspace) -> Vec<Violation> {
     out
 }
 
+// --- traced-stages -----------------------------------------------------
+
+/// The identifier following a `fn ` keyword on a code-shadow line, when
+/// the line declares one.
+fn declared_fn_name(code_line: &str) -> Option<&str> {
+    let mut search = 0;
+    while let Some(rel) = code_line[search..].find("fn ") {
+        let at = search + rel;
+        // Word boundary on the left (`fn` at start or after non-ident).
+        let bounded = at == 0
+            || code_line[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| !(c.is_ascii_alphanumeric() || c == '_'));
+        if bounded {
+            let rest = &code_line[at + 3..];
+            let end = rest
+                .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                .unwrap_or(rest.len());
+            if end > 0 {
+                return Some(&rest[..end]);
+            }
+        }
+        search = at + 3;
+    }
+    None
+}
+
+/// Inside every `*_traced` pipeline function in `crates/suite/`, each
+/// `stage(…)` call — and the `RootSpan::enter` frame sharing its
+/// namespace — must name its span with a non-empty string literal on
+/// the call line, unique within that function. Duplicate or missing
+/// names make stage-tree frames silently merge, so a flamegraph
+/// attributes two different stages' time to one frame and nobody
+/// notices.
+pub fn traced_stages(ws: &Workspace) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in ws.rust_sources() {
+        if !f.path.starts_with("crates/suite/") {
+            continue;
+        }
+        let raw: Vec<&str> = f.text.lines().collect();
+        let sh = shadows(&f.text);
+        let mut current_fn = String::new();
+        // name → first line it appeared on, reset per function.
+        let mut seen: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+        for (i, line) in sh.code_lines().iter().enumerate() {
+            if let Some(name) = declared_fn_name(line) {
+                current_fn = name.to_string();
+                seen.clear();
+            }
+            if !current_fn.ends_with("_traced") {
+                continue;
+            }
+            let is_stage_call = line.contains("stage(")
+                && !line.contains("fn stage")
+                // `*_traced(` call-throughs are not stage spans.
+                && !line.contains("_traced(");
+            let is_root_frame = line.contains("RootSpan::enter(");
+            if !(is_stage_call || is_root_frame) {
+                continue;
+            }
+            // The shadow blanks literal contents, so the name comes from
+            // the raw text of the same line.
+            let name = raw.get(i).and_then(|l| l.split('"').nth(1)).unwrap_or("");
+            if name.is_empty() {
+                out.push(Violation {
+                    rule: "traced-stages",
+                    file: f.path.clone(),
+                    line: i + 1,
+                    msg: format!(
+                        "stage span in `{current_fn}` has no string-literal name on the \
+                         call line; name it inline so the lint can check uniqueness"
+                    ),
+                });
+                continue;
+            }
+            if let Some(&prev) = seen.get(name) {
+                out.push(Violation {
+                    rule: "traced-stages",
+                    file: f.path.clone(),
+                    line: i + 1,
+                    msg: format!(
+                        "duplicate stage name \"{name}\" in `{current_fn}` (first used on \
+                         line {prev}); frames with one name merge in the stage tree"
+                    ),
+                });
+            } else {
+                seen.insert(name.to_string(), i + 1);
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -694,6 +794,94 @@ impl KernelId {
             ("crates/x/src/lib.rs", "#![forbid(unsafe_code)]\n"),
         ]);
         assert!(unsafe_hygiene(&clean).is_empty());
+    }
+
+    const PIPELINE_OK: &str = r#"
+fn helper() { stage(recorder, "rg:index", || 1); }
+
+pub fn reference_guided_traced(recorder: &dyn Recorder) {
+    let root = RootSpan::enter(recorder, "rg");
+    let a = stage(recorder, "rg:index", || 1);
+    let b = stage(recorder, "rg:map", || 2);
+    root.exit();
+}
+
+pub fn denovo_polish_traced(recorder: &dyn Recorder) {
+    // Same names as reference_guided_traced: fine, different function.
+    let a = stage(recorder, "rg:index", || 1);
+}
+"#;
+
+    #[test]
+    fn traced_stage_names_must_be_unique_per_function() {
+        let good = ws(&[("crates/suite/src/pipelines.rs", PIPELINE_OK)]);
+        assert!(
+            traced_stages(&good).is_empty(),
+            "{:?}",
+            traced_stages(&good)
+        );
+
+        // A duplicate inside one *_traced function fires.
+        let dup = PIPELINE_OK.replace(
+            "stage(recorder, \"rg:map\", || 2)",
+            "stage(recorder, \"rg:index\", || 2)",
+        );
+        let v = traced_stages(&ws(&[("crates/suite/src/pipelines.rs", &dup)]));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "traced-stages");
+        assert!(v[0].msg.contains("rg:index") && v[0].msg.contains("reference_guided_traced"));
+
+        // A stage colliding with the root frame fires too.
+        let root_clash = PIPELINE_OK.replace(
+            "stage(recorder, \"rg:map\", || 2)",
+            "stage(recorder, \"rg\", || 2)",
+        );
+        let v = traced_stages(&ws(&[("crates/suite/src/pipelines.rs", &root_clash)]));
+        assert_eq!(v.len(), 1, "{v:?}");
+
+        // A stage call with no literal name on its line fires.
+        let unnamed = PIPELINE_OK.replace(
+            "stage(recorder, \"rg:map\", || 2)",
+            "stage(recorder, name, || 2)",
+        );
+        let v = traced_stages(&ws(&[("crates/suite/src/pipelines.rs", &unnamed)]));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("no string-literal name"));
+
+        // Files outside crates/suite are not in scope.
+        let elsewhere = ws(&[(
+            "crates/obs/src/agg.rs",
+            &PIPELINE_OK.replace(
+                "stage(recorder, \"rg:map\", || 2)",
+                "stage(recorder, \"rg:index\", || 2)",
+            ),
+        )]);
+        assert!(traced_stages(&elsewhere).is_empty());
+    }
+
+    #[test]
+    fn traced_stage_lint_ignores_commented_and_stringed_calls() {
+        let tricky = r#"
+pub fn metagenomic_abundance_traced(recorder: &dyn Recorder) {
+    // stage(recorder, "mg:index", || 1); — commented out, not a span
+    let doc = "stage(recorder, \"mg:index\", || 1)";
+    let a = stage(recorder, "mg:index", || 1);
+    let b = stage(recorder, "mg:classify", || 2);
+}
+"#;
+        let v = traced_stages(&ws(&[("crates/suite/src/pipelines.rs", tricky)]));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn the_real_pipelines_pass_the_traced_stage_lint() {
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../suite/src/pipelines.rs"
+        ))
+        .expect("pipelines.rs readable");
+        let v = traced_stages(&ws(&[("crates/suite/src/pipelines.rs", &text)]));
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]
