@@ -34,6 +34,7 @@ fn full_manifest(scale: u64) -> RunManifest {
                 }),
                 utilization: Some(0.9),
                 memory: None,
+                stages: None,
             },
         );
     }

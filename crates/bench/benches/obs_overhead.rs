@@ -5,7 +5,10 @@
 //! gate are what the suite's always-on instrumentation hinges on.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gb_obs::{NullRecorder, TraceRecorder};
+use gb_obs::{
+    differential_svg, flamegraph_svg, NullRecorder, RenderConfig, StageTree, TraceRecorder,
+    TreeDiff,
+};
 use gb_suite::dataset::DatasetSize;
 use gb_suite::kernels::{prepare, run_parallel, run_parallel_instrumented, KernelId};
 
@@ -63,8 +66,117 @@ fn assert_interning_stays_out_of_the_null_path() {
     );
 }
 
+/// A synthetic two-level stage tree with exactly `frames` frames: one
+/// root, ~frames/2 children, one grandchild under every other child.
+fn synthetic_tree(frames: usize) -> StageTree {
+    let mut entries = vec![("k".to_string(), frames as u64 * 1_000)];
+    let mut left = frames - 1;
+    let mut i = 0;
+    while left > 0 {
+        entries.push((format!("k;s{i:04}"), 1_500));
+        left -= 1;
+        if left > 0 && i % 2 == 0 {
+            entries.push((format!("k;s{i:04};inner"), 500));
+            left -= 1;
+        }
+        i += 1;
+    }
+    StageTree::from_path_totals("ns", entries)
+}
+
+/// A +10% copy of `tree`, so diffing against it produces real deltas.
+fn perturb(tree: &StageTree) -> StageTree {
+    StageTree::from_path_totals(
+        "ns",
+        tree.path_totals()
+            .into_iter()
+            .map(|(p, v)| (p, v * 11 / 10)),
+    )
+}
+
+/// Scaling guard for the differential-profiling pipeline: rendering and
+/// diffing must stay linear-ish in the frame count. A 4x bigger tree
+/// may cost at most ~12x (slack for allocator noise and the per-frame
+/// constant) — a quadratic emitter (e.g. re-walking the tree per frame)
+/// blows past that immediately. Runs before the timing groups so
+/// `cargo bench` fails loudly.
+fn assert_render_and_diff_cost_scale_with_frame_count() {
+    let small = synthetic_tree(300);
+    let big = synthetic_tree(1_200);
+    // Perturbed copies so the diffs have non-zero deltas to color.
+    let small_cand = perturb(&small);
+    let big_cand = perturb(&big);
+    let cfg = RenderConfig::wall("scaling");
+
+    // Sanity: the synthetic trees have the frame counts they claim, and
+    // the renderer emits exactly one group per frame.
+    assert_eq!(small.rows().len(), 300);
+    assert_eq!(big.rows().len(), 1_200);
+    assert_eq!(
+        flamegraph_svg(&big, &cfg).matches("<g class=\"f\"").count(),
+        1_200
+    );
+
+    let median = |f: &mut dyn FnMut()| -> u128 {
+        let mut samples: Vec<u128> = (0..9)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                f();
+                t.elapsed().as_nanos()
+            })
+            .collect();
+        samples.sort_unstable();
+        samples[samples.len() / 2]
+    };
+
+    let render_small = median(&mut || {
+        std::hint::black_box(flamegraph_svg(&small, &cfg).len());
+    });
+    let render_big = median(&mut || {
+        std::hint::black_box(flamegraph_svg(&big, &cfg).len());
+    });
+    assert!(
+        render_big as f64 <= render_small as f64 * 12.0 + 2e6,
+        "flamegraph_svg scales superlinearly: 300 frames {render_small}ns, \
+         1200 frames {render_big}ns"
+    );
+
+    let diff_small = median(&mut || {
+        let d = TreeDiff::between(&small, &small_cand);
+        std::hint::black_box(differential_svg(&d, &cfg).len());
+    });
+    let diff_big = median(&mut || {
+        let d = TreeDiff::between(&big, &big_cand);
+        std::hint::black_box(differential_svg(&d, &cfg).len());
+    });
+    assert!(
+        diff_big as f64 <= diff_small as f64 * 12.0 + 2e6,
+        "diff+differential_svg scales superlinearly: 300 frames {diff_small}ns, \
+         1200 frames {diff_big}ns"
+    );
+}
+
 fn bench_obs_overhead(c: &mut Criterion) {
     assert_interning_stays_out_of_the_null_path();
+    assert_render_and_diff_cost_scale_with_frame_count();
+    {
+        // The render/diff path itself: one representative mid-size tree.
+        let base = synthetic_tree(400);
+        let cand = perturb(&base);
+        let cfg = RenderConfig::wall("bench");
+        let mut group = c.benchmark_group("obs_render");
+        group.sample_size(20);
+        group.bench_function("flamegraph_svg_400", |b| {
+            b.iter(|| std::hint::black_box(flamegraph_svg(&base, &cfg).len()))
+        });
+        group.bench_function("diff_and_differential_svg_400", |b| {
+            b.iter(|| {
+                let d = TreeDiff::between(&base, &cand);
+                std::hint::black_box(differential_svg(&d, &cfg).len())
+            })
+        });
+        group.finish();
+    }
     // chain and fmi have the smallest tasks in the suite, so per-task
     // instrumentation overhead is most visible on them.
     for id in [KernelId::Chain, KernelId::Fmi] {

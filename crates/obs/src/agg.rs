@@ -32,25 +32,27 @@ use crate::manifest::MemoryRecord;
 use crate::trace::TraceBuffer;
 use std::collections::BTreeMap;
 
-/// One frame in the tree (named node with an inclusive total).
+/// One frame in the tree (named node with an inclusive total). Fields
+/// are crate-visible so the sibling `render`/`diff` modules can walk
+/// trees without going through an iterator API.
 #[derive(Debug, Clone, Default, PartialEq)]
-struct Node {
+pub(crate) struct Node {
     /// Inclusive value: the frame's own self value plus all descendants.
-    total: u64,
+    pub(crate) total: u64,
     /// Optional annotation shown in the self-times table.
-    note: Option<String>,
+    pub(crate) note: Option<String>,
     /// Child frames by name.
-    children: BTreeMap<String, Node>,
+    pub(crate) children: BTreeMap<String, Node>,
 }
 
 impl Node {
-    fn child_total(&self) -> u64 {
+    pub(crate) fn child_total(&self) -> u64 {
         self.children.values().map(|c| c.total).sum()
     }
 
     /// Self value: inclusive total minus direct children, clamped at 0
     /// (clock jitter can make children sum past a parent by nanoseconds).
-    fn self_value(&self) -> u64 {
+    pub(crate) fn self_value(&self) -> u64 {
         self.total.saturating_sub(self.child_total())
     }
 }
@@ -78,13 +80,15 @@ pub struct StageRow {
 pub struct StageTree {
     /// Unit label for tables (`"ns"`, `"bytes"`).
     unit: String,
-    roots: BTreeMap<String, Node>,
+    pub(crate) roots: BTreeMap<String, Node>,
 }
 
-/// Collapsed-stack frame names must not contain the `;` separator or a
-/// space (the value delimiter); both are folded to `_`.
+/// Collapsed-stack frame names must not contain the `;` separator or
+/// any whitespace (a space delimits the value, a newline delimits the
+/// record — and tabs/CRs confuse downstream flamegraph tooling just the
+/// same); every such byte is folded to `_`.
 fn sanitize(name: &str) -> String {
-    name.replace([';', ' '], "_")
+    name.replace(|c: char| c == ';' || c.is_whitespace(), "_")
 }
 
 impl StageTree {
@@ -295,6 +299,53 @@ impl StageTree {
         out
     }
 
+    /// Lossless flat serialization: one `(path, inclusive total)` pair
+    /// per frame, in depth-first name order. Every frame appears —
+    /// including zero-total intermediates — so
+    /// [`StageTree::from_path_totals`] reconstructs the exact tree.
+    /// This is the shape manifests persist as per-kernel `stages`.
+    pub fn path_totals(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        let mut stack: Vec<(String, &Node)> = self
+            .roots
+            .iter()
+            .rev()
+            .map(|(k, v)| (k.clone(), v))
+            .collect();
+        while let Some((path, node)) = stack.pop() {
+            out.push((path.clone(), node.total));
+            for (name, child) in node.children.iter().rev() {
+                stack.push((format!("{path};{name}"), child));
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a tree from `(path, total)` pairs as emitted by
+    /// [`StageTree::path_totals`]. Paths are split on `;`; each entry
+    /// *sets* its frame's inclusive total (intermediate frames named
+    /// only as prefixes start at zero). Frame names pass through the
+    /// collapsed-format sanitizer, so hand-edited manifests cannot
+    /// smuggle separators back in.
+    pub fn from_path_totals<I>(unit: &str, entries: I) -> StageTree
+    where
+        I: IntoIterator<Item = (String, u64)>,
+    {
+        let mut tree = StageTree::new(unit);
+        for (path, total) in entries {
+            let mut parts = path.split(';').filter(|p| !p.is_empty());
+            let Some(first) = parts.next() else {
+                continue;
+            };
+            let mut node = tree.roots.entry(sanitize(first)).or_default();
+            for part in parts {
+                node = node.children.entry(sanitize(part)).or_default();
+            }
+            node.total = total;
+        }
+        tree
+    }
+
     /// Depth-first self-times rows for terminal tables, heaviest
     /// top-level frames first, children in descending total order.
     pub fn rows(&self) -> Vec<StageRow> {
@@ -460,6 +511,51 @@ mod tests {
         let mut t = StageTree::new("ns");
         t.add_total(&["a;b c"], 7);
         assert_eq!(t.to_collapsed(1), "a_b_c 7\n");
+    }
+
+    #[test]
+    fn tabs_newlines_and_other_whitespace_are_sanitized_too() {
+        // Regression: only ';' and ' ' used to be folded, so a label
+        // with a tab or newline could corrupt the collapsed file (the
+        // format is line- and space-delimited).
+        let mut t = StageTree::new("ns");
+        t.add_total(&["a\tb\nc\rd"], 3);
+        assert_eq!(t.to_collapsed(1), "a_b_c_d 3\n");
+        // Trace-derived frames go through the same sanitizer.
+        let trace = TraceBuffer {
+            events: vec![span("stage one\ntwo", 0, 0, 10)],
+        };
+        let folded = StageTree::from_trace(&trace, "ns").to_collapsed(1);
+        assert_eq!(folded, "stage_one_two 10\n");
+    }
+
+    #[test]
+    fn path_totals_round_trip_exactly() {
+        let mut t = StageTree::new("ns");
+        t.add_total(&["rg"], 100);
+        t.add_total(&["rg", "map"], 40);
+        t.add_total(&["rg", "call"], 30);
+        t.add_total(&["dn", "polish", "hmm"], 7);
+        let entries = t.path_totals();
+        // Zero-total intermediates ("dn", "dn;polish") are listed too.
+        assert!(entries.contains(&("dn".to_string(), 0)));
+        assert!(entries.contains(&("dn;polish".to_string(), 0)));
+        let back = StageTree::from_path_totals("ns", entries);
+        assert_eq!(back, t);
+        assert_eq!(back.to_collapsed(1), t.to_collapsed(1));
+    }
+
+    #[test]
+    fn from_path_totals_sanitizes_and_skips_empty_paths() {
+        let entries = vec![
+            ("a b;c\td".to_string(), 9),
+            (String::new(), 5),
+            (";;".to_string(), 5),
+        ];
+        let t = StageTree::from_path_totals("ns", entries);
+        assert_eq!(t.to_collapsed(1), "a_b;c_d 9\n");
+        // The root was only ever named as a prefix, so it stays at 0.
+        assert_eq!(t.total_of("a_b"), 0);
     }
 
     #[test]

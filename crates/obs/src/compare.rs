@@ -16,7 +16,8 @@
 //! The gate is deliberately symmetric-safe: comparing a manifest against
 //! itself never regresses, whatever the thresholds.
 
-use crate::manifest::RunManifest;
+use crate::diff::{DiffRow, TreeDiff};
+use crate::manifest::{KernelRecord, RunManifest};
 use serde_json::{json, Value};
 
 /// Thresholds for [`compare`]. The defaults are tuned so that two
@@ -113,6 +114,46 @@ pub struct Delta {
     pub verdict: Verdict,
 }
 
+/// Stage-level attribution for one wall-time-regressed kernel: where
+/// inside the kernel the time went. Built from the per-kernel `stages`
+/// trees (schema ≥ 1.3) via [`TreeDiff`], so instead of "bsw is 12%
+/// slower" the gate can say "bsw;tasks self time +9.8 ms". Only
+/// produced when *both* runs carry stage data for the kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageAttribution {
+    /// The regressed kernel.
+    pub kernel: String,
+    /// Root inclusive-total delta in ns (candidate − baseline) — by the
+    /// conservation invariant, exactly the sum of the row self deltas.
+    pub root_delta_ns: i64,
+    /// All diff rows, worst self-time regressor first
+    /// ([`TreeDiff::ranked`]); callers typically print the top few.
+    pub rows: Vec<DiffRow>,
+}
+
+impl StageAttribution {
+    /// Rebuilds the [`TreeDiff`] from the stored rows. The rows carry
+    /// every frame's inclusive total on both sides, so this is lossless
+    /// — callers holding only the attribution (a trend report, a parsed
+    /// compare JSON) can still render the differential flamegraph.
+    pub fn to_diff(&self) -> TreeDiff {
+        use crate::agg::StageTree;
+        use crate::diff::FrameStatus;
+        let side = |keep: fn(&DiffRow) -> bool, total: fn(&DiffRow) -> u64| {
+            StageTree::from_path_totals(
+                "ns",
+                self.rows
+                    .iter()
+                    .filter(|r| keep(r))
+                    .map(|r| (r.path.clone(), total(r))),
+            )
+        };
+        let base = side(|r| r.status != FrameStatus::Added, |r| r.base_total);
+        let cand = side(|r| r.status != FrameStatus::Removed, |r| r.cand_total);
+        TreeDiff::between(&base, &cand)
+    }
+}
+
 /// Everything [`compare`] found.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct CompareReport {
@@ -122,6 +163,9 @@ pub struct CompareReport {
     pub only_in_baseline: Vec<String>,
     /// Kernels present only in the candidate (informational).
     pub only_in_candidate: Vec<String>,
+    /// Stage attribution per wall-time-regressed kernel, in kernel
+    /// order; empty when no kernel regressed or no run carried stages.
+    pub attributions: Vec<StageAttribution>,
 }
 
 impl CompareReport {
@@ -135,6 +179,11 @@ impl CompareReport {
     /// Whether any metric regressed (the CI gate).
     pub fn has_regressions(&self) -> bool {
         self.regressions().next().is_some()
+    }
+
+    /// The stage attribution for `kernel`, when one was computed.
+    pub fn attribution_for(&self, kernel: &str) -> Option<&StageAttribution> {
+        self.attributions.iter().find(|a| a.kernel == kernel)
     }
 
     /// Machine-readable form for `compare --json`.
@@ -151,6 +200,18 @@ impl CompareReport {
             })).collect::<Vec<_>>(),
             "only_in_baseline": self.only_in_baseline,
             "only_in_candidate": self.only_in_candidate,
+            "attributions": self.attributions.iter().map(|a| json!({
+                "kernel": a.kernel,
+                "root_delta_ns": a.root_delta_ns,
+                "stages": a.rows.iter().map(|r| json!({
+                    "path": r.path,
+                    "status": r.status.label(),
+                    "base_total_ns": r.base_total,
+                    "cand_total_ns": r.cand_total,
+                    "self_delta_ns": r.self_delta,
+                    "total_delta_ns": r.total_delta,
+                })).collect::<Vec<_>>(),
+            })).collect::<Vec<_>>(),
         })
     }
 }
@@ -234,6 +295,19 @@ pub fn compare(base: &RunManifest, cand: &RunManifest, cfg: &CompareConfig) -> C
             direction: Direction::LowerIsBetter,
             verdict: v,
         });
+
+        // Wall-time regression + stage trees on both sides → attribute
+        // the regression to the stages that actually slowed down.
+        if v == Verdict::Regressed {
+            if let (Some(bt), Some(ct)) = (b.stage_tree(), c.stage_tree()) {
+                let diff = TreeDiff::between(&bt, &ct);
+                report.attributions.push(StageAttribution {
+                    kernel: name.clone(),
+                    root_delta_ns: diff.root_delta(),
+                    rows: diff.ranked(),
+                });
+            }
+        }
 
         if c.throughput_per_s > 0.0 {
             let (rel, v) = classify(
@@ -319,6 +393,74 @@ pub fn compare(base: &RunManifest, cand: &RunManifest, cfg: &CompareConfig) -> C
     report
 }
 
+/// Takes the pointwise best of `other` into `best`: min wall time, max
+/// throughput, min memory peaks. When `other` holds the new best wall
+/// time it also becomes the representative record (stages, latency,
+/// checksum), so a later attribution diff is internally consistent with
+/// the wall number being gated against.
+fn fold_best(best: &mut KernelRecord, other: &KernelRecord) {
+    if other.wall_ns < best.wall_ns {
+        let prev = std::mem::replace(best, other.clone());
+        fold_scalars(best, &prev);
+    } else {
+        fold_scalars(best, other);
+    }
+}
+
+/// Overlays the pointwise-best scalar metrics of `other` onto `best`
+/// without touching the representative fields.
+fn fold_scalars(best: &mut KernelRecord, other: &KernelRecord) {
+    best.wall_ns = best.wall_ns.min(other.wall_ns);
+    if other.throughput_per_s > best.throughput_per_s {
+        best.throughput_per_s = other.throughput_per_s;
+    }
+    match (&mut best.memory, &other.memory) {
+        (Some(bm), Some(om)) => {
+            bm.peak_bytes = bm.peak_bytes.min(om.peak_bytes);
+            bm.end_bytes = bm.end_bytes.min(om.end_bytes);
+            bm.task_peak_max_bytes = match (bm.task_peak_max_bytes, om.task_peak_max_bytes) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            bm.task_peak_mean_bytes = match (bm.task_peak_mean_bytes, om.task_peak_mean_bytes) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        // A baseline that ever saw memory data keeps that signal: a
+        // candidate then compares against it instead of reading "new".
+        (None, Some(om)) => best.memory = Some(*om),
+        _ => {}
+    }
+}
+
+/// Folds N baseline manifests into one synthetic best-known baseline by
+/// taking, per kernel, the pointwise best of every metric: minimum wall
+/// time, maximum throughput, minimum memory peaks. Kernels are the
+/// union across manifests. This is what `compare --baseline-dir` gates
+/// against — min-over-N kills the "lucky slow baseline" failure mode
+/// where a candidate passes only because the single stored baseline had
+/// a noisy bad day.
+///
+/// Non-kernel fields (tier, threads, git_rev, …) come from the first
+/// manifest; callers should pre-filter to one comparable context, as
+/// the genomicsbench CLI does. Returns `None` for an empty slice.
+pub fn pointwise_min_baseline(manifests: &[RunManifest]) -> Option<RunManifest> {
+    let (first, rest) = manifests.split_first()?;
+    let mut acc = first.clone();
+    for m in rest {
+        for (name, rec) in &m.kernels {
+            match acc.kernels.get_mut(name) {
+                Some(best) => fold_best(best, rec),
+                None => {
+                    acc.kernels.insert(name.clone(), rec.clone());
+                }
+            }
+        }
+    }
+    Some(acc)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +481,7 @@ mod tests {
                     latency: None,
                     utilization: None,
                     memory: None,
+                    stages: None,
                 },
             );
         }
@@ -475,6 +618,156 @@ mod tests {
             .expect("peak_memory compared");
         assert_eq!(peak.verdict, Verdict::New);
         assert!(!r.has_regressions());
+    }
+
+    fn with_stages(m: &mut RunManifest, kernel: &str, stages: &[(&str, u64)]) {
+        m.kernels.get_mut(kernel).unwrap().stages = Some(
+            stages
+                .iter()
+                .map(|(p, t)| crate::manifest::StageTotal {
+                    path: p.to_string(),
+                    total_ns: *t,
+                })
+                .collect(),
+        );
+    }
+
+    #[test]
+    fn wall_regression_with_stages_names_the_regressing_stage() {
+        let mut base = manifest(&[("bsw", 100_000_000, 1e6)]);
+        with_stages(
+            &mut base,
+            "bsw",
+            &[("bsw", 100_000_000), ("bsw;tasks", 80_000_000)],
+        );
+        let mut cand = manifest(&[("bsw", 140_000_000, 1e6 / 1.4)]);
+        with_stages(
+            &mut cand,
+            "bsw",
+            &[("bsw", 140_000_000), ("bsw;tasks", 118_000_000)],
+        );
+        let r = compare(&base, &cand, &CompareConfig::default());
+        assert!(r.has_regressions());
+        let a = r.attribution_for("bsw").expect("attribution computed");
+        assert_eq!(a.root_delta_ns, 40_000_000);
+        // tasks self grew by 38 ms, orchestration self by 2 ms — the
+        // ranked table leads with the real culprit.
+        assert_eq!(a.rows[0].path, "bsw;tasks");
+        assert_eq!(a.rows[0].self_delta, 38_000_000);
+        // Conservation: the rows fully explain the root delta.
+        let sum: i64 = a.rows.iter().map(|r| r.self_delta).sum();
+        assert_eq!(sum, a.root_delta_ns);
+    }
+
+    #[test]
+    fn no_attribution_without_stage_data_or_without_regression() {
+        // Regressed but no stages on either side.
+        let base = manifest(&[("bsw", 100_000_000, 1e6)]);
+        let cand = manifest(&[("bsw", 140_000_000, 1e6)]);
+        let r = compare(&base, &cand, &CompareConfig::default());
+        assert!(r.has_regressions());
+        assert!(r.attributions.is_empty());
+
+        // Stages on both sides but nothing regressed.
+        let mut base = manifest(&[("bsw", 100_000_000, 1e6)]);
+        with_stages(&mut base, "bsw", &[("bsw", 100_000_000)]);
+        let mut cand = base.clone();
+        with_stages(&mut cand, "bsw", &[("bsw", 100_000_000)]);
+        let r = compare(&base, &cand, &CompareConfig::default());
+        assert!(!r.has_regressions());
+        assert!(r.attributions.is_empty());
+
+        // Regressed with stages only in the candidate: attribution
+        // needs both sides.
+        let base = manifest(&[("bsw", 100_000_000, 1e6)]);
+        let mut cand = manifest(&[("bsw", 140_000_000, 1e6)]);
+        with_stages(&mut cand, "bsw", &[("bsw", 140_000_000)]);
+        let r = compare(&base, &cand, &CompareConfig::default());
+        assert!(r.has_regressions());
+        assert!(r.attributions.is_empty());
+    }
+
+    #[test]
+    fn attributions_surface_in_json() {
+        let mut base = manifest(&[("bsw", 100_000_000, 1e6)]);
+        with_stages(&mut base, "bsw", &[("bsw", 100_000_000)]);
+        let mut cand = manifest(&[("bsw", 140_000_000, 1e6 / 1.4)]);
+        with_stages(&mut cand, "bsw", &[("bsw", 140_000_000)]);
+        let j = compare(&base, &cand, &CompareConfig::default()).to_json();
+        assert_eq!(j["attributions"][0]["kernel"], "bsw");
+        assert_eq!(j["attributions"][0]["root_delta_ns"], 40_000_000);
+        assert_eq!(j["attributions"][0]["stages"][0]["path"], "bsw");
+        assert_eq!(j["attributions"][0]["stages"][0]["status"], "matched");
+    }
+
+    #[test]
+    fn attribution_to_diff_round_trips_the_tree_diff() {
+        let mut base = manifest(&[("bsw", 100_000_000, 1e6)]);
+        with_stages(
+            &mut base,
+            "bsw",
+            &[("bsw", 100_000_000), ("bsw;old", 10_000_000)],
+        );
+        let mut cand = manifest(&[("bsw", 140_000_000, 1e6 / 1.4)]);
+        with_stages(
+            &mut cand,
+            "bsw",
+            &[("bsw", 140_000_000), ("bsw;new", 30_000_000)],
+        );
+        let r = compare(&base, &cand, &CompareConfig::default());
+        let a = r.attribution_for("bsw").unwrap();
+        let diff = a.to_diff();
+        assert_eq!(diff.root_delta(), a.root_delta_ns);
+        assert_eq!(diff.ranked(), a.rows);
+    }
+
+    #[test]
+    fn pointwise_min_takes_best_of_each_metric() {
+        let mut a = manifest(&[("bsw", 200_000_000, 1e6), ("fmi", 30_000_000, 5e6)]);
+        a.kernels.get_mut("bsw").unwrap().memory = mem(100 << 20, Some(2 << 20));
+        let mut b = manifest(&[("bsw", 160_000_000, 1.2e6), ("grm", 40_000_000, 2e6)]);
+        b.kernels.get_mut("bsw").unwrap().memory = mem(120 << 20, Some(1 << 20));
+        with_stages(&mut b, "bsw", &[("bsw", 160_000_000)]);
+
+        let min = pointwise_min_baseline(&[a, b]).expect("non-empty");
+        let bsw = &min.kernels["bsw"];
+        assert_eq!(bsw.wall_ns, 160_000_000);
+        assert_eq!(bsw.throughput_per_s, 1.2e6);
+        let m = bsw.memory.as_ref().unwrap();
+        assert_eq!(m.peak_bytes, 100 << 20);
+        assert_eq!(m.task_peak_max_bytes, Some(1 << 20));
+        // Representative fields follow the min-wall record (b's).
+        assert!(bsw.stages.is_some());
+        // Kernels are the union.
+        assert!(min.kernels.contains_key("fmi"));
+        assert!(min.kernels.contains_key("grm"));
+        assert!(pointwise_min_baseline(&[]).is_none());
+    }
+
+    #[test]
+    fn candidate_matching_a_single_baseline_passes_the_min_gate() {
+        // Min-over-N must be a no-op for N = 1: gating against the min
+        // of one manifest is gating against that manifest.
+        let m = manifest(&[("bsw", 50_000_000, 1e6)]);
+        let min = pointwise_min_baseline(std::slice::from_ref(&m)).unwrap();
+        assert_eq!(min, m);
+        let r = compare(&min, &m, &CompareConfig::default());
+        assert!(!r.has_regressions());
+    }
+
+    #[test]
+    fn lucky_slow_baseline_cannot_mask_a_regression() {
+        // One noisy-slow baseline (200 ms) would wave the 190 ms
+        // candidate through; the min over both baselines (160 ms) does
+        // not.
+        let slow = manifest(&[("chain", 200_000_000, 1e6)]);
+        let fast = manifest(&[("chain", 160_000_000, 1.25e6)]);
+        let cand = manifest(&[("chain", 190_000_000, 1.05e6)]);
+        let vs_slow = compare(&slow, &cand, &CompareConfig::default());
+        assert!(!vs_slow.has_regressions());
+        let min = pointwise_min_baseline(&[slow, fast]).unwrap();
+        let vs_min = compare(&min, &cand, &CompareConfig::default());
+        assert!(vs_min.has_regressions());
     }
 
     #[test]

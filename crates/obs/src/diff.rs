@@ -1,0 +1,315 @@
+//! Structural stage-tree diffing: run-to-run **attribution**.
+//!
+//! `compare` and `trend` can say *that* a kernel regressed; this module
+//! says *where*. [`TreeDiff::between`] matches frames of two
+//! [`StageTree`]s by full `;`-joined path and computes, per frame, the
+//! inclusive-total delta and the **self delta** (candidate self minus
+//! baseline self, in signed arithmetic — a frame absent on one side
+//! contributes zero there). Frames present only in the candidate are
+//! [`FrameStatus::Added`], only in the baseline [`FrameStatus::Removed`].
+//!
+//! # Conservation
+//!
+//! Within one tree, self values telescope: summing `total − Σ children`
+//! over every frame cancels all interior totals and leaves exactly the
+//! sum of the top-level totals. Taking the difference of that identity
+//! for the two trees gives the invariant this module is built on:
+//!
+//! > the sum of every frame's self delta — including structural adds
+//! > and removes — equals the delta of the root totals.
+//!
+//! [`TreeDiff::self_delta_sum`] and [`TreeDiff::root_delta`] are
+//! therefore always equal (property-tested in
+//! `tests/diff_properties.rs`, alongside antisymmetry: `diff(a, b)`
+//! deltas are the negation of `diff(b, a)`). Because the identity is
+//! algebraic, no regression can "leak" between stages: whatever the gate
+//! saw at the kernel root is fully distributed over the ranked rows.
+//!
+//! The diff renders two ways: [`TreeDiff::ranked`] is the attribution
+//! table (worst self-time regressor first), and
+//! [`crate::render::differential_svg`] draws the red/blue differential
+//! flamegraph.
+
+use crate::agg::{Node, StageTree};
+use std::collections::BTreeMap;
+
+/// How a frame of the diff relates to the two input trees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameStatus {
+    /// Present in both trees.
+    Matched,
+    /// Present only in the candidate.
+    Added,
+    /// Present only in the baseline.
+    Removed,
+}
+
+impl FrameStatus {
+    /// Stable lowercase label for tables and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FrameStatus::Matched => "matched",
+            FrameStatus::Added => "added",
+            FrameStatus::Removed => "removed",
+        }
+    }
+}
+
+/// One frame of the merged diff tree. Totals are `None` on the side the
+/// frame does not exist in — distinct from existing with a zero total.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct DiffNode {
+    pub(crate) base_total: Option<u64>,
+    pub(crate) cand_total: Option<u64>,
+    pub(crate) children: BTreeMap<String, DiffNode>,
+}
+
+impl DiffNode {
+    pub(crate) fn status(&self) -> FrameStatus {
+        match (self.base_total, self.cand_total) {
+            (Some(_), Some(_)) => FrameStatus::Matched,
+            (None, _) => FrameStatus::Added,
+            (_, None) => FrameStatus::Removed,
+        }
+    }
+
+    /// Signed baseline self value: total minus direct children, where
+    /// absence counts as zero. Signed (unlike [`Node::self_value`]) so
+    /// conservation is exact even on clock-jittered trees.
+    pub(crate) fn base_self(&self) -> i64 {
+        let kids: i64 = self
+            .children
+            .values()
+            .map(|c| c.base_total.unwrap_or(0) as i64)
+            .sum();
+        self.base_total.unwrap_or(0) as i64 - kids
+    }
+
+    /// Signed candidate self value; see [`DiffNode::base_self`].
+    pub(crate) fn cand_self(&self) -> i64 {
+        let kids: i64 = self
+            .children
+            .values()
+            .map(|c| c.cand_total.unwrap_or(0) as i64)
+            .sum();
+        self.cand_total.unwrap_or(0) as i64 - kids
+    }
+
+    pub(crate) fn self_delta(&self) -> i64 {
+        self.cand_self() - self.base_self()
+    }
+
+    pub(crate) fn total_delta(&self) -> i64 {
+        self.cand_total.unwrap_or(0) as i64 - self.base_total.unwrap_or(0) as i64
+    }
+
+    fn merge(base: Option<&Node>, cand: Option<&Node>) -> DiffNode {
+        let mut children = BTreeMap::new();
+        let mut names: Vec<&String> = Vec::new();
+        if let Some(b) = base {
+            names.extend(b.children.keys());
+        }
+        if let Some(c) = cand {
+            names.extend(c.children.keys());
+        }
+        names.sort();
+        names.dedup();
+        for name in names {
+            let b = base.and_then(|n| n.children.get(name));
+            let c = cand.and_then(|n| n.children.get(name));
+            children.insert(name.clone(), DiffNode::merge(b, c));
+        }
+        DiffNode {
+            base_total: base.map(|n| n.total),
+            cand_total: cand.map(|n| n.total),
+            children,
+        }
+    }
+}
+
+/// One row of the attribution table ([`TreeDiff::rows`] /
+/// [`TreeDiff::ranked`]). All deltas are candidate minus baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Depth in the merged tree (0 for top-level frames).
+    pub depth: usize,
+    /// Frame name (last path component).
+    pub name: String,
+    /// `;`-joined full path.
+    pub path: String,
+    /// Whether the frame matched or is a structural add/remove.
+    pub status: FrameStatus,
+    /// Baseline inclusive total (0 when absent).
+    pub base_total: u64,
+    /// Candidate inclusive total (0 when absent).
+    pub cand_total: u64,
+    /// Signed baseline self value.
+    pub base_self: i64,
+    /// Signed candidate self value.
+    pub cand_self: i64,
+    /// `cand_self − base_self`: the frame's own contribution to the
+    /// root delta.
+    pub self_delta: i64,
+    /// `cand_total − base_total`.
+    pub total_delta: i64,
+}
+
+/// A structural diff of two [`StageTree`]s; see the module docs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TreeDiff {
+    unit: String,
+    pub(crate) roots: BTreeMap<String, DiffNode>,
+}
+
+impl TreeDiff {
+    /// Diffs `cand` against `base`, matching frames by full path. The
+    /// trees should carry the same unit (the baseline's label is kept).
+    pub fn between(base: &StageTree, cand: &StageTree) -> TreeDiff {
+        let mut names: Vec<&String> = base.roots.keys().chain(cand.roots.keys()).collect();
+        names.sort();
+        names.dedup();
+        let mut roots = BTreeMap::new();
+        for name in names {
+            roots.insert(
+                name.clone(),
+                DiffNode::merge(base.roots.get(name), cand.roots.get(name)),
+            );
+        }
+        TreeDiff {
+            unit: base.unit().to_string(),
+            roots,
+        }
+    }
+
+    /// Unit label inherited from the inputs (`"ns"`, `"bytes"`).
+    pub fn unit(&self) -> &str {
+        &self.unit
+    }
+
+    /// True when both inputs were empty.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Delta of the top-level inclusive totals — what the gate saw.
+    pub fn root_delta(&self) -> i64 {
+        self.roots.values().map(DiffNode::total_delta).sum()
+    }
+
+    /// Sum of every frame's self delta. Identically equal to
+    /// [`TreeDiff::root_delta`] (the conservation invariant).
+    pub fn self_delta_sum(&self) -> i64 {
+        self.rows().iter().map(|r| r.self_delta).sum()
+    }
+
+    /// Depth-first rows over the merged tree, children in name order —
+    /// the deterministic traversal the SVG renderer and proptests use.
+    pub fn rows(&self) -> Vec<DiffRow> {
+        fn walk(name: &str, path: String, depth: usize, node: &DiffNode, out: &mut Vec<DiffRow>) {
+            out.push(DiffRow {
+                depth,
+                name: name.to_string(),
+                path: path.clone(),
+                status: node.status(),
+                base_total: node.base_total.unwrap_or(0),
+                cand_total: node.cand_total.unwrap_or(0),
+                base_self: node.base_self(),
+                cand_self: node.cand_self(),
+                self_delta: node.self_delta(),
+                total_delta: node.total_delta(),
+            });
+            for (n, c) in &node.children {
+                walk(n, format!("{path};{n}"), depth + 1, c, out);
+            }
+        }
+        let mut out = Vec::new();
+        for (n, c) in &self.roots {
+            walk(n, n.clone(), 0, c, &mut out);
+        }
+        out
+    }
+
+    /// The attribution table: rows ranked worst-regressing first
+    /// (descending self delta, path as the tie-break). The caller
+    /// typically takes the top few rows with a positive delta.
+    pub fn ranked(&self) -> Vec<DiffRow> {
+        let mut rows = self.rows();
+        rows.sort_by(|a, b| {
+            b.self_delta
+                .cmp(&a.self_delta)
+                .then_with(|| a.path.cmp(&b.path))
+        });
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(entries: &[(&str, u64)]) -> StageTree {
+        StageTree::from_path_totals("ns", entries.iter().map(|(p, v)| (p.to_string(), *v)))
+    }
+
+    #[test]
+    fn matched_frames_carry_signed_self_deltas() {
+        let base = tree(&[("k", 100), ("k;dp", 60), ("k;io", 20)]);
+        let cand = tree(&[("k", 130), ("k;dp", 95), ("k;io", 15)]);
+        let d = TreeDiff::between(&base, &cand);
+        assert_eq!(d.root_delta(), 30);
+        assert_eq!(d.self_delta_sum(), 30);
+        let by_path: BTreeMap<String, DiffRow> =
+            d.rows().into_iter().map(|r| (r.path.clone(), r)).collect();
+        assert_eq!(by_path["k;dp"].self_delta, 35);
+        assert_eq!(by_path["k;io"].self_delta, -5);
+        // Root self: (130-110) - (100-80) = 0.
+        assert_eq!(by_path["k"].self_delta, 0);
+        assert_eq!(by_path["k"].total_delta, 30);
+        assert!(by_path.values().all(|r| r.status == FrameStatus::Matched));
+    }
+
+    #[test]
+    fn structural_adds_and_removes_balance_the_root_delta() {
+        let base = tree(&[("k", 100), ("k;old", 40)]);
+        let cand = tree(&[("k", 100), ("k;new", 40)]);
+        let d = TreeDiff::between(&base, &cand);
+        assert_eq!(d.root_delta(), 0);
+        assert_eq!(d.self_delta_sum(), 0);
+        let by_path: BTreeMap<String, DiffRow> =
+            d.rows().into_iter().map(|r| (r.path.clone(), r)).collect();
+        assert_eq!(by_path["k;old"].status, FrameStatus::Removed);
+        assert_eq!(by_path["k;old"].self_delta, -40);
+        assert_eq!(by_path["k;new"].status, FrameStatus::Added);
+        assert_eq!(by_path["k;new"].self_delta, 40);
+        assert_eq!(by_path["k"].self_delta, 0);
+    }
+
+    #[test]
+    fn ranked_puts_the_worst_regressor_first() {
+        let base = tree(&[("k", 100), ("k;a", 10), ("k;b", 10)]);
+        let cand = tree(&[("k", 160), ("k;a", 60), ("k;b", 20)]);
+        let ranked = TreeDiff::between(&base, &cand).ranked();
+        assert_eq!(ranked[0].path, "k;a");
+        assert_eq!(ranked[0].self_delta, 50);
+        assert_eq!(ranked[1].path, "k;b");
+    }
+
+    #[test]
+    fn diff_of_identical_trees_is_all_zero() {
+        let t = tree(&[("k", 100), ("k;dp", 60)]);
+        let d = TreeDiff::between(&t, &t);
+        assert_eq!(d.root_delta(), 0);
+        assert!(d
+            .rows()
+            .iter()
+            .all(|r| r.self_delta == 0 && r.total_delta == 0 && r.status == FrameStatus::Matched));
+    }
+
+    #[test]
+    fn empty_inputs_diff_to_empty() {
+        let d = TreeDiff::between(&StageTree::new("ns"), &StageTree::new("ns"));
+        assert!(d.is_empty());
+        assert_eq!(d.rows().len(), 0);
+        assert_eq!(d.root_delta(), 0);
+    }
+}

@@ -26,6 +26,15 @@
 //! [`trend`] (per-kernel sparkline time series over N manifests with
 //! the same noise-aware gating, behind `genomicsbench trend`).
 //!
+//! Differential profiling closes the attribution loop: [`render`]
+//! draws self-contained SVG flamegraphs straight from stage trees
+//! (`profile --flame-svg`, no external tooling), and [`diff`]
+//! structurally diffs two trees — with a proven conservation invariant
+//! tying per-stage self deltas to the root delta — so a failed
+//! [`compare`] or [`trend`] gate can name the regressing stages and
+//! emit a red/blue differential flamegraph instead of a bare
+//! percentage.
+//!
 //! ```
 //! use gb_obs::{LogHistogram, NullRecorder, Recorder};
 //!
@@ -49,25 +58,33 @@
 
 pub mod agg;
 pub mod compare;
+pub mod diff;
 pub mod hist;
 pub mod manifest;
 pub mod mem;
 pub mod pool;
 pub mod recorder;
 pub mod registry;
+pub mod render;
 pub mod stats;
 pub mod sync;
 pub mod trace;
 pub mod trend;
 
 pub use agg::{StageRow, StageTree};
-pub use compare::{CompareConfig, CompareReport, Delta, Verdict};
+pub use compare::{
+    pointwise_min_baseline, CompareConfig, CompareReport, Delta, StageAttribution, Verdict,
+};
+pub use diff::{DiffRow, FrameStatus, TreeDiff};
 pub use hist::{HistogramSummary, LogHistogram};
-pub use manifest::{KernelRecord, ManifestError, MemoryRecord, RunManifest, SCHEMA_VERSION};
+pub use manifest::{
+    KernelRecord, ManifestError, MemoryRecord, RunManifest, StageTotal, SCHEMA_VERSION,
+};
 pub use mem::{MemSpan, PoolMemStats, TaskMemRecord, TaskSpan, WorkerMemTally};
 pub use pool::TaskCursor;
 pub use recorder::{NullRecorder, Recorder, TraceRecorder};
 pub use registry::MetricsRegistry;
+pub use render::{differential_svg, flamegraph_svg, Palette, RenderConfig};
 pub use stats::{TaskStats, WorkerStats};
 pub use trace::{TraceBuffer, TraceEvent};
 pub use trend::{trend, KernelTrend, TrendContext, TrendGroup, TrendReport, TrendRun};

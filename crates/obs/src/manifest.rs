@@ -29,8 +29,10 @@ use std::path::Path;
 /// per-task heap-attribution fields on `memory`
 /// (`task_peak_max_bytes`, `task_peak_mean_bytes`); `1.2` added the
 /// optional top-level `dp_engine` field recording which DP execution
-/// engine (`scalar` or `simd`) the run used.
-pub const SCHEMA_VERSION: &str = "1.2";
+/// engine (`scalar` or `simd`) the run used; `1.3` added the optional
+/// per-kernel `stages` array (flattened stage tree: `path`/`total_ns`
+/// per frame) so two manifests can be diffed stage-by-stage.
+pub const SCHEMA_VERSION: &str = "1.3";
 
 /// Parses the major component of a `major.minor` schema version.
 pub fn schema_major(version: &str) -> Option<u64> {
@@ -102,6 +104,19 @@ pub struct MemoryRecord {
     pub task_peak_mean_bytes: Option<u64>,
 }
 
+/// One frame of a kernel's flattened stage tree (schema ≥ 1.3): the
+/// `;`-joined path and the frame's inclusive nanoseconds. The list is
+/// exactly [`StageTree::path_totals`](crate::StageTree::path_totals)
+/// output, so [`StageTree::from_path_totals`](crate::StageTree::from_path_totals)
+/// reconstructs the tree losslessly for diffing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTotal {
+    /// `;`-joined frame path (`bsw;tasks`).
+    pub path: String,
+    /// Inclusive total, nanoseconds.
+    pub total_ns: u64,
+}
+
 /// One kernel's results within a run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelRecord {
@@ -124,6 +139,10 @@ pub struct KernelRecord {
     pub utilization: Option<f64>,
     /// Measured heap footprint (`mem-profile` builds only).
     pub memory: Option<MemoryRecord>,
+    /// Flattened stage tree from the run's trace (instrumented runs,
+    /// schema ≥ 1.3) — the data `compare`/`trend` use to attribute a
+    /// regression to specific stages.
+    pub stages: Option<Vec<StageTotal>>,
 }
 
 /// A complete, self-describing record of one suite invocation.
@@ -256,6 +275,18 @@ impl KernelRecord {
         if let Some(mem) = &self.memory {
             m.insert("memory".into(), mem.to_json());
         }
+        if let Some(stages) = &self.stages {
+            let rows: Vec<Value> = stages
+                .iter()
+                .map(|s| {
+                    let mut row = Map::new();
+                    row.insert("path".into(), Value::from(s.path.as_str()));
+                    row.insert("total_ns".into(), Value::from(s.total_ns));
+                    Value::Object(row)
+                })
+                .collect();
+            m.insert("stages".into(), Value::Array(rows));
+        }
         Value::Object(m)
     }
 
@@ -277,7 +308,40 @@ impl KernelRecord {
                 Some(mv) if !mv.is_null() => Some(MemoryRecord::from_json(mv)?),
                 _ => None,
             },
+            stages: match v.get("stages") {
+                Some(Value::Array(rows)) => {
+                    let mut out = Vec::with_capacity(rows.len());
+                    for row in rows {
+                        out.push(StageTotal {
+                            path: need_str(row, "path")?,
+                            total_ns: need_u64(row, "total_ns")?,
+                        });
+                    }
+                    Some(out)
+                }
+                _ => None,
+            },
         })
+    }
+
+    /// Reconstructs the kernel's [`StageTree`](crate::StageTree) from
+    /// the persisted `stages` rows (`None` when the run captured none).
+    pub fn stage_tree(&self) -> Option<crate::StageTree> {
+        let stages = self.stages.as_ref()?;
+        Some(crate::StageTree::from_path_totals(
+            "ns",
+            stages.iter().map(|s| (s.path.clone(), s.total_ns)),
+        ))
+    }
+
+    /// Persists `tree` as the kernel's flattened `stages` rows.
+    pub fn set_stage_tree(&mut self, tree: &crate::StageTree) {
+        self.stages = Some(
+            tree.path_totals()
+                .into_iter()
+                .map(|(path, total_ns)| StageTotal { path, total_ns })
+                .collect(),
+        );
     }
 }
 
@@ -499,6 +563,7 @@ mod tests {
                 latency: None,
                 utilization: Some(0.93),
                 memory: None,
+                stages: None,
             },
         );
         m
@@ -603,6 +668,23 @@ mod tests {
         let back = RunManifest::from_json(&m.to_json()).unwrap();
         assert_eq!(back.dp_engine.as_deref(), Some("simd"));
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn stages_round_trip_and_stay_optional() {
+        let mut m = sample();
+        // Absent -> omitted from the JSON, loads back as None.
+        assert!(m.to_json()["kernels"]["chain"].get("stages").is_none());
+        let mut tree = crate::StageTree::new("ns");
+        tree.add_total(&["chain"], 3_000_000);
+        tree.add_total(&["chain", "tasks"], 2_700_000);
+        let rec = m.kernels.get_mut("chain").unwrap();
+        rec.set_stage_tree(&tree);
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+        let round = back.kernels["chain"].stage_tree().expect("stages kept");
+        assert_eq!(round, tree);
+        assert_eq!(round.total_of("chain"), 3_000_000);
     }
 
     #[test]

@@ -151,6 +151,37 @@ impl TraceRecorder {
         self.inner.lock().expect("recorder lock").materialize()
     }
 
+    /// Number of events buffered so far — cheap (no materialization),
+    /// so callers running several kernels through one recorder can
+    /// bookmark the stream and slice it per kernel afterwards.
+    pub fn event_count(&self) -> usize {
+        self.inner.lock().expect("recorder lock").events.len()
+    }
+
+    /// Materializes only the events at index `start` onward — the
+    /// suffix recorded since an [`TraceRecorder::event_count`]
+    /// bookmark. `run` uses this to build one stage tree per kernel
+    /// from a single shared recorder without cloning the whole stream
+    /// N times.
+    pub fn trace_from(&self, start: usize) -> TraceBuffer {
+        let inner = self.inner.lock().expect("recorder lock");
+        TraceBuffer {
+            events: inner
+                .events
+                .iter()
+                .skip(start)
+                .map(|e| TraceEvent {
+                    name: inner.interner.get(e.name).to_string(),
+                    cat: inner.interner.get(e.cat).to_string(),
+                    ph: e.ph,
+                    ts_ns: e.ts_ns,
+                    dur_ns: e.dur_ns,
+                    tid: e.tid,
+                })
+                .collect(),
+        }
+    }
+
     /// Consumes the recorder, returning the buffered events.
     pub fn into_trace(self) -> TraceBuffer {
         self.inner
@@ -263,6 +294,21 @@ mod tests {
         assert_eq!(trace.events[0].name, "chain");
         assert_eq!(trace.events[0].cat, "task");
         assert_eq!(trace.events[10_000].cat, "instant");
+    }
+
+    #[test]
+    fn event_count_bookmarks_slice_the_stream() {
+        let r = TraceRecorder::new();
+        r.span("a", "task", 0, 0, 10);
+        let mark = r.event_count();
+        assert_eq!(mark, 1);
+        r.span("b", "task", 0, 20, 10);
+        r.instant("tick", 1, 35);
+        let tail = r.trace_from(mark);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail.events[0].name, "b");
+        assert_eq!(tail.events[1].name, "tick");
+        assert_eq!(r.trace_from(99).len(), 0);
     }
 
     #[test]

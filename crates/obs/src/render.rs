@@ -1,0 +1,607 @@
+//! Dependency-free SVG flamegraph rendering over [`StageTree`]s and
+//! [`TreeDiff`]s — no inferno, no `flamegraph.pl`.
+//!
+//! The output is a **self-contained single file**: inline `<style>`,
+//! no scripts, no external references (the only URL is the mandatory
+//! SVG `xmlns`). Layout is the classic icicle: x-extent proportional to
+//! a frame's inclusive value, one row per depth, children partitioning
+//! their parent left-to-right in name order. Everything is
+//! deterministic — frame colors are hashed from the frame name, not
+//! randomized — so re-rendering the same tree is byte-identical and CI
+//! artifacts diff cleanly.
+//!
+//! Each frame is a `<g>` carrying machine-readable `data-*` attributes
+//! (path, values, depth) and a `<title>` child, which browsers show as
+//! a hover tooltip; the structural golden test in
+//! `tests/render_svg.rs` parses those attributes back out and checks
+//! frame count, nesting, and width proportionality.
+//!
+//! [`flamegraph_svg`] renders one tree with a wall-time (warm) or
+//! peak-memory (cool) palette; [`differential_svg`] renders a
+//! [`TreeDiff`] in the Brendan-Gregg differential style — red frames
+//! got slower in the candidate, blue got faster, gray frames were
+//! structurally added or removed. A differential frame's x-extent is
+//! `max(base self, cand self) + Σ children`, which keeps both sides'
+//! frames visible while guaranteeing children never overflow their
+//! parent.
+
+use crate::agg::{Node, StageTree};
+use crate::diff::{DiffNode, FrameStatus, TreeDiff};
+use std::fmt::Write as _;
+
+/// Frame-fill color family for [`flamegraph_svg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Palette {
+    /// Warm reds/oranges — wall/CPU time trees.
+    Wall,
+    /// Cool blues/greens — byte trees.
+    Memory,
+}
+
+/// Rendering knobs; the defaults match CI artifact expectations.
+#[derive(Debug, Clone)]
+pub struct RenderConfig {
+    /// Headline drawn at the top of the image.
+    pub title: String,
+    /// Total image width in px.
+    pub width: u32,
+    /// Height of one frame row in px.
+    pub frame_height: u32,
+    /// Color family.
+    pub palette: Palette,
+}
+
+impl RenderConfig {
+    /// Wall-time defaults: 1200 px wide, warm palette.
+    pub fn wall(title: &str) -> RenderConfig {
+        RenderConfig {
+            title: title.to_string(),
+            width: 1200,
+            frame_height: 16,
+            palette: Palette::Wall,
+        }
+    }
+
+    /// Peak-memory defaults: 1200 px wide, cool palette.
+    pub fn memory(title: &str) -> RenderConfig {
+        RenderConfig {
+            palette: Palette::Memory,
+            ..RenderConfig::wall(title)
+        }
+    }
+}
+
+const MARGIN: f64 = 10.0;
+const HEADER: f64 = 42.0;
+const ROW_GAP: f64 = 1.0;
+/// Minimum frame width that still gets a text label.
+const MIN_LABEL_PX: f64 = 28.0;
+/// Approximate glyph advance at font-size 11 monospace-ish.
+const CHAR_PX: f64 = 6.6;
+
+/// Escapes the five XML-reserved characters for element and attribute
+/// content.
+fn xml_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// FNV-1a over the frame name: the deterministic entropy source for
+/// per-frame color jitter.
+fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn frame_fill(name: &str, palette: Palette) -> String {
+    let h = name_hash(name);
+    match palette {
+        Palette::Wall => format!(
+            "rgb({},{},{})",
+            205 + (h % 50),
+            50 + ((h >> 8) % 130),
+            (h >> 16) % 55
+        ),
+        Palette::Memory => format!(
+            "rgb({},{},{})",
+            (h % 60),
+            110 + ((h >> 8) % 100),
+            160 + ((h >> 16) % 90)
+        ),
+    }
+}
+
+/// Human-readable value in the tree's unit (`ns` and `bytes` get
+/// adaptive prefixes, anything else renders raw).
+pub fn format_value(unit: &str, v: u64) -> String {
+    match unit {
+        "ns" => {
+            let v = v as f64;
+            if v < 1_000.0 {
+                format!("{v:.0} ns")
+            } else if v < 1_000_000.0 {
+                format!("{:.1} us", v / 1_000.0)
+            } else if v < 1_000_000_000.0 {
+                format!("{:.1} ms", v / 1_000_000.0)
+            } else {
+                format!("{:.2} s", v / 1_000_000_000.0)
+            }
+        }
+        "bytes" => {
+            let v = v as f64;
+            if v < 1024.0 {
+                format!("{v:.0} B")
+            } else if v < 1024.0 * 1024.0 {
+                format!("{:.1} KiB", v / 1024.0)
+            } else if v < 1024.0 * 1024.0 * 1024.0 {
+                format!("{:.1} MiB", v / (1024.0 * 1024.0))
+            } else {
+                format!("{:.2} GiB", v / (1024.0 * 1024.0 * 1024.0))
+            }
+        }
+        _ => format!("{v} {unit}"),
+    }
+}
+
+/// Signed [`format_value`]: `+1.2 ms` / `-340 us` / `0 ns`.
+pub fn format_delta(unit: &str, d: i64) -> String {
+    let sign = if d > 0 {
+        "+"
+    } else if d < 0 {
+        "-"
+    } else {
+        ""
+    };
+    format!("{sign}{}", format_value(unit, d.unsigned_abs()))
+}
+
+fn svg_open(out: &mut String, cfg_width: u32, height: f64, title: &str, subtitle: &str) {
+    let w = cfg_width;
+    let _ = write!(
+        out,
+        "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
+         <svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h:.0}\" \
+         viewBox=\"0 0 {w} {h:.0}\">\n",
+        h = height
+    );
+    out.push_str(
+        "<style>\n\
+         text { font-family: Menlo, Consolas, monospace; font-size: 11px; fill: #222; }\n\
+         .hdr { font-size: 14px; font-weight: bold; }\n\
+         .sub { font-size: 10px; fill: #666; }\n\
+         .f rect { stroke: #fff; stroke-width: 0.5; }\n\
+         .f:hover rect { stroke: #000; }\n\
+         </style>\n",
+    );
+    let _ = write!(
+        out,
+        "<rect x=\"0\" y=\"0\" width=\"{w}\" height=\"{h:.0}\" fill=\"#fdfdfd\"/>\n\
+         <text class=\"hdr\" x=\"{m}\" y=\"20\">{t}</text>\n\
+         <text class=\"sub\" x=\"{m}\" y=\"34\">{s}</text>\n",
+        h = height,
+        m = MARGIN,
+        t = xml_escape(title),
+        s = xml_escape(subtitle),
+    );
+}
+
+fn emit_frame_text(out: &mut String, x: f64, y: f64, w: f64, fh: f64, name: &str) {
+    if w < MIN_LABEL_PX {
+        return;
+    }
+    let max_chars = ((w - 6.0) / CHAR_PX) as usize;
+    if max_chars < 3 {
+        return;
+    }
+    let label: String = if name.chars().count() > max_chars {
+        let mut s: String = name.chars().take(max_chars.saturating_sub(1)).collect();
+        s.push('\u{2026}');
+        s
+    } else {
+        name.to_string()
+    };
+    let _ = writeln!(
+        out,
+        "<text x=\"{:.2}\" y=\"{:.2}\">{}</text>",
+        x + 3.0,
+        y + fh - 4.0,
+        xml_escape(&label)
+    );
+}
+
+fn max_depth_node(node: &Node) -> usize {
+    1 + node
+        .children
+        .values()
+        .map(max_depth_node)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Renders `tree` as a self-contained SVG flamegraph (icicle layout,
+/// deterministic colors, `<title>` tooltips). Returns the full SVG
+/// document as a string.
+pub fn flamegraph_svg(tree: &StageTree, cfg: &RenderConfig) -> String {
+    let grand_total: u64 = tree.total();
+    let depth_rows = tree.roots.values().map(max_depth_node).max().unwrap_or(0);
+    let fh = f64::from(cfg.frame_height);
+    let height = HEADER + depth_rows as f64 * (fh + ROW_GAP) + MARGIN;
+    let drawable = f64::from(cfg.width) - 2.0 * MARGIN;
+
+    let mut out = String::new();
+    let subtitle = format!(
+        "total {} \u{00b7} {} top-level frame(s) \u{00b7} width \u{221d} inclusive {}",
+        format_value(tree.unit(), grand_total),
+        tree.roots.len(),
+        tree.unit()
+    );
+    svg_open(&mut out, cfg.width, height, &cfg.title, &subtitle);
+
+    // Recursive emit: each frame gets the x-extent proportional to its
+    // inclusive total; children pack left-to-right inside it. The arg
+    // list is the full per-frame layout state, threaded explicitly so
+    // the recursion stays a plain fn.
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        out: &mut String,
+        name: &str,
+        path: &str,
+        node: &Node,
+        x: f64,
+        w: f64,
+        depth: usize,
+        grand_total: u64,
+        unit: &str,
+        fh: f64,
+        palette: Palette,
+    ) {
+        let y = HEADER + depth as f64 * (fh + ROW_GAP);
+        let pct = if grand_total > 0 {
+            node.total as f64 * 100.0 / grand_total as f64
+        } else {
+            0.0
+        };
+        let mut tooltip = format!(
+            "{path} \u{00b7} total {} ({pct:.1}%) \u{00b7} self {}",
+            format_value(unit, node.total),
+            format_value(unit, node.self_value()),
+        );
+        if let Some(note) = &node.note {
+            let _ = write!(tooltip, " \u{00b7} {note}");
+        }
+        let _ = write!(
+            out,
+            "<g class=\"f\" data-path=\"{}\" data-depth=\"{depth}\" data-total=\"{}\" \
+             data-self=\"{}\">\n<title>{}</title>\n\
+             <rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{fh:.0}\" fill=\"{}\"/>\n",
+            xml_escape(path),
+            node.total,
+            node.self_value(),
+            xml_escape(&tooltip),
+            frame_fill(name, palette),
+        );
+        emit_frame_text(out, x, y, w, fh, name);
+        out.push_str("</g>\n");
+        let mut cursor = x;
+        for (cname, child) in &node.children {
+            let cw = if node.total > 0 {
+                (w * child.total as f64 / node.total as f64).min(x + w - cursor)
+            } else {
+                0.0
+            };
+            let cpath = format!("{path};{cname}");
+            emit(
+                out,
+                cname,
+                &cpath,
+                child,
+                cursor,
+                cw.max(0.0),
+                depth + 1,
+                grand_total,
+                unit,
+                fh,
+                palette,
+            );
+            cursor += cw.max(0.0);
+        }
+    }
+
+    let mut cursor = MARGIN;
+    for (name, node) in &tree.roots {
+        let w = if grand_total > 0 {
+            drawable * node.total as f64 / grand_total as f64
+        } else {
+            0.0
+        };
+        emit(
+            &mut out,
+            name,
+            name,
+            node,
+            cursor,
+            w,
+            0,
+            grand_total,
+            tree.unit(),
+            fh,
+            cfg.palette,
+        );
+        cursor += w;
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// The x-extent a diff frame occupies: the larger of its two (clamped)
+/// self values plus its children's extents — so added, removed, and
+/// both matched sides all stay visible, and a parent always covers its
+/// children.
+fn layout_total(node: &DiffNode) -> u64 {
+    let self_px = node.base_self().max(node.cand_self()).max(0) as u64;
+    self_px + node.children.values().map(layout_total).sum::<u64>()
+}
+
+fn diff_fill(node: &DiffNode, scale: i64) -> String {
+    match node.status() {
+        FrameStatus::Added => "rgb(160,160,160)".to_string(),
+        FrameStatus::Removed => "rgb(205,205,205)".to_string(),
+        FrameStatus::Matched => {
+            let t = if scale > 0 {
+                (node.self_delta() as f64 / scale as f64).clamp(-1.0, 1.0)
+            } else {
+                0.0
+            };
+            if t >= 0.0 {
+                // white -> red(220,50,47) as the frame regresses.
+                format!(
+                    "rgb({},{},{})",
+                    (255.0 - 35.0 * t) as u32,
+                    (255.0 - 205.0 * t) as u32,
+                    (255.0 - 208.0 * t) as u32
+                )
+            } else {
+                // white -> blue(38,139,210) as the frame improves.
+                let t = -t;
+                format!(
+                    "rgb({},{},{})",
+                    (255.0 - 217.0 * t) as u32,
+                    (255.0 - 116.0 * t) as u32,
+                    (255.0 - 45.0 * t) as u32
+                )
+            }
+        }
+    }
+}
+
+fn max_depth_diff(node: &DiffNode) -> usize {
+    1 + node
+        .children
+        .values()
+        .map(max_depth_diff)
+        .max()
+        .unwrap_or(0)
+}
+
+fn max_abs_self_delta(node: &DiffNode) -> i64 {
+    node.children
+        .values()
+        .map(max_abs_self_delta)
+        .max()
+        .unwrap_or(0)
+        .max(node.self_delta().abs())
+}
+
+/// Renders a [`TreeDiff`] as a self-contained differential flamegraph
+/// SVG: red = self time grew in the candidate, blue = shrank, gray =
+/// frame added/removed. Color intensity scales with the frame's share
+/// of the largest absolute self delta.
+pub fn differential_svg(diff: &TreeDiff, cfg: &RenderConfig) -> String {
+    let depth_rows = diff.roots.values().map(max_depth_diff).max().unwrap_or(0);
+    let fh = f64::from(cfg.frame_height);
+    let height = HEADER + depth_rows as f64 * (fh + ROW_GAP) + MARGIN;
+    let drawable = f64::from(cfg.width) - 2.0 * MARGIN;
+    let grand_layout: u64 = diff.roots.values().map(layout_total).sum();
+    let scale = diff
+        .roots
+        .values()
+        .map(max_abs_self_delta)
+        .max()
+        .unwrap_or(0);
+
+    let mut out = String::new();
+    let subtitle = format!(
+        "root \u{0394} {} \u{00b7} red = slower in candidate, blue = faster, gray = added/removed",
+        format_delta(diff.unit(), diff.root_delta())
+    );
+    svg_open(&mut out, cfg.width, height, &cfg.title, &subtitle);
+
+    // Same shape as the flamegraph emitter: the args are the whole
+    // per-frame layout state of the recursion.
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        out: &mut String,
+        name: &str,
+        path: &str,
+        node: &DiffNode,
+        x: f64,
+        w: f64,
+        depth: usize,
+        unit: &str,
+        fh: f64,
+        scale: i64,
+        px_per_unit: f64,
+    ) {
+        let y = HEADER + depth as f64 * (fh + ROW_GAP);
+        let tooltip = format!(
+            "{path} \u{00b7} self {} \u{2192} {} (\u{0394} {}) \u{00b7} total \u{0394} {} \u{00b7} {}",
+            format_value(unit, node.base_self().max(0).unsigned_abs()),
+            format_value(unit, node.cand_self().max(0).unsigned_abs()),
+            format_delta(unit, node.self_delta()),
+            format_delta(unit, node.total_delta()),
+            node.status().label(),
+        );
+        let _ = write!(
+            out,
+            "<g class=\"f\" data-path=\"{}\" data-depth=\"{depth}\" data-status=\"{}\" \
+             data-self-delta=\"{}\">\n<title>{}</title>\n\
+             <rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{fh:.0}\" fill=\"{}\"/>\n",
+            xml_escape(path),
+            node.status().label(),
+            node.self_delta(),
+            xml_escape(&tooltip),
+            diff_fill(node, scale),
+        );
+        emit_frame_text(out, x, y, w, fh, name);
+        out.push_str("</g>\n");
+        // Children pack after the parent's own self extent, so the
+        // leading slack of the parent's bar reads as its self share.
+        let mut cursor = x;
+        for (cname, child) in &node.children {
+            let cw = (layout_total(child) as f64 * px_per_unit).min(x + w - cursor);
+            let cpath = format!("{path};{cname}");
+            emit(
+                out,
+                cname,
+                &cpath,
+                child,
+                cursor,
+                cw.max(0.0),
+                depth + 1,
+                unit,
+                fh,
+                scale,
+                px_per_unit,
+            );
+            cursor += cw.max(0.0);
+        }
+    }
+
+    let px_per_unit = if grand_layout > 0 {
+        drawable / grand_layout as f64
+    } else {
+        0.0
+    };
+    let mut cursor = MARGIN;
+    for (name, node) in &diff.roots {
+        let w = layout_total(node) as f64 * px_per_unit;
+        emit(
+            &mut out,
+            name,
+            name,
+            node,
+            cursor,
+            w,
+            0,
+            diff.unit(),
+            fh,
+            scale,
+            px_per_unit,
+        );
+        cursor += w;
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::TreeDiff;
+
+    fn tree(entries: &[(&str, u64)]) -> StageTree {
+        StageTree::from_path_totals("ns", entries.iter().map(|(p, v)| (p.to_string(), *v)))
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_self_contained() {
+        let t = tree(&[("k", 1_000_000), ("k;dp", 600_000), ("k;io", 250_000)]);
+        let svg = flamegraph_svg(&t, &RenderConfig::wall("k \u{00b7} tiny"));
+        assert!(svg.starts_with("<?xml"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<svg").count(), 1);
+        // Self-contained: the only URL is the SVG namespace.
+        assert!(!svg.contains("href"));
+        assert!(!svg.contains("url("));
+        assert!(!svg.contains("<script"));
+        assert_eq!(svg.matches("http").count(), 1);
+        // One frame group per tree node.
+        assert_eq!(svg.matches("<g class=\"f\"").count(), t.rows().len());
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let t = tree(&[("k", 100), ("k;a", 60)]);
+        let cfg = RenderConfig::wall("t");
+        assert_eq!(flamegraph_svg(&t, &cfg), flamegraph_svg(&t, &cfg));
+    }
+
+    #[test]
+    fn titles_escape_xml_metacharacters() {
+        let t = tree(&[("a<b>&\"c\"", 10)]);
+        let svg = flamegraph_svg(&t, &RenderConfig::wall("x < y & z"));
+        assert!(svg.contains("a&lt;b&gt;&amp;&quot;c&quot;"));
+        assert!(svg.contains("x &lt; y &amp; z"));
+        assert!(!svg.contains("<b>"));
+    }
+
+    #[test]
+    fn memory_palette_differs_from_wall() {
+        let t = StageTree::from_path_totals("bytes", [("k".to_string(), 1u64 << 20)]);
+        let wall = flamegraph_svg(&t, &RenderConfig::wall("t"));
+        let mem = flamegraph_svg(&t, &RenderConfig::memory("t"));
+        assert_ne!(wall, mem);
+        assert!(mem.contains("MiB"), "svg:\n{mem}");
+    }
+
+    #[test]
+    fn differential_svg_marks_statuses_and_direction() {
+        let base = tree(&[
+            ("k", 100_000_000),
+            ("k;old", 20_000_000),
+            ("k;dp", 50_000_000),
+        ]);
+        let cand = tree(&[
+            ("k", 130_000_000),
+            ("k;new", 20_000_000),
+            ("k;dp", 80_000_000),
+        ]);
+        let d = TreeDiff::between(&base, &cand);
+        let svg = differential_svg(&d, &RenderConfig::wall("k diff"));
+        assert!(svg.contains("data-status=\"added\""));
+        assert!(svg.contains("data-status=\"removed\""));
+        assert!(svg.contains("data-status=\"matched\""));
+        // The worst regressor (k;dp, +30ms self) renders saturated red.
+        assert!(svg.contains("rgb(220,50,47)"), "svg:\n{svg}");
+        assert_eq!(svg.matches("<g class=\"f\"").count(), d.rows().len());
+        assert!(!svg.contains("href"));
+    }
+
+    #[test]
+    fn value_formatting_is_adaptive() {
+        assert_eq!(format_value("ns", 950), "950 ns");
+        assert_eq!(format_value("ns", 12_500), "12.5 us");
+        assert_eq!(format_value("ns", 9_800_000), "9.8 ms");
+        assert_eq!(format_value("ns", 2_500_000_000), "2.50 s");
+        assert_eq!(format_value("bytes", 512), "512 B");
+        assert_eq!(format_value("bytes", 5 << 20), "5.0 MiB");
+        assert_eq!(format_value("cells", 7), "7 cells");
+        assert_eq!(format_delta("ns", 9_800_000), "+9.8 ms");
+        assert_eq!(format_delta("ns", -9_800_000), "-9.8 ms");
+        assert_eq!(format_delta("ns", 0), "0 ns");
+    }
+}

@@ -22,7 +22,8 @@
 //! change the report — a property under proptest in
 //! `tests/trend_properties.rs`.
 
-use crate::compare::{classify, CompareConfig, Direction, Verdict};
+use crate::compare::{classify, CompareConfig, Direction, StageAttribution, Verdict};
+use crate::diff::TreeDiff;
 use crate::manifest::RunManifest;
 use serde_json::{json, Value};
 use std::collections::BTreeMap;
@@ -114,14 +115,24 @@ pub struct KernelTrend {
     pub sparkline: String,
     /// Best (minimum) wall among runs before the latest sample.
     pub best_prev_ns: Option<u64>,
+    /// Series index of the best earlier run (earliest on ties) — which
+    /// run `best_prev_ns` came from, so callers can recover that run's
+    /// stage tree for differential rendering.
+    pub best_prev_idx: Option<usize>,
     /// The latest sample.
     pub latest_ns: Option<u64>,
+    /// Series index of the latest sample.
+    pub latest_idx: Option<usize>,
     /// `(latest - best_prev) / best_prev` (0 when undefined).
     pub rel_change: f64,
     /// Latest-vs-best-previous classification under the compare
     /// tolerances; [`Verdict::New`] when the series has fewer than two
     /// samples.
     pub verdict: Verdict,
+    /// Stage attribution of a [`Verdict::Regressed`] latest run against
+    /// the best earlier run, when both manifests carry stage data for
+    /// this kernel (schema ≥ 1.3).
+    pub attribution: Option<StageAttribution>,
 }
 
 /// All kernels' series for one context.
@@ -178,9 +189,20 @@ impl TrendReport {
                     "wall_ns": k.wall_ns,
                     "sparkline": k.sparkline,
                     "best_prev_ns": k.best_prev_ns,
+                    "best_prev_idx": k.best_prev_idx,
                     "latest_ns": k.latest_ns,
+                    "latest_idx": k.latest_idx,
                     "rel_change": k.rel_change,
                     "verdict": k.verdict.label(),
+                    "attribution": k.attribution.as_ref().map(|a| json!({
+                        "root_delta_ns": a.root_delta_ns,
+                        "stages": a.rows.iter().map(|r| json!({
+                            "path": r.path,
+                            "status": r.status.label(),
+                            "self_delta_ns": r.self_delta,
+                            "total_delta_ns": r.total_delta,
+                        })).collect::<Vec<_>>(),
+                    })),
                 })).collect::<Vec<_>>(),
             })).collect::<Vec<_>>(),
         })
@@ -243,8 +265,18 @@ pub fn trend(manifests: &[RunManifest], cfg: &CompareConfig) -> TrendReport {
                     .collect();
                 let latest_idx = wall_ns.iter().rposition(Option::is_some);
                 let latest_ns = latest_idx.and_then(|i| wall_ns[i]);
-                let best_prev_ns =
-                    latest_idx.and_then(|i| wall_ns[..i].iter().flatten().copied().min());
+                // Argmin, not just min: the *which run* matters for
+                // attribution. Ties pick the earliest run, matching the
+                // value `min()` alone would have produced.
+                let best_prev = latest_idx.and_then(|i| {
+                    wall_ns[..i]
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(j, v)| v.map(|v| (v, j)))
+                        .min()
+                });
+                let best_prev_ns = best_prev.map(|(v, _)| v);
+                let best_prev_idx = best_prev.map(|(_, j)| j);
                 let (rel_change, verdict) = match (best_prev_ns, latest_ns) {
                     (Some(best), Some(latest)) => {
                         let gated = best.max(latest) >= cfg.min_wall_ns;
@@ -261,14 +293,37 @@ pub fn trend(manifests: &[RunManifest], cfg: &CompareConfig) -> TrendReport {
                     // A single sample has no history to drift from.
                     _ => (0.0, Verdict::New),
                 };
+                // Same contract as `compare`: a gating regression with
+                // stage trees on both sides gets a ranked attribution.
+                let attribution = match (verdict, best_prev_idx, latest_idx) {
+                    (Verdict::Regressed, Some(bi), Some(li)) => {
+                        let tree_of =
+                            |i: usize| ms[i].kernels.get(&kernel).and_then(|r| r.stage_tree());
+                        match (tree_of(bi), tree_of(li)) {
+                            (Some(bt), Some(ct)) => {
+                                let diff = TreeDiff::between(&bt, &ct);
+                                Some(StageAttribution {
+                                    kernel: kernel.clone(),
+                                    root_delta_ns: diff.root_delta(),
+                                    rows: diff.ranked(),
+                                })
+                            }
+                            _ => None,
+                        }
+                    }
+                    _ => None,
+                };
                 KernelTrend {
                     sparkline: sparkline(&wall_ns),
                     kernel,
                     wall_ns,
                     best_prev_ns,
+                    best_prev_idx,
                     latest_ns,
+                    latest_idx,
                     rel_change,
                     verdict,
+                    attribution,
                 }
             })
             .collect();
@@ -310,6 +365,7 @@ mod tests {
                     latency: None,
                     utilization: None,
                     memory: None,
+                    stages: None,
                 },
             );
         }
@@ -405,6 +461,63 @@ mod tests {
         );
         let rev = trend(&[c, b, a], &CompareConfig::default());
         assert_eq!(fwd, rev);
+    }
+
+    fn with_stages(m: &mut RunManifest, kernel: &str, stages: &[(&str, u64)]) {
+        m.kernels.get_mut(kernel).unwrap().stages = Some(
+            stages
+                .iter()
+                .map(|(p, t)| crate::manifest::StageTotal {
+                    path: p.to_string(),
+                    total_ns: *t,
+                })
+                .collect(),
+        );
+    }
+
+    #[test]
+    fn regressed_series_attributes_against_the_best_run_not_the_previous_one() {
+        // Best run is the FIRST (50 ms); the middle run is slower. The
+        // attribution must diff latest against run 0, not run 1.
+        let mut first = manifest("tiny", 2, 100, "aaa", &[("bsw", 50_000_000)]);
+        with_stages(
+            &mut first,
+            "bsw",
+            &[("bsw", 50_000_000), ("bsw;tasks", 40_000_000)],
+        );
+        let mut mid = manifest("tiny", 2, 200, "bbb", &[("bsw", 55_000_000)]);
+        with_stages(
+            &mut mid,
+            "bsw",
+            &[("bsw", 55_000_000), ("bsw;tasks", 44_000_000)],
+        );
+        let mut last = manifest("tiny", 2, 300, "ccc", &[("bsw", 90_000_000)]);
+        with_stages(
+            &mut last,
+            "bsw",
+            &[("bsw", 90_000_000), ("bsw;tasks", 78_000_000)],
+        );
+        let r = trend(&[first, mid, last], &CompareConfig::default());
+        let k = &r.groups[0].kernels[0];
+        assert_eq!(k.verdict, Verdict::Regressed);
+        assert_eq!(k.best_prev_idx, Some(0));
+        assert_eq!(k.latest_idx, Some(2));
+        let a = k.attribution.as_ref().expect("attribution computed");
+        assert_eq!(a.root_delta_ns, 40_000_000);
+        assert_eq!(a.rows[0].path, "bsw;tasks");
+        assert_eq!(a.rows[0].self_delta, 38_000_000);
+    }
+
+    #[test]
+    fn regression_without_stage_data_has_no_attribution() {
+        let ms = vec![
+            manifest("tiny", 2, 100, "aaa", &[("bsw", 50_000_000)]),
+            manifest("tiny", 2, 300, "ccc", &[("bsw", 90_000_000)]),
+        ];
+        let r = trend(&ms, &CompareConfig::default());
+        let k = &r.groups[0].kernels[0];
+        assert_eq!(k.verdict, Verdict::Regressed);
+        assert!(k.attribution.is_none());
     }
 
     #[test]

@@ -22,6 +22,7 @@ fn manifest_from(walls: &[(String, u64, u64)]) -> RunManifest {
                 latency: None,
                 utilization: None,
                 memory: None,
+                stages: None,
             },
         );
     }

@@ -1,0 +1,106 @@
+//! Property tests for the structural stage-tree diff.
+//!
+//! The two load-bearing theorems:
+//!
+//! * **Conservation** — over *arbitrary* pairs of trees (including
+//!   pathological ones where a child's total exceeds its parent's, or
+//!   frames exist on only one side), the sum of every frame's signed
+//!   self delta is identically the root delta. This is what lets the
+//!   attribution table claim "these stages account for the whole
+//!   regression" without an error term.
+//! * **Antisymmetry** — `diff(a, b)` is `diff(b, a)` with every delta
+//!   negated, the two sides' totals swapped, and Added ↔ Removed
+//!   statuses exchanged. Nothing about the diff privileges one
+//!   argument beyond direction.
+
+use gb_obs::{FrameStatus, StageTree, TreeDiff};
+use proptest::prelude::*;
+
+/// A random stage tree over a small shared segment alphabet, so two
+/// independently drawn trees overlap on some paths (matched frames)
+/// and disagree on others (added/removed frames). Totals are set per
+/// path with no parent/child consistency on purpose — the diff must
+/// conserve even on malformed inputs.
+fn tree_strategy() -> impl Strategy<Value = StageTree> {
+    let segment = 0u8..4;
+    let path = proptest::collection::vec(segment, 1..4).prop_map(|segs| {
+        segs.iter()
+            .map(|s| format!("s{s}"))
+            .collect::<Vec<_>>()
+            .join(";")
+    });
+    proptest::collection::vec((path, 0u64..1_000_000), 0..12)
+        .prop_map(|entries| StageTree::from_path_totals("ns", entries))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn self_deltas_conserve_the_root_delta(
+        a in tree_strategy(),
+        b in tree_strategy(),
+    ) {
+        let d = TreeDiff::between(&a, &b);
+        prop_assert_eq!(d.self_delta_sum(), d.root_delta());
+        // And explicitly from the rows, the way consumers sum them.
+        let row_sum: i64 = d.rows().iter().map(|r| r.self_delta).sum();
+        prop_assert_eq!(row_sum, d.root_delta());
+    }
+
+    #[test]
+    fn diffing_in_reverse_negates_everything(
+        a in tree_strategy(),
+        b in tree_strategy(),
+    ) {
+        let fwd = TreeDiff::between(&a, &b).rows();
+        let rev = TreeDiff::between(&b, &a).rows();
+        prop_assert_eq!(fwd.len(), rev.len());
+        for (f, r) in fwd.iter().zip(&rev) {
+            prop_assert_eq!(&f.path, &r.path);
+            prop_assert_eq!(f.depth, r.depth);
+            prop_assert_eq!(f.self_delta, -r.self_delta);
+            prop_assert_eq!(f.total_delta, -r.total_delta);
+            prop_assert_eq!(f.base_total, r.cand_total);
+            prop_assert_eq!(f.cand_total, r.base_total);
+            prop_assert_eq!(f.base_self, r.cand_self);
+            prop_assert_eq!(f.cand_self, r.base_self);
+            let mirrored = match f.status {
+                FrameStatus::Added => FrameStatus::Removed,
+                FrameStatus::Removed => FrameStatus::Added,
+                FrameStatus::Matched => FrameStatus::Matched,
+            };
+            prop_assert_eq!(mirrored, r.status);
+        }
+    }
+
+    #[test]
+    fn ranked_is_a_permutation_sorted_by_self_delta(
+        a in tree_strategy(),
+        b in tree_strategy(),
+    ) {
+        let d = TreeDiff::between(&a, &b);
+        let ranked = d.ranked();
+        prop_assert_eq!(ranked.len(), d.rows().len());
+        for pair in ranked.windows(2) {
+            prop_assert!(pair[0].self_delta >= pair[1].self_delta);
+        }
+        let mut ranked_paths: Vec<&str> = ranked.iter().map(|r| r.path.as_str()).collect();
+        let rows = d.rows();
+        let mut row_paths: Vec<&str> = rows.iter().map(|r| r.path.as_str()).collect();
+        ranked_paths.sort_unstable();
+        row_paths.sort_unstable();
+        prop_assert_eq!(ranked_paths, row_paths);
+    }
+
+    #[test]
+    fn diffing_a_tree_against_itself_is_all_zeros(a in tree_strategy()) {
+        let d = TreeDiff::between(&a, &a);
+        prop_assert_eq!(d.root_delta(), 0);
+        for row in d.rows() {
+            prop_assert_eq!(row.status, FrameStatus::Matched);
+            prop_assert_eq!(row.self_delta, 0);
+            prop_assert_eq!(row.total_delta, 0);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Structural golden tests for the SVG flamegraph renderer: instead of
+//! pixel snapshots (which would pin incidental styling), they parse the
+//! machine-readable `data-*` attributes and rect geometry back out of
+//! the document and check the properties that make a flamegraph a
+//! flamegraph — one `<g>` per tree frame, children nested inside their
+//! parent's x-extent on the next row down, and widths proportional to
+//! inclusive totals. Styling can change freely; the structure cannot.
+
+use gb_obs::{differential_svg, flamegraph_svg, FrameStatus, RenderConfig, StageTree, TreeDiff};
+
+/// One frame recovered from the SVG text.
+#[derive(Debug, Clone)]
+struct Frame {
+    path: String,
+    depth: usize,
+    total: u64,
+    status: Option<String>,
+    x: f64,
+    y: f64,
+    w: f64,
+}
+
+fn attr(chunk: &str, key: &str) -> Option<String> {
+    let pat = format!("{key}=\"");
+    let start = chunk.find(&pat)? + pat.len();
+    let end = chunk[start..].find('"')? + start;
+    Some(chunk[start..end].to_string())
+}
+
+/// Parses every `<g class="f" …>` frame group out of `svg`.
+fn parse_frames(svg: &str) -> Vec<Frame> {
+    svg.split("<g class=\"f\" ")
+        .skip(1)
+        .map(|chunk| {
+            let rect_at = chunk.find("<rect ").expect("frame group carries a rect");
+            let rect = &chunk[rect_at..];
+            Frame {
+                path: attr(chunk, "data-path").expect("data-path"),
+                depth: attr(chunk, "data-depth")
+                    .expect("data-depth")
+                    .parse()
+                    .unwrap(),
+                total: attr(chunk, "data-total")
+                    .map(|t| t.parse().unwrap())
+                    .unwrap_or(0),
+                status: attr(chunk, "data-status"),
+                x: attr(rect, "x").expect("rect x").parse().unwrap(),
+                y: attr(rect, "y").expect("rect y").parse().unwrap(),
+                w: attr(rect, "width").expect("rect width").parse().unwrap(),
+            }
+        })
+        .collect()
+}
+
+fn tree(entries: &[(&str, u64)]) -> StageTree {
+    StageTree::from_path_totals("ns", entries.iter().map(|(p, v)| (p.to_string(), *v)))
+}
+
+/// The two-root, three-level fixture the structural assertions run on.
+/// Totals are chosen so every child strictly fits its parent and the
+/// proportionality math has no rounding ambiguity.
+fn golden_tree() -> StageTree {
+    tree(&[
+        ("bsw", 1_000_000),
+        ("bsw;dp", 600_000),
+        ("bsw;dp;inner", 200_000),
+        ("bsw;io", 250_000),
+        ("chain", 500_000),
+    ])
+}
+
+/// Geometry tolerance: coordinates serialize at two decimals.
+const EPS: f64 = 0.06;
+
+#[test]
+fn every_tree_frame_renders_exactly_once() {
+    let t = golden_tree();
+    let svg = flamegraph_svg(&t, &RenderConfig::wall("golden"));
+    let frames = parse_frames(&svg);
+    assert_eq!(frames.len(), t.rows().len());
+
+    let mut rendered: Vec<&str> = frames.iter().map(|f| f.path.as_str()).collect();
+    let mut expected: Vec<String> = t.path_totals().into_iter().map(|(p, _)| p).collect();
+    rendered.sort_unstable();
+    expected.sort();
+    assert_eq!(rendered, expected);
+
+    // data-depth is the path's nesting depth.
+    for f in &frames {
+        assert_eq!(f.depth, f.path.matches(';').count(), "frame {}", f.path);
+    }
+}
+
+#[test]
+fn widths_are_proportional_to_inclusive_totals() {
+    let t = golden_tree();
+    let cfg = RenderConfig::wall("golden");
+    let svg = flamegraph_svg(&t, &cfg);
+    let frames = parse_frames(&svg);
+
+    let grand: u64 = t.total();
+    // The drawable span is whatever the two top-level frames add up to;
+    // deriving it from the document keeps the test independent of the
+    // renderer's margin constants.
+    let drawable: f64 = frames.iter().filter(|f| f.depth == 0).map(|f| f.w).sum();
+    assert!(drawable > 0.0);
+    for f in &frames {
+        let expected = drawable * f.total as f64 / grand as f64;
+        assert!(
+            (f.w - expected).abs() < EPS,
+            "frame {} width {} != proportional {expected}",
+            f.path,
+            f.w
+        );
+    }
+}
+
+#[test]
+fn children_nest_inside_their_parent_row_by_row() {
+    let t = golden_tree();
+    let svg = flamegraph_svg(&t, &RenderConfig::wall("golden"));
+    let frames = parse_frames(&svg);
+
+    // All frames of one depth share a row; rows descend with depth.
+    let row_y = |d: usize| -> f64 {
+        let ys: Vec<f64> = frames
+            .iter()
+            .filter(|f| f.depth == d)
+            .map(|f| f.y)
+            .collect();
+        assert!(
+            ys.windows(2).all(|w| (w[0] - w[1]).abs() < EPS),
+            "depth {d}"
+        );
+        ys[0]
+    };
+    assert!(row_y(0) < row_y(1) && row_y(1) < row_y(2));
+
+    // Each child's x-extent sits inside its parent's.
+    let by_path: std::collections::BTreeMap<&str, &Frame> =
+        frames.iter().map(|f| (f.path.as_str(), f)).collect();
+    for f in &frames {
+        let Some((parent_path, _)) = f.path.rsplit_once(';') else {
+            continue;
+        };
+        let p = by_path[parent_path];
+        assert!(f.x >= p.x - EPS, "{} starts left of {}", f.path, p.path);
+        assert!(
+            f.x + f.w <= p.x + p.w + EPS,
+            "{} overflows {}",
+            f.path,
+            p.path
+        );
+    }
+
+    // Siblings must not overlap: sorted by x, each starts at or after
+    // the previous one's end.
+    let mut top: Vec<&Frame> = frames.iter().filter(|f| f.depth == 1).collect();
+    top.sort_by(|a, b| a.x.total_cmp(&b.x));
+    for pair in top.windows(2) {
+        assert!(pair[1].x >= pair[0].x + pair[0].w - EPS);
+    }
+}
+
+#[test]
+fn the_document_is_self_contained() {
+    for svg in [
+        flamegraph_svg(&golden_tree(), &RenderConfig::wall("w")),
+        flamegraph_svg(&golden_tree(), &RenderConfig::memory("m")),
+        differential_svg(
+            &TreeDiff::between(&golden_tree(), &tree(&[("bsw", 900_000)])),
+            &RenderConfig::wall("d"),
+        ),
+    ] {
+        assert!(svg.starts_with("<?xml"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(!svg.contains("href"), "external reference");
+        assert!(!svg.contains("url("), "external reference");
+        assert!(!svg.contains("<script"), "script in artifact");
+        // The only URL is the mandatory SVG namespace.
+        assert_eq!(svg.matches("http").count(), 1);
+        // Well-formed enough to count: every <g opens and closes.
+        assert_eq!(svg.matches("<g ").count(), svg.matches("</g>").count());
+    }
+}
+
+#[test]
+fn differential_frames_cover_the_union_and_carry_statuses() {
+    let base = tree(&[
+        ("bsw", 1_000_000),
+        ("bsw;dp", 600_000),
+        ("bsw;old", 100_000),
+    ]);
+    let cand = tree(&[
+        ("bsw", 1_400_000),
+        ("bsw;dp", 980_000),
+        ("bsw;new", 100_000),
+    ]);
+    let d = TreeDiff::between(&base, &cand);
+    let svg = differential_svg(&d, &RenderConfig::wall("bsw diff"));
+    let frames = parse_frames(&svg);
+
+    assert_eq!(frames.len(), d.rows().len());
+    let status_of = |path: &str| -> String {
+        frames
+            .iter()
+            .find(|f| f.path == path)
+            .unwrap_or_else(|| panic!("frame {path} missing"))
+            .status
+            .clone()
+            .expect("diff frames carry data-status")
+    };
+    assert_eq!(status_of("bsw;old"), FrameStatus::Removed.label());
+    assert_eq!(status_of("bsw;new"), FrameStatus::Added.label());
+    assert_eq!(status_of("bsw;dp"), FrameStatus::Matched.label());
+
+    // Nesting holds in the differential layout too.
+    let root = frames.iter().find(|f| f.path == "bsw").unwrap();
+    for f in frames.iter().filter(|f| f.depth == 1) {
+        assert!(f.x >= root.x - EPS && f.x + f.w <= root.x + root.w + EPS);
+    }
+}

@@ -33,6 +33,7 @@ fn manifest(
                 latency: None,
                 utilization: None,
                 memory: None,
+                stages: None,
             },
         );
     }

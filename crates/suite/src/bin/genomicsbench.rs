@@ -7,14 +7,17 @@
 //!                   [--manifest-out FILE] [--baseline FILE]
 //! genomicsbench profile <kernel> [--tier T] [--threads N]
 //!                   [--trace FILE] [--metrics FILE] [--manifest-out FILE]
-//!                   [--flame FILE] [--uarch] [--uarch-budget N]
+//!                   [--flame FILE] [--flame-svg FILE]
+//!                   [--uarch] [--uarch-budget N]
 //! genomicsbench report <table1..table5|fig3..fig9|all>
 //!                      [--tier T] [--json DIR] [--flame FILE]
-//!                      [--trace FILE] [--metrics FILE] [--manifest-out FILE]
+//!                      [--flame-svg FILE] [--trace FILE]
+//!                      [--metrics FILE] [--manifest-out FILE]
 //! genomicsbench compare <baseline.json> <candidate.json>
+//!                      [--baseline-dir DIR] [--diff-svg DIR]
 //!                      [--json] [--tolerance FRAC] [--min-wall-ms N]
 //!                      [--write-github-summary]
-//! genomicsbench trend <manifest.json...>
+//! genomicsbench trend <manifest.json...> [--diff-svg DIR]
 //!                      [--json] [--tolerance FRAC] [--min-wall-ms N]
 //! ```
 //!
@@ -22,10 +25,12 @@
 //! (`compare`, `trend`, or `run --baseline`), `2` usage or I/O error.
 
 use gb_obs::manifest::{write_bytes_atomic, write_json_atomic};
+use gb_obs::render::{format_delta, format_value};
 use gb_obs::{
-    compare, mem, CompareConfig, CompareReport, HistogramSummary, KernelRecord, MetricsRegistry,
-    NullRecorder, Recorder, RunManifest, StageTree, TaskStats, TraceRecorder, TrendReport, Verdict,
-    SCHEMA_VERSION,
+    compare, differential_svg, flamegraph_svg, mem, pointwise_min_baseline, CompareConfig,
+    CompareReport, HistogramSummary, KernelRecord, MetricsRegistry, NullRecorder, Recorder,
+    RenderConfig, RunManifest, StageAttribution, StageTree, TaskStats, TraceRecorder, TrendReport,
+    Verdict, SCHEMA_VERSION,
 };
 use gb_suite::dataset::DatasetSize;
 use gb_suite::kernels::{
@@ -73,13 +78,16 @@ const USAGE: &str = "usage:
                     [--manifest-out FILE] [--baseline FILE]
   genomicsbench profile <kernel> [--tier T] [--threads N] [--dp-engine E]
                     [--trace FILE] [--metrics FILE] [--manifest-out FILE]
-                    [--flame FILE] [--uarch] [--uarch-budget N]
+                    [--flame FILE] [--flame-svg FILE]
+                    [--uarch] [--uarch-budget N]
   genomicsbench report <name|all> [--tier T] [--json DIR] [--trace FILE]
                     [--metrics FILE] [--manifest-out FILE] [--flame FILE]
+                    [--flame-svg FILE]
   genomicsbench compare <baseline.json> <candidate.json> [--json]
+                    [--baseline-dir DIR] [--diff-svg DIR]
                     [--tolerance FRAC] [--min-wall-ms N]
                     [--write-github-summary]
-  genomicsbench trend <manifest.json...> [--json]
+  genomicsbench trend <manifest.json...> [--json] [--diff-svg DIR]
                     [--tolerance FRAC] [--min-wall-ms N]
   genomicsbench experiments [--tier T] [--json FILE]
   genomicsbench export <dir> [--tier T]
@@ -100,11 +108,28 @@ const USAGE: &str = "usage:
       carries peak-heap bytes. 'profile --uarch' samples a hardware
       characterization (--uarch-budget caps the sampled tasks) and
       annotates the kernel's stage-tree frame with IPC/miss rates.
+    --flame-svg renders the stage tree as a self-contained SVG
+      flamegraph (no external scripts, fonts, or links; frame widths are
+      proportional to inclusive time, hover a frame for exact values);
+      with mem-profile builds a '<stem>.mem.svg' sibling shows peak heap.
     'trend' orders >=1 manifests into per-kernel time series grouped by
       tier/threads/dp-engine, draws unicode sparklines, and exits 1 when
       the latest run regressed against the best earlier run.
+    'compare --baseline-dir DIR' replaces the <baseline.json> argument:
+      the candidate gates against the pointwise minimum (per kernel: min
+      wall, max throughput, min memory peaks) over every comparable
+      manifest in DIR — same tier/threads/dp-engine, candidate's own
+      file excluded — so one lucky-slow baseline cannot mask a
+      regression.
+    When a kernel's wall time regresses and both manifests carry stage
+      data (schema >= 1.3), 'compare' and 'trend' print a per-stage
+      attribution table (which stage's self time grew); --diff-svg DIR
+      additionally writes a differential flamegraph per regressed kernel
+      (red = slower, blue = faster, gray = added/removed frames).
     'compare --write-github-summary' appends the table as markdown to
-      $GITHUB_STEP_SUMMARY (no-op when the variable is unset).
+      $GITHUB_STEP_SUMMARY (no-op when the variable is unset), including
+      the top regressing stages per kernel when attribution is
+      available.
     'run' also accepts a comma-separated kernel list, e.g. run bsw,phmm.
     Each subcommand rejects options it does not use.";
 
@@ -121,6 +146,7 @@ enum Opt {
     Uarch,
     UarchBudget,
     Flame,
+    FlameSvg,
 }
 
 impl Opt {
@@ -137,6 +163,7 @@ impl Opt {
             Opt::Uarch => "--uarch",
             Opt::UarchBudget => "--uarch-budget",
             Opt::Flame => "--flame",
+            Opt::FlameSvg => "--flame-svg",
         }
     }
 
@@ -159,6 +186,7 @@ struct Options {
     uarch: bool,
     uarch_budget: Option<usize>,
     flame: Option<String>,
+    flame_svg: Option<String>,
 }
 
 impl Options {
@@ -194,6 +222,7 @@ fn parse_options(cmd: &str, args: &[String], allowed: &[Opt]) -> Result<Options,
             Opt::Uarch,
             Opt::UarchBudget,
             Opt::Flame,
+            Opt::FlameSvg,
         ];
         // --size predates --tier; both name the dataset tier.
         let canonical = if a == "--size" { "--tier" } else { a.as_str() };
@@ -231,6 +260,7 @@ fn parse_options(cmd: &str, args: &[String], allowed: &[Opt]) -> Result<Options,
                 opts.uarch_budget = Some(n);
             }
             Opt::Flame => opts.flame = Some(v.clone()),
+            Opt::FlameSvg => opts.flame_svg = Some(v.clone()),
             Opt::Uarch => unreachable!("bare switch"),
         }
     }
@@ -348,6 +378,7 @@ fn kernel_record(
         latency: stats.task_stats.as_ref().map(latency_summary),
         utilization: stats.task_stats.as_ref().map(|ts| ts.utilization),
         memory,
+        stages: None,
     }
 }
 
@@ -480,6 +511,128 @@ fn write_flame(tree: &StageTree, div: u64, path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Writes a rendered SVG document atomically.
+fn write_svg(svg: &str, path: &str) -> Result<(), String> {
+    write_bytes_atomic(Path::new(path), svg.as_bytes())
+        .map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("wrote {path}");
+    Ok(())
+}
+
+/// The `.mem.svg` sibling of a wall-time SVG path: `bsw.svg` →
+/// `bsw.mem.svg` (a path without the extension just appends it).
+fn mem_svg_sibling(path: &str) -> String {
+    match path.strip_suffix(".svg") {
+        Some(stem) => format!("{stem}.mem.svg"),
+        None => format!("{path}.mem.svg"),
+    }
+}
+
+/// How many ranked stage rows the attribution table and GitHub summary
+/// show per regressed kernel.
+const ATTRIBUTION_TABLE_ROWS: usize = 5;
+const ATTRIBUTION_SUMMARY_ROWS: usize = 3;
+
+/// Prints one kernel's stage attribution as an aligned table, worst
+/// self-time regressor first.
+fn print_attribution(a: &StageAttribution) {
+    println!(
+        "stage attribution for {} (root {}):",
+        a.kernel,
+        format_delta("ns", a.root_delta_ns)
+    );
+    let rows: Vec<Vec<String>> = a
+        .rows
+        .iter()
+        .take(ATTRIBUTION_TABLE_ROWS)
+        .map(|r| {
+            vec![
+                r.path.clone(),
+                format_value("ns", r.base_total),
+                format_value("ns", r.cand_total),
+                format_delta("ns", r.self_delta),
+                format_delta("ns", r.total_delta),
+                r.status.label().to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        reports::format_table(
+            &[
+                "stage",
+                "baseline",
+                "candidate",
+                "self Δ",
+                "total Δ",
+                "status"
+            ],
+            &rows
+        )
+    );
+}
+
+/// Writes one differential flamegraph per attributed (regressed) kernel
+/// into `dir`, named `<kernel><suffix>.svg`.
+fn write_diff_svgs(
+    attributions: &[&StageAttribution],
+    dir: &str,
+    suffix: &str,
+) -> Result<(), String> {
+    if attributions.is_empty() {
+        eprintln!("note: no stage attributions to render; --diff-svg wrote nothing");
+        return Ok(());
+    }
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+    for a in attributions {
+        let cfg = RenderConfig::wall(&format!("{} — candidate vs baseline", a.kernel));
+        let path = format!("{dir}/{}{suffix}.svg", a.kernel);
+        write_svg(&differential_svg(&a.to_diff(), &cfg), &path)?;
+    }
+    Ok(())
+}
+
+/// Loads every parseable manifest in `dir` whose context (tier,
+/// threads, dp-engine) matches the candidate's. The candidate's own
+/// file is excluded so `compare --baseline-dir results/` cannot gate a
+/// run against itself; non-manifest JSON in the directory (report
+/// artifacts, metrics dumps) is skipped. Entries load in path order so
+/// min-fold ties resolve deterministically.
+fn load_baseline_dir(
+    dir: &str,
+    cand_path: &str,
+    cand: &RunManifest,
+) -> Result<Vec<RunManifest>, String> {
+    let cand_canon = std::fs::canonicalize(cand_path).ok();
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("reading {dir}: {e}"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().and_then(|s| s.to_str()) == Some("json"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::new();
+    for path in paths {
+        if cand_canon.is_some() && std::fs::canonicalize(&path).ok() == cand_canon {
+            continue;
+        }
+        let Ok(m) = RunManifest::load(&path) else {
+            continue;
+        };
+        if m.tier == cand.tier && m.threads == cand.threads && m.dp_engine == cand.dp_engine {
+            out.push(m);
+        }
+    }
+    if out.is_empty() {
+        return Err(format!(
+            "no comparable baseline manifests in {dir} (need tier '{}', {} thread(s), {} engine)",
+            cand.tier,
+            cand.threads,
+            cand.dp_engine.as_deref().unwrap_or("any")
+        ));
+    }
+    Ok(out)
+}
+
 /// Prints a trend report as per-context sparkline tables.
 fn print_trend(report: &TrendReport) {
     if report.groups.is_empty() {
@@ -567,6 +720,23 @@ fn github_summary_markdown(
             "No regressions ({} metrics compared).\n",
             report.deltas.len()
         ));
+    }
+    for a in &report.attributions {
+        md.push_str(&format!(
+            "\n### `{}` stage attribution (root {})\n\n",
+            a.kernel,
+            format_delta("ns", a.root_delta_ns)
+        ));
+        md.push_str("| stage | self Δ | total Δ | status |\n|---|---|---|---|\n");
+        for r in a.rows.iter().take(ATTRIBUTION_SUMMARY_ROWS) {
+            md.push_str(&format!(
+                "| `{}` | {} | {} | {} |\n",
+                r.path,
+                format_delta("ns", r.self_delta),
+                format_delta("ns", r.total_delta),
+                r.status.label()
+            ));
+        }
     }
     md
 }
@@ -664,6 +834,9 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 opts.dp_engine().name()
             );
             for id in ids {
+                // Bookmark the shared trace stream so this kernel's
+                // spans can be sliced out afterwards for its stage tree.
+                let mark = recorder.as_ref().map(|r| r.event_count());
                 let span = mem::enabled().then(mem::MemSpan::enter);
                 let kernel = prepare_dp(id, opts.size(), opts.dp_engine());
                 let stats = match &recorder {
@@ -705,7 +878,15 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                         registry.set_gauge(&name, value);
                     }
                 }
-                let record = kernel_record(id, kernel.as_ref(), &stats, memory, &mut registry);
+                let mut record = kernel_record(id, kernel.as_ref(), &stats, memory, &mut registry);
+                if let (Some(r), Some(mark)) = (&recorder, mark) {
+                    // Manifests carry the per-kernel stage tree (schema
+                    // 1.3) so a later `compare` can attribute any
+                    // regression to the stage that slowed down.
+                    let tree = StageTree::from_trace(&r.trace_from(mark), "ns")
+                        .into_rooted(id.name(), record.wall_ns);
+                    record.set_stage_tree(&tree);
+                }
                 println!(
                     "{:<11} {:>8} {:>12} {:>10x} {:>18}",
                     id.name(),
@@ -752,6 +933,7 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                     Opt::Metrics,
                     Opt::ManifestOut,
                     Opt::Flame,
+                    Opt::FlameSvg,
                     Opt::Uarch,
                     Opt::UarchBudget,
                 ],
@@ -797,7 +979,7 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             for (name, value) in kernel.export_gauges() {
                 registry.set_gauge(&name, value);
             }
-            let record = kernel_record(id, kernel.as_ref(), &stats, memory, &mut registry);
+            let mut record = kernel_record(id, kernel.as_ref(), &stats, memory, &mut registry);
             println!(
                 "throughput: {}",
                 format_throughput(record.throughput_per_s, id.work_unit())
@@ -831,11 +1013,29 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 tree.annotate(&[id.name()], &note);
             }
             print_stage_tree(&tree);
+            record.set_stage_tree(&tree);
             if let Some(path) = &opts.flame {
                 write_flame(&tree, 1_000, path)?;
                 if let Some(m) = &memory {
                     let mem_tree = StageTree::from_kernel_memory([(id.name(), m)]);
                     write_flame(&mem_tree, 1, &format!("{path}.mem"))?;
+                }
+            }
+            if let Some(path) = &opts.flame_svg {
+                let subtitle = format!(
+                    "{} · {} tier · {} thread(s) · {} engine",
+                    id.name(),
+                    opts.size().name(),
+                    threads,
+                    opts.dp_engine().name()
+                );
+                write_svg(&flamegraph_svg(&tree, &RenderConfig::wall(&subtitle)), path)?;
+                if let Some(m) = &memory {
+                    let mem_tree = StageTree::from_kernel_memory([(id.name(), m)]);
+                    write_svg(
+                        &flamegraph_svg(&mem_tree, &RenderConfig::memory(&subtitle)),
+                        &mem_svg_sibling(path),
+                    )?;
                 }
             }
             if let Some(path) = &opts.trace {
@@ -888,12 +1088,14 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                     Opt::Metrics,
                     Opt::ManifestOut,
                     Opt::Flame,
+                    Opt::FlameSvg,
                 ],
             )?;
             let instrument = opts.trace.is_some()
                 || opts.metrics.is_some()
                 || opts.manifest_out.is_some()
-                || opts.flame.is_some();
+                || opts.flame.is_some()
+                || opts.flame_svg.is_some();
             let recorder = instrument.then(TraceRecorder::new);
             let (generated, chars) = generate(which, &opts, &recorder)?;
             for r in &generated {
@@ -943,6 +1145,11 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                     let tree = StageTree::from_trace(&r.trace(), "ns");
                     write_flame(&tree, 1_000, path)?;
                 }
+                if let (Some(r), Some(path)) = (&recorder, &opts.flame_svg) {
+                    let tree = StageTree::from_trace(&r.trace(), "ns");
+                    let subtitle = format!("report {which} · {} tier", opts.size().name());
+                    write_svg(&flamegraph_svg(&tree, &RenderConfig::wall(&subtitle)), path)?;
+                }
                 if let Some(path) = &opts.metrics {
                     write_metrics(&registry, path)?;
                 }
@@ -955,16 +1162,25 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             Ok(Outcome::Clean)
         }
         "compare" => {
-            let base_path = args.get(1).ok_or("compare needs <baseline> <candidate>")?;
-            let cand_path = args.get(2).ok_or("compare needs <baseline> <candidate>")?;
             let mut cfg = CompareConfig::default();
             let mut json = false;
             let mut write_summary = false;
-            let mut it = args[3..].iter();
+            let mut baseline_dir: Option<String> = None;
+            let mut diff_svg: Option<String> = None;
+            let mut positional: Vec<&String> = Vec::new();
+            let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--json" => json = true,
                     "--write-github-summary" => write_summary = true,
+                    "--baseline-dir" => {
+                        let v = it.next().ok_or("--baseline-dir needs a directory")?;
+                        baseline_dir = Some(v.clone());
+                    }
+                    "--diff-svg" => {
+                        let v = it.next().ok_or("--diff-svg needs a directory")?;
+                        diff_svg = Some(v.clone());
+                    }
                     "--tolerance" => {
                         let v = it.next().ok_or("--tolerance needs a value")?;
                         let t: f64 = v
@@ -982,11 +1198,43 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                         let ms: u64 = v.parse().map_err(|_| format!("bad --min-wall-ms '{v}'"))?;
                         cfg.min_wall_ns = ms * 1_000_000;
                     }
-                    other => return Err(format!("unknown option '{other}'")),
+                    other if other.starts_with("--") => {
+                        return Err(format!("unknown option '{other}'"))
+                    }
+                    _ => positional.push(a),
                 }
             }
-            let base = load_manifest(base_path)?;
-            let cand = load_manifest(cand_path)?;
+            let (base, base_label, cand, cand_path) = match &baseline_dir {
+                Some(dir) => {
+                    let [cand_path] = positional.as_slice() else {
+                        return Err(
+                            "compare --baseline-dir takes exactly one <candidate.json>".into()
+                        );
+                    };
+                    let cand = load_manifest(cand_path)?;
+                    let baselines = load_baseline_dir(dir, cand_path, &cand)?;
+                    let n = baselines.len();
+                    let base = pointwise_min_baseline(&baselines)
+                        .expect("load_baseline_dir returned at least one manifest");
+                    (
+                        base,
+                        format!("pointwise min of {n} manifest(s) in {dir}"),
+                        cand,
+                        (*cand_path).clone(),
+                    )
+                }
+                None => {
+                    let [base_path, cand_path] = positional.as_slice() else {
+                        return Err("compare needs <baseline.json> <candidate.json>".into());
+                    };
+                    (
+                        load_manifest(base_path)?,
+                        (*base_path).clone(),
+                        load_manifest(cand_path)?,
+                        (*cand_path).clone(),
+                    )
+                }
+            };
             let report = compare::compare(&base, &cand, &cfg);
             if json {
                 println!(
@@ -995,16 +1243,27 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 );
             } else {
                 println!(
-                    "comparing {cand_path} (candidate) against {base_path} (baseline), \
+                    "comparing {cand_path} (candidate) against {base_label} (baseline), \
 tolerance {:.0}%, floor {}ms",
                     cfg.rel_tolerance * 100.0,
                     cfg.min_wall_ns / 1_000_000
                 );
                 print_compare_table(&report);
+                for a in &report.attributions {
+                    println!();
+                    print_attribution(a);
+                }
+            }
+            if let Some(dir) = &diff_svg {
+                let attributions: Vec<&StageAttribution> = report.attributions.iter().collect();
+                write_diff_svgs(&attributions, dir, "-diff")?;
             }
             if write_summary {
                 append_github_summary(&github_summary_markdown(
-                    &report, base_path, cand_path, &cfg,
+                    &report,
+                    &base_label,
+                    &cand_path,
+                    &cfg,
                 ))?;
             }
             Ok(gate(&report))
@@ -1012,11 +1271,16 @@ tolerance {:.0}%, floor {}ms",
         "trend" => {
             let mut cfg = CompareConfig::default();
             let mut json = false;
+            let mut diff_svg: Option<String> = None;
             let mut paths: Vec<&String> = Vec::new();
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--json" => json = true,
+                    "--diff-svg" => {
+                        let v = it.next().ok_or("--diff-svg needs a directory")?;
+                        diff_svg = Some(v.clone());
+                    }
                     "--tolerance" => {
                         let v = it.next().ok_or("--tolerance needs a value")?;
                         let t: f64 = v
@@ -1061,6 +1325,20 @@ tolerance {:.0}%, floor {}ms",
                     cfg.min_wall_ns / 1_000_000
                 );
                 print_trend(&report);
+                for (ctx, k) in report.regressions() {
+                    if let Some(a) = &k.attribution {
+                        println!();
+                        println!("[{ctx}] latest vs best-previous:");
+                        print_attribution(a);
+                    }
+                }
+            }
+            if let Some(dir) = &diff_svg {
+                let attributions: Vec<&StageAttribution> = report
+                    .regressions()
+                    .filter_map(|(_, k)| k.attribution.as_ref())
+                    .collect();
+                write_diff_svgs(&attributions, dir, "-trend-diff")?;
             }
             if report.has_regressions() {
                 Ok(Outcome::Regressed)

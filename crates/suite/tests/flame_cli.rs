@@ -160,6 +160,148 @@ fn trend_rejects_unknown_flags_and_empty_input() {
     assert!(!out.status.success());
 }
 
+/// Rewrites a manifest's chain wall time (ms) and writes it to `out`.
+fn with_wall_ms(src: &Path, out: &Path, wall_ms: u64) {
+    let mut v: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(src).unwrap()).unwrap();
+    v["kernels"]["chain"]["wall_ns"] = serde_json::Value::from(wall_ms * 1_000_000);
+    std::fs::write(out, serde_json::to_string_pretty(&v).unwrap()).unwrap();
+}
+
+#[test]
+fn profile_flame_svg_writes_a_self_contained_picture() {
+    let dir = tmp_dir("svg");
+    let svg_path = dir.join("chain.svg");
+    run_ok(
+        bin()
+            .args(["profile", "chain", "--tier", "tiny", "--threads", "1"])
+            .arg("--flame-svg")
+            .arg(&svg_path),
+    );
+    let svg = std::fs::read_to_string(&svg_path).expect("svg written");
+    assert!(svg.starts_with("<?xml"), "not an XML document");
+    assert!(svg.trim_end().ends_with("</svg>"));
+    assert!(svg.contains("data-path=\"chain\""), "kernel frame missing");
+    assert!(!svg.contains("href"), "artifact must be self-contained");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compare_names_the_regressing_stage_and_writes_a_differential_svg() {
+    let dir = tmp_dir("attr");
+    let base = profile_chain(&dir, 1, false);
+
+    // Seed a +60 ms regression concentrated in the task-execution
+    // stage: +55 ms inside chain;tasks, the remaining +5 ms as root
+    // (scheduler) self time, so attribution must lead with chain;tasks.
+    let mut v: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&base).unwrap()).unwrap();
+    let wall = v["kernels"]["chain"]["wall_ns"].as_u64().unwrap();
+    v["kernels"]["chain"]["wall_ns"] = serde_json::Value::from(wall + 60_000_000);
+    let stages = v["kernels"]["chain"]["stages"]
+        .as_array_mut()
+        .expect("profile manifests carry stage totals");
+    for s in stages.iter_mut() {
+        let path = s["path"].as_str().unwrap().to_string();
+        let total = s["total_ns"].as_u64().unwrap();
+        let bump = if path == "chain" {
+            60_000_000
+        } else if path.starts_with("chain;tasks") {
+            55_000_000
+        } else {
+            0
+        };
+        s["total_ns"] = serde_json::Value::from(total + bump);
+    }
+    let cand = dir.join("cand.json");
+    std::fs::write(&cand, serde_json::to_string_pretty(&v).unwrap()).unwrap();
+
+    let diff_dir = dir.join("diffs");
+    let out = bin()
+        .args(["compare"])
+        .args([&base, &cand])
+        .arg("--diff-svg")
+        .arg(&diff_dir)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "seeded regression must gate");
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        text.contains("stage attribution for chain"),
+        "stdout:\n{text}"
+    );
+    // The ranked table leads with the stage that actually regressed.
+    let table_top = text
+        .lines()
+        .skip_while(|l| !l.contains("stage attribution"))
+        .find(|l| l.contains("chain;"))
+        .unwrap_or_else(|| panic!("no stage row in:\n{text}"));
+    assert!(table_top.contains("chain;tasks"), "top row: {table_top}");
+
+    let svg =
+        std::fs::read_to_string(diff_dir.join("chain-diff.svg")).expect("differential svg written");
+    assert!(svg.starts_with("<?xml") && svg.trim_end().ends_with("</svg>"));
+    assert!(svg.contains("data-status=\"matched\""));
+    assert!(!svg.contains("href"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn baseline_dir_gates_against_the_pointwise_min_not_a_lucky_slow_run() {
+    let dir = tmp_dir("mindir");
+    let seed = profile_chain(&dir, 1, false);
+    let bases = dir.join("bases");
+    std::fs::create_dir_all(&bases).unwrap();
+
+    // Two baseline runs of the same context — one lucky-slow (200 ms),
+    // one fast (160 ms) — and a 190 ms candidate: better than the slow
+    // run, ~19% worse than the best one.
+    with_wall_ms(&seed, &bases.join("slow.json"), 200);
+    with_wall_ms(&seed, &bases.join("fast.json"), 160);
+    let cand = dir.join("cand.json");
+    with_wall_ms(&seed, &cand, 190);
+
+    // Against the slow baseline alone the candidate sails through …
+    run_ok(
+        bin()
+            .args(["compare"])
+            .args([bases.join("slow.json"), cand.clone()]),
+    );
+
+    // … but the pointwise min over the directory still gates it.
+    let out = bin()
+        .args(["compare", "--baseline-dir"])
+        .arg(&bases)
+        .arg(&cand)
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "min-over-N must catch what the lucky baseline masks:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        text.contains("pointwise min of 2 manifest(s)"),
+        "stdout:\n{text}"
+    );
+    assert!(text.contains("REGRESSED"), "stdout:\n{text}");
+
+    // A candidate matching the min passes the same gate.
+    let good = dir.join("good.json");
+    with_wall_ms(&seed, &good, 160);
+    run_ok(
+        bin()
+            .args(["compare", "--baseline-dir"])
+            .arg(&bases)
+            .arg(&good),
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn compare_appends_a_markdown_summary_when_the_env_var_is_set() {
     let dir = tmp_dir("ghsum");

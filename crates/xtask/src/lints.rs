@@ -30,6 +30,14 @@
 //!   `crates/suite/`, each `stage(…)` call (and the `RootSpan::enter`
 //!   frame) carries a non-empty string-literal name that is unique
 //!   within that function, so stage-tree frames never silently merge.
+//!   Names must also be free of `;` and whitespace — `;` is the
+//!   collapsed-stack path separator and whitespace is the stack/value
+//!   separator, so such names would be sanitized by `agg` and the
+//!   source name would no longer match the rendered frame.
+//! * `cli-readme-sync` — every subcommand and long `--flag` of the
+//!   `genomicsbench` binary appears in README.md (subcommands on a
+//!   `genomicsbench …` line), so the CLI surface can't outgrow its
+//!   documentation.
 
 use crate::lexer::{shadows, word_on_line, Shadows};
 
@@ -93,6 +101,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Violation> {
     v.extend(clippy_allow_justified(ws));
     v.extend(unsafe_hygiene(ws));
     v.extend(traced_stages(ws));
+    v.extend(cli_readme_sync(ws));
     v
 }
 
@@ -571,6 +580,19 @@ pub fn traced_stages(ws: &Workspace) -> Vec<Violation> {
                 });
                 continue;
             }
+            if name.contains(';') || name.contains(char::is_whitespace) {
+                out.push(Violation {
+                    rule: "traced-stages",
+                    file: f.path.clone(),
+                    line: i + 1,
+                    msg: format!(
+                        "stage name {name:?} in `{current_fn}` contains ';' or whitespace; \
+                         ';' separates path segments and whitespace separates stack from \
+                         value in collapsed-stack output, so agg would sanitize the name \
+                         and the rendered frame would not match the source"
+                    ),
+                });
+            }
             if let Some(&prev) = seen.get(name) {
                 out.push(Violation {
                     rule: "traced-stages",
@@ -584,6 +606,161 @@ pub fn traced_stages(ws: &Workspace) -> Vec<Violation> {
             } else {
                 seen.insert(name.to_string(), i + 1);
             }
+        }
+    }
+    out
+}
+
+// --- cli-readme-sync ---------------------------------------------------
+
+/// The CLI entry point whose surface README.md must document.
+const CLI_BIN: &str = "crates/suite/src/bin/genomicsbench.rs";
+
+/// Every string literal in the code shadow, as `(byte offset of the
+/// opening quote, raw contents)`. The shadow blanks contents but keeps
+/// both quotes byte-aligned with the source, so the contents come from
+/// the raw text between the shadow's quote positions.
+fn string_literals<'a>(raw: &'a str, code: &str) -> Vec<(usize, &'a str)> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            if let Some(rel) = code[i + 1..].find('"') {
+                let close = i + 1 + rel;
+                out.push((i, &raw[i + 1..close]));
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Subcommand names: string-literal patterns of the top-level
+/// `match cmd.as_str()` arms in the CLI binary. A literal counts as an
+/// arm pattern when it sits at brace depth 1 of the match block and is
+/// followed by `=>` (or `|`, for alternations) — which excludes
+/// literals inside depth-1 calls such as the unknown-command error.
+fn cli_subcommands(raw: &str, sh: &Shadows) -> Vec<String> {
+    let code = &sh.code;
+    let Some(pos) = code.find("match cmd.as_str()") else {
+        return Vec::new();
+    };
+    let Some(open_rel) = code[pos..].find('{') else {
+        return Vec::new();
+    };
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut i = pos + open_rel;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            b'"' if depth == 1 => {
+                if let Some(rel) = code[i + 1..].find('"') {
+                    let close = i + 1 + rel;
+                    let after = code[close + 1..].trim_start();
+                    if after.starts_with("=>") || after.starts_with('|') {
+                        out.push(raw[i + 1..close].to_string());
+                    }
+                    i = close + 1;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// A `--long-flag` literal: `--` followed by a lowercase word, possibly
+/// hyphenated. Multi-line literals (the usage text) and prose never
+/// match because of the whole-string shape check.
+fn is_long_flag(s: &str) -> bool {
+    let Some(rest) = s.strip_prefix("--") else {
+        return false;
+    };
+    rest.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+        && rest
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+}
+
+/// Does `readme` mention `flag` as a whole flag (not as a prefix of a
+/// longer one, so `--flame-svg` cannot stand in for `--flame`)?
+fn flag_documented(readme: &str, flag: &str) -> bool {
+    readme.match_indices(flag).any(|(at, _)| {
+        readme[at + flag.len()..]
+            .chars()
+            .next()
+            .is_none_or(|c| !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'))
+    })
+}
+
+/// Every `genomicsbench` subcommand and long flag must appear in
+/// README.md — subcommands on a line that also says `genomicsbench`
+/// (the usage synopsis), flags anywhere. A flag the README has never
+/// heard of is a feature nobody will find.
+pub fn cli_readme_sync(ws: &Workspace) -> Vec<Violation> {
+    let violation = |file: &str, msg: String| Violation {
+        rule: "cli-readme-sync",
+        file: file.into(),
+        line: 0,
+        msg,
+    };
+    let Some(bin) = ws.get(CLI_BIN) else {
+        return vec![violation(CLI_BIN, "CLI binary source missing".into())];
+    };
+    let Some(readme) = ws.get("README.md") else {
+        return vec![violation("README.md", "README.md missing".into())];
+    };
+    let sh = shadows(&bin.text);
+    let mut out = Vec::new();
+
+    let mut subs = cli_subcommands(&bin.text, &sh);
+    subs.sort();
+    subs.dedup();
+    if subs.is_empty() {
+        out.push(violation(
+            CLI_BIN,
+            "could not parse any subcommand from `match cmd.as_str()`".into(),
+        ));
+    }
+    for sub in &subs {
+        let documented = readme
+            .text
+            .lines()
+            .any(|l| l.contains("genomicsbench") && word_on_line(l, sub));
+        if !documented {
+            out.push(violation(
+                "README.md",
+                format!("subcommand `{sub}` is not shown on any `genomicsbench …` line"),
+            ));
+        }
+    }
+
+    let mut flags: Vec<&str> = string_literals(&bin.text, &sh.code)
+        .into_iter()
+        .map(|(_, s)| s)
+        .filter(|s| is_long_flag(s))
+        .collect();
+    flags.sort_unstable();
+    flags.dedup();
+    for flag in flags {
+        if !flag_documented(&readme.text, flag) {
+            out.push(violation(
+                "README.md",
+                format!("flag `{flag}` (accepted by the CLI) is never mentioned"),
+            ));
         }
     }
     out
@@ -885,13 +1062,139 @@ pub fn metagenomic_abundance_traced(recorder: &dyn Recorder) {
     }
 
     #[test]
+    fn traced_stage_names_must_be_collapsed_stack_safe() {
+        // `;` is the path separator: a name containing it would split
+        // into two frames after sanitization.
+        let semi = PIPELINE_OK.replace(
+            "stage(recorder, \"rg:map\", || 2)",
+            "stage(recorder, \"rg;map\", || 2)",
+        );
+        let v = traced_stages(&ws(&[("crates/suite/src/pipelines.rs", &semi)]));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("rg;map") && v[0].msg.contains("collapsed-stack"));
+
+        // Whitespace is the stack/value separator in flame files.
+        let space = PIPELINE_OK.replace(
+            "stage(recorder, \"rg:map\", || 2)",
+            "stage(recorder, \"rg map\", || 2)",
+        );
+        let v = traced_stages(&ws(&[("crates/suite/src/pipelines.rs", &space)]));
+        assert_eq!(v.len(), 1, "{v:?}");
+
+        // A root frame with a bad name fires too.
+        let root = PIPELINE_OK.replace(
+            "RootSpan::enter(recorder, \"rg\")",
+            "RootSpan::enter(recorder, \"r g\")",
+        );
+        let v = traced_stages(&ws(&[("crates/suite/src/pipelines.rs", &root)]));
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    const CLI_OK: &str = r#"
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args[0].clone();
+    match cmd.as_str() {
+        "list" => {
+            let x = parse(&["--tier"]);
+            Ok(())
+        }
+        "run" | "profile" => {
+            if args.iter().any(|a| a == "--flame-svg") {
+                render();
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+"#;
+
+    const README_OK: &str = "\
+# usage\n\
+\n\
+    genomicsbench list\n\
+    genomicsbench run <kernel> --tier tiny\n\
+    genomicsbench profile <kernel> --flame-svg out.svg\n";
+
+    fn cli_ws(cli: &str, readme: &str) -> Workspace {
+        ws(&[
+            ("crates/suite/src/bin/genomicsbench.rs", cli),
+            ("README.md", readme),
+        ])
+    }
+
+    #[test]
+    fn cli_readme_sync_passes_when_everything_is_documented() {
+        let v = cli_readme_sync(&cli_ws(CLI_OK, README_OK));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn cli_readme_sync_catches_undocumented_subcommands_and_flags() {
+        // Drop the `profile` synopsis line: `profile` and `--flame-svg`
+        // both lose their documentation.
+        let trimmed = README_OK
+            .lines()
+            .filter(|l| !l.contains("profile"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let v = cli_readme_sync(&cli_ws(CLI_OK, &trimmed));
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "cli-readme-sync"));
+        assert!(v.iter().any(|x| x.msg.contains("`profile`")));
+        assert!(v.iter().any(|x| x.msg.contains("--flame-svg")));
+
+        // The subcommand must sit on a `genomicsbench …` line — prose
+        // mentioning the word elsewhere doesn't count.
+        let prose = "the profile of this suite is discussed here\n\
+                     genomicsbench list\n\
+                     genomicsbench run --tier --flame-svg\n";
+        let v = cli_readme_sync(&cli_ws(CLI_OK, prose));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("`profile`"));
+    }
+
+    #[test]
+    fn cli_readme_sync_is_not_fooled_by_literal_shape() {
+        // The unknown-command error literal is not an arm pattern, and
+        // `--flame-svg` in the README cannot stand in for `--flame`.
+        let cli = CLI_OK.replace("\"--tier\"", "\"--flame\"");
+        let readme = README_OK.replace("--tier tiny", "--flame-svg x");
+        let v = cli_readme_sync(&cli_ws(&cli, &readme));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("`--flame`"), "{v:?}");
+        assert!(
+            !v.iter().any(|x| x.msg.contains("unknown command")),
+            "error-string literal leaked into the subcommand list: {v:?}"
+        );
+    }
+
+    #[test]
+    fn the_real_cli_passes_the_readme_sync_lint() {
+        let read = |rel: &str| {
+            std::fs::read_to_string(format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR")))
+                .unwrap_or_else(|e| panic!("{rel} readable: {e}"))
+        };
+        let real = ws(&[
+            (
+                "crates/suite/src/bin/genomicsbench.rs",
+                &read("crates/suite/src/bin/genomicsbench.rs"),
+            ),
+            ("README.md", &read("README.md")),
+        ]);
+        let v = cli_readme_sync(&real);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
     fn run_all_aggregates() {
         let bad = ws(&[("crates/x/src/a.rs", "fn f() { unsafe { g() } }\n")]);
         let v = run_all(&bad);
         assert!(v.iter().any(|x| x.rule == "safety-comments"));
-        // Missing manifest/kernels/bench files also surface as findings.
+        // Missing manifest/kernels/bench/CLI files also surface as findings.
         assert!(v.iter().any(|x| x.rule == "schema-version"));
         assert!(v.iter().any(|x| x.rule == "kernel-table"));
         assert!(v.iter().any(|x| x.rule == "bench-ci"));
+        assert!(v.iter().any(|x| x.rule == "cli-readme-sync"));
     }
 }

@@ -5,10 +5,10 @@
 //! * `lint` — run the repo's static policy checks (safety comments,
 //!   relaxed-ordering allowlist, schema-version/doc agreement, kernel
 //!   registration table, bench-CI wiring, justified lint allows,
-//!   per-crate unsafe hygiene, unique traced-stage names). Exits
-//!   non-zero with one line per violation. See `src/lints.rs` for the
-//!   rules and DESIGN.md ("Concurrency & safety invariants") for the
-//!   policy.
+//!   per-crate unsafe hygiene, unique collapsed-stack-safe traced-stage
+//!   names, CLI/README surface sync). Exits non-zero with one line per
+//!   violation. See `src/lints.rs` for the rules and DESIGN.md
+//!   ("Concurrency & safety invariants") for the policy.
 //!
 //! Wired up as a cargo alias in `.cargo/config.toml`, so the entry
 //! point is `cargo xtask lint`.
@@ -36,7 +36,7 @@ fn main() {
             let violations = lints::run_all(&ws);
             if violations.is_empty() {
                 println!(
-                    "xtask lint: OK ({} files, 8 rules, 0 violations)",
+                    "xtask lint: OK ({} files, 9 rules, 0 violations)",
                     ws.files.len()
                 );
             } else {

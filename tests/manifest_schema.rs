@@ -3,7 +3,9 @@
 //! revisions, so key names and value types are a public contract —
 //! any shape change must bump `gb_obs::manifest::SCHEMA_VERSION`.
 
-use genomicsbench::obs::manifest::{KernelRecord, MemoryRecord, RunManifest, SCHEMA_VERSION};
+use genomicsbench::obs::manifest::{
+    KernelRecord, MemoryRecord, RunManifest, StageTotal, SCHEMA_VERSION,
+};
 use genomicsbench::obs::HistogramSummary;
 use serde_json::Value;
 
@@ -44,6 +46,16 @@ fn sample_manifest() -> RunManifest {
                 task_peak_max_bytes: Some(512 << 10),
                 task_peak_mean_bytes: Some(128 << 10),
             }),
+            stages: Some(vec![
+                StageTotal {
+                    path: "bsw".into(),
+                    total_ns: 22_000_000,
+                },
+                StageTotal {
+                    path: "bsw;tasks".into(),
+                    total_ns: 21_000_000,
+                },
+            ]),
         },
     );
     let metrics = serde_json::json!({
@@ -100,6 +112,7 @@ fn manifest_json_golden_shape() {
             "checksum",
             "latency",
             "memory",
+            "stages",
             "tasks",
             "throughput_per_s",
             "utilization",
@@ -128,6 +141,11 @@ fn manifest_json_golden_shape() {
     ] {
         assert!(field(memory, name).as_u64().is_some(), "memory.{name}");
     }
+    // Schema 1.3 addition: the flattened stage tree.
+    let stages = field(bsw_v, "stages").as_array().expect("stages array");
+    assert_eq!(stages.len(), 2);
+    assert_eq!(field(&stages[0], "path").as_str(), Some("bsw"));
+    assert!(field(&stages[0], "total_ns").as_u64().is_some());
 }
 
 #[test]
@@ -165,6 +183,7 @@ fn optional_fields_are_omitted_not_null() {
             latency: None,
             utilization: None,
             memory: None,
+            stages: None,
         },
     );
     let v: Value = serde_json::from_str(&m.to_json_string()).unwrap();
@@ -174,7 +193,7 @@ fn optional_fields_are_omitted_not_null() {
     let fmi = field(field(&v, "kernels"), "fmi")
         .as_object()
         .expect("kernel record");
-    for absent in ["latency", "utilization", "memory"] {
+    for absent in ["latency", "utilization", "memory", "stages"] {
         assert!(fmi.get(absent).is_none(), "{absent} should be omitted");
     }
 }
