@@ -1,21 +1,29 @@
-//! DP-engine shootout: scalar vs SIMD execution for `bsw` and `phmm`.
+//! DP-engine shootout: scalar vs SIMD execution for the DP-motif
+//! kernels — `bsw`, `phmm`, `spoa` and `abea`.
 //!
 //! Times the three bsw execution modes (per-pair scalar i32, i16 SoA
-//! SIMD unsorted, i16 SoA SIMD length-sorted) and the two phmm engines
-//! (row-wise f32/f64, anti-diagonal wavefront f32) on identical
-//! small-tier-shaped batches, and prints cells/s throughput once at
-//! start-up. The engines are bit-identical (see
-//! `crates/dp/tests/dp_engines_diff.rs`), so any wall-clock difference is
-//! pure execution efficiency.
+//! SIMD unsorted, i16 SoA SIMD length-sorted), the two phmm engines
+//! (row-wise f32/f64, anti-diagonal wavefront f32), the two spoa engines
+//! (inline-predecessor scalar i32, i16 row-sweep) and the two abea
+//! engines (cell-at-a-time scalar, contiguous-band f32) on identical
+//! small-tier-shaped batches. The engines are bit-identical (see
+//! `crates/dp/tests/dp_engines_diff.rs` and
+//! `crates/poa/tests/poa_engines_diff.rs`), so any wall-clock difference
+//! is pure execution efficiency.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gb_core::quality::Phred;
 use gb_core::record::ReadRecord;
 use gb_core::seq::DnaSeq;
+use gb_datagen::signal::{simulate_signal, Event, PoreModel, SignalSimConfig};
+use gb_dp::abea::{align_events_engine, AbeaParams};
 use gb_dp::bsw::{banded_sw, SwParams, SwTask};
 use gb_dp::bsw_simd::run_simd;
 use gb_dp::phmm::{forward_likelihood, HmmParams};
 use gb_dp::phmm_wavefront::wavefront_likelihood;
+use gb_dp::DpEngine;
+use gb_poa::align::PoaParams;
+use gb_poa::consensus::window_consensus_engine;
 
 struct Lcg(u64);
 
@@ -73,6 +81,42 @@ fn phmm_pairs(n: usize, seed: u64) -> Vec<(ReadRecord, DnaSeq)> {
         .collect()
 }
 
+/// Racon-window-shaped spoa inputs: a backbone plus noisy copies.
+fn spoa_windows(n: usize, depth: usize, seed: u64) -> Vec<Vec<DnaSeq>> {
+    let mut rng = Lcg(seed);
+    (0..n)
+        .map(|_| {
+            let len = 150 + (rng.next() % 100) as usize;
+            let backbone: Vec<u8> = (0..len).map(|_| ((rng.next() >> 33) % 4) as u8).collect();
+            let mut reads = vec![DnaSeq::from_codes_unchecked(backbone.clone())];
+            for _ in 0..depth {
+                let read: Vec<u8> = backbone
+                    .iter()
+                    .map(|&c| if rng.next() % 100 < 6 { (c + 1) % 4 } else { c })
+                    .collect();
+                reads.push(DnaSeq::from_codes_unchecked(read));
+            }
+            reads
+        })
+        .collect()
+}
+
+/// Event streams + references shaped like the abea kernel's reads.
+fn abea_reads(n: usize, seed: u64) -> Vec<(Vec<Event>, DnaSeq)> {
+    let mut rng = Lcg(seed);
+    let model = PoreModel::r9_like();
+    let cfg = SignalSimConfig::default();
+    (0..n)
+        .map(|_| {
+            let len = 300 + (rng.next() % 300) as usize;
+            let r: Vec<u8> = (0..len).map(|_| ((rng.next() >> 33) % 4) as u8).collect();
+            let reference = DnaSeq::from_codes_unchecked(r);
+            let events = simulate_signal(&reference, &model, &cfg, rng.next()).events;
+            (events, reference)
+        })
+        .collect()
+}
+
 fn bench_dp_engines(c: &mut Criterion) {
     let sw_params = SwParams::default();
     let tasks = bsw_tasks(256, 0xB5D);
@@ -125,6 +169,46 @@ fn bench_dp_engines(c: &mut Criterion) {
             std::hint::black_box(acc)
         })
     });
+    group.finish();
+
+    let poa_params = PoaParams::default();
+    let windows = spoa_windows(12, 10, 0x50A);
+    let mut group = c.benchmark_group("dp_engines_spoa");
+    group.sample_size(10);
+    for (name, engine) in [("scalar", DpEngine::Scalar), ("simd", DpEngine::Simd)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for w in &windows {
+                    let (cons, stats, _) = window_consensus_engine(w, &poa_params, engine);
+                    acc = acc.wrapping_add(stats.cells).wrapping_add(cons.len() as u64);
+                }
+                std::hint::black_box(acc)
+            })
+        });
+    }
+    group.finish();
+
+    let abea_params = AbeaParams::default();
+    let abea_model = PoreModel::r9_like();
+    let reads = abea_reads(24, 0xABEA);
+    let mut group = c.benchmark_group("dp_engines_abea");
+    group.sample_size(10);
+    for (name, engine) in [("scalar", DpEngine::Scalar), ("simd", DpEngine::Simd)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for (events, reference) in &reads {
+                    if let Some(r) =
+                        align_events_engine(events, reference, &abea_model, &abea_params, engine)
+                    {
+                        acc = acc.wrapping_add(r.cells).wrapping_add(r.moves_right);
+                    }
+                }
+                std::hint::black_box(acc)
+            })
+        });
+    }
     group.finish();
 }
 

@@ -11,6 +11,7 @@
 //! Gaussian — the reason this kernel is the FP-heavy GPU candidate of the
 //! suite (paper Tables IV–V).
 
+use crate::DpEngine;
 use gb_core::seq::DnaSeq;
 use gb_datagen::signal::{Event, PoreModel, PORE_K};
 use gb_uarch::probe::{addr_of, NullProbe, Probe};
@@ -335,8 +336,264 @@ pub fn align_events_full(
     })
 }
 
+/// Dispatches to the scalar or SIMD engine per [`DpEngine`].
+pub fn align_events_engine(
+    events: &[Event],
+    reference: &DnaSeq,
+    model: &PoreModel,
+    params: &AbeaParams,
+    engine: DpEngine,
+) -> Option<AbeaResult> {
+    align_events_engine_probed(events, reference, model, params, engine, &mut NullProbe)
+}
+
+/// [`align_events_engine`] with instrumentation.
+pub fn align_events_engine_probed<P: Probe>(
+    events: &[Event],
+    reference: &DnaSeq,
+    model: &PoreModel,
+    params: &AbeaParams,
+    engine: DpEngine,
+    probe: &mut P,
+) -> Option<AbeaResult> {
+    match engine {
+        DpEngine::Scalar => align_events_probed(events, reference, model, params, probe),
+        DpEngine::Simd => align_events_simd_probed(events, reference, model, params, probe),
+    }
+}
+
+/// The contiguous-band f32 SIMD engine: bit-identical to
+/// [`align_events`], with the per-band cell loop rewritten as a
+/// branchless unit-stride sweep LLVM autovectorizes.
+///
+/// What changes relative to the scalar engine — and why results stay
+/// bit-identical:
+///
+/// - **Padded band rows.** Each band row is stored at width `w + 2` with
+///   permanent `NEG_INF` sentinels at both ends, so the three neighbor
+///   reads (`up`, `left`, `diag`) become pure shifted slice loads: an
+///   out-of-band neighbor reads a sentinel, which is exactly the
+///   `NEG_INF` the scalar `get` returns for it.
+/// - **Anchor-delta neighbor addressing.** For a cell at offset `o` the
+///   scalar resolves neighbors by `(event, kmer)` search; here they are
+///   fixed shifts derived from the band anchors: `up` at `o + du`,
+///   `left` at `o + du - 1` in band `b-1` (`du = lk - plk`, 1 for a
+///   right move else 0) and `diag` at `o + dd - 1` in band `b-2`
+///   (`dd = lk - dlk`, 0..=2). The anti-diagonal consistency check the
+///   scalar's `get` performs holds by construction for these shifts.
+///   The virtual start cell (-1,-1) needs no special case: cell (0,0)
+///   only occurs on band 2, whose diag shift lands exactly on the
+///   band-0 seed slot.
+/// - **Hoisted emission parameters.** Per-k-mer `level_mean`,
+///   `level_stdv` and `level_stdv.ln()` are precomputed once (`ln` is
+///   deterministic, so hoisting it out of the cell loop is exact), and
+///   event means are stored reversed so both operands of the emission
+///   stream with unit stride.
+/// - **Identical expression trees.** Every per-cell float expression —
+///   emission, the three move scores, the `>=` selection cascade — is
+///   evaluated in the scalar engine's exact order, so each intermediate
+///   rounds identically.
+///
+/// Band placement reads the same two edge cells as the scalar engine, so
+/// the adaptive band walks the same path; scores, alignments, cell
+/// counts and `moves_right` are all bit-identical (enforced by the
+/// differential proptests in `tests/dp_engines_diff.rs`).
+pub fn align_events_simd(
+    events: &[Event],
+    reference: &DnaSeq,
+    model: &PoreModel,
+    params: &AbeaParams,
+) -> Option<AbeaResult> {
+    align_events_simd_probed(events, reference, model, params, &mut NullProbe)
+}
+
+/// [`align_events_simd`] with instrumentation (one SIMD op and one
+/// lockstep branch per band, matching the vector engines' convention).
+pub fn align_events_simd_probed<P: Probe>(
+    events: &[Event],
+    reference: &DnaSeq,
+    model: &PoreModel,
+    params: &AbeaParams,
+    probe: &mut P,
+) -> Option<AbeaResult> {
+    let kmers: Vec<u64> = reference.kmers(PORE_K).map(|(_, k)| k).collect();
+    let n_events = events.len();
+    let n_kmers = kmers.len();
+    if n_events == 0 || n_kmers == 0 || params.bandwidth < 2 {
+        return None;
+    }
+    let w = params.bandwidth;
+    let wp = w + 2; // padded row: NEG_INF sentinels at 0 and w + 1
+    let half = w / 2;
+    let (lp_step, lp_stay, lp_skip) = transition_logs(n_events, n_kmers, params);
+    const LN_SQRT_2PI: f32 = 0.918_938_5;
+
+    // Hoisted emission parameters: unit-stride f32 streams.
+    let k_mean: Vec<f32> = kmers.iter().map(|&k| model.get(k).level_mean).collect();
+    let k_stdv: Vec<f32> = kmers.iter().map(|&k| model.get(k).level_stdv).collect();
+    let k_ln_stdv: Vec<f32> = k_stdv.iter().map(|s| s.ln()).collect();
+    // Event means reversed: cell offset o has event `le - o`, so the
+    // reversed stream `ev_rev[n_events - 1 - le + o]` ascends with o.
+    let ev_rev: Vec<f32> = events.iter().rev().map(|e| e.mean).collect();
+
+    let n_bands = n_events + n_kmers + 2;
+    let mut bands = vec![NEG_INF; n_bands * wp];
+    let mut trace = vec![0u8; n_bands * wp];
+    let mut ll: Vec<(i64, i64)> = Vec::with_capacity(n_bands);
+
+    // Band 0 holds the virtual start cell (-1, -1) at the band middle.
+    ll.push((-1 + half as i64, -1 - half as i64));
+    bands[half + 1] = 0.0;
+
+    let offset_of = |band: usize, e: i64, k: i64, ll: &[(i64, i64)]| -> Option<usize> {
+        let (le, lk) = ll[band];
+        let o = k - lk;
+        if o >= 0 && (o as usize) < w && le - o == e {
+            Some(o as usize)
+        } else {
+            None
+        }
+    };
+
+    let mut cells = 0u64;
+    let mut moves_right = 0u64;
+    for b in 1..n_bands {
+        // Adaptive placement: same two edge reads as the scalar engine.
+        let prev = b - 1;
+        let lo_edge = bands[prev * wp + 1];
+        let hi_edge = bands[prev * wp + w];
+        let right = if lo_edge == NEG_INF && hi_edge == NEG_INF {
+            b % 2 == 1
+        } else {
+            lo_edge < hi_edge
+        };
+        let (ple, plk) = ll[prev];
+        ll.push(if right {
+            (ple, plk + 1)
+        } else {
+            (ple + 1, plk)
+        });
+        if right {
+            moves_right += 1;
+        }
+
+        let (le, lk) = ll[b];
+        // Valid offsets: e = le - o in [0, n_events), k = lk + o in
+        // [0, n_kmers), o in [0, w).
+        let o_lo = (le - (n_events as i64 - 1)).max(-lk).max(0);
+        let o_hi = (w as i64 - 1).min(le).min(n_kmers as i64 - 1 - lk);
+        if o_lo > o_hi {
+            continue;
+        }
+        let (o_lo, len) = (o_lo as usize, (o_hi - o_lo + 1) as usize);
+        cells += len as u64;
+
+        // Neighbor shifts from the anchor deltas (see fn docs).
+        let du = (lk - plk) as usize;
+        let dlk = if b >= 2 { ll[b - 2].1 } else { lk };
+        let dd = (lk - dlk) as usize;
+
+        let (done, cur) = bands.split_at_mut(b * wp);
+        let prev_row = &done[prev * wp..prev * wp + wp];
+        let diag_row = &done[b.saturating_sub(2) * wp..b.saturating_sub(2) * wp + wp];
+        let up_s = &prev_row[o_lo + du + 1..o_lo + du + 1 + len];
+        let left_s = &prev_row[o_lo + du..o_lo + du + len];
+        let diag_s = &diag_row[o_lo + dd..o_lo + dd + len];
+        let k0 = (lk + o_lo as i64) as usize;
+        let km = &k_mean[k0..k0 + len];
+        let ks = &k_stdv[k0..k0 + len];
+        let kl = &k_ln_stdv[k0..k0 + len];
+        let r0 = (n_events as i64 - 1 - le + o_lo as i64) as usize;
+        let ev = &ev_rev[r0..r0 + len];
+        let out = &mut cur[o_lo + 1..o_lo + 1 + len];
+        let tr_out = &mut trace[b * wp + o_lo + 1..b * wp + o_lo + 1 + len];
+
+        // The branchless vector core: identical expression tree and
+        // comparison cascade to the scalar cell, evaluated per lane.
+        for i in 0..len {
+            let z = (ev[i] - km[i]) / ks[i];
+            let lp_emit = -kl[i] - LN_SQRT_2PI - 0.5 * z * z;
+            let s_d = diag_s[i] + lp_step + lp_emit;
+            let s_u = up_s[i] + lp_stay + lp_emit;
+            let s_l = left_s[i] + lp_skip;
+            let (best, mv) = if s_d >= s_u && s_d >= s_l {
+                (s_d, FROM_D)
+            } else if s_u >= s_l {
+                (s_u, FROM_U)
+            } else {
+                (s_l, FROM_L)
+            };
+            out[i] = best;
+            tr_out[i] = mv;
+        }
+        probe.simd_ops(1);
+        probe.branch(right);
+    }
+
+    // Locate the terminal cell (last event, last k-mer).
+    let (te, tk) = (n_events as i64 - 1, n_kmers as i64 - 1);
+    let (term_band, term_off) = (0..n_bands)
+        .rev()
+        .find_map(|b| offset_of(b, te, tk, &ll).map(|o| (b, o)))?;
+    let score = bands[term_band * wp + term_off + 1];
+    if score == NEG_INF {
+        return None; // band drifted away from the terminal cell
+    }
+
+    // Traceback, identical to the scalar engine (padded indexing).
+    let mut alignment = Vec::new();
+    let (mut b, mut e, mut k) = (term_band, te, tk);
+    while e >= 0 && k >= 0 {
+        let o = offset_of(b, e, k, &ll)?;
+        let mv = trace[b * wp + o + 1];
+        match mv {
+            FROM_D => {
+                alignment.push(EventAlignment {
+                    event_idx: e as usize,
+                    kmer_idx: k as usize,
+                });
+                e -= 1;
+                k -= 1;
+                b = b.checked_sub(2)?;
+            }
+            FROM_U => {
+                alignment.push(EventAlignment {
+                    event_idx: e as usize,
+                    kmer_idx: k as usize,
+                });
+                e -= 1;
+                b -= 1;
+            }
+            FROM_L => {
+                k -= 1;
+                b -= 1;
+            }
+            _ => break, // reached the start cell
+        }
+        if e < 0 || k < 0 {
+            break;
+        }
+    }
+    alignment.reverse();
+    Some(AbeaResult {
+        score,
+        alignment,
+        cells,
+        moves_right,
+    })
+}
+
 fn transition_logs(n_events: usize, n_kmers: usize, params: &AbeaParams) -> (f32, f32, f32) {
-    let events_per_kmer = n_events as f64 / n_kmers as f64;
+    // Degenerate-input guard: with an empty event or k-mer set the ratio
+    // below is 0/0 (NaN) or x/0 (inf), and NaN survives `clamp` to poison
+    // every cell. Both aligners already refuse empty inputs, but keep
+    // this closed under all inputs: fall back to the p_stay a 1:1
+    // event/k-mer ratio gives, so the returned log-probs stay finite.
+    let events_per_kmer = if n_events == 0 || n_kmers == 0 {
+        1.0
+    } else {
+        n_events as f64 / n_kmers as f64
+    };
     let p_stay = params
         .p_stay
         .unwrap_or(1.0 - 1.0 / (events_per_kmer + 1.0))
@@ -500,5 +757,87 @@ mod tests {
         let short: DnaSeq = "ACG".parse().unwrap();
         let ev = clean_signal(&seq, 1);
         assert!(align_events(&ev, &short, &model, &AbeaParams::default()).is_none());
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none_on_both_engines() {
+        // Regression for the transition_logs 0/0 hazard: zero-length
+        // event or k-mer sets must yield an explicit empty result (None)
+        // on every engine, never NaN-poisoned cells.
+        let seq = refseq(40);
+        let short: DnaSeq = "ACG".parse().unwrap(); // shorter than PORE_K
+        let empty = DnaSeq::new();
+        let model = PoreModel::r9_like();
+        let ev = clean_signal(&seq, 1);
+        let p = AbeaParams::default();
+        for engine in [DpEngine::Scalar, DpEngine::Simd] {
+            assert!(align_events_engine(&[], &seq, &model, &p, engine).is_none());
+            assert!(align_events_engine(&ev, &short, &model, &p, engine).is_none());
+            assert!(align_events_engine(&ev, &empty, &model, &p, engine).is_none());
+            assert!(align_events_engine(&[], &empty, &model, &p, engine).is_none());
+        }
+    }
+
+    #[test]
+    fn transition_logs_finite_for_empty_inputs() {
+        let p = AbeaParams::default();
+        for (ne, nk) in [(0, 0), (0, 10), (10, 0), (10, 10)] {
+            let (step, stay, skip) = transition_logs(ne, nk, &p);
+            assert!(step.is_finite(), "lp_step for ({ne},{nk})");
+            assert!(stay.is_finite(), "lp_stay for ({ne},{nk})");
+            assert!(skip.is_finite(), "lp_skip for ({ne},{nk})");
+        }
+    }
+
+    fn assert_results_bit_identical(a: &AbeaResult, b: &AbeaResult) {
+        assert_eq!(a.score.to_bits(), b.score.to_bits());
+        assert_eq!(a.alignment, b.alignment);
+        assert_eq!(a.cells, b.cells);
+        assert_eq!(a.moves_right, b.moves_right);
+    }
+
+    #[test]
+    fn simd_is_bit_identical_to_scalar() {
+        let model = PoreModel::r9_like();
+        for (n, seed, split, skip) in [
+            (80usize, 1u64, 0.0f64, 0.0f64),
+            (150, 5, 0.5, 0.05),
+            (200, 13, 0.6, 0.0),
+            (1200, 11, 0.3, 0.02),
+        ] {
+            let seq = refseq(n);
+            let cfg = SignalSimConfig {
+                split_prob: split,
+                skip_prob: skip,
+                ..Default::default()
+            };
+            let events = simulate_signal(&seq, &model, &cfg, seed).events;
+            let p = AbeaParams::default();
+            let scalar = align_events(&events, &seq, &model, &p).unwrap();
+            let simd = align_events_simd(&events, &seq, &model, &p).unwrap();
+            assert_results_bit_identical(&scalar, &simd);
+        }
+    }
+
+    #[test]
+    fn simd_matches_scalar_at_minimum_bandwidth() {
+        // w = 2 exercises both padded-row sentinels on every band and the
+        // band-placement ties that decide shift direction at the edges.
+        let seq = refseq(60);
+        let model = PoreModel::r9_like();
+        let events = clean_signal(&seq, 3);
+        for bw in [2usize, 3, 5, 10] {
+            let p = AbeaParams {
+                bandwidth: bw,
+                ..Default::default()
+            };
+            let scalar = align_events(&events, &seq, &model, &p);
+            let simd = align_events_simd(&events, &seq, &model, &p);
+            match (scalar, simd) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert_results_bit_identical(&a, &b),
+                (a, b) => panic!("engines disagree at bw={bw}: {:?} vs {:?}", a, b),
+            }
+        }
     }
 }

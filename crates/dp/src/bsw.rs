@@ -183,48 +183,10 @@ pub struct SwTask {
     pub target: DnaSeq,
 }
 
-/// Outcome of executing a batch of alignments in SIMD lockstep.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct BatchReport {
-    /// Cells a scalar execution would compute (sum of per-task cells).
-    pub scalar_cells: u64,
-    /// Cell-update slots consumed by the lockstep execution
-    /// (`lanes x max-cells` per batch group).
-    pub vector_cells: u64,
-    /// Number of lane-batches executed.
-    pub batches: u64,
-    /// Lanes the i16 SIMD engine retired to the i32 scalar ladder
-    /// (always 0 for the i32 lockstep reference and the analytic model).
-    pub retired_lanes: u64,
-}
-
-impl BatchReport {
-    /// The over-compute factor: vectorized cell updates relative to
-    /// scalar (the paper reports 2.2x for bsw with 16-lane AVX2).
-    pub fn overcompute(&self) -> f64 {
-        if self.scalar_cells == 0 {
-            return 1.0;
-        }
-        self.vector_cells as f64 / self.scalar_cells as f64
-    }
-
-    /// Fraction of vector cell slots that did no useful work (lane
-    /// imbalance waste): `1 - scalar/vector`. Zero for an empty batch.
-    pub fn dead_slot_fraction(&self) -> f64 {
-        if self.vector_cells == 0 {
-            return 0.0;
-        }
-        1.0 - self.scalar_cells as f64 / self.vector_cells as f64
-    }
-
-    /// Folds another report's counts into this one.
-    pub fn merge(&mut self, other: &BatchReport) {
-        self.scalar_cells += other.scalar_cells;
-        self.vector_cells += other.vector_cells;
-        self.batches += other.batches;
-        self.retired_lanes += other.retired_lanes;
-    }
-}
+// `BatchReport` moved to the shared engine layer when spoa/abea joined
+// the lockstep framework; re-exported here so existing callers keep
+// their import path.
+pub use crate::lockstep::BatchReport;
 
 /// Executes `tasks` in lockstep batches of `lanes` (the inter-sequence
 /// vectorization model of BWA-MEM2): a batch retires only when its longest

@@ -12,8 +12,9 @@
 use crate::bsw::{BatchReport, SwParams, SwResult, SwTask};
 use gb_uarch::probe::{NullProbe, Probe};
 
-/// Number of lanes in the modelled vector (16-bit AVX2 lanes = 16).
-pub const LANES: usize = 16;
+// Lane geometry moved to the shared engine layer; re-exported so
+// existing callers keep their import path.
+pub use crate::lockstep::LANES;
 
 /// Executes up to [`LANES`] tasks in true lockstep; returns per-lane
 /// results plus the slot counts.
@@ -210,11 +211,9 @@ pub fn run_lockstep(
 /// Length-sort order over task indices: the paper's mitigation assigns
 /// similarly-sized alignments to the same lockstep group.
 pub(crate) fn length_order(tasks: &[SwTask], sort_by_len: bool) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..tasks.len()).collect();
-    if sort_by_len {
-        order.sort_by_key(|&i| tasks[i].query.len() + tasks[i].target.len());
-    }
-    order
+    crate::lockstep::order_by_key(tasks.len(), sort_by_len, |i| {
+        tasks[i].query.len() + tasks[i].target.len()
+    })
 }
 
 /// [`run_lockstep`] generalized to an arbitrary lane width.

@@ -27,28 +27,22 @@ use crate::bsw::{banded_sw_probed, BatchReport, SwParams, SwResult, SwTask};
 use crate::bsw_batch::{self, length_order, LANES};
 use gb_uarch::probe::{NullProbe, Probe};
 
-/// Largest scoring-parameter magnitude the i16 engine accepts. Chosen so
-/// one cell update can move a value by at most this much, making
-/// [`RETIRE_LIMIT`] detection catch overflow *before* any wraparound.
-pub const MAX_I16_PARAM: i32 = 8_192;
-
-/// H scores at or above this retire the lane to the i32 scalar ladder.
-/// The value itself is still exact when detected (see module docs).
-pub const RETIRE_LIMIT: i16 = (i16::MAX as i32 - MAX_I16_PARAM) as i16;
+// The ladder constants moved to the shared engine layer when spoa joined
+// the i16 lockstep framework; re-exported so existing callers keep their
+// import path.
+pub use crate::lockstep::{MAX_I16_PARAM, RETIRE_LIMIT};
 
 /// Whether a parameter set is eligible for the i16 engine. All four
 /// scoring magnitudes must be in `[0, MAX_I16_PARAM]`; anything else
 /// (including the negative values the type allows) runs on the i32
 /// lockstep engine instead.
 pub fn params_fit_i16(params: &SwParams) -> bool {
-    [
+    crate::lockstep::fits_i16(&[
         params.match_score,
         params.mismatch,
         params.gap_open,
         params.gap_extend,
-    ]
-    .iter()
-    .all(|&v| (0..=MAX_I16_PARAM).contains(&v))
+    ])
 }
 
 /// The branchless vector core: one cell update for all [`LANES`] lanes.

@@ -12,9 +12,13 @@
 //! - [`phmm_wavefront`] — the anti-diagonal f32 phmm execution engine,
 //! - [`chain`] — minimap2 anchor chaining (1-D DP with bounded
 //!   predecessor scan),
-//! - [`abea`] — Nanopolish/f5c adaptive banded event alignment.
+//! - [`abea`] — Nanopolish/f5c adaptive banded event alignment (scalar
+//!   and contiguous-band f32 SIMD engines),
+//! - [`lockstep`] — the shared engine layer (lane geometry, precision
+//!   laddering, slot accounting, lockstep grouping) the vector fast
+//!   paths here and in `gb-poa` are built on.
 //!
-//! The two DP kernels with SIMD fast paths select them via [`DpEngine`].
+//! Kernels with SIMD fast paths select them via [`DpEngine`].
 //!
 //! All kernels are generic over a [`gb_uarch::probe::Probe`] so one code
 //! path serves both timed benchmarking and microarchitectural
@@ -47,11 +51,13 @@ pub mod bsw;
 pub mod bsw_batch;
 pub mod bsw_simd;
 pub mod chain;
+pub mod lockstep;
 pub mod phmm;
 pub mod phmm_wavefront;
 pub mod traceback;
 
-/// Which execution engine the DP kernels (`bsw`, `phmm`) run on.
+/// Which execution engine the DP-motif kernels (`bsw`, `phmm`, `spoa`,
+/// `abea`) run on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DpEngine {
     /// Paper-faithful scalar kernels: per-pair i32 `bsw`, row-wise f32/f64
@@ -77,13 +83,46 @@ impl DpEngine {
 impl std::str::FromStr for DpEngine {
     type Err = String;
 
+    /// Case-insensitive: `"Scalar"`, `"SIMD"` etc. all parse, so shell
+    /// scripts and CI matrices don't have to agree on a casing.
     fn from_str(s: &str) -> Result<DpEngine, String> {
-        match s {
+        match s.to_ascii_lowercase().as_str() {
             "scalar" => Ok(DpEngine::Scalar),
             "simd" => Ok(DpEngine::Simd),
-            other => Err(format!(
-                "unknown dp engine '{other}' (expected 'scalar' or 'simd')"
+            _ => Err(format!(
+                "unknown dp engine '{s}' (accepted values: 'scalar', 'simd', case-insensitive)"
             )),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::DpEngine;
+
+    #[test]
+    fn engine_parses_case_insensitively() {
+        for s in ["scalar", "Scalar", "SCALAR", "sCaLaR"] {
+            assert_eq!(s.parse::<DpEngine>(), Ok(DpEngine::Scalar), "{s}");
+        }
+        for s in ["simd", "Simd", "SIMD", "sImD"] {
+            assert_eq!(s.parse::<DpEngine>(), Ok(DpEngine::Simd), "{s}");
+        }
+    }
+
+    #[test]
+    fn engine_parse_error_names_accepted_values() {
+        let err = "avx512".parse::<DpEngine>().unwrap_err();
+        assert!(err.contains("avx512"), "{err}");
+        assert!(err.contains("'scalar'"), "{err}");
+        assert!(err.contains("'simd'"), "{err}");
+    }
+
+    #[test]
+    fn engine_names_roundtrip() {
+        for e in [DpEngine::Scalar, DpEngine::Simd] {
+            assert_eq!(e.name().parse::<DpEngine>(), Ok(e));
+        }
+        assert_eq!(DpEngine::default(), DpEngine::Simd);
     }
 }

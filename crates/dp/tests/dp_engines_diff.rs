@@ -12,15 +12,30 @@
 //! summation order, the tests actually assert bit-equality of the final
 //! likelihood, cell counts, and the underflow-rescue decision, including
 //! forced-underflow reads.
+//!
+//! The contiguous-band abea engine must be bit-identical to the scalar
+//! adaptive-band kernel — scores, alignments, cell counts and the
+//! band-shift walk itself (`moves_right`) — across random signals,
+//! random band widths down to the minimum (band-edge ties decide shift
+//! direction there), and degenerate inputs, where both engines must
+//! agree on returning `None`.
+//!
+//! The spoa i16 row-sweep engine's differential proptests live in
+//! `gb-poa`'s `tests/poa_engines_diff.rs` — `gb-dp` cannot depend on
+//! `gb-poa` (the dependency points the other way), so the tests follow
+//! the kernel.
 
 use gb_core::quality::Phred;
 use gb_core::record::ReadRecord;
 use gb_core::seq::DnaSeq;
+use gb_datagen::signal::{simulate_signal, PoreModel, SignalSimConfig, PORE_K};
+use gb_dp::abea::{align_events, align_events_engine, align_events_simd, AbeaParams, AbeaResult};
 use gb_dp::bsw::{banded_sw, run_batch, SwParams, SwTask};
 use gb_dp::bsw_batch::LANES;
 use gb_dp::bsw_simd::{params_fit_i16, run_simd, simd_group};
 use gb_dp::phmm::{forward_likelihood, HmmParams};
 use gb_dp::phmm_wavefront::wavefront_likelihood;
+use gb_dp::DpEngine;
 use proptest::prelude::*;
 
 fn codes(min: usize, max: usize) -> impl Strategy<Value = Vec<u8>> {
@@ -83,6 +98,26 @@ fn sw_params() -> impl Strategy<Value = SwParams> {
                 zdrop: zdrop.0.then_some(zdrop.1),
             }
         })
+}
+
+/// Bit-identity for the two abea engines, including `None` agreement
+/// (band drift away from the terminal cell must happen identically).
+fn assert_abea_identical(events_seq: &DnaSeq, cfg: &SignalSimConfig, seed: u64, p: &AbeaParams) {
+    let model = PoreModel::r9_like();
+    let events = simulate_signal(events_seq, &model, cfg, seed).events;
+    let scalar = align_events(&events, events_seq, &model, p);
+    let simd = align_events_simd(&events, events_seq, &model, p);
+    match (scalar, simd) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            let (a, b): (&AbeaResult, &AbeaResult) = (&a, &b);
+            assert_eq!(a.score.to_bits(), b.score.to_bits(), "score bits");
+            assert_eq!(a.alignment, b.alignment, "alignment");
+            assert_eq!(a.cells, b.cells, "cells");
+            assert_eq!(a.moves_right, b.moves_right, "band walk");
+        }
+        (a, b) => panic!("engines disagree on alignability: {a:?} vs {b:?}"),
+    }
 }
 
 /// Panicking comparison helper (plain asserts, so it works under both the
@@ -220,5 +255,71 @@ proptest! {
         prop_assert_eq!(row.rescued, wave.rescued);
         prop_assert_eq!(row.log10_likelihood.to_bits(), wave.log10_likelihood.to_bits());
         prop_assert_eq!(row.cells, wave.cells);
+    }
+
+    #[test]
+    fn simd_abea_bit_identical_random_signals(
+        r in codes(PORE_K, 160),
+        split in 0u32..60,
+        skip in 0u32..15,
+        seed in 0u64..1_000_000,
+    ) {
+        let seq = DnaSeq::from_codes_unchecked(r);
+        let cfg = SignalSimConfig {
+            split_prob: f64::from(split) / 100.0,
+            skip_prob: f64::from(skip) / 100.0,
+            ..SignalSimConfig::default()
+        };
+        assert_abea_identical(&seq, &cfg, seed, &AbeaParams::default());
+    }
+
+    #[test]
+    fn simd_abea_bit_identical_at_narrow_bands(
+        r in codes(PORE_K, 120),
+        bandwidth in 2usize..12,
+        seed in 0u64..1_000_000,
+    ) {
+        // Narrow bands exercise the band-shift decision's tie cases
+        // constantly: the two compared edge cells are often both NEG_INF,
+        // so the walk must drift identically on both engines — or both
+        // must lose the terminal cell and return None.
+        let seq = DnaSeq::from_codes_unchecked(r);
+        let params = AbeaParams {
+            bandwidth,
+            ..AbeaParams::default()
+        };
+        assert_abea_identical(&seq, &SignalSimConfig::default(), seed, &params);
+    }
+
+    #[test]
+    fn simd_abea_degenerate_inputs_agree(
+        short in codes(0, PORE_K),
+        valid in codes(PORE_K, 40),
+        bandwidth in 0usize..2,
+    ) {
+        // Sub-k references (zero k-mers), empty event streams, and
+        // sub-minimum bandwidths must be rejected by both engines — the
+        // guards have to agree, not just the happy paths.
+        let model = PoreModel::r9_like();
+        let cfg = SignalSimConfig::default();
+        let short_seq = DnaSeq::from_codes_unchecked(short);
+        let valid_seq = DnaSeq::from_codes_unchecked(valid);
+        let events = simulate_signal(&valid_seq, &model, &cfg, 7).events;
+        let defaults = AbeaParams::default();
+        let narrow = AbeaParams {
+            bandwidth,
+            ..AbeaParams::default()
+        };
+        for engine in [DpEngine::Scalar, DpEngine::Simd] {
+            prop_assert!(
+                align_events_engine(&events, &short_seq, &model, &defaults, engine).is_none()
+            );
+            prop_assert!(
+                align_events_engine(&[], &valid_seq, &model, &defaults, engine).is_none()
+            );
+            prop_assert!(
+                align_events_engine(&events, &valid_seq, &model, &narrow, engine).is_none()
+            );
+        }
     }
 }

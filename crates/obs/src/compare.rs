@@ -15,6 +15,13 @@
 //!
 //! The gate is deliberately symmetric-safe: comparing a manifest against
 //! itself never regresses, whatever the thresholds.
+//!
+//! Panic audit (2026-08): every `unwrap`/`expect` in this module sits
+//! inside `#[cfg(test)]` code; the production comparison paths are
+//! total over already-validated [`RunManifest`]s. Corrupt or
+//! wrong-schema manifest files are rejected by the CLI's loader with
+//! exit code 2 before reaching [`compare`] (covered end-to-end by
+//! `crates/suite/tests/cli_corrupt_manifest.rs`).
 
 use crate::diff::{DiffRow, TreeDiff};
 use crate::manifest::{KernelRecord, RunManifest};

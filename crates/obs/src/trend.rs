@@ -21,6 +21,13 @@
 //! full serialized manifest), so shuffling the manifest arguments cannot
 //! change the report — a property under proptest in
 //! `tests/trend_properties.rs`.
+//!
+//! Panic audit (2026-08): every `unwrap`/`expect` in this module sits
+//! inside `#[cfg(test)]` code; the production paths return `Result`s or
+//! render placeholders for missing samples. Malformed manifest files
+//! never reach this module — the CLI's loader rejects them first and
+//! exits 2 (covered end-to-end by
+//! `crates/suite/tests/cli_corrupt_manifest.rs`).
 
 use crate::compare::{classify, CompareConfig, Direction, StageAttribution, Verdict};
 use crate::diff::TreeDiff;

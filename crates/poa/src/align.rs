@@ -279,7 +279,7 @@ pub fn add_sequence_probed<P: Probe>(
 
 /// Threads an alignment's path into the graph, weighting each traversed
 /// edge by `weight_of(read position)`.
-fn merge_alignment(
+pub(crate) fn merge_alignment(
     graph: &mut PoaGraph,
     seq: &DnaSeq,
     alignment: &GraphAlignment,

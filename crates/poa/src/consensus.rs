@@ -1,9 +1,12 @@
 //! Consensus generation from the partial-order graph (the heaviest-bundle
 //! algorithm) and the Racon-style windowed polishing driver.
 
-use crate::align::{add_sequence_probed, PoaParams};
+use crate::align::PoaParams;
+use crate::align_simd::add_sequence_engine_probed;
 use crate::graph::PoaGraph;
 use gb_core::seq::DnaSeq;
+use gb_dp::lockstep::BatchReport;
+use gb_dp::DpEngine;
 use gb_uarch::probe::{NullProbe, Probe};
 
 /// Extracts the consensus sequence: the heaviest source-to-sink bundle.
@@ -94,18 +97,43 @@ pub fn window_consensus_probed<P: Probe>(
     params: &PoaParams,
     probe: &mut P,
 ) -> (DnaSeq, WindowStats) {
+    let (c, stats, _) = window_consensus_engine_probed(reads, params, DpEngine::Scalar, probe);
+    (c, stats)
+}
+
+/// [`window_consensus`] on an explicit [`DpEngine`]. The returned
+/// [`BatchReport`] carries the SIMD engine's slot accounting (padding
+/// waste, ladder retirements) summed over the window's alignments; the
+/// scalar engine returns an empty report. Consensus and stats are
+/// engine-independent (the SIMD aligner is bit-identical).
+pub fn window_consensus_engine(
+    reads: &[DnaSeq],
+    params: &PoaParams,
+    engine: DpEngine,
+) -> (DnaSeq, WindowStats, BatchReport) {
+    window_consensus_engine_probed(reads, params, engine, &mut NullProbe)
+}
+
+/// [`window_consensus_engine`] with instrumentation.
+pub fn window_consensus_engine_probed<P: Probe>(
+    reads: &[DnaSeq],
+    params: &PoaParams,
+    engine: DpEngine,
+    probe: &mut P,
+) -> (DnaSeq, WindowStats, BatchReport) {
     let mut graph = PoaGraph::new();
     let mut stats = WindowStats::default();
+    let mut report = BatchReport::default();
     for read in reads {
         if read.is_empty() {
             continue;
         }
-        let a = add_sequence_probed(&mut graph, read, params, probe);
+        let a = add_sequence_engine_probed(&mut graph, read, params, engine, &mut report, probe);
         stats.cells += a.cells;
         stats.reads += 1;
     }
     stats.nodes = graph.num_nodes();
-    (consensus(&mut graph), stats)
+    (consensus(&mut graph), stats, report)
 }
 
 #[cfg(test)]

@@ -1,0 +1,150 @@
+//! Differential proptests: the i16 row-sweep spoa engine vs the scalar
+//! i32 kernel.
+//!
+//! The SIMD engine must be **bit-identical** to the scalar kernel —
+//! scores, alignment paths, cell counts, and the graphs grown from them —
+//! across random windows, random scoring parameters, forced i16 overflow
+//! (huge match scores retire whole alignments to the exact i32 rerun) and
+//! out-of-i16-range parameters (pre-checked fallback). These tests live
+//! here rather than in `gb-dp`'s `dp_engines_diff.rs` because `gb-dp`
+//! cannot depend on `gb-poa` (the dependency points the other way).
+
+use gb_core::seq::DnaSeq;
+use gb_dp::lockstep::{fits_i16, BatchReport, MAX_I16_PARAM, RETIRE_LIMIT};
+use gb_dp::DpEngine;
+use gb_poa::align::{add_sequence, align_to_graph, PoaParams};
+use gb_poa::align_simd::{add_sequence_engine, align_to_graph_simd};
+use gb_poa::consensus::window_consensus_engine;
+use gb_poa::graph::PoaGraph;
+use proptest::prelude::*;
+
+fn codes(min: usize, max: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..4, min..max)
+}
+
+/// A consensus window: a backbone plus noisy copies of it, derived
+/// deterministically from per-read noise levels so shrinking stays
+/// meaningful.
+fn window(max_backbone: usize, max_reads: usize) -> impl Strategy<Value = Vec<DnaSeq>> {
+    (
+        codes(1, max_backbone),
+        proptest::collection::vec(0u8..10, 1..max_reads),
+    )
+        .prop_map(|(backbone, noises)| {
+            let mut reads = vec![DnaSeq::from_codes_unchecked(backbone.clone())];
+            for (r, noise) in noises.iter().enumerate() {
+                let mutated: Vec<u8> = backbone
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| {
+                        if (i as u8)
+                            .wrapping_mul(37)
+                            .wrapping_add(r as u8)
+                            .wrapping_mul(101)
+                            % 100
+                            < noise % 10
+                        {
+                            (c + 1) % 4
+                        } else {
+                            c
+                        }
+                    })
+                    .collect();
+                reads.push(DnaSeq::from_codes_unchecked(mutated));
+            }
+            reads
+        })
+}
+
+fn poa_params() -> impl Strategy<Value = PoaParams> {
+    (1i32..10, 0i32..10, 1i32..10).prop_map(|(match_score, mismatch, gap)| PoaParams {
+        match_score,
+        mismatch,
+        gap,
+    })
+}
+
+/// Grows one graph per engine from the same reads and asserts every
+/// alignment — and the final consensus — is identical.
+fn assert_spoa_identical(reads: &[DnaSeq], params: &PoaParams) {
+    let mut scalar_graph = PoaGraph::new();
+    let mut simd_graph = PoaGraph::new();
+    let mut report = BatchReport::default();
+    for read in reads {
+        // Compare the raw aligner on the current (identical) graph state
+        // before merging, so a divergence is caught at the first read.
+        if !scalar_graph.is_empty() {
+            let scalar = align_to_graph(&scalar_graph, read, params);
+            let (simd, _) = align_to_graph_simd(&simd_graph, read, params);
+            assert_eq!(scalar, simd, "alignment diverged");
+        }
+        let a = add_sequence(&mut scalar_graph, read, params);
+        let b = add_sequence_engine(&mut simd_graph, read, params, DpEngine::Simd, &mut report);
+        assert_eq!(a, b, "merged alignment diverged");
+    }
+    let (cons_scalar, stats_scalar, _) = window_consensus_engine(reads, params, DpEngine::Scalar);
+    let (cons_simd, stats_simd, _) = window_consensus_engine(reads, params, DpEngine::Simd);
+    assert_eq!(cons_scalar, cons_simd, "consensus diverged");
+    assert_eq!(stats_scalar.cells, stats_simd.cells, "cell counts diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simd_spoa_bit_identical_default_params(reads in window(80, 8)) {
+        assert_spoa_identical(&reads, &PoaParams::default());
+    }
+
+    #[test]
+    fn simd_spoa_bit_identical_random_params(
+        reads in window(48, 6),
+        params in poa_params(),
+    ) {
+        prop_assert!(fits_i16(&[params.match_score, params.mismatch, params.gap]));
+        assert_spoa_identical(&reads, &params);
+    }
+
+    #[test]
+    fn simd_spoa_forced_overflow_retires_and_stays_exact(
+        backbone in codes(120, 200),
+        match_score in 500i32..MAX_I16_PARAM,
+    ) {
+        // A self-alignment at a huge match score crosses the i16 retire
+        // watch partway down the graph (len x score >> RETIRE_LIMIT); the
+        // whole alignment must rerun on the exact i32 engine and still be
+        // bit-identical.
+        let read = DnaSeq::from_codes_unchecked(backbone);
+        let params = PoaParams {
+            match_score,
+            ..PoaParams::default()
+        };
+        let mut graph = PoaGraph::new();
+        let mut report = BatchReport::default();
+        add_sequence_engine(&mut graph, &read, &params, DpEngine::Simd, &mut report);
+        let scalar = align_to_graph(&graph, &read, &params);
+        prop_assert!(scalar.score >= i32::from(RETIRE_LIMIT), "workload too small to overflow");
+        let (simd, rep) = align_to_graph_simd(&graph, &read, &params);
+        prop_assert_eq!(&simd, &scalar);
+        prop_assert_eq!(rep.retired_lanes, 1);
+        // The retired rerun still pays the vector slots it burned.
+        prop_assert!(rep.vector_cells >= rep.scalar_cells);
+    }
+
+    #[test]
+    fn simd_spoa_out_of_range_params_fall_back_exactly(
+        reads in window(40, 4),
+        magnitude in (MAX_I16_PARAM + 1)..100_000,
+    ) {
+        // Parameters past the i16 ladder's headroom never enter the
+        // vector path: every alignment falls back pre-emptively and must
+        // still match the scalar engine exactly.
+        let params = PoaParams {
+            match_score: magnitude,
+            mismatch: magnitude / 2,
+            ..PoaParams::default()
+        };
+        prop_assert!(!fits_i16(&[params.match_score, params.mismatch, params.gap]));
+        assert_spoa_identical(&reads, &params);
+    }
+}

@@ -99,9 +99,11 @@ const USAGE: &str = "usage:
     --manifest-out writes a schema-versioned run manifest; 'run --baseline'
       compares the fresh manifest against a saved one and exits 1 on
       regression. --uarch adds simulated hardware counters to the metrics.
-    --dp-engine picks the bsw/phmm execution engine: 'simd' (default; i16
-      SoA lockstep bsw + wavefront f32 phmm) or 'scalar' (paper-faithful
-      per-pair i32/f32 kernels). Results are bit-identical either way.
+    --dp-engine picks the execution engine of the DP-motif kernels —
+      bsw, phmm, spoa, abea: 'simd' (default; i16 SoA lockstep bsw, i16
+      row-sweep spoa, wavefront f32 phmm, contiguous-band f32 abea) or
+      'scalar' (paper-faithful kernels). Results are bit-identical
+      either way.
     --flame writes a collapsed-stack file (one 'frame;frame VALUE' line
       per stack, flamegraph.pl/inferno-compatible); wall values are in
       microseconds, and with mem-profile builds a '<FILE>.mem' sibling

@@ -282,12 +282,15 @@ pub fn prepare(id: KernelId, size: DatasetSize) -> Box<dyn Kernel> {
 }
 
 /// Prepares the dataset for `id` at `size` with an explicit DP engine.
-/// Only the two DP kernels (bsw, phmm) have a SIMD fast path; every other
-/// kernel ignores the engine and behaves exactly as [`prepare`].
+/// Only the four DP-motif kernels (bsw, phmm, spoa, abea) have a SIMD
+/// fast path; every other kernel ignores the engine and behaves exactly
+/// as [`prepare`].
 pub fn prepare_dp(id: KernelId, size: DatasetSize, engine: DpEngine) -> Box<dyn Kernel> {
     match id {
         KernelId::Bsw => Box::new(bsw::BswKernel::prepare_with(size, engine)),
         KernelId::Phmm => Box::new(phmm::PhmmKernel::prepare_with(size, engine)),
+        KernelId::Spoa => Box::new(spoa::SpoaKernel::prepare_with(size, engine)),
+        KernelId::Abea => Box::new(abea::AbeaKernel::prepare_with(size, engine)),
         _ => prepare(id, size),
     }
 }

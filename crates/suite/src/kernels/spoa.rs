@@ -1,13 +1,23 @@
 //! The **spoa** kernel: partial-order-alignment consensus windows (paper
 //! §III, from Racon).
+//!
+//! Two execution engines ([`DpEngine`]): the paper-faithful scalar mode
+//! scans each cell's graph predecessors inline in i32; the SIMD mode
+//! runs the i16 row-sweep engine (`gb_poa::align_simd`) — full-row
+//! predecessor passes on the `gb_dp::lockstep` precision ladder, with
+//! overflow retiring the alignment to the exact i32 rerun — with
+//! bit-identical scores, paths and graphs, so the two engines produce
+//! the same run checksum.
 
 use super::{Kernel, KernelId};
 use crate::dataset::{seeds, DatasetSize};
 use gb_core::seq::DnaSeq;
 use gb_datagen::genome::{Genome, GenomeConfig};
 use gb_datagen::reads::{simulate_reads, ErrorProfile, ReadSimConfig};
+use gb_dp::lockstep::BatchReport;
+use gb_dp::DpEngine;
 use gb_poa::align::PoaParams;
-use gb_poa::consensus::{window_consensus, window_consensus_probed};
+use gb_poa::consensus::{window_consensus_engine, window_consensus_engine_probed};
 use gb_uarch::cache::CacheProbe;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -17,12 +27,21 @@ use rand::{Rng, SeedableRng};
 pub struct SpoaKernel {
     windows: Vec<Vec<DnaSeq>>,
     params: PoaParams,
+    engine: DpEngine,
 }
 
 impl SpoaKernel {
+    /// Paper-faithful preparation: scalar engine.
+    pub fn prepare(size: DatasetSize) -> SpoaKernel {
+        SpoaKernel::prepare_with(size, DpEngine::Scalar)
+    }
+
     /// Builds Racon-like windows: a 200-base backbone and ONT-noise reads
     /// covering it, with depth varying per window (the imbalance source).
-    pub fn prepare(size: DatasetSize) -> SpoaKernel {
+    /// The window set is identical for both engines; spoa vectorizes
+    /// *within* each alignment (read-dimension row sweeps), so the task
+    /// shape is one window per task on either engine.
+    pub fn prepare_with(size: DatasetSize, engine: DpEngine) -> SpoaKernel {
         let num_windows = match size {
             DatasetSize::Tiny => 6,
             DatasetSize::Small => 120,
@@ -61,7 +80,20 @@ impl SpoaKernel {
         SpoaKernel {
             windows,
             params: PoaParams::default(),
+            engine,
         }
+    }
+
+    /// Replays every window on this kernel's engine and folds the
+    /// per-alignment slot accounting (used by [`Kernel::export_gauges`]
+    /// and the experiment reports).
+    pub fn batch_report(&self) -> BatchReport {
+        let mut total = BatchReport::default();
+        for w in &self.windows {
+            let (_, _, report) = window_consensus_engine(w, &self.params, self.engine);
+            total.merge(&report);
+        }
+        total
     }
 }
 
@@ -75,18 +107,42 @@ impl Kernel for SpoaKernel {
     }
 
     fn run_task(&self, i: usize) -> u64 {
-        let (consensus, stats) = window_consensus(&self.windows[i], &self.params);
+        let (consensus, stats, _) =
+            window_consensus_engine(&self.windows[i], &self.params, self.engine);
         consensus.as_codes().iter().fold(stats.cells, |acc, &c| {
             acc.wrapping_mul(5).wrapping_add(u64::from(c))
         })
     }
 
     fn characterize_task(&self, i: usize, probe: &mut CacheProbe) {
-        let _ = window_consensus_probed(&self.windows[i], &self.params, probe);
+        let _ = window_consensus_engine_probed(&self.windows[i], &self.params, self.engine, probe);
     }
 
     fn task_work(&self, i: usize) -> u64 {
-        window_consensus(&self.windows[i], &self.params).1.cells
+        window_consensus_engine(&self.windows[i], &self.params, self.engine)
+            .1
+            .cells
+    }
+
+    fn export_gauges(&self) -> Vec<(String, f64)> {
+        if self.engine != DpEngine::Simd {
+            return Vec::new();
+        }
+        // Slot efficiency of the row-sweep engine: vector slots are rows
+        // padded to whole lanes, so the dead-slot fraction is the
+        // read-length padding waste; retired lanes count alignments the
+        // precision ladder sent back to the exact i32 engine.
+        let report = self.batch_report();
+        vec![
+            (
+                "spoa.dead_slot_fraction".to_string(),
+                report.dead_slot_fraction(),
+            ),
+            (
+                "spoa.simd_retired_lanes".to_string(),
+                report.retired_lanes as f64,
+            ),
+        ]
     }
 }
 
@@ -94,6 +150,7 @@ impl std::fmt::Debug for SpoaKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SpoaKernel")
             .field("windows", &self.windows.len())
+            .field("engine", &self.engine.name())
             .finish()
     }
 }
@@ -112,9 +169,49 @@ mod tests {
     #[test]
     fn consensus_recovers_backbone_closely() {
         let k = SpoaKernel::prepare(DatasetSize::Tiny);
-        let (consensus, _) = window_consensus(&k.windows[0], &k.params);
+        let (consensus, _, _) = window_consensus_engine(&k.windows[0], &k.params, k.engine);
         let backbone = &k.windows[0][0];
         let len_diff = (consensus.len() as i64 - backbone.len() as i64).abs();
         assert!(len_diff < 20, "consensus length diff {len_diff}");
+    }
+
+    #[test]
+    fn engines_agree_on_checksum() {
+        let scalar = SpoaKernel::prepare_with(DatasetSize::Tiny, DpEngine::Scalar);
+        let simd = SpoaKernel::prepare_with(DatasetSize::Tiny, DpEngine::Simd);
+        assert_eq!(scalar.num_tasks(), simd.num_tasks());
+        assert_eq!(run_serial(&scalar).checksum, run_parallel(&simd, 4).checksum);
+    }
+
+    #[test]
+    fn engines_agree_on_total_work() {
+        let scalar = SpoaKernel::prepare_with(DatasetSize::Tiny, DpEngine::Scalar);
+        let simd = SpoaKernel::prepare_with(DatasetSize::Tiny, DpEngine::Simd);
+        assert_eq!(
+            crate::kernels::total_work(&scalar),
+            crate::kernels::total_work(&simd)
+        );
+    }
+
+    #[test]
+    fn simd_gauges_report_slot_accounting() {
+        let simd = SpoaKernel::prepare_with(DatasetSize::Tiny, DpEngine::Simd);
+        let gauges = simd.export_gauges();
+        let get = |name: &str| {
+            gauges
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        let dead = get("spoa.dead_slot_fraction");
+        assert!((0.0..1.0).contains(&dead), "dead slots {dead}");
+        // Default params fit the i16 ladder and window scores stay far
+        // below the watch, so nothing retires on this workload.
+        assert_eq!(get("spoa.simd_retired_lanes"), 0.0);
+        // Scalar engine exports nothing.
+        assert!(SpoaKernel::prepare(DatasetSize::Tiny)
+            .export_gauges()
+            .is_empty());
     }
 }

@@ -1,0 +1,119 @@
+//! End-to-end coverage for the manifest loader's failure path: corrupt
+//! or wrong-schema manifest files must stop `genomicsbench compare` and
+//! `genomicsbench trend` with the usage/IO exit code (2) — never the
+//! regression code (1), which CI treats as a perf signal, and never a
+//! panic. This is the e2e side of the panic audit in
+//! `crates/obs/src/{compare,trend}.rs`: every `unwrap`/`expect` there is
+//! test-only, so a bad file has to be rejected here, at the loader.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_genomicsbench"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gb_corrupt_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Produces one real tiny-tier manifest to play the healthy side.
+fn valid_manifest(dir: &Path) -> PathBuf {
+    let path = dir.join("valid.json");
+    let out = bin()
+        .args(["run", "bsw", "--tier", "tiny", "--threads", "1"])
+        .arg("--manifest-out")
+        .arg(&path)
+        .output()
+        .expect("spawn genomicsbench");
+    assert!(
+        out.status.success(),
+        "tiny run failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    path
+}
+
+fn expect_exit_2(out: &Output, needle: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "expected usage/IO exit, got {:?}:\n{stderr}",
+        out.status
+    );
+    assert!(
+        stderr.contains("error:") && stderr.contains(needle),
+        "stderr should name the failure ({needle}):\n{stderr}"
+    );
+}
+
+#[test]
+fn compare_rejects_truncated_and_non_json_manifests() {
+    let dir = tmp_dir("compare");
+    let valid = valid_manifest(&dir);
+
+    // Truncated mid-object: what a reader would see without the
+    // writer's atomic temp-file + rename.
+    let truncated = dir.join("truncated.json");
+    let body = std::fs::read_to_string(&valid).unwrap();
+    std::fs::write(&truncated, &body[..body.len() / 2]).unwrap();
+
+    let garbage = dir.join("garbage.json");
+    std::fs::write(&garbage, "not json at all\n").unwrap();
+
+    for corrupt in [&truncated, &garbage] {
+        // Corrupt on either side of the gate: both argument positions
+        // go through the same loader.
+        for (base, cand) in [(corrupt, &valid), (&valid, corrupt)] {
+            let out = bin()
+                .arg("compare")
+                .arg(base)
+                .arg(cand)
+                .output()
+                .expect("spawn genomicsbench");
+            expect_exit_2(&out, corrupt.file_name().unwrap().to_str().unwrap());
+        }
+    }
+}
+
+#[test]
+fn compare_rejects_wrong_schema_major() {
+    let dir = tmp_dir("schema");
+    let valid = valid_manifest(&dir);
+
+    let mut doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&valid).unwrap()).unwrap();
+    doc["schema_version"] = serde_json::Value::String("99.0".into());
+    let future = dir.join("future.json");
+    std::fs::write(&future, serde_json::to_string_pretty(&doc).unwrap()).unwrap();
+
+    let out = bin()
+        .arg("compare")
+        .arg(&valid)
+        .arg(&future)
+        .output()
+        .expect("spawn genomicsbench");
+    expect_exit_2(&out, "unsupported manifest schema '99.0'");
+}
+
+#[test]
+fn trend_rejects_corrupt_manifests() {
+    let dir = tmp_dir("trend");
+    let valid = valid_manifest(&dir);
+
+    let corrupt = dir.join("corrupt.json");
+    std::fs::write(&corrupt, "{\"schema_version\": ").unwrap();
+
+    // One bad file poisons the whole series — trend must refuse to
+    // silently drop it and chart the rest.
+    let out = bin()
+        .arg("trend")
+        .arg(&valid)
+        .arg(&corrupt)
+        .output()
+        .expect("spawn genomicsbench");
+    expect_exit_2(&out, "corrupt.json");
+}

@@ -38,6 +38,11 @@
 //!   `genomicsbench` binary appears in README.md (subcommands on a
 //!   `genomicsbench …` line), so the CLI surface can't outgrow its
 //!   documentation.
+//! * `dp-engine-help` — every kernel wired into `prepare_dp`'s
+//!   engine-aware dispatch (a `KernelId::X => … prepare_with(size,
+//!   engine)` arm) is named, lowercase, in the `--dp-engine` paragraph
+//!   of the CLI usage text, so a newly ported kernel can't ship with
+//!   help text that still lists the old engine roster.
 
 use crate::lexer::{shadows, word_on_line, Shadows};
 
@@ -102,6 +107,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Violation> {
     v.extend(unsafe_hygiene(ws));
     v.extend(traced_stages(ws));
     v.extend(cli_readme_sync(ws));
+    v.extend(dp_engine_help(ws));
     v
 }
 
@@ -766,6 +772,110 @@ pub fn cli_readme_sync(ws: &Workspace) -> Vec<Violation> {
     out
 }
 
+// --- dp-engine-help ----------------------------------------------------
+
+/// The module holding `prepare_dp`, the engine-aware kernel dispatch.
+const KERNELS_MOD: &str = "crates/suite/src/kernels/mod.rs";
+
+/// Kernels with an engine-aware `prepare_dp` arm: inside the
+/// `fn prepare_dp` block, every line that both names a `KernelId::`
+/// variant and calls `prepare_with` with the `engine` value. Returned
+/// lowercase — the spelling the CLI and manifests use.
+fn dp_engine_kernels(sh: &Shadows) -> Vec<String> {
+    let Some(pos) = sh.code.find("fn prepare_dp") else {
+        return Vec::new();
+    };
+    let Some(block) = brace_block(sh, pos) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in block.lines() {
+        if !(line.contains("prepare_with") && word_on_line(line, "engine")) {
+            continue;
+        }
+        let Some(at) = line.find("KernelId::") else {
+            continue;
+        };
+        let rest = &line[at + "KernelId::".len()..];
+        let end = rest
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .unwrap_or(rest.len());
+        if end > 0 {
+            out.push(rest[..end].to_ascii_lowercase());
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// The `--dp-engine` description paragraph of the CLI usage text: the
+/// first line whose trimmed text starts with `--dp-engine` (synopsis
+/// lines like `[--dp-engine E]` start with `genomicsbench`, so they
+/// don't match), plus its continuation lines up to the next flag or
+/// quoted-subcommand paragraph.
+fn dp_engine_paragraph(cli_text: &str) -> Option<String> {
+    let mut lines = cli_text.lines();
+    let first = lines.find(|l| l.trim_start().starts_with("--dp-engine"))?;
+    let mut para = first.to_string();
+    for l in lines {
+        let t = l.trim_start();
+        if t.is_empty() || t.starts_with("--") || t.starts_with('\'') || t.starts_with('"') {
+            break;
+        }
+        para.push('\n');
+        para.push_str(l);
+    }
+    Some(para)
+}
+
+/// Every kernel `prepare_dp` dispatches by engine must be named in the
+/// `--dp-engine` help paragraph — porting a kernel onto the engine
+/// layer without telling the user it exists leaves the flag's roster
+/// silently stale.
+pub fn dp_engine_help(ws: &Workspace) -> Vec<Violation> {
+    let violation = |file: &str, msg: String| Violation {
+        rule: "dp-engine-help",
+        file: file.into(),
+        line: 0,
+        msg,
+    };
+    let Some(kernels_mod) = ws.get(KERNELS_MOD) else {
+        return vec![violation(KERNELS_MOD, "kernel table module missing".into())];
+    };
+    let Some(bin) = ws.get(CLI_BIN) else {
+        return vec![violation(CLI_BIN, "CLI binary source missing".into())];
+    };
+    let kernels = dp_engine_kernels(&shadows(&kernels_mod.text));
+    if kernels.is_empty() {
+        return vec![violation(
+            KERNELS_MOD,
+            "could not parse any engine-aware arm from `fn prepare_dp`".into(),
+        )];
+    }
+    // The usage text is a string literal, so the paragraph comes from
+    // the raw source, not the code shadow.
+    let Some(para) = dp_engine_paragraph(&bin.text) else {
+        return vec![violation(
+            CLI_BIN,
+            "usage text has no `--dp-engine` description paragraph".into(),
+        )];
+    };
+    kernels
+        .iter()
+        .filter(|k| !word_on_line(&para, k))
+        .map(|k| {
+            violation(
+                CLI_BIN,
+                format!(
+                    "kernel `{k}` has an engine-aware `prepare_dp` arm but is not named \
+                     in the `--dp-engine` help paragraph"
+                ),
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1183,6 +1293,93 @@ fn run(args: &[String]) -> Result<(), String> {
             ("README.md", &read("README.md")),
         ]);
         let v = cli_readme_sync(&real);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    const PREPARE_DP_OK: &str = r#"
+pub fn prepare_dp(id: KernelId, size: DatasetSize, engine: DpEngine) -> Box<dyn Kernel> {
+    match id {
+        KernelId::Bsw => Box::new(bsw::BswKernel::prepare_with(size, engine)),
+        KernelId::Spoa => Box::new(spoa::SpoaKernel::prepare_with(size, engine)),
+        _ => prepare(id, size),
+    }
+}
+"#;
+
+    const DP_USAGE_OK: &str = r#"
+const USAGE: &str = "usage:
+  genomicsbench run [kernels|all] [--dp-engine E]
+
+    --dp-engine picks the execution engine of the DP-motif kernels —
+      bsw, spoa: 'simd' (default) or 'scalar'.
+    --flame writes a collapsed-stack file.
+";
+"#;
+
+    fn dp_ws(kernels: &str, cli: &str) -> Workspace {
+        ws(&[
+            ("crates/suite/src/kernels/mod.rs", kernels),
+            ("crates/suite/src/bin/genomicsbench.rs", cli),
+        ])
+    }
+
+    #[test]
+    fn dp_engine_help_passes_when_roster_is_current() {
+        let v = dp_engine_help(&dp_ws(PREPARE_DP_OK, DP_USAGE_OK));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn dp_engine_help_catches_a_kernel_missing_from_the_paragraph() {
+        // A newly ported kernel whose help text still lists the old
+        // roster: the `--dp-engine` paragraph never mentions `spoa`.
+        let stale = DP_USAGE_OK.replace("bsw, spoa:", "bsw:");
+        let v = dp_engine_help(&dp_ws(PREPARE_DP_OK, &stale));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "dp-engine-help");
+        assert!(v[0].msg.contains("`spoa`"));
+
+        // The synopsis `[--dp-engine E]` alone is not a description
+        // paragraph.
+        let no_para = r#"
+const USAGE: &str = "usage:
+  genomicsbench run [kernels|all] [--dp-engine E]
+";
+"#;
+        let v = dp_engine_help(&dp_ws(PREPARE_DP_OK, no_para));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("no `--dp-engine`"));
+    }
+
+    #[test]
+    fn dp_engine_help_only_counts_engine_aware_arms() {
+        // `Phmm` is in the match but takes the engine-less `prepare`
+        // path, so the paragraph need not (and does not) name it.
+        let mixed = PREPARE_DP_OK.replace(
+            "        _ => prepare(id, size),",
+            "        KernelId::Phmm => prepare(id, size),\n        _ => prepare(id, size),",
+        );
+        let v = dp_engine_help(&dp_ws(&mixed, DP_USAGE_OK));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn the_real_cli_passes_the_dp_engine_help_lint() {
+        let read = |rel: &str| {
+            std::fs::read_to_string(format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR")))
+                .unwrap_or_else(|e| panic!("{rel} readable: {e}"))
+        };
+        let real = ws(&[
+            (
+                "crates/suite/src/kernels/mod.rs",
+                &read("crates/suite/src/kernels/mod.rs"),
+            ),
+            (
+                "crates/suite/src/bin/genomicsbench.rs",
+                &read("crates/suite/src/bin/genomicsbench.rs"),
+            ),
+        ]);
+        let v = dp_engine_help(&real);
         assert!(v.is_empty(), "{v:?}");
     }
 
