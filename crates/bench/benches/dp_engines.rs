@@ -181,7 +181,9 @@ fn bench_dp_engines(c: &mut Criterion) {
                 let mut acc = 0u64;
                 for w in &windows {
                     let (cons, stats, _) = window_consensus_engine(w, &poa_params, engine);
-                    acc = acc.wrapping_add(stats.cells).wrapping_add(cons.len() as u64);
+                    acc = acc
+                        .wrapping_add(stats.cells)
+                        .wrapping_add(cons.len() as u64);
                 }
                 std::hint::black_box(acc)
             })

@@ -35,6 +35,8 @@ fn full_manifest(scale: u64) -> RunManifest {
                 utilization: Some(0.9),
                 memory: None,
                 stages: None,
+                prepare_wall_ns: None,
+                cache_hit: None,
             },
         );
     }

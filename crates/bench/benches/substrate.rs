@@ -1,0 +1,100 @@
+//! Substrate cache costs: what a cold `build_substrate` costs per
+//! kernel versus instantiating from a warm cache, plus the disk
+//! round-trip (encode+save / load+decode) the persistent store adds.
+//! The cache only earns its complexity if the warm path is orders of
+//! magnitude under the cold one — this group pins that gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gb_dp::DpEngine;
+use gb_substrate::SubstrateCache;
+use gb_suite::kernels::{prepare_cached, substrate_key, KernelId};
+use gb_suite::DatasetSize;
+use std::path::PathBuf;
+
+/// Representative spread: fmi's build dominates (suffix-array + BWT),
+/// phmm assembles regions through the dbg kernel, grm is a dense matrix
+/// fill, chain is the cheapest. Benching all 12 would take minutes of
+/// CI for no extra signal.
+const KERNELS: [KernelId; 4] = [
+    KernelId::Fmi,
+    KernelId::Phmm,
+    KernelId::Grm,
+    KernelId::Chain,
+];
+
+fn store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gb_bench_substrate_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn bench_cold_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_cold");
+    g.sample_size(10);
+    for id in KERNELS {
+        g.bench_with_input(BenchmarkId::from_parameter(id.name()), &id, |b, &id| {
+            b.iter(|| {
+                // A fresh disabled cache every iteration: no memo, no
+                // disk — this is the pre-cache prepare cost.
+                let cache = SubstrateCache::disabled();
+                let (k, _) = prepare_cached(id, DatasetSize::Tiny, DpEngine::Simd, &cache);
+                k.num_tasks()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_warm_memo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_warm_memo");
+    for id in KERNELS {
+        let cache = SubstrateCache::in_process();
+        // Prime the memo once outside the measured region.
+        let _ = prepare_cached(id, DatasetSize::Tiny, DpEngine::Simd, &cache);
+        g.bench_with_input(BenchmarkId::from_parameter(id.name()), &id, |b, &id| {
+            b.iter(|| {
+                let (k, stats) = prepare_cached(id, DatasetSize::Tiny, DpEngine::Simd, &cache);
+                assert!(stats.cache_hit);
+                k.num_tasks()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_warm_disk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_warm_disk");
+    g.sample_size(20);
+    let dir = store_dir("disk");
+    for id in KERNELS {
+        // Write the entry once; each iteration opens a fresh cache so
+        // the memo is cold and the load+decode path is what's measured.
+        let primer = SubstrateCache::with_store(&dir).unwrap();
+        let _ = prepare_cached(id, DatasetSize::Tiny, DpEngine::Simd, &primer);
+        assert!(dir
+            .join(format!(
+                "{}.gbs",
+                substrate_key(id, DatasetSize::Tiny).canonical()
+            ))
+            .is_file());
+        g.bench_with_input(BenchmarkId::from_parameter(id.name()), &id, |b, &id| {
+            b.iter(|| {
+                let cache = SubstrateCache::with_store(&dir).unwrap();
+                let (k, stats) = prepare_cached(id, DatasetSize::Tiny, DpEngine::Simd, &cache);
+                assert!(stats.cache_hit);
+                k.num_tasks()
+            })
+        });
+    }
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(
+    substrate,
+    bench_cold_build,
+    bench_warm_memo,
+    bench_warm_disk
+);
+criterion_main!(substrate);

@@ -254,6 +254,39 @@ impl std::fmt::Display for Cigar {
     }
 }
 
+impl gb_substrate::Codec for CigarOp {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        e.put_u8(match self {
+            CigarOp::Match => 0,
+            CigarOp::Ins => 1,
+            CigarOp::Del => 2,
+            CigarOp::SoftClip => 3,
+        });
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<CigarOp> {
+        Some(match d.get_u8()? {
+            0 => CigarOp::Match,
+            1 => CigarOp::Ins,
+            2 => CigarOp::Del,
+            3 => CigarOp::SoftClip,
+            _ => return None,
+        })
+    }
+}
+
+impl gb_substrate::Codec for Cigar {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        gb_substrate::Codec::encode(&self.ops, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<Cigar> {
+        // Route through the validating constructor so a decoded CIGAR
+        // upholds the same invariants as a built one.
+        Cigar::from_ops(gb_substrate::Codec::decode(d)?).ok()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

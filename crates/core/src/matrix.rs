@@ -151,6 +151,30 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
     }
 }
 
+impl gb_substrate::Codec for Matrix {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        e.put_usize(self.rows);
+        e.put_usize(self.cols);
+        for &v in &self.data {
+            e.put_f32(v);
+        }
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<Matrix> {
+        let rows = d.get_usize()?;
+        let cols = d.get_usize()?;
+        let len = rows.checked_mul(cols)?;
+        if len.checked_mul(4)? > d.remaining() {
+            return None;
+        }
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            data.push(d.get_f32()?);
+        }
+        Some(Matrix { rows, cols, data })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -91,6 +91,17 @@ pub fn encode_quality_string(qs: &[Phred]) -> Vec<u8> {
     qs.iter().map(|q| q.to_ascii()).collect()
 }
 
+impl gb_substrate::Codec for Phred {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        e.put_u8(self.0);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<Phred> {
+        let q = d.get_u8()?;
+        (q <= MAX_PHRED).then_some(Phred(q))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

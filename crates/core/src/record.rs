@@ -209,6 +209,62 @@ impl AlignmentRecord {
     }
 }
 
+impl gb_substrate::Codec for Strand {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        e.put_u8(match self {
+            Strand::Forward => 0,
+            Strand::Reverse => 1,
+        });
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<Strand> {
+        Some(match d.get_u8()? {
+            0 => Strand::Forward,
+            1 => Strand::Reverse,
+            _ => return None,
+        })
+    }
+}
+
+impl gb_substrate::Codec for ReadRecord {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        gb_substrate::Codec::encode(&self.name, e);
+        gb_substrate::Codec::encode(&self.seq, e);
+        gb_substrate::Codec::encode(&self.quals, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<ReadRecord> {
+        let name: String = gb_substrate::Codec::decode(d)?;
+        let seq: DnaSeq = gb_substrate::Codec::decode(d)?;
+        let quals: Vec<Phred> = gb_substrate::Codec::decode(d)?;
+        // The validating constructor re-checks the seq/quals length
+        // invariant a decoded record must uphold.
+        ReadRecord::new(name, seq, quals).ok()
+    }
+}
+
+impl gb_substrate::Codec for AlignmentRecord {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        gb_substrate::Codec::encode(&self.read, e);
+        e.put_usize(self.ref_id);
+        e.put_usize(self.pos);
+        gb_substrate::Codec::encode(&self.cigar, e);
+        e.put_u8(self.mapq);
+        gb_substrate::Codec::encode(&self.strand, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<AlignmentRecord> {
+        Some(AlignmentRecord {
+            read: gb_substrate::Codec::decode(d)?,
+            ref_id: d.get_usize()?,
+            pos: d.get_usize()?,
+            cigar: gb_substrate::Codec::decode(d)?,
+            mapq: d.get_u8()?,
+            strand: gb_substrate::Codec::decode(d)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -95,6 +95,38 @@ impl RegionTask {
     }
 }
 
+impl gb_substrate::Codec for Region {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        e.put_usize(self.ref_id);
+        e.put_usize(self.start);
+        e.put_usize(self.end);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<Region> {
+        Some(Region {
+            ref_id: d.get_usize()?,
+            start: d.get_usize()?,
+            end: d.get_usize()?,
+        })
+    }
+}
+
+impl gb_substrate::Codec for RegionTask {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        gb_substrate::Codec::encode(&self.region, e);
+        gb_substrate::Codec::encode(&self.ref_seq, e);
+        gb_substrate::Codec::encode(&self.reads, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<RegionTask> {
+        Some(RegionTask {
+            region: gb_substrate::Codec::decode(d)?,
+            ref_seq: gb_substrate::Codec::decode(d)?,
+            reads: gb_substrate::Codec::decode(d)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

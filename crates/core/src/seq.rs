@@ -284,6 +284,22 @@ pub fn canonical_kmer(kmer: u64, k: usize) -> u64 {
     kmer.min(revcomp_kmer(kmer, k))
 }
 
+impl gb_substrate::Codec for DnaSeq {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        e.put_bytes(&self.codes);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<DnaSeq> {
+        let codes = d.get_bytes()?;
+        if codes.iter().any(|&c| c > 3) {
+            return None;
+        }
+        Some(DnaSeq {
+            codes: codes.to_vec(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -185,6 +185,34 @@ pub fn synthetic_anchor_sets(config: &AnchorSimConfig, seed: u64) -> Vec<AnchorS
         .collect()
 }
 
+impl gb_substrate::Codec for Anchor {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        e.put_u32(self.target_pos);
+        e.put_u32(self.query_pos);
+        e.put_u32(self.length);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<Anchor> {
+        Some(Anchor {
+            target_pos: d.get_u32()?,
+            query_pos: d.get_u32()?,
+            length: d.get_u32()?,
+        })
+    }
+}
+
+impl gb_substrate::Codec for AnchorSet {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        gb_substrate::Codec::encode(&self.anchors, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<AnchorSet> {
+        // `new` re-sorts, restoring the sortedness invariant chaining
+        // relies on (a no-op for entries this crate encoded).
+        Some(AnchorSet::new(gb_substrate::Codec::decode(d)?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

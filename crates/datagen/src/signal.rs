@@ -211,6 +211,49 @@ fn gaussian(rng: &mut StdRng) -> f32 {
     ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
 }
 
+impl gb_substrate::Codec for KmerModel {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        e.put_f32(self.level_mean);
+        e.put_f32(self.level_stdv);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<KmerModel> {
+        Some(KmerModel {
+            level_mean: d.get_f32()?,
+            level_stdv: d.get_f32()?,
+        })
+    }
+}
+
+impl gb_substrate::Codec for PoreModel {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        gb_substrate::Codec::encode(&self.levels, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<PoreModel> {
+        let levels: Vec<KmerModel> = gb_substrate::Codec::decode(d)?;
+        // `get` indexes by packed 6-mer; a table of any other size would
+        // panic at query time.
+        (levels.len() == 1 << (2 * PORE_K)).then_some(PoreModel { levels })
+    }
+}
+
+impl gb_substrate::Codec for Event {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        e.put_f32(self.mean);
+        e.put_f32(self.stdv);
+        e.put_u32(self.length);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<Event> {
+        Some(Event {
+            mean: d.get_f32()?,
+            stdv: d.get_f32()?,
+            length: d.get_u32()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -211,6 +211,20 @@ pub fn run_batch(
     crate::bsw_batch::run_lockstep_width(tasks, params, lanes, sort_by_len)
 }
 
+impl gb_substrate::Codec for SwTask {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        gb_substrate::Codec::encode(&self.query, e);
+        gb_substrate::Codec::encode(&self.target, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<SwTask> {
+        Some(SwTask {
+            query: gb_substrate::Codec::decode(d)?,
+            target: gb_substrate::Codec::decode(d)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -161,6 +161,22 @@ fn ext<P: Probe>(index: &FmIndex, a: u32, b: u32, s: u32, c: u8, probe: &mut P) 
     }
 }
 
+impl gb_substrate::Codec for BiIndex {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        gb_substrate::Codec::encode(&self.fwd, e);
+        gb_substrate::Codec::encode(&self.rev, e);
+        e.put_usize(self.text_len);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<BiIndex> {
+        Some(BiIndex {
+            fwd: gb_substrate::Codec::decode(d)?,
+            rev: gb_substrate::Codec::decode(d)?,
+            text_len: d.get_usize()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

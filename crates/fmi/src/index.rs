@@ -370,6 +370,37 @@ fn count_base_in_word(word: u64, c: u8, upto: u32) -> u32 {
     (matched & mask).count_ones()
 }
 
+impl gb_substrate::Codec for FmIndex {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        e.put_usize(self.n);
+        gb_substrate::Codec::encode(&self.bwt, e);
+        e.put_usize(self.primary);
+        gb_substrate::Codec::encode(&self.checkpoints, e);
+        gb_substrate::Codec::encode(&self.c_table, e);
+        gb_substrate::Codec::encode(&self.sa_samples, e);
+        e.put_usize(self.occ_stride);
+        e.put_usize(self.sa_stride);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<FmIndex> {
+        let idx = FmIndex {
+            n: d.get_usize()?,
+            bwt: gb_substrate::Codec::decode(d)?,
+            primary: d.get_usize()?,
+            checkpoints: gb_substrate::Codec::decode(d)?,
+            c_table: gb_substrate::Codec::decode(d)?,
+            sa_samples: gb_substrate::Codec::decode(d)?,
+            occ_stride: d.get_usize()?,
+            sa_stride: d.get_usize()?,
+        };
+        // Structural invariants the query paths divide/index by.
+        if idx.occ_stride == 0 || idx.sa_stride == 0 || idx.primary >= idx.n.max(1) {
+            return None;
+        }
+        Some(idx)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -172,6 +172,44 @@ impl Basecaller {
     }
 }
 
+impl gb_substrate::Codec for BasecallerConfig {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        e.put_usize(self.chunk_size);
+        e.put_usize(self.stride);
+        e.put_usize(self.channels);
+        e.put_usize(self.blocks);
+        e.put_usize(self.kernel);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<BasecallerConfig> {
+        Some(BasecallerConfig {
+            chunk_size: d.get_usize()?,
+            stride: d.get_usize()?,
+            channels: d.get_usize()?,
+            blocks: d.get_usize()?,
+            kernel: d.get_usize()?,
+        })
+    }
+}
+
+impl gb_substrate::Codec for Basecaller {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        gb_substrate::Codec::encode(&self.config, e);
+        gb_substrate::Codec::encode(&self.stem, e);
+        gb_substrate::Codec::encode(&self.stack, e);
+        gb_substrate::Codec::encode(&self.head, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<Basecaller> {
+        Some(Basecaller {
+            config: gb_substrate::Codec::decode(d)?,
+            stem: gb_substrate::Codec::decode(d)?,
+            stack: gb_substrate::Codec::decode(d)?,
+            head: gb_substrate::Codec::decode(d)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

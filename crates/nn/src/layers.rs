@@ -394,6 +394,108 @@ impl BiLstm {
     }
 }
 
+impl gb_substrate::Codec for Conv1d {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        e.put_usize(self.in_ch);
+        e.put_usize(self.out_ch);
+        e.put_usize(self.kernel);
+        e.put_usize(self.stride);
+        gb_substrate::Codec::encode(&self.weights, e);
+        gb_substrate::Codec::encode(&self.bias, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<Conv1d> {
+        Some(Conv1d {
+            in_ch: d.get_usize()?,
+            out_ch: d.get_usize()?,
+            kernel: d.get_usize()?,
+            stride: d.get_usize()?,
+            weights: gb_substrate::Codec::decode(d)?,
+            bias: gb_substrate::Codec::decode(d)?,
+        })
+    }
+}
+
+impl gb_substrate::Codec for DepthwiseConv1d {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        e.put_usize(self.channels);
+        e.put_usize(self.kernel);
+        gb_substrate::Codec::encode(&self.weights, e);
+        gb_substrate::Codec::encode(&self.bias, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<DepthwiseConv1d> {
+        Some(DepthwiseConv1d {
+            channels: d.get_usize()?,
+            kernel: d.get_usize()?,
+            weights: gb_substrate::Codec::decode(d)?,
+            bias: gb_substrate::Codec::decode(d)?,
+        })
+    }
+}
+
+impl gb_substrate::Codec for SeparableBlock {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        gb_substrate::Codec::encode(&self.depthwise, e);
+        gb_substrate::Codec::encode(&self.pointwise, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<SeparableBlock> {
+        Some(SeparableBlock {
+            depthwise: gb_substrate::Codec::decode(d)?,
+            pointwise: gb_substrate::Codec::decode(d)?,
+        })
+    }
+}
+
+impl gb_substrate::Codec for Dense {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        gb_substrate::Codec::encode(&self.weights, e);
+        gb_substrate::Codec::encode(&self.bias, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<Dense> {
+        Some(Dense {
+            weights: gb_substrate::Codec::decode(d)?,
+            bias: gb_substrate::Codec::decode(d)?,
+        })
+    }
+}
+
+impl gb_substrate::Codec for Lstm {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        e.put_usize(self.input);
+        e.put_usize(self.hidden);
+        gb_substrate::Codec::encode(&self.w, e);
+        gb_substrate::Codec::encode(&self.u, e);
+        gb_substrate::Codec::encode(&self.bias, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<Lstm> {
+        Some(Lstm {
+            input: d.get_usize()?,
+            hidden: d.get_usize()?,
+            w: gb_substrate::Codec::decode(d)?,
+            u: gb_substrate::Codec::decode(d)?,
+            bias: gb_substrate::Codec::decode(d)?,
+        })
+    }
+}
+
+impl gb_substrate::Codec for BiLstm {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        gb_substrate::Codec::encode(&self.fwd, e);
+        gb_substrate::Codec::encode(&self.bwd, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<BiLstm> {
+        Some(BiLstm {
+            fwd: gb_substrate::Codec::decode(d)?,
+            bwd: gb_substrate::Codec::decode(d)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -224,6 +224,44 @@ impl VariantCaller {
     }
 }
 
+impl gb_substrate::Codec for VariantCallerConfig {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        e.put_usize(self.lstm_hidden);
+        e.put_usize(self.fc_width);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<VariantCallerConfig> {
+        Some(VariantCallerConfig {
+            lstm_hidden: d.get_usize()?,
+            fc_width: d.get_usize()?,
+        })
+    }
+}
+
+impl gb_substrate::Codec for VariantCaller {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        gb_substrate::Codec::encode(&self.lstm1, e);
+        gb_substrate::Codec::encode(&self.lstm2, e);
+        gb_substrate::Codec::encode(&self.fc, e);
+        gb_substrate::Codec::encode(&self.head_zygosity, e);
+        gb_substrate::Codec::encode(&self.head_type, e);
+        gb_substrate::Codec::encode(&self.head_alt, e);
+        gb_substrate::Codec::encode(&self.config, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<VariantCaller> {
+        Some(VariantCaller {
+            lstm1: gb_substrate::Codec::decode(d)?,
+            lstm2: gb_substrate::Codec::decode(d)?,
+            fc: gb_substrate::Codec::decode(d)?,
+            head_zygosity: gb_substrate::Codec::decode(d)?,
+            head_type: gb_substrate::Codec::decode(d)?,
+            head_alt: gb_substrate::Codec::decode(d)?,
+            config: gb_substrate::Codec::decode(d)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

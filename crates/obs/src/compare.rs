@@ -87,6 +87,12 @@ pub enum Verdict {
     /// meaningful relative change, so it neither gates nor silently
     /// passes as "no change"; it is reported as new.
     New,
+    /// Purely informational metric (e.g. `prepare_wall`): reported for
+    /// visibility but never classified as regressed or improved —
+    /// substrate prepare cost sits outside the measured kernel region
+    /// and depends on cache state, which legitimately differs between
+    /// a cold baseline run and a warm candidate run.
+    Info,
 }
 
 impl Verdict {
@@ -98,6 +104,7 @@ impl Verdict {
             Verdict::Regressed => "REGRESSED",
             Verdict::BelowFloor => "below-floor",
             Verdict::New => "new",
+            Verdict::Info => "info",
         }
     }
 }
@@ -316,6 +323,23 @@ pub fn compare(base: &RunManifest, cand: &RunManifest, cfg: &CompareConfig) -> C
             }
         }
 
+        // Substrate prepare wall (schema ≥ 1.4): informational only.
+        // A warm candidate against a cold baseline shows a large
+        // "improvement" that says nothing about kernel performance, so
+        // these rows carry [`Verdict::Info`] and can never gate.
+        if let Some(cp) = c.prepare_wall_ns {
+            let bp = b.prepare_wall_ns.unwrap_or(0);
+            report.deltas.push(Delta {
+                kernel: name.clone(),
+                metric: "prepare_wall",
+                base: bp as f64,
+                cand: cp as f64,
+                rel_change: rel_change(bp as f64, cp as f64),
+                direction: Direction::LowerIsBetter,
+                verdict: Verdict::Info,
+            });
+        }
+
         if c.throughput_per_s > 0.0 {
             let (rel, v) = classify(
                 b.throughput_per_s,
@@ -489,6 +513,8 @@ mod tests {
                     utilization: None,
                     memory: None,
                     stages: None,
+                    prepare_wall_ns: None,
+                    cache_hit: None,
                 },
             );
         }
@@ -515,6 +541,49 @@ mod tests {
         assert!(regs
             .iter()
             .any(|d| d.kernel == "phmm" && d.metric == "throughput"));
+    }
+
+    #[test]
+    fn prepare_wall_is_informational_and_never_gates() {
+        // A warm candidate (prepare 100x faster) against a cold
+        // baseline: the row must appear, labelled info, and a candidate
+        // whose prepare got 100x *slower* must not gate either.
+        let mut base = manifest(&[("fmi", 50_000_000, 1e6)]);
+        let mut cand = manifest(&[("fmi", 50_000_000, 1e6)]);
+        for (m, ns) in [(&mut base, 200_000_000u64), (&mut cand, 2_000_000)] {
+            let r = m.kernels.get_mut("fmi").unwrap();
+            r.prepare_wall_ns = Some(ns);
+            r.cache_hit = Some(ns < 10_000_000);
+        }
+        let warm = compare(&base, &cand, &CompareConfig::default());
+        let cold = compare(&cand, &base, &CompareConfig::default());
+        for r in [&warm, &cold] {
+            let d = r
+                .deltas
+                .iter()
+                .find(|d| d.metric == "prepare_wall")
+                .expect("prepare_wall row present");
+            assert_eq!(d.verdict, Verdict::Info);
+            assert_eq!(d.verdict.label(), "info");
+            assert!(!r.has_regressions());
+        }
+    }
+
+    #[test]
+    fn missing_baseline_prepare_wall_still_reports_info() {
+        // Baseline predates schema 1.4: candidate-only prepare data is
+        // still surfaced (base = 0), still non-gating.
+        let base = manifest(&[("grm", 50_000_000, 1e6)]);
+        let mut cand = manifest(&[("grm", 50_000_000, 1e6)]);
+        cand.kernels.get_mut("grm").unwrap().prepare_wall_ns = Some(5_000_000);
+        let r = compare(&base, &cand, &CompareConfig::default());
+        let d = r
+            .deltas
+            .iter()
+            .find(|d| d.metric == "prepare_wall")
+            .unwrap();
+        assert_eq!((d.base, d.verdict), (0.0, Verdict::Info));
+        assert!(!r.has_regressions());
     }
 
     #[test]

@@ -31,8 +31,10 @@ use std::path::Path;
 /// optional top-level `dp_engine` field recording which DP execution
 /// engine (`scalar` or `simd`) the run used; `1.3` added the optional
 /// per-kernel `stages` array (flattened stage tree: `path`/`total_ns`
-/// per frame) so two manifests can be diffed stage-by-stage.
-pub const SCHEMA_VERSION: &str = "1.3";
+/// per frame) so two manifests can be diffed stage-by-stage; `1.4`
+/// added the optional per-kernel `prepare_wall_ns` and `cache_hit`
+/// fields recording substrate-cache prepare attribution.
+pub const SCHEMA_VERSION: &str = "1.4";
 
 /// Parses the major component of a `major.minor` schema version.
 pub fn schema_major(version: &str) -> Option<u64> {
@@ -143,6 +145,12 @@ pub struct KernelRecord {
     /// schema ≥ 1.3) — the data `compare`/`trend` use to attribute a
     /// regression to specific stages.
     pub stages: Option<Vec<StageTotal>>,
+    /// Wall time of the kernel's prepare phase, nanoseconds (schema
+    /// ≥ 1.4; absent on reports and pre-1.4 manifests).
+    pub prepare_wall_ns: Option<u64>,
+    /// Whether the prepare's substrate was served from the warm cache
+    /// rather than built cold (schema ≥ 1.4).
+    pub cache_hit: Option<bool>,
 }
 
 /// A complete, self-describing record of one suite invocation.
@@ -287,6 +295,12 @@ impl KernelRecord {
                 .collect();
             m.insert("stages".into(), Value::Array(rows));
         }
+        if let Some(ns) = self.prepare_wall_ns {
+            m.insert("prepare_wall_ns".into(), Value::from(ns));
+        }
+        if let Some(hit) = self.cache_hit {
+            m.insert("cache_hit".into(), Value::from(hit));
+        }
         Value::Object(m)
     }
 
@@ -321,6 +335,8 @@ impl KernelRecord {
                 }
                 _ => None,
             },
+            prepare_wall_ns: v.get("prepare_wall_ns").and_then(Value::as_u64),
+            cache_hit: v.get("cache_hit").and_then(Value::as_bool),
         })
     }
 
@@ -564,6 +580,8 @@ mod tests {
                 utilization: Some(0.93),
                 memory: None,
                 stages: None,
+                prepare_wall_ns: None,
+                cache_hit: None,
             },
         );
         m

@@ -373,6 +373,8 @@ mod tests {
                     utilization: None,
                     memory: None,
                     stages: None,
+                    prepare_wall_ns: None,
+                    cache_hit: None,
                 },
             );
         }

@@ -23,6 +23,8 @@ fn manifest_from(walls: &[(String, u64, u64)]) -> RunManifest {
                 utilization: None,
                 memory: None,
                 stages: None,
+                prepare_wall_ns: None,
+                cache_hit: None,
             },
         );
     }

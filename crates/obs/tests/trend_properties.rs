@@ -34,6 +34,8 @@ fn manifest(
                 utilization: None,
                 memory: None,
                 stages: None,
+                prepare_wall_ns: None,
+                cache_hit: None,
             },
         );
     }

@@ -101,6 +101,19 @@ pub fn clair_tensor_batch(
         .collect()
 }
 
+impl gb_substrate::Codec for ClairTensor {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        e.put_usize(self.center);
+        gb_substrate::Codec::encode(&self.data, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<ClairTensor> {
+        let center = d.get_usize()?;
+        let data: Vec<f32> = gb_substrate::Codec::decode(d)?;
+        (data.len() == TENSOR_LEN).then_some(ClairTensor { center, data })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

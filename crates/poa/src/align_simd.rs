@@ -340,7 +340,10 @@ fn align_i16<P: Probe>(
             if j > 0 {
                 let sub = if base == s[j - 1] { m16 } else { neg_mm16 };
                 if h[pr * width + j - 1].saturating_add(sub) == val {
-                    steps.push(AlignStep::Aligned { node: id, pos: j - 1 });
+                    steps.push(AlignStep::Aligned {
+                        node: id,
+                        pos: j - 1,
+                    });
                     row = pr;
                     j -= 1;
                     continue 'cell;
@@ -426,7 +429,11 @@ mod tests {
     fn branchy_graph() -> PoaGraph {
         let p = PoaParams::default();
         let mut g = PoaGraph::from_seq(&seq("ACGTACGGTTACGTAGGCAT"));
-        for r in ["ACCTACGGTTACGTAGGCAT", "ACGTACGGTACGTAGGCAT", "ACGTACGGTTTACGTAGCAT"] {
+        for r in [
+            "ACCTACGGTTACGTAGGCAT",
+            "ACGTACGGTACGTAGGCAT",
+            "ACGTACGGTTTACGTAGCAT",
+        ] {
             add_sequence(&mut g, &seq(r), &p);
         }
         g
@@ -438,7 +445,13 @@ mod tests {
         let chain = PoaGraph::from_seq(&seq("ACGTACGT"));
         let branchy = branchy_graph();
         for g in [&chain, &branchy] {
-            for q in ["ACGTACGT", "ACGTCGT", "ACCTACGA", "TTTT", "ACGTACGGTTACGTAGGCAT"] {
+            for q in [
+                "ACGTACGT",
+                "ACGTCGT",
+                "ACCTACGA",
+                "TTTT",
+                "ACGTACGGTTACGTAGGCAT",
+            ] {
                 let scalar = crate::align::align_to_graph(g, &seq(q), &p);
                 let (simd, report) = align_to_graph_simd(g, &seq(q), &p);
                 assert_bit_identical(&scalar, &simd);
@@ -504,13 +517,23 @@ mod tests {
     #[test]
     fn engine_dispatch_builds_identical_graphs() {
         let p = PoaParams::default();
-        let reads = ["ACGTACGGTTACGTAGGCAT", "ACCTACGGTTACGTAGGCAT", "ACGTACGGTACGTAGGCAT"];
+        let reads = [
+            "ACGTACGGTTACGTAGGCAT",
+            "ACCTACGGTTACGTAGGCAT",
+            "ACGTACGGTACGTAGGCAT",
+        ];
         let mut g_scalar = PoaGraph::new();
         let mut g_simd = PoaGraph::new();
         let mut rep_scalar = BatchReport::default();
         let mut rep_simd = BatchReport::default();
         for r in reads {
-            let a = add_sequence_engine(&mut g_scalar, &seq(r), &p, DpEngine::Scalar, &mut rep_scalar);
+            let a = add_sequence_engine(
+                &mut g_scalar,
+                &seq(r),
+                &p,
+                DpEngine::Scalar,
+                &mut rep_scalar,
+            );
             let b = add_sequence_engine(&mut g_simd, &seq(r), &p, DpEngine::Simd, &mut rep_simd);
             assert_bit_identical(&a, &b);
         }
@@ -529,6 +552,9 @@ mod tests {
         let mut probe = MixProbe::new();
         let (r, _) = align_to_graph_simd_probed(&g, &seq("ACGTACGT"), &p, &mut probe);
         assert!(probe.mix().simd_ops > 0);
-        assert!(probe.mix().simd_ops < r.cells, "vector ops must be fewer than cells");
+        assert!(
+            probe.mix().simd_ops < r.cells,
+            "vector ops must be fewer than cells"
+        );
     }
 }

@@ -1,0 +1,380 @@
+//! A dependency-free binary codec for substrate payloads.
+//!
+//! Substrates must round-trip *bit-identically* — a decoded FM-index or
+//! weight matrix has to produce the same run checksum as the built one —
+//! so floats are encoded through their IEEE-754 bit patterns rather than
+//! any textual form, and every decode is bounds-checked: a truncated or
+//! bit-flipped payload yields `None`, never a panic or a silently wrong
+//! value (the store's checksum catches corruption first; the decoder's
+//! checks make the pair defense-in-depth).
+//!
+//! All integers are little-endian fixed-width; collections are
+//! length-prefixed with `u64`. There is no self-description: the type
+//! decoded must match the type encoded, which the store guarantees by
+//! addressing entries with `(kernel, tier, seed, schema)`.
+
+/// Byte-buffer writer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// A fresh, empty encoder.
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// Consumes the encoder, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as `u64` (portable across word sizes).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f32` via its bit pattern (exact round-trip, NaNs
+    /// included).
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Appends an `f64` via its bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends raw bytes with a `u64` length prefix.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Bounds-checked byte-buffer reader.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Decoder<'a> {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    /// Reads a `usize`, rejecting values that overflow the platform word.
+    pub fn get_usize(&mut self) -> Option<usize> {
+        usize::try_from(self.get_u64()?).ok()
+    }
+
+    /// Reads an `f32` from its bit pattern.
+    pub fn get_f32(&mut self) -> Option<f32> {
+        Some(f32::from_bits(self.get_u32()?))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn get_f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a `u64`-length-prefixed byte slice. The length is checked
+    /// against the remaining buffer *before* allocating, so a corrupt
+    /// prefix cannot trigger a huge allocation.
+    pub fn get_bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.get_usize()?;
+        if len > self.remaining() {
+            return None;
+        }
+        self.take(len)
+    }
+
+    /// Reads a collection length, bounding it by `min_elem_bytes` per
+    /// element against the remaining buffer (allocation guard).
+    pub fn get_len(&mut self, min_elem_bytes: usize) -> Option<usize> {
+        let len = self.get_usize()?;
+        if len.checked_mul(min_elem_bytes.max(1))? > self.remaining() {
+            return None;
+        }
+        Some(len)
+    }
+}
+
+/// A type that can be written to an [`Encoder`] and read back from a
+/// [`Decoder`]. Implementations live next to each type's definition (the
+/// fields are usually private); every implementation must round-trip
+/// exactly: `T::from_bytes(&t.to_bytes()) == Some(t)`.
+pub trait Codec: Sized {
+    /// Appends `self` to the encoder.
+    fn encode(&self, e: &mut Encoder);
+
+    /// Reads one value, or `None` on any malformed input.
+    fn decode(d: &mut Decoder) -> Option<Self>;
+
+    /// Encodes `self` into a standalone byte vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        self.encode(&mut e);
+        e.into_bytes()
+    }
+
+    /// Decodes a standalone byte vector, requiring that every byte is
+    /// consumed (trailing garbage is malformed input, not padding).
+    fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut d = Decoder::new(bytes);
+        let v = Self::decode(&mut d)?;
+        d.is_at_end().then_some(v)
+    }
+}
+
+impl Codec for u8 {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u8(*self);
+    }
+    fn decode(d: &mut Decoder) -> Option<u8> {
+        d.get_u8()
+    }
+}
+
+impl Codec for u32 {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u32(*self);
+    }
+    fn decode(d: &mut Decoder) -> Option<u32> {
+        d.get_u32()
+    }
+}
+
+impl Codec for u64 {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u64(*self);
+    }
+    fn decode(d: &mut Decoder) -> Option<u64> {
+        d.get_u64()
+    }
+}
+
+impl Codec for usize {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_usize(*self);
+    }
+    fn decode(d: &mut Decoder) -> Option<usize> {
+        d.get_usize()
+    }
+}
+
+impl Codec for f32 {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_f32(*self);
+    }
+    fn decode(d: &mut Decoder) -> Option<f32> {
+        d.get_f32()
+    }
+}
+
+impl Codec for f64 {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_f64(*self);
+    }
+    fn decode(d: &mut Decoder) -> Option<f64> {
+        d.get_f64()
+    }
+}
+
+impl Codec for bool {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u8(u8::from(*self));
+    }
+    fn decode(d: &mut Decoder) -> Option<bool> {
+        match d.get_u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_bytes(self.as_bytes());
+    }
+    fn decode(d: &mut Decoder) -> Option<String> {
+        String::from_utf8(d.get_bytes()?.to_vec()).ok()
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_usize(self.len());
+        for item in self {
+            item.encode(e);
+        }
+    }
+    fn decode(d: &mut Decoder) -> Option<Vec<T>> {
+        // Elements occupy at least one byte each in this format, which
+        // bounds the pre-allocation by the buffer size.
+        let len = d.get_len(1)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(d)?);
+        }
+        Some(out)
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, e: &mut Encoder) {
+        self.0.encode(e);
+        self.1.encode(e);
+    }
+    fn decode(d: &mut Decoder) -> Option<(A, B)> {
+        Some((A::decode(d)?, B::decode(d)?))
+    }
+}
+
+impl<T: Codec + Copy + Default, const N: usize> Codec for [T; N] {
+    fn encode(&self, e: &mut Encoder) {
+        for item in self {
+            item.encode(e);
+        }
+    }
+    fn decode(d: &mut Decoder) -> Option<[T; N]> {
+        let mut out = [T::default(); N];
+        for slot in &mut out {
+            *slot = T::decode(d)?;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Codec + PartialEq + std::fmt::Debug>(v: T) {
+        assert_eq!(T::from_bytes(&v.to_bytes()), Some(v));
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(u32::MAX);
+        round_trip(u64::MAX);
+        round_trip(usize::MAX);
+        round_trip(true);
+        round_trip(false);
+        round_trip(-0.0f32);
+        round_trip(f64::MIN_POSITIVE);
+        round_trip("reads-δ".to_string());
+    }
+
+    #[test]
+    fn nan_bit_patterns_survive() {
+        let weird = f32::from_bits(0x7fc0_dead);
+        let bytes = weird.to_bytes();
+        assert_eq!(f32::from_bytes(&bytes).unwrap().to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(Vec::<u8>::new());
+        round_trip(vec![(1u32, 2.5f32), (3, -0.0)]);
+        round_trip([1u32, 2, 3, 4]);
+        round_trip(vec![vec![1u8, 2], vec![], vec![3]]);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = vec![7u64; 9].to_bytes();
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                Vec::<u64>::from_bytes(&bytes[..cut]),
+                None,
+                "cut at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = 5u32.to_bytes();
+        bytes.push(0);
+        assert_eq!(u32::from_bytes(&bytes), None);
+    }
+
+    #[test]
+    fn corrupt_length_prefix_is_rejected_without_allocating() {
+        // A length prefix claiming u64::MAX elements must fail the
+        // remaining-bytes bound, not attempt the allocation.
+        let mut e = Encoder::new();
+        e.put_u64(u64::MAX);
+        assert_eq!(Vec::<u64>::from_bytes(&e.into_bytes()), None);
+    }
+
+    #[test]
+    fn bool_rejects_other_bytes() {
+        assert_eq!(bool::from_bytes(&[2]), None);
+    }
+}

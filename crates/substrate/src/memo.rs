@@ -1,0 +1,78 @@
+//! In-process substrate memo: `Arc`-shared values keyed by canonical key
+//! string plus concrete type.
+//!
+//! The type is part of the map key so two substrates that happen to share
+//! a canonical key string (they should not, but the memo must not rely on
+//! that) can never alias each other's storage: a downcast miss is treated
+//! as a plain miss.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A thread-safe map from `(key, type)` to `Arc<T>`.
+#[derive(Debug, Default)]
+pub struct Memo {
+    map: Mutex<HashMap<(String, TypeId), Arc<dyn Any + Send + Sync>>>,
+}
+
+impl Memo {
+    /// An empty memo.
+    pub fn new() -> Memo {
+        Memo::default()
+    }
+
+    /// Looks up `key` as a `T`, cloning the shared handle on a hit.
+    pub fn get<T: Send + Sync + 'static>(&self, key: &str) -> Option<Arc<T>> {
+        let map = self.map.lock().expect("memo lock poisoned");
+        let entry = map.get(&(key.to_string(), TypeId::of::<T>()))?;
+        entry.clone().downcast::<T>().ok()
+    }
+
+    /// Stores `value` under `key`, replacing any previous entry of the
+    /// same type.
+    pub fn insert<T: Send + Sync + 'static>(&self, key: &str, value: Arc<T>) {
+        let mut map = self.map.lock().expect("memo lock poisoned");
+        map.insert((key.to_string(), TypeId::of::<T>()), value);
+    }
+
+    /// Number of memoized substrates.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("memo lock poisoned").len()
+    }
+
+    /// Whether the memo holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_get_shares_the_arc() {
+        let memo = Memo::new();
+        let v = Arc::new(vec![1u64, 2, 3]);
+        memo.insert("k", v.clone());
+        let got: Arc<Vec<u64>> = memo.get("k").unwrap();
+        assert!(Arc::ptr_eq(&v, &got));
+    }
+
+    #[test]
+    fn type_is_part_of_the_key() {
+        let memo = Memo::new();
+        memo.insert("k", Arc::new(7u64));
+        assert!(memo.get::<u32>("k").is_none());
+        assert_eq!(*memo.get::<u64>("k").unwrap(), 7);
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn missing_key_misses() {
+        let memo = Memo::new();
+        assert!(memo.get::<u64>("absent").is_none());
+        assert!(memo.is_empty());
+    }
+}

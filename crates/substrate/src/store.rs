@@ -1,0 +1,307 @@
+//! Content-addressed on-disk substrate store.
+//!
+//! One file per [`SubstrateKey`](crate::SubstrateKey), named by the key's
+//! canonical form. Each file is a self-verifying container:
+//!
+//! ```text
+//! magic "GBSB" | schema u32 | kernel bytes | tier bytes | seed u64
+//!              | payload bytes | fnv1a-64 checksum over everything above
+//! ```
+//!
+//! Writes go through a temp file in the same directory plus an atomic
+//! rename, so readers never observe a half-written entry (the same
+//! discipline as the manifest writer). Loads re-verify everything —
+//! magic, checksum, schema, and the full key — and return `None` on any
+//! mismatch: the caller's contract is *rebuild, never trust*. The store
+//! is size-capped; after each write the oldest entries (by modification
+//! time) are evicted until the total drops under the cap.
+
+use crate::codec::{Codec, Decoder, Encoder};
+use crate::SubstrateKey;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Container magic: identifies a substrate entry regardless of extension.
+pub const MAGIC: [u8; 4] = *b"GBSB";
+
+/// File extension for substrate entries.
+pub const ENTRY_EXT: &str = "gbs";
+
+/// Default size cap: plenty for every tier of all twelve kernels while
+/// still bounding an unattended cache directory.
+pub const DEFAULT_CAP_BYTES: u64 = 1 << 30;
+
+/// 64-bit FNV-1a over `bytes` — the container's integrity checksum.
+/// Not cryptographic; it guards against truncation and bit rot, not
+/// adversaries (the cache directory is as trusted as the binary itself).
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A directory of checksum-verified substrate entries.
+#[derive(Debug, Clone)]
+pub struct DiskStore {
+    dir: PathBuf,
+    cap_bytes: u64,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) the store rooted at `dir`, with the
+    /// [`DEFAULT_CAP_BYTES`] size cap.
+    pub fn open(dir: &Path) -> io::Result<DiskStore> {
+        DiskStore::open_with_cap(dir, DEFAULT_CAP_BYTES)
+    }
+
+    /// Opens the store with an explicit size cap in bytes.
+    pub fn open_with_cap(dir: &Path, cap_bytes: u64) -> io::Result<DiskStore> {
+        fs::create_dir_all(dir)?;
+        Ok(DiskStore {
+            dir: dir.to_path_buf(),
+            cap_bytes,
+        })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The path an entry for `key` lives at.
+    pub fn entry_path(&self, key: &SubstrateKey) -> PathBuf {
+        self.dir.join(format!("{}.{ENTRY_EXT}", key.canonical()))
+    }
+
+    /// Loads and fully verifies the payload for `key`. Any failure —
+    /// missing file, bad magic, failed checksum, schema or key mismatch,
+    /// truncation — yields `None`.
+    pub fn load(&self, key: &SubstrateKey) -> Option<Vec<u8>> {
+        let bytes = fs::read(self.entry_path(key)).ok()?;
+        // Checksum trailer first: anything after this is known-intact.
+        let body_len = bytes.len().checked_sub(8)?;
+        let (body, trailer) = bytes.split_at(body_len);
+        let stored = u64::from_le_bytes(trailer.try_into().ok()?);
+        if checksum64(body) != stored {
+            return None;
+        }
+        let mut d = Decoder::new(body);
+        let mut magic = [0u8; 4];
+        for slot in &mut magic {
+            *slot = d.get_u8()?;
+        }
+        if magic != MAGIC {
+            return None;
+        }
+        let schema = d.get_u32()?;
+        let kernel = String::decode(&mut d)?;
+        let tier = String::decode(&mut d)?;
+        let seed = d.get_u64()?;
+        if schema != key.schema || kernel != key.kernel || tier != key.tier || seed != key.seed {
+            return None;
+        }
+        let payload = d.get_bytes()?;
+        d.is_at_end().then(|| payload.to_vec())
+    }
+
+    /// Writes the entry for `key` atomically (temp file + rename into
+    /// place), then evicts oldest entries past the size cap.
+    pub fn save(&self, key: &SubstrateKey, payload: &[u8]) -> io::Result<()> {
+        let mut e = Encoder::new();
+        for b in MAGIC {
+            e.put_u8(b);
+        }
+        e.put_u32(key.schema);
+        key.kernel.encode(&mut e);
+        key.tier.encode(&mut e);
+        e.put_u64(key.seed);
+        e.put_bytes(payload);
+        let mut bytes = e.into_bytes();
+        let sum = checksum64(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+
+        let final_path = self.entry_path(key);
+        let tmp_path = self
+            .dir
+            .join(format!(".{}.{}.tmp", key.canonical(), std::process::id()));
+        fs::write(&tmp_path, &bytes)?;
+        let renamed = fs::rename(&tmp_path, &final_path);
+        if renamed.is_err() {
+            let _ = fs::remove_file(&tmp_path);
+        }
+        renamed?;
+        self.evict(&final_path);
+        Ok(())
+    }
+
+    /// Deletes oldest entries until the store fits the cap. The entry at
+    /// `keep` (the one just written) is never evicted, so a single
+    /// oversized substrate still caches. Eviction failures are ignored:
+    /// the store is an accelerator, not a system of record.
+    fn evict(&self, keep: &Path) {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut files: Vec<(PathBuf, u64, std::time::SystemTime)> = entries
+            .flatten()
+            .filter_map(|entry| {
+                let path = entry.path();
+                if path.extension().and_then(|x| x.to_str()) != Some(ENTRY_EXT) {
+                    return None;
+                }
+                let meta = entry.metadata().ok()?;
+                let mtime = meta.modified().ok()?;
+                Some((path, meta.len(), mtime))
+            })
+            .collect();
+        let mut total: u64 = files.iter().map(|(_, len, _)| len).sum();
+        if total <= self.cap_bytes {
+            return;
+        }
+        files.sort_by_key(|(_, _, mtime)| *mtime);
+        for (path, len, _) in files {
+            if total <= self.cap_bytes {
+                break;
+            }
+            if path == keep {
+                continue;
+            }
+            if fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(len);
+            }
+        }
+    }
+
+    /// Total bytes currently held by entries (diagnostics and tests).
+    pub fn total_bytes(&self) -> u64 {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        entries
+            .flatten()
+            .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some(ENTRY_EXT))
+            .filter_map(|e| e.metadata().ok())
+            .map(|m| m.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(tag: &str) -> DiskStore {
+        let dir = std::env::temp_dir().join(format!("gb_store_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        DiskStore::open(&dir).unwrap()
+    }
+
+    fn key(kernel: &str) -> SubstrateKey {
+        SubstrateKey::new(kernel, "tiny", 0xABCD)
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let s = store("roundtrip");
+        let k = key("fmi");
+        s.save(&k, b"payload bytes").unwrap();
+        assert_eq!(s.load(&k).as_deref(), Some(&b"payload bytes"[..]));
+        let _ = fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn missing_entry_is_none() {
+        let s = store("missing");
+        assert_eq!(s.load(&key("bsw")), None);
+        let _ = fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_caught() {
+        let s = store("bitflip");
+        let k = key("chain");
+        s.save(&k, b"sensitive").unwrap();
+        let path = s.entry_path(&k);
+        let clean = fs::read(&path).unwrap();
+        for i in 0..clean.len() {
+            let mut bad = clean.clone();
+            bad[i] ^= 0x40;
+            fs::write(&path, &bad).unwrap();
+            assert_eq!(s.load(&k), None, "flip at byte {i} went undetected");
+        }
+        let _ = fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn truncation_is_caught() {
+        let s = store("trunc");
+        let k = key("grm");
+        s.save(&k, &vec![9u8; 256]).unwrap();
+        let path = s.entry_path(&k);
+        let clean = fs::read(&path).unwrap();
+        for cut in [0, 1, 7, clean.len() / 2, clean.len() - 1] {
+            fs::write(&path, &clean[..cut]).unwrap();
+            assert_eq!(s.load(&k), None, "truncation to {cut} went undetected");
+        }
+        let _ = fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn wrong_key_fields_miss() {
+        let s = store("wrongkey");
+        let k = key("spoa");
+        s.save(&k, b"x").unwrap();
+        // Same file contents, different expectations: copy the entry over
+        // the other key's file name so only the embedded header differs.
+        let mut other = key("spoa");
+        other.seed ^= 1;
+        fs::copy(s.entry_path(&k), s.entry_path(&other)).unwrap();
+        assert_eq!(s.load(&other), None);
+        let mut wrong_schema = key("spoa");
+        wrong_schema.schema += 1;
+        fs::copy(s.entry_path(&k), s.entry_path(&wrong_schema)).unwrap();
+        assert_eq!(s.load(&wrong_schema), None);
+        let _ = fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn eviction_respects_cap_and_keeps_newest() {
+        let dir = std::env::temp_dir().join(format!("gb_store_evict_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        // Cap small enough that three ~300-byte entries cannot coexist.
+        let s = DiskStore::open_with_cap(&dir, 700).unwrap();
+        let payload = vec![1u8; 256];
+        for (i, name) in ["a", "b", "c"].iter().enumerate() {
+            let k = SubstrateKey::new(name, "tiny", i as u64);
+            s.save(&k, &payload).unwrap();
+            // mtime granularity on some filesystems is coarse; space the
+            // writes out so eviction order is well-defined.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        assert!(
+            s.total_bytes() <= 700,
+            "store over cap: {}",
+            s.total_bytes()
+        );
+        // The most recent entry must have survived.
+        assert!(s.load(&SubstrateKey::new("c", "tiny", 2)).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_temp_files_do_not_linger() {
+        let s = store("tmpfiles");
+        s.save(&key("abea"), b"z").unwrap();
+        let leftovers = fs::read_dir(s.dir())
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().and_then(|x| x.to_str()) != Some(ENTRY_EXT))
+            .count();
+        assert_eq!(leftovers, 0);
+        let _ = fs::remove_dir_all(s.dir());
+    }
+}

@@ -32,10 +32,11 @@ use gb_obs::{
     RenderConfig, RunManifest, StageAttribution, StageTree, TaskStats, TraceRecorder, TrendReport,
     Verdict, SCHEMA_VERSION,
 };
+use gb_substrate::SubstrateCache;
 use gb_suite::dataset::DatasetSize;
 use gb_suite::kernels::{
-    prepare_dp, run_parallel, run_parallel_instrumented, total_work, Characterization, DpEngine,
-    KernelId, RunStats,
+    prepare_cached, run_parallel, run_parallel_instrumented, total_work, warm_substrates,
+    Characterization, DpEngine, KernelId, RunStats, WarmOutcome,
 };
 use gb_suite::reports::{self, Report};
 use std::path::Path;
@@ -76,10 +77,12 @@ const USAGE: &str = "usage:
   genomicsbench run [kernels|all] [--tier T] [--threads N] [--dp-engine E]
                     [--trace FILE] [--metrics FILE] [--uarch]
                     [--manifest-out FILE] [--baseline FILE]
+                    [--substrate-cache DIR] [--no-cache]
   genomicsbench profile <kernel> [--tier T] [--threads N] [--dp-engine E]
                     [--trace FILE] [--metrics FILE] [--manifest-out FILE]
                     [--flame FILE] [--flame-svg FILE]
                     [--uarch] [--uarch-budget N]
+                    [--substrate-cache DIR] [--no-cache]
   genomicsbench report <name|all> [--tier T] [--json DIR] [--trace FILE]
                     [--metrics FILE] [--manifest-out FILE] [--flame FILE]
                     [--flame-svg FILE]
@@ -132,6 +135,15 @@ const USAGE: &str = "usage:
       $GITHUB_STEP_SUMMARY (no-op when the variable is unset), including
       the top regressing stages per kernel when attribution is
       available.
+    --substrate-cache DIR keeps each kernel's deterministic prepare
+      product (FM-indexes, region tasks, POA windows, NN weights, ...) in
+      a checksum-verified on-disk store, so repeat runs skip the build;
+      entries are schema-versioned and any corrupt or stale entry is
+      silently rebuilt. Within one invocation substrates are always
+      shared in-process; --no-cache disables both layers. Cold builds of
+      a multi-kernel run are warmed in parallel across the worker pool.
+      The manifest records prepare_wall_ns and cache_hit per kernel
+      (schema >= 1.4, informational -- never gated on).
     'run' also accepts a comma-separated kernel list, e.g. run bsw,phmm.
     Each subcommand rejects options it does not use.";
 
@@ -149,6 +161,8 @@ enum Opt {
     UarchBudget,
     Flame,
     FlameSvg,
+    SubstrateCache,
+    NoCache,
 }
 
 impl Opt {
@@ -166,12 +180,15 @@ impl Opt {
             Opt::UarchBudget => "--uarch-budget",
             Opt::Flame => "--flame",
             Opt::FlameSvg => "--flame-svg",
+            Opt::SubstrateCache => "--substrate-cache",
+            Opt::NoCache => "--no-cache",
         }
     }
 
-    /// Whether the flag takes a value (`--uarch` is a bare switch).
+    /// Whether the flag takes a value (`--uarch` and `--no-cache` are
+    /// bare switches).
     fn takes_value(self) -> bool {
-        !matches!(self, Opt::Uarch)
+        !matches!(self, Opt::Uarch | Opt::NoCache)
     }
 }
 
@@ -189,6 +206,8 @@ struct Options {
     uarch_budget: Option<usize>,
     flame: Option<String>,
     flame_svg: Option<String>,
+    substrate_cache: Option<String>,
+    no_cache: bool,
 }
 
 impl Options {
@@ -202,6 +221,23 @@ impl Options {
 
     fn dp_engine(&self) -> DpEngine {
         self.dp_engine.unwrap_or_default()
+    }
+}
+
+/// Builds the substrate cache an invocation asked for: `--no-cache`
+/// disables caching entirely, `--substrate-cache DIR` adds the on-disk
+/// store, and the default is in-process-only sharing.
+fn build_cache(opts: &Options) -> Result<SubstrateCache, String> {
+    if opts.no_cache {
+        if opts.substrate_cache.is_some() {
+            return Err("--no-cache and --substrate-cache are mutually exclusive".into());
+        }
+        return Ok(SubstrateCache::disabled());
+    }
+    match &opts.substrate_cache {
+        Some(dir) => SubstrateCache::with_store(Path::new(dir))
+            .map_err(|e| format!("opening substrate cache {dir}: {e}")),
+        None => Ok(SubstrateCache::in_process()),
     }
 }
 
@@ -225,6 +261,8 @@ fn parse_options(cmd: &str, args: &[String], allowed: &[Opt]) -> Result<Options,
             Opt::UarchBudget,
             Opt::Flame,
             Opt::FlameSvg,
+            Opt::SubstrateCache,
+            Opt::NoCache,
         ];
         // --size predates --tier; both name the dataset tier.
         let canonical = if a == "--size" { "--tier" } else { a.as_str() };
@@ -235,8 +273,10 @@ fn parse_options(cmd: &str, args: &[String], allowed: &[Opt]) -> Result<Options,
             return Err(format!("'{cmd}' does not accept {}", opt.flag()));
         }
         if !opt.takes_value() {
-            if opt == Opt::Uarch {
-                opts.uarch = true;
+            match opt {
+                Opt::Uarch => opts.uarch = true,
+                Opt::NoCache => opts.no_cache = true,
+                _ => unreachable!("only bare switches reach here"),
             }
             continue;
         }
@@ -263,7 +303,8 @@ fn parse_options(cmd: &str, args: &[String], allowed: &[Opt]) -> Result<Options,
             }
             Opt::Flame => opts.flame = Some(v.clone()),
             Opt::FlameSvg => opts.flame_svg = Some(v.clone()),
-            Opt::Uarch => unreachable!("bare switch"),
+            Opt::SubstrateCache => opts.substrate_cache = Some(v.clone()),
+            Opt::Uarch | Opt::NoCache => unreachable!("bare switch"),
         }
     }
     Ok(opts)
@@ -381,6 +422,8 @@ fn kernel_record(
         utilization: stats.task_stats.as_ref().map(|ts| ts.utilization),
         memory,
         stages: None,
+        prepare_wall_ns: None,
+        cache_hit: None,
     }
 }
 
@@ -399,7 +442,7 @@ fn load_manifest(path: &str) -> Result<RunManifest, String> {
 /// Renders a compare report as an aligned human table.
 fn print_compare_table(report: &CompareReport) {
     let value = |metric: &str, v: f64| match metric {
-        "wall_time" => format!("{:.2}ms", v / 1e6),
+        "wall_time" | "prepare_wall" => format!("{:.2}ms", v / 1e6),
         "peak_memory" | "task_peak_memory" => mem::format_bytes(v as u64),
         _ => format!("{v:.3e}/s"),
     };
@@ -691,7 +734,7 @@ fn github_summary_markdown(
     cfg: &CompareConfig,
 ) -> String {
     let value = |metric: &str, v: f64| match metric {
-        "wall_time" => format!("{:.2}ms", v / 1e6),
+        "wall_time" | "prepare_wall" => format!("{:.2}ms", v / 1e6),
         "peak_memory" | "task_peak_memory" => mem::format_bytes(v as u64),
         _ => format!("{v:.3e}/s"),
     };
@@ -804,6 +847,8 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                     Opt::ManifestOut,
                     Opt::Baseline,
                     Opt::Uarch,
+                    Opt::SubstrateCache,
+                    Opt::NoCache,
                 ],
             )?;
             let ids: Vec<KernelId> = if which == "all" {
@@ -820,17 +865,28 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 || opts.metrics.is_some()
                 || opts.manifest_out.is_some()
                 || opts.baseline.is_some();
+            let cache = build_cache(&opts)?;
+            // Warm pre-pass: build (or load) every requested substrate up
+            // front, overlapping cold builds across the worker pool. The
+            // per-kernel outcome feeds the manifest's prepare attribution.
+            let warm: std::collections::HashMap<KernelId, WarmOutcome> =
+                warm_substrates(&ids, opts.size(), &cache, opts.threads())
+                    .into_iter()
+                    .map(|w| (w.id, w))
+                    .collect();
             let recorder = instrument.then(TraceRecorder::new);
             let mut registry = MetricsRegistry::new();
             let mut manifest = RunManifest::new("run", opts.size().name(), opts.threads());
             manifest.dp_engine = Some(opts.dp_engine().name().to_string());
             println!(
-                "{:<11} {:>8} {:>12} {:>10} {:>18}  ({} dataset, {} thread(s), {} dp engine)",
+                "{:<11} {:>8} {:>12} {:>10} {:>18} {:>10} {:>6}  ({} dataset, {} thread(s), {} dp engine)",
                 "kernel",
                 "tasks",
                 "elapsed",
                 "checksum",
                 "throughput",
+                "prepare",
+                "cache",
                 opts.size().name(),
                 opts.threads(),
                 opts.dp_engine().name()
@@ -840,7 +896,14 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 // spans can be sliced out afterwards for its stage tree.
                 let mark = recorder.as_ref().map(|r| r.event_count());
                 let span = mem::enabled().then(mem::MemSpan::enter);
-                let kernel = prepare_dp(id, opts.size(), opts.dp_engine());
+                let (kernel, pstats) = prepare_cached(id, opts.size(), opts.dp_engine(), &cache);
+                // The warm pre-pass already did (and timed) the heavy
+                // build or load; after it, `prepare_cached` is a memo hit
+                // plus a cheap instantiate. Attribute the true cost.
+                let (prepare_wall, cache_hit) = match warm.get(&id) {
+                    Some(w) => (w.wall + pstats.wall, w.cache_hit),
+                    None => (pstats.wall, pstats.cache_hit),
+                };
                 let stats = match &recorder {
                     Some(r) => run_parallel_instrumented(kernel.as_ref(), opts.threads(), r),
                     // mem-profile builds always take the instrumented
@@ -881,6 +944,8 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                     }
                 }
                 let mut record = kernel_record(id, kernel.as_ref(), &stats, memory, &mut registry);
+                record.prepare_wall_ns = Some(prepare_wall.as_nanos() as u64);
+                record.cache_hit = Some(cache_hit);
                 if let (Some(r), Some(mark)) = (&recorder, mark) {
                     // Manifests carry the per-kernel stage tree (schema
                     // 1.3) so a later `compare` can attribute any
@@ -890,12 +955,20 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                     record.set_stage_tree(&tree);
                 }
                 println!(
-                    "{:<11} {:>8} {:>12} {:>10x} {:>18}",
+                    "{:<11} {:>8} {:>12} {:>10x} {:>18} {:>10} {:>6}",
                     id.name(),
                     stats.tasks,
                     format!("{:.3}s", stats.elapsed.as_secs_f64()),
                     stats.checksum & 0xFFFF_FFFF,
                     format_throughput(record.throughput_per_s, id.work_unit()),
+                    format_ns(prepare_wall.as_nanos() as u64),
+                    if !cache.is_enabled() {
+                        "off"
+                    } else if cache_hit {
+                        "hit"
+                    } else {
+                        "cold"
+                    },
                 );
                 manifest.add_kernel(id.name(), record);
             }
@@ -938,11 +1011,14 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                     Opt::FlameSvg,
                     Opt::Uarch,
                     Opt::UarchBudget,
+                    Opt::SubstrateCache,
+                    Opt::NoCache,
                 ],
             )?;
             let threads = opts.threads.unwrap_or(2);
+            let cache = build_cache(&opts)?;
             let span = mem::enabled().then(mem::MemSpan::enter);
-            let kernel = prepare_dp(id, opts.size(), opts.dp_engine());
+            let (kernel, pstats) = prepare_cached(id, opts.size(), opts.dp_engine(), &cache);
             let recorder = TraceRecorder::new();
             let stats = run_parallel_instrumented(kernel.as_ref(), threads, &recorder);
             let memory = span.map(|s| {
@@ -982,9 +1058,22 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 registry.set_gauge(&name, value);
             }
             let mut record = kernel_record(id, kernel.as_ref(), &stats, memory, &mut registry);
+            record.prepare_wall_ns = Some(pstats.wall.as_nanos() as u64);
+            record.cache_hit = Some(pstats.cache_hit);
             println!(
                 "throughput: {}",
                 format_throughput(record.throughput_per_s, id.work_unit())
+            );
+            println!(
+                "prepare: {} ({})",
+                format_ns(pstats.wall.as_nanos() as u64),
+                if !cache.is_enabled() {
+                    "cache off"
+                } else if pstats.cache_hit {
+                    "cache hit"
+                } else {
+                    "cold build"
+                }
             );
             // Profile analytics: fold the task spans into a per-kernel
             // stage tree. The kernel root is pinned to the measured wall

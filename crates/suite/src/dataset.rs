@@ -48,7 +48,7 @@ impl std::str::FromStr for DatasetSize {
     type Err = String;
 
     fn from_str(s: &str) -> Result<DatasetSize, String> {
-        match s {
+        match s.to_ascii_lowercase().as_str() {
             "tiny" => Ok(DatasetSize::Tiny),
             "small" => Ok(DatasetSize::Small),
             "large" => Ok(DatasetSize::Large),
@@ -87,6 +87,15 @@ mod tests {
             assert_eq!(s.name().parse::<DatasetSize>().unwrap(), s);
         }
         assert!("medium".parse::<DatasetSize>().is_err());
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        for s in ["Tiny", "TINY", "tInY"] {
+            assert_eq!(s.parse::<DatasetSize>().unwrap(), DatasetSize::Tiny);
+        }
+        assert_eq!("LARGE".parse::<DatasetSize>().unwrap(), DatasetSize::Large);
+        assert!("MEDIUM".parse::<DatasetSize>().is_err());
     }
 
     #[test]

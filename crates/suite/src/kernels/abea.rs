@@ -21,11 +21,32 @@ use gb_simt::kernels::{model_abea_gpu, AbeaGpuParams};
 use gb_uarch::cache::CacheProbe;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Deterministic build product of the abea prepare phase: the simulated
+/// signal reads and the pore model they were drawn from.
+pub struct AbeaSubstrate {
+    reads: Vec<(Vec<Event>, DnaSeq)>,
+    model: PoreModel,
+}
+
+impl gb_substrate::Codec for AbeaSubstrate {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        gb_substrate::Codec::encode(&self.reads, e);
+        gb_substrate::Codec::encode(&self.model, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<AbeaSubstrate> {
+        Some(AbeaSubstrate {
+            reads: gb_substrate::Codec::decode(d)?,
+            model: gb_substrate::Codec::decode(d)?,
+        })
+    }
+}
 
 /// Prepared abea workload: raw-signal reads with their reference spans.
 pub struct AbeaKernel {
-    reads: Vec<(Vec<Event>, DnaSeq)>,
-    model: PoreModel,
+    sub: Arc<AbeaSubstrate>,
     params: AbeaParams,
     engine: DpEngine,
 }
@@ -36,11 +57,26 @@ impl AbeaKernel {
         AbeaKernel::prepare_with(size, DpEngine::Scalar)
     }
 
+    /// Builds the substrate and instantiates it (cold prepare).
+    pub fn prepare_with(size: DatasetSize, engine: DpEngine) -> AbeaKernel {
+        AbeaKernel::instantiate(Arc::new(AbeaKernel::build_substrate(size)), engine)
+    }
+
+    /// Wraps a (possibly cached, possibly shared) substrate into a
+    /// runnable kernel. Cheap: no data is copied.
+    pub fn instantiate(sub: Arc<AbeaSubstrate>, engine: DpEngine) -> AbeaKernel {
+        AbeaKernel {
+            sub,
+            params: AbeaParams::default(),
+            engine,
+        }
+    }
+
     /// Simulates FAST5-like signal reads over reference segments of
     /// varying length. The read set is identical for both engines; abea
     /// vectorizes *within* each band (anti-diagonal lanes), so the task
     /// shape is one read per task on either engine.
-    pub fn prepare_with(size: DatasetSize, engine: DpEngine) -> AbeaKernel {
+    pub fn build_substrate(size: DatasetSize) -> AbeaSubstrate {
         let num_reads = match size {
             DatasetSize::Tiny => 5,
             DatasetSize::Small => 80,
@@ -65,18 +101,13 @@ impl AbeaKernel {
                 (sig.events, seq)
             })
             .collect();
-        AbeaKernel {
-            reads,
-            model,
-            params: AbeaParams::default(),
-            engine,
-        }
+        AbeaSubstrate { reads, model }
     }
 
     /// Runs the SIMT model over this workload (paper Tables IV–V).
     pub fn gpu_report(&self) -> GpuKernelReport {
         model_abea_gpu(
-            &self.reads,
+            &self.sub.reads,
             &AbeaGpuParams::default(),
             gb_simt::GpuConfig::default(),
         )
@@ -89,25 +120,32 @@ impl Kernel for AbeaKernel {
     }
 
     fn num_tasks(&self) -> usize {
-        self.reads.len()
+        self.sub.reads.len()
     }
 
     fn run_task(&self, i: usize) -> u64 {
-        let (events, seq) = &self.reads[i];
-        match align_events_engine(events, seq, &self.model, &self.params, self.engine) {
+        let (events, seq) = &self.sub.reads[i];
+        match align_events_engine(events, seq, &self.sub.model, &self.params, self.engine) {
             Some(r) => r.cells.wrapping_add((r.score * -8.0) as u64),
             None => 0,
         }
     }
 
     fn characterize_task(&self, i: usize, probe: &mut CacheProbe) {
-        let (events, seq) = &self.reads[i];
-        let _ = align_events_engine_probed(events, seq, &self.model, &self.params, self.engine, probe);
+        let (events, seq) = &self.sub.reads[i];
+        let _ = align_events_engine_probed(
+            events,
+            seq,
+            &self.sub.model,
+            &self.params,
+            self.engine,
+            probe,
+        );
     }
 
     fn task_work(&self, i: usize) -> u64 {
-        let (events, seq) = &self.reads[i];
-        align_events_engine(events, seq, &self.model, &self.params, self.engine)
+        let (events, seq) = &self.sub.reads[i];
+        align_events_engine(events, seq, &self.sub.model, &self.params, self.engine)
             .map_or(0, |r| r.cells)
     }
 
@@ -123,9 +161,9 @@ impl Kernel for AbeaKernel {
         // ladder) — exported so the compare gate can pin that invariant.
         let mut computed = 0u64;
         let mut allocated = 0u64;
-        for (events, seq) in &self.reads {
+        for (events, seq) in &self.sub.reads {
             if let Some(r) =
-                align_events_engine(events, seq, &self.model, &self.params, self.engine)
+                align_events_engine(events, seq, &self.sub.model, &self.params, self.engine)
             {
                 let n_kmers = seq.len().saturating_sub(gb_datagen::signal::PORE_K - 1);
                 let n_bands = (events.len() + n_kmers + 2) as u64;
@@ -148,7 +186,7 @@ impl Kernel for AbeaKernel {
 impl std::fmt::Debug for AbeaKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AbeaKernel")
-            .field("reads", &self.reads.len())
+            .field("reads", &self.sub.reads.len())
             .field("engine", &self.engine.name())
             .finish()
     }
@@ -179,7 +217,10 @@ mod tests {
         let scalar = AbeaKernel::prepare_with(DatasetSize::Tiny, DpEngine::Scalar);
         let simd = AbeaKernel::prepare_with(DatasetSize::Tiny, DpEngine::Simd);
         assert_eq!(scalar.num_tasks(), simd.num_tasks());
-        assert_eq!(run_serial(&scalar).checksum, run_parallel(&simd, 4).checksum);
+        assert_eq!(
+            run_serial(&scalar).checksum,
+            run_parallel(&simd, 4).checksum
+        );
     }
 
     #[test]

@@ -18,23 +18,41 @@ use gb_dp::DpEngine;
 use gb_uarch::cache::CacheProbe;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Deterministic build product of the bsw prepare phase: the sequence
+/// pairs in generation order. Engine-independent — the SIMD engine's
+/// length-sorting happens at instantiation, so both engines (and the
+/// unsorted-baseline gauges) share one cached substrate.
+pub struct BswSubstrate {
+    tasks: Vec<SwTask>,
+}
+
+impl gb_substrate::Codec for BswSubstrate {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        gb_substrate::Codec::encode(&self.tasks, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<BswSubstrate> {
+        Some(BswSubstrate {
+            tasks: gb_substrate::Codec::decode(d)?,
+        })
+    }
+}
 
 /// Prepared bsw workload: query/target pairs of varying length and
 /// similarity (the ingredients of the paper's lane-divergence analysis).
 pub struct BswKernel {
-    tasks: Vec<SwTask>,
+    sub: Arc<BswSubstrate>,
+    /// SIMD engine only: the substrate pairs length-sorted for lockstep
+    /// grouping (scalar leaves this empty and runs the substrate order).
+    sorted: Vec<SwTask>,
     params: SwParams,
     engine: DpEngine,
-    /// SIMD engine only: contiguous `tasks` ranges, one lockstep group
-    /// per pool task (tasks are stored length-sorted, groups issued
-    /// largest-first so the dynamic pool schedules longest-processing-time
-    /// first).
+    /// SIMD engine only: contiguous `sorted` ranges, one lockstep group
+    /// per pool task, issued largest-first so the dynamic pool schedules
+    /// longest-processing-time first.
     groups: Vec<std::ops::Range<usize>>,
-    /// SIMD engine only: generation-order view of the sorted `tasks`
-    /// (original pair `k` lives at `tasks[unsorted_order[k]]`), kept so
-    /// the slot-efficiency gauges can compare against the unsorted
-    /// baseline the scalar engine would have grouped.
-    unsorted_order: Vec<usize>,
 }
 
 impl BswKernel {
@@ -43,12 +61,55 @@ impl BswKernel {
         BswKernel::prepare_with(size, DpEngine::Scalar)
     }
 
+    /// Builds the substrate and instantiates it (cold prepare).
+    pub fn prepare_with(size: DatasetSize, engine: DpEngine) -> BswKernel {
+        BswKernel::instantiate(Arc::new(BswKernel::build_substrate(size)), engine)
+    }
+
+    /// The pairs task `i` executes, in this engine's task order.
+    fn tasks(&self) -> &[SwTask] {
+        match self.engine {
+            DpEngine::Scalar => &self.sub.tasks,
+            DpEngine::Simd => &self.sorted,
+        }
+    }
+
+    /// Wraps a (possibly cached, possibly shared) substrate into a
+    /// runnable kernel. The SIMD engine length-sorts a copy of the pairs
+    /// into contiguous lockstep groups here — per-run work, deliberately
+    /// outside the substrate so one cache entry serves both engines.
+    pub fn instantiate(sub: Arc<BswSubstrate>, engine: DpEngine) -> BswKernel {
+        let mut sorted = Vec::new();
+        let mut groups = Vec::new();
+        if engine == DpEngine::Simd {
+            // Length-sorted batch scheduling: similar-length pairs share a
+            // lockstep group, cutting the Fig. 3 dead-slot over-compute.
+            sorted = sub.tasks.clone();
+            sorted.sort_by_key(|t| t.query.len() + t.target.len());
+            let mut start = 0;
+            while start < sorted.len() {
+                let end = (start + LANES).min(sorted.len());
+                groups.push(start..end);
+                start = end;
+            }
+            // Largest (longest-sequence) groups first.
+            groups.reverse();
+        }
+        BswKernel {
+            sub,
+            sorted,
+            params: SwParams::default(),
+            engine,
+            groups,
+        }
+    }
+
     /// Draws sequence pairs from a synthetic genome: mostly true pairs
     /// (overlapping segments with errors), some unrelated pairs (which
     /// trigger the Z-drop early exit — the paper's divergence source).
     /// The pair set is identical for both engines; only the task shape
     /// differs.
-    pub fn prepare_with(size: DatasetSize, engine: DpEngine) -> BswKernel {
+    pub fn build_substrate(size: DatasetSize) -> BswSubstrate {
         let num_pairs = match size {
             DatasetSize::Tiny => 100,
             DatasetSize::Small => 2_000,
@@ -90,40 +151,13 @@ impl BswKernel {
             };
             tasks.push(SwTask { query, target });
         }
-        let mut groups = Vec::new();
-        let mut unsorted_order = Vec::new();
-        if engine == DpEngine::Simd {
-            // Length-sorted batch scheduling: similar-length pairs share a
-            // lockstep group, cutting the Fig. 3 dead-slot over-compute.
-            let mut order: Vec<usize> = (0..tasks.len()).collect();
-            order.sort_by_key(|&i| tasks[i].query.len() + tasks[i].target.len());
-            unsorted_order = vec![0usize; tasks.len()];
-            for (new_pos, &old) in order.iter().enumerate() {
-                unsorted_order[old] = new_pos;
-            }
-            tasks = order.iter().map(|&i| tasks[i].clone()).collect();
-            let mut start = 0;
-            while start < tasks.len() {
-                let end = (start + LANES).min(tasks.len());
-                groups.push(start..end);
-                start = end;
-            }
-            // Largest (longest-sequence) groups first.
-            groups.reverse();
-        }
-        BswKernel {
-            tasks,
-            params: SwParams::default(),
-            engine,
-            groups,
-            unsorted_order,
-        }
+        BswSubstrate { tasks }
     }
 
     /// Runs the inter-sequence SIMD batch model (Fig. 3): `lanes`-wide
     /// lockstep execution, optionally length-sorted.
     pub fn batch_report(&self, lanes: usize, sort_by_len: bool) -> BatchReport {
-        let (_, report) = run_batch(&self.tasks, &self.params, lanes, sort_by_len);
+        let (_, report) = run_batch(self.tasks(), &self.params, lanes, sort_by_len);
         report
     }
 
@@ -131,14 +165,14 @@ impl BswKernel {
     /// same tasks: real per-step lane masking rather than the analytic
     /// max-cells model.
     pub fn lockstep_report(&self, sort_by_len: bool) -> BatchReport {
-        let (_, report) = gb_dp::bsw_batch::run_lockstep(&self.tasks, &self.params, sort_by_len);
+        let (_, report) = gb_dp::bsw_batch::run_lockstep(self.tasks(), &self.params, sort_by_len);
         report
     }
 
     /// Runs the i16 SoA SIMD engine (`gb_dp::bsw_simd`) over the same
     /// tasks and reports its slot counts (plus retired-lane tally).
     pub fn simd_report(&self, sort_by_len: bool) -> BatchReport {
-        let (_, report) = run_simd(&self.tasks, &self.params, sort_by_len);
+        let (_, report) = run_simd(self.tasks(), &self.params, sort_by_len);
         report
     }
 }
@@ -150,7 +184,7 @@ impl Kernel for BswKernel {
 
     fn num_tasks(&self) -> usize {
         match self.engine {
-            DpEngine::Scalar => self.tasks.len(),
+            DpEngine::Scalar => self.sub.tasks.len(),
             DpEngine::Simd => self.groups.len(),
         }
     }
@@ -158,12 +192,12 @@ impl Kernel for BswKernel {
     fn run_task(&self, i: usize) -> u64 {
         match self.engine {
             DpEngine::Scalar => {
-                let t = &self.tasks[i];
+                let t = &self.tasks()[i];
                 let r = banded_sw(&t.query, &t.target, &self.params);
                 (r.score as u64).wrapping_mul(31).wrapping_add(r.cells)
             }
             DpEngine::Simd => {
-                let group = &self.tasks[self.groups[i].clone()];
+                let group = &self.tasks()[self.groups[i].clone()];
                 let (results, _) = gb_dp::bsw_simd::simd_group(group, &self.params);
                 // Same per-alignment contribution as the scalar engine,
                 // wrapping-summed: the pool checksum is order-insensitive,
@@ -178,11 +212,11 @@ impl Kernel for BswKernel {
     fn characterize_task(&self, i: usize, probe: &mut CacheProbe) {
         match self.engine {
             DpEngine::Scalar => {
-                let t = &self.tasks[i];
+                let t = &self.tasks()[i];
                 let _ = banded_sw_probed(&t.query, &t.target, &self.params, probe);
             }
             DpEngine::Simd => {
-                let group = &self.tasks[self.groups[i].clone()];
+                let group = &self.tasks()[self.groups[i].clone()];
                 let _ = simd_group_probed(group, &self.params, probe);
             }
         }
@@ -191,8 +225,8 @@ impl Kernel for BswKernel {
     fn task_work(&self, i: usize) -> u64 {
         let cells = |t: &SwTask| banded_sw(&t.query, &t.target, &self.params).cells;
         match self.engine {
-            DpEngine::Scalar => cells(&self.tasks[i]),
-            DpEngine::Simd => self.tasks[self.groups[i].clone()].iter().map(cells).sum(),
+            DpEngine::Scalar => cells(&self.tasks()[i]),
+            DpEngine::Simd => self.tasks()[self.groups[i].clone()].iter().map(cells).sum(),
         }
     }
 
@@ -201,15 +235,10 @@ impl Kernel for BswKernel {
             return Vec::new();
         }
         // Slot-efficiency delta of length-sorted batch scheduling, wired
-        // into metrics/manifests so `compare` can track it. `tasks` is
-        // already length-sorted here, so the unsorted baseline replays the
-        // engine over the pairs in generation order.
-        let original: Vec<SwTask> = self
-            .unsorted_order
-            .iter()
-            .map(|&i| self.tasks[i].clone())
-            .collect();
-        let (_, unsorted) = run_simd(&original, &self.params, false);
+        // into metrics/manifests so `compare` can track it. The substrate
+        // keeps the pairs in generation order, so it *is* the unsorted
+        // baseline the scalar engine would have grouped.
+        let (_, unsorted) = run_simd(&self.sub.tasks, &self.params, false);
         let sorted = self.simd_report(true);
         vec![
             (
@@ -231,7 +260,7 @@ impl Kernel for BswKernel {
 impl std::fmt::Debug for BswKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BswKernel")
-            .field("pairs", &self.tasks.len())
+            .field("pairs", &self.sub.tasks.len())
             .field("engine", &self.engine.name())
             .finish()
     }

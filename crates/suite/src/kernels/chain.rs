@@ -5,17 +5,50 @@ use crate::dataset::{seeds, DatasetSize};
 use gb_datagen::anchors::{synthetic_anchor_sets, AnchorSet, AnchorSimConfig};
 use gb_dp::chain::{chain_anchors, chain_anchors_probed, ChainParams};
 use gb_uarch::cache::CacheProbe;
+use std::sync::Arc;
+
+/// Deterministic build product of the chain prepare phase: the synthetic
+/// anchor sets.
+pub struct ChainSubstrate {
+    tasks: Vec<AnchorSet>,
+}
+
+impl gb_substrate::Codec for ChainSubstrate {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        gb_substrate::Codec::encode(&self.tasks, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<ChainSubstrate> {
+        Some(ChainSubstrate {
+            tasks: gb_substrate::Codec::decode(d)?,
+        })
+    }
+}
 
 /// Prepared chain workload: one anchor set per read pair.
 pub struct ChainKernel {
-    tasks: Vec<AnchorSet>,
+    sub: Arc<ChainSubstrate>,
     params: ChainParams,
 }
 
 impl ChainKernel {
+    /// Builds the substrate and instantiates it (cold prepare).
+    pub fn prepare(size: DatasetSize) -> ChainKernel {
+        ChainKernel::instantiate(Arc::new(ChainKernel::build_substrate(size)))
+    }
+
+    /// Wraps a (possibly cached, possibly shared) substrate into a
+    /// runnable kernel. Cheap: no data is copied.
+    pub fn instantiate(sub: Arc<ChainSubstrate>) -> ChainKernel {
+        ChainKernel {
+            sub,
+            params: ChainParams::default(),
+        }
+    }
+
     /// Synthesizes overlap tasks with long-tailed anchor counts (the
     /// paper's PacBio *C. elegans* all-vs-all workload shape).
-    pub fn prepare(size: DatasetSize) -> ChainKernel {
+    pub fn build_substrate(size: DatasetSize) -> ChainSubstrate {
         let num_pairs = match size {
             DatasetSize::Tiny => 20,
             DatasetSize::Small => 1_000,
@@ -26,9 +59,8 @@ impl ChainKernel {
             mean_anchors: 500,
             ..Default::default()
         };
-        ChainKernel {
+        ChainSubstrate {
             tasks: synthetic_anchor_sets(&cfg, seeds::ANCHORS),
-            params: ChainParams::default(),
         }
     }
 }
@@ -39,11 +71,11 @@ impl Kernel for ChainKernel {
     }
 
     fn num_tasks(&self) -> usize {
-        self.tasks.len()
+        self.sub.tasks.len()
     }
 
     fn run_task(&self, i: usize) -> u64 {
-        let r = chain_anchors(&self.tasks[i], &self.params);
+        let r = chain_anchors(&self.sub.tasks[i], &self.params);
         r.chains
             .iter()
             .map(|c| c.score as u64 ^ (c.len() as u64).rotate_left(13))
@@ -51,18 +83,18 @@ impl Kernel for ChainKernel {
     }
 
     fn characterize_task(&self, i: usize, probe: &mut CacheProbe) {
-        let _ = chain_anchors_probed(&self.tasks[i], &self.params, probe);
+        let _ = chain_anchors_probed(&self.sub.tasks[i], &self.params, probe);
     }
 
     fn task_work(&self, i: usize) -> u64 {
-        self.tasks[i].len() as u64
+        self.sub.tasks[i].len() as u64
     }
 }
 
 impl std::fmt::Debug for ChainKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ChainKernel")
-            .field("pairs", &self.tasks.len())
+            .field("pairs", &self.sub.tasks.len())
             .finish()
     }
 }

@@ -8,18 +8,51 @@ use gb_core::region::RegionTask;
 use gb_datagen::genome::{Genome, GenomeConfig};
 use gb_datagen::regions::{build_region_tasks, RegionSimConfig};
 use gb_uarch::cache::CacheProbe;
+use std::sync::Arc;
+
+/// Deterministic build product of the dbg prepare phase: the simulated
+/// re-assembly windows with their aligned reads.
+pub struct DbgSubstrate {
+    tasks: Vec<RegionTask>,
+}
+
+impl gb_substrate::Codec for DbgSubstrate {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        gb_substrate::Codec::encode(&self.tasks, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<DbgSubstrate> {
+        Some(DbgSubstrate {
+            tasks: gb_substrate::Codec::decode(d)?,
+        })
+    }
+}
 
 /// Prepared dbg workload: one task per reference window with its aligned
 /// reads.
 pub struct DbgKernel {
-    tasks: Vec<RegionTask>,
+    sub: Arc<DbgSubstrate>,
     params: DbgParams,
 }
 
 impl DbgKernel {
+    /// Builds the substrate and instantiates it (cold prepare).
+    pub fn prepare(size: DatasetSize) -> DbgKernel {
+        DbgKernel::instantiate(Arc::new(DbgKernel::build_substrate(size)))
+    }
+
+    /// Wraps a (possibly cached, possibly shared) substrate into a
+    /// runnable kernel. Cheap: no data is copied.
+    pub fn instantiate(sub: Arc<DbgSubstrate>) -> DbgKernel {
+        DbgKernel {
+            sub,
+            params: DbgParams::default(),
+        }
+    }
+
     /// Simulates a diploid short-read sample over a reference and buckets
     /// it into 500-base re-assembly windows.
-    pub fn prepare(size: DatasetSize) -> DbgKernel {
+    pub fn build_substrate(size: DatasetSize) -> DbgSubstrate {
         let genome_len = match size {
             DatasetSize::Tiny => 20_000,
             DatasetSize::Small => 200_000,
@@ -33,9 +66,8 @@ impl DbgKernel {
             seeds::GENOME,
         );
         let workload = build_region_tasks(&genome, &RegionSimConfig::default(), seeds::REGIONS);
-        DbgKernel {
+        DbgSubstrate {
             tasks: workload.tasks,
-            params: DbgParams::default(),
         }
     }
 }
@@ -46,27 +78,27 @@ impl Kernel for DbgKernel {
     }
 
     fn num_tasks(&self) -> usize {
-        self.tasks.len()
+        self.sub.tasks.len()
     }
 
     fn run_task(&self, i: usize) -> u64 {
-        let r = assemble_region(&self.tasks[i], &self.params);
+        let r = assemble_region(&self.sub.tasks[i], &self.params);
         r.haplotypes.len() as u64 * 1000 + r.hash_lookups % 997 + u64::from(r.cycles_hit) * 7
     }
 
     fn characterize_task(&self, i: usize, probe: &mut CacheProbe) {
-        let _ = assemble_region_probed(&self.tasks[i], &self.params, probe);
+        let _ = assemble_region_probed(&self.sub.tasks[i], &self.params, probe);
     }
 
     fn task_work(&self, i: usize) -> u64 {
-        assemble_region(&self.tasks[i], &self.params).hash_lookups
+        assemble_region(&self.sub.tasks[i], &self.params).hash_lookups
     }
 }
 
 impl std::fmt::Debug for DbgKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DbgKernel")
-            .field("regions", &self.tasks.len())
+            .field("regions", &self.sub.tasks.len())
             .finish()
     }
 }
@@ -87,7 +119,7 @@ mod tests {
     fn some_region_produces_alternate_haplotypes() {
         let k = DbgKernel::prepare(DatasetSize::Tiny);
         let with_alts = (0..k.num_tasks())
-            .filter(|&i| assemble_region(&k.tasks[i], &k.params).haplotypes.len() > 1)
+            .filter(|&i| assemble_region(&k.sub.tasks[i], &k.params).haplotypes.len() > 1)
             .count();
         assert!(with_alts > 0, "no region assembled an alternate haplotype");
     }

@@ -10,21 +10,58 @@ use gb_fmi::bidir::BiIndex;
 use gb_fmi::smem::{collect_smems, collect_smems_probed, SmemConfig};
 use gb_uarch::cache::CacheProbe;
 use gb_uarch::probe::NullProbe;
+use std::sync::Arc;
+
+/// Deterministic build product of the fmi prepare phase: the
+/// bidirectional index and the simulated read set. Cacheable — rebuilding
+/// from `(size, seed)` or decoding a stored copy yields bit-identical
+/// contents.
+pub struct FmiSubstrate {
+    index: BiIndex,
+    reads: Vec<DnaSeq>,
+}
+
+impl gb_substrate::Codec for FmiSubstrate {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        gb_substrate::Codec::encode(&self.index, e);
+        gb_substrate::Codec::encode(&self.reads, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<FmiSubstrate> {
+        Some(FmiSubstrate {
+            index: gb_substrate::Codec::decode(d)?,
+            reads: gb_substrate::Codec::decode(d)?,
+        })
+    }
+}
 
 /// Prepared fmi workload: a bidirectional index plus reads to seed.
 pub struct FmiKernel {
-    index: BiIndex,
-    reads: Vec<DnaSeq>,
+    sub: Arc<FmiSubstrate>,
     config: SmemConfig,
 }
 
 impl FmiKernel {
+    /// Builds the substrate and instantiates it (cold prepare).
+    pub fn prepare(size: DatasetSize) -> FmiKernel {
+        FmiKernel::instantiate(Arc::new(FmiKernel::build_substrate(size)))
+    }
+
+    /// Wraps a (possibly cached, possibly shared) substrate into a
+    /// runnable kernel. Cheap: no data is copied.
+    pub fn instantiate(sub: Arc<FmiSubstrate>) -> FmiKernel {
+        FmiKernel {
+            sub,
+            config: SmemConfig::default(),
+        }
+    }
+
     /// Builds the index and simulates the read set.
     ///
     /// The reference is sized so the index working set exceeds the
     /// modelled LLC (as the paper's ~10 GB human FM-index dwarfs an 8 MB
     /// LLC), which is what makes the kernel memory-bound.
-    pub fn prepare(size: DatasetSize) -> FmiKernel {
+    pub fn build_substrate(size: DatasetSize) -> FmiSubstrate {
         let (genome_len, num_reads) = match size {
             DatasetSize::Tiny => (100_000, 50),
             DatasetSize::Small => (8_000_000, 2_000),
@@ -46,16 +83,12 @@ impl FmiKernel {
         .map(|r| r.record.seq)
         .collect();
         let index = BiIndex::build(&genome.concat());
-        FmiKernel {
-            index,
-            reads,
-            config: SmemConfig::default(),
-        }
+        FmiSubstrate { index, reads }
     }
 
     /// The index heap footprint in bytes.
     pub fn index_bytes(&self) -> usize {
-        self.index.heap_bytes()
+        self.sub.index.heap_bytes()
     }
 }
 
@@ -65,11 +98,11 @@ impl Kernel for FmiKernel {
     }
 
     fn num_tasks(&self) -> usize {
-        self.reads.len()
+        self.sub.reads.len()
     }
 
     fn run_task(&self, i: usize) -> u64 {
-        let smems = collect_smems(&self.index, &self.reads[i], &self.config);
+        let smems = collect_smems(&self.sub.index, &self.sub.reads[i], &self.config);
         smems
             .iter()
             .map(|m| (m.end - m.start) as u64 ^ u64::from(m.interval.s).rotate_left(17))
@@ -77,13 +110,18 @@ impl Kernel for FmiKernel {
     }
 
     fn characterize_task(&self, i: usize, probe: &mut CacheProbe) {
-        let _ = collect_smems_probed(&self.index, &self.reads[i], &self.config, probe);
+        let _ = collect_smems_probed(&self.sub.index, &self.sub.reads[i], &self.config, probe);
     }
 
     fn task_work(&self, i: usize) -> u64 {
         // Occ-table lookups: counted by a mix-only probe.
         let mut probe = gb_uarch::mix::MixProbe::new();
-        let _ = collect_smems_probed(&self.index, &self.reads[i], &self.config, &mut probe);
+        let _ = collect_smems_probed(
+            &self.sub.index,
+            &self.sub.reads[i],
+            &self.config,
+            &mut probe,
+        );
         probe.mix().loads
     }
 }
@@ -91,8 +129,8 @@ impl Kernel for FmiKernel {
 impl std::fmt::Debug for FmiKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FmiKernel")
-            .field("reads", &self.reads.len())
-            .field("index_bytes", &self.index.heap_bytes())
+            .field("reads", &self.sub.reads.len())
+            .field("index_bytes", &self.sub.index.heap_bytes())
             .finish()
     }
 }
@@ -100,7 +138,7 @@ impl std::fmt::Debug for FmiKernel {
 // Compile-time check that the uninstrumented path exists too; never called.
 #[allow(dead_code)]
 fn _assert_probe_compat(k: &FmiKernel) {
-    let _ = collect_smems_probed(&k.index, &k.reads[0], &k.config, &mut NullProbe);
+    let _ = collect_smems_probed(&k.sub.index, &k.sub.reads[0], &k.config, &mut NullProbe);
 }
 
 #[cfg(test)]

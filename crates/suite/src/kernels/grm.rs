@@ -8,27 +8,57 @@ use gb_datagen::genotypes::GenotypeMatrix;
 use gb_popgen::grm::{grm_from_z_probed, standardize};
 use gb_uarch::cache::CacheProbe;
 use gb_uarch::probe::{NullProbe, Probe};
+use std::sync::Arc;
 
 /// Rows per task stripe (tasks = output row blocks, the regular-compute
 /// parallel decomposition).
 const STRIPE: usize = 16;
 
-/// Prepared grm workload: the standardized genotype matrix.
-pub struct GrmKernel {
+/// Deterministic build product of the grm prepare phase: the
+/// standardized genotype matrix.
+pub struct GrmSubstrate {
     z: Matrix,
 }
 
+impl gb_substrate::Codec for GrmSubstrate {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        gb_substrate::Codec::encode(&self.z, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<GrmSubstrate> {
+        Some(GrmSubstrate {
+            z: gb_substrate::Codec::decode(d)?,
+        })
+    }
+}
+
+/// Prepared grm workload: the standardized genotype matrix.
+pub struct GrmKernel {
+    sub: Arc<GrmSubstrate>,
+}
+
 impl GrmKernel {
+    /// Builds the substrate and instantiates it (cold prepare).
+    pub fn prepare(size: DatasetSize) -> GrmKernel {
+        GrmKernel::instantiate(Arc::new(GrmKernel::build_substrate(size)))
+    }
+
+    /// Wraps a (possibly cached, possibly shared) substrate into a
+    /// runnable kernel. Cheap: no data is copied.
+    pub fn instantiate(sub: Arc<GrmSubstrate>) -> GrmKernel {
+        GrmKernel { sub }
+    }
+
     /// Generates the genotype matrix and standardizes it once (as PLINK
     /// does before the product).
-    pub fn prepare(size: DatasetSize) -> GrmKernel {
+    pub fn build_substrate(size: DatasetSize) -> GrmSubstrate {
         let (individuals, markers) = match size {
             DatasetSize::Tiny => (64, 500),
             DatasetSize::Small => (512, 4_000),
             DatasetSize::Large => (1_280, 12_000),
         };
         let geno = GenotypeMatrix::generate(individuals, markers, seeds::GENOTYPES);
-        GrmKernel {
+        GrmSubstrate {
             z: standardize(&geno),
         }
     }
@@ -37,15 +67,15 @@ impl GrmKernel {
         // Blocked loop order (j outer, stripe rows inner): each zj row is
         // streamed from memory once per stripe and reused from L1 across
         // the stripe's rows, the way PLINK's tiled product behaves.
-        let (n, s) = self.z.shape();
+        let (n, s) = self.sub.z.shape();
         let lo = stripe * STRIPE;
         let hi = (lo + STRIPE).min(n);
         let inv_s = 1.0 / s as f32;
         let mut acc = 0u64;
         for j in lo..n {
-            let zj = self.z.row(j);
+            let zj = self.sub.z.row(j);
             for i in lo..hi.min(j + 1) {
-                let zi = self.z.row(i);
+                let zi = self.sub.z.row(i);
                 let mut dot = 0.0f32;
                 for k in 0..s {
                     dot += zi[k] * zj[k];
@@ -74,7 +104,7 @@ impl Kernel for GrmKernel {
     }
 
     fn num_tasks(&self) -> usize {
-        self.z.rows().div_ceil(STRIPE)
+        self.sub.z.rows().div_ceil(STRIPE)
     }
 
     fn run_task(&self, i: usize) -> u64 {
@@ -86,7 +116,7 @@ impl Kernel for GrmKernel {
     }
 
     fn task_work(&self, i: usize) -> u64 {
-        let (n, s) = self.z.shape();
+        let (n, s) = self.sub.z.shape();
         let lo = i * STRIPE;
         let hi = (lo + STRIPE).min(n);
         ((lo..hi).map(|r| n - r).sum::<usize>() * s) as u64
@@ -95,15 +125,15 @@ impl Kernel for GrmKernel {
 
 impl GrmKernel {
     fn stripe_product_timed(&self, stripe: usize) -> u64 {
-        let (n, s) = self.z.shape();
+        let (n, s) = self.sub.z.shape();
         let lo = stripe * STRIPE;
         let hi = (lo + STRIPE).min(n);
         let inv_s = 1.0 / s as f32;
         let mut acc = 0u64;
         for i in lo..hi {
-            let zi = self.z.row(i);
+            let zi = self.sub.z.row(i);
             for j in i..n {
-                let zj = self.z.row(j);
+                let zj = self.sub.z.row(j);
                 let mut dot = 0.0f32;
                 for k in 0..s {
                     dot += zi[k] * zj[k];
@@ -116,13 +146,13 @@ impl GrmKernel {
 
     /// Full-matrix reference using the library kernel (validation).
     pub fn full_grm(&self) -> Matrix {
-        grm_from_z_probed(&self.z, 32, &mut NullProbe)
+        grm_from_z_probed(&self.sub.z, 32, &mut NullProbe)
     }
 }
 
 impl std::fmt::Debug for GrmKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let (n, s) = self.z.shape();
+        let (n, s) = self.sub.z.shape();
         f.debug_struct("GrmKernel")
             .field("individuals", &n)
             .field("markers", &s)
@@ -149,7 +179,7 @@ mod tests {
         // Sum of stripe checksums must reflect every (i, j>=i) pair: the
         // stripe work adds up to the upper triangle.
         let total_work: u64 = (0..k.num_tasks()).map(|i| k.task_work(i)).sum();
-        let (n, s) = k.z.shape();
+        let (n, s) = k.sub.z.shape();
         assert_eq!(total_work, (n * (n + 1) / 2 * s) as u64);
         assert_eq!(g.shape(), (n, n));
     }

@@ -8,6 +8,25 @@ use gb_core::seq::DnaSeq;
 use gb_datagen::genome::{Genome, GenomeConfig};
 use gb_datagen::reads::{simulate_reads, ReadSimConfig};
 use gb_uarch::cache::CacheProbe;
+use std::sync::Arc;
+
+/// Deterministic build product of the kmer-cnt prepare phase: the
+/// simulated long reads, pre-split into counting shards.
+pub struct KmerCntSubstrate {
+    shards: Vec<Vec<DnaSeq>>,
+}
+
+impl gb_substrate::Codec for KmerCntSubstrate {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        gb_substrate::Codec::encode(&self.shards, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<KmerCntSubstrate> {
+        Some(KmerCntSubstrate {
+            shards: gb_substrate::Codec::decode(d)?,
+        })
+    }
+}
 
 /// Prepared kmer-cnt workload: long reads split into counting shards.
 ///
@@ -15,13 +34,27 @@ use gb_uarch::cache::CacheProbe;
 /// multithreaded counters use); shards are sized so the table working set
 /// exceeds the modelled LLC, as the paper's ~8 GB table does.
 pub struct KmerCntKernel {
-    shards: Vec<Vec<DnaSeq>>,
+    sub: Arc<KmerCntSubstrate>,
     params: KmerCountParams,
 }
 
 impl KmerCntKernel {
-    /// Simulates a long-read set and splits it into per-task shards.
+    /// Builds the substrate and instantiates it (cold prepare).
     pub fn prepare(size: DatasetSize) -> KmerCntKernel {
+        KmerCntKernel::instantiate(Arc::new(KmerCntKernel::build_substrate(size)))
+    }
+
+    /// Wraps a (possibly cached, possibly shared) substrate into a
+    /// runnable kernel. Cheap: no data is copied.
+    pub fn instantiate(sub: Arc<KmerCntSubstrate>) -> KmerCntKernel {
+        KmerCntKernel {
+            sub,
+            params: KmerCountParams::default(),
+        }
+    }
+
+    /// Simulates a long-read set and splits it into per-task shards.
+    pub fn build_substrate(size: DatasetSize) -> KmerCntSubstrate {
         let (total_bases, shard_bases) = match size {
             DatasetSize::Tiny => (400_000usize, 200_000usize),
             DatasetSize::Small => (16_000_000, 2_000_000),
@@ -53,10 +86,7 @@ impl KmerCntKernel {
         if !cur.is_empty() {
             shards.push(cur);
         }
-        KmerCntKernel {
-            shards,
-            params: KmerCountParams::default(),
-        }
+        KmerCntSubstrate { shards }
     }
 
     /// The counting parameters (exposed for the ablation benches).
@@ -66,7 +96,7 @@ impl KmerCntKernel {
 
     /// The read shards (exposed for the ablation benches).
     pub fn shards(&self) -> &[Vec<DnaSeq>] {
-        &self.shards
+        &self.sub.shards
     }
 }
 
@@ -76,20 +106,20 @@ impl Kernel for KmerCntKernel {
     }
 
     fn num_tasks(&self) -> usize {
-        self.shards.len()
+        self.sub.shards.len()
     }
 
     fn run_task(&self, i: usize) -> u64 {
-        let (table, stats) = count_kmers(&self.shards[i], &self.params);
+        let (table, stats) = count_kmers(&self.sub.shards[i], &self.params);
         stats.kmers_processed.wrapping_add(table.len() as u64)
     }
 
     fn characterize_task(&self, i: usize, probe: &mut CacheProbe) {
-        let _ = count_kmers_probed(&self.shards[i], &self.params, probe);
+        let _ = count_kmers_probed(&self.sub.shards[i], &self.params, probe);
     }
 
     fn task_work(&self, i: usize) -> u64 {
-        self.shards[i]
+        self.sub.shards[i]
             .iter()
             .map(|r| r.len().saturating_sub(self.params.k - 1) as u64)
             .sum()
@@ -99,7 +129,7 @@ impl Kernel for KmerCntKernel {
 impl std::fmt::Debug for KmerCntKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("KmerCntKernel")
-            .field("shards", &self.shards.len())
+            .field("shards", &self.sub.shards.len())
             .finish()
     }
 }
@@ -120,7 +150,7 @@ mod tests {
     fn shard_tables_exceed_llc_at_small() {
         // The characterization depends on the table busting the 8 MB LLC.
         let k = KmerCntKernel::prepare(DatasetSize::Small);
-        let (table, _) = count_kmers(&k.shards[0], &k.params);
+        let (table, _) = count_kmers(&k.sub.shards[0], &k.params);
         assert!(
             table.heap_bytes() > 8 << 20,
             "table only {} bytes",

@@ -24,6 +24,7 @@ use crate::dataset::DatasetSize;
 use crate::pool::{run_dynamic, run_dynamic_instrumented};
 pub use gb_dp::DpEngine;
 use gb_obs::{Recorder, TaskStats};
+use gb_substrate::{CacheOutcome, SubstrateCache, SubstrateKey};
 use gb_uarch::cache::CacheProbe;
 use gb_uarch::mix::InstructionMix;
 use gb_uarch::topdown::{CoreModel, TopDownReport};
@@ -295,6 +296,230 @@ pub fn prepare_dp(id: KernelId, size: DatasetSize, engine: DpEngine) -> Box<dyn 
     }
 }
 
+/// The substrate seed for `id`: a fold of the dataset seeds the kernel's
+/// build actually draws from (see each kernel's `build_substrate`). Part
+/// of the cache key, so regenerating a dataset stream invalidates exactly
+/// the substrates built from it.
+pub fn substrate_seed(id: KernelId) -> u64 {
+    use crate::dataset::seeds;
+    match id {
+        KernelId::Fmi => seeds::GENOME ^ seeds::SHORT_READS,
+        KernelId::Bsw => seeds::GENOME ^ (seeds::SHORT_READS ^ 0xB5),
+        KernelId::Dbg => seeds::GENOME ^ seeds::REGIONS,
+        KernelId::Phmm => seeds::GENOME ^ (seeds::REGIONS ^ 0x9A),
+        KernelId::Chain => seeds::ANCHORS,
+        KernelId::Spoa => seeds::GENOME ^ (seeds::LONG_READS ^ 0x50A),
+        KernelId::Abea => seeds::GENOME ^ seeds::SIGNALS,
+        KernelId::KmerCnt => seeds::GENOME ^ seeds::LONG_READS,
+        KernelId::Grm => seeds::GENOTYPES,
+        KernelId::Pileup => seeds::GENOME ^ seeds::LONG_READS,
+        KernelId::NnBase => seeds::WEIGHTS ^ seeds::GENOME ^ (seeds::SIGNALS ^ 0xBA5E),
+        KernelId::NnVariant => {
+            seeds::GENOME ^ (seeds::LONG_READS ^ 0xC1A1) ^ (seeds::WEIGHTS ^ 0xC1)
+        }
+    }
+}
+
+/// The cache key for `id`'s substrate at `size`: kernel name, tier name,
+/// the folded dataset seeds, and the substrate schema version.
+pub fn substrate_key(id: KernelId, size: DatasetSize) -> SubstrateKey {
+    SubstrateKey::new(id.name(), size.name(), substrate_seed(id))
+}
+
+/// How a kernel's prepare phase went: its wall time and whether the
+/// substrate came out of the cache (memo or disk) rather than a cold
+/// build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrepareStats {
+    /// Wall-clock time of the whole prepare (cache probe + build or load
+    /// + instantiate).
+    pub wall: Duration,
+    /// Whether the substrate was served from the cache.
+    pub cache_hit: bool,
+}
+
+/// Like [`prepare_dp`], but routes the expensive substrate build through
+/// `cache` and reports how the prepare went. With a disabled cache this
+/// is exactly a cold [`prepare_dp`].
+pub fn prepare_cached(
+    id: KernelId,
+    size: DatasetSize,
+    engine: DpEngine,
+    cache: &SubstrateCache,
+) -> (Box<dyn Kernel>, PrepareStats) {
+    let start = std::time::Instant::now();
+    let key = substrate_key(id, size);
+    let (kernel, outcome): (Box<dyn Kernel>, CacheOutcome) = match id {
+        KernelId::Fmi => {
+            let (sub, o) = cache.get_or_build(&key, || fmi::FmiKernel::build_substrate(size));
+            (Box::new(fmi::FmiKernel::instantiate(sub)), o)
+        }
+        KernelId::Bsw => {
+            let (sub, o) = cache.get_or_build(&key, || bsw::BswKernel::build_substrate(size));
+            (Box::new(bsw::BswKernel::instantiate(sub, engine)), o)
+        }
+        KernelId::Dbg => {
+            let (sub, o) = cache.get_or_build(&key, || dbg::DbgKernel::build_substrate(size));
+            (Box::new(dbg::DbgKernel::instantiate(sub)), o)
+        }
+        KernelId::Phmm => {
+            let (sub, o) = cache.get_or_build(&key, || phmm::PhmmKernel::build_substrate(size));
+            (Box::new(phmm::PhmmKernel::instantiate(sub, engine)), o)
+        }
+        KernelId::Chain => {
+            let (sub, o) = cache.get_or_build(&key, || chain::ChainKernel::build_substrate(size));
+            (Box::new(chain::ChainKernel::instantiate(sub)), o)
+        }
+        KernelId::Spoa => {
+            let (sub, o) = cache.get_or_build(&key, || spoa::SpoaKernel::build_substrate(size));
+            (Box::new(spoa::SpoaKernel::instantiate(sub, engine)), o)
+        }
+        KernelId::Abea => {
+            let (sub, o) = cache.get_or_build(&key, || abea::AbeaKernel::build_substrate(size));
+            (Box::new(abea::AbeaKernel::instantiate(sub, engine)), o)
+        }
+        KernelId::KmerCnt => {
+            let (sub, o) =
+                cache.get_or_build(&key, || kmercnt::KmerCntKernel::build_substrate(size));
+            (Box::new(kmercnt::KmerCntKernel::instantiate(sub)), o)
+        }
+        KernelId::Grm => {
+            let (sub, o) = cache.get_or_build(&key, || grm::GrmKernel::build_substrate(size));
+            (Box::new(grm::GrmKernel::instantiate(sub)), o)
+        }
+        KernelId::Pileup => {
+            let (sub, o) = cache.get_or_build(&key, || pileup::PileupKernel::build_substrate(size));
+            (Box::new(pileup::PileupKernel::instantiate(sub)), o)
+        }
+        KernelId::NnBase => {
+            let (sub, o) = cache.get_or_build(&key, || nnbase::NnBaseKernel::build_substrate(size));
+            (Box::new(nnbase::NnBaseKernel::instantiate(sub)), o)
+        }
+        KernelId::NnVariant => {
+            let (sub, o) =
+                cache.get_or_build(&key, || nnvariant::NnVariantKernel::build_substrate(size));
+            (Box::new(nnvariant::NnVariantKernel::instantiate(sub)), o)
+        }
+    };
+    (
+        kernel,
+        PrepareStats {
+            wall: start.elapsed(),
+            cache_hit: outcome.is_hit(),
+        },
+    )
+}
+
+/// Result of warming one kernel's substrate: whether it was already
+/// cached (memo or disk) and how long the build or load took. The wall
+/// time is the pool-measured per-kernel duration, so a run can attribute
+/// its prepare cost even when the warm pre-pass overlapped the builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmOutcome {
+    /// The kernel whose substrate was warmed.
+    pub id: KernelId,
+    /// Whether the substrate was served from the cache.
+    pub cache_hit: bool,
+    /// Wall time of this kernel's build or load inside the pool.
+    pub wall: Duration,
+}
+
+/// Populates `cache` with the substrates for `ids`, building cold ones in
+/// parallel over the suite's dynamic worker pool, and reports per-kernel
+/// outcomes. A no-op returning no outcomes when the cache is disabled
+/// (there would be nowhere to keep the results). After this,
+/// [`prepare_cached`] for any of `ids` is a memo hit plus a cheap
+/// instantiate.
+pub fn warm_substrates(
+    ids: &[KernelId],
+    size: DatasetSize,
+    cache: &SubstrateCache,
+    threads: usize,
+) -> Vec<WarmOutcome> {
+    if !cache.is_enabled() || ids.is_empty() {
+        return Vec::new();
+    }
+    let outcomes = std::sync::Mutex::new(Vec::with_capacity(ids.len()));
+    let _ = run_dynamic(ids.len(), threads, |i| {
+        let id = ids[i];
+        let key = substrate_key(id, size);
+        let start = std::time::Instant::now();
+        let outcome = match id {
+            KernelId::Fmi => {
+                cache
+                    .get_or_build(&key, || fmi::FmiKernel::build_substrate(size))
+                    .1
+            }
+            KernelId::Bsw => {
+                cache
+                    .get_or_build(&key, || bsw::BswKernel::build_substrate(size))
+                    .1
+            }
+            KernelId::Dbg => {
+                cache
+                    .get_or_build(&key, || dbg::DbgKernel::build_substrate(size))
+                    .1
+            }
+            KernelId::Phmm => {
+                cache
+                    .get_or_build(&key, || phmm::PhmmKernel::build_substrate(size))
+                    .1
+            }
+            KernelId::Chain => {
+                cache
+                    .get_or_build(&key, || chain::ChainKernel::build_substrate(size))
+                    .1
+            }
+            KernelId::Spoa => {
+                cache
+                    .get_or_build(&key, || spoa::SpoaKernel::build_substrate(size))
+                    .1
+            }
+            KernelId::Abea => {
+                cache
+                    .get_or_build(&key, || abea::AbeaKernel::build_substrate(size))
+                    .1
+            }
+            KernelId::KmerCnt => {
+                cache
+                    .get_or_build(&key, || kmercnt::KmerCntKernel::build_substrate(size))
+                    .1
+            }
+            KernelId::Grm => {
+                cache
+                    .get_or_build(&key, || grm::GrmKernel::build_substrate(size))
+                    .1
+            }
+            KernelId::Pileup => {
+                cache
+                    .get_or_build(&key, || pileup::PileupKernel::build_substrate(size))
+                    .1
+            }
+            KernelId::NnBase => {
+                cache
+                    .get_or_build(&key, || nnbase::NnBaseKernel::build_substrate(size))
+                    .1
+            }
+            KernelId::NnVariant => {
+                cache
+                    .get_or_build(&key, || nnvariant::NnVariantKernel::build_substrate(size))
+                    .1
+            }
+        };
+        let hit = outcome.is_hit();
+        outcomes
+            .lock()
+            .expect("warm outcomes lock")
+            .push(WarmOutcome {
+                id,
+                cache_hit: hit,
+                wall: start.elapsed(),
+            });
+        hit as u64
+    });
+    outcomes.into_inner().expect("warm outcomes lock")
+}
+
 /// Runs every task serially.
 pub fn run_serial(kernel: &dyn Kernel) -> RunStats {
     run_parallel(kernel, 1)
@@ -486,6 +711,50 @@ mod tests {
         let total = total_work(kernel.as_ref());
         assert!(total > 0);
         assert_eq!(total as f64, d.mean * kernel.num_tasks() as f64);
+    }
+
+    #[test]
+    fn prepare_cached_is_cold_then_hot_and_checksum_stable() {
+        let cache = SubstrateCache::in_process();
+        let (k1, s1) = prepare_cached(KernelId::Chain, DatasetSize::Tiny, DpEngine::Scalar, &cache);
+        assert!(!s1.cache_hit, "first prepare must build");
+        let (k2, s2) = prepare_cached(KernelId::Chain, DatasetSize::Tiny, DpEngine::Scalar, &cache);
+        assert!(s2.cache_hit, "second prepare must hit the memo");
+        let cold = prepare(KernelId::Chain, DatasetSize::Tiny);
+        let want = run_serial(cold.as_ref()).checksum;
+        assert_eq!(run_serial(k1.as_ref()).checksum, want);
+        assert_eq!(run_serial(k2.as_ref()).checksum, want);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let cache = SubstrateCache::disabled();
+        for _ in 0..2 {
+            let (_, s) = prepare_cached(KernelId::Grm, DatasetSize::Tiny, DpEngine::Scalar, &cache);
+            assert!(!s.cache_hit);
+        }
+    }
+
+    #[test]
+    fn warm_substrates_turns_prepares_into_hits() {
+        let cache = SubstrateCache::in_process();
+        let ids = [KernelId::Chain, KernelId::Grm, KernelId::Dbg];
+        warm_substrates(&ids, DatasetSize::Tiny, &cache, 3);
+        for id in ids {
+            let (_, s) = prepare_cached(id, DatasetSize::Tiny, DpEngine::Scalar, &cache);
+            assert!(s.cache_hit, "{} should be warm", id.name());
+        }
+    }
+
+    #[test]
+    fn substrate_keys_are_distinct_across_kernels_and_tiers() {
+        let mut seen = std::collections::HashSet::new();
+        for id in KernelId::ALL {
+            for size in [DatasetSize::Tiny, DatasetSize::Small, DatasetSize::Large] {
+                assert!(seen.insert(substrate_key(id, size).canonical()));
+            }
+        }
+        assert_eq!(seen.len(), 36);
     }
 
     #[test]

@@ -10,17 +10,49 @@ use gb_simt::kernels::{bonito_like_layers, model_nn_base_gpu, GemmGpuParams};
 use gb_uarch::cache::CacheProbe;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
-/// Prepared nn-base workload: signal chunks ready for inference.
-pub struct NnBaseKernel {
+/// Deterministic build product of the nn-base prepare phase: the
+/// initialized network weights and the signal chunks to infer.
+pub struct NnBaseSubstrate {
     model: Basecaller,
     chunks: Vec<Vec<f32>>,
 }
 
+impl gb_substrate::Codec for NnBaseSubstrate {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        gb_substrate::Codec::encode(&self.model, e);
+        gb_substrate::Codec::encode(&self.chunks, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<NnBaseSubstrate> {
+        Some(NnBaseSubstrate {
+            model: gb_substrate::Codec::decode(d)?,
+            chunks: gb_substrate::Codec::decode(d)?,
+        })
+    }
+}
+
+/// Prepared nn-base workload: signal chunks ready for inference.
+pub struct NnBaseKernel {
+    sub: Arc<NnBaseSubstrate>,
+}
+
 impl NnBaseKernel {
+    /// Builds the substrate and instantiates it (cold prepare).
+    pub fn prepare(size: DatasetSize) -> NnBaseKernel {
+        NnBaseKernel::instantiate(Arc::new(NnBaseKernel::build_substrate(size)))
+    }
+
+    /// Wraps a (possibly cached, possibly shared) substrate into a
+    /// runnable kernel. Cheap: no data is copied.
+    pub fn instantiate(sub: Arc<NnBaseSubstrate>) -> NnBaseKernel {
+        NnBaseKernel { sub }
+    }
+
     /// Simulates raw nanopore signal and splits it into the model's
     /// 4,000-sample chunks.
-    pub fn prepare(size: DatasetSize) -> NnBaseKernel {
+    pub fn build_substrate(size: DatasetSize) -> NnBaseSubstrate {
         let num_chunks = match size {
             DatasetSize::Tiny => 2,
             DatasetSize::Small => 30,
@@ -50,12 +82,12 @@ impl NnBaseKernel {
             }
             chunks.push(raw_pool.drain(..config.chunk_size).collect());
         }
-        NnBaseKernel { model, chunks }
+        NnBaseSubstrate { model, chunks }
     }
 
     /// Runs the SIMT model of this network's layers (Tables IV–V).
     pub fn gpu_report(&self) -> GpuKernelReport {
-        let c = self.model.config();
+        let c = self.sub.model.config();
         let layers = bonito_like_layers(c.chunk_size, c.stride, c.channels, c.blocks, c.kernel);
         model_nn_base_gpu(
             &layers,
@@ -66,7 +98,7 @@ impl NnBaseKernel {
 
     /// Multiply-accumulates per chunk.
     pub fn flops_per_chunk(&self) -> u64 {
-        self.model.flops_per_chunk()
+        self.sub.model.flops_per_chunk()
     }
 }
 
@@ -76,13 +108,14 @@ impl Kernel for NnBaseKernel {
     }
 
     fn num_tasks(&self) -> usize {
-        self.chunks.len()
+        self.sub.chunks.len()
     }
 
     fn run_task(&self, i: usize) -> u64 {
         let posteriors = self
+            .sub
             .model
-            .forward_chunk_probed(&self.chunks[i], &mut gb_uarch::probe::NullProbe);
+            .forward_chunk_probed(&self.sub.chunks[i], &mut gb_uarch::probe::NullProbe);
         let decoded = gb_nn::ctc::greedy_decode(&posteriors);
         decoded
             .as_codes()
@@ -93,18 +126,21 @@ impl Kernel for NnBaseKernel {
     }
 
     fn characterize_task(&self, i: usize, probe: &mut CacheProbe) {
-        let _ = self.model.forward_chunk_probed(&self.chunks[i], probe);
+        let _ = self
+            .sub
+            .model
+            .forward_chunk_probed(&self.sub.chunks[i], probe);
     }
 
     fn task_work(&self, _i: usize) -> u64 {
-        self.model.flops_per_chunk()
+        self.sub.model.flops_per_chunk()
     }
 }
 
 impl std::fmt::Debug for NnBaseKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NnBaseKernel")
-            .field("chunks", &self.chunks.len())
+            .field("chunks", &self.sub.chunks.len())
             .finish()
     }
 }

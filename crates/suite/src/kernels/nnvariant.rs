@@ -11,19 +11,51 @@ use gb_nn::variant_caller::{VariantCaller, VariantCallerConfig};
 use gb_pileup::feature::{clair_tensor, ClairTensor};
 use gb_pileup::pileup::count_pileup;
 use gb_uarch::cache::CacheProbe;
+use std::sync::Arc;
 
-/// Prepared nn-variant workload: Clair tensors for candidate positions.
-pub struct NnVariantKernel {
+/// Deterministic build product of the nn-variant prepare phase: the
+/// initialized network weights and the candidate tensors.
+pub struct NnVariantSubstrate {
     model: VariantCaller,
     tensors: Vec<ClairTensor>,
 }
 
+impl gb_substrate::Codec for NnVariantSubstrate {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        gb_substrate::Codec::encode(&self.model, e);
+        gb_substrate::Codec::encode(&self.tensors, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<NnVariantSubstrate> {
+        Some(NnVariantSubstrate {
+            model: gb_substrate::Codec::decode(d)?,
+            tensors: gb_substrate::Codec::decode(d)?,
+        })
+    }
+}
+
+/// Prepared nn-variant workload: Clair tensors for candidate positions.
+pub struct NnVariantKernel {
+    sub: Arc<NnVariantSubstrate>,
+}
+
 impl NnVariantKernel {
+    /// Builds the substrate and instantiates it (cold prepare).
+    pub fn prepare(size: DatasetSize) -> NnVariantKernel {
+        NnVariantKernel::instantiate(Arc::new(NnVariantKernel::build_substrate(size)))
+    }
+
+    /// Wraps a (possibly cached, possibly shared) substrate into a
+    /// runnable kernel. Cheap: no data is copied.
+    pub fn instantiate(sub: Arc<NnVariantSubstrate>) -> NnVariantKernel {
+        NnVariantKernel { sub }
+    }
+
     /// Builds the full pre-processing chain: simulate long-read
     /// alignments, pileup-count them, and cut candidate tensors at
     /// regularly spaced reference positions (the paper's "first 10,000 /
     /// 500,000 reference positions" datasets).
-    pub fn prepare(size: DatasetSize) -> NnVariantKernel {
+    pub fn build_substrate(size: DatasetSize) -> NnVariantSubstrate {
         let num_candidates = match size {
             DatasetSize::Tiny => 5,
             DatasetSize::Small => 150,
@@ -58,12 +90,12 @@ impl NnVariantKernel {
             .map(|i| clair_tensor(&pile, &contig, 100 + i * step))
             .collect();
         let model = VariantCaller::new(&VariantCallerConfig::default(), seeds::WEIGHTS ^ 0xC1);
-        NnVariantKernel { model, tensors }
+        NnVariantSubstrate { model, tensors }
     }
 
     /// Multiply-accumulates per call.
     pub fn flops_per_call(&self) -> u64 {
-        self.model.flops_per_call()
+        self.sub.model.flops_per_call()
     }
 }
 
@@ -73,11 +105,11 @@ impl Kernel for NnVariantKernel {
     }
 
     fn num_tasks(&self) -> usize {
-        self.tensors.len()
+        self.sub.tensors.len()
     }
 
     fn run_task(&self, i: usize) -> u64 {
-        let call = self.model.call(&self.tensors[i]);
+        let call = self.sub.model.call(&self.sub.tensors[i]);
         call.zygosity_probs
             .iter()
             .chain(&call.type_probs)
@@ -88,18 +120,18 @@ impl Kernel for NnVariantKernel {
     }
 
     fn characterize_task(&self, i: usize, probe: &mut CacheProbe) {
-        let _ = self.model.call_probed(&self.tensors[i], probe);
+        let _ = self.sub.model.call_probed(&self.sub.tensors[i], probe);
     }
 
     fn task_work(&self, _i: usize) -> u64 {
-        self.model.flops_per_call()
+        self.sub.model.flops_per_call()
     }
 }
 
 impl std::fmt::Debug for NnVariantKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NnVariantKernel")
-            .field("candidates", &self.tensors.len())
+            .field("candidates", &self.sub.tensors.len())
             .finish()
     }
 }
@@ -120,6 +152,7 @@ mod tests {
     fn tensors_are_populated() {
         let k = NnVariantKernel::prepare(DatasetSize::Tiny);
         let nonzero = k
+            .sub
             .tensors
             .iter()
             .filter(|t| t.data.iter().any(|&v| v != 0.0))

@@ -20,6 +20,7 @@ use gb_dp::phmm::{forward_likelihood, forward_likelihood_probed, HmmParams};
 use gb_dp::phmm_wavefront::{wavefront_likelihood, wavefront_likelihood_probed};
 use gb_dp::DpEngine;
 use gb_uarch::cache::CacheProbe;
+use std::sync::Arc;
 
 /// One phmm task: a genome region's reads evaluated against its candidate
 /// haplotypes (`|R| x |H|` pairwise likelihoods, paper §III).
@@ -28,9 +29,46 @@ pub struct PhmmTask {
     haplotypes: Vec<DnaSeq>,
 }
 
+impl gb_substrate::Codec for PhmmTask {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        gb_substrate::Codec::encode(&self.reads, e);
+        gb_substrate::Codec::encode(&self.haplotypes, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<PhmmTask> {
+        Some(PhmmTask {
+            reads: gb_substrate::Codec::decode(d)?,
+            haplotypes: gb_substrate::Codec::decode(d)?,
+        })
+    }
+}
+
+/// Deterministic build product of the phmm prepare phase: the assembled
+/// region tasks in generation order. Engine-independent — the SIMD
+/// engine's LPT ordering is a per-run permutation, applied at
+/// instantiation.
+pub struct PhmmSubstrate {
+    tasks: Vec<PhmmTask>,
+}
+
+impl gb_substrate::Codec for PhmmSubstrate {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        gb_substrate::Codec::encode(&self.tasks, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<PhmmSubstrate> {
+        Some(PhmmSubstrate {
+            tasks: gb_substrate::Codec::decode(d)?,
+        })
+    }
+}
+
 /// Prepared phmm workload.
 pub struct PhmmKernel {
-    tasks: Vec<PhmmTask>,
+    sub: Arc<PhmmSubstrate>,
+    /// Task issue order: pool task `i` runs substrate task `order[i]`
+    /// (identity for the scalar engine, LPT for SIMD).
+    order: Vec<usize>,
     params: HmmParams,
     engine: DpEngine,
 }
@@ -41,10 +79,45 @@ impl PhmmKernel {
         PhmmKernel::prepare_with(size, DpEngine::Scalar)
     }
 
+    /// Builds the substrate and instantiates it (cold prepare).
+    pub fn prepare_with(size: DatasetSize, engine: DpEngine) -> PhmmKernel {
+        PhmmKernel::instantiate(Arc::new(PhmmKernel::build_substrate(size)), engine)
+    }
+
+    /// The region task the pool's task `i` executes.
+    fn task(&self, i: usize) -> &PhmmTask {
+        &self.sub.tasks[self.order[i]]
+    }
+
+    /// Wraps a (possibly cached, possibly shared) substrate into a
+    /// runnable kernel. The SIMD engine derives its
+    /// longest-processing-time-first issue order here: phmm has the
+    /// paper's worst per-region imbalance (Fig. 4), so issuing the
+    /// heaviest regions first stops one of them landing last and
+    /// stretching the pool's tail. Checksums are order-insensitive, so
+    /// the permutation cannot change results.
+    pub fn instantiate(sub: Arc<PhmmSubstrate>, engine: DpEngine) -> PhmmKernel {
+        let mut order: Vec<usize> = (0..sub.tasks.len()).collect();
+        if engine == DpEngine::Simd {
+            order.sort_by_key(|&i| {
+                let t = &sub.tasks[i];
+                let reads: u64 = t.reads.iter().map(|r| r.len() as u64).sum();
+                let haps: u64 = t.haplotypes.iter().map(|h| h.len() as u64).sum();
+                std::cmp::Reverse(reads.wrapping_mul(haps))
+            });
+        }
+        PhmmKernel {
+            sub,
+            order,
+            params: HmmParams::default(),
+            engine,
+        }
+    }
+
     /// Builds the realistic GATK front-to-back input: regions are
     /// simulated, re-assembled with the dbg kernel, and the resulting
     /// haplotypes paired with the region's reads.
-    pub fn prepare_with(size: DatasetSize, engine: DpEngine) -> PhmmKernel {
+    pub fn build_substrate(size: DatasetSize) -> PhmmSubstrate {
         let genome_len = match size {
             DatasetSize::Tiny => 4_000,
             DatasetSize::Small => 24_000,
@@ -73,7 +146,7 @@ impl PhmmKernel {
             max_haplotypes: 4,
             ..DbgParams::default()
         };
-        let mut tasks: Vec<PhmmTask> = workload
+        let tasks: Vec<PhmmTask> = workload
             .tasks
             .into_iter()
             .filter(|t| !t.reads.is_empty())
@@ -83,23 +156,7 @@ impl PhmmKernel {
                 PhmmTask { reads, haplotypes }
             })
             .collect();
-        if engine == DpEngine::Simd {
-            // Longest-processing-time-first ordering: phmm has the
-            // paper's worst per-region imbalance (Fig. 4), so issuing the
-            // heaviest regions first stops one of them landing last and
-            // stretching the pool's tail. Checksums are order-insensitive,
-            // so this cannot change results.
-            tasks.sort_by_key(|t| {
-                let reads: u64 = t.reads.iter().map(|r| r.len() as u64).sum();
-                let haps: u64 = t.haplotypes.iter().map(|h| h.len() as u64).sum();
-                std::cmp::Reverse(reads.wrapping_mul(haps))
-            });
-        }
-        PhmmKernel {
-            tasks,
-            params: HmmParams::default(),
-            engine,
-        }
+        PhmmSubstrate { tasks }
     }
 }
 
@@ -109,11 +166,11 @@ impl Kernel for PhmmKernel {
     }
 
     fn num_tasks(&self) -> usize {
-        self.tasks.len()
+        self.sub.tasks.len()
     }
 
     fn run_task(&self, i: usize) -> u64 {
-        let t = &self.tasks[i];
+        let t = self.task(i);
         let mut acc = 0u64;
         for read in &t.reads {
             for hap in &t.haplotypes {
@@ -131,7 +188,7 @@ impl Kernel for PhmmKernel {
     }
 
     fn characterize_task(&self, i: usize, probe: &mut CacheProbe) {
-        let t = &self.tasks[i];
+        let t = self.task(i);
         for read in &t.reads {
             for hap in &t.haplotypes {
                 match self.engine {
@@ -147,7 +204,7 @@ impl Kernel for PhmmKernel {
     }
 
     fn task_work(&self, i: usize) -> u64 {
-        let t = &self.tasks[i];
+        let t = self.task(i);
         t.reads
             .iter()
             .map(|r| r.len() as u64)
@@ -159,7 +216,7 @@ impl Kernel for PhmmKernel {
 impl std::fmt::Debug for PhmmKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PhmmKernel")
-            .field("regions", &self.tasks.len())
+            .field("regions", &self.sub.tasks.len())
             .field("engine", &self.engine.name())
             .finish()
     }

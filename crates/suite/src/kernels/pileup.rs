@@ -9,20 +9,50 @@ use gb_datagen::genome::{Genome, GenomeConfig};
 use gb_datagen::reads::{simulate_reads, ReadSimConfig};
 use gb_pileup::pileup::{count_pileup, count_pileup_probed};
 use gb_uarch::cache::CacheProbe;
+use std::sync::Arc;
 
 /// Region width per task (the paper's 100-kilobase Medaka windows,
 /// scaled to the synthetic genome).
 const REGION_LEN: usize = 100_000;
 
-/// Prepared pileup workload: alignments bucketed into fixed windows.
-pub struct PileupKernel {
+/// Deterministic build product of the pileup prepare phase: the
+/// alignments bucketed into 100-kb counting regions.
+pub struct PileupSubstrate {
     tasks: Vec<RegionTask>,
 }
 
+impl gb_substrate::Codec for PileupSubstrate {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        gb_substrate::Codec::encode(&self.tasks, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<PileupSubstrate> {
+        Some(PileupSubstrate {
+            tasks: gb_substrate::Codec::decode(d)?,
+        })
+    }
+}
+
+/// Prepared pileup workload: alignments bucketed into fixed windows.
+pub struct PileupKernel {
+    sub: Arc<PileupSubstrate>,
+}
+
 impl PileupKernel {
+    /// Builds the substrate and instantiates it (cold prepare).
+    pub fn prepare(size: DatasetSize) -> PileupKernel {
+        PileupKernel::instantiate(Arc::new(PileupKernel::build_substrate(size)))
+    }
+
+    /// Wraps a (possibly cached, possibly shared) substrate into a
+    /// runnable kernel. Cheap: no data is copied.
+    pub fn instantiate(sub: Arc<PileupSubstrate>) -> PileupKernel {
+        PileupKernel { sub }
+    }
+
     /// Simulates ONT-like long-read alignments across the genome and
     /// tiles them into 100-kb counting regions.
-    pub fn prepare(size: DatasetSize) -> PileupKernel {
+    pub fn build_substrate(size: DatasetSize) -> PileupSubstrate {
         let genome_len = match size {
             DatasetSize::Tiny => 120_000,
             DatasetSize::Small => 1_200_000,
@@ -62,12 +92,12 @@ impl PileupKernel {
                 }
             })
             .collect();
-        PileupKernel { tasks }
+        PileupSubstrate { tasks }
     }
 
     /// The region tasks (shared with the nn-variant front-end).
     pub fn tasks(&self) -> &[RegionTask] {
-        &self.tasks
+        &self.sub.tasks
     }
 }
 
@@ -77,29 +107,29 @@ impl Kernel for PileupKernel {
     }
 
     fn num_tasks(&self) -> usize {
-        self.tasks.len()
+        self.sub.tasks.len()
     }
 
     fn run_task(&self, i: usize) -> u64 {
-        let p = count_pileup(&self.tasks[i]);
+        let p = count_pileup(&self.sub.tasks[i]);
         p.counts.iter().step_by(97).fold(p.ops_walked, |acc, c| {
             acc.wrapping_mul(31).wrapping_add(u64::from(c.depth()))
         })
     }
 
     fn characterize_task(&self, i: usize, probe: &mut CacheProbe) {
-        let _ = count_pileup_probed(&self.tasks[i], probe);
+        let _ = count_pileup_probed(&self.sub.tasks[i], probe);
     }
 
     fn task_work(&self, i: usize) -> u64 {
-        count_pileup(&self.tasks[i]).ops_walked
+        count_pileup(&self.sub.tasks[i]).ops_walked
     }
 }
 
 impl std::fmt::Debug for PileupKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PileupKernel")
-            .field("regions", &self.tasks.len())
+            .field("regions", &self.sub.tasks.len())
             .finish()
     }
 }

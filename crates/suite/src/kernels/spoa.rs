@@ -21,11 +21,32 @@ use gb_poa::consensus::{window_consensus_engine, window_consensus_engine_probed}
 use gb_uarch::cache::CacheProbe;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Deterministic build product of the spoa prepare phase: the consensus
+/// windows (backbone first, then the noisy reads). Engine-independent —
+/// spoa vectorizes *within* each alignment, so both engines consume the
+/// same window set.
+pub struct SpoaSubstrate {
+    windows: Vec<Vec<DnaSeq>>,
+}
+
+impl gb_substrate::Codec for SpoaSubstrate {
+    fn encode(&self, e: &mut gb_substrate::Encoder) {
+        gb_substrate::Codec::encode(&self.windows, e);
+    }
+
+    fn decode(d: &mut gb_substrate::Decoder) -> Option<SpoaSubstrate> {
+        Some(SpoaSubstrate {
+            windows: gb_substrate::Codec::decode(d)?,
+        })
+    }
+}
 
 /// Prepared spoa workload: one consensus window per task (backbone +
 /// noisy long reads).
 pub struct SpoaKernel {
-    windows: Vec<Vec<DnaSeq>>,
+    sub: Arc<SpoaSubstrate>,
     params: PoaParams,
     engine: DpEngine,
 }
@@ -36,12 +57,27 @@ impl SpoaKernel {
         SpoaKernel::prepare_with(size, DpEngine::Scalar)
     }
 
+    /// Builds the substrate and instantiates it (cold prepare).
+    pub fn prepare_with(size: DatasetSize, engine: DpEngine) -> SpoaKernel {
+        SpoaKernel::instantiate(Arc::new(SpoaKernel::build_substrate(size)), engine)
+    }
+
+    /// Wraps a (possibly cached, possibly shared) substrate into a
+    /// runnable kernel. Cheap: no data is copied.
+    pub fn instantiate(sub: Arc<SpoaSubstrate>, engine: DpEngine) -> SpoaKernel {
+        SpoaKernel {
+            sub,
+            params: PoaParams::default(),
+            engine,
+        }
+    }
+
     /// Builds Racon-like windows: a 200-base backbone and ONT-noise reads
     /// covering it, with depth varying per window (the imbalance source).
     /// The window set is identical for both engines; spoa vectorizes
     /// *within* each alignment (read-dimension row sweeps), so the task
     /// shape is one window per task on either engine.
-    pub fn prepare_with(size: DatasetSize, engine: DpEngine) -> SpoaKernel {
+    pub fn build_substrate(size: DatasetSize) -> SpoaSubstrate {
         let num_windows = match size {
             DatasetSize::Tiny => 6,
             DatasetSize::Small => 120,
@@ -77,11 +113,7 @@ impl SpoaKernel {
                 reads
             })
             .collect();
-        SpoaKernel {
-            windows,
-            params: PoaParams::default(),
-            engine,
-        }
+        SpoaSubstrate { windows }
     }
 
     /// Replays every window on this kernel's engine and folds the
@@ -89,7 +121,7 @@ impl SpoaKernel {
     /// and the experiment reports).
     pub fn batch_report(&self) -> BatchReport {
         let mut total = BatchReport::default();
-        for w in &self.windows {
+        for w in &self.sub.windows {
             let (_, _, report) = window_consensus_engine(w, &self.params, self.engine);
             total.merge(&report);
         }
@@ -103,23 +135,24 @@ impl Kernel for SpoaKernel {
     }
 
     fn num_tasks(&self) -> usize {
-        self.windows.len()
+        self.sub.windows.len()
     }
 
     fn run_task(&self, i: usize) -> u64 {
         let (consensus, stats, _) =
-            window_consensus_engine(&self.windows[i], &self.params, self.engine);
+            window_consensus_engine(&self.sub.windows[i], &self.params, self.engine);
         consensus.as_codes().iter().fold(stats.cells, |acc, &c| {
             acc.wrapping_mul(5).wrapping_add(u64::from(c))
         })
     }
 
     fn characterize_task(&self, i: usize, probe: &mut CacheProbe) {
-        let _ = window_consensus_engine_probed(&self.windows[i], &self.params, self.engine, probe);
+        let _ =
+            window_consensus_engine_probed(&self.sub.windows[i], &self.params, self.engine, probe);
     }
 
     fn task_work(&self, i: usize) -> u64 {
-        window_consensus_engine(&self.windows[i], &self.params, self.engine)
+        window_consensus_engine(&self.sub.windows[i], &self.params, self.engine)
             .1
             .cells
     }
@@ -149,7 +182,7 @@ impl Kernel for SpoaKernel {
 impl std::fmt::Debug for SpoaKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SpoaKernel")
-            .field("windows", &self.windows.len())
+            .field("windows", &self.sub.windows.len())
             .field("engine", &self.engine.name())
             .finish()
     }
@@ -169,8 +202,8 @@ mod tests {
     #[test]
     fn consensus_recovers_backbone_closely() {
         let k = SpoaKernel::prepare(DatasetSize::Tiny);
-        let (consensus, _, _) = window_consensus_engine(&k.windows[0], &k.params, k.engine);
-        let backbone = &k.windows[0][0];
+        let (consensus, _, _) = window_consensus_engine(&k.sub.windows[0], &k.params, k.engine);
+        let backbone = &k.sub.windows[0][0];
         let len_diff = (consensus.len() as i64 - backbone.len() as i64).abs();
         assert!(len_diff < 20, "consensus length diff {len_diff}");
     }
@@ -180,7 +213,10 @@ mod tests {
         let scalar = SpoaKernel::prepare_with(DatasetSize::Tiny, DpEngine::Scalar);
         let simd = SpoaKernel::prepare_with(DatasetSize::Tiny, DpEngine::Simd);
         assert_eq!(scalar.num_tasks(), simd.num_tasks());
-        assert_eq!(run_serial(&scalar).checksum, run_parallel(&simd, 4).checksum);
+        assert_eq!(
+            run_serial(&scalar).checksum,
+            run_parallel(&simd, 4).checksum
+        );
     }
 
     #[test]

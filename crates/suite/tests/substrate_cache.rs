@@ -1,0 +1,199 @@
+//! End-to-end coverage for the warm substrate cache.
+//!
+//! Three properties the cache must never trade away for speed:
+//!
+//! 1. **Identity** — a kernel instantiated from a disk-loaded substrate
+//!    produces bit-identical checksums to one built cold, for every
+//!    kernel in the suite.
+//! 2. **CLI warm path** — two `genomicsbench run` invocations sharing a
+//!    `--substrate-cache` directory agree on every checksum, and the
+//!    second run's manifest records `cache_hit: true` with a smaller
+//!    prepare wall.
+//! 3. **Silent rebuild** — corrupt, truncated, or wrong-schema cache
+//!    entries are treated as misses: the run rebuilds, exits 0, and the
+//!    checksums still match. A broken cache may cost time, never
+//!    correctness and never an error exit.
+
+use gb_substrate::SubstrateCache;
+use gb_suite::kernels::{prepare_cached, run_serial, KernelId};
+use gb_suite::DatasetSize;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_genomicsbench"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gb_subcache_{tag}_{}", std::process::id()));
+    // Tests may rerun in one process tree; start from a clean slate so
+    // "cold" really is cold.
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Every kernel: build cold through one cache (which persists to disk),
+/// then reload through a *fresh* cache sharing only the store directory
+/// — so the second prepare cannot hit the in-process memo and must
+/// decode the on-disk payload. Checksums must be bit-identical.
+#[test]
+fn every_kernel_round_trips_through_the_disk_store() {
+    let dir = tmp_dir("roundtrip");
+    for id in KernelId::ALL {
+        let cold_cache = SubstrateCache::with_store(&dir).unwrap();
+        let (cold, s1) = prepare_cached(id, DatasetSize::Tiny, gb_dp::DpEngine::Simd, &cold_cache);
+        assert!(!s1.cache_hit, "{}: first prepare must build", id.name());
+
+        let warm_cache = SubstrateCache::with_store(&dir).unwrap();
+        let (warm, s2) = prepare_cached(id, DatasetSize::Tiny, gb_dp::DpEngine::Simd, &warm_cache);
+        assert!(
+            s2.cache_hit,
+            "{}: fresh cache over the same store must hit disk",
+            id.name()
+        );
+
+        assert_eq!(
+            run_serial(cold.as_ref()).checksum,
+            run_serial(warm.as_ref()).checksum,
+            "{}: disk round-trip changed the checksum",
+            id.name()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn run_with_cache(cache: &Path, manifest: &Path) -> Output {
+    bin()
+        .args(["run", "fmi,chain,grm", "--size", "tiny", "--threads", "2"])
+        .arg("--substrate-cache")
+        .arg(cache)
+        .arg("--manifest-out")
+        .arg(manifest)
+        .output()
+        .expect("spawn genomicsbench")
+}
+
+fn kernels_of(manifest: &Path) -> serde_json::Map<String, serde_json::Value> {
+    let v: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(manifest).unwrap()).unwrap();
+    v["kernels"].as_object().unwrap().clone()
+}
+
+#[test]
+fn cold_then_warm_cli_runs_are_bit_identical_and_warm_hits() {
+    let dir = tmp_dir("cli");
+    let (cold_m, warm_m) = (dir.join("cold.json"), dir.join("warm.json"));
+    let cache = dir.join("cache");
+
+    for (path, expect_hit) in [(&cold_m, false), (&warm_m, true)] {
+        let out = run_with_cache(&cache, path);
+        assert!(
+            out.status.success(),
+            "run failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        for (name, k) in kernels_of(path) {
+            assert_eq!(
+                k["cache_hit"].as_bool(),
+                Some(expect_hit),
+                "{name}: expected cache_hit={expect_hit} in {}",
+                path.display()
+            );
+            assert!(k["prepare_wall_ns"].as_u64().is_some(), "{name}");
+        }
+    }
+
+    let (cold, warm) = (kernels_of(&cold_m), kernels_of(&warm_m));
+    assert_eq!(cold.len(), 3);
+    for (name, ck) in &cold {
+        let wk = warm.get(name.as_str()).expect("kernel present in warm run");
+        assert_eq!(
+            ck["checksum"], wk["checksum"],
+            "{name}: warm run diverged from cold run"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_cache_entries_silently_rebuild() {
+    let dir = tmp_dir("corrupt");
+    let cache = dir.join("cache");
+    let out = run_with_cache(&cache, &dir.join("seed.json"));
+    assert!(out.status.success());
+
+    // Vandalize every entry a different way: truncate one, scribble
+    // over another, swap in garbage for the rest.
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&cache)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    entries.sort();
+    assert!(entries.len() >= 3, "expected one entry per kernel");
+    for (i, path) in entries.iter().enumerate() {
+        match i % 3 {
+            0 => {
+                let bytes = std::fs::read(path).unwrap();
+                std::fs::write(path, &bytes[..bytes.len() / 2]).unwrap();
+            }
+            1 => {
+                let mut bytes = std::fs::read(path).unwrap();
+                for b in bytes.iter_mut().skip(4).take(16) {
+                    *b ^= 0xFF;
+                }
+                std::fs::write(path, bytes).unwrap();
+            }
+            _ => std::fs::write(path, b"not a substrate").unwrap(),
+        }
+    }
+
+    let rebuilt = dir.join("rebuilt.json");
+    let out = run_with_cache(&cache, &rebuilt);
+    assert!(
+        out.status.success(),
+        "corrupt cache must not fail the run:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for (name, k) in kernels_of(&rebuilt) {
+        assert_eq!(
+            k["cache_hit"].as_bool(),
+            Some(false),
+            "{name}: corrupt entry should read as a miss"
+        );
+    }
+
+    // And the rebuilt cache is healthy again: one more run hits.
+    let healed = dir.join("healed.json");
+    assert!(run_with_cache(&cache, &healed).status.success());
+    for (name, k) in kernels_of(&healed) {
+        assert_eq!(k["cache_hit"].as_bool(), Some(true), "{name}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn no_cache_flag_disables_persistence() {
+    let dir = tmp_dir("nocache");
+    let manifest = dir.join("m.json");
+    let out = bin()
+        .args(["run", "grm", "--size", "tiny", "--no-cache"])
+        .arg("--manifest-out")
+        .arg(&manifest)
+        .output()
+        .expect("spawn genomicsbench");
+    assert!(out.status.success());
+    for (name, k) in kernels_of(&manifest) {
+        assert_eq!(k["cache_hit"].as_bool(), Some(false), "{name}");
+    }
+
+    // Mutually exclusive flags are a usage error (exit 2), not a panic.
+    let out = bin()
+        .args(["run", "grm", "--size", "tiny", "--no-cache"])
+        .args(["--substrate-cache"])
+        .arg(dir.join("cache"))
+        .output()
+        .expect("spawn genomicsbench");
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(&dir);
+}

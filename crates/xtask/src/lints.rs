@@ -43,6 +43,11 @@
 //!   engine)` arm) is named, lowercase, in the `--dp-engine` paragraph
 //!   of the CLI usage text, so a newly ported kernel can't ship with
 //!   help text that still lists the old engine roster.
+//! * `substrate-schema` — the `SUBSTRATE_SCHEMA` literal in
+//!   `crates/substrate/src/lib.rs` is named on a "substrate … schema"
+//!   line of both README.md and CHANGES.md, the same drift guard the
+//!   manifest schema gets: bumping the on-disk encoding without telling
+//!   the docs is how stale-cache bug reports are born.
 
 use crate::lexer::{shadows, word_on_line, Shadows};
 
@@ -108,6 +113,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Violation> {
     v.extend(traced_stages(ws));
     v.extend(cli_readme_sync(ws));
     v.extend(dp_engine_help(ws));
+    v.extend(substrate_schema(ws));
     v
 }
 
@@ -233,6 +239,81 @@ pub fn schema_version(ws: &Workspace) -> Vec<Violation> {
                 line: 0,
                 msg: format!(
                     "no line mentions schema version {lit} (declared in {src}); \
+                     update the doc to match the code"
+                ),
+            });
+        }
+    }
+    out
+}
+
+// --- substrate-schema --------------------------------------------------
+
+/// Extracts the integer literal from the `SUBSTRATE_SCHEMA` declaration.
+fn declared_substrate_schema(ws: &Workspace) -> Option<(String, String)> {
+    let f = ws.get("crates/substrate/src/lib.rs")?;
+    for line in f.text.lines() {
+        if line.contains("SUBSTRATE_SCHEMA") && line.contains('=') {
+            let lit = line
+                .split('=')
+                .nth(1)
+                .map(|s| s.trim().trim_end_matches(';').trim())
+                .unwrap_or_default();
+            if !lit.is_empty() && lit.bytes().all(|b| b.is_ascii_digit()) {
+                return Some((f.path.clone(), lit.to_string()));
+            }
+        }
+    }
+    None
+}
+
+/// True when `line` names the substrate schema at exactly `lit`: the
+/// line mentions "substrate", and some "schema" on it is followed
+/// (allowing spaces, `:` and a `v` prefix) by the literal with no
+/// version continuation after it — so a manifest-schema mention like
+/// "schema 1.4" can't satisfy a substrate literal of `1`.
+fn mentions_substrate_schema(line: &str, lit: &str) -> bool {
+    let l = line.to_ascii_lowercase();
+    if !l.contains("substrate") {
+        return false;
+    }
+    let mut rest = l.as_str();
+    while let Some(i) = rest.find("schema") {
+        rest = &rest[i + "schema".len()..];
+        let after = rest.trim_start_matches([' ', ':', 'v']);
+        if let Some(tail) = after.strip_prefix(lit) {
+            if !tail.starts_with(|c: char| c.is_ascii_digit() || c == '.') {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// The substrate cache encoding version must be stated, next to the
+/// word "substrate", in README.md and CHANGES.md — mirror of
+/// [`schema_version`] for the on-disk `.gbs` container.
+pub fn substrate_schema(ws: &Workspace) -> Vec<Violation> {
+    let Some((src, lit)) = declared_substrate_schema(ws) else {
+        return vec![Violation {
+            rule: "substrate-schema",
+            file: "crates/substrate/src/lib.rs".into(),
+            line: 0,
+            msg: "SUBSTRATE_SCHEMA declaration not found".into(),
+        }];
+    };
+    let mut out = Vec::new();
+    for doc in ["README.md", "CHANGES.md"] {
+        let mentioned = ws
+            .get(doc)
+            .is_some_and(|f| f.text.lines().any(|l| mentions_substrate_schema(l, &lit)));
+        if !mentioned {
+            out.push(Violation {
+                rule: "substrate-schema",
+                file: doc.into(),
+                line: 0,
+                msg: format!(
+                    "no line mentions substrate schema {lit} (declared in {src}); \
                      update the doc to match the code"
                 ),
             });
@@ -970,6 +1051,46 @@ mod tests {
         // The literal on a line that doesn't mention "schema" is drift.
         let unrelated = schema_files("version 9.7 of the paper\n", "schema 9.7\n");
         assert_eq!(schema_version(&unrelated).len(), 1);
+    }
+
+    fn substrate_files(readme: &str, changes: &str) -> Workspace {
+        ws(&[
+            (
+                "crates/substrate/src/lib.rs",
+                "pub const SUBSTRATE_SCHEMA: u32 = 3;\n",
+            ),
+            ("README.md", readme),
+            ("CHANGES.md", changes),
+        ])
+    }
+
+    #[test]
+    fn substrate_schema_cross_checked_against_docs() {
+        let good = substrate_files(
+            "substrate cache entries (schema v3)\n",
+            "substrate schema: 3\n",
+        );
+        assert!(substrate_schema(&good).is_empty());
+
+        let stale = substrate_files("substrate schema 2 here\n", "substrate schema 3\n");
+        let v = substrate_schema(&stale);
+        assert_eq!(v.len(), 1);
+        assert_eq!(
+            (v[0].rule, v[0].file.as_str()),
+            ("substrate-schema", "README.md")
+        );
+
+        // "substrate" and the digit on the same line, but the digit
+        // belongs to the manifest version — not a substrate mention.
+        let decoy = substrate_files(
+            "manifest schema 3.4 plus a substrate cache\n",
+            "substrate schema 3\n",
+        );
+        assert_eq!(substrate_schema(&decoy).len(), 1);
+
+        // Missing declaration is itself a violation.
+        let missing = ws(&[("README.md", "substrate schema 3\n")]);
+        assert_eq!(substrate_schema(&missing).len(), 1);
     }
 
     const KERNELS_OK: &str = r#"

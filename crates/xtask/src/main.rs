@@ -36,7 +36,7 @@ fn main() {
             let violations = lints::run_all(&ws);
             if violations.is_empty() {
                 println!(
-                    "xtask lint: OK ({} files, 10 rules, 0 violations)",
+                    "xtask lint: OK ({} files, 11 rules, 0 violations)",
                     ws.files.len()
                 );
             } else {

@@ -56,6 +56,10 @@ fn sample_manifest() -> RunManifest {
                     total_ns: 21_000_000,
                 },
             ]),
+            // None: the optional 1.4 fields are omitted from the JSON,
+            // keeping the golden shape below byte-stable.
+            prepare_wall_ns: None,
+            cache_hit: None,
         },
     );
     let metrics = serde_json::json!({
@@ -184,6 +188,8 @@ fn optional_fields_are_omitted_not_null() {
             utilization: None,
             memory: None,
             stages: None,
+            prepare_wall_ns: None,
+            cache_hit: None,
         },
     );
     let v: Value = serde_json::from_str(&m.to_json_string()).unwrap();
