@@ -100,6 +100,8 @@ impl Dbg {
     }
 
     /// Threads `seq` through the graph, incrementing edge support.
+    // PANIC-FREE: edge indices come from `node_of` (which sized the edge
+    // arrays) and `i + k - 1 < codes.len()` by the kmers iterator bound.
     fn add_seq<P: Probe>(&mut self, seq: &DnaSeq, weight: u32, is_ref: bool, probe: &mut P) {
         if seq.len() < self.k + 1 {
             return;
@@ -120,10 +122,13 @@ impl Dbg {
     }
 
     /// An edge survives pruning if well-supported or on the reference.
+    // PANIC-FREE: `node` is a graph index and `base < 4` at every caller.
     fn keep(&self, node: usize, base: usize, min_w: u32) -> bool {
         self.ref_edge[node][base] || self.edges[node][base] >= min_w
     }
 
+    // PANIC-FREE: `node < kmers.len()` at every caller; the shifts are
+    // bounded because `k <= 31`.
     fn successor(&self, node: usize, base: usize) -> Option<usize> {
         let mask = if self.k == 31 {
             (1u64 << 62) - 1
@@ -135,6 +140,8 @@ impl Dbg {
     }
 
     /// DFS cycle detection over kept edges.
+    // PANIC-FREE: DFS over graph indices `< n`; the explicit stack is
+    // non-empty inside the `while let` loop by construction.
     fn has_cycle(&self, min_w: u32) -> bool {
         #[derive(Clone, Copy, PartialEq)]
         enum Color {
@@ -178,6 +185,8 @@ impl Dbg {
     }
 
     /// Enumerates source-to-sink haplotypes (bounded DFS).
+    // PANIC-FREE: stack is checked non-empty by the loop condition; node
+    // ids come from `successor`, which only returns resident indices.
     fn haplotypes(
         &self,
         source: usize,
@@ -246,6 +255,8 @@ pub fn assemble_region(task: &RegionTask, params: &DbgParams) -> DbgResult {
 }
 
 /// [`assemble_region`] with instrumentation.
+// PANIC-FREE: arithmetic on read/ref lengths cannot overflow `usize` for
+// in-memory sequences; `k` is clamped to `3..=max_k`.
 pub fn assemble_region_probed<P: Probe>(
     task: &RegionTask,
     params: &DbgParams,

@@ -69,6 +69,8 @@ pub fn count_kmers(reads: &[DnaSeq], params: &KmerCountParams) -> (KmerTable, Km
 }
 
 /// [`count_kmers`] with instrumentation.
+// PANIC-FREE: the `k` range assert is the documented API contract;
+// everything else is iterator-driven.
 pub fn count_kmers_probed<P: Probe>(
     reads: &[DnaSeq],
     params: &KmerCountParams,

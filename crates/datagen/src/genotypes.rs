@@ -91,6 +91,8 @@ impl GenotypeMatrix {
     }
 
     /// All genotypes of individual `i`.
+    // PANIC-FREE: documented precondition assert; the grm kernel iterates
+    // `i in 0..individuals`.
     pub fn row(&self, i: usize) -> &[u8] {
         assert!(i < self.individuals);
         &self.data[i * self.markers..(i + 1) * self.markers]

@@ -71,6 +71,8 @@ impl PoreModel {
     ///
     /// Panics if `kmer >= 4096`.
     #[inline]
+    // PANIC-FREE: documented `# Panics` precondition; packed 6-mers are
+    // `< 4096` by construction of `pack_kmer`.
     pub fn get(&self, kmer: u64) -> KmerModel {
         self.levels[kmer as usize]
     }

@@ -97,6 +97,8 @@ pub fn align_events(
 }
 
 /// [`align_events`] with instrumentation.
+// PANIC-FREE: band offsets are clamped against `n_events`/`n_kmers` when
+// each band is placed, so all cell and trace reads stay in range.
 pub fn align_events_probed<P: Probe>(
     events: &[Event],
     reference: &DnaSeq,
@@ -409,6 +411,8 @@ pub fn align_events_simd(
 
 /// [`align_events_simd`] with instrumentation (one SIMD op and one
 /// lockstep branch per band, matching the vector engines' convention).
+// PANIC-FREE: same band-placement clamps as the scalar engine; lane
+// indices are bounded by `LANES` fixed at compile time.
 pub fn align_events_simd_probed<P: Probe>(
     events: &[Event],
     reference: &DnaSeq,

@@ -80,6 +80,9 @@ pub fn banded_sw(query: &DnaSeq, target: &DnaSeq, params: &SwParams) -> SwResult
 
 /// [`banded_sw`] with instrumentation: every H/E/F cell update reports its
 /// loads, stores and ALU work to `probe`.
+// PANIC-FREE: DP-row indices are clamped to `1..=n` by the band limits
+// (`lo >= 1`, `hi <= n`) and the rows are allocated with `n + 1` slots;
+// `q[i - 1]`/`t[j - 1]` follow from `i <= m`, `j <= n`.
 pub fn banded_sw_probed<P: Probe>(
     query: &DnaSeq,
     target: &DnaSeq,

@@ -39,6 +39,8 @@ pub fn lockstep_group_probed<P: Probe>(
 /// [`lockstep_group_probed`] generalized to an arbitrary vector width
 /// (used by [`crate::bsw::run_batch`] to reproduce lane counts other than
 /// the AVX2 default, e.g. the Fig. 3 8-lane row).
+// PANIC-FREE: the asserts are documented preconditions on group width
+// (config-time constants), not data-dependent paths.
 pub fn lockstep_group_width_probed<P: Probe>(
     tasks: &[SwTask],
     params: &SwParams,
@@ -131,6 +133,9 @@ pub fn lockstep_group_width_probed<P: Probe>(
     let results = lanes.into_iter().map(|l| l.result).collect();
     return (results, report);
 
+    // PANIC-FREE: `h[lo - 1]` is guarded by `lo >= 1` and rows hold
+    // `n + 1` slots, so the band clamp keeps every index in range.
+    // xtask: hot
     fn advance_row(lane: &mut Lane, band: usize, _params: &SwParams) {
         lane.row += 1;
         let (m, n) = (lane.q.len(), lane.t.len());
@@ -155,6 +160,9 @@ pub fn lockstep_group_width_probed<P: Probe>(
         lane.col = lane.lo;
     }
 
+    // PANIC-FREE: `j` stays within the clamped band `[lo, hi]`, and the
+    // query/target reads subtract 1 from indices that start at 1.
+    // xtask: hot
     fn step_cell(lane: &mut Lane, params: &SwParams) {
         let j = lane.col;
         let i = lane.row;
@@ -184,6 +192,7 @@ pub fn lockstep_group_width_probed<P: Probe>(
         lane.col += 1;
     }
 
+    // xtask: hot
     fn finish_row(lane: &mut Lane, params: &SwParams, band: usize) {
         lane.prev_lo = lane.lo;
         lane.prev_hi = lane.hi;
@@ -224,12 +233,14 @@ pub fn run_lockstep_width(
     sort_by_len: bool,
 ) -> (Vec<SwResult>, BatchReport) {
     let order = length_order(tasks, sort_by_len);
+    // Same gather-once idiom as `bsw_simd::run_simd_probed`: one upfront
+    // batch allocation, zero allocations inside the group loop.
+    let sorted: Vec<SwTask> = order.iter().map(|&i| tasks[i].clone()).collect();
     let mut results = vec![SwResult::default(); tasks.len()];
     let mut total = BatchReport::default();
-    for group in order.chunks(lanes_width) {
-        let batch: Vec<SwTask> = group.iter().map(|&i| tasks[i].clone()).collect();
-        let (rs, rep) = lockstep_group_width_probed(&batch, params, lanes_width, &mut NullProbe);
-        for (&idx, r) in group.iter().zip(rs) {
+    for (g, batch) in sorted.chunks(lanes_width).enumerate() {
+        let (rs, rep) = lockstep_group_width_probed(batch, params, lanes_width, &mut NullProbe);
+        for (&idx, r) in order[g * lanes_width..].iter().zip(rs) {
             results[idx] = r;
         }
         total.merge(&rep);

@@ -53,6 +53,9 @@ pub fn params_fit_i16(params: &SwParams) -> bool {
 // The parameter list mirrors the kernel's SIMD register set; bundling
 // them into a struct defeats the per-array aliasing analysis.
 #[allow(clippy::too_many_arguments)]
+// PANIC-FREE: all lane and column indices are bounded by `LANES` and the
+// padded row length fixed at group setup.
+// xtask: hot
 fn step_vector(
     h_diag: &mut [i16; LANES],
     f_gap: &mut [i16; LANES],
@@ -92,6 +95,8 @@ pub fn simd_group(tasks: &[SwTask], params: &SwParams) -> (Vec<SwResult>, BatchR
 /// [`simd_group`] with instrumentation: one SIMD op (and one lockstep
 /// branch) per vector step, matching the i32 lockstep engine's
 /// accounting; retired lanes replay their scalar cell traffic.
+// PANIC-FREE: the assert is the documented group-width precondition;
+// row/lane indices are bounded by the padded lengths fixed at setup.
 pub fn simd_group_probed<P: Probe>(
     tasks: &[SwTask],
     params: &SwParams,
@@ -179,6 +184,9 @@ pub fn simd_group_probed<P: Probe>(
     /// per-cell `in_prev` check of the scalar kernel, hoisted to row
     /// turnover), diagonal seed and cached query base. Returns the new
     /// `h_diag`, or `None` when the lane is exhausted.
+    // PANIC-FREE: band clamps keep `lo >= 1` and `hi <= n` against rows
+    // allocated with `n + 1` slots.
+    // xtask: hot
     fn advance_row(lane: &mut Lane, band: usize) -> Option<i16> {
         lane.row += 1;
         let (m, n) = (lane.q.len(), lane.t.len());
@@ -353,12 +361,14 @@ pub fn run_simd_probed<P: Probe>(
     probe: &mut P,
 ) -> (Vec<SwResult>, BatchReport) {
     let order = length_order(tasks, sort_by_len);
+    // Gather the issue-ordered batch once, up front: the group loop then
+    // slices it directly instead of re-cloning LANES tasks per group.
+    let sorted: Vec<SwTask> = order.iter().map(|&i| tasks[i].clone()).collect();
     let mut results = vec![SwResult::default(); tasks.len()];
     let mut total = BatchReport::default();
-    for group in order.chunks(LANES) {
-        let batch: Vec<SwTask> = group.iter().map(|&i| tasks[i].clone()).collect();
-        let (rs, rep) = simd_group_probed(&batch, params, probe);
-        for (&idx, r) in group.iter().zip(rs) {
+    for (g, batch) in sorted.chunks(LANES).enumerate() {
+        let (rs, rep) = simd_group_probed(batch, params, probe);
+        for (&idx, r) in order[g * LANES..].iter().zip(rs) {
             results[idx] = r;
         }
         total.merge(&rep);

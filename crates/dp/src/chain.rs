@@ -91,6 +91,8 @@ pub fn chain_anchors(task: &AnchorSet, params: &ChainParams) -> ChainResult {
 }
 
 /// [`chain_anchors`] with instrumentation.
+// PANIC-FREE: predecessor scans index score/anchor slots with `j < i`
+// inside `for i in 0..anchors.len()`.
 pub fn chain_anchors_probed<P: Probe>(
     task: &AnchorSet,
     params: &ChainParams,

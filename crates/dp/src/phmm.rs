@@ -153,6 +153,8 @@ impl HmmFloat for f64 {
 /// same rescue decisions.
 pub(crate) const UNDERFLOW_LIMIT_F32: f32 = 1e-28;
 
+// PANIC-FREE: DP rows hold `n + 1` slots and the sweeps run `i in 1..=m`,
+// `j in 1..=n`; read/hap reads subtract 1 from 1-based indices.
 pub(crate) fn forward_generic<F: HmmFloat, P: Probe>(
     read: &ReadRecord,
     haplotype: &DnaSeq,

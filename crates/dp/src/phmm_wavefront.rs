@@ -65,6 +65,9 @@ pub fn wavefront_likelihood_probed<P: Probe>(
 }
 
 /// The f32 diagonal sweep. Returns the forward likelihood and cell count.
+// PANIC-FREE: diagonal cell indices are derived from `d`, `m`, `n` with
+// explicit clamps (`i0..=i1` intersected with `1..=m`), and the reversed
+// haplotype buffer is sized to make `hrev[n - d + i]` in range.
 fn wavefront_f32<P: Probe>(
     read: &ReadRecord,
     haplotype: &DnaSeq,
@@ -79,13 +82,12 @@ fn wavefront_f32<P: Probe>(
         return (0.0, 0);
     }
     let t = Transitions::from_params(params);
-    let tmm = t.mm as f32;
-    let tgm = t.gm as f32;
-    let tmx = t.mx as f32;
-    let txx = t.xx as f32;
-    let tmy = t.my as f32;
-    let tyy = t.yy as f32;
-    let init = (1.0 / n as f64) as f32;
+    // FLOAT-DET: the wavefront engine runs the f32 rung of the precision
+    // ladder by design; the f64 rescue re-runs underflowed reads, and the
+    // differential tests pin both rungs to the rowwise engine bit for bit.
+    let (tmm, tgm, tmx) = (t.mm as f32, t.gm as f32, t.mx as f32);
+    let (txx, tmy, tyy) = (t.xx as f32, t.my as f32, t.yy as f32); // FLOAT-DET: ditto.
+    let init = (1.0 / n as f64) as f32; // FLOAT-DET: same f32 rung.
 
     // Per-read-position emission priors (index i in 1..=m; slot 0 unused),
     // hoisted out of the sweep: one diagonal touches many read rows.
@@ -93,8 +95,9 @@ fn wavefront_f32<P: Probe>(
     let mut px = vec![0.0f32; m + 1];
     for i in 1..=m {
         let err = quals[i - 1].error_prob();
+        // FLOAT-DET: f32 emission priors, same ladder rung as above.
         pm[i] = (1.0 - err) as f32;
-        px[i] = (err / 3.0) as f32;
+        px[i] = (err / 3.0) as f32; // FLOAT-DET: ditto.
     }
     // Reversed haplotype: cell (i, j) on diagonal d reads h[j-1] =
     // hrev[n - d + i], a forward unit-stride access within a diagonal.

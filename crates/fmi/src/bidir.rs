@@ -143,6 +143,9 @@ impl BiIndex {
 
 /// Core 2BWT extension on `index`: `a` is the interval start in `index`,
 /// `b` the paired start in the other index.
+// PANIC-FREE: `c < 4` (debug-asserted) bounds the count arrays, and
+// interval arithmetic stays within `0..=n` by the SA-interval invariant.
+// xtask: hot
 fn ext<P: Probe>(index: &FmIndex, a: u32, b: u32, s: u32, c: u8, probe: &mut P) -> BiInterval {
     debug_assert!(c < 4);
     let (lo_counts, lo_dollar) = index.occ_all_probed(a, probe);

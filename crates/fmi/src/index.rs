@@ -188,6 +188,8 @@ impl FmIndex {
 
     /// `C[c]` — see the field documentation.
     #[inline]
+    // PANIC-FREE: `c_table` has 5 slots and callers pass 2-bit base codes
+    // (or 4 for the full range), per the field documentation.
     pub fn c_of(&self, c: u8) -> u32 {
         self.c_table[c as usize]
     }
@@ -214,6 +216,9 @@ impl FmIndex {
     /// [`FmIndex::occ`] reporting its two memory touches (checkpoint +
     /// packed BWT words) to `probe`.
     #[inline]
+    // PANIC-FREE: `i <= n` (debug-asserted interval invariant) keeps the
+    // checkpoint index and the packed-word scan in range.
+    // xtask: hot
     pub fn occ_probed<P: Probe>(&self, c: u8, i: u32, probe: &mut P) -> u32 {
         debug_assert!(c < 4 && (i as usize) <= self.n);
         let i = i as usize;
@@ -246,6 +251,8 @@ impl FmIndex {
     /// sentinel lies in `bwt[0..i)` — the bidirectional-extension
     /// primitive.
     #[inline]
+    // PANIC-FREE: same `i <= n` interval invariant as `occ_probed`.
+    // xtask: hot
     pub fn occ_all_probed<P: Probe>(&self, i: u32, probe: &mut P) -> ([u32; 4], bool) {
         debug_assert!((i as usize) <= self.n);
         let i = i as usize;

@@ -67,6 +67,8 @@ pub struct BasecallResult {
 
 impl Basecaller {
     /// Builds a model with seeded-random weights.
+    // PANIC-FREE: `bias[BLANK]` indexes a 5-class head built three lines
+    // up; model shapes are config constants.
     pub fn new(config: &BasecallerConfig, seed: u64) -> Basecaller {
         let mut rng = StdRng::seed_from_u64(seed);
         let stem = Conv1d::new(1, config.channels, config.kernel, config.stride, &mut rng);
@@ -104,6 +106,8 @@ impl Basecaller {
     }
 
     /// Runs the network on one chunk, returning `5 x T'` posteriors.
+    // PANIC-FREE: the chunk-size assert is the documented input contract;
+    // the softmax loop indexes the 5-row logits matrix it just built.
     pub fn forward_chunk_probed<P: Probe>(&self, chunk: &[f32], probe: &mut P) -> Matrix {
         assert_eq!(chunk.len(), self.config.chunk_size, "chunk size mismatch");
         // Normalize the current (med/mad-style, simplified to mean/std).

@@ -31,6 +31,8 @@ pub const BLANK: usize = 4;
 /// ]);
 /// assert_eq!(greedy_decode(&p).to_string(), "AC");
 /// ```
+// PANIC-FREE: the 5-row assert is the documented input contract, and the
+// argmax scan indexes `(r, t)` with `r < 5`, `t < cols()`.
 pub fn greedy_decode(posteriors: &Matrix) -> DnaSeq {
     assert_eq!(posteriors.rows(), 5, "posteriors must have 5 rows");
     let t_len = posteriors.cols();

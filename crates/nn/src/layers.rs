@@ -64,6 +64,8 @@ pub struct Conv1d {
 
 impl Conv1d {
     /// Creates a randomly initialized convolution ("same" padding).
+    // PANIC-FREE: odd-kernel assert is a config-time contract (kernel
+    // widths come from `BasecallerConfig`, not data).
     pub fn new(
         in_ch: usize,
         out_ch: usize,
@@ -93,6 +95,9 @@ impl Conv1d {
     }
 
     /// [`Conv1d::forward`] with instrumentation.
+    // PANIC-FREE: the shape assert is the layer contract; `ti - pad` is
+    // guarded by `ti < pad` continue, and weight/row indices are bounded
+    // by the constructor's shapes.
     pub fn forward_probed<P: Probe>(&self, input: &Matrix, probe: &mut P) -> Matrix {
         assert_eq!(input.rows(), self.in_ch, "channel mismatch");
         let t = input.cols();
@@ -144,6 +149,7 @@ pub struct DepthwiseConv1d {
 
 impl DepthwiseConv1d {
     /// Creates a randomly initialized depthwise convolution.
+    // PANIC-FREE: odd-kernel assert is a config-time contract.
     pub fn new(channels: usize, kernel: usize, rng: &mut StdRng) -> DepthwiseConv1d {
         assert!(kernel % 2 == 1, "odd kernels only (same padding)");
         DepthwiseConv1d {
@@ -155,6 +161,8 @@ impl DepthwiseConv1d {
     }
 
     /// Applies the convolution (stride 1, same padding).
+    // PANIC-FREE: shape assert is the layer contract; the padding guard
+    // keeps `ti - pad < t`.
     pub fn forward_probed<P: Probe>(&self, input: &Matrix, probe: &mut P) -> Matrix {
         assert_eq!(input.rows(), self.channels);
         let t = input.cols();
@@ -243,6 +251,8 @@ impl Dense {
     }
 
     /// `W x + b`.
+    // PANIC-FREE: the input-size assert is the layer contract; `bias[o]`
+    // has one slot per weight row by construction.
     pub fn forward_probed<P: Probe>(&self, x: &[f32], probe: &mut P) -> Vec<f32> {
         assert_eq!(x.len(), self.weights.cols(), "input size mismatch");
         probe.load(addr_of(&x[0]), (x.len() * 4) as u32);
@@ -304,6 +314,8 @@ impl Lstm {
     /// states as a `hidden x T` matrix. `reverse` iterates the sequence
     /// backwards (for the backward half of a bi-LSTM) while still storing
     /// states at their original positions.
+    // PANIC-FREE: the input-feature assert is the layer contract; gate and
+    // state indices are bounded by `4 * hidden` fixed in the constructor.
     pub fn forward_probed<P: Probe>(&self, steps: &Matrix, reverse: bool, probe: &mut P) -> Matrix {
         assert_eq!(steps.rows(), self.input, "input feature mismatch");
         let t_len = steps.cols();
@@ -378,6 +390,8 @@ impl BiLstm {
     }
 
     /// Output: `2*hidden x T` (forward states stacked over backward).
+    // PANIC-FREE: both halves return `hidden x T` matrices, so the stack
+    // loop's `(h + j, ti)` stays inside the `2*hidden x T` output.
     pub fn forward_probed<P: Probe>(&self, steps: &Matrix, probe: &mut P) -> Matrix {
         let f = self.fwd.forward_probed(steps, false, probe);
         let b = self.bwd.forward_probed(steps, true, probe);

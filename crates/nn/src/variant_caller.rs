@@ -163,6 +163,8 @@ impl VariantCaller {
     }
 
     /// [`VariantCaller::call`] with instrumentation.
+    // PANIC-FREE: WINDOW/FEATURES are compile-time tensor dimensions and
+    // the summary loops index `h2` inside `rows() x WINDOW`.
     pub fn call_probed<P: Probe>(&self, tensor: &ClairTensor, probe: &mut P) -> VariantCall {
         // Reshape 33 x (8*4) into a feature-major sequence matrix.
         let mut steps = Matrix::zeros(FEATURES, WINDOW);

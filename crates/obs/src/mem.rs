@@ -146,6 +146,7 @@ impl Slot {
             .wrapping_sub(self.free_bytes.load(Ordering::Relaxed)) as i64
     }
 
+    // xtask: hot
     #[inline]
     fn record_alloc(&self, bytes: u64) {
         self.allocs.fetch_add(1, Ordering::Relaxed);
@@ -157,6 +158,7 @@ impl Slot {
         self.peak_net.fetch_max(net, Ordering::Relaxed);
     }
 
+    // xtask: hot
     #[inline]
     fn record_free(&self, bytes: u64) {
         self.frees.fetch_add(1, Ordering::Relaxed);

@@ -75,6 +75,8 @@ impl Interner {
         id
     }
 
+    // PANIC-FREE: `id` was handed out by `intern` on this recorder, so it
+    // always indexes a live slot.
     fn get(&self, id: u32) -> &str {
         &self.strings[id as usize]
     }

@@ -36,6 +36,8 @@ impl ClairTensor {
     /// # Panics
     ///
     /// Panics if any index is out of range.
+    // PANIC-FREE: documented `# Panics` precondition over compile-time
+    // tensor dimensions.
     pub fn get(&self, pos: usize, channel: usize, encoding: usize) -> f32 {
         assert!(pos < WINDOW && channel < CHANNELS && encoding < ENCODINGS);
         self.data[(pos * CHANNELS + channel) * ENCODINGS + encoding]

@@ -103,6 +103,9 @@ pub fn count_pileup_probed<P: Probe>(task: &RegionTask, probe: &mut P) -> Pileup
     }
 }
 
+// PANIC-FREE: `codes[step.query_off]` is in range because CIGAR walks are
+// validated against the read length at record construction, and
+// `counts[idx]` is guarded by the `region.contains` check above it.
 fn walk_alignment<P: Probe>(
     rec: &AlignmentRecord,
     region: &Region,

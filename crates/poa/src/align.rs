@@ -76,6 +76,9 @@ pub fn align_to_graph(graph: &PoaGraph, seq: &DnaSeq, params: &PoaParams) -> Gra
 }
 
 /// [`align_to_graph`] with instrumentation.
+// PANIC-FREE: the emptiness asserts are the documented API contract; DP
+// indices are bounded by `(v + 1) * width` with rows from `rank_of`
+// (always `<= v`) and columns `<= n`.
 pub fn align_to_graph_probed<P: Probe>(
     graph: &PoaGraph,
     seq: &DnaSeq,
@@ -111,16 +114,20 @@ pub fn align_to_graph_probed<P: Probe>(
     }
 
     let mut cells = 0u64;
+    // Predecessor-row scratch, hoisted out of the row loop and refilled
+    // per node (same idiom as the SIMD engine's `align_i16`).
+    let mut pred_rows: Vec<usize> = Vec::new();
     for (r0, &id) in order.iter().enumerate() {
         let row = r0 + 1;
         let node = graph.node(id);
         let base = node.base;
         // Predecessor rows: graph predecessors, or the virtual start.
-        let pred_rows: Vec<usize> = if node.in_edges.is_empty() {
-            vec![0]
+        pred_rows.clear();
+        if node.in_edges.is_empty() {
+            pred_rows.push(0);
         } else {
-            node.in_edges.iter().map(|&(p, _)| rank_of[p]).collect()
-        };
+            pred_rows.extend(node.in_edges.iter().map(|&(p, _)| rank_of[p]));
+        }
         // Column 0: graph-only path (all deletions).
         let mut best0 = neg;
         let mut best0_pred = 0usize;
@@ -279,6 +286,8 @@ pub fn add_sequence_probed<P: Probe>(
 
 /// Threads an alignment's path into the graph, weighting each traversed
 /// edge by `weight_of(read position)`.
+// PANIC-FREE: `s[pos]` uses positions produced by the aligner for this
+// very sequence, which are `< seq.len()` by construction.
 pub(crate) fn merge_alignment(
     graph: &mut PoaGraph,
     seq: &DnaSeq,

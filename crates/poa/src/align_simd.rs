@@ -87,6 +87,8 @@ pub fn align_to_graph_simd(
 
 /// [`align_to_graph_simd`] with instrumentation (per-row vector-op and
 /// row-traffic records, matching the lockstep engines' convention).
+// PANIC-FREE: the emptiness asserts are the documented API contract
+// (same as the scalar engine).
 pub fn align_to_graph_simd_probed<P: Probe>(
     graph: &PoaGraph,
     seq: &DnaSeq,
@@ -142,6 +144,8 @@ pub fn align_to_graph_simd_probed<P: Probe>(
 
 /// The i16 matrix fill + traceback. Returns `None` when the retire watch
 /// fires (a stored magnitude reached [`RETIRE_LIMIT`]).
+// PANIC-FREE: row/lane indices are bounded by `lane_cols` (a multiple of
+// LANES covering `n`) and `rank_of` rows `<= v`, as in the scalar engine.
 fn align_i16<P: Probe>(
     graph: &PoaGraph,
     seq: &DnaSeq,

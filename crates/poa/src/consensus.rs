@@ -27,6 +27,8 @@ use gb_uarch::probe::{NullProbe, Probe};
 /// assert_eq!(consensus(&mut g), seq);
 /// # Ok::<(), gb_core::error::Error>(())
 /// ```
+// PANIC-FREE: `score`/`pred` are sized `num_nodes()` and every index is a
+// node id from the graph's own topological order.
 pub fn consensus(graph: &mut PoaGraph) -> DnaSeq {
     if graph.is_empty() {
         return DnaSeq::new();

@@ -79,6 +79,8 @@ impl PoaGraph {
     /// # Panics
     ///
     /// Panics if `id` is out of range.
+    // PANIC-FREE: documented `# Panics` precondition; callers pass ids the
+    // graph itself handed out.
     pub fn node(&self, id: NodeId) -> &Node {
         &self.nodes[id]
     }
@@ -99,6 +101,8 @@ impl PoaGraph {
     /// # Panics
     ///
     /// Panics if either id is out of range or `from == to`.
+    // PANIC-FREE: documented `# Panics` preconditions; ids come from
+    // `add_node` on this graph.
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, weight: u32) {
         assert!(from != to, "self edge");
         assert!(from < self.nodes.len() && to < self.nodes.len());
@@ -120,6 +124,7 @@ impl PoaGraph {
     }
 
     /// Links `a` and `b` as alternatives in the same alignment column.
+    // PANIC-FREE: ids come from `add_node`/`aligned_family` on this graph.
     pub fn link_aligned(&mut self, a: NodeId, b: NodeId) {
         if !self.nodes[a].aligned.contains(&b) {
             self.nodes[a].aligned.push(b);
@@ -131,6 +136,8 @@ impl PoaGraph {
 
     /// The aligned family of `id` (itself plus all transitively aligned
     /// alternatives).
+    // PANIC-FREE: `fam` only ever holds node ids stored in the graph's
+    // aligned lists, and `i < fam.len()` is the loop condition.
     pub fn aligned_family(&self, id: NodeId) -> Vec<NodeId> {
         let mut fam = vec![id];
         let mut i = 0;
@@ -151,6 +158,8 @@ impl PoaGraph {
     ///
     /// Panics if the graph contains a cycle (impossible via the public
     /// alignment API, which only adds forward edges).
+    // PANIC-FREE: Kahn's algorithm over ids `< n`; the completeness assert
+    // is documented (cycles are unreachable via the public API).
     pub fn refresh_topo(&mut self) {
         let n = self.nodes.len();
         let mut indeg: Vec<usize> = self.nodes.iter().map(|nd| nd.in_edges.len()).collect();
@@ -171,6 +180,8 @@ impl PoaGraph {
     }
 
     /// The current topological order (refreshing it if stale).
+    // PANIC-FREE: the staleness assert is the documented usage contract
+    // (`ensure_topo` before reading), a programming error not a data path.
     pub fn topo_order(&self) -> &[NodeId] {
         assert!(
             !self.topo_dirty,

@@ -23,6 +23,8 @@ impl Memo {
     }
 
     /// Looks up `key` as a `T`, cloning the shared handle on a hit.
+    // PANIC-FREE: lock poisoning implies another thread already panicked —
+    // the run has failed; propagating is strictly more informative.
     pub fn get<T: Send + Sync + 'static>(&self, key: &str) -> Option<Arc<T>> {
         let map = self.map.lock().expect("memo lock poisoned");
         let entry = map.get(&(key.to_string(), TypeId::of::<T>()))?;

@@ -123,6 +123,8 @@ impl Kernel for AbeaKernel {
         self.sub.reads.len()
     }
 
+    // PANIC-FREE: the pool only calls `run_task` with `i < num_tasks()`,
+    // the documented `Kernel` contract.
     fn run_task(&self, i: usize) -> u64 {
         let (events, seq) = &self.sub.reads[i];
         match align_events_engine(events, seq, &self.sub.model, &self.params, self.engine) {

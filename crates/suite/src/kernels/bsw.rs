@@ -189,6 +189,8 @@ impl Kernel for BswKernel {
         }
     }
 
+    // PANIC-FREE: the pool only calls `run_task` with `i < num_tasks()`,
+    // the documented `Kernel` contract.
     fn run_task(&self, i: usize) -> u64 {
         match self.engine {
             DpEngine::Scalar => {

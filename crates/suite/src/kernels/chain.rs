@@ -74,6 +74,8 @@ impl Kernel for ChainKernel {
         self.sub.tasks.len()
     }
 
+    // PANIC-FREE: the pool only calls `run_task` with `i < num_tasks()`,
+    // the documented `Kernel` contract.
     fn run_task(&self, i: usize) -> u64 {
         let r = chain_anchors(&self.sub.tasks[i], &self.params);
         r.chains

@@ -81,6 +81,8 @@ impl Kernel for DbgKernel {
         self.sub.tasks.len()
     }
 
+    // PANIC-FREE: the pool only calls `run_task` with `i < num_tasks()`,
+    // the documented `Kernel` contract.
     fn run_task(&self, i: usize) -> u64 {
         let r = assemble_region(&self.sub.tasks[i], &self.params);
         r.haplotypes.len() as u64 * 1000 + r.hash_lookups % 997 + u64::from(r.cycles_hit) * 7

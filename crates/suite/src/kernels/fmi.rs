@@ -101,6 +101,8 @@ impl Kernel for FmiKernel {
         self.sub.reads.len()
     }
 
+    // PANIC-FREE: the pool only calls `run_task` with `i < num_tasks()`,
+    // the documented `Kernel` contract.
     fn run_task(&self, i: usize) -> u64 {
         let smems = collect_smems(&self.sub.index, &self.sub.reads[i], &self.config);
         smems

@@ -124,6 +124,8 @@ impl Kernel for GrmKernel {
 }
 
 impl GrmKernel {
+    // PANIC-FREE: `i`/`j` stay below `n` and `k` below `s`, the matrix's
+    // own shape.
     fn stripe_product_timed(&self, stripe: usize) -> u64 {
         let (n, s) = self.sub.z.shape();
         let lo = stripe * STRIPE;

@@ -109,6 +109,8 @@ impl Kernel for KmerCntKernel {
         self.sub.shards.len()
     }
 
+    // PANIC-FREE: the pool only calls `run_task` with `i < num_tasks()`,
+    // the documented `Kernel` contract.
     fn run_task(&self, i: usize) -> u64 {
         let (table, stats) = count_kmers(&self.sub.shards[i], &self.params);
         stats.kmers_processed.wrapping_add(table.len() as u64)

@@ -111,6 +111,8 @@ impl Kernel for NnBaseKernel {
         self.sub.chunks.len()
     }
 
+    // PANIC-FREE: the pool only calls `run_task` with `i < num_tasks()`,
+    // the documented `Kernel` contract.
     fn run_task(&self, i: usize) -> u64 {
         let posteriors = self
             .sub

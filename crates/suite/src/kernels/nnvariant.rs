@@ -108,6 +108,8 @@ impl Kernel for NnVariantKernel {
         self.sub.tensors.len()
     }
 
+    // PANIC-FREE: the pool only calls `run_task` with `i < num_tasks()`,
+    // the documented `Kernel` contract.
     fn run_task(&self, i: usize) -> u64 {
         let call = self.sub.model.call(&self.sub.tensors[i]);
         call.zygosity_probs

@@ -85,6 +85,8 @@ impl PhmmKernel {
     }
 
     /// The region task the pool's task `i` executes.
+    // PANIC-FREE: `order` is a permutation of `0..tasks.len()` and the
+    // pool keeps `i < num_tasks()`.
     fn task(&self, i: usize) -> &PhmmTask {
         &self.sub.tasks[self.order[i]]
     }
@@ -96,6 +98,8 @@ impl PhmmKernel {
     /// heaviest regions first stops one of them landing last and
     /// stretching the pool's tail. Checksums are order-insensitive, so
     /// the permutation cannot change results.
+    // PANIC-FREE: the sort key indexes `sub.tasks` with members of
+    // `0..tasks.len()`.
     pub fn instantiate(sub: Arc<PhmmSubstrate>, engine: DpEngine) -> PhmmKernel {
         let mut order: Vec<usize> = (0..sub.tasks.len()).collect();
         if engine == DpEngine::Simd {

@@ -110,6 +110,8 @@ impl Kernel for PileupKernel {
         self.sub.tasks.len()
     }
 
+    // PANIC-FREE: the pool only calls `run_task` with `i < num_tasks()`,
+    // the documented `Kernel` contract.
     fn run_task(&self, i: usize) -> u64 {
         let p = count_pileup(&self.sub.tasks[i]);
         p.counts.iter().step_by(97).fold(p.ops_walked, |acc, c| {

@@ -138,6 +138,8 @@ impl Kernel for SpoaKernel {
         self.sub.windows.len()
     }
 
+    // PANIC-FREE: the pool only calls `run_task` with `i < num_tasks()`,
+    // the documented `Kernel` contract.
     fn run_task(&self, i: usize) -> u64 {
         let (consensus, stats, _) =
             window_consensus_engine(&self.sub.windows[i], &self.params, self.engine);

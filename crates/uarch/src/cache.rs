@@ -32,6 +32,8 @@ impl CacheGeometry {
     ///
     /// Panics if the geometry does not divide into a whole power-of-two
     /// number of sets.
+    // PANIC-FREE: documented `# Panics` contract on the geometry; all
+    // shipped geometries satisfy it.
     pub fn num_sets(&self) -> usize {
         let sets = self.size_bytes / (self.assoc * self.line_bytes);
         assert!(
@@ -53,6 +55,7 @@ struct CacheLevel {
 }
 
 impl CacheLevel {
+    // PANIC-FREE: only `num_sets` can panic, per its documented contract.
     fn new(geom: CacheGeometry) -> CacheLevel {
         let sets = geom.num_sets();
         CacheLevel {
@@ -253,6 +256,8 @@ impl Hierarchy {
     /// # Panics
     ///
     /// Panics if line sizes differ or a geometry is degenerate.
+    // PANIC-FREE: documented `# Panics` contract; the shipped geometries
+    // share one line size.
     pub fn new(l1: CacheGeometry, l2: CacheGeometry, llc: CacheGeometry) -> Hierarchy {
         assert_eq!(l1.line_bytes, l2.line_bytes);
         assert_eq!(l2.line_bytes, llc.line_bytes);

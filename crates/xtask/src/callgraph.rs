@@ -1,0 +1,504 @@
+//! Workspace-wide call-graph construction over the parsed function
+//! items — the reachability substrate of `cargo xtask analyze`.
+//!
+//! Edges are resolved **by name**, scoped by proximity: a call first
+//! tries functions in the same file, then the same crate, then the
+//! whole workspace; all candidates at the narrowest non-empty scope
+//! get an edge (conservative over-approximation — the analyzer would
+//! rather visit an extra function than miss one). Method calls whose
+//! names are common `std` vocabulary (`len`, `push`, `iter`, …) and
+//! path calls rooted in known `std` types/modules (`Vec::new`,
+//! `std::mem::take`) are *not* resolved — those would otherwise create
+//! edges to every same-named workspace function. Trait dispatch is not
+//! resolved (a documented limit: a `dyn Trait` call edges to every
+//! same-named function instead of the runtime impl), and macro bodies
+//! are opaque — the panicking/allocating macros the rules care about
+//! are detected as sites at the call line instead.
+
+use crate::parse::{Call, CallKind, FnItem};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Method names resolved to `std`, never to workspace functions.
+/// Collisions with a workspace method of the same name lose the edge —
+/// the price of not edging `.len()` to every length helper in the tree.
+const STD_METHODS: &[&str] = &[
+    "abs",
+    "all",
+    "any",
+    "as_bytes",
+    "as_deref",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "binary_search",
+    "by_ref",
+    "bytes",
+    "ceil",
+    "chain",
+    "char_indices",
+    "chars",
+    "checked_div",
+    "checked_sub",
+    "chunks",
+    "chunks_exact",
+    "chunks_mut",
+    "clamp",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "copied",
+    "copy_from_slice",
+    "count",
+    "dedup",
+    "drain",
+    "clone_from_slice",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "eq",
+    "exp",
+    "extend",
+    "fetch_add",
+    "fetch_max",
+    "fill",
+    "filter",
+    "filter_map",
+    "find",
+    "find_map",
+    "first",
+    "flat_map",
+    "flatten",
+    "floor",
+    "fold",
+    "for_each",
+    "fract",
+    "get",
+    "get_mut",
+    "get_or_init",
+    "hash",
+    "insert",
+    "into_iter",
+    "is_empty",
+    "is_err",
+    "is_none",
+    "is_ok",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "lines",
+    "ln",
+    "load",
+    "lock",
+    "log2",
+    "map",
+    "map_err",
+    "map_or",
+    "max",
+    "max_by",
+    "max_by_key",
+    "min",
+    "min_by",
+    "min_by_key",
+    "mul_add",
+    "ne",
+    "next",
+    "nth",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "or_else",
+    "or_insert",
+    "or_insert_with",
+    "parse",
+    "partial_cmp",
+    "pop",
+    "position",
+    "powf",
+    "powi",
+    "product",
+    "push",
+    "push_str",
+    "read",
+    "remove",
+    "repeat",
+    "replace",
+    "reserve",
+    "resize",
+    "retain",
+    "rev",
+    "round",
+    "rsplit",
+    "saturating_add",
+    "saturating_mul",
+    "saturating_sub",
+    "skip",
+    "skip_while",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "split",
+    "split_at",
+    "split_at_mut",
+    "split_off",
+    "splitn",
+    "sqrt",
+    "starts_with",
+    "step_by",
+    "store",
+    "strip_prefix",
+    "strip_suffix",
+    "sum",
+    "swap",
+    "take",
+    "take_while",
+    "then",
+    "then_some",
+    "to_le_bytes",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "trim_end",
+    "trim_start",
+    "try_into",
+    "try_with",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "unzip",
+    "values",
+    "windows",
+    "with_capacity",
+    "wrapping_add",
+    "wrapping_sub",
+    "write",
+    "zip",
+    "expect",
+    "exp2",
+    "div_ceil",
+    "rem_euclid",
+    "leading_zeros",
+    "trailing_zeros",
+    "swap_remove",
+    "truncate",
+    "rotate_left",
+    "rotate_right",
+    "to_ascii_uppercase",
+    "to_ascii_lowercase",
+    "is_finite",
+    "is_nan",
+    "from_bits",
+    "to_bits",
+    "wrapping_mul",
+    "checked_add",
+    "checked_mul",
+    "is_char_boundary",
+    "next_back",
+];
+
+/// `gb_uarch::probe::Probe` trait methods. Observability calls sit on
+/// every kernel hot path, but resolving them would edge every kernel
+/// into every probe *implementation* (uarch counters, simt warp
+/// tallies) — instrumentation bookkeeping the kernel-path rules must
+/// not attribute to the kernels. Probe impls are still analyzed when
+/// they are roots or reached by real calls.
+const PROBE_METHODS: &[&str] = &["int_ops", "fp_ops", "simd_ops", "other_ops", "branch"];
+
+/// Path roots resolved to `std` (or primitives), never to the workspace.
+const STD_QUALIFIERS: &[&str] = &[
+    "Vec",
+    "VecDeque",
+    "Box",
+    "String",
+    "str",
+    "Rc",
+    "Arc",
+    "Cell",
+    "RefCell",
+    "OnceCell",
+    "OnceLock",
+    "Mutex",
+    "RwLock",
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "Option",
+    "Result",
+    "Some",
+    "None",
+    "Ok",
+    "Err",
+    "Ordering",
+    "std",
+    "core",
+    "alloc",
+    "f32",
+    "f64",
+    "i8",
+    "i16",
+    "i32",
+    "i64",
+    "i128",
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "u128",
+    "usize",
+    "isize",
+    "char",
+    "bool",
+    "Instant",
+    "Duration",
+    "Path",
+    "PathBuf",
+    "Default",
+    "From",
+    "Into",
+    "TryFrom",
+    "TryInto",
+    "Iterator",
+    "IntoIterator",
+    "AtomicBool",
+    "AtomicU64",
+    "AtomicI64",
+    "AtomicUsize",
+    "AtomicU32",
+    "Layout",
+    "System",
+];
+
+/// The workspace call graph: nodes are parsed functions, edges are
+/// name-resolved calls.
+pub struct CallGraph<'w> {
+    /// The nodes, indexed by position.
+    pub fns: &'w [FnItem],
+    /// `edges[i]` = indices of functions `fns[i]` may call.
+    pub edges: Vec<Vec<usize>>,
+}
+
+/// The `crates/<name>/` prefix of a repo-relative path, or the whole
+/// directory for files outside `crates/`.
+fn crate_prefix(path: &str) -> &str {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        if let Some(end) = rest.find('/') {
+            return &path[..7 + end + 1];
+        }
+    }
+    path.rsplit_once('/').map_or(path, |(d, _)| d)
+}
+
+/// Builds the graph. See the module docs for the resolution policy.
+pub fn build(fns: &[FnItem]) -> CallGraph<'_> {
+    let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        by_name.entry(f.name.as_str()).or_default().push(i);
+    }
+    let edges = fns
+        .iter()
+        .map(|caller| {
+            let mut out: Vec<usize> = Vec::new();
+            let mut seen: HashSet<usize> = HashSet::new();
+            for call in &caller.calls {
+                for target in resolve(caller, call, &by_name, fns) {
+                    if seen.insert(target) {
+                        out.push(target);
+                    }
+                }
+            }
+            out
+        })
+        .collect();
+    CallGraph { fns, edges }
+}
+
+/// Resolves one call to candidate node indices (possibly empty).
+fn resolve(
+    caller: &FnItem,
+    call: &Call,
+    by_name: &HashMap<&str, Vec<usize>>,
+    fns: &[FnItem],
+) -> Vec<usize> {
+    match call.kind {
+        CallKind::Macro => return Vec::new(), // macro bodies are opaque
+        CallKind::Method
+            if STD_METHODS.contains(&call.name.as_str())
+                || PROBE_METHODS.contains(&call.name.as_str()) =>
+        {
+            return Vec::new()
+        }
+        CallKind::PathCall => {
+            if let Some(q) = &call.qualifier {
+                if STD_QUALIFIERS.contains(&q.as_str()) {
+                    return Vec::new();
+                }
+            }
+        }
+        _ => {}
+    }
+    let Some(cands) = by_name.get(call.name.as_str()) else {
+        return Vec::new();
+    };
+    let same_file: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&i| fns[i].file == caller.file)
+        .collect();
+    if !same_file.is_empty() {
+        return same_file;
+    }
+    let prefix = crate_prefix(&caller.file);
+    let same_crate: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&i| fns[i].file.starts_with(prefix))
+        .collect();
+    if !same_crate.is_empty() {
+        return same_crate;
+    }
+    cands.clone()
+}
+
+impl CallGraph<'_> {
+    /// Every node reachable from `roots` (inclusive), following edges
+    /// but refusing to descend *into* nodes where `stop` returns true
+    /// (the stopped node itself is not visited). Roots are visited
+    /// unconditionally.
+    pub fn reachable(&self, roots: &[usize], stop: impl Fn(&FnItem) -> bool) -> Vec<usize> {
+        let mut seen: HashSet<usize> = HashSet::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in roots {
+            if seen.insert(r) {
+                queue.push_back(r);
+            }
+        }
+        let mut order = Vec::new();
+        while let Some(i) = queue.pop_front() {
+            order.push(i);
+            for &j in &self.edges[i] {
+                if stop(&self.fns[j]) {
+                    continue;
+                }
+                if seen.insert(j) {
+                    queue.push_back(j);
+                }
+            }
+        }
+        order
+    }
+
+    /// Node indices whose function matches a predicate.
+    pub fn find(&self, pred: impl Fn(&FnItem) -> bool) -> Vec<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| pred(f))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_workspace;
+    use crate::workspace::{SourceFile, Workspace};
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            files: files.iter().map(|(p, t)| SourceFile::new(*p, *t)).collect(),
+        }
+    }
+
+    fn names<'a>(cg: &'a CallGraph<'a>, ids: &[usize]) -> Vec<&'a str> {
+        let mut v: Vec<&str> = ids.iter().map(|&i| cg.fns[i].name.as_str()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn resolves_same_file_before_same_crate_before_workspace() {
+        let w = ws(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn entry() { helper(); }\nfn helper() { local(); }\nfn local() {}\n",
+            ),
+            ("crates/a/src/other.rs", "fn helper() {}\n"),
+            (
+                "crates/b/src/lib.rs",
+                "fn helper() {}\nfn cross() { far(); }\n",
+            ),
+            ("crates/a/src/far_home.rs", "fn far() {}\n"),
+        ]);
+        let fns = parse_workspace(&w);
+        let cg = build(&fns);
+        let entry = cg.find(|f| f.name == "entry")[0];
+        // entry -> same-file helper only (not other.rs's or crate b's).
+        let helper_targets: Vec<&str> = cg.edges[entry]
+            .iter()
+            .map(|&i| cg.fns[i].file.as_str())
+            .collect();
+        assert_eq!(helper_targets, vec!["crates/a/src/lib.rs"]);
+        // cross (crate b) -> far lives only in crate a: workspace scope.
+        let cross = cg.find(|f| f.name == "cross")[0];
+        assert_eq!(names(&cg, &cg.edges[cross]), vec!["far"]);
+    }
+
+    #[test]
+    fn std_vocabulary_is_not_workspace_resolved() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "fn len() { boom(); }\nfn boom() {}\nfn user(v: &[u8]) { let _ = v.len(); Vec::<u8>::new(); }\n",
+        )]);
+        let fns = parse_workspace(&w);
+        let cg = build(&fns);
+        let user = cg.find(|f| f.name == "user")[0];
+        assert!(
+            cg.edges[user].is_empty(),
+            "`.len()` / `Vec::new` must not edge into the workspace: {:?}",
+            names(&cg, &cg.edges[user])
+        );
+    }
+
+    #[test]
+    fn reachability_honors_stop_predicate() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "fn root() { mid(); prepare_x(); }\nfn mid() { leaf(); }\nfn leaf() {}\nfn prepare_x() { hidden(); }\nfn hidden() {}\n",
+        )]);
+        let fns = parse_workspace(&w);
+        let cg = build(&fns);
+        let roots = cg.find(|f| f.name == "root");
+        let all = cg.reachable(&roots, |_| false);
+        assert_eq!(
+            names(&cg, &all),
+            vec!["hidden", "leaf", "mid", "prepare_x", "root"]
+        );
+        let stopped = cg.reachable(&roots, |f| f.name.starts_with("prepare"));
+        assert_eq!(names(&cg, &stopped), vec!["leaf", "mid", "root"]);
+    }
+
+    #[test]
+    fn method_calls_resolve_to_workspace_impls_when_not_std() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "impl R { fn merge(&mut self, o: &R) { self.total += o.total; } }\nfn fold(r: &mut R, o: &R) { r.merge(o); }\n",
+        )]);
+        let fns = parse_workspace(&w);
+        let cg = build(&fns);
+        let fold = cg.find(|f| f.name == "fold")[0];
+        assert_eq!(names(&cg, &cg.edges[fold]), vec!["merge"]);
+    }
+}

@@ -48,34 +48,17 @@
 //!   line of both README.md and CHANGES.md, the same drift guard the
 //!   manifest schema gets: bumping the on-disk encoding without telling
 //!   the docs is how stale-cache bug reports are born.
+//! * `marker-attached` — every analyzer marker comment (the `xtask:
+//!   hot`, `PANIC-FREE:` and `ALLOC-OK:` vocabulary `cargo xtask
+//!   analyze` consumes) sits on its own comment line directly above a
+//!   `fn` item (attributes and further comments may intervene). A
+//!   marker stranded by refactoring — trailing a statement, or floating
+//!   above a struct — would otherwise be silently ignored by the
+//!   analyzer, which is exactly how annotations drift from the code
+//!   they justify.
 
-use crate::lexer::{shadows, word_on_line, Shadows};
-
-/// One file of the workspace under lint.
-#[derive(Debug, Clone)]
-pub struct SourceFile {
-    /// Repo-relative path with forward slashes (`crates/obs/src/mem.rs`).
-    pub path: String,
-    /// Full text.
-    pub text: String,
-}
-
-/// The file set the lints run over.
-#[derive(Debug, Default)]
-pub struct Workspace {
-    /// Every tracked file (Rust sources, manifests, workflows, docs).
-    pub files: Vec<SourceFile>,
-}
-
-impl Workspace {
-    fn get(&self, path: &str) -> Option<&SourceFile> {
-        self.files.iter().find(|f| f.path == path)
-    }
-
-    fn rust_sources(&self) -> impl Iterator<Item = &SourceFile> {
-        self.files.iter().filter(|f| f.path.ends_with(".rs"))
-    }
-}
+use crate::lexer::{word_on_line, Shadows};
+pub use crate::workspace::{SourceFile, Workspace};
 
 /// A single finding; `line` is 1-based.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,6 +97,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Violation> {
     v.extend(cli_readme_sync(ws));
     v.extend(dp_engine_help(ws));
     v.extend(substrate_schema(ws));
+    v.extend(marker_attached(ws));
     v
 }
 
@@ -129,7 +113,7 @@ const SAFETY_WINDOW_ABOVE: usize = 5;
 pub fn safety_comments(ws: &Workspace) -> Vec<Violation> {
     let mut out = Vec::new();
     for f in ws.rust_sources() {
-        let sh = shadows(&f.text);
+        let sh = f.shadows();
         let code = sh.code_lines();
         let comments = sh.comment_lines();
         for (i, line) in code.iter().enumerate() {
@@ -176,7 +160,7 @@ pub fn relaxed_allowlist(ws: &Workspace) -> Vec<Violation> {
         if RELAXED_ALLOWLIST.iter().any(|p| f.path.starts_with(p)) {
             continue;
         }
-        let sh = shadows(&f.text);
+        let sh = f.shadows();
         for (i, line) in sh.code_lines().iter().enumerate() {
             if word_on_line(line, "Relaxed") {
                 out.push(Violation {
@@ -380,7 +364,7 @@ pub fn kernel_table(ws: &Workspace) -> Vec<Violation> {
             msg: "kernel table module missing".into(),
         }];
     };
-    let sh = shadows(&f.text);
+    let sh = f.shadows();
     let variants = kernel_variants(&sh);
     let mut out = Vec::new();
     if variants.is_empty() {
@@ -495,7 +479,7 @@ pub fn bench_ci(ws: &Workspace) -> Vec<Violation> {
 pub fn clippy_allow_justified(ws: &Workspace) -> Vec<Violation> {
     let mut out = Vec::new();
     for f in ws.rust_sources() {
-        let sh = shadows(&f.text);
+        let sh = f.shadows();
         let code = sh.code_lines();
         let comments = sh.comment_lines();
         for (i, line) in code.iter().enumerate() {
@@ -552,7 +536,7 @@ fn crate_roots(ws: &Workspace) -> Vec<(&SourceFile, String)> {
 pub fn unsafe_hygiene(ws: &Workspace) -> Vec<Violation> {
     let mut out = Vec::new();
     for (root, dir) in crate_roots(ws) {
-        let sh = shadows(&root.text);
+        let sh = root.shadows();
         let gated =
             sh.code.contains("forbid(unsafe_code)") || sh.code.contains("deny(unsafe_code)");
         if !gated {
@@ -571,7 +555,7 @@ pub fn unsafe_hygiene(ws: &Workspace) -> Vec<Violation> {
             .rust_sources()
             .filter(|f| f.path.starts_with(&src_prefix))
             .any(|f| {
-                shadows(&f.text)
+                f.shadows()
                     .code_lines()
                     .iter()
                     .any(|l| word_on_line(l, "unsafe"))
@@ -632,7 +616,7 @@ pub fn traced_stages(ws: &Workspace) -> Vec<Violation> {
             continue;
         }
         let raw: Vec<&str> = f.text.lines().collect();
-        let sh = shadows(&f.text);
+        let sh = f.shadows();
         let mut current_fn = String::new();
         // name → first line it appeared on, reset per function.
         let mut seen: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
@@ -810,7 +794,7 @@ pub fn cli_readme_sync(ws: &Workspace) -> Vec<Violation> {
     let Some(readme) = ws.get("README.md") else {
         return vec![violation("README.md", "README.md missing".into())];
     };
-    let sh = shadows(&bin.text);
+    let sh = bin.shadows();
     let mut out = Vec::new();
 
     let mut subs = cli_subcommands(&bin.text, &sh);
@@ -927,7 +911,7 @@ pub fn dp_engine_help(ws: &Workspace) -> Vec<Violation> {
     let Some(bin) = ws.get(CLI_BIN) else {
         return vec![violation(CLI_BIN, "CLI binary source missing".into())];
     };
-    let kernels = dp_engine_kernels(&shadows(&kernels_mod.text));
+    let kernels = dp_engine_kernels(kernels_mod.shadows());
     if kernels.is_empty() {
         return vec![violation(
             KERNELS_MOD,
@@ -957,19 +941,64 @@ pub fn dp_engine_help(ws: &Workspace) -> Vec<Violation> {
         .collect()
 }
 
+// --- marker-attached ---------------------------------------------------
+
+/// Every analyzer marker comment must be an own-line comment directly
+/// above a `fn` item — attributes and further comment lines may sit in
+/// between, anything else strands the marker where `cargo xtask
+/// analyze` will never see it.
+pub fn marker_attached(ws: &Workspace) -> Vec<Violation> {
+    use crate::parse::{marker_on, marker_phrase_on};
+    let mut out = Vec::new();
+    for f in ws.rust_sources() {
+        let sh = f.shadows();
+        let code = sh.code_lines();
+        let comments = sh.comment_lines();
+        for (i, comment) in comments.iter().enumerate() {
+            if !marker_phrase_on(comment) {
+                continue;
+            }
+            let code_line = code.get(i).copied().unwrap_or("");
+            let mut ok = marker_on(comment, code_line).is_some();
+            if ok {
+                // Walk down to the next effective code line; it must
+                // declare a `fn`.
+                ok = false;
+                for j in i + 1..code.len() {
+                    let t = code[j].trim();
+                    if t.is_empty() {
+                        continue;
+                    }
+                    if t.starts_with("#[") || t.starts_with("#![") {
+                        continue;
+                    }
+                    ok = crate::parse::fn_decl_name(code[j]).is_some();
+                    break;
+                }
+            }
+            if !ok {
+                out.push(Violation {
+                    rule: "marker-attached",
+                    file: f.path.clone(),
+                    line: i + 1,
+                    msg: "analyzer marker (`xtask: hot` / `PANIC-FREE:` / `ALLOC-OK:`) is \
+                          not attached to a function item: it must be an own-line comment \
+                          directly above a `fn` declaration (attributes may intervene)"
+                        .into(),
+                });
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn ws(files: &[(&str, &str)]) -> Workspace {
         Workspace {
-            files: files
-                .iter()
-                .map(|(p, t)| SourceFile {
-                    path: p.to_string(),
-                    text: t.to_string(),
-                })
-                .collect(),
+            files: files.iter().map(|(p, t)| SourceFile::new(*p, *t)).collect(),
         }
     }
 
@@ -1514,5 +1543,58 @@ const USAGE: &str = "usage:
         assert!(v.iter().any(|x| x.rule == "kernel-table"));
         assert!(v.iter().any(|x| x.rule == "bench-ci"));
         assert!(v.iter().any(|x| x.rule == "cli-readme-sync"));
+    }
+
+    #[test]
+    fn attached_markers_pass_the_marker_lint() {
+        let good = ws(&[(
+            "crates/x/src/a.rs",
+            "// xtask: hot\n#[inline(always)]\nfn hot_loop() {}\n\n\
+             // PANIC-FREE: the caller clamps the index.\n/// Docs between are fine.\npub fn pick(v: &[u8], i: usize) -> u8 { v[i] }\n\n\
+             // ALLOC-OK: per-task scratch.\nfn scratch() -> Vec<u8> { vec![0] }\n",
+        )]);
+        assert!(
+            marker_attached(&good).is_empty(),
+            "{:?}",
+            marker_attached(&good)
+        );
+    }
+
+    #[test]
+    fn stranded_markers_are_flagged() {
+        // Trailing a statement: the analyzer would never see it.
+        let trailing = ws(&[(
+            "crates/x/src/a.rs",
+            "fn f() {\n    let x = 1; // PANIC-FREE: stranded on a code line\n}\n",
+        )]);
+        let v = marker_attached(&trailing);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "marker-attached");
+        assert_eq!(v[0].line, 2);
+
+        // Floating above a struct instead of a fn.
+        let floating = ws(&[("crates/x/src/a.rs", "// xtask: hot\nstruct NotAFn;\n")]);
+        assert_eq!(marker_attached(&floating).len(), 1);
+
+        // Dangling at end of file.
+        let dangling = ws(&[(
+            "crates/x/src/a.rs",
+            "fn f() {}\n// ALLOC-OK: nothing follows\n",
+        )]);
+        assert_eq!(marker_attached(&dangling).len(), 1);
+    }
+
+    #[test]
+    fn marker_lint_ignores_prose_mentions_and_strings() {
+        let prose = ws(&[(
+            "crates/x/src/a.rs",
+            "//! The analyzer's `PANIC-FREE:` marker is documented here.\n\
+             fn f() { let s = \"// xtask: hot\"; use_(s); }\n",
+        )]);
+        assert!(
+            marker_attached(&prose).is_empty(),
+            "{:?}",
+            marker_attached(&prose)
+        );
     }
 }

@@ -2,53 +2,66 @@
 //!
 //! Subcommands:
 //!
-//! * `lint` — run the repo's static policy checks (safety comments,
-//!   relaxed-ordering allowlist, schema-version/doc agreement, kernel
-//!   registration table, bench-CI wiring, justified lint allows,
-//!   per-crate unsafe hygiene, unique collapsed-stack-safe traced-stage
-//!   names, CLI/README surface sync). Exits non-zero with one line per
-//!   violation. See `src/lints.rs` for the rules and DESIGN.md
-//!   ("Concurrency & safety invariants") for the policy.
+//! * `lint` — run the repo's token-level policy checks (safety
+//!   comments, relaxed-ordering allowlist, schema-version/doc
+//!   agreement, kernel registration table, bench-CI wiring, justified
+//!   lint allows, per-crate unsafe hygiene, unique collapsed-stack-safe
+//!   traced-stage names, CLI/README surface sync, attached analyzer
+//!   markers). Exits non-zero with one line per violation. See
+//!   `src/lints.rs` for the rules and DESIGN.md for the policy.
+//! * `analyze` — run the call-graph reachability rules (panic-freedom
+//!   of kernel entry paths, allocation-freedom of `xtask: hot` loops,
+//!   scalar/SIMD float-determinism). `analyze --dead-pub` instead
+//!   prints the informational unused-`pub fn` report and always exits
+//!   zero. See `src/analyze.rs` and DESIGN.md ("Static analysis").
+//! * `check` — `lint` + `analyze` over a single workspace load.
 //!
 //! Wired up as a cargo alias in `.cargo/config.toml`, so the entry
-//! point is `cargo xtask lint`.
+//! point is `cargo xtask lint` (etc.).
 
 #![forbid(unsafe_code)]
 
+mod analyze;
+mod callgraph;
 mod lexer;
 mod lints;
+mod parse;
+mod workspace;
 
-use lints::{SourceFile, Workspace};
-use std::path::{Path, PathBuf};
-
-/// File extensions the lints read.
-const TRACKED_EXT: &[&str] = &["rs", "toml", "yml", "yaml", "md"];
-
-/// Directories never descended into.
-const SKIP_DIRS: &[&str] = &["target", ".git", "results", "data"];
+use lints::Violation;
+use workspace::{repo_root, Workspace};
 
 fn main() {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => {
-            let root = repo_root();
-            let ws = load_workspace(&root);
-            let violations = lints::run_all(&ws);
-            if violations.is_empty() {
-                println!(
-                    "xtask lint: OK ({} files, 11 rules, 0 violations)",
-                    ws.files.len()
-                );
-            } else {
-                for v in &violations {
-                    eprintln!("{v}");
-                }
-                eprintln!("xtask lint: {} violation(s)", violations.len());
-                std::process::exit(1);
+            let ws = Workspace::load(&repo_root());
+            exit_on(run_lint(&ws), "lint");
+        }
+        Some("analyze") => {
+            let ws = Workspace::load(&repo_root());
+            if args.any(|a| a == "--dead-pub") {
+                print!("{}", analyze::dead_pub_report(&ws));
+                return;
             }
+            exit_on(run_analyze(&ws), "analyze");
+        }
+        Some("check") => {
+            // One load, both tools — shadows are computed once per file
+            // and shared (see src/workspace.rs).
+            let ws = Workspace::load(&repo_root());
+            let mut violations = run_lint(&ws);
+            violations.extend(run_analyze(&ws));
+            exit_on(violations, "check");
         }
         other => {
-            eprintln!("usage: cargo xtask <command>\n\ncommands:\n  lint   run repo policy checks");
+            eprintln!(
+                "usage: cargo xtask <command>\n\ncommands:\n  \
+                 lint                 run repo policy checks\n  \
+                 analyze              run call-graph reachability checks\n  \
+                 analyze --dead-pub   report pub fns with no in-workspace callers\n  \
+                 check                lint + analyze over one workspace load"
+            );
             if other.is_some() {
                 std::process::exit(2);
             }
@@ -56,53 +69,39 @@ fn main() {
     }
 }
 
-/// The workspace root: two levels above this crate's manifest dir.
-fn repo_root() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("crates/xtask sits two levels under the repo root")
-        .to_path_buf()
-}
-
-/// Loads every tracked file under `root` into an in-memory [`Workspace`]
-/// with repo-relative, forward-slash paths.
-fn load_workspace(root: &Path) -> Workspace {
-    let mut files = Vec::new();
-    walk(root, root, &mut files);
-    files.sort_by(|a, b| a.path.cmp(&b.path));
-    Workspace { files }
-}
-
-fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') || name == ".github" {
-                walk(root, &path, out);
-            }
-            continue;
-        }
-        let tracked = path
-            .extension()
-            .and_then(|e| e.to_str())
-            .is_some_and(|e| TRACKED_EXT.contains(&e));
-        if !tracked {
-            continue;
-        }
-        let Ok(text) = std::fs::read_to_string(&path) else {
-            continue; // non-UTF8 files carry nothing lintable
-        };
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(&path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        out.push(SourceFile { path: rel, text });
+/// Runs the lint rules, printing the OK line on success.
+fn run_lint(ws: &Workspace) -> Vec<Violation> {
+    let violations = lints::run_all(ws);
+    if violations.is_empty() {
+        println!(
+            "xtask lint: OK ({} files, 12 rules, 0 violations)",
+            ws.files.len()
+        );
     }
+    violations
+}
+
+/// Runs the analyze rules, printing the OK line on success.
+fn run_analyze(ws: &Workspace) -> Vec<Violation> {
+    let violations = analyze::run_all(ws);
+    if violations.is_empty() {
+        let (fns, edges) = analyze::graph_stats(ws);
+        println!(
+            "xtask analyze: OK ({} files, {fns} functions, {edges} call edges, 3 rules, 0 violations)",
+            ws.files.len()
+        );
+    }
+    violations
+}
+
+/// Prints violations and exits non-zero when any exist.
+fn exit_on(violations: Vec<Violation>, tool: &str) {
+    if violations.is_empty() {
+        return;
+    }
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    eprintln!("xtask {tool}: {} violation(s)", violations.len());
+    std::process::exit(1);
 }

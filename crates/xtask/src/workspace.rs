@@ -1,0 +1,147 @@
+//! The shared in-memory workspace behind `cargo xtask lint` and
+//! `cargo xtask analyze`: one disk walk, one set of lexer shadows.
+//!
+//! Both tools operate on the same [`Workspace`] — a sorted list of
+//! tracked files with their full text — and both lean on the lexer's
+//! code/comment shadows. Computing those is the dominant cost of a
+//! lint pass, so each [`SourceFile`] memoizes its [`Shadows`] in a
+//! `OnceCell`: the first rule to ask pays, every later rule (and the
+//! whole of `analyze`, which walks the same files again) reads the
+//! cache. `cargo xtask check` runs lint *and* analyze over a single
+//! load, so the repo is read from disk exactly once.
+
+use crate::lexer::{shadows, Shadows};
+use std::cell::OnceCell;
+use std::path::{Path, PathBuf};
+
+/// File extensions the lints read.
+const TRACKED_EXT: &[&str] = &["rs", "toml", "yml", "yaml", "md"];
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "results", "data"];
+
+/// One file of the workspace under lint/analysis.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Repo-relative path with forward slashes (`crates/obs/src/mem.rs`).
+    pub path: String,
+    /// Full text.
+    pub text: String,
+    /// Lazily computed lexer shadows (see [`SourceFile::shadows`]).
+    shadow: OnceCell<Shadows>,
+}
+
+impl SourceFile {
+    /// A file from its path and text; shadows are computed on demand.
+    pub fn new(path: impl Into<String>, text: impl Into<String>) -> SourceFile {
+        SourceFile {
+            path: path.into(),
+            text: text.into(),
+            shadow: OnceCell::new(),
+        }
+    }
+
+    /// The code/comment shadows of this file, computed once and cached.
+    pub fn shadows(&self) -> &Shadows {
+        self.shadow.get_or_init(|| shadows(&self.text))
+    }
+}
+
+/// The file set the lints and the analyzer run over.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Every tracked file (Rust sources, manifests, workflows, docs).
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Looks a file up by its repo-relative path.
+    pub fn get(&self, path: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.path == path)
+    }
+
+    /// Every `.rs` file in the workspace.
+    pub fn rust_sources(&self) -> impl Iterator<Item = &SourceFile> {
+        self.files.iter().filter(|f| f.path.ends_with(".rs"))
+    }
+
+    /// Loads every tracked file under `root` with repo-relative,
+    /// forward-slash paths.
+    pub fn load(root: &Path) -> Workspace {
+        let mut files = Vec::new();
+        walk(root, root, &mut files);
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        Workspace { files }
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest dir.
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask sits two levels under the repo root")
+        .to_path_buf()
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') || name == ".github" {
+                walk(root, &path, out);
+            }
+            continue;
+        }
+        let tracked = path
+            .extension()
+            .and_then(|e| e.to_str())
+            .is_some_and(|e| TRACKED_EXT.contains(&e));
+        if !tracked {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue; // non-UTF8 files carry nothing lintable
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.push(SourceFile::new(rel, text));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shadows_are_computed_once_and_cached() {
+        let f = SourceFile::new("crates/x/src/a.rs", "fn f() {} // note\n");
+        let first = f.shadows() as *const Shadows;
+        let second = f.shadows() as *const Shadows;
+        assert_eq!(first, second, "second call must hit the cache");
+        assert!(f.shadows().comments.contains("note"));
+        assert!(!f.shadows().code.contains("note"));
+    }
+
+    #[test]
+    fn load_reads_the_real_repo() {
+        let ws = Workspace::load(&repo_root());
+        assert!(ws.get("README.md").is_some());
+        assert!(ws.get("crates/xtask/src/workspace.rs").is_some());
+        assert!(ws.rust_sources().count() > 10);
+        // Sorted, deduplicated paths.
+        let paths: Vec<&str> = ws.files.iter().map(|f| f.path.as_str()).collect();
+        let mut sorted = paths.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(paths, sorted);
+    }
+}
